@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks: bulkload throughput and query latency for
+//! FLAT and every R-tree variant.
+//!
+//! These complement the figure binaries (which measure the paper's I/O
+//! metrics at full scale): Criterion measures wall-clock CPU cost of the
+//! in-memory implementations at a fixed small scale, tracking regressions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use flat_bench::indexes::{BuiltIndex, IndexKind};
+use flat_data::neuron::{NeuronConfig, NeuronModel};
+use flat_data::workload::{range_queries, WorkloadConfig};
+use flat_geom::Aabb;
+use flat_rtree::Entry;
+
+const ELEMENTS: usize = 20_000;
+
+fn dataset() -> (Vec<Entry>, Aabb) {
+    let config = NeuronConfig::bbp(20, 1000, 7);
+    let model = NeuronModel::generate(&config);
+    (model.entries(), config.domain)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let (entries, domain) = dataset();
+    let mut group = c.benchmark_group("build_20k");
+    group.sample_size(10);
+    for kind in [
+        IndexKind::Flat,
+        IndexKind::Str,
+        IndexKind::Hilbert,
+        IndexKind::PrTree,
+        IndexKind::Tgs,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter_batched(
+                || entries.clone(),
+                |entries| BuiltIndex::build(kind, entries, domain, 1 << 16),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let (entries, domain) = dataset();
+    let sn = range_queries(
+        &domain,
+        &WorkloadConfig {
+            count: 20,
+            volume_fraction: 5e-7 * 1000.0 * (450_000.0 / ELEMENTS as f64),
+            proportion_range: (1.0, 4.0),
+            seed: 11,
+        },
+    );
+    let lss = range_queries(
+        &domain,
+        &WorkloadConfig {
+            count: 20,
+            volume_fraction: 0.02,
+            proportion_range: (1.0, 4.0),
+            seed: 13,
+        },
+    );
+
+    for (workload_name, queries) in [("sn", &sn), ("lss", &lss)] {
+        let mut group = c.benchmark_group(format!("query_{workload_name}_20k"));
+        group.sample_size(10);
+        for kind in [IndexKind::Flat, IndexKind::Str, IndexKind::PrTree] {
+            let mut built = BuiltIndex::build(kind, entries.clone(), domain, 1 << 16);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.label()),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let mut total = 0usize;
+                        for q in queries {
+                            total += built.query(q).0;
+                        }
+                        total
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_build, bench_queries);
+criterion_main!(benches);

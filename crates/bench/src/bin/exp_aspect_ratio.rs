@@ -1,0 +1,9 @@
+//! §VII-E.1b: element aspect ratio vs neighbor pointers.
+use flat_bench::figures::analysis;
+use flat_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let elements = scale.max_density().min(100_000);
+    analysis::exp_aspect_ratio(elements, scale.seed).emit();
+}

@@ -1,0 +1,8 @@
+//! Bulkload vs dynamic-insertion ablation.
+use flat_bench::figures::{ablation, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    ablation::exp_bulk_vs_insert(&ctx, ctx.scale.densities[ctx.scale.densities.len() / 2]).emit();
+}

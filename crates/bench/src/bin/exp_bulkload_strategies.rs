@@ -1,0 +1,8 @@
+//! Bulkload strategy comparison including the TGS extension.
+use flat_bench::figures::{ablation, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    ablation::exp_bulkload_strategies(&ctx).emit();
+}

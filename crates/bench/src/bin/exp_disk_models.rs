@@ -1,0 +1,8 @@
+//! Ablation (extension): FLAT vs PR-tree across storage device models.
+use flat_bench::figures::{analysis, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    analysis::exp_disk_models(&ctx).emit();
+}

@@ -1,0 +1,8 @@
+//! Metadata packing order ablation.
+use flat_bench::figures::{ablation, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    ablation::exp_meta_order(&ctx).emit();
+}

@@ -1,0 +1,8 @@
+//! §VII-E.2: FLAT memory & computation overheads during queries.
+use flat_bench::figures::{analysis, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    analysis::exp_overheads(&ctx).emit();
+}

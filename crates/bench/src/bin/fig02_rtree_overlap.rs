@@ -1,0 +1,8 @@
+//! Figure 2: point-query page reads on the R-tree baselines vs density.
+use flat_bench::figures::{motivation, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    motivation::fig02_rtree_overlap(&ctx).emit();
+}

@@ -1,0 +1,8 @@
+//! One table of the build suite (see `flat_bench::figures::build`).
+use flat_bench::figures::{build, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    build::build_suite(&ctx)[0].emit();
+}

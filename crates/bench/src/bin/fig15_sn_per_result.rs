@@ -1,0 +1,8 @@
+//! One table of the SN benchmark suite (see `flat_bench::figures::sn`).
+use flat_bench::figures::{sn, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    sn::sn_suite(&ctx)[4].emit();
+}

@@ -1,0 +1,8 @@
+//! One table of the LSS benchmark suite (see `flat_bench::figures::lss`).
+use flat_bench::figures::{lss, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    lss::lss_suite(&ctx)[1].emit();
+}

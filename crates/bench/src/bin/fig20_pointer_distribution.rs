@@ -1,0 +1,8 @@
+//! Figure 20: neighbor-pointer distribution vs density.
+use flat_bench::figures::{analysis, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    analysis::fig20_pointer_distribution(&ctx).emit();
+}

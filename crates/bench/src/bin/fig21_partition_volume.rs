@@ -1,0 +1,9 @@
+//! Figure 21: partition volume vs neighbor pointers (uniform data).
+use flat_bench::figures::analysis;
+use flat_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let elements = scale.max_density().min(100_000);
+    analysis::fig21_partition_volume(elements, scale.seed).emit();
+}

@@ -1,0 +1,10 @@
+//! Figure 22: index size and build time on the §VIII datasets.
+use flat_bench::figures::other;
+use flat_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let per_million = (1000.0 * scale.max_density() as f64 / 450_000.0) as usize;
+    let (fig22, _) = other::other_datasets_suite(per_million.max(10), scale.queries, scale.seed);
+    fig22.emit();
+}

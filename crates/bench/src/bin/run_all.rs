@@ -1,0 +1,60 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! Respects `FLAT_SCALE`, `FLAT_QUERIES` and `FLAT_RESULTS_DIR`.
+use flat_bench::figures::{ablation, analysis, build, lss, motivation, other, sn, Context};
+use flat_bench::Scale;
+use std::time::Instant;
+
+fn main() {
+    let start = Instant::now();
+    let scale = Scale::from_env();
+    println!(
+        "FLAT reproduction — full evaluation run (densities {:?}, {} queries per workload)\n",
+        scale.densities, scale.queries
+    );
+    let ctx = Context::new(scale.clone());
+
+    println!("=== Motivation (Section III) ===\n");
+    motivation::fig02_rtree_overlap(&ctx).emit();
+
+    println!("=== Time to index & index size (Sections VII-B, VII-C) ===\n");
+    for table in build::build_suite(&ctx) {
+        table.emit();
+    }
+
+    println!("=== SN benchmark (Sections III-A, VII-D) ===\n");
+    for table in sn::sn_suite(&ctx) {
+        table.emit();
+    }
+
+    println!("=== LSS benchmark (Sections III-B, VII-D) ===\n");
+    for table in lss::lss_suite(&ctx) {
+        table.emit();
+    }
+
+    println!("=== FLAT analysis (Section VII-E) ===\n");
+    analysis::fig20_pointer_distribution(&ctx).emit();
+    let analysis_elements = scale.max_density().min(100_000);
+    analysis::fig21_partition_volume(analysis_elements, scale.seed).emit();
+    analysis::exp_element_volume(analysis_elements, scale.seed).emit();
+    analysis::exp_aspect_ratio(analysis_elements, scale.seed).emit();
+    analysis::exp_overheads(&ctx).emit();
+    analysis::exp_disk_models(&ctx).emit();
+
+    println!("=== Ablations (extensions, see DESIGN.md) ===\n");
+    ablation::exp_meta_order(&ctx).emit();
+    ablation::exp_bulk_vs_insert(&ctx, scale.densities[scale.densities.len() / 2]).emit();
+    ablation::exp_bulkload_strategies(&ctx).emit();
+
+    println!("=== Other data sets (Section VIII) ===\n");
+    let per_million = (1000.0 * scale.max_density() as f64 / 450_000.0) as usize;
+    let (fig22, fig23) = other::other_datasets_suite(per_million.max(10), scale.queries, scale.seed);
+    fig22.emit();
+    fig23.emit();
+
+    println!(
+        "Done in {:.1}s. CSVs in {}.",
+        start.elapsed().as_secs_f64(),
+        flat_bench::report::results_dir().display()
+    );
+}

@@ -1,0 +1,83 @@
+//! Figures 10 and 11: time to index and index size, per density.
+
+use super::Context;
+use crate::indexes::{BuiltIndex, IndexKind};
+use crate::report::{fmt_mb, fmt_secs, Table};
+use flat_storage::PAGE_SIZE;
+
+/// Builds every index at every density once and derives:
+///
+/// * `fig10` — build time per variant, with FLAT broken into its
+///   partitioning / neighbor-finding / writing phases (§VII-B),
+/// * `fig11` — index size with the paper's component breakdown: FLAT's
+///   object pages and seed-tree+metadata vs the PR-tree's leaf and
+///   non-leaf pages (§VII-C).
+pub fn build_suite(ctx: &Context) -> Vec<Table> {
+    let domain = ctx.sweep.domain();
+    let mut fig10 = Table::new(
+        "fig10_build_time",
+        "Overall time to index [s] for data sets of increasing density",
+        &[
+            "density",
+            "Hilbert R-Tree",
+            "STR R-Tree",
+            "PR-Tree",
+            "TGS R-Tree",
+            "FLAT",
+            "FLAT partitioning",
+            "FLAT neighbors",
+        ],
+    );
+    let mut fig11 = Table::new(
+        "fig11_index_size",
+        "Index size [MB]: FLAT (object pages, seed tree + metadata) vs PR-Tree (leaf, non-leaf)",
+        &[
+            "density",
+            "FLAT total",
+            "FLAT object pages",
+            "FLAT seed+metadata",
+            "PR total",
+            "PR leaf",
+            "PR non-leaf",
+        ],
+    );
+
+    for &density in ctx.sweep.densities() {
+        let label = ctx.scale.density_label(density);
+        let entries = ctx.sweep.at(density);
+
+        let hilbert =
+            BuiltIndex::build(IndexKind::Hilbert, entries.clone(), domain, ctx.scale.pool_pages);
+        let str_tree =
+            BuiltIndex::build(IndexKind::Str, entries.clone(), domain, ctx.scale.pool_pages);
+        let pr =
+            BuiltIndex::build(IndexKind::PrTree, entries.clone(), domain, ctx.scale.pool_pages);
+        let tgs =
+            BuiltIndex::build(IndexKind::Tgs, entries.clone(), domain, ctx.scale.pool_pages);
+        let flat = BuiltIndex::build(IndexKind::Flat, entries, domain, ctx.scale.pool_pages);
+        let flat_stats = flat.flat_stats.as_ref().expect("FLAT reports build stats");
+
+        fig10.push_row(vec![
+            label.clone(),
+            fmt_secs(hilbert.build_time),
+            fmt_secs(str_tree.build_time),
+            fmt_secs(pr.build_time),
+            fmt_secs(tgs.build_time),
+            fmt_secs(flat.build_time),
+            fmt_secs(flat_stats.partition_time),
+            fmt_secs(flat_stats.neighbor_time),
+        ]);
+
+        let pr_tree = pr.as_rtree().expect("PR is an R-tree");
+        fig11.push_row(vec![
+            label,
+            fmt_mb(flat.size_bytes()),
+            fmt_mb(flat.data_bytes()),
+            fmt_mb(flat.overhead_bytes()),
+            fmt_mb(pr.size_bytes()),
+            fmt_mb(pr_tree.num_leaf_pages() * PAGE_SIZE as u64),
+            fmt_mb(pr_tree.num_inner_pages() * PAGE_SIZE as u64),
+        ]);
+    }
+    vec![fig10, fig11]
+}

@@ -1,0 +1,51 @@
+//! The LSS (large spatial subvolumes) benchmark suite: Figures 4, 16, 17,
+//! 18 and 19 from one measurement sweep.
+
+use super::sn::{run_paper_set, tables_from_outcomes};
+use super::Context;
+use crate::indexes::IndexKind;
+
+/// Runs the LSS workload for every index at every density and derives:
+///
+/// 1. `fig04` — PR-tree retrieved bytes vs result bytes (§III-B's
+///    motivation; the full per-variant view is in the breakdown table),
+/// 2. `fig16` — total page reads (thousands),
+/// 3. `fig17` — execution time,
+/// 4. `fig18` — data-retrieved breakdown,
+/// 5. `fig19` — page reads per result element.
+pub fn lss_suite(ctx: &Context) -> Vec<Table> {
+    let domain = ctx.sweep.domain();
+    let queries = ctx.scale.lss_workload(&domain);
+
+    let outcomes = run_paper_set(ctx, &queries);
+
+    let mut tables = tables_from_outcomes(
+        ctx,
+        &outcomes,
+        "lss",
+        "LSS benchmark",
+        &["fig04", "fig16", "fig17", "fig18", "fig19"],
+    );
+
+    // Figure 4 proper: total data retrieved per R-tree variant vs result
+    // size (the motivation experiment of §III-B).
+    let mut fig04 = Table::new(
+        "fig04_lss_retrieved",
+        "LSS: total data retrieved [MB] vs result size, per R-tree variant",
+        &["density", "result size", "PR-Tree", "STR R-Tree", "Hilbert R-Tree"],
+    );
+    for &density in ctx.sweep.densities() {
+        let get = |kind: IndexKind| &outcomes[&(density, kind)];
+        fig04.push_row(vec![
+            ctx.scale.density_label(density),
+            crate::report::fmt_mb(get(IndexKind::PrTree).result_bytes()),
+            crate::report::fmt_mb(get(IndexKind::PrTree).bytes_read()),
+            crate::report::fmt_mb(get(IndexKind::Str).bytes_read()),
+            crate::report::fmt_mb(get(IndexKind::Hilbert).bytes_read()),
+        ]);
+    }
+    tables[0] = fig04;
+    tables
+}
+
+use crate::report::Table;

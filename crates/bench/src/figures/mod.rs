@@ -1,0 +1,93 @@
+//! One driver per figure/table of the paper.
+//!
+//! Figures that share a measurement pass are produced together: the SN
+//! suite yields Figures 3, 12, 13, 14 and 15 from a single sweep; the LSS
+//! suite yields Figures 4, 16, 17, 18 and 19; the build suite yields
+//! Figures 10 and 11.
+
+pub mod ablation;
+pub mod analysis;
+pub mod build;
+pub mod lss;
+pub mod motivation;
+pub mod other;
+pub mod sn;
+
+use crate::datasets::DensitySweep;
+use crate::Scale;
+use flat_storage::DiskModel;
+
+/// Shared state for a benchmarking session: the scale, the generated
+/// density sweep, and the disk model pricing the I/O.
+pub struct Context {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// The neuron-model density sweep (generated once).
+    pub sweep: DensitySweep,
+    /// Disk cost model (the paper's 10 kRPM SAS array by default).
+    pub model: DiskModel,
+}
+
+impl Context {
+    /// Generates the sweep for `scale`.
+    pub fn new(scale: Scale) -> Context {
+        let sweep = DensitySweep::generate(&scale);
+        Context { scale, sweep, model: DiskModel::sas_10k() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end smoke test: every figure driver runs at smoke scale and
+    /// produces non-empty, well-formed tables. This is the cross-crate
+    /// integration test for the whole harness.
+    #[test]
+    fn all_figures_run_at_smoke_scale() {
+        let ctx = Context::new(Scale::smoke());
+
+        let fig02 = motivation::fig02_rtree_overlap(&ctx);
+        assert_eq!(fig02.rows.len(), ctx.scale.densities.len());
+
+        let sn_tables = sn::sn_suite(&ctx);
+        assert_eq!(sn_tables.len(), 5);
+        for t in &sn_tables {
+            assert_eq!(t.rows.len(), ctx.scale.densities.len(), "{}", t.name);
+        }
+
+        let lss_tables = lss::lss_suite(&ctx);
+        assert_eq!(lss_tables.len(), 5);
+
+        let build_tables = build::build_suite(&ctx);
+        assert_eq!(build_tables.len(), 2);
+
+        let fig20 = analysis::fig20_pointer_distribution(&ctx);
+        assert!(!fig20.rows.is_empty());
+
+        let fig21 = analysis::fig21_partition_volume(1_000, ctx.scale.seed);
+        assert_eq!(fig21.rows.len(), 5);
+
+        let volume = analysis::exp_element_volume(1_000, ctx.scale.seed);
+        assert_eq!(volume.rows.len(), 5);
+
+        let aspect = analysis::exp_aspect_ratio(1_000, ctx.scale.seed);
+        assert!(aspect.rows.len() >= 4);
+
+        let overheads = analysis::exp_overheads(&ctx);
+        assert_eq!(overheads.rows.len(), 2); // SN and LSS
+
+        let (fig22, fig23) = other::other_datasets_suite(50, 10, ctx.scale.seed);
+        assert_eq!(fig22.rows.len(), 5);
+        assert_eq!(fig23.rows.len(), 5);
+
+        let meta_order = ablation::exp_meta_order(&ctx);
+        assert_eq!(meta_order.rows.len(), 2);
+
+        let bulk_vs_insert = ablation::exp_bulk_vs_insert(&ctx, 5_000);
+        assert_eq!(bulk_vs_insert.rows.len(), 2);
+
+        let strategies = ablation::exp_bulkload_strategies(&ctx);
+        assert_eq!(strategies.rows.len(), 4);
+    }
+}

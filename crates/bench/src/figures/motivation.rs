@@ -1,0 +1,44 @@
+//! Figure 2: point-query page reads on the R-tree baselines — the paper's
+//! motivation that overlap grows with density.
+//!
+//! "The point query is an excellent indication of overlap in an R-Tree:
+//! the number of disk pages read to execute this query in an R-Tree
+//! without overlap is equal to the height of the tree" (§III).
+
+use super::Context;
+use crate::indexes::{BuiltIndex, IndexKind};
+use crate::report::{fmt_f64, Table};
+use flat_data::workload::point_queries;
+use flat_geom::Aabb;
+
+/// Runs Figure 2: average page reads per point query, per density, for the
+/// Hilbert, STR and PR trees (tree height shown for reference — the no-
+/// overlap lower bound).
+pub fn fig02_rtree_overlap(ctx: &Context) -> Table {
+    let mut table = Table::new(
+        "fig02_rtree_overlap",
+        "Point query performance on R-Tree variants (avg page reads per query)",
+        &["density", "Hilbert R-Tree", "STR R-Tree", "PR-Tree", "tree height"],
+    );
+    let domain = ctx.sweep.domain();
+    let points = point_queries(&domain, ctx.scale.queries, ctx.scale.seed ^ 0x9021);
+
+    for &density in ctx.sweep.densities() {
+        let mut row = vec![ctx.scale.density_label(density)];
+        let mut height = 0;
+        for kind in IndexKind::RTREE_BASELINES {
+            let mut built =
+                BuiltIndex::build(kind, ctx.sweep.at(density), domain, ctx.scale.pool_pages);
+            let mut total_reads = 0u64;
+            for p in &points {
+                let (_, io, _) = built.query(&Aabb::point(*p));
+                total_reads += io.total_physical_reads();
+            }
+            row.push(fmt_f64(total_reads as f64 / points.len() as f64));
+            height = built.as_rtree().expect("baseline is an R-tree").height();
+        }
+        row.push(height.to_string());
+        table.push_row(row);
+    }
+    table
+}

@@ -1,0 +1,203 @@
+//! Table formatting and CSV output for the figure binaries.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-oriented table: one row per density step (or dataset),
+/// one column per measured series.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table identifier, e.g. `fig12_sn_page_reads`.
+    pub name: String,
+    /// Human title, e.g. the paper's caption.
+    pub title: String,
+    /// Column headers (first column is the key/axis).
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, title: &str, columns: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity doesn't match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned text table (what the binaries print).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.name, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV into the results directory (`FLAT_RESULTS_DIR`,
+    /// default `experiments-results/`), returning the path.
+    pub fn save_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
+    /// Prints the table and saves the CSV (the figure binaries' tail call).
+    pub fn emit(&self) {
+        print!("{}", self.render());
+        match self.save_csv() {
+            Ok(path) => println!("[saved {}]\n", path.display()),
+            Err(e) => println!("[csv not saved: {e}]\n"),
+        }
+    }
+}
+
+/// The directory CSVs are saved into.
+pub fn results_dir() -> PathBuf {
+    std::env::var("FLAT_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("experiments-results"))
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a byte count as MB with two decimals.
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e6)
+}
+
+/// Formats a duration in seconds.
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("test_table", "A test", &["density", "a", "b"]);
+        t.push_row(vec!["50k".into(), "1.0".into(), "2.0".into()]);
+        t.push_row(vec!["100k".into(), "10.5".into(), "20.25".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        assert!(text.contains("test_table"));
+        assert!(text.contains("density"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header, separator and rows all have equal width.
+        assert_eq!(lines[1].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", "t", &["k", "v"]);
+        t.push_row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = sample();
+        t.push_row(vec!["oops".into()]);
+    }
+
+    #[test]
+    fn float_formatting_scales_precision() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(0.1234567), "0.1235");
+        assert_eq!(fmt_f64(12.345), "12.35");
+        assert_eq!(fmt_f64(1234.6), "1235");
+    }
+
+    #[test]
+    fn csv_roundtrips_through_fs() {
+        let dir = std::env::temp_dir().join("flat-bench-report-test");
+        std::env::set_var("FLAT_RESULTS_DIR", &dir);
+        let path = sample().save_csv().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("density,a,b"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::env::remove_var("FLAT_RESULTS_DIR");
+    }
+}

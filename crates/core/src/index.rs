@@ -1,0 +1,543 @@
+//! The [`FlatIndex`] structure and its bulkload (§V).
+
+use crate::meta::{assign_slots, encode_meta_leaf, plan_records, MetaRecord, MetaRecordId};
+use crate::neighbors::compute_neighbors;
+use crate::partition::{partition, Partition};
+use flat_geom::Aabb;
+use flat_rtree::node::{encode_leaf, ChildRef};
+use flat_rtree::{build_inner_levels, leaf_capacity, Entry, LeafLayout};
+use flat_storage::{BufferPool, Page, PageId, PageKind, PageStore, StorageError, PAGE_SIZE};
+use std::time::{Duration, Instant};
+
+/// How metadata records are ordered across seed-tree leaf pages.
+///
+/// The paper requires spatially close records to share leaf pages
+/// (§V-B.2) but does not fix an order. The crawl reads 3-D *blobs* of
+/// records, so the order determines how many metadata pages a blob spans —
+/// `exp_meta_order` in the benchmark crate measures the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetaOrder {
+    /// Hilbert-curve order of the partition centers (default): a blob of
+    /// `k` records spans ~`k / records-per-page` pages.
+    #[default]
+    Hilbert,
+    /// Raw STR output order (slab → run → chunk): a blob is scattered
+    /// across one page run per (slab, run) pair it touches.
+    StrOutput,
+}
+
+/// Build-time options.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatOptions {
+    /// Object-page layout; [`LeafLayout::MbrOnly`] (85 elements/page)
+    /// matches the paper.
+    pub layout: LeafLayout,
+    /// The domain the partition tiling must cover. Defaults to the union
+    /// of the element MBRs.
+    pub domain: Option<Aabb>,
+    /// Multiplies every partition MBR's volume after stretching (about its
+    /// center) before neighbors are computed. `1.0` (the default) is the
+    /// paper's algorithm; larger values reproduce the partition-size study
+    /// of Figure 21. Inflation preserves both crawl invariants (boxes only
+    /// grow).
+    pub partition_volume_scale: f64,
+    /// Metadata record packing order (see [`MetaOrder`]).
+    pub meta_order: MetaOrder,
+}
+
+impl Default for FlatOptions {
+    fn default() -> Self {
+        FlatOptions {
+            layout: LeafLayout::MbrOnly,
+            domain: None,
+            partition_volume_scale: 1.0,
+            meta_order: MetaOrder::default(),
+        }
+    }
+}
+
+/// What the bulkload did, with the phase timings of Figure 10 and the
+/// pointer statistics of Figures 20/21.
+#[derive(Debug, Clone)]
+pub struct BuildStats {
+    /// Time spent in the STR partitioning pass (the "Partitioning" series
+    /// of Figure 10).
+    pub partition_time: Duration,
+    /// Time spent computing neighbors via the temporary R-tree (the
+    /// "Finding Neighbors" series of Figure 10).
+    pub neighbor_time: Duration,
+    /// Time spent writing object pages, metadata and the seed tree.
+    pub write_time: Duration,
+    /// Number of partitions (= object pages).
+    pub num_partitions: usize,
+    /// Neighbor pointer count per partition (the Figure 20 histogram).
+    pub neighbor_counts: Vec<u32>,
+    /// Mean partition MBR volume (the Figure 21 x-axis).
+    pub avg_partition_volume: f64,
+}
+
+impl BuildStats {
+    /// Total build time.
+    pub fn total_time(&self) -> Duration {
+        self.partition_time + self.neighbor_time + self.write_time
+    }
+
+    /// Total neighbor pointers stored.
+    pub fn total_neighbor_pointers(&self) -> u64 {
+        self.neighbor_counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Mean pointers per partition.
+    pub fn avg_neighbor_pointers(&self) -> f64 {
+        if self.neighbor_counts.is_empty() {
+            0.0
+        } else {
+            self.total_neighbor_pointers() as f64 / self.neighbor_counts.len() as f64
+        }
+    }
+
+    /// Median pointers per partition (the statistic the paper tracks in
+    /// Figure 20: "the median stays the same … and appears to converge at
+    /// 30").
+    pub fn median_neighbor_pointers(&self) -> u32 {
+        if self.neighbor_counts.is_empty() {
+            return 0;
+        }
+        let mut counts = self.neighbor_counts.clone();
+        counts.sort_unstable();
+        counts[counts.len() / 2]
+    }
+}
+
+/// A built FLAT index.
+///
+/// Like the R-tree baselines, the index does not own its pages: all
+/// operations take the [`BufferPool`] it was built in.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    pub(crate) seed_root: Option<PageId>,
+    /// Height counting the metadata-leaf level as 1.
+    pub(crate) seed_height: u32,
+    pub(crate) layout: LeafLayout,
+    pub(crate) num_elements: u64,
+    pub(crate) num_object_pages: u64,
+    pub(crate) num_meta_pages: u64,
+    pub(crate) num_seed_inner_pages: u64,
+}
+
+impl FlatIndex {
+    /// Bulk-loads a FLAT index (the paper's Algorithm 1 plus the data
+    /// structure construction of §V-B).
+    pub fn build<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        entries: Vec<Entry>,
+        options: FlatOptions,
+    ) -> Result<(FlatIndex, BuildStats), StorageError> {
+        assert!(
+            options.partition_volume_scale >= 1.0,
+            "partition inflation must not shrink partitions (got {})",
+            options.partition_volume_scale
+        );
+        let num_elements = entries.len() as u64;
+        let capacity = leaf_capacity(options.layout);
+
+        // Phase 1: STR partitioning (tiling + stretching).
+        let t0 = Instant::now();
+        let mut partitions = partition(entries, capacity, options.domain);
+        if options.partition_volume_scale > 1.0 {
+            for p in &mut partitions {
+                p.partition_mbr = p.partition_mbr.scale_volume(options.partition_volume_scale);
+            }
+        }
+        let partition_time = t0.elapsed();
+
+        // Phase 2: neighborhood computation via a temporary R-tree.
+        let t1 = Instant::now();
+        compute_neighbors(&mut partitions)?;
+        let neighbor_time = t1.elapsed();
+
+        // Phase 3: write object pages, metadata pages, seed directory.
+        let t2 = Instant::now();
+        let index = Self::write_structures(
+            pool,
+            &partitions,
+            options.layout,
+            options.meta_order,
+            num_elements,
+        )?;
+        let write_time = t2.elapsed();
+
+        let stats = BuildStats {
+            partition_time,
+            neighbor_time,
+            write_time,
+            num_partitions: partitions.len(),
+            neighbor_counts: partitions.iter().map(|p| p.neighbors.len() as u32).collect(),
+            avg_partition_volume: if partitions.is_empty() {
+                0.0
+            } else {
+                partitions.iter().map(|p| p.partition_mbr.volume()).sum::<f64>()
+                    / partitions.len() as f64
+            },
+        };
+        Ok((index, stats))
+    }
+
+    fn write_structures<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        partitions: &[Partition],
+        layout: LeafLayout,
+        meta_order: MetaOrder,
+        num_elements: u64,
+    ) -> Result<FlatIndex, StorageError> {
+        if partitions.is_empty() {
+            return Ok(FlatIndex {
+                seed_root: None,
+                seed_height: 0,
+                layout,
+                num_elements: 0,
+                num_object_pages: 0,
+                num_meta_pages: 0,
+                num_seed_inner_pages: 0,
+            });
+        }
+
+        // Object pages, in partition (STR tile) order.
+        let mut page = Page::new();
+        let mut object_ids = Vec::with_capacity(partitions.len());
+        for p in partitions {
+            encode_leaf(&p.elements, layout, &mut page);
+            let id = pool.alloc()?;
+            pool.write(id, &page, PageKind::ObjectPage)?;
+            object_ids.push(id);
+        }
+
+        // Metadata records are packed in **Hilbert order** of the partition
+        // centers. The paper stores records in seed-tree leaves "so that
+        // spatially close records are stored on the same leaf page"
+        // (§V-B.2); raw STR order only groups records along the last sort
+        // dimension, while Hilbert order keeps full 3-D blobs of partitions
+        // on few metadata pages — which is what the crawl actually touches.
+        let order: Vec<usize> = match meta_order {
+            MetaOrder::Hilbert => {
+                let bounds =
+                    Aabb::union_all(partitions.iter().map(|p| p.partition_mbr));
+                let disc =
+                    flat_sfc::Discretizer::new(bounds.min.into(), bounds.max.into(), 16);
+                let mut order: Vec<usize> = (0..partitions.len()).collect();
+                let keys: Vec<u64> = partitions
+                    .iter()
+                    .map(|p| disc.hilbert_key(p.partition_mbr.center().into()))
+                    .collect();
+                order.sort_by_key(|&i| keys[i]);
+                order
+            }
+            MetaOrder::StrOutput => (0..partitions.len()).collect(),
+        };
+
+        // Plan the record stream (over-full neighbor lists are split into
+        // continuation chunks), assign slots, allocate pages — then every
+        // neighbor pointer and continuation pointer has a known physical
+        // address before serialization starts. `plan[*].partition` indexes
+        // into `order`, not into `partitions` directly.
+        let neighbor_counts: Vec<usize> =
+            order.iter().map(|&i| partitions[i].neighbors.len()).collect();
+        let plan = plan_records(&neighbor_counts);
+        let slots = assign_slots(&plan);
+        let num_meta_pages = slots.last().expect("partitions is non-empty").0 + 1;
+        let mut meta_ids = Vec::with_capacity(num_meta_pages);
+        for _ in 0..num_meta_pages {
+            meta_ids.push(pool.alloc()?);
+        }
+        let address_of_chunk = |c: usize| MetaRecordId {
+            page: meta_ids[slots[c].0],
+            slot: slots[c].1,
+        };
+        // Primary (addressable) record of each *original* partition index.
+        let mut primary_chunk = vec![usize::MAX; partitions.len()];
+        for (c, planned) in plan.iter().enumerate() {
+            if planned.primary {
+                primary_chunk[order[planned.partition]] = c;
+            }
+        }
+        let address_of_partition =
+            |i: usize| address_of_chunk(primary_chunk[i]);
+
+        // Serialize the records page by page, in stream order.
+        let mut chunk_idx = 0usize;
+        let mut leaf_refs: Vec<ChildRef> = Vec::with_capacity(num_meta_pages);
+        for (seq, &meta_id) in meta_ids.iter().enumerate() {
+            let mut records = Vec::new();
+            let mut leaf_mbr = Aabb::empty();
+            while chunk_idx < plan.len() && slots[chunk_idx].0 == seq {
+                let planned = &plan[chunk_idx];
+                let original = order[planned.partition];
+                let p = &partitions[original];
+                // The next chunk of the same partition, if any, continues
+                // this record's neighbor list.
+                let continuation = plan
+                    .get(chunk_idx + 1)
+                    .filter(|next| next.partition == planned.partition)
+                    .map(|_| address_of_chunk(chunk_idx + 1));
+                records.push(MetaRecord {
+                    page_mbr: p.page_mbr,
+                    partition_mbr: p.partition_mbr,
+                    object_page: object_ids[original],
+                    neighbors: p.neighbors[planned.start..planned.start + planned.len]
+                        .iter()
+                        .map(|&j| address_of_partition(j as usize))
+                        .collect(),
+                    continuation,
+                    is_continuation: !planned.primary,
+                });
+                // The seed tree indexes records by their *page MBR*
+                // (§V-B.2: "we index each record R with R's page MBR as
+                // key").
+                leaf_mbr.stretch_to_contain(&p.page_mbr);
+                chunk_idx += 1;
+            }
+            encode_meta_leaf(&records, &mut page);
+            pool.write(meta_id, &page, PageKind::SeedLeaf)?;
+            leaf_refs.push(ChildRef { mbr: leaf_mbr, page: meta_id });
+        }
+        debug_assert_eq!(chunk_idx, plan.len());
+
+        // Seed-tree directory over the metadata leaves.
+        let (seed_root, seed_height, num_seed_inner_pages) =
+            build_inner_levels(pool, leaf_refs, PageKind::SeedInner)?;
+
+        Ok(FlatIndex {
+            seed_root: Some(seed_root),
+            seed_height,
+            layout,
+            num_elements,
+            num_object_pages: object_ids.len() as u64,
+            num_meta_pages: num_meta_pages as u64,
+            num_seed_inner_pages,
+        })
+    }
+
+    /// Number of indexed elements.
+    pub fn num_elements(&self) -> u64 {
+        self.num_elements
+    }
+
+    /// The object-page layout.
+    pub fn layout(&self) -> LeafLayout {
+        self.layout
+    }
+
+    /// Seed-tree height (1 = the root is a metadata leaf; 0 = empty).
+    pub fn seed_height(&self) -> u32 {
+        self.seed_height
+    }
+
+    /// Number of object pages (= partitions).
+    pub fn num_object_pages(&self) -> u64 {
+        self.num_object_pages
+    }
+
+    /// Number of metadata (seed-leaf) pages.
+    pub fn num_meta_pages(&self) -> u64 {
+        self.num_meta_pages
+    }
+
+    /// Number of seed-tree directory pages.
+    pub fn num_seed_inner_pages(&self) -> u64 {
+        self.num_seed_inner_pages
+    }
+
+    /// Bytes used by object pages (the Figure 11 "Object Pages" component).
+    pub fn object_bytes(&self) -> u64 {
+        self.num_object_pages * PAGE_SIZE as u64
+    }
+
+    /// Bytes used by the seed tree plus metadata (the Figure 11
+    /// "Seed Tree + Metadata" component).
+    pub fn seed_and_meta_bytes(&self) -> u64 {
+        (self.num_meta_pages + self.num_seed_inner_pages) * PAGE_SIZE as u64
+    }
+
+    /// Total index size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.object_bytes() + self.seed_and_meta_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::decode_meta_leaf;
+    use flat_geom::Point3;
+    use flat_storage::MemStore;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    pub(crate) fn random_entries(n: usize, seed: u64) -> Vec<Entry> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                );
+                Entry::new(i as u64, Aabb::cube(c, rng.gen_range(0.05..0.5)))
+            })
+            .collect()
+    }
+
+    fn build(n: usize) -> (BufferPool<MemStore>, FlatIndex, BuildStats) {
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let (index, stats) =
+            FlatIndex::build(&mut pool, random_entries(n, 21), FlatOptions::default()).unwrap();
+        (pool, index, stats)
+    }
+
+    #[test]
+    fn build_accounts_every_page() {
+        let (pool, index, stats) = build(20_000);
+        assert_eq!(index.num_elements(), 20_000);
+        assert_eq!(index.num_object_pages(), stats.num_partitions as u64);
+        assert_eq!(
+            pool.store().num_pages(),
+            index.num_object_pages() + index.num_meta_pages() + index.num_seed_inner_pages()
+        );
+        assert_eq!(
+            index.size_bytes(),
+            pool.store().num_pages() * PAGE_SIZE as u64
+        );
+    }
+
+    #[test]
+    fn empty_build_produces_empty_index() {
+        let mut pool = BufferPool::new(MemStore::new(), 16);
+        let (index, stats) =
+            FlatIndex::build(&mut pool, Vec::new(), FlatOptions::default()).unwrap();
+        assert_eq!(index.num_elements(), 0);
+        assert_eq!(index.seed_height(), 0);
+        assert_eq!(stats.num_partitions, 0);
+        assert_eq!(pool.store().num_pages(), 0);
+    }
+
+    #[test]
+    fn metadata_pointers_resolve_to_real_records() {
+        let (mut pool, index, _) = build(10_000);
+        // Walk the seed tree, decode every record, and chase every
+        // neighbor pointer: it must decode to a record whose partition MBR
+        // intersects the pointing record's partition MBR (that's the
+        // definition of neighbor).
+        let mut meta_pages = Vec::new();
+        collect_meta_pages(&mut pool, &index, &mut meta_pages);
+        assert_eq!(meta_pages.len() as u64, index.num_meta_pages());
+        let mut checked = 0;
+        for &mp in &meta_pages {
+            let records = {
+                let page = pool.read(mp, PageKind::SeedLeaf).unwrap();
+                decode_meta_leaf(page).unwrap()
+            };
+            for record in records {
+                for n in &record.neighbors {
+                    let target = {
+                        let page = pool.read(n.page, PageKind::SeedLeaf).unwrap();
+                        crate::meta::decode_meta_record(page, n.slot).unwrap()
+                    };
+                    assert!(
+                        record.partition_mbr.intersects(&target.partition_mbr),
+                        "pointer to a non-intersecting partition"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "no pointers were checked");
+    }
+
+    pub(crate) fn collect_meta_pages(
+        pool: &mut BufferPool<MemStore>,
+        index: &FlatIndex,
+        out: &mut Vec<PageId>,
+    ) {
+        let Some(root) = index.seed_root else { return };
+        let mut stack = vec![(root, index.seed_height)];
+        while let Some((pid, level)) = stack.pop() {
+            if level == 1 {
+                out.push(pid);
+            } else {
+                let page = pool.read(pid, PageKind::SeedInner).unwrap();
+                for child in flat_rtree::node::decode_inner(page).unwrap() {
+                    stack.push((child.page, level - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_stats_are_consistent() {
+        let (_, index, stats) = build(30_000);
+        assert_eq!(stats.neighbor_counts.len(), stats.num_partitions);
+        assert!(stats.avg_neighbor_pointers() > 0.0);
+        assert!(stats.median_neighbor_pointers() > 0);
+        assert!(stats.avg_partition_volume > 0.0);
+        assert!(index.seed_height() >= 1);
+        assert!(stats.total_time() >= stats.partition_time);
+    }
+
+    #[test]
+    fn partition_inflation_increases_pointer_count() {
+        let entries = random_entries(20_000, 33);
+        let mut pool_a = BufferPool::new(MemStore::new(), 1 << 16);
+        let (_, base) =
+            FlatIndex::build(&mut pool_a, entries.clone(), FlatOptions::default()).unwrap();
+        let mut pool_b = BufferPool::new(MemStore::new(), 1 << 16);
+        let (_, inflated) = FlatIndex::build(
+            &mut pool_b,
+            entries,
+            FlatOptions { partition_volume_scale: 2.0, ..FlatOptions::default() },
+        )
+        .unwrap();
+        assert!(
+            inflated.avg_neighbor_pointers() > base.avg_neighbor_pointers(),
+            "inflation must add pointers: {} vs {}",
+            inflated.avg_neighbor_pointers(),
+            base.avg_neighbor_pointers()
+        );
+        assert!(inflated.avg_partition_volume > base.avg_partition_volume);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not shrink")]
+    fn shrinking_inflation_is_rejected() {
+        let mut pool = BufferPool::new(MemStore::new(), 16);
+        let _ = FlatIndex::build(
+            &mut pool,
+            random_entries(10, 1),
+            FlatOptions { partition_volume_scale: 0.5, ..FlatOptions::default() },
+        );
+    }
+
+    #[test]
+    fn index_is_bigger_than_bare_rtree_but_modestly() {
+        // Fig 11: FLAT stores the same object/leaf pages plus metadata —
+        // bigger, but only by the metadata share.
+        let entries = random_entries(30_000, 55);
+        let mut pool_flat = BufferPool::new(MemStore::new(), 1 << 16);
+        let (flat, _) =
+            FlatIndex::build(&mut pool_flat, entries.clone(), FlatOptions::default()).unwrap();
+        let mut pool_rt = BufferPool::new(MemStore::new(), 1 << 16);
+        let rtree = flat_rtree::RTree::bulk_load(
+            &mut pool_rt,
+            entries,
+            flat_rtree::BulkLoad::Str,
+            flat_rtree::RTreeConfig::default(),
+        )
+        .unwrap();
+        assert!(flat.size_bytes() > rtree.size_bytes());
+        assert!(
+            (flat.size_bytes() as f64) < rtree.size_bytes() as f64 * 1.6,
+            "metadata overhead should be modest: {} vs {}",
+            flat.size_bytes(),
+            rtree.size_bytes()
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! **FLAT** — the paper's contribution: a two-phase spatial index whose
+//! range-query cost is independent of data density.
+//!
+//! R-trees on dense data develop *overlap*: many directory rectangles cover
+//! any given point, so a range query must descend many root-to-leaf paths
+//! (Figures 2–4 of the paper). FLAT sidesteps the directory almost
+//! entirely:
+//!
+//! 1. **Seed phase** — a small R-tree (the *seed index*) is searched for
+//!    *one* object page intersecting the query. Finding one arbitrary page
+//!    does not suffer from overlap: a single path suffices, so the cost is
+//!    the tree height.
+//! 2. **Crawl phase** — from that page, a breadth-first search follows
+//!    precomputed *neighborhood pointers* between pages, reading exactly
+//!    the object pages whose page MBR intersects the query. The cost is
+//!    proportional to the result size.
+//!
+//! Construction (Algorithm 1) is a bulkload: an STR sort-tile pass packs
+//! elements onto object pages and simultaneously *tiles* space into
+//! partitions (one per page) with two invariants — no empty space between
+//! partitions, and each partition MBR encloses its page MBR — that make
+//! the crawl exhaustive (Figures 8/9). A temporary R-tree computes which
+//! partitions intersect which; those are the neighbor pointers, stored in
+//! per-page *metadata records* packed into the seed tree's leaves.
+//!
+//! # Crate layout
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`partition`] | §V-A, Alg. 1 | STR tiling, stretching, invariants |
+//! | [`neighbors`] | §V-A, Alg. 1 | neighbor computation via temp R-tree |
+//! | [`meta`] | §V-B.2 | metadata records, seed-leaf page format |
+//! | `index` (re-exported) | §V | [`FlatIndex::build`] |
+//! | `query` (re-exported) | §V-B.1, §VI, Alg. 2 | seed + crawl |
+//!
+//! # Example
+//!
+//! ```
+//! use flat_core::{FlatIndex, FlatOptions};
+//! use flat_geom::{Aabb, Point3};
+//! use flat_rtree::Entry;
+//! use flat_storage::{BufferPool, MemStore};
+//!
+//! // One thousand unit boxes along the diagonal.
+//! let entries: Vec<Entry> = (0..1000)
+//!     .map(|i| Entry::new(i, Aabb::cube(Point3::splat(i as f64), 1.0)))
+//!     .collect();
+//!
+//! let mut pool = BufferPool::new(MemStore::new(), 4096);
+//! let (index, stats) = FlatIndex::build(&mut pool, entries, FlatOptions::default()).unwrap();
+//! assert!(stats.num_partitions > 0);
+//!
+//! let query = Aabb::cube(Point3::splat(500.0), 20.0);
+//! let hits = index.range_query(&mut pool, &query).unwrap();
+//! assert!(!hits.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod index;
+pub mod meta;
+pub mod neighbors;
+pub mod partition;
+mod persist;
+mod query;
+
+pub use index::{BuildStats, FlatIndex, FlatOptions, MetaOrder};
+pub use query::QueryStats;

@@ -1,0 +1,199 @@
+//! Algorithm 1, part two: neighborhood computation.
+//!
+//! "All partition MBRs are inserted into a temporary R-Tree, used solely to
+//! compute the neighborhood information. Finally, for each partition, a
+//! range query with the partition MBR is executed, and all intersecting
+//! partitions, the neighbors, are retrieved" (§V-A).
+//!
+//! The temporary tree lives in a throwaway in-memory pool and is dropped
+//! when the function returns; only the neighbor lists survive, exactly as
+//! in the paper.
+
+use crate::partition::Partition;
+use flat_geom::Aabb;
+use flat_rtree::{BulkLoad, Entry, LeafLayout, RTree, RTreeConfig};
+use flat_storage::{BufferPool, MemStore, StorageError};
+
+/// Fills `partition.neighbors` for every partition: partition `j` is a
+/// neighbor of `i` iff `i ≠ j` and their partition MBRs intersect (closed
+/// boxes — face-adjacent tiles are neighbors, matching the paper's
+/// "adjacent to or overlaps with").
+///
+/// Returns the total number of neighbor pointers created (the quantity
+/// Figures 20/21 characterize).
+pub fn compute_neighbors(partitions: &mut [Partition]) -> Result<u64, StorageError> {
+    if partitions.is_empty() {
+        return Ok(0);
+    }
+    // Temporary R-tree over the partition MBRs, payload = partition index.
+    let entries: Vec<Entry> = partitions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Entry::new(i as u64, p.partition_mbr))
+        .collect();
+    let mut pool = BufferPool::new(MemStore::new(), usize::MAX >> 1);
+    let config = RTreeConfig { layout: LeafLayout::WithIds, ..RTreeConfig::default() };
+    let tree = RTree::bulk_load(&mut pool, entries, BulkLoad::Str, config)?;
+
+    let mut total = 0u64;
+    for (i, partition) in partitions.iter_mut().enumerate() {
+        let query: Aabb = partition.partition_mbr;
+        let mut neighbors: Vec<u32> = tree
+            .range_query(&mut pool, &query)?
+            .into_iter()
+            .map(|h| h.id as u32)
+            .filter(|&j| j != i as u32)
+            .collect();
+        neighbors.sort_unstable();
+        total += neighbors.len() as u64;
+        partition.neighbors = neighbors;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+    use flat_geom::Point3;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid_partitions(side: usize) -> Vec<Partition> {
+        // side³ unit tiles forming an exact grid; page MBR = small box in
+        // the tile center so no stretching happens.
+        let mut parts = Vec::new();
+        for x in 0..side {
+            for y in 0..side {
+                for z in 0..side {
+                    let min = Point3::new(x as f64, y as f64, z as f64);
+                    let tile = Aabb::new(min, min + Point3::splat(1.0));
+                    let inner = Aabb::cube(tile.center(), 0.2);
+                    parts.push(Partition {
+                        elements: vec![Entry::new(0, inner)],
+                        page_mbr: inner,
+                        partition_mbr: tile,
+                        neighbors: Vec::new(),
+                    });
+                }
+            }
+        }
+        parts
+    }
+
+    #[test]
+    fn grid_interior_cell_has_26_neighbors() {
+        let mut parts = grid_partitions(3);
+        compute_neighbors(&mut parts).unwrap();
+        // Index of the center cell (1,1,1) in x-major order.
+        let center = 9 + 3 + 1; // cell (1,1,1) in x-major order
+        assert_eq!(parts[center].neighbors.len(), 26, "3³ grid center touches all others");
+        // A corner touches 7 others.
+        assert_eq!(parts[0].neighbors.len(), 7);
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let entries: Vec<Entry> = (0..5000)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..50.0),
+                    rng.gen_range(0.0..50.0),
+                    rng.gen_range(0.0..50.0),
+                );
+                Entry::new(i, Aabb::cube(c, 0.3))
+            })
+            .collect();
+        let mut parts = partition(entries, 85, None);
+        compute_neighbors(&mut parts).unwrap();
+        for (i, p) in parts.iter().enumerate() {
+            for &j in &p.neighbors {
+                assert!(
+                    parts[j as usize].neighbors.contains(&(i as u32)),
+                    "asymmetric neighbors: {i} -> {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_match_brute_force_intersection() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let entries: Vec<Entry> = (0..2000)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..30.0),
+                    rng.gen_range(0.0..30.0),
+                    rng.gen_range(0.0..30.0),
+                );
+                Entry::new(i, Aabb::cube(c, 0.5))
+            })
+            .collect();
+        let mut parts = partition(entries, 50, None);
+        compute_neighbors(&mut parts).unwrap();
+        for i in 0..parts.len() {
+            let expected: Vec<u32> = (0..parts.len())
+                .filter(|&j| {
+                    j != i && parts[i].partition_mbr.intersects(&parts[j].partition_mbr)
+                })
+                .map(|j| j as u32)
+                .collect();
+            assert_eq!(parts[i].neighbors, expected, "partition {i}");
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut parts = grid_partitions(2);
+        compute_neighbors(&mut parts).unwrap();
+        for (i, p) in parts.iter().enumerate() {
+            assert!(!p.neighbors.contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn single_partition_has_no_neighbors() {
+        let mut parts = grid_partitions(1);
+        let total = compute_neighbors(&mut parts).unwrap();
+        assert_eq!(total, 0);
+        assert!(parts[0].neighbors.is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut parts: Vec<Partition> = Vec::new();
+        assert_eq!(compute_neighbors(&mut parts).unwrap(), 0);
+    }
+
+    #[test]
+    fn bigger_partitions_mean_more_pointers() {
+        // The Fig 21 mechanism: inflate partition MBRs and the pointer
+        // count grows.
+        let mut rng = StdRng::seed_from_u64(10);
+        let entries: Vec<Entry> = (0..4000)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..40.0),
+                    rng.gen_range(0.0..40.0),
+                    rng.gen_range(0.0..40.0),
+                );
+                Entry::new(i, Aabb::cube(c, 0.2))
+            })
+            .collect();
+        let base = partition(entries, 85, None);
+
+        let mut small = base.clone();
+        let total_small = compute_neighbors(&mut small).unwrap();
+
+        let mut big = base;
+        for p in &mut big {
+            p.partition_mbr = p.partition_mbr.scale_volume(3.0);
+        }
+        let total_big = compute_neighbors(&mut big).unwrap();
+        assert!(
+            total_big > total_small,
+            "inflated partitions must intersect more: {total_big} vs {total_small}"
+        );
+    }
+}

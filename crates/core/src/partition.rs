@@ -1,0 +1,328 @@
+//! Algorithm 1, part one: STR partitioning with tiling partition MBRs.
+//!
+//! The paper's Algorithm 1 sorts the elements on the x coordinate of their
+//! centers, cuts them into `pn = ⌈(n/pagesize)^(1/3)⌉` slabs, re-sorts and
+//! cuts each slab along y, then along z, producing one partition (= one
+//! object page) per final chunk. Two properties must hold for the crawl
+//! phase to be correct (§V-A, §VI):
+//!
+//! 1. **No empty space** — the union of all partition MBRs covers the whole
+//!    domain. We guarantee this constructively: slab/run/chunk boundaries
+//!    are planes spanning the *entire* domain cross-section, so the tiles
+//!    form a gap-free hierarchical grid.
+//! 2. **Partition MBR ⊇ page MBR** — each tile is stretched to contain the
+//!    tight bounding box of its elements (elements can straddle tile
+//!    boundaries because tiles cut by *centers*).
+
+use flat_geom::{Aabb, Axis};
+use flat_rtree::Entry;
+
+/// One partition: the elements of one object page plus the two MBRs FLAT
+/// stores for it.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Elements assigned to this partition (at most the page capacity).
+    pub elements: Vec<Entry>,
+    /// Tight bounding box of `elements` — the *page MBR*.
+    pub page_mbr: Aabb,
+    /// The space tile, stretched to contain `page_mbr` — the *partition
+    /// MBR*.
+    pub partition_mbr: Aabb,
+    /// Indexes (into the partition vector) of the neighboring partitions;
+    /// empty until neighbor computation runs.
+    pub neighbors: Vec<u32>,
+}
+
+impl Partition {
+    /// `true` if both crawl-phase invariants hold for this partition in
+    /// isolation (the global no-empty-space property is checked by
+    /// [`verify_tiling`]).
+    pub fn invariants_hold(&self) -> bool {
+        self.partition_mbr.contains(&self.page_mbr)
+            && self
+                .elements
+                .iter()
+                .all(|e| self.page_mbr.contains(&e.mbr))
+    }
+}
+
+/// Splits sorted `items` into `parts` consecutive chunks of near-equal
+/// size, returning the chunk boundaries as center-coordinate cut planes.
+///
+/// Returns `(chunks, cuts)` where `cuts[i]` separates chunk `i` from chunk
+/// `i+1` (a value between the two adjacent centers).
+fn chop(
+    mut items: Vec<Entry>,
+    axis: Axis,
+    chunk_size: usize,
+) -> (Vec<Vec<Entry>>, Vec<f64>) {
+    items.sort_by(|a, b| {
+        a.mbr
+            .center()
+            .coord(axis)
+            .total_cmp(&b.mbr.center().coord(axis))
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    let mut chunks = Vec::new();
+    let mut cuts = Vec::new();
+    let mut iter = items.into_iter().peekable();
+    loop {
+        let chunk: Vec<Entry> = iter.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        if let Some(next) = iter.peek() {
+            let last = chunk.last().expect("chunk is non-empty").mbr.center().coord(axis);
+            let first = next.mbr.center().coord(axis);
+            cuts.push((last + first) / 2.0);
+        }
+        chunks.push(chunk);
+    }
+    (chunks, cuts)
+}
+
+/// Builds the tile boxes for a sequence of chunks cut along `axis` within
+/// `bounds`: tile `i` spans `bounds` except along `axis`, where it covers
+/// `[cut[i-1], cut[i]]` (domain edges at the ends).
+fn tiles_for(bounds: &Aabb, axis: Axis, cuts: &[f64], count: usize) -> Vec<Aabb> {
+    debug_assert_eq!(cuts.len() + 1, count);
+    let mut tiles = Vec::with_capacity(count);
+    let mut lo = bounds.min.coord(axis);
+    for i in 0..count {
+        let hi = if i < cuts.len() { cuts[i] } else { bounds.max.coord(axis) };
+        let mut tile = *bounds;
+        tile.min = tile.min.with_coord(axis, lo.min(hi));
+        tile.max = tile.max.with_coord(axis, hi.max(lo));
+        tiles.push(tile);
+        lo = hi;
+    }
+    tiles
+}
+
+/// Runs the paper's Algorithm 1 partitioning step.
+///
+/// * `capacity` — maximum elements per partition (the object-page
+///   capacity; 85 for the paper's layout).
+/// * `domain` — the space the tiling must cover. Defaults to the union of
+///   all element MBRs. Queries outside the domain may crawl incompletely,
+///   so pass the full dataset domain when elements do not span it.
+///
+/// Neighbor lists are left empty; fill them with
+/// [`crate::neighbors::compute_neighbors`].
+///
+/// # Panics
+/// Panics if `capacity` is zero.
+pub fn partition(entries: Vec<Entry>, capacity: usize, domain: Option<Aabb>) -> Vec<Partition> {
+    assert!(capacity > 0, "partition capacity must be positive");
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let bounds = domain.unwrap_or_else(|| Aabb::union_all(entries.iter().map(|e| e.mbr)));
+    let n = entries.len();
+    let pages = n.div_ceil(capacity);
+    // pn partitions per dimension (Algorithm 1: pn = ⌈(size/pagesize)^⅓⌉).
+    let pn = (pages as f64).cbrt().ceil() as usize;
+    let slab_size = n.div_ceil(pn);
+
+    let mut partitions = Vec::with_capacity(pages);
+
+    let (slabs, x_cuts) = chop(entries, Axis::X, slab_size);
+    let x_tiles = tiles_for(&bounds, Axis::X, &x_cuts, slabs.len());
+
+    for (slab, x_tile) in slabs.into_iter().zip(x_tiles) {
+        let run_size = slab.len().div_ceil(pn);
+        let (runs, y_cuts) = chop(slab, Axis::Y, run_size);
+        let y_tiles = tiles_for(&x_tile, Axis::Y, &y_cuts, runs.len());
+
+        for (run, y_tile) in runs.into_iter().zip(y_tiles) {
+            // The final cut uses the page capacity directly, so partitions
+            // never exceed it even when the ceiling arithmetic above is
+            // loose.
+            let (chunks, z_cuts) = chop(run, Axis::Z, capacity);
+            let z_tiles = tiles_for(&y_tile, Axis::Z, &z_cuts, chunks.len());
+
+            for (chunk, z_tile) in chunks.into_iter().zip(z_tiles) {
+                let page_mbr = Aabb::union_all(chunk.iter().map(|e| e.mbr));
+                let mut partition_mbr = z_tile;
+                // Algorithm 1: "stretch partitionMBR to contain pageMBR".
+                partition_mbr.stretch_to_contain(&page_mbr);
+                partitions.push(Partition {
+                    elements: chunk,
+                    page_mbr,
+                    partition_mbr,
+                    neighbors: Vec::new(),
+                });
+            }
+        }
+    }
+    partitions
+}
+
+/// Verifies the global *no empty space* property: every probe point of a
+/// regular `steps³` grid over `domain` must fall inside at least one
+/// partition MBR. Used by tests (a full coverage proof would be an
+/// arrangement computation; a dense probe grid catches real gaps reliably).
+pub fn verify_tiling(partitions: &[Partition], domain: &Aabb, steps: usize) -> Result<(), String> {
+    let e = domain.extents();
+    for i in 0..steps {
+        for j in 0..steps {
+            for k in 0..steps {
+                let p = flat_geom::Point3::new(
+                    domain.min.x + e.x * (i as f64 + 0.5) / steps as f64,
+                    domain.min.y + e.y * (j as f64 + 0.5) / steps as f64,
+                    domain.min.z + e.z * (k as f64 + 0.5) / steps as f64,
+                );
+                if !partitions.iter().any(|part| part.partition_mbr.contains_point(&p)) {
+                    return Err(format!("probe point {p} is not covered by any partition"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_geom::Point3;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_entries(n: usize, seed: u64) -> Vec<Entry> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                );
+                Entry::new(i as u64, Aabb::centered(c, Point3::splat(rng.gen_range(0.01..0.8))))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partitions_respect_capacity_and_lose_nothing() {
+        let entries = random_entries(10_000, 1);
+        let parts = partition(entries.clone(), 85, None);
+        let mut ids = Vec::new();
+        for p in &parts {
+            assert!(!p.elements.is_empty());
+            assert!(p.elements.len() <= 85);
+            ids.extend(p.elements.iter().map(|e| e.id));
+        }
+        ids.sort_unstable();
+        let expected: Vec<u64> = (0..10_000).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn partition_count_is_near_minimal() {
+        let entries = random_entries(10_000, 2);
+        let parts = partition(entries, 85, None);
+        let min = 10_000usize.div_ceil(85);
+        assert!(parts.len() >= min);
+        assert!(parts.len() <= min + min / 2, "{} partitions for minimum {min}", parts.len());
+    }
+
+    #[test]
+    fn both_invariants_hold_per_partition() {
+        let entries = random_entries(5000, 3);
+        let parts = partition(entries, 85, None);
+        for (i, p) in parts.iter().enumerate() {
+            assert!(p.invariants_hold(), "partition {i} violates invariants");
+        }
+    }
+
+    #[test]
+    fn tiling_covers_the_domain() {
+        let entries = random_entries(5000, 4);
+        let domain = Aabb::new(Point3::splat(0.0), Point3::splat(100.0));
+        let parts = partition(entries, 85, Some(domain));
+        verify_tiling(&parts, &domain, 12).unwrap();
+    }
+
+    #[test]
+    fn tiling_covers_even_with_clustered_data() {
+        // All data in one corner: tiles must still span the full domain.
+        let mut rng = StdRng::seed_from_u64(5);
+        let entries: Vec<Entry> = (0..2000)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..5.0),
+                    rng.gen_range(0.0..5.0),
+                    rng.gen_range(0.0..5.0),
+                );
+                Entry::new(i, Aabb::cube(c, 0.1))
+            })
+            .collect();
+        let domain = Aabb::new(Point3::splat(0.0), Point3::splat(100.0));
+        let parts = partition(entries, 50, Some(domain));
+        verify_tiling(&parts, &domain, 10).unwrap();
+    }
+
+    #[test]
+    fn straddling_elements_force_stretching() {
+        // Big elements guarantee page MBRs poke out of their tiles, so
+        // stretching must kick in and keep invariant 2.
+        let mut rng = StdRng::seed_from_u64(6);
+        let entries: Vec<Entry> = (0..3000)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                );
+                Entry::new(i, Aabb::cube(c, 10.0))
+            })
+            .collect();
+        let parts = partition(entries, 40, None);
+        assert!(parts.iter().all(|p| p.partition_mbr.contains(&p.page_mbr)));
+        // At least one partition must actually have stretched beyond its
+        // tile (page MBR wider than the tile's share of space).
+        let total_tile_volume: f64 = parts.iter().map(|p| p.partition_mbr.volume()).sum();
+        let domain_volume = Aabb::union_all(parts.iter().map(|p| p.partition_mbr)).volume();
+        assert!(total_tile_volume > domain_volume * 1.01, "no overlap ⇒ nothing stretched");
+    }
+
+    #[test]
+    fn single_partition_for_small_input() {
+        let entries = random_entries(10, 7);
+        let parts = partition(entries, 85, None);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].elements.len(), 10);
+    }
+
+    #[test]
+    fn empty_input_gives_no_partitions() {
+        assert!(partition(Vec::new(), 85, None).is_empty());
+    }
+
+    #[test]
+    fn duplicate_centers_are_partitioned_deterministically() {
+        let entries: Vec<Entry> =
+            (0..500).map(|i| Entry::new(i, Aabb::cube(Point3::splat(5.0), 1.0))).collect();
+        let a = partition(entries.clone(), 85, None);
+        let b = partition(entries, 85, None);
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(b.iter()) {
+            let ia: Vec<u64> = pa.elements.iter().map(|e| e.id).collect();
+            let ib: Vec<u64> = pb.elements.iter().map(|e| e.id).collect();
+            assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn verify_tiling_detects_gaps() {
+        // Fabricate a partition set with a hole.
+        let domain = Aabb::new(Point3::splat(0.0), Point3::splat(10.0));
+        let p = Partition {
+            elements: vec![Entry::new(0, Aabb::cube(Point3::splat(1.0), 0.5))],
+            page_mbr: Aabb::cube(Point3::splat(1.0), 0.5),
+            partition_mbr: Aabb::new(Point3::splat(0.0), Point3::splat(2.0)),
+            neighbors: Vec::new(),
+        };
+        assert!(verify_tiling(&[p], &domain, 5).is_err());
+    }
+}

@@ -1,0 +1,461 @@
+//! FLAT query evaluation: the seed phase and the breadth-first crawl
+//! (§V-B.1 and §VI, Algorithm 2).
+
+use crate::index::FlatIndex;
+use crate::meta::{decode_meta_record, meta_leaf_len, MetaRecordId};
+use flat_geom::Aabb;
+use flat_rtree::node::{decode_inner, decode_leaf};
+use flat_rtree::{Hit, LeafLayout};
+use flat_storage::{BufferPool, PageId, PageKind, PageStore, StorageError};
+use std::collections::{HashSet, VecDeque};
+
+/// Per-query counters (the CPU/bookkeeping side of §VII-E.2; the I/O side
+/// is in the pool's [`flat_storage::IoStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Elements returned.
+    pub result_count: u64,
+    /// Metadata records dequeued and processed by the crawl.
+    pub records_processed: u64,
+    /// Object pages read (logically) across both phases.
+    pub object_pages_read: u64,
+    /// Object pages probed by the seed phase before one with a matching
+    /// element was found.
+    pub seed_probe_pages: u64,
+    /// High-water mark of the BFS queue — the paper reports the crawl's
+    /// bookkeeping at "0.9 % of the size of the result set".
+    pub max_queue_len: usize,
+    /// Total records ever enqueued (size of the visited/seen set).
+    pub records_seen: u64,
+    /// MBR–query intersection tests performed.
+    pub mbr_tests: u64,
+}
+
+impl QueryStats {
+    /// Approximate bytes of crawl bookkeeping (queue + visited set), the
+    /// quantity §VII-E.2 relates to the result-set size.
+    pub fn bookkeeping_bytes(&self) -> u64 {
+        let record_ref = std::mem::size_of::<MetaRecordId>() as u64;
+        self.records_seen * record_ref + self.max_queue_len as u64 * record_ref
+    }
+}
+
+impl FlatIndex {
+    /// Evaluates a range query: seed phase then breadth-first crawl.
+    pub fn range_query<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        query: &Aabb,
+    ) -> Result<Vec<Hit>, StorageError> {
+        let mut stats = QueryStats::default();
+        self.range_query_with_stats(pool, query, &mut stats)
+    }
+
+    /// Like [`FlatIndex::range_query`], accumulating counters into `stats`.
+    pub fn range_query_with_stats<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        query: &Aabb,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<Hit>, StorageError> {
+        let mut hits = Vec::new();
+        let Some(seed) = self.seed(pool, query, stats)? else {
+            return Ok(hits); // "If no object page can be found, then the
+                             // query has no result" (§V-B.1).
+        };
+        self.crawl(pool, query, seed, stats, &mut hits)?;
+        stats.result_count = hits.len() as u64;
+        Ok(hits)
+    }
+
+    /// The seed phase (§V-B.1): walk a single path of the seed tree
+    /// (early-exit DFS), reading candidate object pages until one actually
+    /// contains an element intersecting the query.
+    fn seed<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        query: &Aabb,
+        stats: &mut QueryStats,
+    ) -> Result<Option<MetaRecordId>, StorageError> {
+        let Some(root) = self.seed_root else { return Ok(None) };
+        let mut stack = vec![(root, self.seed_height)];
+        while let Some((page_id, level)) = stack.pop() {
+            if level == 1 {
+                // A metadata leaf: probe its records.
+                let count = {
+                    let page = pool.read(page_id, PageKind::SeedLeaf)?;
+                    meta_leaf_len(page)?
+                };
+                for slot in 0..count as u16 {
+                    let record = {
+                        let page = pool.read(page_id, PageKind::SeedLeaf)?;
+                        decode_meta_record(page, slot)?
+                    };
+                    // Continuation chunks are not crawl entry points: a
+                    // crawl seeded mid-chain would only reach the tail of
+                    // the over-full neighbor list.
+                    if record.is_continuation {
+                        continue;
+                    }
+                    stats.mbr_tests += 1;
+                    if !record.page_mbr.intersects(query) {
+                        continue;
+                    }
+                    // Candidate: check the object page for a real element.
+                    stats.object_pages_read += 1;
+                    let found = {
+                        let page = pool.read(record.object_page, PageKind::ObjectPage)?;
+                        let (_, entries) = decode_leaf(page)?;
+                        stats.mbr_tests += entries.len() as u64;
+                        entries.iter().any(|e| query.intersects(&e.mbr))
+                    };
+                    if found {
+                        return Ok(Some(MetaRecordId { page: page_id, slot }));
+                    }
+                    stats.seed_probe_pages += 1;
+                }
+            } else {
+                let page = pool.read(page_id, PageKind::SeedInner)?;
+                for child in decode_inner(page)? {
+                    stats.mbr_tests += 1;
+                    if query.intersects(&child.mbr) {
+                        stack.push((child.page, level - 1));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// The crawl phase (Algorithm 2): breadth-first search over the
+    /// neighborhood graph.
+    ///
+    /// One deliberate fix to the paper's pseudocode: Algorithm 2 only
+    /// inserts a page into `visited` when its page MBR intersects the
+    /// query, which would let two mutually neighboring records with
+    /// non-intersecting page MBRs (but intersecting partition MBRs)
+    /// re-enqueue each other forever. We track *enqueued* records instead
+    /// ("seen"), which preserves the intended I/O behaviour — every record
+    /// is processed at most once, every object page read at most once —
+    /// and guarantees termination.
+    fn crawl<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        query: &Aabb,
+        seed: MetaRecordId,
+        stats: &mut QueryStats,
+        hits: &mut Vec<Hit>,
+    ) -> Result<(), StorageError> {
+        let mut seen: HashSet<MetaRecordId> = HashSet::new();
+        let mut queue: VecDeque<MetaRecordId> = VecDeque::new();
+        seen.insert(seed);
+        queue.push_back(seed);
+
+        while let Some(addr) = queue.pop_front() {
+            stats.max_queue_len = stats.max_queue_len.max(queue.len() + 1);
+            stats.records_processed += 1;
+            let record = {
+                let page = pool.read(addr.page, PageKind::SeedLeaf)?;
+                decode_meta_record(page, addr.slot)?
+            };
+
+            // "the object page is only read from disk if M's page MBR
+            // intersects with the query" (§VI).
+            stats.mbr_tests += 1;
+            if record.page_mbr.intersects(query) {
+                stats.object_pages_read += 1;
+                let page = pool.read(record.object_page, PageKind::ObjectPage)?;
+                let (layout, entries) = decode_leaf(page)?;
+                for (slot, entry) in entries.iter().enumerate() {
+                    stats.mbr_tests += 1;
+                    if query.intersects(&entry.mbr) {
+                        let id = match layout {
+                            LeafLayout::MbrOnly => (record.object_page.0 << 16) | entry.id,
+                            LeafLayout::WithIds => entry.id,
+                        };
+                        hits.push(Hit {
+                            mbr: entry.mbr,
+                            id,
+                            page: record.object_page,
+                            slot: slot as u16,
+                        });
+                    }
+                }
+            }
+
+            // "the neighbor pointers stored in a metadata record M are only
+            // followed if M's partition MBR intersects with the query"
+            // (§VI).
+            stats.mbr_tests += 1;
+            if record.partition_mbr.intersects(query) {
+                for neighbor in record.neighbors {
+                    if seen.insert(neighbor) {
+                        queue.push_back(neighbor);
+                    }
+                }
+                // Over-full neighbor lists spill into continuation records
+                // (see `meta`); follow the chain, charging the reads like
+                // any other metadata access.
+                let mut next = record.continuation;
+                while let Some(addr) = next {
+                    let chunk = {
+                        let page = pool.read(addr.page, PageKind::SeedLeaf)?;
+                        decode_meta_record(page, addr.slot)?
+                    };
+                    for neighbor in chunk.neighbors {
+                        if seen.insert(neighbor) {
+                            queue.push_back(neighbor);
+                        }
+                    }
+                    next = chunk.continuation;
+                }
+            }
+        }
+        stats.records_seen = seen.len() as u64;
+        Ok(())
+    }
+
+    /// Runs only the seed phase, returning the address of the seed record
+    /// (for instrumentation and the seed-cost experiments).
+    pub fn seed_only<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        query: &Aabb,
+    ) -> Result<Option<(PageId, u16)>, StorageError> {
+        let mut stats = QueryStats::default();
+        Ok(self.seed(pool, query, &mut stats)?.map(|r| (r.page, r.slot)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{FlatIndex, FlatOptions};
+    use flat_geom::Point3;
+    use flat_rtree::Entry;
+    use flat_storage::MemStore;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_entries(n: usize, seed: u64) -> Vec<Entry> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                );
+                Entry::new(i as u64, Aabb::cube(c, rng.gen_range(0.05..0.5)))
+            })
+            .collect()
+    }
+
+    fn brute_force(entries: &[Entry], q: &Aabb) -> Vec<Aabb> {
+        let mut v: Vec<Aabb> =
+            entries.iter().filter(|e| q.intersects(&e.mbr)).map(|e| e.mbr).collect();
+        v.sort_by(|a, b| {
+            a.min.x.total_cmp(&b.min.x).then(a.min.y.total_cmp(&b.min.y)).then(
+                a.min.z.total_cmp(&b.min.z).then(a.max.x.total_cmp(&b.max.x)),
+            )
+        });
+        v
+    }
+
+    fn build(
+        n: usize,
+        seed: u64,
+        options: FlatOptions,
+    ) -> (BufferPool<MemStore>, FlatIndex, Vec<Entry>) {
+        let entries = random_entries(n, seed);
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let (index, _) = FlatIndex::build(&mut pool, entries.clone(), options).unwrap();
+        (pool, index, entries)
+    }
+
+    #[test]
+    fn flat_results_match_brute_force() {
+        let (mut pool, index, entries) = build(20_000, 101, FlatOptions::default());
+        for (c, side) in [(10.0, 4.0), (50.0, 15.0), (90.0, 2.0), (30.0, 40.0)] {
+            let q = Aabb::cube(Point3::splat(c), side);
+            let mut got: Vec<Aabb> = index
+                .range_query(&mut pool, &q)
+                .unwrap()
+                .iter()
+                .map(|h| h.mbr)
+                .collect();
+            got.sort_by(|a, b| {
+                a.min.x.total_cmp(&b.min.x).then(a.min.y.total_cmp(&b.min.y)).then(
+                    a.min.z.total_cmp(&b.min.z).then(a.max.x.total_cmp(&b.max.x)),
+                )
+            });
+            assert_eq!(got, brute_force(&entries, &q), "query at {c} side {side}");
+        }
+    }
+
+    #[test]
+    fn empty_region_returns_nothing() {
+        // Data only fills [0,100]³; query far outside the domain (the
+        // tiling doesn't even cover it).
+        let (mut pool, index, _) = build(5000, 103, FlatOptions::default());
+        let q = Aabb::cube(Point3::splat(1000.0), 5.0);
+        assert!(index.range_query(&mut pool, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hole_inside_domain_returns_nothing_without_crashing() {
+        // Two clusters with an empty corridor between them; a query inside
+        // the corridor intersects tiles but no elements.
+        let mut entries = Vec::new();
+        let mut rng = StdRng::seed_from_u64(104);
+        for i in 0..4000u64 {
+            let x = if i % 2 == 0 { rng.gen_range(0.0..30.0) } else { rng.gen_range(70.0..100.0) };
+            let c = Point3::new(x, rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            entries.push(Entry::new(i, Aabb::cube(c, 0.3)));
+        }
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let (index, _) =
+            FlatIndex::build(&mut pool, entries.clone(), FlatOptions::default()).unwrap();
+        let q = Aabb::cube(Point3::new(50.0, 50.0, 50.0), 6.0);
+        let expected = brute_force(&entries, &q);
+        let got = index.range_query(&mut pool, &q).unwrap();
+        assert_eq!(got.len(), expected.len());
+    }
+
+    #[test]
+    fn crawl_crosses_concave_regions() {
+        // The problem crawling approaches like DLS cannot handle (§II):
+        // the query spans two disconnected clusters. FLAT's tiling must
+        // bridge the gap because partitions tile the *space*, not the data.
+        let mut entries = Vec::new();
+        let mut rng = StdRng::seed_from_u64(105);
+        for i in 0..3000u64 {
+            let x = if i % 2 == 0 { rng.gen_range(0.0..20.0) } else { rng.gen_range(80.0..100.0) };
+            let c = Point3::new(x, rng.gen_range(40.0..60.0), rng.gen_range(40.0..60.0));
+            entries.push(Entry::new(i, Aabb::cube(c, 0.3)));
+        }
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let (index, _) =
+            FlatIndex::build(&mut pool, entries.clone(), FlatOptions::default()).unwrap();
+        // Query spanning both clusters and the void between them.
+        let q = Aabb::from_corners(Point3::new(10.0, 45.0, 45.0), Point3::new(90.0, 55.0, 55.0));
+        let expected = brute_force(&entries, &q);
+        let got = index.range_query(&mut pool, &q).unwrap();
+        assert_eq!(got.len(), expected.len(), "crawl failed to cross the concave gap");
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn whole_domain_query_returns_everything_once() {
+        let (mut pool, index, entries) = build(10_000, 106, FlatOptions::default());
+        let q = Aabb::cube(Point3::splat(50.0), 250.0);
+        let hits = index.range_query(&mut pool, &q).unwrap();
+        assert_eq!(hits.len(), entries.len());
+        let mut ids: Vec<u64> = hits.iter().map(|h| h.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), entries.len(), "duplicate results");
+    }
+
+    #[test]
+    fn stats_reflect_the_workload() {
+        let (mut pool, index, _) = build(20_000, 107, FlatOptions::default());
+        let mut stats = QueryStats::default();
+        let q = Aabb::cube(Point3::splat(50.0), 20.0);
+        let hits = index.range_query_with_stats(&mut pool, &q, &mut stats).unwrap();
+        assert_eq!(stats.result_count, hits.len() as u64);
+        assert!(stats.records_processed > 0);
+        assert!(stats.object_pages_read > 0);
+        assert!(stats.max_queue_len > 0);
+        assert!(stats.mbr_tests > stats.records_processed);
+        assert!(stats.bookkeeping_bytes() > 0);
+    }
+
+    #[test]
+    fn object_pages_are_read_at_most_once_per_query() {
+        let (mut pool, index, _) = build(20_000, 108, FlatOptions::default());
+        pool.clear_cache();
+        pool.reset_stats();
+        let q = Aabb::cube(Point3::splat(50.0), 25.0);
+        let _ = index.range_query(&mut pool, &q).unwrap();
+        let stats = pool.stats();
+        // Physical object reads can't exceed the number of object pages —
+        // and with the seen-set, logical reads equal physical reads plus
+        // seed-phase cache hits only.
+        assert!(
+            stats.kind(PageKind::ObjectPage).physical_reads <= index.num_object_pages(),
+            "an object page was read twice from disk"
+        );
+    }
+
+    #[test]
+    fn with_ids_layout_returns_application_ids() {
+        let (mut pool, index, entries) =
+            build(5000, 109, FlatOptions { layout: LeafLayout::WithIds, ..Default::default() });
+        let q = Aabb::cube(Point3::splat(50.0), 250.0);
+        let mut ids: Vec<u64> =
+            index.range_query(&mut pool, &q).unwrap().iter().map(|h| h.id).collect();
+        ids.sort_unstable();
+        let mut expected: Vec<u64> = entries.iter().map(|e| e.id).collect();
+        expected.sort_unstable();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn seed_only_finds_a_record_for_nonempty_queries() {
+        let (mut pool, index, _) = build(10_000, 110, FlatOptions::default());
+        let q = Aabb::cube(Point3::splat(40.0), 10.0);
+        assert!(index.seed_only(&mut pool, &q).unwrap().is_some());
+        let empty = Aabb::cube(Point3::splat(-500.0), 1.0);
+        assert!(index.seed_only(&mut pool, &empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn point_query_works() {
+        let (mut pool, index, entries) = build(10_000, 111, FlatOptions::default());
+        // Use an element center so the query is guaranteed non-empty.
+        let target = entries[1234].mbr.center();
+        let q = Aabb::point(target);
+        let expected = brute_force(&entries, &q);
+        let got = index.range_query(&mut pool, &q).unwrap();
+        assert_eq!(got.len(), expected.len());
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn continuation_chains_preserve_correctness() {
+        // A few enormous elements stretch their partitions across the
+        // whole domain, giving them neighbor lists far beyond one page's
+        // capacity — the build must chain records and the crawl must still
+        // return exact results.
+        let mut entries = random_entries(60_000, 112);
+        for i in 0..5u64 {
+            let lo = Point3::splat(1.0 + i as f64);
+            let hi = Point3::splat(99.0 - i as f64);
+            entries.push(Entry::new(70_000 + i, Aabb::from_corners(lo, hi)));
+        }
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let (index, stats) =
+            FlatIndex::build(&mut pool, entries.clone(), FlatOptions::default()).unwrap();
+        let max_single = crate::meta::max_neighbors_per_record() as u32;
+        assert!(
+            stats.neighbor_counts.iter().any(|&c| c > max_single),
+            "test setup must force continuation chains (max count {})",
+            stats.neighbor_counts.iter().max().unwrap()
+        );
+        for (c, side) in [(50.0, 10.0), (20.0, 30.0), (50.0, 250.0)] {
+            let q = Aabb::cube(Point3::splat(c), side);
+            let expected = brute_force(&entries, &q);
+            let got = index.range_query(&mut pool, &q).unwrap();
+            assert_eq!(got.len(), expected.len(), "query at {c} side {side}");
+        }
+    }
+
+    #[test]
+    fn empty_index_answers_queries() {
+        let mut pool = BufferPool::new(MemStore::new(), 16);
+        let (index, _) = FlatIndex::build(&mut pool, Vec::new(), FlatOptions::default()).unwrap();
+        let q = Aabb::cube(Point3::ORIGIN, 10.0);
+        assert!(index.range_query(&mut pool, &q).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Synthetic dataset generators and query workloads for the FLAT
+//! reproduction.
+//!
+//! The paper evaluates on datasets we cannot redistribute (BBP microcircuit
+//! models, Nuage n-body snapshots, the Brain Mesh and the Lucy scan), so
+//! this crate generates *statistically equivalent* stand-ins — each
+//! generator reproduces the property that drives index behaviour:
+//!
+//! | module | paper dataset | salient property |
+//! |---|---|---|
+//! | [`neuron`] | BBP microcircuit (cylinders, §VII-A) | dense, concave, elongated thin elements; density grows by adding neurons at constant volume |
+//! | [`uniform`] | §VII-E synthetic data | uniform element clouds with controlled element volume and aspect ratio |
+//! | [`mesh`] | Brain Mesh / Lucy (§VIII) | dense connected 2-manifold triangle soup |
+//! | [`nbody`] | Nuage dark matter / gas / stars (§VIII) | clustered point data |
+//! | [`workload`] | SN / LSS micro-benchmarks (§VII-A) | fixed-volume random-location random-aspect range queries |
+//!
+//! All generators are deterministic given a seed, and *prefix-stable*: the
+//! first `k` logical units (neurons, clusters, blobs) of a generation are
+//! identical across calls with different totals, which is how the paper's
+//! density sweeps "keep the volume the same but gradually add elements".
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mesh;
+pub mod nbody;
+pub mod neuron;
+pub mod uniform;
+pub mod workload;
+
+use flat_geom::{Aabb, Point3};
+
+/// The paper's brain-model domain: a cube of side 285 µm (§VII-A, "100'000
+/// neurons in a volume of 285 µm³" — the unit refers to the cube side).
+/// Coordinates are in micrometres.
+pub fn bbp_domain() -> Aabb {
+    Aabb::new(Point3::splat(0.0), Point3::splat(285.0))
+}
+
+/// The §VII-E synthetic-data domain: 8 mm³ (a 2 mm-sided cube), in
+/// micrometres.
+pub fn synthetic_domain() -> Aabb {
+    Aabb::new(Point3::splat(0.0), Point3::splat(2000.0))
+}
+
+/// Derives a stream-specific RNG seed so that independent generator parts
+/// (e.g. individual neurons) are reproducible in isolation.
+pub(crate) fn substream(seed: u64, index: u64) -> u64 {
+    // SplitMix64 step — cheap, well-mixed, and stable across platforms.
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_have_expected_sizes() {
+        assert_eq!(bbp_domain().extents(), Point3::splat(285.0));
+        assert_eq!(synthetic_domain().volume(), 8e9); // (2000 µm)³ = 8 mm³
+    }
+
+    #[test]
+    fn substreams_differ_and_are_stable() {
+        let a = substream(42, 0);
+        let b = substream(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, substream(42, 0));
+    }
+}

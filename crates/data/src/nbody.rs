@@ -1,0 +1,236 @@
+//! Clustered particle datasets (the Nuage n-body stand-ins, §VIII).
+//!
+//! The Nuage datasets "model the n-body problem, a simulation of how the
+//! universe evolved since the big bang … spatial information modeled with
+//! vertices representing dark matter, gas and stars". Gravitational
+//! clustering makes such data strongly non-uniform: most particles sit in
+//! dense halos. We reproduce that with Plummer-profile clusters — the
+//! standard analytic halo model — plus a uniform background field.
+
+use crate::substream;
+use flat_geom::{Aabb, Point3};
+use flat_rtree::Entry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the n-body generator.
+#[derive(Debug, Clone)]
+pub struct NBodyConfig {
+    /// Total number of particles.
+    pub particles: usize,
+    /// Number of halos (clusters).
+    pub clusters: usize,
+    /// Fraction of particles in the smooth background instead of halos.
+    pub background_fraction: f64,
+    /// The simulation box.
+    pub domain: Aabb,
+    /// Plummer scale radius as a fraction of the domain edge.
+    pub scale_radius_fraction: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl NBodyConfig {
+    /// A dark-matter-like snapshot: many small dense halos, thin
+    /// background.
+    pub fn dark_matter(particles: usize, seed: u64) -> NBodyConfig {
+        NBodyConfig {
+            particles,
+            clusters: 64,
+            background_fraction: 0.15,
+            domain: Aabb::cube(Point3::splat(0.0), 1000.0),
+            scale_radius_fraction: 0.015,
+            seed,
+        }
+    }
+
+    /// A gas-like snapshot: fewer, fluffier concentrations, more diffuse
+    /// background.
+    pub fn gas(particles: usize, seed: u64) -> NBodyConfig {
+        NBodyConfig {
+            particles,
+            clusters: 24,
+            background_fraction: 0.4,
+            domain: Aabb::cube(Point3::splat(0.0), 1000.0),
+            scale_radius_fraction: 0.05,
+            seed,
+        }
+    }
+
+    /// A star-like snapshot: tight clusters, almost no background.
+    pub fn stars(particles: usize, seed: u64) -> NBodyConfig {
+        NBodyConfig {
+            particles,
+            clusters: 96,
+            background_fraction: 0.05,
+            domain: Aabb::cube(Point3::splat(0.0), 1000.0),
+            scale_radius_fraction: 0.008,
+            seed,
+        }
+    }
+}
+
+/// Generates the particle positions.
+pub fn nbody_points(config: &NBodyConfig) -> Vec<Point3> {
+    assert!(config.clusters > 0, "at least one cluster required");
+    assert!(
+        (0.0..=1.0).contains(&config.background_fraction),
+        "background fraction must be in [0, 1]"
+    );
+    let domain = &config.domain;
+    let edge = domain.extents().x.min(domain.extents().y).min(domain.extents().z);
+    let scale = edge * config.scale_radius_fraction;
+
+    // Cluster centers: one substream per cluster (prefix-stable).
+    let centers: Vec<Point3> = (0..config.clusters)
+        .map(|c| {
+            let mut rng = StdRng::seed_from_u64(substream(config.seed, c as u64));
+            Point3::new(
+                rng.gen_range(domain.min.x..domain.max.x),
+                rng.gen_range(domain.min.y..domain.max.y),
+                rng.gen_range(domain.min.z..domain.max.z),
+            )
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(substream(config.seed, u64::MAX / 2));
+    (0..config.particles)
+        .map(|_| {
+            if rng.gen_bool(config.background_fraction) {
+                Point3::new(
+                    rng.gen_range(domain.min.x..domain.max.x),
+                    rng.gen_range(domain.min.y..domain.max.y),
+                    rng.gen_range(domain.min.z..domain.max.z),
+                )
+            } else {
+                let center = centers[rng.gen_range(0..centers.len())];
+                let p = center + plummer_offset(&mut rng, scale);
+                clamp_to(domain, p)
+            }
+        })
+        .collect()
+}
+
+/// The particles as index entries (degenerate point MBRs, matching the
+/// paper's "vertices").
+pub fn nbody_entries(config: &NBodyConfig) -> Vec<Entry> {
+    nbody_points(config)
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Entry::new(i as u64, Aabb::point(*p)))
+        .collect()
+}
+
+/// Samples a displacement from a Plummer sphere with scale radius `a`,
+/// using the standard inverse-CDF for the radius and an isotropic
+/// direction.
+fn plummer_offset(rng: &mut StdRng, a: f64) -> Point3 {
+    // r = a (u^(-2/3) - 1)^(-1/2), u ∈ (0, 1); clamp the heavy tail.
+    let u: f64 = rng.gen_range(1e-6..1.0);
+    let r = (a / (u.powf(-2.0 / 3.0) - 1.0).sqrt()).min(a * 20.0);
+    // Isotropic direction by rejection sampling.
+    loop {
+        let v = Point3::new(
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        );
+        let len = v.length();
+        if len > 1e-9 && len <= 1.0 {
+            return v * (r / len);
+        }
+    }
+}
+
+fn clamp_to(domain: &Aabb, p: Point3) -> Point3 {
+    Point3::new(
+        p.x.clamp(domain.min.x, domain.max.x),
+        p.y.clamp(domain.min.y, domain.max.y),
+        p.z.clamp(domain.min.z, domain.max.z),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_inside_domain() {
+        let config = NBodyConfig::dark_matter(5000, 3);
+        let points = nbody_points(&config);
+        assert_eq!(points.len(), 5000);
+        for p in &points {
+            assert!(config.domain.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn data_is_clustered_not_uniform() {
+        // Compare the occupancy histogram of an 8×8×8 grid against a
+        // uniform draw: clustered data has far higher maximum cell counts.
+        let config = NBodyConfig::stars(20_000, 5);
+        let points = nbody_points(&config);
+        let cell = |p: &Point3| {
+            let e = config.domain.extents();
+            let gx = (((p.x - config.domain.min.x) / e.x * 8.0) as usize).min(7);
+            let gy = (((p.y - config.domain.min.y) / e.y * 8.0) as usize).min(7);
+            let gz = (((p.z - config.domain.min.z) / e.z * 8.0) as usize).min(7);
+            gx * 64 + gy * 8 + gz
+        };
+        let mut counts = [0usize; 512];
+        for p in &points {
+            counts[cell(p)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let uniform_expectation = 20_000 / 512;
+        assert!(
+            max > uniform_expectation * 5,
+            "max cell {max} not clustered (uniform ≈ {uniform_expectation})"
+        );
+    }
+
+    #[test]
+    fn gas_is_more_diffuse_than_stars() {
+        let stars = nbody_points(&NBodyConfig::stars(10_000, 7));
+        let gas = nbody_points(&NBodyConfig::gas(10_000, 7));
+        // Mean nearest-cluster spread proxy: mean pairwise distance of a
+        // sample. Gas (fluffier halos + more background) spreads wider.
+        let spread = |pts: &[Point3]| -> f64 {
+            let step = pts.len() / 500;
+            let sample: Vec<&Point3> = pts.iter().step_by(step.max(1)).collect();
+            let mut total = 0.0;
+            let mut n = 0.0;
+            for i in 0..sample.len() {
+                for j in i + 1..sample.len() {
+                    total += sample[i].distance(sample[j]);
+                    n += 1.0;
+                }
+            }
+            total / n
+        };
+        assert!(spread(&gas) > spread(&stars));
+    }
+
+    #[test]
+    fn entries_are_points() {
+        let config = NBodyConfig::gas(100, 9);
+        for e in nbody_entries(&config) {
+            assert_eq!(e.mbr.volume(), 0.0);
+            assert_eq!(e.mbr.min, e.mbr.max);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = nbody_points(&NBodyConfig::dark_matter(1000, 11));
+        let b = nbody_points(&NBodyConfig::dark_matter(1000, 11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        let config = NBodyConfig { clusters: 0, ..NBodyConfig::gas(10, 1) };
+        let _ = nbody_points(&config);
+    }
+}

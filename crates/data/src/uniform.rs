@@ -1,0 +1,151 @@
+//! Uniform random element clouds with controlled element volume and aspect
+//! ratio.
+//!
+//! §VII-E of the paper studies FLAT's pointer count on "artificial data
+//! sets with 10 million elements which are uniformly randomly distributed
+//! in a volume of 8 mm³", varying (a) the element volume and (b) the
+//! element aspect ratio ("its length in each dimension is randomly set
+//! between 5 and 35 µm … the lengths on all axes are normalized in order to
+//! obtain elements of equal volume").
+
+use crate::substream;
+use flat_geom::{range_query_with_volume, Aabb, Point3};
+use flat_rtree::Entry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the uniform generator.
+#[derive(Debug, Clone)]
+pub struct UniformConfig {
+    /// Number of elements.
+    pub count: usize,
+    /// The domain element centers are drawn from.
+    pub domain: Aabb,
+    /// Volume of every element.
+    pub element_volume: f64,
+    /// Per-axis length range used to draw the shape before normalizing to
+    /// `element_volume`. `(1.0, 1.0)` yields cubes; the paper's aspect
+    /// experiment uses `(5.0, 35.0)`.
+    pub length_range: (f64, f64),
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl UniformConfig {
+    /// The §VII-E baseline: elements of 18 µm³ in the 8 mm³ domain.
+    /// (`count` is scaled down from the paper's 10 M by the caller.)
+    pub fn paper_baseline(count: usize, seed: u64) -> UniformConfig {
+        UniformConfig {
+            count,
+            domain: crate::synthetic_domain(),
+            element_volume: 18.0,
+            length_range: (1.0, 1.0),
+            seed,
+        }
+    }
+
+    /// Like [`UniformConfig::paper_baseline`] but with the domain edge
+    /// shrunk by ∛(count / 10 M), so the element density in elements per
+    /// µm³ — and with it the partition-size-to-element-size ratio that
+    /// §VII-E studies — matches the paper's 10 M-element setup at any
+    /// element count.
+    pub fn scaled_baseline(count: usize, seed: u64) -> UniformConfig {
+        let mut config = UniformConfig::paper_baseline(count, seed);
+        let edge = 2000.0 * (count as f64 / 10e6).cbrt();
+        config.domain = flat_geom::Aabb::new(
+            flat_geom::Point3::splat(0.0),
+            flat_geom::Point3::splat(edge),
+        );
+        config
+    }
+}
+
+/// Generates the element cloud.
+///
+/// Deterministic per element: element `i` depends only on `(seed, i)`, so
+/// growing `count` extends the dataset (prefix-stable).
+pub fn uniform_entries(config: &UniformConfig) -> Vec<Entry> {
+    let (lo, hi) = config.length_range;
+    assert!(lo > 0.0 && hi >= lo, "invalid length range ({lo}, {hi})");
+    (0..config.count)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(substream(config.seed, i as u64));
+            let center = Point3::new(
+                rng.gen_range(config.domain.min.x..config.domain.max.x),
+                rng.gen_range(config.domain.min.y..config.domain.max.y),
+                rng.gen_range(config.domain.min.z..config.domain.max.z),
+            );
+            let proportions = if lo == hi {
+                [1.0, 1.0, 1.0]
+            } else {
+                [rng.gen_range(lo..hi), rng.gen_range(lo..hi), rng.gen_range(lo..hi)]
+            };
+            let mbr = range_query_with_volume(center, config.element_volume, proportions);
+            Entry::new(i as u64, mbr)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_volumes_are_exact() {
+        let config = UniformConfig {
+            count: 500,
+            domain: crate::synthetic_domain(),
+            element_volume: 18.0,
+            length_range: (5.0, 35.0),
+            seed: 3,
+        };
+        for e in uniform_entries(&config) {
+            assert!((e.mbr.volume() - 18.0).abs() < 1e-9, "volume {}", e.mbr.volume());
+        }
+    }
+
+    #[test]
+    fn cubes_when_lengths_are_fixed() {
+        let config = UniformConfig::paper_baseline(100, 5);
+        for e in uniform_entries(&config) {
+            assert!((e.mbr.aspect_ratio() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn aspect_ratio_spreads_with_the_length_range() {
+        let stretched = UniformConfig {
+            length_range: (5.0, 35.0),
+            ..UniformConfig::paper_baseline(2000, 7)
+        };
+        let entries = uniform_entries(&stretched);
+        let mean_aspect: f64 =
+            entries.iter().map(|e| e.mbr.aspect_ratio()).sum::<f64>() / entries.len() as f64;
+        assert!(mean_aspect > 1.5, "expected stretched elements, mean aspect {mean_aspect}");
+    }
+
+    #[test]
+    fn centers_are_inside_the_domain() {
+        let config = UniformConfig::paper_baseline(1000, 11);
+        for e in uniform_entries(&config) {
+            assert!(config.domain.contains_point(&e.mbr.center()));
+        }
+    }
+
+    #[test]
+    fn prefix_stable() {
+        let a = uniform_entries(&UniformConfig::paper_baseline(100, 13));
+        let b = uniform_entries(&UniformConfig::paper_baseline(200, 13));
+        assert_eq!(&b[..100], &a[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid length range")]
+    fn bad_length_range_rejected() {
+        let config = UniformConfig {
+            length_range: (0.0, 1.0),
+            ..UniformConfig::paper_baseline(1, 1)
+        };
+        let _ = uniform_entries(&config);
+    }
+}

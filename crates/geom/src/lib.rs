@@ -1,0 +1,51 @@
+//! Geometry kernel for the FLAT reproduction.
+//!
+//! This crate provides the spatial vocabulary shared by every other crate in
+//! the workspace: 3-D points ([`Point3`]), axis-aligned minimum bounding
+//! rectangles ([`Aabb`], the paper's *MBR*), the concrete element shapes used
+//! by the paper's datasets ([`Cylinder`] for neuron morphologies,
+//! [`Triangle`] for surface meshes, [`Sphere`] for n-body particles) and
+//! range-query construction helpers ([`range_query_with_volume`]).
+//!
+//! Everything here is pure computational geometry with no I/O; the paged
+//! storage layer and the indexes build on top of it.
+//!
+//! # Conventions
+//!
+//! * Coordinates are `f64`, matching the paper ("double precision floating
+//!   point numbers to represent the coordinates of the MBRs", §VII-A).
+//! * An [`Aabb`] is *closed*: two boxes sharing only a face (or an edge or a
+//!   corner) intersect. This is load-bearing for FLAT: partitions produced
+//!   by the STR tiling touch at faces, and the neighbor relation of the
+//!   paper ("adjacent to or overlaps with", §V-A) is exactly closed-box
+//!   intersection.
+//! * Degenerate boxes (zero extent in some or all dimensions) are valid and
+//!   represent points or faces; they intersect anything that contains them.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod aabb;
+mod point;
+mod query;
+mod shapes;
+
+pub use aabb::Aabb;
+pub use point::{Axis, Point3};
+pub use query::{aspect_ratio_of, range_query_with_volume, RangeQueryBuilder};
+pub use shapes::{Cylinder, Shape, Sphere, Triangle};
+
+/// The result of comparing a bounding box against a range query.
+///
+/// Distinguishing full containment from mere intersection lets index
+/// traversals skip per-element tests for fully covered subtrees — an
+/// optimization both the R-tree baselines and FLAT benefit from equally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overlap {
+    /// The boxes are disjoint.
+    None,
+    /// The boxes intersect but neither contains the other.
+    Partial,
+    /// The query fully contains the tested box.
+    Contains,
+}

@@ -1,0 +1,110 @@
+//! Hilbert-curve packing (Kamel & Faloutsos \[12\]).
+//!
+//! "Each element needs to be assigned a Hilbert value, the entire data set
+//! is sorted once on this value and the tree is built recursively"
+//! (§VII-B). Elements are keyed by the Hilbert index of their MBR center on
+//! a 2¹⁶-cell-per-dimension lattice spanning the data extent, sorted, and
+//! chopped into consecutive full pages.
+
+use super::div_ceil;
+use crate::Entry;
+use flat_geom::Aabb;
+use flat_sfc::Discretizer;
+
+/// Lattice resolution: 16 bits per dimension is finer than any page-level
+/// grouping can resolve, and keeps key computation cheap.
+const ORDER: u32 = 16;
+
+/// Packs `items` into runs of at most `cap` (callers guarantee
+/// `items.len() > cap > 0`).
+pub(super) fn pack(mut items: Vec<Entry>, cap: usize) -> Vec<Vec<Entry>> {
+    let bounds = Aabb::union_all(items.iter().map(|e| e.mbr));
+    let disc = Discretizer::new(bounds.min.into(), bounds.max.into(), ORDER);
+
+    // Decorate–sort–undecorate: the key is 64 bits, so sorting pairs beats
+    // recomputing keys in the comparator.
+    let mut keyed: Vec<(u64, Entry)> = items
+        .drain(..)
+        .map(|e| (disc.hilbert_key(e.mbr.center().into()), e))
+        .collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.id.cmp(&b.1.id)));
+
+    let mut out = Vec::with_capacity(div_ceil(keyed.len(), cap));
+    let mut iter = keyed.into_iter().map(|(_, e)| e);
+    loop {
+        let run: Vec<Entry> = iter.by_ref().take(cap).collect();
+        if run.is_empty() {
+            break;
+        }
+        out.push(run);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::random_entries;
+    use flat_geom::Point3;
+
+    #[test]
+    fn uses_minimal_number_of_pages() {
+        for n in [86, 1000, 4999] {
+            let runs = pack(random_entries(n, 2), 85);
+            assert_eq!(runs.len(), n.div_ceil(85), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn hilbert_pages_are_far_tighter_than_arbitrary_pages() {
+        // The locality property that justifies Hilbert packing: pages of
+        // curve-consecutive elements have much smaller MBRs than pages of
+        // arbitrarily grouped elements. Compare total page-MBR volume
+        // against grouping by insertion (id) order, which scatters each
+        // page across the whole domain.
+        let items = random_entries(5000, 77);
+        let page_volume = |runs: &[Vec<Entry>]| -> f64 {
+            runs.iter()
+                .map(|r| Aabb::union_all(r.iter().map(|e| e.mbr)).volume())
+                .sum()
+        };
+        let hilbert = pack(items.clone(), 85);
+        let arbitrary: Vec<Vec<Entry>> =
+            items.chunks(85).map(|c| c.to_vec()).collect();
+        let h = page_volume(&hilbert);
+        let a = page_volume(&arbitrary);
+        assert!(
+            h < a / 10.0,
+            "hilbert page volume {h} not ≪ arbitrary page volume {a}"
+        );
+    }
+
+    #[test]
+    fn clustered_points_stay_on_the_same_pages() {
+        // Two well-separated clusters of 100 points each, capacity 100:
+        // each page must contain exactly one cluster.
+        let mut items = Vec::new();
+        for i in 0..100u64 {
+            let jitter = (i % 10) as f64 * 0.001;
+            items.push(Entry::new(i, Aabb::point(Point3::splat(jitter))));
+            items.push(Entry::new(100 + i, Aabb::point(Point3::splat(1000.0 + jitter))));
+        }
+        let runs = pack(items, 100);
+        assert_eq!(runs.len(), 2);
+        for run in runs {
+            let low = run.iter().filter(|e| e.id < 100).count();
+            assert!(low == 0 || low == 100, "clusters were split across pages");
+        }
+    }
+
+    #[test]
+    fn identical_centers_fall_back_to_id_order() {
+        let items: Vec<Entry> =
+            (0..20).map(|i| Entry::new(i, Aabb::cube(Point3::splat(5.0), 1.0))).collect();
+        let runs = pack(items, 7);
+        let flat: Vec<u64> = runs.iter().flatten().map(|e| e.id).collect();
+        let mut expected: Vec<u64> = (0..20).collect();
+        expected.sort_unstable();
+        assert_eq!(flat, expected);
+    }
+}

@@ -1,0 +1,167 @@
+//! Priority R-tree packing (Arge, de Berg, Haverkort & Yi \[1\]).
+//!
+//! The pseudo-PR-tree construction, as the paper summarizes it (§VII-B):
+//! at every recursion step, *priority* pages are extracted — for each of
+//! the six "directions" of a 3-D rectangle (min-x, min-y, min-z ascending;
+//! max-x, max-y, max-z descending), the `cap` most extreme remaining
+//! rectangles form one page. The remainder is split at the median along a
+//! round-robin direction and both halves are processed recursively. The
+//! extracted pages become the tree's leaves; directory levels re-apply the
+//! same procedure to the child rectangles (which is what gives the PR-tree
+//! its worst-case query bound).
+
+use super::div_ceil;
+use crate::Entry;
+#[cfg(test)]
+use flat_geom::Aabb;
+
+/// The six comparison keys: 0–2 = min coordinate per axis (ascending
+/// extremes), 3–5 = max coordinate per axis (descending extremes).
+fn key(entry: &Entry, direction: usize) -> f64 {
+    match direction {
+        0 => entry.mbr.min.x,
+        1 => entry.mbr.min.y,
+        2 => entry.mbr.min.z,
+        3 => -entry.mbr.max.x,
+        4 => -entry.mbr.max.y,
+        5 => -entry.mbr.max.z,
+        _ => unreachable!("direction out of range"),
+    }
+}
+
+fn compare(a: &Entry, b: &Entry, direction: usize) -> std::cmp::Ordering {
+    key(a, direction).total_cmp(&key(b, direction)).then_with(|| a.id.cmp(&b.id))
+}
+
+/// Packs `items` into runs of at most `cap` (callers guarantee
+/// `items.len() > cap > 0`).
+pub(super) fn pack(items: Vec<Entry>, cap: usize) -> Vec<Vec<Entry>> {
+    let mut out = Vec::with_capacity(div_ceil(items.len(), cap));
+    recurse(items, 0, cap, &mut out);
+    out
+}
+
+fn recurse(mut items: Vec<Entry>, depth: usize, cap: usize, out: &mut Vec<Vec<Entry>>) {
+    if items.is_empty() {
+        return;
+    }
+    if items.len() <= cap {
+        out.push(items);
+        return;
+    }
+
+    // Extract the six priority pages.
+    for direction in 0..6 {
+        if items.len() <= cap {
+            out.push(items);
+            return;
+        }
+        // Partition so the `cap` most extreme elements occupy the front.
+        items.select_nth_unstable_by(cap - 1, |a, b| compare(a, b, direction));
+        let rest = items.split_off(cap);
+        let mut page = std::mem::replace(&mut items, rest);
+        // Drop the parent's retained capacity before the page goes into
+        // the output (split_off keeps the full allocation on the front).
+        page.shrink_to_fit();
+        out.push(page);
+    }
+
+    // Median split along the round-robin direction, recurse on both halves.
+    let direction = depth % 6;
+    let mid = items.len() / 2;
+    items.select_nth_unstable_by(mid, |a, b| compare(a, b, direction));
+    let right = items.split_off(mid);
+    items.shrink_to_fit();
+    recurse(items, depth + 1, cap, out);
+    recurse(right, depth + 1, cap, out);
+}
+
+/// Exposes the priority-page structure for tests: returns, per direction,
+/// the MBR of the first extracted priority page at the top recursion level.
+#[cfg(test)]
+fn top_level_priority_mbrs(items: Vec<Entry>, cap: usize) -> Vec<Aabb> {
+    let mut items = items;
+    let mut mbrs = Vec::new();
+    for direction in 0..6 {
+        if items.len() <= cap {
+            break;
+        }
+        items.select_nth_unstable_by(cap - 1, |a, b| compare(a, b, direction));
+        let rest = items.split_off(cap);
+        let page = std::mem::replace(&mut items, rest);
+        mbrs.push(Aabb::union_all(page.iter().map(|e| e.mbr)));
+    }
+    mbrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::random_entries;
+    use flat_geom::Point3;
+
+    #[test]
+    fn extreme_elements_go_to_priority_pages() {
+        let n = 2000;
+        let cap = 50;
+        let items = random_entries(n, 11);
+        // Identify the 50 globally smallest min-x rectangles.
+        let mut by_minx = items.clone();
+        by_minx.sort_by(|a, b| a.mbr.min.x.total_cmp(&b.mbr.min.x).then(a.id.cmp(&b.id)));
+        let extreme_ids: std::collections::HashSet<u64> =
+            by_minx[..cap].iter().map(|e| e.id).collect();
+
+        let runs = pack(items, cap);
+        // The first emitted run is the min-x priority page.
+        let first: std::collections::HashSet<u64> = runs[0].iter().map(|e| e.id).collect();
+        assert_eq!(first, extreme_ids, "min-x priority page holds the min-x extremes");
+    }
+
+    #[test]
+    fn priority_pages_are_slab_shaped() {
+        // Priority pages group boundary elements, so their MBRs hug the
+        // data boundary: the min-x page's MBR must start at the global
+        // min-x.
+        let items = random_entries(3000, 13);
+        let global = Aabb::union_all(items.iter().map(|e| e.mbr));
+        let mbrs = top_level_priority_mbrs(items, 60);
+        assert_eq!(mbrs.len(), 6);
+        assert_eq!(mbrs[0].min.x, global.min.x);
+        assert_eq!(mbrs[1].min.y, global.min.y);
+        assert_eq!(mbrs[2].min.z, global.min.z);
+        assert_eq!(mbrs[3].max.x, global.max.x);
+        assert_eq!(mbrs[4].max.y, global.max.y);
+        assert_eq!(mbrs[5].max.z, global.max.z);
+    }
+
+    #[test]
+    fn handles_worst_case_aspect_ratios() {
+        // The PR-tree's selling point: extreme data. Long skewers along x.
+        let items: Vec<Entry> = (0..1000)
+            .map(|i| {
+                let y = (i % 100) as f64;
+                Entry::new(
+                    i,
+                    Aabb::from_corners(
+                        Point3::new(0.0, y, 0.0),
+                        Point3::new(1000.0, y + 0.1, 0.1),
+                    ),
+                )
+            })
+            .collect();
+        let runs = pack(items, 40);
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 1000);
+        assert!(runs.iter().all(|r| r.len() <= 40));
+    }
+
+    #[test]
+    fn recursion_terminates_on_duplicate_rectangles() {
+        // All-identical rectangles exercise the median split's worst case.
+        let items: Vec<Entry> =
+            (0..500).map(|i| Entry::new(i, Aabb::cube(Point3::splat(1.0), 2.0))).collect();
+        let runs = pack(items, 30);
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 500);
+    }
+}

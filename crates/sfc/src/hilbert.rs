@@ -1,0 +1,236 @@
+//! 3-D Hilbert curve via Skilling's transpose algorithm.
+//!
+//! Reference: John Skilling, "Programming the Hilbert curve", AIP Conference
+//! Proceedings 707 (2004). The algorithm converts between lattice
+//! coordinates and the *transposed* form of the Hilbert index with two
+//! in-place passes (Gray-code undo + axis rotation), in O(order · dims).
+//!
+//! The Hilbert curve visits every cell of the `[0, 2^order)³` lattice
+//! exactly once, and consecutive indexes are always lattice neighbors
+//! (Manhattan distance 1) — the locality property the Hilbert R-tree packing
+//! relies on.
+
+/// Number of dimensions (this crate is specifically 3-D, like the paper).
+const DIMS: u32 = 3;
+
+/// Converts a lattice cell to its Hilbert index.
+///
+/// `order` is the number of bits per dimension (1..=21); coordinates must be
+/// `< 2^order`.
+///
+/// # Panics
+/// Panics if `order` is outside `1..=21` or a coordinate is out of range.
+pub fn hilbert_index(cell: [u32; 3], order: u32) -> u64 {
+    validate(cell, order);
+    let mut x = cell;
+
+    // ---- Skilling: coordinates -> transposed Hilbert index, in place ----
+    let m = 1u32 << (order - 1);
+
+    // Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..DIMS as usize {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+
+    // Gray encode.
+    for i in 1..DIMS as usize {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = m;
+    while q > 1 {
+        if x[DIMS as usize - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+
+    untranspose(x, order)
+}
+
+/// Converts a Hilbert index back to its lattice cell (inverse of
+/// [`hilbert_index`]).
+///
+/// # Panics
+/// Panics if `order` is outside `1..=21` or `index >= 2^(3·order)`.
+pub fn hilbert_point(index: u64, order: u32) -> [u32; 3] {
+    assert!((1..=21).contains(&order), "order must be in 1..=21, got {order}");
+    let total_bits = 3 * order;
+    assert!(
+        total_bits == 64 || index < (1u64 << total_bits),
+        "hilbert index {index} out of range for order {order}"
+    );
+    let mut x = transpose(index, order);
+
+    // ---- Skilling: transposed index -> coordinates, in place ----
+    let n = 1u32 << order;
+
+    // Gray decode by H ^ (H/2).
+    let mut t = x[DIMS as usize - 1] >> 1;
+    for i in (1..DIMS as usize).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+
+    // Undo excess work.
+    let mut q = 2u32;
+    while q != n {
+        let p = q - 1;
+        for i in (0..DIMS as usize).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+    x
+}
+
+/// Splits an interleaved Hilbert index into its transposed form: bit `3k+j`
+/// of the index becomes bit `k` of coordinate `j` (most significant first).
+fn transpose(index: u64, order: u32) -> [u32; 3] {
+    let mut x = [0u32; 3];
+    for bit in 0..order {
+        for (d, v) in x.iter_mut().enumerate() {
+            let src = (order - 1 - bit) * DIMS + (DIMS - 1 - d as u32);
+            if index >> src & 1 != 0 {
+                *v |= 1 << (order - 1 - bit);
+            }
+        }
+    }
+    x
+}
+
+/// Inverse of [`transpose`]: interleaves the per-axis bit planes into one
+/// index, most significant plane first.
+fn untranspose(x: [u32; 3], order: u32) -> u64 {
+    let mut index = 0u64;
+    for bit in (0..order).rev() {
+        for (d, v) in x.iter().enumerate() {
+            if v >> bit & 1 != 0 {
+                index |= 1u64 << (bit * DIMS + (DIMS - 1 - d as u32));
+            }
+        }
+    }
+    index
+}
+
+fn validate(cell: [u32; 3], order: u32) {
+    assert!((1..=21).contains(&order), "order must be in 1..=21, got {order}");
+    let limit = 1u64 << order;
+    for (d, c) in cell.iter().enumerate() {
+        assert!(
+            (*c as u64) < limit,
+            "coordinate {c} on axis {d} out of range for order {order}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical order-1 3-D Hilbert curve visits the 8 corners of the
+    /// cube in Gray-code order.
+    #[test]
+    fn order_one_visits_all_corners_with_unit_steps() {
+        let mut seen = std::collections::HashSet::new();
+        let mut prev: Option<[u32; 3]> = None;
+        for h in 0..8u64 {
+            let p = hilbert_point(h, 1);
+            assert!(seen.insert(p), "corner visited twice: {p:?}");
+            if let Some(q) = prev {
+                let dist: u32 = (0..3).map(|d| p[d].abs_diff(q[d])).sum();
+                assert_eq!(dist, 1, "step from {q:?} to {p:?} is not a unit step");
+            }
+            prev = Some(p);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_order_2() {
+        for h in 0..64u64 {
+            let p = hilbert_point(h, 2);
+            assert_eq!(hilbert_index(p, 2), h, "roundtrip failed at {h}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_order_3_and_unit_steps() {
+        let mut prev: Option<[u32; 3]> = None;
+        for h in 0..512u64 {
+            let p = hilbert_point(h, 3);
+            assert_eq!(hilbert_index(p, 3), h);
+            if let Some(q) = prev {
+                let dist: u32 = (0..3).map(|d| p[d].abs_diff(q[d])).sum();
+                assert_eq!(dist, 1, "non-adjacent consecutive cells at index {h}");
+            }
+            prev = Some(p);
+        }
+    }
+
+    #[test]
+    fn curve_is_a_bijection_at_order_3() {
+        let mut seen = std::collections::HashSet::new();
+        for h in 0..512u64 {
+            assert!(seen.insert(hilbert_point(h, 3)));
+        }
+        assert_eq!(seen.len(), 512);
+    }
+
+    #[test]
+    fn high_order_roundtrip_spot_checks() {
+        for order in [8, 16, 21] {
+            let max = (1u32 << order) - 1;
+            for cell in [
+                [0, 0, 0],
+                [max, max, max],
+                [max, 0, max],
+                [1, 2, 3],
+                [max / 2, max / 3, max / 5],
+            ] {
+                let h = hilbert_index(cell, order);
+                assert_eq!(hilbert_point(h, order), cell, "order {order} cell {cell:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn origin_maps_to_zero() {
+        for order in 1..=21 {
+            assert_eq!(hilbert_index([0, 0, 0], order), 0);
+            assert_eq!(hilbert_point(0, order), [0, 0, 0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_coordinate_rejected() {
+        let _ = hilbert_index([4, 0, 0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_rejected() {
+        let _ = hilbert_point(64, 2);
+    }
+}

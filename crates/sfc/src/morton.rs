@@ -1,0 +1,143 @@
+//! 3-D Morton (Z-order) curve by bit interleaving.
+//!
+//! Z-order is the simpler, locality-inferior alternative to the Hilbert
+//! curve referenced in §V-B.3 of the paper ("the partitions STR produces
+//! preserve spatial locality better than Z-order or Hilbert-packing"). We
+//! implement it with the classic parallel-prefix bit-spreading tricks.
+
+/// Interleaves the low `order` bits of the three coordinates into a Morton
+/// key: bit `k` of axis `d` lands at key bit `3k + d`.
+///
+/// # Panics
+/// Panics if `order` is outside `1..=21` or a coordinate is out of range.
+pub fn morton_index(cell: [u32; 3], order: u32) -> u64 {
+    assert!((1..=21).contains(&order), "order must be in 1..=21, got {order}");
+    let limit = 1u64 << order;
+    for (d, c) in cell.iter().enumerate() {
+        assert!(
+            (*c as u64) < limit,
+            "coordinate {c} on axis {d} out of range for order {order}"
+        );
+    }
+    spread(cell[0]) | spread(cell[1]) << 1 | spread(cell[2]) << 2
+}
+
+/// Inverse of [`morton_index`].
+///
+/// # Panics
+/// Panics if `order` is outside `1..=21` or `index >= 2^(3·order)`.
+pub fn morton_point(index: u64, order: u32) -> [u32; 3] {
+    assert!((1..=21).contains(&order), "order must be in 1..=21, got {order}");
+    let total_bits = 3 * order;
+    assert!(
+        total_bits == 64 || index < (1u64 << total_bits),
+        "morton index {index} out of range for order {order}"
+    );
+    [compact(index), compact(index >> 1), compact(index >> 2)]
+}
+
+/// Spreads the low 21 bits of `v` so each lands 3 positions apart
+/// (bit k → bit 3k).
+fn spread(v: u32) -> u64 {
+    let mut x = v as u64 & 0x1f_ffff; // 21 bits
+    x = (x | x << 32) & 0x001f_0000_0000_ffff;
+    x = (x | x << 16) & 0x001f_0000_ff00_00ff;
+    x = (x | x << 8) & 0x100f_00f0_0f00_f00f;
+    x = (x | x << 4) & 0x10c3_0c30_c30c_30c3;
+    x = (x | x << 2) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`spread`]: gathers every third bit back together.
+fn compact(v: u64) -> u32 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x | x >> 2) & 0x10c3_0c30_c30c_30c3;
+    x = (x | x >> 4) & 0x100f_00f0_0f00_f00f;
+    x = (x | x >> 8) & 0x001f_0000_ff00_00ff;
+    x = (x | x >> 16) & 0x001f_0000_0000_ffff;
+    x = (x | x >> 32) & 0x1f_ffff;
+    x as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaving_matches_naive_definition() {
+        // Naive bit-by-bit interleave as the specification oracle.
+        fn naive(cell: [u32; 3], order: u32) -> u64 {
+            let mut key = 0u64;
+            for bit in 0..order {
+                for (d, c) in cell.iter().enumerate() {
+                    if c >> bit & 1 != 0 {
+                        key |= 1u64 << (3 * bit + d as u32);
+                    }
+                }
+            }
+            key
+        }
+        for cell in [[0, 0, 0], [1, 2, 3], [7, 7, 7], [5, 0, 6], [100, 200, 300]] {
+            assert_eq!(morton_index(cell, 9), naive(cell, 9), "cell {cell:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_order_2() {
+        for k in 0..64u64 {
+            assert_eq!(morton_index(morton_point(k, 2), 2), k);
+        }
+    }
+
+    #[test]
+    fn roundtrip_high_order_spot_checks() {
+        let max = (1u32 << 21) - 1;
+        for cell in [[0, 0, 0], [max, max, max], [max, 0, 1], [12345, 654_321, 999_999]] {
+            let k = morton_index(cell, 21);
+            assert_eq!(morton_point(k, 21), cell);
+        }
+    }
+
+    #[test]
+    fn z_order_visits_octants_in_order() {
+        // At order 1 the Morton curve enumerates the 8 octants in binary
+        // counting order: x is the least significant axis.
+        let expected = [
+            [0, 0, 0],
+            [1, 0, 0],
+            [0, 1, 0],
+            [1, 1, 0],
+            [0, 0, 1],
+            [1, 0, 1],
+            [0, 1, 1],
+            [1, 1, 1],
+        ];
+        for (k, cell) in expected.iter().enumerate() {
+            assert_eq!(morton_point(k as u64, 1), *cell);
+        }
+    }
+
+    #[test]
+    fn keys_are_monotone_in_each_axis() {
+        // Growing one coordinate (others fixed) must grow the key.
+        let base = [10u32, 20, 30];
+        let k0 = morton_index(base, 8);
+        for d in 0..3 {
+            let mut c = base;
+            c[d] += 1;
+            assert!(morton_index(c, 8) > k0, "axis {d} not monotone");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_coordinate_rejected() {
+        let _ = morton_index([8, 0, 0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_rejected() {
+        let _ = morton_point(1 << 9, 3);
+    }
+}

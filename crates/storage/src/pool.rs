@@ -1,0 +1,476 @@
+//! LRU buffer pool with per-kind I/O accounting.
+
+use crate::{Page, PageId, PageKind, PageStore, StorageError, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Read/write counters for one [`PageKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Reads requested by the index code (cache hits + misses).
+    pub logical_reads: u64,
+    /// Reads that actually went to the store (cache misses). This is the
+    /// paper's "page reads" metric.
+    pub physical_reads: u64,
+    /// Pages written through to the store.
+    pub writes: u64,
+}
+
+impl KindStats {
+    fn add(&mut self, other: &KindStats) {
+        self.logical_reads += other.logical_reads;
+        self.physical_reads += other.physical_reads;
+        self.writes += other.writes;
+    }
+
+    fn sub(&mut self, other: &KindStats) {
+        self.logical_reads -= other.logical_reads;
+        self.physical_reads -= other.physical_reads;
+        self.writes -= other.writes;
+    }
+}
+
+/// I/O statistics broken down by [`PageKind`].
+///
+/// The paper's evaluation reports *physical page reads* (caches are cleared
+/// before each query, §VII-A) and classifies them by structure for the
+/// breakdown figures (Fig 14/18). `IoStats` supports snapshot/diff so a
+/// harness can attribute I/O to individual queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoStats {
+    kinds: [KindStats; 6],
+}
+
+impl IoStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> IoStats {
+        IoStats::default()
+    }
+
+    /// Counters for one page kind.
+    #[inline]
+    pub fn kind(&self, kind: PageKind) -> &KindStats {
+        &self.kinds[kind.index()]
+    }
+
+    /// Physical reads summed over all kinds — the paper's headline metric.
+    pub fn total_physical_reads(&self) -> u64 {
+        self.kinds.iter().map(|k| k.physical_reads).sum()
+    }
+
+    /// Logical reads summed over all kinds.
+    pub fn total_logical_reads(&self) -> u64 {
+        self.kinds.iter().map(|k| k.logical_reads).sum()
+    }
+
+    /// Writes summed over all kinds.
+    pub fn total_writes(&self) -> u64 {
+        self.kinds.iter().map(|k| k.writes).sum()
+    }
+
+    /// Bytes fetched from the store (`physical reads × 4096`).
+    pub fn physical_bytes_read(&self) -> u64 {
+        self.total_physical_reads() * PAGE_SIZE as u64
+    }
+
+    /// Bytes fetched from the store for one kind.
+    pub fn physical_bytes_read_of(&self, kind: PageKind) -> u64 {
+        self.kind(kind).physical_reads * PAGE_SIZE as u64
+    }
+
+    /// Cache hit rate over all kinds (`0.0` when no reads happened).
+    pub fn hit_rate(&self) -> f64 {
+        let logical = self.total_logical_reads();
+        if logical == 0 {
+            0.0
+        } else {
+            1.0 - self.total_physical_reads() as f64 / logical as f64
+        }
+    }
+
+    /// Component-wise `self - earlier`; `earlier` must be a snapshot taken
+    /// from the same counter stream (panics on underflow in debug builds).
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        let mut out = self.clone();
+        for (o, e) in out.kinds.iter_mut().zip(earlier.kinds.iter()) {
+            o.sub(e);
+        }
+        out
+    }
+
+    /// Component-wise accumulation.
+    pub fn accumulate(&mut self, other: &IoStats) {
+        for (s, o) in self.kinds.iter_mut().zip(other.kinds.iter()) {
+            s.add(o);
+        }
+    }
+
+    fn record_read(&mut self, kind: PageKind, miss: bool) {
+        let k = &mut self.kinds[kind.index()];
+        k.logical_reads += 1;
+        if miss {
+            k.physical_reads += 1;
+        }
+    }
+
+    fn record_write(&mut self, kind: PageKind) {
+        self.kinds[kind.index()].writes += 1;
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// A cache slot in the LRU slab.
+struct Slot {
+    id: PageId,
+    page: Page,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU page cache over a [`PageStore`] that tallies I/O per [`PageKind`].
+///
+/// * Reads are served from the cache when possible; misses fetch from the
+///   store, evicting the least-recently-used page when the pool is full.
+/// * Writes are **write-through**: they always hit the store (and refresh
+///   the cached copy if present). Index construction in this workspace is a
+///   bulkload, so write buffering would not change any reported metric.
+/// * [`BufferPool::clear_cache`] drops all cached pages, emulating the
+///   paper's protocol of overwriting the OS cache before each query.
+///
+/// The pool intentionally exposes *copies* of pages rather than references
+/// into the cache (`read` returns `&Page` borrowed from the pool, valid
+/// until the next pool call) — index node formats are deserialized into
+/// typed structures immediately after the read.
+pub struct BufferPool<S: PageStore> {
+    store: S,
+    capacity: usize,
+    map: HashMap<PageId, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    stats: IoStats,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Creates a pool over `store` caching at most `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a pool that cannot hold the page it
+    /// just fetched would return dangling data.
+    pub fn new(store: S, capacity: usize) -> BufferPool<S> {
+        assert!(capacity > 0, "buffer pool capacity must be at least one page");
+        BufferPool {
+            store,
+            capacity,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: IoStats::new(),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable access to the underlying store (bypasses the cache; callers
+    /// must [`BufferPool::clear_cache`] if they mutate pages directly).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Consumes the pool, returning the store.
+    pub fn into_store(self) -> S {
+        self.store
+    }
+
+    /// Maximum number of cached pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Current I/O statistics.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Snapshots the statistics (for later [`IoStats::since`] diffs).
+    pub fn snapshot(&self) -> IoStats {
+        self.stats.clone()
+    }
+
+    /// Zeroes the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::new();
+    }
+
+    /// Drops every cached page — the "clear the OS cache" step the paper
+    /// performs before each benchmark query. Statistics are unaffected.
+    pub fn clear_cache(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Allocates a fresh page in the store.
+    pub fn alloc(&mut self) -> Result<PageId, StorageError> {
+        self.store.alloc()
+    }
+
+    /// Writes a page through to the store, refreshing any cached copy.
+    pub fn write(&mut self, id: PageId, page: &Page, kind: PageKind) -> Result<(), StorageError> {
+        self.store.write_page(id, page)?;
+        self.stats.record_write(kind);
+        if let Some(&slot) = self.map.get(&id) {
+            self.slots[slot].page = page.clone();
+            self.touch(slot);
+        }
+        Ok(())
+    }
+
+    /// Reads a page, counting it against `kind`. The returned reference is
+    /// valid until the next call that mutates the pool.
+    pub fn read(&mut self, id: PageId, kind: PageKind) -> Result<&Page, StorageError> {
+        if let Some(&slot) = self.map.get(&id) {
+            self.stats.record_read(kind, false);
+            self.touch(slot);
+            return Ok(&self.slots[slot].page);
+        }
+        // Miss: fetch from the store.
+        self.stats.record_read(kind, true);
+        let mut page = Page::new();
+        self.store.read_page(id, &mut page)?;
+        let slot = self.insert_slot(id, page);
+        Ok(&self.slots[slot].page)
+    }
+
+    /// Unlinks `slot` from the LRU list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links `slot` at the head (most recently used).
+    fn link_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Moves `slot` to the head of the LRU list.
+    fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.link_front(slot);
+    }
+
+    /// Inserts a page, evicting the LRU slot if the pool is at capacity.
+    fn insert_slot(&mut self, id: PageId, page: Page) -> usize {
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].id);
+            self.free.push(victim);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Slot { id, page, prev: NIL, next: NIL };
+                s
+            }
+            None => {
+                self.slots.push(Slot { id, page, prev: NIL, next: NIL });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(id, slot);
+        self.link_front(slot);
+        slot
+    }
+}
+
+impl<S: PageStore> std::fmt::Debug for BufferPool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("cached", &self.map.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+
+    fn pool_with_pages(n: usize, capacity: usize) -> BufferPool<MemStore> {
+        let mut store = MemStore::new();
+        for i in 0..n {
+            let id = store.alloc().unwrap();
+            let mut page = Page::new();
+            page.put_u64(0, i as u64);
+            store.write_page(id, &page).unwrap();
+        }
+        BufferPool::new(store, capacity)
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut pool = pool_with_pages(4, 8);
+        pool.read(PageId(0), PageKind::ObjectPage).unwrap();
+        pool.read(PageId(0), PageKind::ObjectPage).unwrap();
+        pool.read(PageId(1), PageKind::RTreeLeaf).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.kind(PageKind::ObjectPage).logical_reads, 2);
+        assert_eq!(s.kind(PageKind::ObjectPage).physical_reads, 1);
+        assert_eq!(s.kind(PageKind::RTreeLeaf).physical_reads, 1);
+        assert_eq!(s.total_physical_reads(), 2);
+        assert_eq!(s.total_logical_reads(), 3);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_returns_correct_contents() {
+        let mut pool = pool_with_pages(4, 2);
+        for i in [3u64, 0, 2, 1, 3] {
+            let page = pool.read(PageId(i), PageKind::Other).unwrap();
+            assert_eq!(page.get_u64(0), i);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut pool = pool_with_pages(3, 2);
+        pool.read(PageId(0), PageKind::Other).unwrap(); // miss {0}
+        pool.read(PageId(1), PageKind::Other).unwrap(); // miss {0,1}
+        pool.read(PageId(0), PageKind::Other).unwrap(); // hit, 0 is MRU
+        pool.read(PageId(2), PageKind::Other).unwrap(); // miss, evicts 1
+        pool.read(PageId(0), PageKind::Other).unwrap(); // hit
+        pool.read(PageId(1), PageKind::Other).unwrap(); // miss again
+        assert_eq!(pool.stats().total_physical_reads(), 4);
+        assert_eq!(pool.stats().total_logical_reads(), 6);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut pool = pool_with_pages(10, 3);
+        for i in 0..10 {
+            pool.read(PageId(i), PageKind::Other).unwrap();
+        }
+        assert_eq!(pool.cached_pages(), 3);
+    }
+
+    #[test]
+    fn clear_cache_forces_physical_reads() {
+        let mut pool = pool_with_pages(2, 8);
+        pool.read(PageId(0), PageKind::Other).unwrap();
+        pool.clear_cache();
+        pool.read(PageId(0), PageKind::Other).unwrap();
+        assert_eq!(pool.stats().total_physical_reads(), 2);
+        assert_eq!(pool.cached_pages(), 1);
+    }
+
+    #[test]
+    fn write_through_refreshes_cache() {
+        let mut pool = pool_with_pages(1, 4);
+        pool.read(PageId(0), PageKind::Other).unwrap();
+        let mut page = Page::new();
+        page.put_u64(0, 999);
+        pool.write(PageId(0), &page, PageKind::Other).unwrap();
+        // Cached copy must reflect the write without a new physical read.
+        let before = pool.stats().total_physical_reads();
+        let read = pool.read(PageId(0), PageKind::Other).unwrap();
+        assert_eq!(read.get_u64(0), 999);
+        assert_eq!(pool.stats().total_physical_reads(), before);
+        assert_eq!(pool.stats().total_writes(), 1);
+    }
+
+    #[test]
+    fn snapshot_since_isolates_one_query() {
+        let mut pool = pool_with_pages(4, 8);
+        pool.read(PageId(0), PageKind::SeedLeaf).unwrap();
+        let snap = pool.snapshot();
+        pool.read(PageId(1), PageKind::ObjectPage).unwrap();
+        pool.read(PageId(2), PageKind::ObjectPage).unwrap();
+        let delta = pool.stats().since(&snap);
+        assert_eq!(delta.kind(PageKind::ObjectPage).physical_reads, 2);
+        assert_eq!(delta.kind(PageKind::SeedLeaf).physical_reads, 0);
+        assert_eq!(delta.total_physical_reads(), 2);
+    }
+
+    #[test]
+    fn accumulate_sums_streams() {
+        let mut a = IoStats::new();
+        let mut pool = pool_with_pages(2, 4);
+        pool.read(PageId(0), PageKind::SeedInner).unwrap();
+        a.accumulate(pool.stats());
+        a.accumulate(pool.stats());
+        assert_eq!(a.kind(PageKind::SeedInner).physical_reads, 2);
+    }
+
+    #[test]
+    fn bytes_read_derives_from_page_size() {
+        let mut pool = pool_with_pages(2, 4);
+        pool.read(PageId(0), PageKind::ObjectPage).unwrap();
+        assert_eq!(pool.stats().physical_bytes_read(), PAGE_SIZE as u64);
+        assert_eq!(
+            pool.stats().physical_bytes_read_of(PageKind::ObjectPage),
+            PAGE_SIZE as u64
+        );
+        assert_eq!(pool.stats().physical_bytes_read_of(PageKind::SeedLeaf), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_rejected() {
+        let _ = BufferPool::new(MemStore::new(), 0);
+    }
+
+    #[test]
+    fn single_slot_pool_thrashes_correctly() {
+        let mut pool = pool_with_pages(2, 1);
+        for _ in 0..3 {
+            assert_eq!(pool.read(PageId(0), PageKind::Other).unwrap().get_u64(0), 0);
+            assert_eq!(pool.read(PageId(1), PageKind::Other).unwrap().get_u64(0), 1);
+        }
+        // Every access alternates pages through one slot: all misses.
+        assert_eq!(pool.stats().total_physical_reads(), 6);
+    }
+
+    #[test]
+    fn alloc_through_pool_reaches_store() {
+        let mut pool = BufferPool::new(MemStore::new(), 4);
+        let id = pool.alloc().unwrap();
+        assert_eq!(id, PageId(0));
+        assert_eq!(pool.store().num_pages(), 1);
+    }
+}

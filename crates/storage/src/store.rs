@@ -1,0 +1,253 @@
+//! Page store backends: in-memory and file-backed.
+
+use crate::{Page, PageId, StorageError, PAGE_SIZE};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// The backing medium for pages.
+///
+/// A store is an append-allocated array of fixed-size pages. Stores know
+/// nothing about caching or statistics — that is the [`crate::BufferPool`]'s
+/// job — and nothing about what the pages contain.
+pub trait PageStore {
+    /// Allocates a new zeroed page and returns its id. Ids are dense and
+    /// allocated in increasing order.
+    fn alloc(&mut self) -> Result<PageId, StorageError>;
+
+    /// Writes `page` to `id`.
+    fn write_page(&mut self, id: PageId, page: &Page) -> Result<(), StorageError>;
+
+    /// Reads page `id` into `out`.
+    fn read_page(&self, id: PageId, out: &mut Page) -> Result<(), StorageError>;
+
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u64;
+
+    /// Total allocated size in bytes.
+    fn size_bytes(&self) -> u64 {
+        self.num_pages() * PAGE_SIZE as u64
+    }
+}
+
+/// An in-memory page store.
+///
+/// The default substrate for tests and benchmarks: page-read counting (the
+/// paper's metric) is done by the buffer pool, so the benchmark figures are
+/// identical whether pages physically live in memory or on disk, and the
+/// in-memory store keeps the density sweeps fast and deterministic.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Creates a store with capacity reserved for `n` pages.
+    pub fn with_capacity(n: usize) -> MemStore {
+        MemStore { pages: Vec::with_capacity(n) }
+    }
+
+    fn check(&self, id: PageId) -> Result<usize, StorageError> {
+        let idx = id.0 as usize;
+        if idx >= self.pages.len() {
+            Err(StorageError::PageOutOfRange { page: id, allocated: self.pages.len() as u64 })
+        } else {
+            Ok(idx)
+        }
+    }
+}
+
+impl PageStore for MemStore {
+    fn alloc(&mut self) -> Result<PageId, StorageError> {
+        let id = PageId(self.pages.len() as u64);
+        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        Ok(id)
+    }
+
+    fn write_page(&mut self, id: PageId, page: &Page) -> Result<(), StorageError> {
+        let idx = self.check(id)?;
+        self.pages[idx].copy_from_slice(page.bytes());
+        Ok(())
+    }
+
+    fn read_page(&self, id: PageId, out: &mut Page) -> Result<(), StorageError> {
+        let idx = self.check(id)?;
+        out.bytes_mut().copy_from_slice(&self.pages[idx][..]);
+        Ok(())
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+}
+
+/// A file-backed page store: page `i` lives at byte offset `i · 4096`.
+///
+/// Uses interior mutability for reads (`File` positions are managed with
+/// explicit offsets via seek), so the trait's `&self` read signature holds.
+#[derive(Debug)]
+pub struct FileStore {
+    file: std::cell::RefCell<File>,
+    num_pages: u64,
+}
+
+impl FileStore {
+    /// Creates (truncating) a store at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<FileStore, StorageError> {
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStore { file: std::cell::RefCell::new(file), num_pages: 0 })
+    }
+
+    /// Opens an existing store at `path`.
+    ///
+    /// The file length must be a whole number of pages.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<FileStore, StorageError> {
+        let file = File::options().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file length {len} is not a multiple of the page size"
+            )));
+        }
+        Ok(FileStore { file: std::cell::RefCell::new(file), num_pages: len / PAGE_SIZE as u64 })
+    }
+
+    fn check(&self, id: PageId) -> Result<(), StorageError> {
+        if id.0 >= self.num_pages {
+            Err(StorageError::PageOutOfRange { page: id, allocated: self.num_pages })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl PageStore for FileStore {
+    fn alloc(&mut self) -> Result<PageId, StorageError> {
+        let id = PageId(self.num_pages);
+        let zeros = [0u8; PAGE_SIZE];
+        let mut file = self.file.borrow_mut();
+        file.seek(SeekFrom::Start(id.byte_offset()))?;
+        file.write_all(&zeros)?;
+        self.num_pages += 1;
+        Ok(id)
+    }
+
+    fn write_page(&mut self, id: PageId, page: &Page) -> Result<(), StorageError> {
+        self.check(id)?;
+        let mut file = self.file.borrow_mut();
+        file.seek(SeekFrom::Start(id.byte_offset()))?;
+        file.write_all(page.bytes())?;
+        Ok(())
+    }
+
+    fn read_page(&self, id: PageId, out: &mut Page) -> Result<(), StorageError> {
+        self.check(id)?;
+        let mut file = self.file.borrow_mut();
+        file.seek(SeekFrom::Start(id.byte_offset()))?;
+        file.read_exact(out.bytes_mut())?;
+        Ok(())
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<S: PageStore>(store: &mut S) {
+        let a = store.alloc().unwrap();
+        let b = store.alloc().unwrap();
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(1));
+        assert_eq!(store.num_pages(), 2);
+
+        let mut page = Page::new();
+        page.put_u64(0, 0xAA55);
+        page.put_f64(8, 2.75);
+        store.write_page(b, &page).unwrap();
+
+        let mut out = Page::new();
+        store.read_page(b, &mut out).unwrap();
+        assert_eq!(out.get_u64(0), 0xAA55);
+        assert_eq!(out.get_f64(8), 2.75);
+
+        // Page a was never written: must read back zeroed.
+        store.read_page(a, &mut out).unwrap();
+        assert_eq!(out.get_u64(0), 0);
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        roundtrip(&mut MemStore::new());
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join("flat-storage-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        roundtrip(&mut FileStore::create(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_store_out_of_range_read_fails() {
+        let store = MemStore::new();
+        let mut out = Page::new();
+        let err = store.read_page(PageId(0), &mut out).unwrap_err();
+        assert!(matches!(err, StorageError::PageOutOfRange { .. }));
+    }
+
+    #[test]
+    fn file_store_reopen_preserves_pages() {
+        let dir = std::env::temp_dir().join("flat-storage-test-reopen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        {
+            let mut store = FileStore::create(&path).unwrap();
+            let id = store.alloc().unwrap();
+            let mut page = Page::new();
+            page.put_u32(100, 777);
+            store.write_page(id, &page).unwrap();
+        }
+        {
+            let store = FileStore::open(&path).unwrap();
+            assert_eq!(store.num_pages(), 1);
+            let mut out = Page::new();
+            store.read_page(PageId(0), &mut out).unwrap();
+            assert_eq!(out.get_u32(100), 777);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_rejects_ragged_files() {
+        let dir = std::env::temp_dir().join("flat-storage-test-ragged");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.bin");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(matches!(FileStore::open(&path), Err(StorageError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn size_bytes_tracks_allocation() {
+        let mut store = MemStore::new();
+        store.alloc().unwrap();
+        store.alloc().unwrap();
+        assert_eq!(store.size_bytes(), 2 * PAGE_SIZE as u64);
+    }
+}

@@ -1,0 +1,67 @@
+//! Tour of every dataset family from the paper's evaluation (§VII–VIII):
+//! neurons, uniform clouds, surface meshes and n-body snapshots — each
+//! generated, indexed with FLAT, and probed with a centered range query.
+//!
+//! ```sh
+//! cargo run --release --example dataset_tour
+//! ```
+
+use flat_repro::prelude::*;
+
+fn tour(name: &str, entries: Vec<Entry>, domain: Aabb) {
+    let n = entries.len();
+    // Center the probe on an actual element — for surface meshes the domain
+    // center sits in the hollow interior and would match nothing.
+    let probe_center = entries[n / 2].mbr.center();
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let start = std::time::Instant::now();
+    let (index, build) = FlatIndex::build(
+        &mut pool,
+        entries,
+        FlatOptions { domain: Some(domain), ..FlatOptions::default() },
+    )
+    .expect("build");
+    let build_time = start.elapsed();
+
+    // A query covering 1/1000 of the domain volume, on the data.
+    let query = Aabb::centered(probe_center, domain.extents() * 0.1);
+    pool.clear_cache();
+    pool.reset_stats();
+    let hits = index.range_query(&mut pool, &query).expect("query");
+
+    println!(
+        "{name:>22}: {n:>7} elements  {:>6.1} MB index  {:>6.0} ms build  \
+         {:>5.1} ptrs/partition  {:>6} hits  {:>5} page reads",
+        index.size_bytes() as f64 / 1e6,
+        build_time.as_secs_f64() * 1000.0,
+        build.avg_neighbor_pointers(),
+        hits.len(),
+        pool.stats().total_physical_reads(),
+    );
+}
+
+fn main() {
+    println!("FLAT across the paper's dataset families:\n");
+
+    let neuron_config = NeuronConfig::bbp(50, 1000, 1);
+    let model = NeuronModel::generate(&neuron_config);
+    tour("BBP neurons", model.entries(), neuron_config.domain);
+
+    let uniform_config = UniformConfig::paper_baseline(50_000, 2);
+    tour("uniform cloud", uniform_entries(&uniform_config), uniform_config.domain);
+
+    let brain = MeshConfig::brain(40_000, 3);
+    tour("brain surface mesh", mesh_entries(&brain), brain.domain);
+
+    let statue = MeshConfig::statue(40_000, 4);
+    tour("statue mesh", mesh_entries(&statue), statue.domain);
+
+    let dm = NBodyConfig::dark_matter(50_000, 5);
+    tour("n-body dark matter", nbody_entries(&dm), dm.domain);
+
+    let gas = NBodyConfig::gas(50_000, 6);
+    tour("n-body gas", nbody_entries(&gas), gas.domain);
+
+    let stars = NBodyConfig::stars(50_000, 7);
+    tour("n-body stars", nbody_entries(&stars), stars.domain);
+}

@@ -1,0 +1,72 @@
+//! Quickstart: generate a brain model, index it with FLAT, run a range
+//! query, and inspect the I/O statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flat_repro::prelude::*;
+
+fn main() {
+    // 1. Generate a synthetic neuron model: 50 neurons of 1000 cylinder
+    //    segments each, packed into the paper's (285 µm)³ tissue volume.
+    let config = NeuronConfig::bbp(50, 1000, 42);
+    let model = NeuronModel::generate(&config);
+    println!("generated {} cylinder segments in {}", model.len(), config.domain);
+
+    // 2. Build the FLAT index in an in-memory page store. The pool counts
+    //    every page read, classified by structure (seed tree, metadata,
+    //    object pages).
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (index, build) = FlatIndex::build(
+        &mut pool,
+        model.entries(),
+        FlatOptions { domain: Some(config.domain), ..FlatOptions::default() },
+    )
+    .expect("in-memory build cannot fail");
+    println!(
+        "built FLAT: {} partitions, {} object pages + {} metadata pages + {} seed pages \
+         ({:.1} MB total) in {:.0} ms",
+        build.num_partitions,
+        index.num_object_pages(),
+        index.num_meta_pages(),
+        index.num_seed_inner_pages(),
+        index.size_bytes() as f64 / 1e6,
+        build.total_time().as_secs_f64() * 1000.0,
+    );
+    println!(
+        "neighborhood: {:.1} pointers per partition on average (median {})",
+        build.avg_neighbor_pointers(),
+        build.median_neighbor_pointers(),
+    );
+
+    // 3. Query a 30 µm neighborhood in the center of the tissue, with the
+    //    paper's cold-cache protocol.
+    pool.clear_cache();
+    pool.reset_stats();
+    let query = Aabb::cube(config.domain.center(), 30.0);
+    let mut stats = QueryStats::default();
+    let hits = index
+        .range_query_with_stats(&mut pool, &query, &mut stats)
+        .expect("in-memory query cannot fail");
+
+    println!("\nquery {query}:");
+    println!("  {} segments intersect", hits.len());
+    let io = pool.stats();
+    for kind in [PageKind::SeedInner, PageKind::SeedLeaf, PageKind::ObjectPage] {
+        println!(
+            "  {:>12}: {} physical page reads",
+            kind.label(),
+            io.kind(kind).physical_reads
+        );
+    }
+    println!(
+        "  {} total page reads → {:.1} ms on the paper's 10 kRPM SAS array",
+        io.total_physical_reads(),
+        DiskModel::sas_10k().io_time(io).as_secs_f64() * 1000.0,
+    );
+    println!(
+        "  crawl processed {} metadata records, queue peaked at {}",
+        stats.records_processed, stats.max_queue_len
+    );
+}

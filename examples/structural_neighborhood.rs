@@ -1,0 +1,80 @@
+//! The paper's first use case (§III-A): *structural neighborhood* —
+//! detecting where neuron fibers come close to each other by issuing many
+//! small range queries along a fiber, one per segment.
+//!
+//! The example walks one neuron's fiber, queries the 5 µm neighborhood of
+//! every 10th segment on both FLAT and the PR-tree, and compares the I/O.
+//!
+//! ```sh
+//! cargo run --release --example structural_neighborhood
+//! ```
+
+use flat_repro::prelude::*;
+
+fn main() {
+    let config = NeuronConfig::bbp(60, 1000, 7);
+    let model = NeuronModel::generate(&config);
+    let entries = model.entries();
+    println!("model: {} segments from {} neurons", entries.len(), 60);
+
+    // Index the model with FLAT and with the strongest R-tree baseline.
+    let mut flat_pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (flat, _) = FlatIndex::build(
+        &mut flat_pool,
+        entries.clone(),
+        FlatOptions { domain: Some(config.domain), ..FlatOptions::default() },
+    )
+    .expect("build");
+    let mut pr_pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let pr = RTree::bulk_load(&mut pr_pool, entries, BulkLoad::PrTree, RTreeConfig::default())
+        .expect("build");
+
+    // Walk the first neuron's fiber: the neighborhood of every 10th
+    // segment, i.e. all elements within 5 µm of the segment center.
+    let fiber: Vec<Point3> = model
+        .cylinders
+        .iter()
+        .zip(&model.neuron_of)
+        .filter(|(_, &n)| n == 0)
+        .step_by(10)
+        .map(|(c, _)| c.p0.lerp(&c.p1, 0.5))
+        .collect();
+    println!("walking {} probe points along neuron 0\n", fiber.len());
+
+    let mut flat_reads = 0u64;
+    let mut pr_reads = 0u64;
+    let mut touching = 0usize;
+    for center in &fiber {
+        let probe = Aabb::cube(*center, 10.0); // ±5 µm neighborhood
+
+        flat_pool.clear_cache();
+        let snap = flat_pool.snapshot();
+        let flat_hits = flat.range_query(&mut flat_pool, &probe).expect("query");
+        flat_reads += flat_pool.stats().since(&snap).total_physical_reads();
+
+        pr_pool.clear_cache();
+        let snap = pr_pool.snapshot();
+        let pr_hits = pr.range_query(&mut pr_pool, &probe).expect("query");
+        pr_reads += pr_pool.stats().since(&snap).total_physical_reads();
+
+        assert_eq!(flat_hits.len(), pr_hits.len(), "indexes disagree");
+        touching += flat_hits.len();
+    }
+
+    let model_time = DiskModel::sas_10k();
+    println!("results: {touching} neighborhood elements found along the fiber");
+    println!(
+        "FLAT   : {:>6} page reads  ({:>7.1} ms simulated disk time)",
+        flat_reads,
+        model_time.io_time_for_reads(flat_reads).as_secs_f64() * 1000.0
+    );
+    println!(
+        "PR-Tree: {:>6} page reads  ({:>7.1} ms simulated disk time)",
+        pr_reads,
+        model_time.io_time_for_reads(pr_reads).as_secs_f64() * 1000.0
+    );
+    println!(
+        "FLAT reads {:.1}x less data for the structural-neighborhood walk",
+        pr_reads as f64 / flat_reads as f64
+    );
+}

@@ -1,0 +1,56 @@
+//! # FLAT — Accelerating Range Queries for Brain Simulations
+//!
+//! A from-scratch Rust reproduction of *"Accelerating Range Queries for
+//! Brain Simulations"* (Tauheed, Biveinis, Heinis, Schürmann, Markram,
+//! Ailamaki — ICDE 2012): the **FLAT** two-phase spatial index, the
+//! bulkloaded R-tree baselines it is evaluated against, the paged storage
+//! substrate that makes the paper's I/O accounting possible, and synthetic
+//! generators for all five evaluation datasets.
+//!
+//! This umbrella crate re-exports the public API of every workspace crate;
+//! depend on the individual crates if you want a narrower dependency.
+//!
+//! ```
+//! use flat_repro::prelude::*;
+//!
+//! // Generate a small neuron model, index it with FLAT, and query it.
+//! let config = NeuronConfig::bbp(10, 500, 42);
+//! let model = NeuronModel::generate(&config);
+//! let mut pool = BufferPool::new(MemStore::new(), 1 << 14);
+//! let (index, _) = FlatIndex::build(
+//!     &mut pool,
+//!     model.entries(),
+//!     FlatOptions { domain: Some(config.domain), ..FlatOptions::default() },
+//! )
+//! .unwrap();
+//!
+//! let query = Aabb::cube(config.domain.center(), 30.0);
+//! let hits = index.range_query(&mut pool, &query).unwrap();
+//! println!("{} segments in the subvolume", hits.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use flat_core as core;
+pub use flat_data as data;
+pub use flat_geom as geom;
+pub use flat_rtree as rtree;
+pub use flat_sfc as sfc;
+pub use flat_storage as storage;
+
+/// The most commonly used items of every crate, for glob import.
+pub mod prelude {
+    pub use flat_core::{BuildStats, FlatIndex, FlatOptions, QueryStats};
+    pub use flat_data::mesh::{mesh_entries, MeshConfig};
+    pub use flat_data::nbody::{nbody_entries, NBodyConfig};
+    pub use flat_data::neuron::{NeuronConfig, NeuronModel};
+    pub use flat_data::uniform::{uniform_entries, UniformConfig};
+    pub use flat_data::workload::{range_queries, WorkloadConfig};
+    pub use flat_geom::{Aabb, Axis, Cylinder, Point3, Shape, Sphere, Triangle};
+    pub use flat_rtree::{BulkLoad, Entry, Hit, LeafLayout, RTree, RTreeConfig};
+    pub use flat_storage::{
+        BufferPool, DiskModel, FileStore, IoStats, MemStore, Page, PageId, PageKind, PageStore,
+        PAGE_SIZE,
+    };
+}

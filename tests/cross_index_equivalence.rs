@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: every index — FLAT, the four bulkloaded
+//! R-trees, and the dynamically built Guttman R-tree — must return exactly
+//! the same result set for the same query on the same data, across all
+//! dataset families.
+
+use flat_repro::prelude::*;
+
+/// Sorted result MBR keys (the MbrOnly layout has no stable application
+/// ids, so results are compared geometrically; exact f64 keys are fine
+/// because every index stores the very same bits).
+fn keys(hits: &[Hit]) -> Vec<[u64; 6]> {
+    let mut keys: Vec<[u64; 6]> = hits
+        .iter()
+        .map(|h| {
+            [
+                h.mbr.min.x.to_bits(),
+                h.mbr.min.y.to_bits(),
+                h.mbr.min.z.to_bits(),
+                h.mbr.max.x.to_bits(),
+                h.mbr.max.y.to_bits(),
+                h.mbr.max.z.to_bits(),
+            ]
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn brute_force(entries: &[Entry], q: &Aabb) -> usize {
+    entries.iter().filter(|e| q.intersects(&e.mbr)).count()
+}
+
+fn check_equivalence(entries: Vec<Entry>, domain: Aabb, queries: &[Aabb]) {
+    // FLAT.
+    let mut flat_pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (flat, _) = FlatIndex::build(
+        &mut flat_pool,
+        entries.clone(),
+        FlatOptions { domain: Some(domain), ..FlatOptions::default() },
+    )
+    .expect("flat build");
+
+    // Bulkloaded R-trees.
+    let mut rtrees = Vec::new();
+    for method in [BulkLoad::Str, BulkLoad::Hilbert, BulkLoad::PrTree, BulkLoad::Tgs] {
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let tree =
+            RTree::bulk_load(&mut pool, entries.clone(), method, RTreeConfig::default())
+                .expect("rtree build");
+        rtrees.push((method, tree, pool));
+    }
+
+    // Dynamically built R-tree (Guttman inserts).
+    let mut dyn_pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let mut dyn_tree = RTree::new_empty(RTreeConfig::default());
+    for e in &entries {
+        dyn_tree.insert(&mut dyn_pool, *e).expect("insert");
+    }
+
+    for (qi, q) in queries.iter().enumerate() {
+        let expected_count = brute_force(&entries, q);
+        let flat_hits = flat.range_query(&mut flat_pool, q).expect("flat query");
+        assert_eq!(flat_hits.len(), expected_count, "FLAT vs brute force, query {qi}");
+        let reference = keys(&flat_hits);
+
+        for (method, tree, pool) in rtrees.iter_mut() {
+            let hits = tree.range_query(pool, q).expect("rtree query");
+            assert_eq!(keys(&hits), reference, "{method:?} vs FLAT, query {qi}");
+        }
+        let dyn_hits = dyn_tree.range_query(&mut dyn_pool, q).expect("dyn query");
+        assert_eq!(keys(&dyn_hits), reference, "Guttman vs FLAT, query {qi}");
+    }
+}
+
+fn workload(domain: &Aabb, fraction: f64, seed: u64) -> Vec<Aabb> {
+    range_queries(
+        domain,
+        &WorkloadConfig {
+            count: 12,
+            volume_fraction: fraction,
+            proportion_range: (1.0, 4.0),
+            seed,
+        },
+    )
+}
+
+#[test]
+fn neuron_model_equivalence() {
+    let config = NeuronConfig::bbp(10, 400, 1);
+    let model = NeuronModel::generate(&config);
+    let mut queries = workload(&config.domain, 1e-3, 2);
+    queries.extend(workload(&config.domain, 1e-2, 3));
+    check_equivalence(model.entries(), config.domain, &queries);
+}
+
+#[test]
+fn uniform_cloud_equivalence() {
+    let config = UniformConfig::scaled_baseline(8_000, 4);
+    let queries = workload(&config.domain, 5e-3, 5);
+    check_equivalence(uniform_entries(&config), config.domain, &queries);
+}
+
+#[test]
+fn surface_mesh_equivalence() {
+    let config = MeshConfig::brain(6_000, 6);
+    let queries = workload(&config.domain, 1e-2, 7);
+    check_equivalence(mesh_entries(&config), config.domain, &queries);
+}
+
+#[test]
+fn nbody_equivalence() {
+    let config = NBodyConfig::dark_matter(8_000, 8);
+    let queries = workload(&config.domain, 1e-2, 9);
+    check_equivalence(nbody_entries(&config), config.domain, &queries);
+}
+
+#[test]
+fn degenerate_queries_agree() {
+    // Point queries, face-touching queries, and the whole domain.
+    let config = UniformConfig::scaled_baseline(5_000, 10);
+    let entries = uniform_entries(&config);
+    let domain = config.domain;
+    let mut queries = vec![
+        Aabb::point(domain.center()),
+        domain, // everything
+        Aabb::from_corners(domain.min, domain.center()),
+    ];
+    // A query touching an element boundary exactly.
+    queries.push(Aabb::from_corners(entries[0].mbr.max, entries[0].mbr.max + Point3::splat(1.0)));
+    check_equivalence(entries, domain, &queries);
+}

@@ -1,0 +1,220 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the paper's correctness argument rests on:
+//!
+//! * geometry kernel algebraic laws;
+//! * space-filling-curve bijectivity and locality;
+//! * FLAT partitioning invariants (capacity, coverage, stretching);
+//! * query equivalence between FLAT, an R-tree, and brute force on
+//!   arbitrary data and arbitrary queries.
+
+use flat_repro::prelude::*;
+use proptest::prelude::*;
+
+fn arb_point(range: f64) -> impl Strategy<Value = Point3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+fn arb_aabb(range: f64) -> impl Strategy<Value = Aabb> {
+    (arb_point(range), arb_point(range)).prop_map(|(a, b)| Aabb::from_corners(a, b))
+}
+
+/// Small boxes with positive extent, for datasets.
+fn arb_element(range: f64) -> impl Strategy<Value = Aabb> {
+    (arb_point(range), 0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0)
+        .prop_map(|(c, ex, ey, ez)| Aabb::centered(c, Point3::new(ex, ey, ez)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- geometry ----------
+
+    #[test]
+    fn union_is_commutative_and_contains_inputs(a in arb_aabb(100.0), b in arb_aabb(100.0)) {
+        let u = a.union(&b);
+        prop_assert_eq!(u, b.union(&a));
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+    }
+
+    #[test]
+    fn intersection_is_symmetric_and_consistent(a in arb_aabb(100.0), b in arb_aabb(100.0)) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!(a.intersects(&b));
+                prop_assert!(a.contains(&i));
+                prop_assert!(b.contains(&i));
+            }
+            None => prop_assert!(!a.intersects(&b)),
+        }
+    }
+
+    #[test]
+    fn containment_implies_intersection(a in arb_aabb(100.0), b in arb_aabb(100.0)) {
+        if a.contains(&b) {
+            prop_assert!(a.intersects(&b));
+            prop_assert!(a.volume() >= b.volume());
+        }
+    }
+
+    #[test]
+    fn enlargement_is_nonnegative(a in arb_aabb(100.0), b in arb_aabb(100.0)) {
+        prop_assert!(a.enlargement(&b) >= -1e-9);
+    }
+
+    #[test]
+    fn stretch_establishes_containment(mut a in arb_aabb(100.0), b in arb_aabb(100.0)) {
+        a.stretch_to_contain(&b);
+        prop_assert!(a.contains(&b));
+    }
+
+    // ---------- space-filling curves ----------
+
+    #[test]
+    fn hilbert_roundtrips(x in 0u32..1024, y in 0u32..1024, z in 0u32..1024) {
+        let h = flat_repro::sfc::hilbert::hilbert_index([x, y, z], 10);
+        prop_assert_eq!(flat_repro::sfc::hilbert::hilbert_point(h, 10), [x, y, z]);
+    }
+
+    #[test]
+    fn hilbert_consecutive_cells_are_adjacent(h in 0u64..(1 << 15) - 1) {
+        let a = flat_repro::sfc::hilbert::hilbert_point(h, 5);
+        let b = flat_repro::sfc::hilbert::hilbert_point(h + 1, 5);
+        let dist: u32 = (0..3).map(|d| a[d].abs_diff(b[d])).sum();
+        prop_assert_eq!(dist, 1, "curve step {} -> {} is not a lattice step", h, h + 1);
+    }
+
+    #[test]
+    fn morton_roundtrips(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
+        let m = flat_repro::sfc::morton::morton_index([x, y, z], 21);
+        prop_assert_eq!(flat_repro::sfc::morton::morton_point(m, 21), [x, y, z]);
+    }
+
+    // ---------- page formats ----------
+
+    #[test]
+    fn leaf_page_roundtrips(
+        mbrs in proptest::collection::vec(arb_element(1000.0), 1..=73),
+        with_ids in any::<bool>(),
+    ) {
+        let layout = if with_ids { LeafLayout::WithIds } else { LeafLayout::MbrOnly };
+        let entries: Vec<Entry> =
+            mbrs.iter().enumerate().map(|(i, m)| Entry::new(i as u64 + 500, *m)).collect();
+        let mut page = Page::new();
+        flat_repro::rtree::node::encode_leaf(&entries, layout, &mut page);
+        let (decoded_layout, decoded) = flat_repro::rtree::node::decode_leaf(&page).unwrap();
+        prop_assert_eq!(decoded_layout, layout);
+        prop_assert_eq!(decoded.len(), entries.len());
+        for (slot, (d, e)) in decoded.iter().zip(entries.iter()).enumerate() {
+            prop_assert_eq!(d.mbr, e.mbr);
+            match layout {
+                LeafLayout::WithIds => prop_assert_eq!(d.id, e.id),
+                LeafLayout::MbrOnly => prop_assert_eq!(d.id, slot as u64),
+            }
+        }
+    }
+}
+
+// Heavier properties run with fewer cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn partitioning_invariants_hold(
+        mbrs in proptest::collection::vec(arb_element(50.0), 200..800),
+        capacity in 10usize..85,
+    ) {
+        let entries: Vec<Entry> =
+            mbrs.iter().enumerate().map(|(i, m)| Entry::new(i as u64, *m)).collect();
+        let n = entries.len();
+        let parts = flat_repro::core::partition::partition(entries, capacity, None);
+        // Capacity and conservation.
+        let total: usize = parts.iter().map(|p| p.elements.len()).sum();
+        prop_assert_eq!(total, n);
+        for p in &parts {
+            prop_assert!(!p.elements.is_empty());
+            prop_assert!(p.elements.len() <= capacity);
+            // Invariant 2: partition MBR ⊇ page MBR ⊇ each element.
+            prop_assert!(p.partition_mbr.contains(&p.page_mbr));
+            for e in &p.elements {
+                prop_assert!(p.page_mbr.contains(&e.mbr));
+            }
+        }
+        // Invariant 1 (no empty space): probe coverage over the union.
+        let domain = Aabb::union_all(parts.iter().map(|p| p.partition_mbr));
+        flat_repro::core::partition::verify_tiling(&parts, &domain, 6)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn flat_equals_rtree_equals_brute_force(
+        mbrs in proptest::collection::vec(arb_element(50.0), 100..600),
+        query in arb_aabb(60.0),
+    ) {
+        let entries: Vec<Entry> =
+            mbrs.iter().enumerate().map(|(i, m)| Entry::new(i as u64, *m)).collect();
+        let expected = entries.iter().filter(|e| query.intersects(&e.mbr)).count();
+
+        let mut flat_pool = BufferPool::new(MemStore::new(), 1 << 14);
+        let (flat, _) =
+            FlatIndex::build(&mut flat_pool, entries.clone(), FlatOptions::default()).unwrap();
+        let flat_hits = flat.range_query(&mut flat_pool, &query).unwrap();
+        prop_assert_eq!(flat_hits.len(), expected, "FLAT vs brute force");
+
+        let mut rt_pool = BufferPool::new(MemStore::new(), 1 << 14);
+        let tree = RTree::bulk_load(
+            &mut rt_pool,
+            entries,
+            BulkLoad::Str,
+            RTreeConfig::default(),
+        )
+        .unwrap();
+        let rt_hits = tree.range_query(&mut rt_pool, &query).unwrap();
+        prop_assert_eq!(rt_hits.len(), expected, "R-tree vs brute force");
+    }
+
+    #[test]
+    fn rtree_structural_invariants_after_random_inserts(
+        mbrs in proptest::collection::vec(arb_element(50.0), 50..300),
+    ) {
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 14);
+        let mut tree = RTree::new_empty(RTreeConfig {
+            layout: LeafLayout::WithIds,
+            ..RTreeConfig::default()
+        });
+        for (i, m) in mbrs.iter().enumerate() {
+            tree.insert(&mut pool, Entry::new(i as u64, *m)).unwrap();
+        }
+        let report = flat_repro::rtree::validate::check_invariants(&mut pool, &tree)
+            .map_err(TestCaseError::fail)?;
+        prop_assert_eq!(report.elements, mbrs.len() as u64);
+    }
+
+    #[test]
+    fn buffer_pool_lru_never_exceeds_capacity_and_counts_consistently(
+        accesses in proptest::collection::vec(0u64..32, 1..200),
+        capacity in 1usize..16,
+    ) {
+        let mut store = MemStore::new();
+        for i in 0..32u64 {
+            let id = store.alloc().unwrap();
+            let mut page = Page::new();
+            page.put_u64(0, i);
+            store.write_page(id, &page).unwrap();
+        }
+        let mut pool = BufferPool::new(store, capacity);
+        for &a in &accesses {
+            let page = pool.read(PageId(a), PageKind::Other).unwrap();
+            prop_assert_eq!(page.get_u64(0), a);
+            prop_assert!(pool.cached_pages() <= capacity);
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.total_logical_reads(), accesses.len() as u64);
+        prop_assert!(stats.total_physical_reads() <= stats.total_logical_reads());
+        // Distinct pages is a lower bound on misses only when capacity
+        // suffices; it is always an upper bound on *compulsory* misses.
+        let distinct = accesses.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+        prop_assert!(stats.total_physical_reads() >= distinct);
+    }
+}
