@@ -1,18 +1,21 @@
-//! Criterion microbenchmarks: bulkload throughput and query latency for
-//! FLAT and every R-tree variant.
+//! Microbenchmarks: bulkload throughput and query latency for FLAT and
+//! every R-tree variant.
 //!
 //! These complement the figure binaries (which measure the paper's I/O
-//! metrics at full scale): Criterion measures wall-clock CPU cost of the
-//! in-memory implementations at a fixed small scale, tracking regressions.
+//! metrics at full scale) by tracking the wall-clock CPU cost of the
+//! in-memory implementations at a fixed small scale. The harness is a
+//! dependency-free timing loop (`cargo bench -p flat-bench`): each case
+//! runs a warmup pass, then reports the best-of-N wall time.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use flat_bench::indexes::{BuiltIndex, IndexKind};
 use flat_data::neuron::{NeuronConfig, NeuronModel};
 use flat_data::workload::{range_queries, WorkloadConfig};
 use flat_geom::Aabb;
 use flat_rtree::Entry;
+use std::time::{Duration, Instant};
 
 const ELEMENTS: usize = 20_000;
+const SAMPLES: usize = 5;
 
 fn dataset() -> (Vec<Entry>, Aabb) {
     let config = NeuronConfig::bbp(20, 1000, 7);
@@ -20,10 +23,31 @@ fn dataset() -> (Vec<Entry>, Aabb) {
     (model.entries(), config.domain)
 }
 
-fn bench_build(c: &mut Criterion) {
-    let (entries, domain) = dataset();
-    let mut group = c.benchmark_group("build_20k");
-    group.sample_size(10);
+/// Best-of-`SAMPLES` wall time of `f` (after one warmup run).
+fn best_of<R>(mut f: impl FnMut() -> R) -> Duration {
+    let _ = f(); // warmup
+    (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            let result = f();
+            let elapsed = start.elapsed();
+            drop(result);
+            elapsed
+        })
+        .min()
+        .expect("SAMPLES > 0")
+}
+
+fn fmt(d: Duration) -> String {
+    if d.as_secs_f64() >= 1.0 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else {
+        format!("{:.3} ms", d.as_secs_f64() * 1000.0)
+    }
+}
+
+fn bench_build(entries: &[Entry], domain: Aabb) {
+    println!("build_20k (best of {SAMPLES}):");
     for kind in [
         IndexKind::Flat,
         IndexKind::Str,
@@ -31,19 +55,12 @@ fn bench_build(c: &mut Criterion) {
         IndexKind::PrTree,
         IndexKind::Tgs,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter_batched(
-                || entries.clone(),
-                |entries| BuiltIndex::build(kind, entries, domain, 1 << 16),
-                BatchSize::LargeInput,
-            );
-        });
+        let time = best_of(|| BuiltIndex::build(kind, entries.to_vec(), domain, 1 << 16));
+        println!("  {:>16}: {}", kind.label(), fmt(time));
     }
-    group.finish();
 }
 
-fn bench_queries(c: &mut Criterion) {
-    let (entries, domain) = dataset();
+fn bench_queries(entries: &[Entry], domain: Aabb) {
     let sn = range_queries(
         &domain,
         &WorkloadConfig {
@@ -64,27 +81,25 @@ fn bench_queries(c: &mut Criterion) {
     );
 
     for (workload_name, queries) in [("sn", &sn), ("lss", &lss)] {
-        let mut group = c.benchmark_group(format!("query_{workload_name}_20k"));
-        group.sample_size(10);
+        println!("query_{workload_name}_20k, 20 queries (best of {SAMPLES}):");
         for kind in [IndexKind::Flat, IndexKind::Str, IndexKind::PrTree] {
-            let mut built = BuiltIndex::build(kind, entries.clone(), domain, 1 << 16);
-            group.bench_with_input(
-                BenchmarkId::from_parameter(kind.label()),
-                &(),
-                |b, _| {
-                    b.iter(|| {
-                        let mut total = 0usize;
-                        for q in queries {
-                            total += built.query(q).0;
-                        }
-                        total
-                    });
-                },
-            );
+            let built = BuiltIndex::build(kind, entries.to_vec(), domain, 1 << 16);
+            let time = best_of(|| {
+                let mut total = 0usize;
+                for q in queries {
+                    total += built.query(q).0;
+                }
+                total
+            });
+            println!("  {:>16}: {}", kind.label(), fmt(time));
         }
-        group.finish();
     }
 }
 
-criterion_group!(benches, bench_build, bench_queries);
-criterion_main!(benches);
+fn main() {
+    let (entries, domain) = dataset();
+    println!("index microbenchmarks over {ELEMENTS} neuron segments\n");
+    bench_build(&entries, domain);
+    println!();
+    bench_queries(&entries, domain);
+}

@@ -1,0 +1,7 @@
+//! Multi-threaded query throughput over one shared FLAT index.
+use flat_bench::figures::{concurrency, Context};
+use flat_bench::Scale;
+
+fn main() {
+    concurrency::exp_concurrency(&Context::new(Scale::from_env())).emit();
+}

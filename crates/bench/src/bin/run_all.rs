@@ -1,7 +1,9 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
 //! Respects `FLAT_SCALE`, `FLAT_QUERIES` and `FLAT_RESULTS_DIR`.
-use flat_bench::figures::{ablation, analysis, build, lss, motivation, other, sn, Context};
+use flat_bench::figures::{
+    ablation, analysis, build, concurrency, lss, motivation, other, sn, Context,
+};
 use flat_bench::Scale;
 use std::time::Instant;
 
@@ -46,9 +48,13 @@ fn main() {
     ablation::exp_bulk_vs_insert(&ctx, scale.densities[scale.densities.len() / 2]).emit();
     ablation::exp_bulkload_strategies(&ctx).emit();
 
+    println!("=== Concurrent query streams (extension) ===\n");
+    concurrency::exp_concurrency(&ctx).emit();
+
     println!("=== Other data sets (Section VIII) ===\n");
     let per_million = (1000.0 * scale.max_density() as f64 / 450_000.0) as usize;
-    let (fig22, fig23) = other::other_datasets_suite(per_million.max(10), scale.queries, scale.seed);
+    let (fig22, fig23) =
+        other::other_datasets_suite(per_million.max(10), scale.queries, scale.seed);
     fig22.emit();
     fig23.emit();
 

@@ -17,18 +17,30 @@ pub fn exp_meta_order(ctx: &Context) -> Table {
     let mut table = Table::new(
         "exp_meta_order",
         "SN benchmark, densest data set: metadata record order ablation",
-        &["record order", "total page reads", "metadata page reads", "object page reads"],
+        &[
+            "record order",
+            "total page reads",
+            "metadata page reads",
+            "object page reads",
+        ],
     );
     let domain = ctx.sweep.domain();
     let queries = ctx.scale.sn_workload(&domain);
     let entries = ctx.sweep.at(ctx.scale.max_density());
 
-    for (name, order) in [("Hilbert (default)", MetaOrder::Hilbert), ("STR output", MetaOrder::StrOutput)] {
+    for (name, order) in [
+        ("Hilbert (default)", MetaOrder::Hilbert),
+        ("STR output", MetaOrder::StrOutput),
+    ] {
         let mut pool = BufferPool::new(MemStore::new(), ctx.scale.pool_pages);
         let (index, _) = FlatIndex::build(
             &mut pool,
             entries.clone(),
-            FlatOptions { domain: Some(domain), meta_order: order, ..FlatOptions::default() },
+            FlatOptions {
+                domain: Some(domain),
+                meta_order: order,
+                ..FlatOptions::default()
+            },
         )
         .expect("in-memory build");
         let mut total = 0u64;
@@ -37,7 +49,7 @@ pub fn exp_meta_order(ctx: &Context) -> Table {
         for q in &queries {
             pool.clear_cache();
             let snapshot = pool.snapshot();
-            let _ = index.range_query(&mut pool, q).expect("in-memory query");
+            let _ = index.range_query(&pool, q).expect("in-memory query");
             let delta = pool.stats().since(&snapshot);
             total += delta.total_physical_reads();
             meta += delta.kind(PageKind::SeedLeaf).physical_reads;
@@ -76,9 +88,13 @@ pub fn exp_bulk_vs_insert(ctx: &Context, elements: usize) -> Table {
 
     // Bulkloaded.
     {
-        let mut built =
-            BuiltIndex::build(IndexKind::Str, entries.clone(), domain, ctx.scale.pool_pages);
-        let outcome = run_workload(&mut built, &queries, ctx.model);
+        let built = BuiltIndex::build(
+            IndexKind::Str,
+            entries.clone(),
+            domain,
+            ctx.scale.pool_pages,
+        );
+        let outcome = run_workload(&built, &queries, ctx.model);
         let tree = built.as_rtree().expect("STR is an R-tree");
         let fill = elements as f64 / (tree.num_leaf_pages() as f64 * cap) * 100.0;
         table.push_row(vec![
@@ -105,7 +121,7 @@ pub fn exp_bulk_vs_insert(ctx: &Context, elements: usize) -> Table {
         for q in &queries {
             pool.clear_cache();
             let snapshot = pool.snapshot();
-            let _ = tree.range_query(&mut pool, q).expect("in-memory query");
+            let _ = tree.range_query(&pool, q).expect("in-memory query");
             total += pool.stats().since(&snapshot).total_physical_reads();
         }
         let fill = elements as f64 / (tree.num_leaf_pages() as f64 * cap) * 100.0;
@@ -128,24 +144,34 @@ pub fn exp_bulkload_strategies(ctx: &Context) -> Table {
     let mut table = Table::new(
         "exp_bulkload_strategies",
         "Bulkload strategies on the densest neuron data set",
-        &["strategy", "build time [s]", "leaf pages", "SN page reads", "LSS page reads"],
+        &[
+            "strategy",
+            "build time [s]",
+            "leaf pages",
+            "SN page reads",
+            "LSS page reads",
+        ],
     );
     let domain = ctx.sweep.domain();
     let entries = ctx.sweep.at(ctx.scale.max_density());
     let sn = ctx.scale.sn_workload(&domain);
     let lss = ctx.scale.lss_workload(&domain);
 
-    for method in [BulkLoad::Str, BulkLoad::Hilbert, BulkLoad::PrTree, BulkLoad::Tgs] {
+    for method in [
+        BulkLoad::Str,
+        BulkLoad::Hilbert,
+        BulkLoad::PrTree,
+        BulkLoad::Tgs,
+    ] {
         let kind = match method {
             BulkLoad::Str => IndexKind::Str,
             BulkLoad::Hilbert => IndexKind::Hilbert,
             BulkLoad::PrTree => IndexKind::PrTree,
             BulkLoad::Tgs => IndexKind::Tgs,
         };
-        let mut built =
-            BuiltIndex::build(kind, entries.clone(), domain, ctx.scale.pool_pages);
-        let sn_outcome = run_workload(&mut built, &sn, ctx.model);
-        let lss_outcome = run_workload(&mut built, &lss, ctx.model);
+        let built = BuiltIndex::build(kind, entries.clone(), domain, ctx.scale.pool_pages);
+        let sn_outcome = run_workload(&built, &sn, ctx.model);
+        let lss_outcome = run_workload(&built, &lss, ctx.model);
         let tree = built.as_rtree().expect("R-tree ablation");
         table.push_row(vec![
             method.label().to_string(),

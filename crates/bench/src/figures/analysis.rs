@@ -15,8 +15,7 @@ use flat_rtree::{leaf_capacity, LeafLayout};
 /// stays the same … and appears to converge at 30".
 pub fn fig20_pointer_distribution(ctx: &Context) -> Table {
     // The paper plots 5 of the 9 densities.
-    let densities: Vec<usize> =
-        ctx.sweep.densities().iter().copied().step_by(2).collect();
+    let densities: Vec<usize> = ctx.sweep.densities().iter().copied().step_by(2).collect();
     let mut columns: Vec<String> = vec!["pointer bin".to_string()];
     columns.extend(densities.iter().map(|&d| ctx.scale.density_label(d)));
     let mut table = Table::new(
@@ -30,16 +29,23 @@ pub fn fig20_pointer_distribution(ctx: &Context) -> Table {
     let mut means = Vec::new();
     for &density in &densities {
         let domain = ctx.sweep.domain();
-        let built =
-            BuiltIndex::build(IndexKind::Flat, ctx.sweep.at(density), domain, ctx.scale.pool_pages);
+        let built = BuiltIndex::build(
+            IndexKind::Flat,
+            ctx.sweep.at(density),
+            domain,
+            ctx.scale.pool_pages,
+        );
         let stats = built.flat_stats.as_ref().expect("FLAT build stats");
         histograms.push(stats.neighbor_counts.clone());
         medians.push(stats.median_neighbor_pointers());
         means.push(stats.avg_neighbor_pointers());
     }
 
-    let max_count =
-        histograms.iter().flat_map(|h| h.iter().copied()).max().unwrap_or(0) as usize;
+    let max_count = histograms
+        .iter()
+        .flat_map(|h| h.iter().copied())
+        .max()
+        .unwrap_or(0) as usize;
     let bin_width = 5usize;
     for bin_start in (0..=max_count).step_by(bin_width) {
         let mut row = vec![format!("{}-{}", bin_start, bin_start + bin_width - 1)];
@@ -67,7 +73,11 @@ pub fn fig21_partition_volume(elements: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "fig21_partition_volume",
         "Avg partition volume vs avg neighbor pointers (uniform data, inflated partitions)",
-        &["volume scale", "avg partition volume [µm³]", "avg neighbor pointers"],
+        &[
+            "volume scale",
+            "avg partition volume [µm³]",
+            "avg neighbor pointers",
+        ],
     );
     let config = UniformConfig::scaled_baseline(elements, seed);
     let entries = uniform_entries(&config);
@@ -99,7 +109,11 @@ pub fn exp_element_volume(elements: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "exp_element_volume",
         "Avg neighbor pointers vs element volume (uniform data)",
-        &["element volume [µm³]", "avg neighbor pointers", "increase vs baseline [%]"],
+        &[
+            "element volume [µm³]",
+            "avg neighbor pointers",
+            "increase vs baseline [%]",
+        ],
     );
     let capacity = leaf_capacity(LeafLayout::MbrOnly);
     let mut baseline = None;
@@ -128,10 +142,20 @@ pub fn exp_aspect_ratio(elements: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "exp_aspect_ratio",
         "Avg neighbor pointers vs element aspect ratio (uniform data, constant volume)",
-        &["length range [µm]", "max aspect ratio", "avg neighbor pointers"],
+        &[
+            "length range [µm]",
+            "max aspect ratio",
+            "avg neighbor pointers",
+        ],
     );
     let capacity = leaf_capacity(LeafLayout::MbrOnly);
-    for (lo, hi) in [(1.0, 1.0), (5.0, 10.0), (5.0, 20.0), (5.0, 28.0), (5.0, 35.0)] {
+    for (lo, hi) in [
+        (1.0, 1.0),
+        (5.0, 10.0),
+        (5.0, 20.0),
+        (5.0, 28.0),
+        (5.0, 35.0),
+    ] {
         let config = UniformConfig {
             length_range: (lo, hi),
             ..UniformConfig::scaled_baseline(elements, seed)
@@ -165,8 +189,12 @@ pub fn exp_overheads(ctx: &Context) -> Table {
     );
     let domain = ctx.sweep.domain();
     let density = ctx.scale.max_density();
-    let mut built =
-        BuiltIndex::build(IndexKind::Flat, ctx.sweep.at(density), domain, ctx.scale.pool_pages);
+    let built = BuiltIndex::build(
+        IndexKind::Flat,
+        ctx.sweep.at(density),
+        domain,
+        ctx.scale.pool_pages,
+    );
     let flat = built.as_flat().expect("built FLAT").clone();
 
     for (name, queries) in [
@@ -177,14 +205,18 @@ pub fn exp_overheads(ctx: &Context) -> Table {
         for q in &queries {
             built.pool.clear_cache();
             let _ = flat
-                .range_query_with_stats(&mut built.pool, q, &mut stats)
+                .range_query_with_stats(&built.pool, q, &mut stats)
                 .expect("in-memory query");
         }
         // Disk share from the same workload re-run through the runner (to
         // price the I/O with the disk model).
-        let mut fresh =
-            BuiltIndex::build(IndexKind::Flat, ctx.sweep.at(density), domain, ctx.scale.pool_pages);
-        let outcome = run_workload(&mut fresh, &queries, ctx.model);
+        let fresh = BuiltIndex::build(
+            IndexKind::Flat,
+            ctx.sweep.at(density),
+            domain,
+            ctx.scale.pool_pages,
+        );
+        let outcome = run_workload(&fresh, &queries, ctx.model);
 
         let result_bytes = (stats.result_count * 48).max(1);
         table.push_row(vec![
@@ -211,20 +243,28 @@ pub fn exp_disk_models(ctx: &Context) -> Table {
     let queries = ctx.scale.sn_workload(&domain);
     let density = ctx.scale.max_density();
 
-    let mut flat =
-        BuiltIndex::build(IndexKind::Flat, ctx.sweep.at(density), domain, ctx.scale.pool_pages);
-    let mut pr =
-        BuiltIndex::build(IndexKind::PrTree, ctx.sweep.at(density), domain, ctx.scale.pool_pages);
+    let flat = BuiltIndex::build(
+        IndexKind::Flat,
+        ctx.sweep.at(density),
+        domain,
+        ctx.scale.pool_pages,
+    );
+    let pr = BuiltIndex::build(
+        IndexKind::PrTree,
+        ctx.sweep.at(density),
+        domain,
+        ctx.scale.pool_pages,
+    );
 
     for (name, model) in [
         ("SAS 10k (paper)", DiskModel::sas_10k()),
         ("SATA 7.2k", DiskModel::sata_7200()),
         ("SSD", DiskModel::ssd()),
     ] {
-        let flat_outcome = run_workload(&mut flat, &queries, model);
-        let pr_outcome = run_workload(&mut pr, &queries, model);
-        let speedup =
-            pr_outcome.total_time().as_secs_f64() / flat_outcome.total_time().as_secs_f64().max(1e-12);
+        let flat_outcome = run_workload(&flat, &queries, model);
+        let pr_outcome = run_workload(&pr, &queries, model);
+        let speedup = pr_outcome.total_time().as_secs_f64()
+            / flat_outcome.total_time().as_secs_f64().max(1e-12);
         table.push_row(vec![
             name.to_string(),
             crate::report::fmt_secs(flat_outcome.total_time()),

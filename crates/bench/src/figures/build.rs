@@ -46,14 +46,30 @@ pub fn build_suite(ctx: &Context) -> Vec<Table> {
         let label = ctx.scale.density_label(density);
         let entries = ctx.sweep.at(density);
 
-        let hilbert =
-            BuiltIndex::build(IndexKind::Hilbert, entries.clone(), domain, ctx.scale.pool_pages);
-        let str_tree =
-            BuiltIndex::build(IndexKind::Str, entries.clone(), domain, ctx.scale.pool_pages);
-        let pr =
-            BuiltIndex::build(IndexKind::PrTree, entries.clone(), domain, ctx.scale.pool_pages);
-        let tgs =
-            BuiltIndex::build(IndexKind::Tgs, entries.clone(), domain, ctx.scale.pool_pages);
+        let hilbert = BuiltIndex::build(
+            IndexKind::Hilbert,
+            entries.clone(),
+            domain,
+            ctx.scale.pool_pages,
+        );
+        let str_tree = BuiltIndex::build(
+            IndexKind::Str,
+            entries.clone(),
+            domain,
+            ctx.scale.pool_pages,
+        );
+        let pr = BuiltIndex::build(
+            IndexKind::PrTree,
+            entries.clone(),
+            domain,
+            ctx.scale.pool_pages,
+        );
+        let tgs = BuiltIndex::build(
+            IndexKind::Tgs,
+            entries.clone(),
+            domain,
+            ctx.scale.pool_pages,
+        );
         let flat = BuiltIndex::build(IndexKind::Flat, entries, domain, ctx.scale.pool_pages);
         let flat_stats = flat.flat_stats.as_ref().expect("FLAT reports build stats");
 

@@ -1,0 +1,72 @@
+//! Concurrent query throughput (extension): many query streams over one
+//! shared FLAT index.
+//!
+//! The paper evaluates single-stream latency; a deployed index serves many
+//! clients at once. This experiment runs the SN workload from 1/2/4/8
+//! worker threads sharing one [`flat_storage::ConcurrentBufferPool`] over a
+//! throttled store that charges a device latency per physical page read
+//! (queries are I/O-bound, §VII-E.2 — 97.8–98.8 % disk time). Aggregate
+//! throughput rising with the thread count is the direct payoff of the
+//! `&self` read path: overlapped I/O waits, no serialization through an
+//! exclusive pool.
+
+use super::Context;
+use crate::report::{fmt_f64, Table};
+use crate::runner::query_throughput;
+use flat_core::{FlatIndex, FlatOptions};
+use flat_storage::{BufferPool, ConcurrentBufferPool, MemStore, PageStore, ThrottledStore};
+use std::time::Duration;
+
+/// Per-physical-read device latency for the throttled store (SSD-class).
+pub const READ_LATENCY: Duration = Duration::from_micros(150);
+
+/// Thread counts measured.
+pub const THREAD_STEPS: [usize; 4] = [1, 2, 4, 8];
+
+/// Multi-threaded SN throughput on the neuron dataset: queries/sec at
+/// 1/2/4/8 threads plus the speedup over the single-threaded run.
+pub fn exp_concurrency(ctx: &Context) -> Table {
+    let mut table = Table::new(
+        "exp_concurrency",
+        "SN throughput over one shared FLAT index (150 µs/read device)",
+        &["threads", "queries/sec", "speedup vs 1 thread", "results"],
+    );
+    let domain = ctx.sweep.domain();
+    let queries = ctx.scale.sn_workload(&domain);
+    let density = ctx.scale.max_density();
+
+    // Build in the exclusive pool, then re-house the pages behind the
+    // throttled device with a cache an order of magnitude smaller than the
+    // index, so queries keep paying for I/O like the paper's cold-cache
+    // protocol demands.
+    let mut build_pool = BufferPool::new(MemStore::new(), ctx.scale.pool_pages);
+    let options = FlatOptions {
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+    let (index, _) = FlatIndex::build(&mut build_pool, ctx.sweep.at(density), options)
+        .expect("in-memory build cannot fail");
+    let store = ThrottledStore::new(build_pool.into_store(), READ_LATENCY);
+    let cache_pages = (store.num_pages() as usize / 10).max(64);
+    let pool = ConcurrentBufferPool::new(store, cache_pages);
+
+    let mut baseline_qps = None;
+    for threads in THREAD_STEPS {
+        pool.clear_cache();
+        let outcome = query_throughput(&index, &pool, &queries, threads, 1);
+        let qps = outcome.qps();
+        let base = *baseline_qps.get_or_insert(qps);
+        let speedup = if base > 0.0 {
+            format!("{:.2}x", qps / base)
+        } else {
+            "-".to_string() // degenerate run (e.g. FLAT_QUERIES=0)
+        };
+        table.push_row(vec![
+            threads.to_string(),
+            fmt_f64(qps),
+            speedup,
+            outcome.results.to_string(),
+        ]);
+    }
+    table
+}

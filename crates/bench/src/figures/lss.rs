@@ -32,7 +32,13 @@ pub fn lss_suite(ctx: &Context) -> Vec<Table> {
     let mut fig04 = Table::new(
         "fig04_lss_retrieved",
         "LSS: total data retrieved [MB] vs result size, per R-tree variant",
-        &["density", "result size", "PR-Tree", "STR R-Tree", "Hilbert R-Tree"],
+        &[
+            "density",
+            "result size",
+            "PR-Tree",
+            "STR R-Tree",
+            "Hilbert R-Tree",
+        ],
     );
     for &density in ctx.sweep.densities() {
         let get = |kind: IndexKind| &outcomes[&(density, kind)];

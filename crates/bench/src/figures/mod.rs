@@ -8,6 +8,7 @@
 pub mod ablation;
 pub mod analysis;
 pub mod build;
+pub mod concurrency;
 pub mod lss;
 pub mod motivation;
 pub mod other;
@@ -32,7 +33,11 @@ impl Context {
     /// Generates the sweep for `scale`.
     pub fn new(scale: Scale) -> Context {
         let sweep = DensitySweep::generate(&scale);
-        Context { scale, sweep, model: DiskModel::sas_10k() }
+        Context {
+            scale,
+            sweep,
+            model: DiskModel::sas_10k(),
+        }
     }
 }
 
@@ -83,6 +88,15 @@ mod tests {
 
         let meta_order = ablation::exp_meta_order(&ctx);
         assert_eq!(meta_order.rows.len(), 2);
+
+        let concurrent = concurrency::exp_concurrency(&ctx);
+        assert_eq!(concurrent.rows.len(), concurrency::THREAD_STEPS.len());
+        // Every thread count answers the same workload identically.
+        let results: Vec<&String> = concurrent.rows.iter().map(|r| &r[3]).collect();
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "thread counts disagree: {results:?}"
+        );
 
         let bulk_vs_insert = ablation::exp_bulk_vs_insert(&ctx, 5_000);
         assert_eq!(bulk_vs_insert.rows.len(), 2);

@@ -18,7 +18,13 @@ pub fn fig02_rtree_overlap(ctx: &Context) -> Table {
     let mut table = Table::new(
         "fig02_rtree_overlap",
         "Point query performance on R-Tree variants (avg page reads per query)",
-        &["density", "Hilbert R-Tree", "STR R-Tree", "PR-Tree", "tree height"],
+        &[
+            "density",
+            "Hilbert R-Tree",
+            "STR R-Tree",
+            "PR-Tree",
+            "tree height",
+        ],
     );
     let domain = ctx.sweep.domain();
     let points = point_queries(&domain, ctx.scale.queries, ctx.scale.seed ^ 0x9021);
@@ -27,7 +33,7 @@ pub fn fig02_rtree_overlap(ctx: &Context) -> Table {
         let mut row = vec![ctx.scale.density_label(density)];
         let mut height = 0;
         for kind in IndexKind::RTREE_BASELINES {
-            let mut built =
+            let built =
                 BuiltIndex::build(kind, ctx.sweep.at(density), domain, ctx.scale.pool_pages);
             let mut total_reads = 0u64;
             for p in &points {

@@ -46,7 +46,14 @@ pub fn other_datasets_suite(per_million: usize, queries: usize, seed: u64) -> (T
     let mut fig22 = Table::new(
         "fig22_other_datasets",
         "Index size [MB] and building time [s] for each data set",
-        &["dataset", "elements", "FLAT size", "PR size", "FLAT build", "PR build"],
+        &[
+            "dataset",
+            "elements",
+            "FLAT size",
+            "PR size",
+            "FLAT build",
+            "PR build",
+        ],
     );
     let mut fig23 = Table::new(
         "fig23_other_speedup",
@@ -72,8 +79,8 @@ pub fn other_datasets_suite(per_million: usize, queries: usize, seed: u64) -> (T
 
     for (name, entries, domain) in datasets(per_million, seed) {
         let count = entries.len();
-        let mut flat = BuiltIndex::build(IndexKind::Flat, entries.clone(), domain, 1 << 17);
-        let mut pr = BuiltIndex::build(IndexKind::PrTree, entries, domain, 1 << 17);
+        let flat = BuiltIndex::build(IndexKind::Flat, entries.clone(), domain, 1 << 17);
+        let pr = BuiltIndex::build(IndexKind::PrTree, entries, domain, 1 << 17);
 
         fig22.push_row(vec![
             name.to_string(),
@@ -93,8 +100,8 @@ pub fn other_datasets_suite(per_million: usize, queries: usize, seed: u64) -> (T
                 seed: seed ^ fraction.to_bits(),
             };
             let qs = range_queries(&domain, &config);
-            let flat_outcome = run_workload(&mut flat, &qs, model);
-            let pr_outcome = run_workload(&mut pr, &qs, model);
+            let flat_outcome = run_workload(&flat, &qs, model);
+            let pr_outcome = run_workload(&pr, &qs, model);
             let speedup = (pr_outcome.total_time().as_secs_f64()
                 - flat_outcome.total_time().as_secs_f64())
                 / pr_outcome.total_time().as_secs_f64().max(1e-12)

@@ -23,8 +23,12 @@ pub enum IndexKind {
 
 impl IndexKind {
     /// The four contenders of the paper's figures, in plotting order.
-    pub const PAPER_SET: [IndexKind; 4] =
-        [IndexKind::Flat, IndexKind::PrTree, IndexKind::Str, IndexKind::Hilbert];
+    pub const PAPER_SET: [IndexKind; 4] = [
+        IndexKind::Flat,
+        IndexKind::PrTree,
+        IndexKind::Str,
+        IndexKind::Hilbert,
+    ];
 
     /// The three R-tree baselines.
     pub const RTREE_BASELINES: [IndexKind; 3] =
@@ -69,43 +73,60 @@ pub struct BuiltIndex {
 impl BuiltIndex {
     /// Builds an index of `kind` over `entries` (paper-faithful MbrOnly
     /// layout, 85 elements per page).
-    pub fn build(kind: IndexKind, entries: Vec<Entry>, domain: Aabb, pool_pages: usize) -> BuiltIndex {
+    pub fn build(
+        kind: IndexKind,
+        entries: Vec<Entry>,
+        domain: Aabb,
+        pool_pages: usize,
+    ) -> BuiltIndex {
         let mut pool = BufferPool::new(MemStore::new(), pool_pages);
         let start = Instant::now();
         let (flat, rtree, flat_stats) = match kind.bulk() {
             None => {
-                let options = FlatOptions { domain: Some(domain), ..FlatOptions::default() };
+                let options = FlatOptions {
+                    domain: Some(domain),
+                    ..FlatOptions::default()
+                };
                 let (index, stats) = FlatIndex::build(&mut pool, entries, options)
                     .expect("in-memory build cannot fail");
                 (Some(index), None, Some(stats))
             }
             Some(method) => {
-                let tree =
-                    RTree::bulk_load(&mut pool, entries, method, RTreeConfig::default())
-                        .expect("in-memory build cannot fail");
+                let tree = RTree::bulk_load(&mut pool, entries, method, RTreeConfig::default())
+                    .expect("in-memory build cannot fail");
                 (None, Some(tree), None)
             }
         };
         let build_time = start.elapsed();
         pool.reset_stats();
         pool.clear_cache();
-        BuiltIndex { kind, pool, flat, rtree, build_time, flat_stats }
+        BuiltIndex {
+            kind,
+            pool,
+            flat,
+            rtree,
+            build_time,
+            flat_stats,
+        }
     }
 
     /// Runs one range query under the paper's protocol: caches cleared
     /// first, I/O counted from zero. Returns `(result size, I/O delta,
     /// CPU time)`.
-    pub fn query(&mut self, query: &Aabb) -> (usize, IoStats, Duration) {
+    ///
+    /// Queries are shared reads — `&self` all the way down — so a harness
+    /// can interleave measurements without exclusive access.
+    pub fn query(&self, query: &Aabb) -> (usize, IoStats, Duration) {
         self.pool.clear_cache();
         let snapshot = self.pool.snapshot();
         let start = Instant::now();
         let results = match (&self.flat, &self.rtree) {
             (Some(flat), None) => flat
-                .range_query(&mut self.pool, query)
+                .range_query(&self.pool, query)
                 .expect("in-memory query cannot fail")
                 .len(),
             (None, Some(tree)) => tree
-                .range_query(&mut self.pool, query)
+                .range_query(&self.pool, query)
                 .expect("in-memory query cannot fail")
                 .len(),
             _ => unreachable!("exactly one index is set"),
@@ -172,22 +193,29 @@ mod tests {
         let (entries, domain) = sample_entries(20_000);
         let query = Aabb::cube(domain.center(), domain.extents().x * 0.2);
         let mut counts = Vec::new();
-        for kind in
-            [IndexKind::Flat, IndexKind::Hilbert, IndexKind::Str, IndexKind::PrTree, IndexKind::Tgs]
-        {
-            let mut built = BuiltIndex::build(kind, entries.clone(), domain, 1 << 16);
+        for kind in [
+            IndexKind::Flat,
+            IndexKind::Hilbert,
+            IndexKind::Str,
+            IndexKind::PrTree,
+            IndexKind::Tgs,
+        ] {
+            let built = BuiltIndex::build(kind, entries.clone(), domain, 1 << 16);
             let (n, io, _) = built.query(&query);
             assert!(io.total_physical_reads() > 0, "{kind:?} read nothing");
             counts.push(n);
         }
-        assert!(counts.windows(2).all(|w| w[0] == w[1]), "indexes disagree: {counts:?}");
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "indexes disagree: {counts:?}"
+        );
         assert!(counts[0] > 0);
     }
 
     #[test]
     fn query_protocol_clears_caches() {
         let (entries, domain) = sample_entries(10_000);
-        let mut built = BuiltIndex::build(IndexKind::Str, entries, domain, 1 << 16);
+        let built = BuiltIndex::build(IndexKind::Str, entries, domain, 1 << 16);
         let query = Aabb::cube(domain.center(), domain.extents().x * 0.1);
         let (_, io1, _) = built.query(&query);
         let (_, io2, _) = built.query(&query);
@@ -200,7 +228,10 @@ mod tests {
         let (entries, domain) = sample_entries(20_000);
         for kind in [IndexKind::Flat, IndexKind::PrTree] {
             let built = BuiltIndex::build(kind, entries.clone(), domain, 1 << 16);
-            assert_eq!(built.data_bytes() + built.overhead_bytes(), built.size_bytes());
+            assert_eq!(
+                built.data_bytes() + built.overhead_bytes(),
+                built.size_bytes()
+            );
             assert!(built.data_bytes() > built.overhead_bytes());
         }
     }

@@ -107,8 +107,9 @@ impl Scale {
     /// ≈225·10³·`factor` for LSS at max density).
     pub fn with_factor(factor: f64) -> Scale {
         assert!(factor > 0.0, "scale factor must be positive");
-        let densities: Vec<usize> =
-            (1..=9).map(|i| ((i * 50_000) as f64 * factor) as usize).collect();
+        let densities: Vec<usize> = (1..=9)
+            .map(|i| ((i * 50_000) as f64 * factor) as usize)
+            .collect();
         // The paper's fractions apply to 450 M elements; ours hold
         // 450 k · factor, so multiply the volume by the element-count
         // ratio to preserve expected results per query. The LSS fraction
@@ -132,7 +133,9 @@ impl Scale {
             .and_then(|v| v.parse::<f64>().ok())
             .unwrap_or(1.0);
         let mut scale = Scale::with_factor(factor);
-        if let Some(q) = std::env::var("FLAT_QUERIES").ok().and_then(|v| v.parse::<usize>().ok())
+        if let Some(q) = std::env::var("FLAT_QUERIES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
         {
             scale.queries = q;
         }

@@ -1,9 +1,12 @@
-//! Workload execution and aggregation.
+//! Workload execution and aggregation: the paper's cold-cache protocol
+//! ([`run_workload`]) and the multi-threaded query-throughput runner
+//! ([`query_throughput`]) demonstrating concurrent streams over one index.
 
 use crate::indexes::BuiltIndex;
+use flat_core::FlatIndex;
 use flat_geom::Aabb;
-use flat_storage::{DiskModel, IoStats, PageKind};
-use std::time::Duration;
+use flat_storage::{DiskModel, IoStats, PageKind, PageRead};
+use std::time::{Duration, Instant};
 
 /// Aggregated outcome of running a workload against one index.
 #[derive(Debug, Clone)]
@@ -69,11 +72,7 @@ impl WorkloadOutcome {
 
 /// Runs `queries` against `index` under the paper's protocol (cold cache
 /// per query) and aggregates the outcome with `model` pricing the I/O.
-pub fn run_workload(
-    index: &mut BuiltIndex,
-    queries: &[Aabb],
-    model: DiskModel,
-) -> WorkloadOutcome {
+pub fn run_workload(index: &BuiltIndex, queries: &[Aabb], model: DiskModel) -> WorkloadOutcome {
     let mut io = IoStats::new();
     let mut results = 0u64;
     let mut cpu_time = Duration::ZERO;
@@ -84,24 +83,111 @@ pub fn run_workload(
         io.accumulate(&delta);
     }
     let io_time = model.io_time(&io);
-    WorkloadOutcome { queries: queries.len(), results, io, cpu_time, io_time }
+    WorkloadOutcome {
+        queries: queries.len(),
+        results,
+        io,
+        cpu_time,
+        io_time,
+    }
+}
+
+/// Outcome of one multi-threaded throughput run.
+#[derive(Debug, Clone)]
+pub struct ThroughputOutcome {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total queries executed across all threads.
+    pub queries: usize,
+    /// Total result elements across all queries.
+    pub results: u64,
+    /// Wall-clock time for the whole run.
+    pub wall: Duration,
+}
+
+impl ThroughputOutcome {
+    /// Aggregate queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.queries as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Runs `queries` against one [`FlatIndex`] from `threads` worker threads
+/// sharing a single pool, `rounds` times each, and measures aggregate
+/// throughput.
+///
+/// This is the workload the `PageRead` refactor exists for: every thread
+/// holds only `&index` and `&pool`. Queries are distributed round-robin;
+/// with an I/O-bound store (e.g. [`flat_storage::ThrottledStore`] pricing
+/// each physical read like a device would) the threads overlap their I/O
+/// waits, so aggregate throughput grows with the thread count — the same
+/// effect concurrent query streams see on a real disk array.
+///
+/// # Panics
+/// Panics if `threads` or `rounds` is zero, or if a query fails.
+pub fn query_throughput<P: PageRead + Sync>(
+    index: &FlatIndex,
+    pool: &P,
+    queries: &[Aabb],
+    threads: usize,
+    rounds: usize,
+) -> ThroughputOutcome {
+    assert!(threads > 0, "at least one thread required");
+    assert!(rounds > 0, "at least one round required");
+    let start = Instant::now();
+    let results: u64 = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut local = 0u64;
+                    for _ in 0..rounds {
+                        for query in queries.iter().skip(t).step_by(threads) {
+                            local += index
+                                .range_query(pool, query)
+                                .expect("in-memory query cannot fail")
+                                .len() as u64;
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .sum()
+    });
+    let wall = start.elapsed();
+    // Round-robin splitting covers every query exactly once per round.
+    ThroughputOutcome {
+        threads,
+        queries: queries.len() * rounds,
+        results,
+        wall,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::indexes::IndexKind;
+    use flat_core::FlatOptions;
     use flat_data::uniform::{uniform_entries, UniformConfig};
+    use flat_storage::{BufferPool, MemStore, ThrottledStore};
 
     #[test]
     fn outcome_aggregates_queries() {
         let config = UniformConfig::paper_baseline(10_000, 5);
         let entries = uniform_entries(&config);
-        let mut index = BuiltIndex::build(IndexKind::Flat, entries, config.domain, 1 << 16);
+        let index = BuiltIndex::build(IndexKind::Flat, entries, config.domain, 1 << 16);
         let queries: Vec<Aabb> = (0..5)
             .map(|i| Aabb::cube(config.domain.center(), 100.0 + i as f64 * 50.0))
             .collect();
-        let outcome = run_workload(&mut index, &queries, DiskModel::sas_10k());
+        let outcome = run_workload(&index, &queries, DiskModel::sas_10k());
         assert_eq!(outcome.queries, 5);
         assert!(outcome.results > 0);
         assert!(outcome.page_reads() > 0);
@@ -115,10 +201,69 @@ mod tests {
     fn empty_workload_is_zeroes() {
         let config = UniformConfig::paper_baseline(1_000, 5);
         let entries = uniform_entries(&config);
-        let mut index = BuiltIndex::build(IndexKind::Str, entries, config.domain, 1 << 16);
-        let outcome = run_workload(&mut index, &[], DiskModel::sas_10k());
+        let index = BuiltIndex::build(IndexKind::Str, entries, config.domain, 1 << 16);
+        let outcome = run_workload(&index, &[], DiskModel::sas_10k());
         assert_eq!(outcome.queries, 0);
         assert_eq!(outcome.page_reads(), 0);
         assert_eq!(outcome.reads_per_result(), 0.0);
+    }
+
+    #[test]
+    fn throughput_runner_counts_all_work_at_any_thread_count() {
+        let config = UniformConfig::paper_baseline(5_000, 5);
+        let entries = uniform_entries(&config);
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let options = FlatOptions {
+            domain: Some(config.domain),
+            ..FlatOptions::default()
+        };
+        let (index, _) = FlatIndex::build(&mut pool, entries, options).unwrap();
+        let pool = pool.into_concurrent();
+        let queries: Vec<Aabb> = (0..8)
+            .map(|i| Aabb::cube(config.domain.center(), 80.0 + i as f64 * 40.0))
+            .collect();
+
+        let serial = query_throughput(&index, &pool, &queries, 1, 2);
+        let parallel = query_throughput(&index, &pool, &queries, 4, 2);
+        assert_eq!(serial.queries, 16);
+        assert_eq!(parallel.queries, 16);
+        // Same queries → same total results regardless of thread count.
+        assert_eq!(serial.results, parallel.results);
+        assert!(serial.results > 0);
+        assert!(serial.qps() > 0.0);
+    }
+
+    #[test]
+    fn io_bound_throughput_scales_with_threads() {
+        // The refactor's payoff: with a store that charges a device
+        // latency per physical read, threads overlap their waits and
+        // aggregate throughput rises well past 1×.
+        let config = UniformConfig::paper_baseline(4_000, 9);
+        let entries = uniform_entries(&config);
+        let mut pool = BufferPool::new(MemStore::new(), 4);
+        let options = FlatOptions {
+            domain: Some(config.domain),
+            ..FlatOptions::default()
+        };
+        let (index, _) = FlatIndex::build(&mut pool, entries, options).unwrap();
+        // Re-house the pages behind a 200 µs/read device, with a tiny
+        // cache so queries keep missing.
+        let store = ThrottledStore::new(pool.into_store(), Duration::from_micros(200));
+        let pool = flat_storage::ConcurrentBufferPool::new(store, 64);
+        let queries: Vec<Aabb> = (0..8)
+            .map(|i| Aabb::cube(config.domain.center(), 60.0 + i as f64 * 30.0))
+            .collect();
+
+        let serial = query_throughput(&index, &pool, &queries, 1, 1);
+        let parallel = query_throughput(&index, &pool, &queries, 4, 1);
+        let speedup = parallel.qps() / serial.qps();
+        assert_eq!(serial.results, parallel.results);
+        // Overlapped sleeps give ~3x here even on one core; the bound is
+        // kept loose (just past the >1x acceptance line) so a contended CI
+        // runner can't flake it. `exp_concurrency` reports the real curve.
+        assert!(
+            speedup > 1.2,
+            "4 threads over an I/O-bound store must overlap waits: {speedup:.2}x"
+        );
     }
 }

@@ -6,7 +6,7 @@ use crate::partition::{partition, Partition};
 use flat_geom::Aabb;
 use flat_rtree::node::{encode_leaf, ChildRef};
 use flat_rtree::{build_inner_levels, leaf_capacity, Entry, LeafLayout};
-use flat_storage::{BufferPool, Page, PageId, PageKind, PageStore, StorageError, PAGE_SIZE};
+use flat_storage::{Page, PageId, PageKind, PageWrite, StorageError, PAGE_SIZE};
 use std::time::{Duration, Instant};
 
 /// How metadata records are ordered across seed-tree leaf pages.
@@ -112,7 +112,10 @@ impl BuildStats {
 /// A built FLAT index.
 ///
 /// Like the R-tree baselines, the index does not own its pages: all
-/// operations take the [`BufferPool`] it was built in.
+/// operations take the pool it was built in. Construction is exclusive
+/// ([`PageWrite`]); queries are shared reads (`&impl PageRead`), so a
+/// built index can serve many threads through one
+/// [`flat_storage::ConcurrentBufferPool`].
 #[derive(Debug, Clone)]
 pub struct FlatIndex {
     pub(crate) seed_root: Option<PageId>,
@@ -128,8 +131,8 @@ pub struct FlatIndex {
 impl FlatIndex {
     /// Bulk-loads a FLAT index (the paper's Algorithm 1 plus the data
     /// structure construction of §V-B).
-    pub fn build<S: PageStore>(
-        pool: &mut BufferPool<S>,
+    pub fn build(
+        pool: &mut impl PageWrite,
         entries: Vec<Entry>,
         options: FlatOptions,
     ) -> Result<(FlatIndex, BuildStats), StorageError> {
@@ -172,19 +175,25 @@ impl FlatIndex {
             neighbor_time,
             write_time,
             num_partitions: partitions.len(),
-            neighbor_counts: partitions.iter().map(|p| p.neighbors.len() as u32).collect(),
+            neighbor_counts: partitions
+                .iter()
+                .map(|p| p.neighbors.len() as u32)
+                .collect(),
             avg_partition_volume: if partitions.is_empty() {
                 0.0
             } else {
-                partitions.iter().map(|p| p.partition_mbr.volume()).sum::<f64>()
+                partitions
+                    .iter()
+                    .map(|p| p.partition_mbr.volume())
+                    .sum::<f64>()
                     / partitions.len() as f64
             },
         };
         Ok((index, stats))
     }
 
-    fn write_structures<S: PageStore>(
-        pool: &mut BufferPool<S>,
+    fn write_structures(
+        pool: &mut impl PageWrite,
         partitions: &[Partition],
         layout: LeafLayout,
         meta_order: MetaOrder,
@@ -220,10 +229,8 @@ impl FlatIndex {
         // on few metadata pages — which is what the crawl actually touches.
         let order: Vec<usize> = match meta_order {
             MetaOrder::Hilbert => {
-                let bounds =
-                    Aabb::union_all(partitions.iter().map(|p| p.partition_mbr));
-                let disc =
-                    flat_sfc::Discretizer::new(bounds.min.into(), bounds.max.into(), 16);
+                let bounds = Aabb::union_all(partitions.iter().map(|p| p.partition_mbr));
+                let disc = flat_sfc::Discretizer::new(bounds.min.into(), bounds.max.into(), 16);
                 let mut order: Vec<usize> = (0..partitions.len()).collect();
                 let keys: Vec<u64> = partitions
                     .iter()
@@ -240,8 +247,10 @@ impl FlatIndex {
         // neighbor pointer and continuation pointer has a known physical
         // address before serialization starts. `plan[*].partition` indexes
         // into `order`, not into `partitions` directly.
-        let neighbor_counts: Vec<usize> =
-            order.iter().map(|&i| partitions[i].neighbors.len()).collect();
+        let neighbor_counts: Vec<usize> = order
+            .iter()
+            .map(|&i| partitions[i].neighbors.len())
+            .collect();
         let plan = plan_records(&neighbor_counts);
         let slots = assign_slots(&plan);
         let num_meta_pages = slots.last().expect("partitions is non-empty").0 + 1;
@@ -260,8 +269,7 @@ impl FlatIndex {
                 primary_chunk[order[planned.partition]] = c;
             }
         }
-        let address_of_partition =
-            |i: usize| address_of_chunk(primary_chunk[i]);
+        let address_of_partition = |i: usize| address_of_chunk(primary_chunk[i]);
 
         // Serialize the records page by page, in stream order.
         let mut chunk_idx = 0usize;
@@ -298,7 +306,10 @@ impl FlatIndex {
             }
             encode_meta_leaf(&records, &mut page);
             pool.write(meta_id, &page, PageKind::SeedLeaf)?;
-            leaf_refs.push(ChildRef { mbr: leaf_mbr, page: meta_id });
+            leaf_refs.push(ChildRef {
+                mbr: leaf_mbr,
+                page: meta_id,
+            });
         }
         debug_assert_eq!(chunk_idx, plan.len());
 
@@ -369,7 +380,7 @@ mod tests {
     use super::*;
     use crate::meta::decode_meta_leaf;
     use flat_geom::Point3;
-    use flat_storage::MemStore;
+    use flat_storage::{BufferPool, MemStore, PageStore};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -493,7 +504,10 @@ mod tests {
         let (_, inflated) = FlatIndex::build(
             &mut pool_b,
             entries,
-            FlatOptions { partition_volume_scale: 2.0, ..FlatOptions::default() },
+            FlatOptions {
+                partition_volume_scale: 2.0,
+                ..FlatOptions::default()
+            },
         )
         .unwrap();
         assert!(
@@ -512,7 +526,10 @@ mod tests {
         let _ = FlatIndex::build(
             &mut pool,
             random_entries(10, 1),
-            FlatOptions { partition_volume_scale: 0.5, ..FlatOptions::default() },
+            FlatOptions {
+                partition_volume_scale: 0.5,
+                ..FlatOptions::default()
+            },
         );
     }
 

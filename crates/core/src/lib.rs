@@ -51,7 +51,7 @@
 //! assert!(stats.num_partitions > 0);
 //!
 //! let query = Aabb::cube(Point3::splat(500.0), 20.0);
-//! let hits = index.range_query(&mut pool, &query).unwrap();
+//! let hits = index.range_query(&pool, &query).unwrap();
 //! assert!(!hits.is_empty());
 //! ```
 

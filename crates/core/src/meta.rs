@@ -128,7 +128,12 @@ pub fn plan_records(neighbor_counts: &[usize]) -> Vec<PlannedRecord> {
         let mut start = 0;
         loop {
             let len = (count - start).min(max);
-            plan.push(PlannedRecord { partition, start, len, primary: start == 0 });
+            plan.push(PlannedRecord {
+                partition,
+                start,
+                len,
+                primary: start == 0,
+            });
             start += len;
             if start >= count {
                 break;
@@ -177,7 +182,11 @@ fn put_mbr(page: &mut Page, offset: usize, mbr: &Aabb) {
 
 fn get_mbr(page: &Page, offset: usize) -> Aabb {
     Aabb {
-        min: Point3::new(page.get_f64(offset), page.get_f64(offset + 8), page.get_f64(offset + 16)),
+        min: Point3::new(
+            page.get_f64(offset),
+            page.get_f64(offset + 8),
+            page.get_f64(offset + 16),
+        ),
         max: Point3::new(
             page.get_f64(offset + 24),
             page.get_f64(offset + 32),
@@ -192,11 +201,16 @@ fn get_mbr(page: &Page, offset: usize) -> Aabb {
 /// Panics if the records don't fit (callers size pages with
 /// [`assign_slots`]) or if `records` is empty.
 pub fn encode_meta_leaf(records: &[MetaRecord], page: &mut Page) {
-    assert!(!records.is_empty(), "metadata leaf must hold at least one record");
+    assert!(
+        !records.is_empty(),
+        "metadata leaf must hold at least one record"
+    );
     let dir_size = records.len() * DIR_ENTRY;
-    let total: usize =
-        records.iter().map(|r| r.serialized_size()).sum::<usize>() + dir_size;
-    assert!(total <= meta_page_budget(), "metadata records overflow the page: {total} bytes");
+    let total: usize = records.iter().map(|r| r.serialized_size()).sum::<usize>() + dir_size;
+    assert!(
+        total <= meta_page_budget(),
+        "metadata records overflow the page: {total} bytes"
+    );
 
     page.clear();
     page.put_u16(0, TAG_META_LEAF);
@@ -250,7 +264,9 @@ pub fn decode_meta_record(page: &Page, slot: u16) -> Result<MetaRecord, StorageE
     }
     let offset = page.get_u16(HEADER_SIZE + slot as usize * DIR_ENTRY) as usize;
     if offset + RECORD_FIXED > PAGE_SIZE {
-        return Err(StorageError::Corrupt(format!("record offset {offset} out of page")));
+        return Err(StorageError::Corrupt(format!(
+            "record offset {offset} out of page"
+        )));
     }
     let page_mbr = get_mbr(page, offset);
     let partition_mbr = get_mbr(page, offset + 48);
@@ -260,10 +276,15 @@ pub fn decode_meta_record(page: &Page, slot: u16) -> Result<MetaRecord, StorageE
     let n = (count_word & 0x7FFF) as usize;
     let continuation = match page.get_u64(offset + 106) {
         NO_CONTINUATION => None,
-        p => Some(MetaRecordId { page: PageId(p), slot: page.get_u16(offset + 114) }),
+        p => Some(MetaRecordId {
+            page: PageId(p),
+            slot: page.get_u16(offset + 114),
+        }),
     };
     if offset + RECORD_FIXED + n * NEIGHBOR_SIZE > PAGE_SIZE {
-        return Err(StorageError::Corrupt(format!("record with {n} neighbors out of page")));
+        return Err(StorageError::Corrupt(format!(
+            "record with {n} neighbors out of page"
+        )));
     }
     let mut neighbors = Vec::with_capacity(n);
     let mut n_off = offset + RECORD_FIXED;
@@ -287,7 +308,9 @@ pub fn decode_meta_record(page: &Page, slot: u16) -> Result<MetaRecord, StorageE
 /// Decodes all records of a metadata page (validation / inspection).
 pub fn decode_meta_leaf(page: &Page) -> Result<Vec<MetaRecord>, StorageError> {
     let count = meta_leaf_len(page)?;
-    (0..count as u16).map(|slot| decode_meta_record(page, slot)).collect()
+    (0..count as u16)
+        .map(|slot| decode_meta_record(page, slot))
+        .collect()
 }
 
 #[cfg(test)]
@@ -301,7 +324,10 @@ mod tests {
             partition_mbr: Aabb::cube(Point3::splat(base), 2.0),
             object_page: PageId(seed * 3),
             neighbors: (0..neighbors)
-                .map(|i| MetaRecordId { page: PageId(seed + i as u64), slot: i as u16 })
+                .map(|i| MetaRecordId {
+                    page: PageId(seed + i as u64),
+                    slot: i as u16,
+                })
                 .collect(),
             continuation: None,
             is_continuation: false,
@@ -310,8 +336,9 @@ mod tests {
 
     #[test]
     fn record_roundtrip() {
-        let records: Vec<MetaRecord> =
-            (0..5).map(|i| sample_record(i, 3 + i as usize * 2)).collect();
+        let records: Vec<MetaRecord> = (0..5)
+            .map(|i| sample_record(i, 3 + i as usize * 2))
+            .collect();
         let mut page = Page::new();
         encode_meta_leaf(&records, &mut page);
         assert_eq!(meta_leaf_len(&page).unwrap(), 5);
@@ -325,7 +352,10 @@ mod tests {
     #[test]
     fn continuation_pointer_roundtrips() {
         let mut record = sample_record(3, 4);
-        record.continuation = Some(MetaRecordId { page: PageId(77), slot: 9 });
+        record.continuation = Some(MetaRecordId {
+            page: PageId(77),
+            slot: 9,
+        });
         let mut page = Page::new();
         encode_meta_leaf(std::slice::from_ref(&record), &mut page);
         assert_eq!(decode_meta_record(&page, 0).unwrap(), record);
@@ -339,7 +369,11 @@ mod tests {
         encode_meta_leaf(std::slice::from_ref(&record), &mut page);
         let got = decode_meta_record(&page, 0).unwrap();
         assert!(got.is_continuation);
-        assert_eq!(got.neighbors.len(), 17, "flag bit must not corrupt the count");
+        assert_eq!(
+            got.neighbors.len(),
+            17,
+            "flag bit must not corrupt the count"
+        );
         assert_eq!(got, record);
     }
 
@@ -358,8 +392,9 @@ mod tests {
         let n_neighbors = 30; // the paper's converged median (Fig 20)
         let per_record = record_size(n_neighbors) + DIR_ENTRY;
         let fit = meta_page_budget() / per_record;
-        let records: Vec<MetaRecord> =
-            (0..fit as u64).map(|i| sample_record(i, n_neighbors)).collect();
+        let records: Vec<MetaRecord> = (0..fit as u64)
+            .map(|i| sample_record(i, n_neighbors))
+            .collect();
         let mut page = Page::new();
         encode_meta_leaf(&records, &mut page); // must not panic
         assert_eq!(decode_meta_leaf(&page).unwrap().len(), fit);
@@ -391,19 +426,40 @@ mod tests {
         let counts = vec![max * 2 + 5, 3];
         let plan = plan_records(&counts);
         assert_eq!(plan.len(), 4, "3 chunks for the giant + 1 normal");
-        assert_eq!(plan[0], PlannedRecord { partition: 0, start: 0, len: max, primary: true });
+        assert_eq!(
+            plan[0],
+            PlannedRecord {
+                partition: 0,
+                start: 0,
+                len: max,
+                primary: true
+            }
+        );
         assert_eq!(
             plan[1],
-            PlannedRecord { partition: 0, start: max, len: max, primary: false }
+            PlannedRecord {
+                partition: 0,
+                start: max,
+                len: max,
+                primary: false
+            }
         );
         assert_eq!(
             plan[2],
-            PlannedRecord { partition: 0, start: 2 * max, len: 5, primary: false }
+            PlannedRecord {
+                partition: 0,
+                start: 2 * max,
+                len: 5,
+                primary: false
+            }
         );
         assert!(plan[3].primary);
         // Chunks cover the whole list exactly once.
-        let covered: usize =
-            plan.iter().filter(|p| p.partition == 0).map(|p| p.len).sum();
+        let covered: usize = plan
+            .iter()
+            .filter(|p| p.partition == 0)
+            .map(|p| p.len)
+            .sum();
         assert_eq!(covered, counts[0]);
     }
 
@@ -425,7 +481,10 @@ mod tests {
             *per_page.entry(*p).or_default() += record_size(plan[i].len) + DIR_ENTRY;
         }
         for (page, used) in per_page {
-            assert!(used <= meta_page_budget(), "page {page} over budget: {used}");
+            assert!(
+                used <= meta_page_budget(),
+                "page {page} over budget: {used}"
+            );
         }
     }
 

@@ -32,14 +32,17 @@ pub fn compute_neighbors(partitions: &mut [Partition]) -> Result<u64, StorageErr
         .map(|(i, p)| Entry::new(i as u64, p.partition_mbr))
         .collect();
     let mut pool = BufferPool::new(MemStore::new(), usize::MAX >> 1);
-    let config = RTreeConfig { layout: LeafLayout::WithIds, ..RTreeConfig::default() };
+    let config = RTreeConfig {
+        layout: LeafLayout::WithIds,
+        ..RTreeConfig::default()
+    };
     let tree = RTree::bulk_load(&mut pool, entries, BulkLoad::Str, config)?;
 
     let mut total = 0u64;
     for (i, partition) in partitions.iter_mut().enumerate() {
         let query: Aabb = partition.partition_mbr;
         let mut neighbors: Vec<u32> = tree
-            .range_query(&mut pool, &query)?
+            .range_query(&pool, &query)?
             .into_iter()
             .map(|h| h.id as u32)
             .filter(|&j| j != i as u32)
@@ -87,7 +90,11 @@ mod tests {
         compute_neighbors(&mut parts).unwrap();
         // Index of the center cell (1,1,1) in x-major order.
         let center = 9 + 3 + 1; // cell (1,1,1) in x-major order
-        assert_eq!(parts[center].neighbors.len(), 26, "3³ grid center touches all others");
+        assert_eq!(
+            parts[center].neighbors.len(),
+            26,
+            "3³ grid center touches all others"
+        );
         // A corner touches 7 others.
         assert_eq!(parts[0].neighbors.len(), 7);
     }
@@ -134,9 +141,7 @@ mod tests {
         compute_neighbors(&mut parts).unwrap();
         for i in 0..parts.len() {
             let expected: Vec<u32> = (0..parts.len())
-                .filter(|&j| {
-                    j != i && parts[i].partition_mbr.intersects(&parts[j].partition_mbr)
-                })
+                .filter(|&j| j != i && parts[i].partition_mbr.intersects(&parts[j].partition_mbr))
                 .map(|j| j as u32)
                 .collect();
             assert_eq!(parts[i].neighbors, expected, "partition {i}");

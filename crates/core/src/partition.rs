@@ -39,10 +39,7 @@ impl Partition {
     /// [`verify_tiling`]).
     pub fn invariants_hold(&self) -> bool {
         self.partition_mbr.contains(&self.page_mbr)
-            && self
-                .elements
-                .iter()
-                .all(|e| self.page_mbr.contains(&e.mbr))
+            && self.elements.iter().all(|e| self.page_mbr.contains(&e.mbr))
     }
 }
 
@@ -51,11 +48,7 @@ impl Partition {
 ///
 /// Returns `(chunks, cuts)` where `cuts[i]` separates chunk `i` from chunk
 /// `i+1` (a value between the two adjacent centers).
-fn chop(
-    mut items: Vec<Entry>,
-    axis: Axis,
-    chunk_size: usize,
-) -> (Vec<Vec<Entry>>, Vec<f64>) {
+fn chop(mut items: Vec<Entry>, axis: Axis, chunk_size: usize) -> (Vec<Vec<Entry>>, Vec<f64>) {
     items.sort_by(|a, b| {
         a.mbr
             .center()
@@ -72,7 +65,12 @@ fn chop(
             break;
         }
         if let Some(next) = iter.peek() {
-            let last = chunk.last().expect("chunk is non-empty").mbr.center().coord(axis);
+            let last = chunk
+                .last()
+                .expect("chunk is non-empty")
+                .mbr
+                .center()
+                .coord(axis);
             let first = next.mbr.center().coord(axis);
             cuts.push((last + first) / 2.0);
         }
@@ -89,7 +87,11 @@ fn tiles_for(bounds: &Aabb, axis: Axis, cuts: &[f64], count: usize) -> Vec<Aabb>
     let mut tiles = Vec::with_capacity(count);
     let mut lo = bounds.min.coord(axis);
     for i in 0..count {
-        let hi = if i < cuts.len() { cuts[i] } else { bounds.max.coord(axis) };
+        let hi = if i < cuts.len() {
+            cuts[i]
+        } else {
+            bounds.max.coord(axis)
+        };
         let mut tile = *bounds;
         tile.min = tile.min.with_coord(axis, lo.min(hi));
         tile.max = tile.max.with_coord(axis, hi.max(lo));
@@ -172,7 +174,10 @@ pub fn verify_tiling(partitions: &[Partition], domain: &Aabb, steps: usize) -> R
                     domain.min.y + e.y * (j as f64 + 0.5) / steps as f64,
                     domain.min.z + e.z * (k as f64 + 0.5) / steps as f64,
                 );
-                if !partitions.iter().any(|part| part.partition_mbr.contains_point(&p)) {
+                if !partitions
+                    .iter()
+                    .any(|part| part.partition_mbr.contains_point(&p))
+                {
                     return Err(format!("probe point {p} is not covered by any partition"));
                 }
             }
@@ -197,7 +202,10 @@ mod tests {
                     rng.gen_range(0.0..100.0),
                     rng.gen_range(0.0..100.0),
                 );
-                Entry::new(i as u64, Aabb::centered(c, Point3::splat(rng.gen_range(0.01..0.8))))
+                Entry::new(
+                    i as u64,
+                    Aabb::centered(c, Point3::splat(rng.gen_range(0.01..0.8))),
+                )
             })
             .collect()
     }
@@ -223,7 +231,11 @@ mod tests {
         let parts = partition(entries, 85, None);
         let min = 10_000usize.div_ceil(85);
         assert!(parts.len() >= min);
-        assert!(parts.len() <= min + min / 2, "{} partitions for minimum {min}", parts.len());
+        assert!(
+            parts.len() <= min + min / 2,
+            "{} partitions for minimum {min}",
+            parts.len()
+        );
     }
 
     #[test]
@@ -283,7 +295,10 @@ mod tests {
         // tile (page MBR wider than the tile's share of space).
         let total_tile_volume: f64 = parts.iter().map(|p| p.partition_mbr.volume()).sum();
         let domain_volume = Aabb::union_all(parts.iter().map(|p| p.partition_mbr)).volume();
-        assert!(total_tile_volume > domain_volume * 1.01, "no overlap ⇒ nothing stretched");
+        assert!(
+            total_tile_volume > domain_volume * 1.01,
+            "no overlap ⇒ nothing stretched"
+        );
     }
 
     #[test]
@@ -301,8 +316,9 @@ mod tests {
 
     #[test]
     fn duplicate_centers_are_partitioned_deterministically() {
-        let entries: Vec<Entry> =
-            (0..500).map(|i| Entry::new(i, Aabb::cube(Point3::splat(5.0), 1.0))).collect();
+        let entries: Vec<Entry> = (0..500)
+            .map(|i| Entry::new(i, Aabb::cube(Point3::splat(5.0), 1.0)))
+            .collect();
         let a = partition(entries.clone(), 85, None);
         let b = partition(entries, 85, None);
         assert_eq!(a.len(), b.len());

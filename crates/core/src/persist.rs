@@ -8,7 +8,7 @@
 
 use crate::index::FlatIndex;
 use flat_rtree::LeafLayout;
-use flat_storage::{BufferPool, Page, PageId, PageKind, PageStore, StorageError};
+use flat_storage::{Page, PageId, PageKind, PageRead, PageWrite, StorageError};
 
 const MAGIC: u32 = 0x464C_4154; // "FLAT"
 const KIND_FLAT: u16 = 2;
@@ -16,7 +16,7 @@ const NO_ROOT: u64 = u64::MAX;
 
 impl FlatIndex {
     /// Writes the index descriptor to a new page, returning its id.
-    pub fn save<S: PageStore>(&self, pool: &mut BufferPool<S>) -> Result<PageId, StorageError> {
+    pub fn save(&self, pool: &mut impl PageWrite) -> Result<PageId, StorageError> {
         let mut page = Page::new();
         page.put_u32(0, MAGIC);
         page.put_u16(4, KIND_FLAT);
@@ -40,11 +40,8 @@ impl FlatIndex {
 
     /// Reconstructs an index handle from a descriptor page written by
     /// [`FlatIndex::save`].
-    pub fn load<S: PageStore>(
-        pool: &mut BufferPool<S>,
-        descriptor: PageId,
-    ) -> Result<FlatIndex, StorageError> {
-        let page = pool.read(descriptor, PageKind::Other)?;
+    pub fn load(pool: &impl PageRead, descriptor: PageId) -> Result<FlatIndex, StorageError> {
+        let page = pool.read_page(descriptor, PageKind::Other)?;
         if page.get_u32(0) != MAGIC || page.get_u16(4) != KIND_FLAT {
             return Err(StorageError::Corrupt(format!(
                 "{descriptor} is not a FLAT descriptor"
@@ -57,7 +54,11 @@ impl FlatIndex {
         };
         let root = page.get_u64(8);
         Ok(FlatIndex {
-            seed_root: if root == NO_ROOT { None } else { Some(PageId(root)) },
+            seed_root: if root == NO_ROOT {
+                None
+            } else {
+                Some(PageId(root))
+            },
             seed_height: page.get_u32(16),
             layout,
             num_elements: page.get_u64(24),
@@ -74,7 +75,7 @@ mod tests {
     use crate::{FlatIndex, FlatOptions};
     use flat_geom::{Aabb, Point3};
     use flat_rtree::Entry;
-    use flat_storage::MemStore;
+    use flat_storage::{BufferPool, MemStore};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -100,14 +101,14 @@ mod tests {
             FlatIndex::build(&mut pool, entries.clone(), FlatOptions::default()).unwrap();
         let descriptor = index.save(&mut pool).unwrap();
 
-        let loaded = FlatIndex::load(&mut pool, descriptor).unwrap();
+        let loaded = FlatIndex::load(&pool, descriptor).unwrap();
         assert_eq!(loaded.num_elements(), index.num_elements());
         assert_eq!(loaded.seed_height(), index.seed_height());
         assert_eq!(loaded.num_meta_pages(), index.num_meta_pages());
 
         let q = Aabb::cube(Point3::splat(40.0), 20.0);
         let expected = entries.iter().filter(|e| q.intersects(&e.mbr)).count();
-        assert_eq!(loaded.range_query(&mut pool, &q).unwrap().len(), expected);
+        assert_eq!(loaded.range_query(&pool, &q).unwrap().len(), expected);
     }
 
     #[test]
@@ -115,10 +116,10 @@ mod tests {
         let mut pool = BufferPool::new(MemStore::new(), 16);
         let (index, _) = FlatIndex::build(&mut pool, Vec::new(), FlatOptions::default()).unwrap();
         let descriptor = index.save(&mut pool).unwrap();
-        let loaded = FlatIndex::load(&mut pool, descriptor).unwrap();
+        let loaded = FlatIndex::load(&pool, descriptor).unwrap();
         assert_eq!(loaded.num_elements(), 0);
         let q = Aabb::cube(Point3::ORIGIN, 5.0);
-        assert!(loaded.range_query(&mut pool, &q).unwrap().is_empty());
+        assert!(loaded.range_query(&pool, &q).unwrap().is_empty());
     }
 
     #[test]
@@ -134,7 +135,7 @@ mod tests {
         .unwrap();
         let descriptor = tree.save(&mut pool).unwrap();
         assert!(matches!(
-            FlatIndex::load(&mut pool, descriptor),
+            FlatIndex::load(&pool, descriptor),
             Err(StorageError::Corrupt(_))
         ));
     }

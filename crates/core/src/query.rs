@@ -6,7 +6,7 @@ use crate::meta::{decode_meta_record, meta_leaf_len, MetaRecordId};
 use flat_geom::Aabb;
 use flat_rtree::node::{decode_inner, decode_leaf};
 use flat_rtree::{Hit, LeafLayout};
-use flat_storage::{BufferPool, PageId, PageKind, PageStore, StorageError};
+use flat_storage::{PageId, PageKind, PageRead, StorageError};
 use std::collections::{HashSet, VecDeque};
 
 /// Per-query counters (the CPU/bookkeeping side of §VII-E.2; the I/O side
@@ -42,9 +42,14 @@ impl QueryStats {
 
 impl FlatIndex {
     /// Evaluates a range query: seed phase then breadth-first crawl.
-    pub fn range_query<S: PageStore>(
+    ///
+    /// Queries are shared reads (`&self` on both the index and the pool):
+    /// any [`PageRead`] implementation works, including a
+    /// [`flat_storage::ConcurrentBufferPool`] serving many query threads
+    /// over one index.
+    pub fn range_query(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &impl PageRead,
         query: &Aabb,
     ) -> Result<Vec<Hit>, StorageError> {
         let mut stats = QueryStats::default();
@@ -52,9 +57,9 @@ impl FlatIndex {
     }
 
     /// Like [`FlatIndex::range_query`], accumulating counters into `stats`.
-    pub fn range_query_with_stats<S: PageStore>(
+    pub fn range_query_with_stats(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &impl PageRead,
         query: &Aabb,
         stats: &mut QueryStats,
     ) -> Result<Vec<Hit>, StorageError> {
@@ -71,26 +76,23 @@ impl FlatIndex {
     /// The seed phase (§V-B.1): walk a single path of the seed tree
     /// (early-exit DFS), reading candidate object pages until one actually
     /// contains an element intersecting the query.
-    fn seed<S: PageStore>(
+    fn seed(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &impl PageRead,
         query: &Aabb,
         stats: &mut QueryStats,
     ) -> Result<Option<MetaRecordId>, StorageError> {
-        let Some(root) = self.seed_root else { return Ok(None) };
+        let Some(root) = self.seed_root else {
+            return Ok(None);
+        };
         let mut stack = vec![(root, self.seed_height)];
         while let Some((page_id, level)) = stack.pop() {
             if level == 1 {
                 // A metadata leaf: probe its records.
-                let count = {
-                    let page = pool.read(page_id, PageKind::SeedLeaf)?;
-                    meta_leaf_len(page)?
-                };
+                let leaf = pool.read_page(page_id, PageKind::SeedLeaf)?;
+                let count = meta_leaf_len(&leaf)?;
                 for slot in 0..count as u16 {
-                    let record = {
-                        let page = pool.read(page_id, PageKind::SeedLeaf)?;
-                        decode_meta_record(page, slot)?
-                    };
+                    let record = decode_meta_record(&leaf, slot)?;
                     // Continuation chunks are not crawl entry points: a
                     // crawl seeded mid-chain would only reach the tail of
                     // the over-full neighbor list.
@@ -104,19 +106,22 @@ impl FlatIndex {
                     // Candidate: check the object page for a real element.
                     stats.object_pages_read += 1;
                     let found = {
-                        let page = pool.read(record.object_page, PageKind::ObjectPage)?;
-                        let (_, entries) = decode_leaf(page)?;
+                        let page = pool.read_page(record.object_page, PageKind::ObjectPage)?;
+                        let (_, entries) = decode_leaf(&page)?;
                         stats.mbr_tests += entries.len() as u64;
                         entries.iter().any(|e| query.intersects(&e.mbr))
                     };
                     if found {
-                        return Ok(Some(MetaRecordId { page: page_id, slot }));
+                        return Ok(Some(MetaRecordId {
+                            page: page_id,
+                            slot,
+                        }));
                     }
                     stats.seed_probe_pages += 1;
                 }
             } else {
-                let page = pool.read(page_id, PageKind::SeedInner)?;
-                for child in decode_inner(page)? {
+                let page = pool.read_page(page_id, PageKind::SeedInner)?;
+                for child in decode_inner(&page)? {
                     stats.mbr_tests += 1;
                     if query.intersects(&child.mbr) {
                         stack.push((child.page, level - 1));
@@ -138,9 +143,9 @@ impl FlatIndex {
     /// ("seen"), which preserves the intended I/O behaviour — every record
     /// is processed at most once, every object page read at most once —
     /// and guarantees termination.
-    fn crawl<S: PageStore>(
+    fn crawl(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &impl PageRead,
         query: &Aabb,
         seed: MetaRecordId,
         stats: &mut QueryStats,
@@ -155,8 +160,8 @@ impl FlatIndex {
             stats.max_queue_len = stats.max_queue_len.max(queue.len() + 1);
             stats.records_processed += 1;
             let record = {
-                let page = pool.read(addr.page, PageKind::SeedLeaf)?;
-                decode_meta_record(page, addr.slot)?
+                let page = pool.read_page(addr.page, PageKind::SeedLeaf)?;
+                decode_meta_record(&page, addr.slot)?
             };
 
             // "the object page is only read from disk if M's page MBR
@@ -164,8 +169,8 @@ impl FlatIndex {
             stats.mbr_tests += 1;
             if record.page_mbr.intersects(query) {
                 stats.object_pages_read += 1;
-                let page = pool.read(record.object_page, PageKind::ObjectPage)?;
-                let (layout, entries) = decode_leaf(page)?;
+                let page = pool.read_page(record.object_page, PageKind::ObjectPage)?;
+                let (layout, entries) = decode_leaf(&page)?;
                 for (slot, entry) in entries.iter().enumerate() {
                     stats.mbr_tests += 1;
                     if query.intersects(&entry.mbr) {
@@ -199,8 +204,8 @@ impl FlatIndex {
                 let mut next = record.continuation;
                 while let Some(addr) = next {
                     let chunk = {
-                        let page = pool.read(addr.page, PageKind::SeedLeaf)?;
-                        decode_meta_record(page, addr.slot)?
+                        let page = pool.read_page(addr.page, PageKind::SeedLeaf)?;
+                        decode_meta_record(&page, addr.slot)?
                     };
                     for neighbor in chunk.neighbors {
                         if seen.insert(neighbor) {
@@ -217,13 +222,15 @@ impl FlatIndex {
 
     /// Runs only the seed phase, returning the address of the seed record
     /// (for instrumentation and the seed-cost experiments).
-    pub fn seed_only<S: PageStore>(
+    pub fn seed_only(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &impl PageRead,
         query: &Aabb,
     ) -> Result<Option<(PageId, u16)>, StorageError> {
         let mut stats = QueryStats::default();
-        Ok(self.seed(pool, query, &mut stats)?.map(|r| (r.page, r.slot)))
+        Ok(self
+            .seed(pool, query, &mut stats)?
+            .map(|r| (r.page, r.slot)))
     }
 }
 
@@ -233,7 +240,7 @@ mod tests {
     use crate::index::{FlatIndex, FlatOptions};
     use flat_geom::Point3;
     use flat_rtree::Entry;
-    use flat_storage::MemStore;
+    use flat_storage::{BufferPool, MemStore};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -252,12 +259,22 @@ mod tests {
     }
 
     fn brute_force(entries: &[Entry], q: &Aabb) -> Vec<Aabb> {
-        let mut v: Vec<Aabb> =
-            entries.iter().filter(|e| q.intersects(&e.mbr)).map(|e| e.mbr).collect();
+        let mut v: Vec<Aabb> = entries
+            .iter()
+            .filter(|e| q.intersects(&e.mbr))
+            .map(|e| e.mbr)
+            .collect();
         v.sort_by(|a, b| {
-            a.min.x.total_cmp(&b.min.x).then(a.min.y.total_cmp(&b.min.y)).then(
-                a.min.z.total_cmp(&b.min.z).then(a.max.x.total_cmp(&b.max.x)),
-            )
+            a.min
+                .x
+                .total_cmp(&b.min.x)
+                .then(a.min.y.total_cmp(&b.min.y))
+                .then(
+                    a.min
+                        .z
+                        .total_cmp(&b.min.z)
+                        .then(a.max.x.total_cmp(&b.max.x)),
+                )
         });
         v
     }
@@ -275,19 +292,26 @@ mod tests {
 
     #[test]
     fn flat_results_match_brute_force() {
-        let (mut pool, index, entries) = build(20_000, 101, FlatOptions::default());
+        let (pool, index, entries) = build(20_000, 101, FlatOptions::default());
         for (c, side) in [(10.0, 4.0), (50.0, 15.0), (90.0, 2.0), (30.0, 40.0)] {
             let q = Aabb::cube(Point3::splat(c), side);
             let mut got: Vec<Aabb> = index
-                .range_query(&mut pool, &q)
+                .range_query(&pool, &q)
                 .unwrap()
                 .iter()
                 .map(|h| h.mbr)
                 .collect();
             got.sort_by(|a, b| {
-                a.min.x.total_cmp(&b.min.x).then(a.min.y.total_cmp(&b.min.y)).then(
-                    a.min.z.total_cmp(&b.min.z).then(a.max.x.total_cmp(&b.max.x)),
-                )
+                a.min
+                    .x
+                    .total_cmp(&b.min.x)
+                    .then(a.min.y.total_cmp(&b.min.y))
+                    .then(
+                        a.min
+                            .z
+                            .total_cmp(&b.min.z)
+                            .then(a.max.x.total_cmp(&b.max.x)),
+                    )
             });
             assert_eq!(got, brute_force(&entries, &q), "query at {c} side {side}");
         }
@@ -297,9 +321,9 @@ mod tests {
     fn empty_region_returns_nothing() {
         // Data only fills [0,100]³; query far outside the domain (the
         // tiling doesn't even cover it).
-        let (mut pool, index, _) = build(5000, 103, FlatOptions::default());
+        let (pool, index, _) = build(5000, 103, FlatOptions::default());
         let q = Aabb::cube(Point3::splat(1000.0), 5.0);
-        assert!(index.range_query(&mut pool, &q).unwrap().is_empty());
+        assert!(index.range_query(&pool, &q).unwrap().is_empty());
     }
 
     #[test]
@@ -309,7 +333,11 @@ mod tests {
         let mut entries = Vec::new();
         let mut rng = StdRng::seed_from_u64(104);
         for i in 0..4000u64 {
-            let x = if i % 2 == 0 { rng.gen_range(0.0..30.0) } else { rng.gen_range(70.0..100.0) };
+            let x = if i % 2 == 0 {
+                rng.gen_range(0.0..30.0)
+            } else {
+                rng.gen_range(70.0..100.0)
+            };
             let c = Point3::new(x, rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
             entries.push(Entry::new(i, Aabb::cube(c, 0.3)));
         }
@@ -318,7 +346,7 @@ mod tests {
             FlatIndex::build(&mut pool, entries.clone(), FlatOptions::default()).unwrap();
         let q = Aabb::cube(Point3::new(50.0, 50.0, 50.0), 6.0);
         let expected = brute_force(&entries, &q);
-        let got = index.range_query(&mut pool, &q).unwrap();
+        let got = index.range_query(&pool, &q).unwrap();
         assert_eq!(got.len(), expected.len());
     }
 
@@ -330,7 +358,11 @@ mod tests {
         let mut entries = Vec::new();
         let mut rng = StdRng::seed_from_u64(105);
         for i in 0..3000u64 {
-            let x = if i % 2 == 0 { rng.gen_range(0.0..20.0) } else { rng.gen_range(80.0..100.0) };
+            let x = if i % 2 == 0 {
+                rng.gen_range(0.0..20.0)
+            } else {
+                rng.gen_range(80.0..100.0)
+            };
             let c = Point3::new(x, rng.gen_range(40.0..60.0), rng.gen_range(40.0..60.0));
             entries.push(Entry::new(i, Aabb::cube(c, 0.3)));
         }
@@ -340,16 +372,20 @@ mod tests {
         // Query spanning both clusters and the void between them.
         let q = Aabb::from_corners(Point3::new(10.0, 45.0, 45.0), Point3::new(90.0, 55.0, 55.0));
         let expected = brute_force(&entries, &q);
-        let got = index.range_query(&mut pool, &q).unwrap();
-        assert_eq!(got.len(), expected.len(), "crawl failed to cross the concave gap");
+        let got = index.range_query(&pool, &q).unwrap();
+        assert_eq!(
+            got.len(),
+            expected.len(),
+            "crawl failed to cross the concave gap"
+        );
         assert!(!got.is_empty());
     }
 
     #[test]
     fn whole_domain_query_returns_everything_once() {
-        let (mut pool, index, entries) = build(10_000, 106, FlatOptions::default());
+        let (pool, index, entries) = build(10_000, 106, FlatOptions::default());
         let q = Aabb::cube(Point3::splat(50.0), 250.0);
-        let hits = index.range_query(&mut pool, &q).unwrap();
+        let hits = index.range_query(&pool, &q).unwrap();
         assert_eq!(hits.len(), entries.len());
         let mut ids: Vec<u64> = hits.iter().map(|h| h.id).collect();
         ids.sort_unstable();
@@ -359,10 +395,10 @@ mod tests {
 
     #[test]
     fn stats_reflect_the_workload() {
-        let (mut pool, index, _) = build(20_000, 107, FlatOptions::default());
+        let (pool, index, _) = build(20_000, 107, FlatOptions::default());
         let mut stats = QueryStats::default();
         let q = Aabb::cube(Point3::splat(50.0), 20.0);
-        let hits = index.range_query_with_stats(&mut pool, &q, &mut stats).unwrap();
+        let hits = index.range_query_with_stats(&pool, &q, &mut stats).unwrap();
         assert_eq!(stats.result_count, hits.len() as u64);
         assert!(stats.records_processed > 0);
         assert!(stats.object_pages_read > 0);
@@ -373,11 +409,11 @@ mod tests {
 
     #[test]
     fn object_pages_are_read_at_most_once_per_query() {
-        let (mut pool, index, _) = build(20_000, 108, FlatOptions::default());
+        let (pool, index, _) = build(20_000, 108, FlatOptions::default());
         pool.clear_cache();
         pool.reset_stats();
         let q = Aabb::cube(Point3::splat(50.0), 25.0);
-        let _ = index.range_query(&mut pool, &q).unwrap();
+        let _ = index.range_query(&pool, &q).unwrap();
         let stats = pool.stats();
         // Physical object reads can't exceed the number of object pages —
         // and with the seen-set, logical reads equal physical reads plus
@@ -390,11 +426,21 @@ mod tests {
 
     #[test]
     fn with_ids_layout_returns_application_ids() {
-        let (mut pool, index, entries) =
-            build(5000, 109, FlatOptions { layout: LeafLayout::WithIds, ..Default::default() });
+        let (pool, index, entries) = build(
+            5000,
+            109,
+            FlatOptions {
+                layout: LeafLayout::WithIds,
+                ..Default::default()
+            },
+        );
         let q = Aabb::cube(Point3::splat(50.0), 250.0);
-        let mut ids: Vec<u64> =
-            index.range_query(&mut pool, &q).unwrap().iter().map(|h| h.id).collect();
+        let mut ids: Vec<u64> = index
+            .range_query(&pool, &q)
+            .unwrap()
+            .iter()
+            .map(|h| h.id)
+            .collect();
         ids.sort_unstable();
         let mut expected: Vec<u64> = entries.iter().map(|e| e.id).collect();
         expected.sort_unstable();
@@ -403,21 +449,21 @@ mod tests {
 
     #[test]
     fn seed_only_finds_a_record_for_nonempty_queries() {
-        let (mut pool, index, _) = build(10_000, 110, FlatOptions::default());
+        let (pool, index, _) = build(10_000, 110, FlatOptions::default());
         let q = Aabb::cube(Point3::splat(40.0), 10.0);
-        assert!(index.seed_only(&mut pool, &q).unwrap().is_some());
+        assert!(index.seed_only(&pool, &q).unwrap().is_some());
         let empty = Aabb::cube(Point3::splat(-500.0), 1.0);
-        assert!(index.seed_only(&mut pool, &empty).unwrap().is_none());
+        assert!(index.seed_only(&pool, &empty).unwrap().is_none());
     }
 
     #[test]
     fn point_query_works() {
-        let (mut pool, index, entries) = build(10_000, 111, FlatOptions::default());
+        let (pool, index, entries) = build(10_000, 111, FlatOptions::default());
         // Use an element center so the query is guaranteed non-empty.
         let target = entries[1234].mbr.center();
         let q = Aabb::point(target);
         let expected = brute_force(&entries, &q);
-        let got = index.range_query(&mut pool, &q).unwrap();
+        let got = index.range_query(&pool, &q).unwrap();
         assert_eq!(got.len(), expected.len());
         assert!(!got.is_empty());
     }
@@ -446,7 +492,7 @@ mod tests {
         for (c, side) in [(50.0, 10.0), (20.0, 30.0), (50.0, 250.0)] {
             let q = Aabb::cube(Point3::splat(c), side);
             let expected = brute_force(&entries, &q);
-            let got = index.range_query(&mut pool, &q).unwrap();
+            let got = index.range_query(&pool, &q).unwrap();
             assert_eq!(got.len(), expected.len(), "query at {c} side {side}");
         }
     }
@@ -456,6 +502,6 @@ mod tests {
         let mut pool = BufferPool::new(MemStore::new(), 16);
         let (index, _) = FlatIndex::build(&mut pool, Vec::new(), FlatOptions::default()).unwrap();
         let q = Aabb::cube(Point3::ORIGIN, 10.0);
-        assert!(index.range_query(&mut pool, &q).unwrap().is_empty());
+        assert!(index.range_query(&pool, &q).unwrap().is_empty());
     }
 }

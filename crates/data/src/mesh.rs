@@ -67,8 +67,7 @@ pub fn mesh_triangles(config: &MeshConfig) -> Vec<Triangle> {
 
     let mut triangles = Vec::with_capacity(config.blobs * (20 << (2 * level)));
     let extent = config.domain.extents();
-    let blob_radius =
-        0.25 * extent.x.min(extent.y).min(extent.z) / (config.blobs as f64).cbrt();
+    let blob_radius = 0.25 * extent.x.min(extent.y).min(extent.z) / (config.blobs as f64).cbrt();
     for b in 0..config.blobs {
         let mut rng = StdRng::seed_from_u64(substream(config.seed, b as u64));
         let center = Point3::new(
@@ -76,7 +75,14 @@ pub fn mesh_triangles(config: &MeshConfig) -> Vec<Triangle> {
             rng.gen_range(config.domain.min.y + blob_radius..config.domain.max.y - blob_radius),
             rng.gen_range(config.domain.min.z + blob_radius..config.domain.max.z - blob_radius),
         );
-        blob(center, blob_radius, level, config.roughness, &mut rng, &mut triangles);
+        blob(
+            center,
+            blob_radius,
+            level,
+            config.roughness,
+            &mut rng,
+            &mut triangles,
+        );
     }
     triangles
 }
@@ -115,7 +121,11 @@ fn blob(
             )
             .normalized()
             .unwrap_or(Point3::new(1.0, 0.0, 0.0));
-            (dir, rng.gen_range(1.0..4.0), rng.gen_range(0.0..std::f64::consts::TAU))
+            (
+                dir,
+                rng.gen_range(1.0..4.0),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            )
         })
         .collect();
     let displaced: Vec<Point3> = vertices

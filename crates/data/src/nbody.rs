@@ -78,7 +78,11 @@ pub fn nbody_points(config: &NBodyConfig) -> Vec<Point3> {
         "background fraction must be in [0, 1]"
     );
     let domain = &config.domain;
-    let edge = domain.extents().x.min(domain.extents().y).min(domain.extents().z);
+    let edge = domain
+        .extents()
+        .x
+        .min(domain.extents().y)
+        .min(domain.extents().z);
     let scale = edge * config.scale_radius_fraction;
 
     // Cluster centers: one substream per cluster (prefix-stable).
@@ -191,24 +195,35 @@ mod tests {
 
     #[test]
     fn gas_is_more_diffuse_than_stars() {
-        let stars = nbody_points(&NBodyConfig::stars(10_000, 7));
-        let gas = nbody_points(&NBodyConfig::gas(10_000, 7));
-        // Mean nearest-cluster spread proxy: mean pairwise distance of a
-        // sample. Gas (fluffier halos + more background) spreads wider.
-        let spread = |pts: &[Point3]| -> f64 {
-            let step = pts.len() / 500;
-            let sample: Vec<&Point3> = pts.iter().step_by(step.max(1)).collect();
-            let mut total = 0.0;
-            let mut n = 0.0;
-            for i in 0..sample.len() {
-                for j in i + 1..sample.len() {
-                    total += sample[i].distance(sample[j]);
-                    n += 1.0;
-                }
+        // Mass concentration on a 16³ occupancy grid (Herfindahl index,
+        // Σ share²): tight star clusters pile their mass into few cells,
+        // fluffy gas halos plus the thick background spread it out. A
+        // single seed is noisy, so average over several.
+        let concentration = |config: &NBodyConfig| -> f64 {
+            let points = nbody_points(config);
+            let e = config.domain.extents();
+            let mut counts = vec![0usize; 16 * 16 * 16];
+            for p in &points {
+                let gx = (((p.x - config.domain.min.x) / e.x * 16.0) as usize).min(15);
+                let gy = (((p.y - config.domain.min.y) / e.y * 16.0) as usize).min(15);
+                let gz = (((p.z - config.domain.min.z) / e.z * 16.0) as usize).min(15);
+                counts[gx * 256 + gy * 16 + gz] += 1;
             }
-            total / n
+            let total = points.len() as f64;
+            counts.iter().map(|&c| (c as f64 / total).powi(2)).sum()
         };
-        assert!(spread(&gas) > spread(&stars));
+        let mut gas = 0.0;
+        let mut stars = 0.0;
+        for seed in 7..12 {
+            stars += concentration(&NBodyConfig::stars(10_000, seed));
+            gas += concentration(&NBodyConfig::gas(10_000, seed));
+        }
+        // Gas (fluffier halos + more background) is markedly less
+        // concentrated than stars.
+        assert!(
+            gas < stars * 0.8,
+            "gas concentration {gas} vs stars {stars}"
+        );
     }
 
     #[test]
@@ -230,7 +245,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one cluster")]
     fn zero_clusters_rejected() {
-        let config = NBodyConfig { clusters: 0, ..NBodyConfig::gas(10, 1) };
+        let config = NBodyConfig {
+            clusters: 0,
+            ..NBodyConfig::gas(10, 1)
+        };
         let _ = nbody_points(&config);
     }
 }

@@ -92,7 +92,11 @@ impl NeuronModel {
             grow_neuron(config, &mut rng, &mut cylinders);
             neuron_of.resize(cylinders.len(), n as u32);
         }
-        NeuronModel { cylinders, neuron_of, domain: config.domain }
+        NeuronModel {
+            cylinders,
+            neuron_of,
+            domain: config.domain,
+        }
     }
 
     /// The cylinders as index entries (sequential ids).
@@ -199,7 +203,9 @@ fn random_unit(rng: &mut StdRng) -> Point3 {
 }
 
 fn perturb(rng: &mut StdRng, dir: Point3, amount: f64) -> Point3 {
-    (dir + random_unit(rng) * amount).normalized().unwrap_or(dir)
+    (dir + random_unit(rng) * amount)
+        .normalized()
+        .unwrap_or(dir)
 }
 
 #[cfg(test)]
@@ -254,7 +260,10 @@ mod tests {
             .map(|c| c.length() / (c.r0.max(c.r1) * 2.0))
             .sum::<f64>()
             / model.len() as f64;
-        assert!(avg_aspect > 1.5, "segments should be elongated, got aspect {avg_aspect}");
+        assert!(
+            avg_aspect > 1.5,
+            "segments should be elongated, got aspect {avg_aspect}"
+        );
     }
 
     #[test]
@@ -293,6 +302,9 @@ mod tests {
                 empty_probes += 1;
             }
         }
-        assert!(empty_probes > 20, "model unexpectedly fills space ({empty_probes} empty probes)");
+        assert!(
+            empty_probes > 20,
+            "model unexpectedly fills space ({empty_probes} empty probes)"
+        );
     }
 }

@@ -78,7 +78,11 @@ pub fn uniform_entries(config: &UniformConfig) -> Vec<Entry> {
             let proportions = if lo == hi {
                 [1.0, 1.0, 1.0]
             } else {
-                [rng.gen_range(lo..hi), rng.gen_range(lo..hi), rng.gen_range(lo..hi)]
+                [
+                    rng.gen_range(lo..hi),
+                    rng.gen_range(lo..hi),
+                    rng.gen_range(lo..hi),
+                ]
             };
             let mbr = range_query_with_volume(center, config.element_volume, proportions);
             Entry::new(i as u64, mbr)
@@ -100,7 +104,11 @@ mod tests {
             seed: 3,
         };
         for e in uniform_entries(&config) {
-            assert!((e.mbr.volume() - 18.0).abs() < 1e-9, "volume {}", e.mbr.volume());
+            assert!(
+                (e.mbr.volume() - 18.0).abs() < 1e-9,
+                "volume {}",
+                e.mbr.volume()
+            );
         }
     }
 
@@ -121,7 +129,10 @@ mod tests {
         let entries = uniform_entries(&stretched);
         let mean_aspect: f64 =
             entries.iter().map(|e| e.mbr.aspect_ratio()).sum::<f64>() / entries.len() as f64;
-        assert!(mean_aspect > 1.5, "expected stretched elements, mean aspect {mean_aspect}");
+        assert!(
+            mean_aspect > 1.5,
+            "expected stretched elements, mean aspect {mean_aspect}"
+        );
     }
 
     #[test]

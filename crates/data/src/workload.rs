@@ -72,7 +72,10 @@ impl WorkloadConfig {
 /// aspect ratio, clamped inside `domain`.
 pub fn range_queries(domain: &Aabb, config: &WorkloadConfig) -> Vec<Aabb> {
     let (lo, hi) = config.proportion_range;
-    assert!(lo > 0.0 && hi >= lo, "invalid proportion range ({lo}, {hi})");
+    assert!(
+        lo > 0.0 && hi >= lo,
+        "invalid proportion range ({lo}, {hi})"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     (0..config.count)
         .map(|_| {
@@ -80,7 +83,11 @@ pub fn range_queries(domain: &Aabb, config: &WorkloadConfig) -> Vec<Aabb> {
             let proportions = if lo == hi {
                 [1.0, 1.0, 1.0]
             } else {
-                [rng.gen_range(lo..hi), rng.gen_range(lo..hi), rng.gen_range(lo..hi)]
+                [
+                    rng.gen_range(lo..hi),
+                    rng.gen_range(lo..hi),
+                    rng.gen_range(lo..hi),
+                ]
             };
             RangeQueryBuilder::new(*domain)
                 .center(center)
@@ -100,11 +107,7 @@ pub fn point_queries(domain: &Aabb, count: usize, seed: u64) -> Vec<Point3> {
 /// Queries centered on the given element positions — the incremental
 /// structural-neighborhood access pattern of §III-A ("numerous requests for
 /// the immediate neighborhood … along a neuron fiber").
-pub fn queries_along(
-    centers: &[Point3],
-    domain: &Aabb,
-    volume_fraction: f64,
-) -> Vec<Aabb> {
+pub fn queries_along(centers: &[Point3], domain: &Aabb, volume_fraction: f64) -> Vec<Aabb> {
     centers
         .iter()
         .map(|c| {
@@ -165,7 +168,10 @@ mod tests {
     fn locations_cover_the_domain() {
         let queries = range_queries(&domain(), &WorkloadConfig::lss(4));
         let coverage = Aabb::union_all(queries.iter().cloned());
-        assert!(coverage.volume() > domain().volume() * 0.5, "queries bunched up");
+        assert!(
+            coverage.volume() > domain().volume() * 0.5,
+            "queries bunched up"
+        );
     }
 
     #[test]

@@ -13,7 +13,6 @@ use std::fmt;
 /// The invariant `min ≤ max` component-wise is maintained by every
 /// constructor; [`Aabb::from_corners`] accepts corners in any order.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Aabb {
     /// Corner with the smallest coordinates.
     pub min: Point3,
@@ -40,7 +39,10 @@ impl Aabb {
     /// coordinates as needed.
     #[inline]
     pub fn from_corners(a: Point3, b: Point3) -> Aabb {
-        Aabb { min: a.min(&b), max: a.max(&b) }
+        Aabb {
+            min: a.min(&b),
+            max: a.max(&b),
+        }
     }
 
     /// The degenerate box containing exactly one point.
@@ -85,7 +87,9 @@ impl Aabb {
     /// The bounding box of a set of boxes. Returns [`Aabb::empty`] for an
     /// empty iterator.
     pub fn union_all<I: IntoIterator<Item = Aabb>>(boxes: I) -> Aabb {
-        boxes.into_iter().fold(Aabb::empty(), |acc, b| acc.union(&b))
+        boxes
+            .into_iter()
+            .fold(Aabb::empty(), |acc, b| acc.union(&b))
     }
 
     /// The geometric center of the box.
@@ -230,7 +234,10 @@ impl Aabb {
         let d = Point3::splat(delta);
         let min = self.min - d;
         let max = self.max + d;
-        Aabb { min: min.min(&max), max: max.max(&min) }
+        Aabb {
+            min: min.min(&max),
+            max: max.max(&min),
+        }
     }
 
     /// Returns the box scaled about its center so that its volume is
@@ -357,9 +364,18 @@ mod tests {
     #[test]
     fn classify_matches_intersects_and_contains() {
         let q = unit();
-        assert_eq!(q.classify(&Aabb::cube(Point3::splat(0.5), 0.1)), Overlap::Contains);
-        assert_eq!(q.classify(&Aabb::cube(Point3::splat(1.0), 0.5)), Overlap::Partial);
-        assert_eq!(q.classify(&Aabb::cube(Point3::splat(5.0), 0.5)), Overlap::None);
+        assert_eq!(
+            q.classify(&Aabb::cube(Point3::splat(0.5), 0.1)),
+            Overlap::Contains
+        );
+        assert_eq!(
+            q.classify(&Aabb::cube(Point3::splat(1.0), 0.5)),
+            Overlap::Partial
+        );
+        assert_eq!(
+            q.classify(&Aabb::cube(Point3::splat(5.0), 0.5)),
+            Overlap::None
+        );
     }
 
     #[test]

@@ -59,7 +59,6 @@ impl Axis {
 
 /// A point in 3-D space with `f64` coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point3 {
     /// x coordinate.
     pub x: f64,
@@ -71,7 +70,11 @@ pub struct Point3 {
 
 impl Point3 {
     /// The origin (0, 0, 0).
-    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ORIGIN: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a point from its three coordinates.
     #[inline]
@@ -109,13 +112,21 @@ impl Point3 {
     /// Component-wise minimum of two points.
     #[inline]
     pub fn min(&self, other: &Point3) -> Point3 {
-        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+        Point3::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
     }
 
     /// Component-wise maximum of two points.
     #[inline]
     pub fn max(&self, other: &Point3) -> Point3 {
-        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+        Point3::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
     }
 
     /// Euclidean distance to `other`.

@@ -23,7 +23,6 @@ pub trait Shape {
 /// "Each cylinder is described by two end points and a radius for each
 /// endpoint" (§VII-A).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cylinder {
     /// First end point (center of the first cap).
     pub p0: Point3,
@@ -41,7 +40,10 @@ impl Cylinder {
     /// # Panics
     /// Panics if either radius is negative.
     pub fn new(p0: Point3, p1: Point3, r0: f64, r1: f64) -> Cylinder {
-        assert!(r0 >= 0.0 && r1 >= 0.0, "cylinder radii must be non-negative");
+        assert!(
+            r0 >= 0.0 && r1 >= 0.0,
+            "cylinder radii must be non-negative"
+        );
         Cylinder { p0, p1, r0, r1 }
     }
 
@@ -66,8 +68,14 @@ impl Shape for Cylinder {
     /// cap radius, which is negligible for the long thin segments of neuron
     /// morphologies).
     fn mbr(&self) -> Aabb {
-        let a = Aabb::new(self.p0 - Point3::splat(self.r0), self.p0 + Point3::splat(self.r0));
-        let b = Aabb::new(self.p1 - Point3::splat(self.r1), self.p1 + Point3::splat(self.r1));
+        let a = Aabb::new(
+            self.p0 - Point3::splat(self.r0),
+            self.p0 + Point3::splat(self.r0),
+        );
+        let b = Aabb::new(
+            self.p1 - Point3::splat(self.r1),
+            self.p1 + Point3::splat(self.r1),
+        );
         a.union(&b)
     }
 }
@@ -75,7 +83,6 @@ impl Shape for Cylinder {
 /// A 3-D triangle, the element of surface-mesh datasets ("9 floats/doubles
 /// suffice" per element, §V-B.3).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Triangle {
     /// First vertex.
     pub a: Point3,
@@ -116,7 +123,6 @@ impl Shape for Triangle {
 /// A sphere; used to model n-body vertices (with tiny radii) and query
 /// neighborhoods.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Sphere {
     /// Center of the sphere.
     pub center: Point3,
@@ -175,7 +181,12 @@ mod tests {
 
     #[test]
     fn cylinder_mbr_contains_both_caps() {
-        let c = Cylinder::new(Point3::new(0.0, 0.0, 0.0), Point3::new(10.0, 0.0, 0.0), 1.0, 2.0);
+        let c = Cylinder::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(10.0, 0.0, 0.0),
+            1.0,
+            2.0,
+        );
         let mbr = c.mbr();
         assert!(mbr.contains_point(&Point3::new(-1.0, 0.0, 0.0)));
         assert!(mbr.contains_point(&Point3::new(12.0, 0.0, 0.0)));

@@ -69,8 +69,7 @@ mod tests {
                 .sum()
         };
         let hilbert = pack(items.clone(), 85);
-        let arbitrary: Vec<Vec<Entry>> =
-            items.chunks(85).map(|c| c.to_vec()).collect();
+        let arbitrary: Vec<Vec<Entry>> = items.chunks(85).map(|c| c.to_vec()).collect();
         let h = page_volume(&hilbert);
         let a = page_volume(&arbitrary);
         assert!(
@@ -87,7 +86,10 @@ mod tests {
         for i in 0..100u64 {
             let jitter = (i % 10) as f64 * 0.001;
             items.push(Entry::new(i, Aabb::point(Point3::splat(jitter))));
-            items.push(Entry::new(100 + i, Aabb::point(Point3::splat(1000.0 + jitter))));
+            items.push(Entry::new(
+                100 + i,
+                Aabb::point(Point3::splat(1000.0 + jitter)),
+            ));
         }
         let runs = pack(items, 100);
         assert_eq!(runs.len(), 2);
@@ -99,8 +101,9 @@ mod tests {
 
     #[test]
     fn identical_centers_fall_back_to_id_order() {
-        let items: Vec<Entry> =
-            (0..20).map(|i| Entry::new(i, Aabb::cube(Point3::splat(5.0), 1.0))).collect();
+        let items: Vec<Entry> = (0..20)
+            .map(|i| Entry::new(i, Aabb::cube(Point3::splat(5.0), 1.0)))
+            .collect();
         let runs = pack(items, 7);
         let flat: Vec<u64> = runs.iter().flatten().map(|e| e.id).collect();
         let mut expected: Vec<u64> = (0..20).collect();

@@ -41,8 +41,7 @@ pub enum BulkLoad {
 
 impl BulkLoad {
     /// The three strategies the paper benchmarks, in its plotting order.
-    pub const PAPER_BASELINES: [BulkLoad; 3] =
-        [BulkLoad::Hilbert, BulkLoad::Str, BulkLoad::PrTree];
+    pub const PAPER_BASELINES: [BulkLoad; 3] = [BulkLoad::Hilbert, BulkLoad::Str, BulkLoad::PrTree];
 
     /// Short display name matching the paper's figure legends.
     pub fn label(&self) -> &'static str {
@@ -88,8 +87,12 @@ mod tests {
     use super::*;
     use crate::test_util::random_entries;
 
-    const METHODS: [BulkLoad; 4] =
-        [BulkLoad::Hilbert, BulkLoad::Str, BulkLoad::PrTree, BulkLoad::Tgs];
+    const METHODS: [BulkLoad; 4] = [
+        BulkLoad::Hilbert,
+        BulkLoad::Str,
+        BulkLoad::PrTree,
+        BulkLoad::Tgs,
+    ];
 
     fn assert_valid_packing(method: BulkLoad, n: usize, cap: usize) {
         let items = random_entries(n, n as u64 * 31 + cap as u64);
@@ -97,19 +100,33 @@ mod tests {
         let mut ids: Vec<u64> = Vec::new();
         for run in &runs {
             assert!(!run.is_empty(), "{method:?}: empty run");
-            assert!(run.len() <= cap, "{method:?}: run of {} > cap {cap}", run.len());
+            assert!(
+                run.len() <= cap,
+                "{method:?}: run of {} > cap {cap}",
+                run.len()
+            );
             ids.extend(run.iter().map(|e| e.id));
         }
         ids.sort_unstable();
         let mut expected: Vec<u64> = items.iter().map(|e| e.id).collect();
         expected.sort_unstable();
-        assert_eq!(ids, expected, "{method:?}: packing lost or duplicated items");
+        assert_eq!(
+            ids, expected,
+            "{method:?}: packing lost or duplicated items"
+        );
     }
 
     #[test]
     fn packings_are_partitions_of_the_input() {
         for method in METHODS {
-            for (n, cap) in [(1, 10), (10, 10), (11, 10), (100, 7), (1000, 85), (5000, 73)] {
+            for (n, cap) in [
+                (1, 10),
+                (10, 10),
+                (11, 10),
+                (100, 7),
+                (1000, 85),
+                (5000, 73),
+            ] {
                 assert_valid_packing(method, n, cap);
             }
         }
@@ -142,7 +159,11 @@ mod tests {
             let n = 10_000;
             let cap = 85;
             let runs = method.pack(random_entries(n, 5), cap);
-            assert_eq!(runs.len(), n.div_ceil(cap), "{method:?} must use minimal pages");
+            assert_eq!(
+                runs.len(),
+                n.div_ceil(cap),
+                "{method:?} must use minimal pages"
+            );
         }
     }
 

@@ -30,7 +30,9 @@ fn key(entry: &Entry, direction: usize) -> f64 {
 }
 
 fn compare(a: &Entry, b: &Entry, direction: usize) -> std::cmp::Ordering {
-    key(a, direction).total_cmp(&key(b, direction)).then_with(|| a.id.cmp(&b.id))
+    key(a, direction)
+        .total_cmp(&key(b, direction))
+        .then_with(|| a.id.cmp(&b.id))
 }
 
 /// Packs `items` into runs of at most `cap` (callers guarantee
@@ -114,7 +116,10 @@ mod tests {
         let runs = pack(items, cap);
         // The first emitted run is the min-x priority page.
         let first: std::collections::HashSet<u64> = runs[0].iter().map(|e| e.id).collect();
-        assert_eq!(first, extreme_ids, "min-x priority page holds the min-x extremes");
+        assert_eq!(
+            first, extreme_ids,
+            "min-x priority page holds the min-x extremes"
+        );
     }
 
     #[test]
@@ -142,10 +147,7 @@ mod tests {
                 let y = (i % 100) as f64;
                 Entry::new(
                     i,
-                    Aabb::from_corners(
-                        Point3::new(0.0, y, 0.0),
-                        Point3::new(1000.0, y + 0.1, 0.1),
-                    ),
+                    Aabb::from_corners(Point3::new(0.0, y, 0.0), Point3::new(1000.0, y + 0.1, 0.1)),
                 )
             })
             .collect();
@@ -158,8 +160,9 @@ mod tests {
     #[test]
     fn recursion_terminates_on_duplicate_rectangles() {
         // All-identical rectangles exercise the median split's worst case.
-        let items: Vec<Entry> =
-            (0..500).map(|i| Entry::new(i, Aabb::cube(Point3::splat(1.0), 2.0))).collect();
+        let items: Vec<Entry> = (0..500)
+            .map(|i| Entry::new(i, Aabb::cube(Point3::splat(1.0), 2.0)))
+            .collect();
         let runs = pack(items, 30);
         let total: usize = runs.iter().map(|r| r.len()).sum();
         assert_eq!(total, 500);

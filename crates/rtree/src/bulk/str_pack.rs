@@ -132,8 +132,9 @@ mod tests {
     #[test]
     fn deterministic_given_equal_coordinates() {
         // All-identical centers: the id tiebreak makes packing stable.
-        let items: Vec<Entry> =
-            (0..100).map(|i| Entry::new(i, Aabb::cube(Point3::splat(1.0), 1.0))).collect();
+        let items: Vec<Entry> = (0..100)
+            .map(|i| Entry::new(i, Aabb::cube(Point3::splat(1.0), 1.0)))
+            .collect();
         let a = pack(items.clone(), 10);
         let b = pack(items, 10);
         assert_eq!(a, b);

@@ -62,8 +62,7 @@ pub(super) fn pack(items: Vec<Entry>, cap: usize) -> Vec<Vec<Entry>> {
             }
         }
 
-        let (_, mut sorted, split) =
-            best.expect("a split always exists when items.len() > cap");
+        let (_, mut sorted, split) = best.expect("a split always exists when items.len() > cap");
         let right = sorted.split_off(split);
         // split_off leaves the parent's full capacity on `sorted`; on
         // sliver-split cascades those retained buffers add up to O(n²/cap)
@@ -93,7 +92,9 @@ fn best_split(sorted: &[Entry], cap: usize) -> Option<(f64, usize)> {
         all
     } else {
         let step = all.len() as f64 / MAX_CANDIDATES as f64;
-        (0..MAX_CANDIDATES).map(|i| all[(i as f64 * step) as usize]).collect()
+        (0..MAX_CANDIDATES)
+            .map(|i| all[(i as f64 * step) as usize])
+            .collect()
     };
 
     // Prefix and suffix MBRs at the candidate boundaries.
@@ -151,7 +152,10 @@ mod tests {
         assert_eq!(runs.len(), 4);
         for run in runs {
             let low = run.iter().filter(|e| e.id < 100).count();
-            assert!(low == 0 || low == run.len(), "a page mixes the two clusters");
+            assert!(
+                low == 0 || low == run.len(),
+                "a page mixes the two clusters"
+            );
         }
     }
 
@@ -170,7 +174,10 @@ mod tests {
         let mut sorted = mbrs;
         sorted.sort_by(|a, b| a.min.x.total_cmp(&b.min.x));
         for pair in sorted.windows(2) {
-            assert!(pair[0].max.x < pair[1].min.x, "x-segments must not interleave");
+            assert!(
+                pair[0].max.x < pair[1].min.x,
+                "x-segments must not interleave"
+            );
         }
     }
 
@@ -193,8 +200,9 @@ mod tests {
 
     #[test]
     fn survives_duplicate_coordinates() {
-        let items: Vec<Entry> =
-            (0..333).map(|i| Entry::new(i, Aabb::cube(Point3::splat(7.0), 1.0))).collect();
+        let items: Vec<Entry> = (0..333)
+            .map(|i| Entry::new(i, Aabb::cube(Point3::splat(7.0), 1.0)))
+            .collect();
         let runs = pack(items, 10);
         let total: usize = runs.iter().map(|r| r.len()).sum();
         assert_eq!(total, 333);

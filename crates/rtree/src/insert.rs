@@ -84,8 +84,7 @@ fn quadratic_split<T: HasMbr>(items: Vec<T>, cap: usize) -> (Vec<T>, Vec<T>) {
         }
         let grow_a = mbr_a.enlargement(&item.mbr());
         let grow_b = mbr_b.enlargement(&item.mbr());
-        let to_a = grow_a < grow_b
-            || (grow_a == grow_b && mbr_a.volume() <= mbr_b.volume());
+        let to_a = grow_a < grow_b || (grow_a == grow_b && mbr_a.volume() <= mbr_b.volume());
         if to_a {
             mbr_a.stretch_to_contain(&item.mbr());
             group_a.push(item);
@@ -155,7 +154,10 @@ impl RTree {
             let new_id = pool.alloc()?;
             pool.write(new_id, &page, config.leaf_kind)?;
             self.bump_counts(0, 1, 0);
-            Some(ChildRef { mbr: Aabb::union_all(b.iter().map(|e| e.mbr)), page: new_id })
+            Some(ChildRef {
+                mbr: Aabb::union_all(b.iter().map(|e| e.mbr)),
+                page: new_id,
+            })
         };
         // The updated MBR of the node we just rewrote.
         let mut updated_mbr = {
@@ -192,7 +194,10 @@ impl RTree {
 
         // Root split: grow the tree by one level.
         if let Some(new_sibling) = split {
-            let old_root_ref = ChildRef { mbr: updated_mbr, page: current_root(self) };
+            let old_root_ref = ChildRef {
+                mbr: updated_mbr,
+                page: current_root(self),
+            };
             let children = vec![old_root_ref, new_sibling];
             encode_inner(&children, &mut page);
             let new_root = pool.alloc()?;
@@ -217,7 +222,7 @@ mod tests {
     use crate::validate::check_invariants;
     use crate::LeafLayout;
     use flat_geom::Point3;
-    use flat_storage::MemStore;
+    use flat_storage::{BufferPool, MemStore};
 
     fn insert_all(n: usize) -> (BufferPool<MemStore>, RTree, Vec<Entry>) {
         let entries = random_entries(n, 99);
@@ -236,7 +241,8 @@ mod tests {
     fn first_insert_creates_leaf_root() {
         let mut pool = BufferPool::new(MemStore::new(), 64);
         let mut tree = RTree::new_empty(RTreeConfig::default());
-        tree.insert(&mut pool, Entry::new(1, Aabb::cube(Point3::ORIGIN, 1.0))).unwrap();
+        tree.insert(&mut pool, Entry::new(1, Aabb::cube(Point3::ORIGIN, 1.0)))
+            .unwrap();
         assert_eq!(tree.height(), 1);
         assert_eq!(tree.num_elements(), 1);
         assert_eq!(tree.num_leaf_pages(), 1);
@@ -244,11 +250,15 @@ mod tests {
 
     #[test]
     fn inserted_tree_answers_queries_correctly() {
-        let (mut pool, tree, entries) = insert_all(3000);
+        let (pool, tree, entries) = insert_all(3000);
         for (c, side) in [(25.0, 10.0), (60.0, 30.0), (95.0, 2.0)] {
             let q = Aabb::cube(Point3::splat(c), side);
-            let mut got: Vec<u64> =
-                tree.range_query(&mut pool, &q).unwrap().iter().map(|h| h.id).collect();
+            let mut got: Vec<u64> = tree
+                .range_query(&pool, &q)
+                .unwrap()
+                .iter()
+                .map(|h| h.id)
+                .collect();
             got.sort_unstable();
             assert_eq!(got, brute_force(&entries, &q));
         }
@@ -256,10 +266,10 @@ mod tests {
 
     #[test]
     fn tree_grows_in_height_and_stays_valid() {
-        let (mut pool, tree, entries) = insert_all(3000);
+        let (pool, tree, entries) = insert_all(3000);
         assert!(tree.height() >= 2, "3000 elements must overflow one page");
         assert_eq!(tree.num_elements(), entries.len() as u64);
-        let report = check_invariants(&mut pool, &tree).unwrap();
+        let report = check_invariants(&pool, &tree).unwrap();
         assert_eq!(report.elements, entries.len() as u64);
     }
 
@@ -277,7 +287,10 @@ mod tests {
     fn quadratic_split_separates_two_clusters() {
         let mut items = Vec::new();
         for i in 0..6u64 {
-            items.push(Entry::new(i, Aabb::cube(Point3::splat(0.0 + i as f64 * 0.1), 1.0)));
+            items.push(Entry::new(
+                i,
+                Aabb::cube(Point3::splat(0.0 + i as f64 * 0.1), 1.0),
+            ));
             items.push(Entry::new(
                 100 + i,
                 Aabb::cube(Point3::splat(100.0 + i as f64 * 0.1), 1.0),
@@ -301,17 +314,24 @@ mod tests {
             &mut pool,
             bulk.to_vec(),
             crate::BulkLoad::Str,
-            RTreeConfig { layout: LeafLayout::WithIds, ..RTreeConfig::default() },
+            RTreeConfig {
+                layout: LeafLayout::WithIds,
+                ..RTreeConfig::default()
+            },
         )
         .unwrap();
         for e in dynamic {
             tree.insert(&mut pool, *e).unwrap();
         }
         let q = Aabb::cube(Point3::splat(50.0), 40.0);
-        let mut got: Vec<u64> =
-            tree.range_query(&mut pool, &q).unwrap().iter().map(|h| h.id).collect();
+        let mut got: Vec<u64> = tree
+            .range_query(&pool, &q)
+            .unwrap()
+            .iter()
+            .map(|h| h.id)
+            .collect();
         got.sort_unstable();
         assert_eq!(got, brute_force(&entries, &q));
-        check_invariants(&mut pool, &tree).unwrap();
+        check_invariants(&pool, &tree).unwrap();
     }
 }

@@ -38,8 +38,9 @@
 //! let tree = RTree::bulk_load(&mut pool, entries, BulkLoad::Str, RTreeConfig::default())
 //!     .unwrap();
 //!
+//! // Queries are shared reads: `&pool`, not `&mut pool`.
 //! let query = Aabb::cube(Point3::splat(10.0), 5.0);
-//! let hits = tree.range_query(&mut pool, &query).unwrap();
+//! let hits = tree.range_query(&pool, &query).unwrap();
 //! assert!(!hits.is_empty());
 //! ```
 

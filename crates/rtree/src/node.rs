@@ -53,7 +53,9 @@ impl LeafLayout {
         match tag {
             0 => Ok(LeafLayout::MbrOnly),
             1 => Ok(LeafLayout::WithIds),
-            t => Err(StorageError::Corrupt(format!("unknown leaf layout tag {t}"))),
+            t => Err(StorageError::Corrupt(format!(
+                "unknown leaf layout tag {t}"
+            ))),
         }
     }
 
@@ -96,7 +98,11 @@ fn put_mbr(page: &mut Page, offset: usize, mbr: &Aabb) {
 
 fn get_mbr(page: &Page, offset: usize) -> Aabb {
     Aabb {
-        min: Point3::new(page.get_f64(offset), page.get_f64(offset + 8), page.get_f64(offset + 16)),
+        min: Point3::new(
+            page.get_f64(offset),
+            page.get_f64(offset + 8),
+            page.get_f64(offset + 16),
+        ),
         max: Point3::new(
             page.get_f64(offset + 24),
             page.get_f64(offset + 32),
@@ -110,7 +116,10 @@ fn get_mbr(page: &Page, offset: usize) -> Aabb {
 /// # Panics
 /// Panics if `children` exceeds [`inner_capacity`] or is empty.
 pub fn encode_inner(children: &[ChildRef], page: &mut Page) {
-    assert!(!children.is_empty(), "inner node must have at least one child");
+    assert!(
+        !children.is_empty(),
+        "inner node must have at least one child"
+    );
     assert!(
         children.len() <= inner_capacity(),
         "inner node overflow: {} > {}",
@@ -138,7 +147,9 @@ pub fn decode_inner(page: &Page) -> Result<Vec<ChildRef>, StorageError> {
     }
     let count = page.get_u16(2) as usize;
     if count > inner_capacity() {
-        return Err(StorageError::Corrupt(format!("inner count {count} exceeds capacity")));
+        return Err(StorageError::Corrupt(format!(
+            "inner count {count} exceeds capacity"
+        )));
     }
     let mut children = Vec::with_capacity(count);
     let mut offset = HEADER_SIZE;
@@ -159,7 +170,10 @@ pub fn decode_inner(page: &Page) -> Result<Vec<ChildRef>, StorageError> {
 /// # Panics
 /// Panics if `entries` exceeds the layout capacity or is empty.
 pub fn encode_leaf(entries: &[Entry], layout: LeafLayout, page: &mut Page) {
-    assert!(!entries.is_empty(), "leaf node must have at least one entry");
+    assert!(
+        !entries.is_empty(),
+        "leaf node must have at least one entry"
+    );
     assert!(
         entries.len() <= leaf_capacity(layout),
         "leaf overflow: {} > {}",
@@ -195,7 +209,9 @@ pub fn decode_leaf(page: &Page) -> Result<(LeafLayout, Vec<Entry>), StorageError
     let count = page.get_u16(2) as usize;
     let layout = LeafLayout::from_tag(page.get_u16(4))?;
     if count > leaf_capacity(layout) {
-        return Err(StorageError::Corrupt(format!("leaf count {count} exceeds capacity")));
+        return Err(StorageError::Corrupt(format!(
+            "leaf count {count} exceeds capacity"
+        )));
     }
     let mut entries = Vec::with_capacity(count);
     let mut offset = HEADER_SIZE;
@@ -233,7 +249,11 @@ mod tests {
 
     #[test]
     fn capacities_match_the_paper() {
-        assert_eq!(leaf_capacity(LeafLayout::MbrOnly), 85, "the paper's 85 elements per page");
+        assert_eq!(
+            leaf_capacity(LeafLayout::MbrOnly),
+            85,
+            "the paper's 85 elements per page"
+        );
         assert_eq!(leaf_capacity(LeafLayout::WithIds), 73);
         assert_eq!(inner_capacity(), 73);
     }
@@ -288,7 +308,10 @@ mod tests {
     #[should_panic(expected = "inner node overflow")]
     fn inner_overflow_panics() {
         let children: Vec<ChildRef> = (0..inner_capacity() + 1)
-            .map(|i| ChildRef { mbr: Aabb::cube(Point3::ORIGIN, 1.0), page: PageId(i as u64) })
+            .map(|i| ChildRef {
+                mbr: Aabb::cube(Point3::ORIGIN, 1.0),
+                page: PageId(i as u64),
+            })
             .collect();
         encode_inner(&children, &mut Page::new());
     }
@@ -299,7 +322,10 @@ mod tests {
         let mut page = Page::new();
         encode_leaf(&entries, LeafLayout::WithIds, &mut page);
         assert!(decode_inner(&page).is_err());
-        let children = vec![ChildRef { mbr: Aabb::cube(Point3::ORIGIN, 1.0), page: PageId(0) }];
+        let children = vec![ChildRef {
+            mbr: Aabb::cube(Point3::ORIGIN, 1.0),
+            page: PageId(0),
+        }];
         encode_inner(&children, &mut page);
         assert!(decode_leaf(&page).is_err());
     }
@@ -325,7 +351,10 @@ mod tests {
     #[test]
     fn negative_and_extreme_coordinates_roundtrip() {
         let entries = vec![
-            Entry::new(0, Aabb::from_corners(Point3::splat(-1e300), Point3::splat(1e300))),
+            Entry::new(
+                0,
+                Aabb::from_corners(Point3::splat(-1e300), Point3::splat(1e300)),
+            ),
             Entry::new(1, Aabb::point(Point3::new(-0.0, f64::MIN_POSITIVE, 1e-308))),
         ];
         let mut page = Page::new();

@@ -9,7 +9,7 @@
 
 use crate::tree::{RTree, RTreeConfig};
 use crate::LeafLayout;
-use flat_storage::{BufferPool, Page, PageId, PageKind, PageStore, StorageError};
+use flat_storage::{Page, PageId, PageKind, PageRead, PageWrite, StorageError};
 
 const MAGIC: u32 = 0x464C_5254; // "FLRT"
 const KIND_RTREE: u16 = 1;
@@ -20,7 +20,7 @@ impl RTree {
     ///
     /// The caller records the id out of band (conventionally it is the
     /// store's last page when saving right after a bulkload).
-    pub fn save<S: PageStore>(&self, pool: &mut BufferPool<S>) -> Result<PageId, StorageError> {
+    pub fn save(&self, pool: &mut impl PageWrite) -> Result<PageId, StorageError> {
         let mut page = Page::new();
         page.put_u32(0, MAGIC);
         page.put_u16(4, KIND_RTREE);
@@ -44,11 +44,8 @@ impl RTree {
     /// Reconstructs a tree handle from a descriptor page written by
     /// [`RTree::save`]. Page-kind accounting reverts to the defaults
     /// ([`PageKind::RTreeInner`]/[`PageKind::RTreeLeaf`]).
-    pub fn load<S: PageStore>(
-        pool: &mut BufferPool<S>,
-        descriptor: PageId,
-    ) -> Result<RTree, StorageError> {
-        let page = pool.read(descriptor, PageKind::Other)?;
+    pub fn load(pool: &impl PageRead, descriptor: PageId) -> Result<RTree, StorageError> {
+        let page = pool.read_page(descriptor, PageKind::Other)?;
         if page.get_u32(0) != MAGIC || page.get_u16(4) != KIND_RTREE {
             return Err(StorageError::Corrupt(format!(
                 "{descriptor} is not an R-tree descriptor"
@@ -65,7 +62,10 @@ impl RTree {
         let num_leaf_pages = page.get_u64(32);
         let num_inner_pages = page.get_u64(40);
 
-        let mut tree = RTree::new_empty(RTreeConfig { layout, ..RTreeConfig::default() });
+        let mut tree = RTree::new_empty(RTreeConfig {
+            layout,
+            ..RTreeConfig::default()
+        });
         if root != NO_ROOT {
             tree.set_root(PageId(root), height);
             tree.bump_counts(
@@ -88,7 +88,7 @@ mod tests {
     use crate::test_util::{brute_force, random_entries};
     use crate::BulkLoad;
     use flat_geom::{Aabb, Point3};
-    use flat_storage::MemStore;
+    use flat_storage::{BufferPool, MemStore};
 
     #[test]
     fn save_load_roundtrip_preserves_queries() {
@@ -98,19 +98,26 @@ mod tests {
             &mut pool,
             entries.clone(),
             BulkLoad::Str,
-            RTreeConfig { layout: LeafLayout::WithIds, ..RTreeConfig::default() },
+            RTreeConfig {
+                layout: LeafLayout::WithIds,
+                ..RTreeConfig::default()
+            },
         )
         .unwrap();
         let descriptor = tree.save(&mut pool).unwrap();
 
-        let loaded = RTree::load(&mut pool, descriptor).unwrap();
+        let loaded = RTree::load(&pool, descriptor).unwrap();
         assert_eq!(loaded.height(), tree.height());
         assert_eq!(loaded.num_elements(), tree.num_elements());
         assert_eq!(loaded.config().layout, LeafLayout::WithIds);
 
         let q = Aabb::cube(Point3::splat(50.0), 30.0);
-        let mut got: Vec<u64> =
-            loaded.range_query(&mut pool, &q).unwrap().iter().map(|h| h.id).collect();
+        let mut got: Vec<u64> = loaded
+            .range_query(&pool, &q)
+            .unwrap()
+            .iter()
+            .map(|h| h.id)
+            .collect();
         got.sort_unstable();
         assert_eq!(got, brute_force(&entries, &q));
     }
@@ -119,10 +126,9 @@ mod tests {
     fn empty_tree_roundtrips() {
         let mut pool = BufferPool::new(MemStore::new(), 16);
         let tree =
-            RTree::bulk_load(&mut pool, Vec::new(), BulkLoad::Str, RTreeConfig::default())
-                .unwrap();
+            RTree::bulk_load(&mut pool, Vec::new(), BulkLoad::Str, RTreeConfig::default()).unwrap();
         let descriptor = tree.save(&mut pool).unwrap();
-        let loaded = RTree::load(&mut pool, descriptor).unwrap();
+        let loaded = RTree::load(&pool, descriptor).unwrap();
         assert_eq!(loaded.num_elements(), 0);
         assert!(loaded.root().is_none());
     }
@@ -132,6 +138,9 @@ mod tests {
         let mut pool = BufferPool::new(MemStore::new(), 16);
         let id = pool.alloc().unwrap();
         pool.write(id, &Page::new(), PageKind::Other).unwrap();
-        assert!(matches!(RTree::load(&mut pool, id), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            RTree::load(&pool, id),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 }

@@ -7,7 +7,7 @@ use crate::node::{
 };
 use crate::Entry;
 use flat_geom::{Aabb, Point3};
-use flat_storage::{BufferPool, Page, PageId, PageKind, PageStore, StorageError};
+use flat_storage::{Page, PageId, PageKind, PageRead, PageWrite, StorageError};
 
 /// Configuration shared by all R-tree variants.
 #[derive(Debug, Clone, Copy)]
@@ -61,10 +61,12 @@ pub struct TraversalStats {
 
 /// A disk-resident R-tree.
 ///
-/// The tree does not own its pages; every operation takes the
-/// [`BufferPool`] the tree was built in. This lets the benchmark harness
-/// clear caches and read statistics between queries, exactly as the paper's
-/// methodology requires.
+/// The tree does not own its pages; every operation takes the pool the
+/// tree was built in. Construction is exclusive ([`PageWrite`]); queries
+/// are shared reads ([`PageRead`]), so one tree can serve many threads
+/// through a [`flat_storage::ConcurrentBufferPool`] while the benchmark
+/// harness clears caches and reads statistics between queries, exactly as
+/// the paper's methodology requires.
 #[derive(Debug, Clone)]
 pub struct RTree {
     root: Option<PageId>,
@@ -79,8 +81,8 @@ impl RTree {
     /// Bulk-loads `entries` with the chosen packing strategy.
     ///
     /// An empty input produces a valid empty tree.
-    pub fn bulk_load<S: PageStore>(
-        pool: &mut BufferPool<S>,
+    pub fn bulk_load(
+        pool: &mut impl PageWrite,
         entries: Vec<Entry>,
         method: BulkLoad,
         config: RTreeConfig,
@@ -106,7 +108,10 @@ impl RTree {
             encode_leaf(run, config.layout, &mut page);
             let id = pool.alloc()?;
             pool.write(id, &page, config.leaf_kind)?;
-            level.push(ChildRef { mbr: Aabb::union_all(run.iter().map(|e| e.mbr)), page: id });
+            level.push(ChildRef {
+                mbr: Aabb::union_all(run.iter().map(|e| e.mbr)),
+                page: id,
+            });
         }
         let num_leaf_pages = level.len() as u64;
 
@@ -115,19 +120,24 @@ impl RTree {
         let mut height = 1;
         let mut num_inner_pages = 0;
         while level.len() > 1 {
-            let items: Vec<Entry> =
-                level.iter().map(|c| Entry::new(c.page.0, c.mbr)).collect();
+            let items: Vec<Entry> = level.iter().map(|c| Entry::new(c.page.0, c.mbr)).collect();
             let runs = method.pack(items, inner_capacity());
             let mut next: Vec<ChildRef> = Vec::with_capacity(runs.len());
             for run in &runs {
                 let children: Vec<ChildRef> = run
                     .iter()
-                    .map(|e| ChildRef { mbr: e.mbr, page: PageId(e.id) })
+                    .map(|e| ChildRef {
+                        mbr: e.mbr,
+                        page: PageId(e.id),
+                    })
                     .collect();
                 encode_inner(&children, &mut page);
                 let id = pool.alloc()?;
                 pool.write(id, &page, config.inner_kind)?;
-                next.push(ChildRef { mbr: Aabb::union_all(run.iter().map(|e| e.mbr)), page: id });
+                next.push(ChildRef {
+                    mbr: Aabb::union_all(run.iter().map(|e| e.mbr)),
+                    page: id,
+                });
             }
             num_inner_pages += next.len() as u64;
             level = next;
@@ -213,9 +223,13 @@ impl RTree {
 
     /// Evaluates a range query, returning every element whose MBR
     /// intersects `query`.
-    pub fn range_query<S: PageStore>(
+    ///
+    /// Queries are shared reads: any [`PageRead`] implementation works,
+    /// including a [`flat_storage::ConcurrentBufferPool`] queried from many
+    /// threads at once.
+    pub fn range_query(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &impl PageRead,
         query: &Aabb,
     ) -> Result<Vec<Hit>, StorageError> {
         let mut stats = TraversalStats::default();
@@ -224,14 +238,16 @@ impl RTree {
 
     /// Like [`RTree::range_query`] but accumulates traversal counters into
     /// `stats`.
-    pub fn range_query_with_stats<S: PageStore>(
+    pub fn range_query_with_stats(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &impl PageRead,
         query: &Aabb,
         stats: &mut TraversalStats,
     ) -> Result<Vec<Hit>, StorageError> {
         let mut hits = Vec::new();
-        let Some(root) = self.root else { return Ok(hits) };
+        let Some(root) = self.root else {
+            return Ok(hits);
+        };
         // Levels are tracked explicitly (1 = leaf level) so each read is
         // charged to the right page kind before the page is even fetched.
         let mut stack = vec![(root, self.height)];
@@ -240,10 +256,10 @@ impl RTree {
                 self.scan_leaf(pool, page_id, query, stats, &mut hits)?;
                 continue;
             }
-            let page = pool.read(page_id, self.config.inner_kind)?;
+            let page = pool.read_page(page_id, self.config.inner_kind)?;
             stats.inner_visits += 1;
-            debug_assert!(!is_leaf(page), "tree height bookkeeping out of sync");
-            let children = decode_inner(page)?;
+            debug_assert!(!is_leaf(&page), "tree height bookkeeping out of sync");
+            let children = decode_inner(&page)?;
             for child in children {
                 stats.mbr_tests += 1;
                 if query.intersects(&child.mbr) {
@@ -254,16 +270,16 @@ impl RTree {
         Ok(hits)
     }
 
-    fn scan_leaf<S: PageStore>(
+    fn scan_leaf(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &impl PageRead,
         page_id: PageId,
         query: &Aabb,
         stats: &mut TraversalStats,
         hits: &mut Vec<Hit>,
     ) -> Result<(), StorageError> {
-        let page = pool.read(page_id, self.config.leaf_kind)?;
-        let (layout, entries) = decode_leaf(page)?;
+        let page = pool.read_page(page_id, self.config.leaf_kind)?;
+        let (layout, entries) = decode_leaf(&page)?;
         stats.leaf_visits += 1;
         for (slot, entry) in entries.iter().enumerate() {
             stats.mbr_tests += 1;
@@ -280,9 +296,9 @@ impl RTree {
     }
 
     /// Evaluates a point query (a degenerate range query).
-    pub fn point_query<S: PageStore>(
+    pub fn point_query(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &impl PageRead,
         point: Point3,
     ) -> Result<Vec<Hit>, StorageError> {
         self.range_query(pool, &Aabb::point(point))
@@ -295,17 +311,19 @@ impl RTree {
     /// This is the overlap-free primitive FLAT builds its seed phase on:
     /// the cost is O(height) plus any dead-end probes caused by leaf MBRs
     /// that intersect the query while none of their elements do.
-    pub fn seed_query<S: PageStore>(
+    pub fn seed_query(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &impl PageRead,
         query: &Aabb,
     ) -> Result<Option<Hit>, StorageError> {
-        let Some(root) = self.root else { return Ok(None) };
+        let Some(root) = self.root else {
+            return Ok(None);
+        };
         let mut stack = vec![(root, self.height)];
         while let Some((page_id, level)) = stack.pop() {
             if level == 1 {
-                let page = pool.read(page_id, self.config.leaf_kind)?;
-                let (layout, entries) = decode_leaf(page)?;
+                let page = pool.read_page(page_id, self.config.leaf_kind)?;
+                let (layout, entries) = decode_leaf(&page)?;
                 for (slot, entry) in entries.iter().enumerate() {
                     if query.intersects(&entry.mbr) {
                         return Ok(Some(Hit {
@@ -317,8 +335,8 @@ impl RTree {
                     }
                 }
             } else {
-                let page = pool.read(page_id, self.config.inner_kind)?;
-                let children = decode_inner(page)?;
+                let page = pool.read_page(page_id, self.config.inner_kind)?;
+                let children = decode_inner(&page)?;
                 for child in children {
                     if query.intersects(&child.mbr) {
                         stack.push((child.page, level - 1));
@@ -331,24 +349,21 @@ impl RTree {
 
     /// Visits every leaf page id (in an unspecified order). Used by
     /// validation and by FLAT's build.
-    pub fn for_each_leaf<S: PageStore, F>(
-        &self,
-        pool: &mut BufferPool<S>,
-        mut f: F,
-    ) -> Result<(), StorageError>
+    pub fn for_each_leaf<P, F>(&self, pool: &P, mut f: F) -> Result<(), StorageError>
     where
+        P: PageRead,
         F: FnMut(PageId, &[Entry]),
     {
         let Some(root) = self.root else { return Ok(()) };
         let mut stack = vec![(root, self.height)];
         while let Some((page_id, level)) = stack.pop() {
             if level == 1 {
-                let page = pool.read(page_id, self.config.leaf_kind)?;
-                let (_, entries) = decode_leaf(page)?;
+                let page = pool.read_page(page_id, self.config.leaf_kind)?;
+                let (_, entries) = decode_leaf(&page)?;
                 f(page_id, &entries);
             } else {
-                let page = pool.read(page_id, self.config.inner_kind)?;
-                for child in decode_inner(page)? {
+                let page = pool.read_page(page_id, self.config.inner_kind)?;
+                for child in decode_inner(&page)? {
                     stack.push((child.page, level - 1));
                 }
             }
@@ -364,12 +379,15 @@ impl RTree {
 /// This is how FLAT constructs its seed tree (§V-B.2): the seed tree's
 /// leaves are metadata pages with their own format, but its directory is an
 /// ordinary R-tree directory over the leaf page MBRs.
-pub fn build_inner_levels<S: PageStore>(
-    pool: &mut BufferPool<S>,
+pub fn build_inner_levels(
+    pool: &mut impl PageWrite,
     leaves: Vec<ChildRef>,
     inner_kind: PageKind,
 ) -> Result<(PageId, u32, u64), StorageError> {
-    assert!(!leaves.is_empty(), "cannot build a directory over zero leaves");
+    assert!(
+        !leaves.is_empty(),
+        "cannot build a directory over zero leaves"
+    );
     let mut level = leaves;
     let mut height = 1;
     let mut inner_pages = 0;
@@ -379,12 +397,20 @@ pub fn build_inner_levels<S: PageStore>(
         let runs = BulkLoad::Str.pack(items, inner_capacity());
         let mut next = Vec::with_capacity(runs.len());
         for run in &runs {
-            let children: Vec<ChildRef> =
-                run.iter().map(|e| ChildRef { mbr: e.mbr, page: PageId(e.id) }).collect();
+            let children: Vec<ChildRef> = run
+                .iter()
+                .map(|e| ChildRef {
+                    mbr: e.mbr,
+                    page: PageId(e.id),
+                })
+                .collect();
             encode_inner(&children, &mut page);
             let id = pool.alloc()?;
             pool.write(id, &page, inner_kind)?;
-            next.push(ChildRef { mbr: Aabb::union_all(run.iter().map(|e| e.mbr)), page: id });
+            next.push(ChildRef {
+                mbr: Aabb::union_all(run.iter().map(|e| e.mbr)),
+                page: id,
+            });
         }
         inner_pages += next.len() as u64;
         level = next;
@@ -397,7 +423,7 @@ pub fn build_inner_levels<S: PageStore>(
 mod tests {
     use super::*;
     use crate::test_util::{brute_force, random_entries};
-    use flat_storage::MemStore;
+    use flat_storage::{BufferPool, MemStore, PageStore};
 
     fn build(
         n: usize,
@@ -406,12 +432,16 @@ mod tests {
     ) -> (BufferPool<MemStore>, RTree, Vec<Entry>) {
         let entries = random_entries(n, 42);
         let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
-        let tree =
-            RTree::bulk_load(&mut pool, entries.clone(), method, RTreeConfig {
+        let tree = RTree::bulk_load(
+            &mut pool,
+            entries.clone(),
+            method,
+            RTreeConfig {
                 layout,
                 ..RTreeConfig::default()
-            })
-            .unwrap();
+            },
+        )
+        .unwrap();
         (pool, tree, entries)
     }
 
@@ -419,23 +449,22 @@ mod tests {
     fn empty_tree_handles_queries() {
         let mut pool = BufferPool::new(MemStore::new(), 16);
         let tree =
-            RTree::bulk_load(&mut pool, Vec::new(), BulkLoad::Str, RTreeConfig::default())
-                .unwrap();
+            RTree::bulk_load(&mut pool, Vec::new(), BulkLoad::Str, RTreeConfig::default()).unwrap();
         assert_eq!(tree.height(), 0);
         let q = Aabb::cube(Point3::ORIGIN, 10.0);
-        assert!(tree.range_query(&mut pool, &q).unwrap().is_empty());
-        assert!(tree.seed_query(&mut pool, &q).unwrap().is_none());
+        assert!(tree.range_query(&pool, &q).unwrap().is_empty());
+        assert!(tree.seed_query(&pool, &q).unwrap().is_none());
     }
 
     #[test]
     fn single_page_tree() {
-        let (mut pool, tree, entries) = build(50, BulkLoad::Str, LeafLayout::WithIds);
+        let (pool, tree, entries) = build(50, BulkLoad::Str, LeafLayout::WithIds);
         assert_eq!(tree.height(), 1);
         assert_eq!(tree.num_leaf_pages(), 1);
         assert_eq!(tree.num_inner_pages(), 0);
         let q = Aabb::cube(Point3::splat(50.0), 100.0);
         let mut ids: Vec<u64> = tree
-            .range_query(&mut pool, &q)
+            .range_query(&pool, &q)
             .unwrap()
             .iter()
             .map(|h| h.id)
@@ -446,12 +475,21 @@ mod tests {
 
     #[test]
     fn range_query_matches_brute_force_all_methods() {
-        for method in [BulkLoad::Str, BulkLoad::Hilbert, BulkLoad::PrTree, BulkLoad::Tgs] {
-            let (mut pool, tree, entries) = build(5000, method, LeafLayout::WithIds);
+        for method in [
+            BulkLoad::Str,
+            BulkLoad::Hilbert,
+            BulkLoad::PrTree,
+            BulkLoad::Tgs,
+        ] {
+            let (pool, tree, entries) = build(5000, method, LeafLayout::WithIds);
             for (cx, side) in [(20.0, 8.0), (50.0, 20.0), (80.0, 3.0), (0.0, 1.0)] {
                 let q = Aabb::cube(Point3::splat(cx), side);
-                let mut ids: Vec<u64> =
-                    tree.range_query(&mut pool, &q).unwrap().iter().map(|h| h.id).collect();
+                let mut ids: Vec<u64> = tree
+                    .range_query(&pool, &q)
+                    .unwrap()
+                    .iter()
+                    .map(|h| h.id)
+                    .collect();
                 ids.sort_unstable();
                 assert_eq!(ids, brute_force(&entries, &q), "{method:?} query at {cx}");
             }
@@ -460,24 +498,24 @@ mod tests {
 
     #[test]
     fn whole_domain_query_returns_everything() {
-        let (mut pool, tree, entries) = build(3000, BulkLoad::Str, LeafLayout::WithIds);
+        let (pool, tree, entries) = build(3000, BulkLoad::Str, LeafLayout::WithIds);
         let q = Aabb::cube(Point3::splat(50.0), 300.0);
-        assert_eq!(tree.range_query(&mut pool, &q).unwrap().len(), entries.len());
+        assert_eq!(tree.range_query(&pool, &q).unwrap().len(), entries.len());
     }
 
     #[test]
     fn disjoint_query_returns_nothing() {
-        let (mut pool, tree, _) = build(3000, BulkLoad::Hilbert, LeafLayout::MbrOnly);
+        let (pool, tree, _) = build(3000, BulkLoad::Hilbert, LeafLayout::MbrOnly);
         let q = Aabb::cube(Point3::splat(500.0), 10.0);
-        assert!(tree.range_query(&mut pool, &q).unwrap().is_empty());
-        assert!(tree.seed_query(&mut pool, &q).unwrap().is_none());
+        assert!(tree.range_query(&pool, &q).unwrap().is_empty());
+        assert!(tree.seed_query(&pool, &q).unwrap().is_none());
     }
 
     #[test]
     fn mbr_only_ids_are_unique_and_locate_elements() {
-        let (mut pool, tree, entries) = build(3000, BulkLoad::Str, LeafLayout::MbrOnly);
+        let (pool, tree, entries) = build(3000, BulkLoad::Str, LeafLayout::MbrOnly);
         let q = Aabb::cube(Point3::splat(50.0), 300.0);
-        let hits = tree.range_query(&mut pool, &q).unwrap();
+        let hits = tree.range_query(&pool, &q).unwrap();
         assert_eq!(hits.len(), entries.len());
         let mut ids: Vec<u64> = hits.iter().map(|h| h.id).collect();
         ids.sort_unstable();
@@ -490,22 +528,22 @@ mod tests {
 
     #[test]
     fn seed_query_finds_an_intersecting_element() {
-        let (mut pool, tree, entries) = build(5000, BulkLoad::PrTree, LeafLayout::WithIds);
+        let (pool, tree, entries) = build(5000, BulkLoad::PrTree, LeafLayout::WithIds);
         let q = Aabb::cube(Point3::splat(30.0), 10.0);
         let expected = brute_force(&entries, &q);
-        let hit = tree.seed_query(&mut pool, &q).unwrap().unwrap();
+        let hit = tree.seed_query(&pool, &q).unwrap().unwrap();
         assert!(q.intersects(&hit.mbr));
         assert!(expected.contains(&hit.id));
     }
 
     #[test]
     fn seed_query_cost_is_near_height() {
-        let (mut pool, tree, _) = build(50_000, BulkLoad::Str, LeafLayout::MbrOnly);
+        let (pool, tree, _) = build(50_000, BulkLoad::Str, LeafLayout::MbrOnly);
         assert!(tree.height() >= 2);
         pool.clear_cache();
         pool.reset_stats();
         let q = Aabb::cube(Point3::splat(50.0), 5.0);
-        tree.seed_query(&mut pool, &q).unwrap().unwrap();
+        tree.seed_query(&pool, &q).unwrap().unwrap();
         let reads = pool.stats().total_physical_reads();
         // One path of `height` pages, plus possibly a few dead-end leaf
         // probes. The paper: "the complexity of this operation is typically
@@ -519,20 +557,24 @@ mod tests {
 
     #[test]
     fn point_query_equals_degenerate_range() {
-        let (mut pool, tree, entries) = build(4000, BulkLoad::Str, LeafLayout::WithIds);
+        let (pool, tree, entries) = build(4000, BulkLoad::Str, LeafLayout::WithIds);
         let p = Point3::splat(42.0);
-        let mut a: Vec<u64> =
-            tree.point_query(&mut pool, p).unwrap().iter().map(|h| h.id).collect();
+        let mut a: Vec<u64> = tree
+            .point_query(&pool, p)
+            .unwrap()
+            .iter()
+            .map(|h| h.id)
+            .collect();
         a.sort_unstable();
         assert_eq!(a, brute_force(&entries, &Aabb::point(p)));
     }
 
     #[test]
     fn traversal_stats_count_visits() {
-        let (mut pool, tree, _) = build(20_000, BulkLoad::Str, LeafLayout::MbrOnly);
+        let (pool, tree, _) = build(20_000, BulkLoad::Str, LeafLayout::MbrOnly);
         let mut stats = TraversalStats::default();
         let q = Aabb::cube(Point3::splat(50.0), 10.0);
-        tree.range_query_with_stats(&mut pool, &q, &mut stats).unwrap();
+        tree.range_query_with_stats(&pool, &q, &mut stats).unwrap();
         assert!(stats.inner_visits >= 1);
         assert!(stats.leaf_visits >= 1);
         assert!(stats.mbr_tests > stats.leaf_visits);
@@ -556,9 +598,9 @@ mod tests {
 
     #[test]
     fn for_each_leaf_visits_every_element_once() {
-        let (mut pool, tree, entries) = build(7000, BulkLoad::Hilbert, LeafLayout::WithIds);
+        let (pool, tree, entries) = build(7000, BulkLoad::Hilbert, LeafLayout::WithIds);
         let mut seen = Vec::new();
-        tree.for_each_leaf(&mut pool, |_, es| seen.extend(es.iter().map(|e| e.id)))
+        tree.for_each_leaf(&pool, |_, es| seen.extend(es.iter().map(|e| e.id)))
             .unwrap();
         seen.sort_unstable();
         let mut expected: Vec<u64> = entries.iter().map(|e| e.id).collect();

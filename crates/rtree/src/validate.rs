@@ -12,7 +12,7 @@
 use crate::node::{decode_inner, decode_leaf, is_leaf};
 use crate::tree::RTree;
 use flat_geom::Aabb;
-use flat_storage::{BufferPool, PageStore, StorageError};
+use flat_storage::{PageRead, StorageError};
 
 /// Summary returned by [`check_invariants`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,19 +29,24 @@ pub struct TreeReport {
 ///
 /// Returns an error string describing the first violation found, or the
 /// tally of reachable pages.
-pub fn check_invariants<S: PageStore>(
-    pool: &mut BufferPool<S>,
-    tree: &RTree,
-) -> Result<TreeReport, String> {
+pub fn check_invariants(pool: &impl PageRead, tree: &RTree) -> Result<TreeReport, String> {
     let Some(root) = tree.root() else {
         return if tree.num_elements() == 0 && tree.height() == 0 {
-            Ok(TreeReport { elements: 0, leaf_pages: 0, inner_pages: 0 })
+            Ok(TreeReport {
+                elements: 0,
+                leaf_pages: 0,
+                inner_pages: 0,
+            })
         } else {
             Err("empty root but non-zero counters".to_string())
         };
     };
 
-    let mut report = TreeReport { elements: 0, leaf_pages: 0, inner_pages: 0 };
+    let mut report = TreeReport {
+        elements: 0,
+        leaf_pages: 0,
+        inner_pages: 0,
+    };
     let mbr = visit(pool, tree, root, tree.height(), &mut report)?;
     // The root MBR must be finite for non-empty trees.
     if !mbr.is_finite() {
@@ -75,8 +80,8 @@ fn io_err(e: StorageError) -> String {
     format!("storage error during validation: {e}")
 }
 
-fn visit<S: PageStore>(
-    pool: &mut BufferPool<S>,
+fn visit(
+    pool: &impl PageRead,
     tree: &RTree,
     page_id: flat_storage::PageId,
     level: u32,
@@ -84,11 +89,11 @@ fn visit<S: PageStore>(
 ) -> Result<Aabb, String> {
     let config = tree.config();
     if level == 1 {
-        let page = pool.read(page_id, config.leaf_kind).map_err(io_err)?;
-        if !is_leaf(page) {
+        let page = pool.read_page(page_id, config.leaf_kind).map_err(io_err)?;
+        if !is_leaf(&page) {
             return Err(format!("{page_id}: expected a leaf at level 1"));
         }
-        let (_, entries) = decode_leaf(page).map_err(io_err)?;
+        let (_, entries) = decode_leaf(&page).map_err(io_err)?;
         if entries.is_empty() {
             return Err(format!("{page_id}: empty leaf"));
         }
@@ -96,11 +101,13 @@ fn visit<S: PageStore>(
         report.leaf_pages += 1;
         Ok(Aabb::union_all(entries.iter().map(|e| e.mbr)))
     } else {
-        let page = pool.read(page_id, config.inner_kind).map_err(io_err)?;
-        if is_leaf(page) {
-            return Err(format!("{page_id}: leaf found above level 1 — tree is unbalanced"));
+        let page = pool.read_page(page_id, config.inner_kind).map_err(io_err)?;
+        if is_leaf(&page) {
+            return Err(format!(
+                "{page_id}: leaf found above level 1 — tree is unbalanced"
+            ));
         }
-        let children = decode_inner(page).map_err(io_err)?;
+        let children = decode_inner(&page).map_err(io_err)?;
         if children.is_empty() {
             return Err(format!("{page_id}: empty inner node"));
         }
@@ -123,11 +130,13 @@ fn visit<S: PageStore>(
 /// Measures directory overlap: the summed pairwise intersected volume of
 /// sibling MBRs, per level (root level first). This is the quantity whose
 /// growth with density drives Figure 2 of the paper.
-pub fn sibling_overlap_by_level<S: PageStore>(
-    pool: &mut BufferPool<S>,
+pub fn sibling_overlap_by_level(
+    pool: &impl PageRead,
     tree: &RTree,
 ) -> Result<Vec<f64>, StorageError> {
-    let Some(root) = tree.root() else { return Ok(Vec::new()) };
+    let Some(root) = tree.root() else {
+        return Ok(Vec::new());
+    };
     let mut overlaps = Vec::new();
     let mut frontier = vec![root];
     let mut level = tree.height();
@@ -135,8 +144,8 @@ pub fn sibling_overlap_by_level<S: PageStore>(
         let mut next = Vec::new();
         let mut level_overlap = 0.0;
         for page_id in &frontier {
-            let page = pool.read(*page_id, tree.config().inner_kind)?;
-            let children = decode_inner(page)?;
+            let page = pool.read_page(*page_id, tree.config().inner_kind)?;
+            let children = decode_inner(&page)?;
             for i in 0..children.len() {
                 for j in i + 1..children.len() {
                     if let Some(common) = children[i].mbr.intersection(&children[j].mbr) {
@@ -159,16 +168,21 @@ mod tests {
     use crate::test_util::random_entries;
     use crate::tree::RTreeConfig;
     use crate::{BulkLoad, LeafLayout};
-    use flat_storage::MemStore;
+    use flat_storage::{BufferPool, MemStore};
 
     #[test]
     fn bulkloaded_trees_pass_validation() {
-        for method in [BulkLoad::Str, BulkLoad::Hilbert, BulkLoad::PrTree, BulkLoad::Tgs] {
+        for method in [
+            BulkLoad::Str,
+            BulkLoad::Hilbert,
+            BulkLoad::PrTree,
+            BulkLoad::Tgs,
+        ] {
             let entries = random_entries(10_000, 23);
             let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
             let tree =
                 RTree::bulk_load(&mut pool, entries, method, RTreeConfig::default()).unwrap();
-            let report = check_invariants(&mut pool, &tree).unwrap();
+            let report = check_invariants(&pool, &tree).unwrap();
             assert_eq!(report.elements, 10_000, "{method:?}");
         }
     }
@@ -176,10 +190,17 @@ mod tests {
     #[test]
     fn empty_tree_validates() {
         let mut pool = BufferPool::new(MemStore::new(), 16);
-        let tree = RTree::bulk_load(&mut pool, Vec::new(), BulkLoad::Str, RTreeConfig::default())
-            .unwrap();
-        let report = check_invariants(&mut pool, &tree).unwrap();
-        assert_eq!(report, TreeReport { elements: 0, leaf_pages: 0, inner_pages: 0 });
+        let tree =
+            RTree::bulk_load(&mut pool, Vec::new(), BulkLoad::Str, RTreeConfig::default()).unwrap();
+        let report = check_invariants(&pool, &tree).unwrap();
+        assert_eq!(
+            report,
+            TreeReport {
+                elements: 0,
+                leaf_pages: 0,
+                inner_pages: 0
+            }
+        );
     }
 
     #[test]
@@ -193,7 +214,10 @@ mod tests {
             &mut pool,
             entries,
             BulkLoad::Str,
-            RTreeConfig { layout: LeafLayout::MbrOnly, ..RTreeConfig::default() },
+            RTreeConfig {
+                layout: LeafLayout::MbrOnly,
+                ..RTreeConfig::default()
+            },
         )
         .unwrap();
         assert!(tree.height() >= 2);
@@ -209,7 +233,7 @@ mod tests {
         pool.write(root, &page, PageKind::RTreeInner).unwrap();
         pool.clear_cache();
 
-        let err = check_invariants(&mut pool, &tree).unwrap_err();
+        let err = check_invariants(&pool, &tree).unwrap_err();
         assert!(err.contains("stale child MBR"), "unexpected error: {err}");
     }
 
@@ -218,11 +242,18 @@ mod tests {
         // Dense random boxes overlap; the metric must see it at some level.
         let entries = random_entries(30_000, 31);
         let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
-        let tree =
-            RTree::bulk_load(&mut pool, entries, BulkLoad::Hilbert, RTreeConfig::default())
-                .unwrap();
-        let overlaps = sibling_overlap_by_level(&mut pool, &tree).unwrap();
+        let tree = RTree::bulk_load(
+            &mut pool,
+            entries,
+            BulkLoad::Hilbert,
+            RTreeConfig::default(),
+        )
+        .unwrap();
+        let overlaps = sibling_overlap_by_level(&pool, &tree).unwrap();
         assert_eq!(overlaps.len() as u32, tree.height() - 1);
-        assert!(overlaps.iter().any(|v| *v > 0.0), "Hilbert packing of dense data overlaps");
+        assert!(
+            overlaps.iter().any(|v| *v > 0.0),
+            "Hilbert packing of dense data overlaps"
+        );
     }
 }

@@ -68,7 +68,10 @@ pub fn hilbert_index(cell: [u32; 3], order: u32) -> u64 {
 /// # Panics
 /// Panics if `order` is outside `1..=21` or `index >= 2^(3·order)`.
 pub fn hilbert_point(index: u64, order: u32) -> [u32; 3] {
-    assert!((1..=21).contains(&order), "order must be in 1..=21, got {order}");
+    assert!(
+        (1..=21).contains(&order),
+        "order must be in 1..=21, got {order}"
+    );
     let total_bits = 3 * order;
     assert!(
         total_bits == 64 || index < (1u64 << total_bits),
@@ -134,7 +137,10 @@ fn untranspose(x: [u32; 3], order: u32) -> u64 {
 }
 
 fn validate(cell: [u32; 3], order: u32) {
-    assert!((1..=21).contains(&order), "order must be in 1..=21, got {order}");
+    assert!(
+        (1..=21).contains(&order),
+        "order must be in 1..=21, got {order}"
+    );
     let limit = 1u64 << order;
     for (d, c) in cell.iter().enumerate() {
         assert!(

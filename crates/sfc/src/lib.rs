@@ -42,7 +42,10 @@ impl Discretizer {
     /// Panics if `order` is 0 or exceeds 21 (the largest order for which a
     /// 3-D curve key fits in a `u64`), or if the domain is inverted.
     pub fn new(min: [f64; 3], max: [f64; 3], order: u32) -> Discretizer {
-        assert!((1..=21).contains(&order), "order must be in 1..=21, got {order}");
+        assert!(
+            (1..=21).contains(&order),
+            "order must be in 1..=21, got {order}"
+        );
         let max_cell = (1u32 << order) - 1;
         let mut scale = [0.0; 3];
         for d in 0..3 {
@@ -54,9 +57,18 @@ impl Discretizer {
             );
             let extent = max[d] - min[d];
             // A degenerate axis maps everything to cell 0.
-            scale[d] = if extent > 0.0 { (max_cell as f64 + 1.0) / extent } else { 0.0 };
+            scale[d] = if extent > 0.0 {
+                (max_cell as f64 + 1.0) / extent
+            } else {
+                0.0
+            };
         }
-        Discretizer { min, scale, max_cell, order }
+        Discretizer {
+            min,
+            scale,
+            max_cell,
+            order,
+        }
     }
 
     /// The lattice order (bits per dimension).

@@ -11,7 +11,10 @@
 /// # Panics
 /// Panics if `order` is outside `1..=21` or a coordinate is out of range.
 pub fn morton_index(cell: [u32; 3], order: u32) -> u64 {
-    assert!((1..=21).contains(&order), "order must be in 1..=21, got {order}");
+    assert!(
+        (1..=21).contains(&order),
+        "order must be in 1..=21, got {order}"
+    );
     let limit = 1u64 << order;
     for (d, c) in cell.iter().enumerate() {
         assert!(
@@ -27,7 +30,10 @@ pub fn morton_index(cell: [u32; 3], order: u32) -> u64 {
 /// # Panics
 /// Panics if `order` is outside `1..=21` or `index >= 2^(3·order)`.
 pub fn morton_point(index: u64, order: u32) -> [u32; 3] {
-    assert!((1..=21).contains(&order), "order must be in 1..=21, got {order}");
+    assert!(
+        (1..=21).contains(&order),
+        "order must be in 1..=21, got {order}"
+    );
     let total_bits = 3 * order;
     assert!(
         total_bits == 64 || index < (1u64 << total_bits),
@@ -92,7 +98,12 @@ mod tests {
     #[test]
     fn roundtrip_high_order_spot_checks() {
         let max = (1u32 << 21) - 1;
-        for cell in [[0, 0, 0], [max, max, max], [max, 0, 1], [12345, 654_321, 999_999]] {
+        for cell in [
+            [0, 0, 0],
+            [max, max, max],
+            [max, 0, 1],
+            [12345, 654_321, 999_999],
+        ] {
             let k = morton_index(cell, 21);
             assert_eq!(morton_point(k, 21), cell);
         }

@@ -1,0 +1,69 @@
+//! The page-access split: shared reads vs exclusive writes.
+//!
+//! Query evaluation in this workspace never mutates pages — it only reads
+//! them (and updates I/O statistics, which are atomic). Index construction
+//! is the opposite: a single-owner bulkload that allocates and writes pages
+//! and never races with queries. The two capabilities are therefore split
+//! into two traits:
+//!
+//! * [`PageRead`] — shared, `&self`. Implemented by [`crate::BufferPool`]
+//!   (single-threaded interior mutability) and by
+//!   [`crate::ConcurrentBufferPool`] (lock-sharded, `Sync`), so the same
+//!   query code serves both a private pool and a pool shared across many
+//!   threads.
+//! * [`PageWrite`] — exclusive, `&mut self`. Implemented by
+//!   [`crate::BufferPool`] only; builds keep the exclusive path.
+//!
+//! Query entry points across the workspace take `&impl PageRead`; build
+//! entry points take `&mut impl PageWrite`.
+
+use crate::{Page, PageId, PageKind, StorageError};
+use std::sync::Arc;
+
+/// Shared read access to pages, with per-[`PageKind`] I/O accounting.
+///
+/// Reads return an *owned* copy of the page: the 4 KB memcpy decouples the
+/// caller from the cache's locking/borrowing discipline (and is noise next
+/// to the I/O the pool is accounting for — index node formats are
+/// deserialized into typed structures immediately after the read anyway).
+pub trait PageRead {
+    /// Reads page `id`, counting the access against `kind`.
+    fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError>;
+}
+
+/// Exclusive build-time access: page allocation and write-through writes.
+pub trait PageWrite {
+    /// Allocates a fresh zeroed page.
+    fn alloc(&mut self) -> Result<PageId, StorageError>;
+
+    /// Writes `page` through to the store, counting it against `kind`.
+    fn write(&mut self, id: PageId, page: &Page, kind: PageKind) -> Result<(), StorageError>;
+}
+
+impl<P: PageRead + ?Sized> PageRead for &P {
+    fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError> {
+        (**self).read_page(id, kind)
+    }
+}
+
+impl<P: PageRead + ?Sized> PageRead for Arc<P> {
+    fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError> {
+        (**self).read_page(id, kind)
+    }
+}
+
+impl<P: PageRead + ?Sized> PageRead for Box<P> {
+    fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError> {
+        (**self).read_page(id, kind)
+    }
+}
+
+impl<W: PageWrite + ?Sized> PageWrite for &mut W {
+    fn alloc(&mut self) -> Result<PageId, StorageError> {
+        (**self).alloc()
+    }
+
+    fn write(&mut self, id: PageId, page: &Page, kind: PageKind) -> Result<(), StorageError> {
+        (**self).write(id, page, kind)
+    }
+}

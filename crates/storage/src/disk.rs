@@ -27,20 +27,29 @@ impl DiskModel {
     /// 3 ms average rotational latency (half a revolution at 10 kRPM), and
     /// ≈100 MB/s media rate (40 µs per 4 KB page).
     pub fn sas_10k() -> DiskModel {
-        DiskModel { positioning_us: 7000.0, transfer_us: 40.0 }
+        DiskModel {
+            positioning_us: 7000.0,
+            transfer_us: 40.0,
+        }
     }
 
     /// A commodity 7 200 RPM SATA disk (≈8.5 ms seek + 4.2 ms latency,
     /// ≈80 MB/s media rate).
     pub fn sata_7200() -> DiskModel {
-        DiskModel { positioning_us: 12700.0, transfer_us: 50.0 }
+        DiskModel {
+            positioning_us: 12700.0,
+            transfer_us: 50.0,
+        }
     }
 
     /// A SATA SSD (no positioning cost to speak of; ≈70 µs per 4 KB random
     /// read). Included for the ablation study: FLAT's advantage shrinks as
     /// positioning cost shrinks, but the page-read counts are unchanged.
     pub fn ssd() -> DiskModel {
-        DiskModel { positioning_us: 60.0, transfer_us: 10.0 }
+        DiskModel {
+            positioning_us: 60.0,
+            transfer_us: 10.0,
+        }
     }
 
     /// Cost of `reads` random page reads, in microseconds.
@@ -94,7 +103,7 @@ mod tests {
         pool.read(id, PageKind::Other).unwrap();
         pool.read(id, PageKind::Other).unwrap(); // cache hit
         let m = DiskModel::sas_10k();
-        assert_eq!(m.io_time(pool.stats()), m.io_time_for_reads(1));
+        assert_eq!(m.io_time(&pool.stats()), m.io_time_for_reads(1));
     }
 
     #[test]

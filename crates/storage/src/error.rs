@@ -32,8 +32,14 @@ impl fmt::Display for StorageError {
             StorageError::PageOutOfRange { page, allocated } => {
                 write!(f, "{page} out of range ({allocated} pages allocated)")
             }
-            StorageError::PageOverflow { requested, remaining } => {
-                write!(f, "page overflow: need {requested} bytes, {remaining} remaining")
+            StorageError::PageOverflow {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "page overflow: need {requested} bytes, {remaining} remaining"
+                )
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
@@ -62,10 +68,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = StorageError::PageOutOfRange { page: PageId(7), allocated: 3 };
+        let e = StorageError::PageOutOfRange {
+            page: PageId(7),
+            allocated: 3,
+        };
         assert!(e.to_string().contains("page#7"));
         assert!(e.to_string().contains('3'));
-        let e = StorageError::PageOverflow { requested: 100, remaining: 10 };
+        let e = StorageError::PageOverflow {
+            requested: 100,
+            remaining: 10,
+        };
         assert!(e.to_string().contains("100"));
         let e = StorageError::Corrupt("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
@@ -77,5 +89,17 @@ mod tests {
         let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         let e = StorageError::from(inner);
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn errors_cross_thread_boundaries() {
+        // Worker threads report failures to the coordinating thread, so the
+        // error type must be Send + Sync (and stay that way).
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<StorageError>();
+
+        let err: StorageError = std::io::Error::other("device gone").into();
+        let joined = std::thread::spawn(move || err).join().unwrap();
+        assert!(joined.to_string().contains("device gone"));
     }
 }

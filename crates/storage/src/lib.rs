@@ -16,27 +16,38 @@
 //! * [`BufferPool`] — an LRU page cache over a store. Reads are classified
 //!   by [`PageKind`] and tallied in [`IoStats`]; [`BufferPool::clear_cache`]
 //!   emulates the paper's cache clearing between queries.
+//! * [`PageRead`] / [`PageWrite`] — the access split: queries are shared
+//!   `&self` reads, builds are exclusive `&mut` writes. Query code across
+//!   the workspace takes `&impl PageRead`.
+//! * [`ConcurrentBufferPool`] — a lock-sharded, `Sync` pool serving many
+//!   reader threads at once (per-shard LRUs, atomic statistics), plus the
+//!   cloneable [`PoolHandle`] wrapper for spawning query threads.
 //! * [`DiskModel`] — converts physical-read counts into simulated I/O time
 //!   for a configurable device (default: the paper's 10 kRPM SAS array),
 //!   since the figures' execution-time series are proportional to page
 //!   reads (the paper measures a 97.8–98.8 % disk-time share, §VII-E.2).
+//!   [`ThrottledStore`] makes the same latency *real* for concurrency
+//!   experiments by blocking each physical read.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod access;
+mod concurrent;
 mod disk;
 mod error;
 mod page;
 mod pool;
-mod shared;
 mod store;
+mod sync_util;
 
+pub use access::{PageRead, PageWrite};
+pub use concurrent::{ConcurrentBufferPool, PoolHandle, DEFAULT_SHARDS};
 pub use disk::DiskModel;
 pub use error::StorageError;
 pub use page::{Page, PageCursor, PAGE_SIZE};
 pub use pool::{BufferPool, IoStats, KindStats};
-pub use shared::SharedBufferPool;
-pub use store::{FileStore, MemStore, PageStore};
+pub use store::{FileStore, MemStore, PageStore, ThrottledStore};
 
 /// Identifies a page within a [`PageStore`].
 ///

@@ -31,7 +31,9 @@ impl std::fmt::Debug for Page {
 impl Page {
     /// A zero-filled page.
     pub fn new() -> Page {
-        Page { data: Box::new([0u8; PAGE_SIZE]) }
+        Page {
+            data: Box::new([0u8; PAGE_SIZE]),
+        }
     }
 
     /// Read-only view of the page bytes.
@@ -101,7 +103,10 @@ impl Page {
 
     /// A sequential writer starting at `offset`.
     pub fn writer(&mut self, offset: usize) -> PageCursor<'_> {
-        PageCursor { page: self, pos: offset }
+        PageCursor {
+            page: self,
+            pos: offset,
+        }
     }
 }
 
@@ -128,7 +133,10 @@ impl<'a> PageCursor<'a> {
 
     fn ensure(&self, n: usize) -> Result<(), StorageError> {
         if self.remaining() < n {
-            Err(StorageError::PageOverflow { requested: n, remaining: self.remaining() })
+            Err(StorageError::PageOverflow {
+                requested: n,
+                remaining: self.remaining(),
+            })
         } else {
             Ok(())
         }
@@ -221,7 +229,13 @@ mod tests {
         let mut w = p.writer(PAGE_SIZE - 4);
         assert!(w.write_u32(1).is_ok());
         let err = w.write_u16(2).unwrap_err();
-        assert!(matches!(err, StorageError::PageOverflow { requested: 2, remaining: 0 }));
+        assert!(matches!(
+            err,
+            StorageError::PageOverflow {
+                requested: 2,
+                remaining: 0
+            }
+        ));
     }
 
     #[test]

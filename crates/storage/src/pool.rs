@@ -1,7 +1,9 @@
 //! LRU buffer pool with per-kind I/O accounting.
 
-use crate::{Page, PageId, PageKind, PageStore, StorageError, PAGE_SIZE};
+use crate::{Page, PageId, PageKind, PageRead, PageStore, PageWrite, StorageError, PAGE_SIZE};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Read/write counters for one [`PageKind`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,6 +37,10 @@ impl KindStats {
 /// before each query, §VII-A) and classifies them by structure for the
 /// breakdown figures (Fig 14/18). `IoStats` supports snapshot/diff so a
 /// harness can attribute I/O to individual queries.
+///
+/// This is a plain value type — a snapshot. The live counters inside the
+/// pools are atomic ([`AtomicIoStats`]), so snapshots can be taken from
+/// `&self` at any time, including while other threads are reading pages.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IoStats {
     kinds: [KindStats; 6],
@@ -103,17 +109,70 @@ impl IoStats {
             s.add(o);
         }
     }
+}
 
-    fn record_read(&mut self, kind: PageKind, miss: bool) {
-        let k = &mut self.kinds[kind.index()];
-        k.logical_reads += 1;
+/// Live, thread-safe I/O counters.
+///
+/// The pools record every access here with relaxed atomics — counting from
+/// `&self` is what lets [`BufferPool::stats`] and the whole query path work
+/// without `&mut`. Snapshots come out as plain [`IoStats`] values.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicIoStats {
+    kinds: [AtomicKindStats; 6],
+}
+
+#[derive(Debug, Default)]
+struct AtomicKindStats {
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl AtomicIoStats {
+    pub(crate) fn record_read(&self, kind: PageKind, miss: bool) {
+        let k = &self.kinds[kind.index()];
+        k.logical_reads.fetch_add(1, Ordering::Relaxed);
         if miss {
-            k.physical_reads += 1;
+            k.physical_reads.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    fn record_write(&mut self, kind: PageKind) {
-        self.kinds[kind.index()].writes += 1;
+    pub(crate) fn record_write(&self, kind: PageKind) {
+        self.kinds[kind.index()]
+            .writes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> IoStats {
+        let mut out = IoStats::new();
+        for (atomic, plain) in self.kinds.iter().zip(out.kinds.iter_mut()) {
+            plain.logical_reads = atomic.logical_reads.load(Ordering::Relaxed);
+            plain.physical_reads = atomic.physical_reads.load(Ordering::Relaxed);
+            plain.writes = atomic.writes.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    pub(crate) fn reset(&self) {
+        for k in &self.kinds {
+            k.logical_reads.store(0, Ordering::Relaxed);
+            k.physical_reads.store(0, Ordering::Relaxed);
+            k.writes.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Restores counters from a snapshot (used when a pool is converted and
+    /// its history should carry over).
+    pub(crate) fn load_snapshot(&self, stats: &IoStats) {
+        for (atomic, plain) in self.kinds.iter().zip(stats.kinds.iter()) {
+            atomic
+                .logical_reads
+                .store(plain.logical_reads, Ordering::Relaxed);
+            atomic
+                .physical_reads
+                .store(plain.physical_reads, Ordering::Relaxed);
+            atomic.writes.store(plain.writes, Ordering::Relaxed);
+        }
     }
 }
 
@@ -127,95 +186,36 @@ struct Slot {
     next: usize,
 }
 
-/// An LRU page cache over a [`PageStore`] that tallies I/O per [`PageKind`].
+/// The LRU bookkeeping of one cache: id → slot map plus an intrusive
+/// doubly-linked recency list over a slot slab.
 ///
-/// * Reads are served from the cache when possible; misses fetch from the
-///   store, evicting the least-recently-used page when the pool is full.
-/// * Writes are **write-through**: they always hit the store (and refresh
-///   the cached copy if present). Index construction in this workspace is a
-///   bulkload, so write buffering would not change any reported metric.
-/// * [`BufferPool::clear_cache`] drops all cached pages, emulating the
-///   paper's protocol of overwriting the OS cache before each query.
-///
-/// The pool intentionally exposes *copies* of pages rather than references
-/// into the cache (`read` returns `&Page` borrowed from the pool, valid
-/// until the next pool call) — index node formats are deserialized into
-/// typed structures immediately after the read.
-pub struct BufferPool<S: PageStore> {
-    store: S,
-    capacity: usize,
+/// Shared between [`BufferPool`] (one cache behind a `RefCell`) and
+/// [`crate::ConcurrentBufferPool`] (one cache per shard, each behind a
+/// `Mutex`).
+pub(crate) struct CacheState {
     map: HashMap<PageId, usize>,
     slots: Vec<Slot>,
     free: Vec<usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
-    stats: IoStats,
 }
 
-impl<S: PageStore> BufferPool<S> {
-    /// Creates a pool over `store` caching at most `capacity` pages.
-    ///
-    /// # Panics
-    /// Panics if `capacity` is zero — a pool that cannot hold the page it
-    /// just fetched would return dangling data.
-    pub fn new(store: S, capacity: usize) -> BufferPool<S> {
-        assert!(capacity > 0, "buffer pool capacity must be at least one page");
-        BufferPool {
-            store,
-            capacity,
+impl CacheState {
+    pub(crate) fn new() -> CacheState {
+        CacheState {
             map: HashMap::new(),
             slots: Vec::new(),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
-            stats: IoStats::new(),
         }
     }
 
-    /// The underlying store.
-    pub fn store(&self) -> &S {
-        &self.store
-    }
-
-    /// Mutable access to the underlying store (bypasses the cache; callers
-    /// must [`BufferPool::clear_cache`] if they mutate pages directly).
-    pub fn store_mut(&mut self) -> &mut S {
-        &mut self.store
-    }
-
-    /// Consumes the pool, returning the store.
-    pub fn into_store(self) -> S {
-        self.store
-    }
-
-    /// Maximum number of cached pages.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Number of pages currently cached.
-    pub fn cached_pages(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.map.len()
     }
 
-    /// Current I/O statistics.
-    pub fn stats(&self) -> &IoStats {
-        &self.stats
-    }
-
-    /// Snapshots the statistics (for later [`IoStats::since`] diffs).
-    pub fn snapshot(&self) -> IoStats {
-        self.stats.clone()
-    }
-
-    /// Zeroes the statistics.
-    pub fn reset_stats(&mut self) {
-        self.stats = IoStats::new();
-    }
-
-    /// Drops every cached page — the "clear the OS cache" step the paper
-    /// performs before each benchmark query. Statistics are unaffected.
-    pub fn clear_cache(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.map.clear();
         self.slots.clear();
         self.free.clear();
@@ -223,36 +223,23 @@ impl<S: PageStore> BufferPool<S> {
         self.tail = NIL;
     }
 
-    /// Allocates a fresh page in the store.
-    pub fn alloc(&mut self) -> Result<PageId, StorageError> {
-        self.store.alloc()
+    /// Looks up `id`; on a hit, marks it most recently used.
+    pub(crate) fn lookup(&mut self, id: PageId) -> Option<usize> {
+        let slot = *self.map.get(&id)?;
+        self.touch(slot);
+        Some(slot)
     }
 
-    /// Writes a page through to the store, refreshing any cached copy.
-    pub fn write(&mut self, id: PageId, page: &Page, kind: PageKind) -> Result<(), StorageError> {
-        self.store.write_page(id, page)?;
-        self.stats.record_write(kind);
-        if let Some(&slot) = self.map.get(&id) {
-            self.slots[slot].page = page.clone();
-            self.touch(slot);
-        }
-        Ok(())
+    pub(crate) fn page(&self, slot: usize) -> &Page {
+        &self.slots[slot].page
     }
 
-    /// Reads a page, counting it against `kind`. The returned reference is
-    /// valid until the next call that mutates the pool.
-    pub fn read(&mut self, id: PageId, kind: PageKind) -> Result<&Page, StorageError> {
-        if let Some(&slot) = self.map.get(&id) {
-            self.stats.record_read(kind, false);
-            self.touch(slot);
-            return Ok(&self.slots[slot].page);
-        }
-        // Miss: fetch from the store.
-        self.stats.record_read(kind, true);
-        let mut page = Page::new();
-        self.store.read_page(id, &mut page)?;
-        let slot = self.insert_slot(id, page);
-        Ok(&self.slots[slot].page)
+    pub(crate) fn page_mut(&mut self, slot: usize) -> &mut Page {
+        &mut self.slots[slot].page
+    }
+
+    pub(crate) fn slot_of(&self, id: PageId) -> Option<usize> {
+        self.map.get(&id).copied()
     }
 
     /// Unlinks `slot` from the LRU list.
@@ -284,7 +271,7 @@ impl<S: PageStore> BufferPool<S> {
     }
 
     /// Moves `slot` to the head of the LRU list.
-    fn touch(&mut self, slot: usize) {
+    pub(crate) fn touch(&mut self, slot: usize) {
         if self.head == slot {
             return;
         }
@@ -292,9 +279,10 @@ impl<S: PageStore> BufferPool<S> {
         self.link_front(slot);
     }
 
-    /// Inserts a page, evicting the LRU slot if the pool is at capacity.
-    fn insert_slot(&mut self, id: PageId, page: Page) -> usize {
-        if self.map.len() >= self.capacity {
+    /// Inserts a page, evicting the LRU slot if the cache holds `capacity`
+    /// pages already.
+    pub(crate) fn insert(&mut self, id: PageId, page: Page, capacity: usize) -> usize {
+        if self.map.len() >= capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
             self.unlink(victim);
@@ -303,11 +291,21 @@ impl<S: PageStore> BufferPool<S> {
         }
         let slot = match self.free.pop() {
             Some(s) => {
-                self.slots[s] = Slot { id, page, prev: NIL, next: NIL };
+                self.slots[s] = Slot {
+                    id,
+                    page,
+                    prev: NIL,
+                    next: NIL,
+                };
                 s
             }
             None => {
-                self.slots.push(Slot { id, page, prev: NIL, next: NIL });
+                self.slots.push(Slot {
+                    id,
+                    page,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.slots.len() - 1
             }
         };
@@ -317,12 +315,182 @@ impl<S: PageStore> BufferPool<S> {
     }
 }
 
+/// An LRU page cache over a [`PageStore`] that tallies I/O per [`PageKind`].
+///
+/// This is the **exclusive** pool: one owner, used to build indexes
+/// ([`PageWrite`]) and to run single-threaded queries ([`PageRead`]). For
+/// queries shared across threads, convert it with
+/// [`BufferPool::into_concurrent`].
+///
+/// * Reads are served from the cache when possible; misses fetch from the
+///   store, evicting the least-recently-used page when the pool is full.
+/// * Writes are **write-through**: they always hit the store (and refresh
+///   the cached copy if present). Index construction in this workspace is a
+///   bulkload, so write buffering would not change any reported metric.
+/// * [`BufferPool::clear_cache`] drops all cached pages, emulating the
+///   paper's protocol of overwriting the OS cache before each query.
+/// * Statistics are atomic: [`BufferPool::stats`], [`BufferPool::snapshot`],
+///   [`BufferPool::reset_stats`] and [`BufferPool::clear_cache`] all take
+///   `&self`, so the measurement protocol never needs mutable access.
+///
+/// The borrowed-read fast path ([`BufferPool::read`], `&mut self`, returns
+/// `&Page` without copying) remains for build-time code; the [`PageRead`]
+/// implementation returns owned copies from `&self`.
+pub struct BufferPool<S: PageStore> {
+    store: S,
+    capacity: usize,
+    cache: RefCell<CacheState>,
+    stats: AtomicIoStats,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Creates a pool over `store` caching at most `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a pool that cannot hold the page it
+    /// just fetched would return dangling data.
+    pub fn new(store: S, capacity: usize) -> BufferPool<S> {
+        assert!(
+            capacity > 0,
+            "buffer pool capacity must be at least one page"
+        );
+        BufferPool {
+            store,
+            capacity,
+            cache: RefCell::new(CacheState::new()),
+            stats: AtomicIoStats::default(),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable access to the underlying store (bypasses the cache; callers
+    /// must [`BufferPool::clear_cache`] if they mutate pages directly).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Consumes the pool, returning the store.
+    pub fn into_store(self) -> S {
+        self.store
+    }
+
+    /// Converts this exclusive pool into a lock-sharded
+    /// [`crate::ConcurrentBufferPool`] with the same total capacity,
+    /// carrying the I/O statistics over. The cache contents are dropped
+    /// (queries under the paper's protocol start cold anyway).
+    pub fn into_concurrent(self) -> crate::ConcurrentBufferPool<S> {
+        let stats = self.stats.snapshot();
+        let pool = crate::ConcurrentBufferPool::new(self.store, self.capacity);
+        pool.load_stats(&stats);
+        pool
+    }
+
+    /// Maximum number of cached pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Snapshot of the current I/O statistics.
+    pub fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+
+    /// Snapshots the statistics (for later [`IoStats::since`] diffs).
+    pub fn snapshot(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the statistics.
+    pub fn reset_stats(&self) {
+        self.stats.reset()
+    }
+
+    /// Drops every cached page — the "clear the OS cache" step the paper
+    /// performs before each benchmark query. Statistics are unaffected.
+    pub fn clear_cache(&self) {
+        self.cache.borrow_mut().clear();
+    }
+
+    pub(crate) fn load_stats(&self, stats: &IoStats) {
+        self.stats.load_snapshot(stats);
+    }
+
+    /// Allocates a fresh page in the store.
+    pub fn alloc(&mut self) -> Result<PageId, StorageError> {
+        self.store.alloc()
+    }
+
+    /// Writes a page through to the store, refreshing any cached copy.
+    pub fn write(&mut self, id: PageId, page: &Page, kind: PageKind) -> Result<(), StorageError> {
+        self.store.write_page(id, page)?;
+        self.stats.record_write(kind);
+        let cache = self.cache.get_mut();
+        if let Some(slot) = cache.slot_of(id) {
+            *cache.page_mut(slot) = page.clone();
+            cache.touch(slot);
+        }
+        Ok(())
+    }
+
+    /// Reads a page without copying it, counting it against `kind`. The
+    /// returned reference is valid until the next call that mutates the
+    /// pool. This is the build-time fast path; shared readers use
+    /// [`PageRead::read_page`].
+    pub fn read(&mut self, id: PageId, kind: PageKind) -> Result<&Page, StorageError> {
+        let cache = self.cache.get_mut();
+        if let Some(slot) = cache.lookup(id) {
+            self.stats.record_read(kind, false);
+            return Ok(cache.page(slot));
+        }
+        // Miss: fetch from the store.
+        self.stats.record_read(kind, true);
+        let mut page = Page::new();
+        self.store.read_page(id, &mut page)?;
+        let slot = cache.insert(id, page, self.capacity);
+        Ok(cache.page(slot))
+    }
+}
+
+impl<S: PageStore> PageRead for BufferPool<S> {
+    fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError> {
+        let mut cache = self.cache.borrow_mut();
+        if let Some(slot) = cache.lookup(id) {
+            self.stats.record_read(kind, false);
+            return Ok(cache.page(slot).clone());
+        }
+        self.stats.record_read(kind, true);
+        let mut page = Page::new();
+        self.store.read_page(id, &mut page)?;
+        let slot = cache.insert(id, page, self.capacity);
+        Ok(cache.page(slot).clone())
+    }
+}
+
+impl<S: PageStore> PageWrite for BufferPool<S> {
+    fn alloc(&mut self) -> Result<PageId, StorageError> {
+        BufferPool::alloc(self)
+    }
+
+    fn write(&mut self, id: PageId, page: &Page, kind: PageKind) -> Result<(), StorageError> {
+        BufferPool::write(self, id, page, kind)
+    }
+}
+
 impl<S: PageStore> std::fmt::Debug for BufferPool<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BufferPool")
             .field("capacity", &self.capacity)
-            .field("cached", &self.map.len())
-            .field("stats", &self.stats)
+            .field("cached", &self.cached_pages())
+            .field("stats", &self.stats.snapshot())
             .finish()
     }
 }
@@ -356,6 +524,19 @@ mod tests {
         assert_eq!(s.total_physical_reads(), 2);
         assert_eq!(s.total_logical_reads(), 3);
         assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_reads_count_like_exclusive_reads() {
+        let pool = pool_with_pages(4, 8);
+        // Through the PageRead trait: same accounting, no &mut needed.
+        let page = pool.read_page(PageId(2), PageKind::ObjectPage).unwrap();
+        assert_eq!(page.get_u64(0), 2);
+        let page = pool.read_page(PageId(2), PageKind::ObjectPage).unwrap();
+        assert_eq!(page.get_u64(0), 2);
+        let s = pool.stats();
+        assert_eq!(s.kind(PageKind::ObjectPage).logical_reads, 2);
+        assert_eq!(s.kind(PageKind::ObjectPage).physical_reads, 1);
     }
 
     #[test]
@@ -432,9 +613,18 @@ mod tests {
         let mut a = IoStats::new();
         let mut pool = pool_with_pages(2, 4);
         pool.read(PageId(0), PageKind::SeedInner).unwrap();
-        a.accumulate(pool.stats());
-        a.accumulate(pool.stats());
+        a.accumulate(&pool.stats());
+        a.accumulate(&pool.stats());
         assert_eq!(a.kind(PageKind::SeedInner).physical_reads, 2);
+    }
+
+    #[test]
+    fn reset_stats_works_from_shared_reference() {
+        let mut pool = pool_with_pages(2, 4);
+        pool.read(PageId(0), PageKind::Other).unwrap();
+        let shared: &BufferPool<MemStore> = &pool;
+        shared.reset_stats();
+        assert_eq!(shared.stats().total_logical_reads(), 0);
     }
 
     #[test]
@@ -472,5 +662,15 @@ mod tests {
         let id = pool.alloc().unwrap();
         assert_eq!(id, PageId(0));
         assert_eq!(pool.store().num_pages(), 1);
+    }
+
+    #[test]
+    fn exclusive_and_shared_reads_share_one_cache() {
+        let mut pool = pool_with_pages(2, 4);
+        pool.read(PageId(0), PageKind::Other).unwrap(); // miss, cached
+        let page = pool.read_page(PageId(0), PageKind::Other).unwrap(); // hit
+        assert_eq!(page.get_u64(0), 0);
+        assert_eq!(pool.stats().total_physical_reads(), 1);
+        assert_eq!(pool.stats().total_logical_reads(), 2);
     }
 }

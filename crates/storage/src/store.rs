@@ -49,13 +49,18 @@ impl MemStore {
 
     /// Creates a store with capacity reserved for `n` pages.
     pub fn with_capacity(n: usize) -> MemStore {
-        MemStore { pages: Vec::with_capacity(n) }
+        MemStore {
+            pages: Vec::with_capacity(n),
+        }
     }
 
     fn check(&self, id: PageId) -> Result<usize, StorageError> {
         let idx = id.0 as usize;
         if idx >= self.pages.len() {
-            Err(StorageError::PageOutOfRange { page: id, allocated: self.pages.len() as u64 })
+            Err(StorageError::PageOutOfRange {
+                page: id,
+                allocated: self.pages.len() as u64,
+            })
         } else {
             Ok(idx)
         }
@@ -88,11 +93,12 @@ impl PageStore for MemStore {
 
 /// A file-backed page store: page `i` lives at byte offset `i · 4096`.
 ///
-/// Uses interior mutability for reads (`File` positions are managed with
-/// explicit offsets via seek), so the trait's `&self` read signature holds.
+/// The file handle sits behind a mutex (seek + read must be one atomic
+/// step), so the store is `Sync` and a [`crate::ConcurrentBufferPool`] can
+/// serve file-backed pages to many reader threads.
 #[derive(Debug)]
 pub struct FileStore {
-    file: std::cell::RefCell<File>,
+    file: std::sync::Mutex<File>,
     num_pages: u64,
 }
 
@@ -105,7 +111,10 @@ impl FileStore {
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(FileStore { file: std::cell::RefCell::new(file), num_pages: 0 })
+        Ok(FileStore {
+            file: std::sync::Mutex::new(file),
+            num_pages: 0,
+        })
     }
 
     /// Opens an existing store at `path`.
@@ -119,15 +128,25 @@ impl FileStore {
                 "file length {len} is not a multiple of the page size"
             )));
         }
-        Ok(FileStore { file: std::cell::RefCell::new(file), num_pages: len / PAGE_SIZE as u64 })
+        Ok(FileStore {
+            file: std::sync::Mutex::new(file),
+            num_pages: len / PAGE_SIZE as u64,
+        })
     }
 
     fn check(&self, id: PageId) -> Result<(), StorageError> {
         if id.0 >= self.num_pages {
-            Err(StorageError::PageOutOfRange { page: id, allocated: self.num_pages })
+            Err(StorageError::PageOutOfRange {
+                page: id,
+                allocated: self.num_pages,
+            })
         } else {
             Ok(())
         }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, File> {
+        crate::sync_util::lock_unpoisoned(&self.file)
     }
 }
 
@@ -135,16 +154,17 @@ impl PageStore for FileStore {
     fn alloc(&mut self) -> Result<PageId, StorageError> {
         let id = PageId(self.num_pages);
         let zeros = [0u8; PAGE_SIZE];
-        let mut file = self.file.borrow_mut();
+        let mut file = self.lock();
         file.seek(SeekFrom::Start(id.byte_offset()))?;
         file.write_all(&zeros)?;
+        drop(file);
         self.num_pages += 1;
         Ok(id)
     }
 
     fn write_page(&mut self, id: PageId, page: &Page) -> Result<(), StorageError> {
         self.check(id)?;
-        let mut file = self.file.borrow_mut();
+        let mut file = self.lock();
         file.seek(SeekFrom::Start(id.byte_offset()))?;
         file.write_all(page.bytes())?;
         Ok(())
@@ -152,7 +172,7 @@ impl PageStore for FileStore {
 
     fn read_page(&self, id: PageId, out: &mut Page) -> Result<(), StorageError> {
         self.check(id)?;
-        let mut file = self.file.borrow_mut();
+        let mut file = self.lock();
         file.seek(SeekFrom::Start(id.byte_offset()))?;
         file.read_exact(out.bytes_mut())?;
         Ok(())
@@ -160,6 +180,65 @@ impl PageStore for FileStore {
 
     fn num_pages(&self) -> u64 {
         self.num_pages
+    }
+}
+
+/// A store wrapper that charges a fixed latency per physical page read,
+/// emulating a storage device.
+///
+/// The paper's queries are I/O-bound (97.8–98.8 % disk time, §VII-E.2);
+/// wrapping a [`MemStore`] in a `ThrottledStore` makes that real for the
+/// concurrency benchmarks: a cache miss *blocks* the reading thread for the
+/// device latency, so overlapping query streams — which the shared
+/// [`crate::ConcurrentBufferPool`] read path enables — recover the wait
+/// time, exactly as concurrent streams against a disk array would.
+#[derive(Debug)]
+pub struct ThrottledStore<S: PageStore> {
+    inner: S,
+    read_latency: std::time::Duration,
+}
+
+impl<S: PageStore> ThrottledStore<S> {
+    /// Wraps `inner`, delaying every page read by `read_latency`.
+    pub fn new(inner: S, read_latency: std::time::Duration) -> ThrottledStore<S> {
+        ThrottledStore {
+            inner,
+            read_latency,
+        }
+    }
+
+    /// The configured per-read latency.
+    pub fn read_latency(&self) -> std::time::Duration {
+        self.read_latency
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PageStore> PageStore for ThrottledStore<S> {
+    fn alloc(&mut self) -> Result<PageId, StorageError> {
+        self.inner.alloc()
+    }
+
+    fn write_page(&mut self, id: PageId, page: &Page) -> Result<(), StorageError> {
+        self.inner.write_page(id, page)
+    }
+
+    fn read_page(&self, id: PageId, out: &mut Page) -> Result<(), StorageError> {
+        std::thread::sleep(self.read_latency);
+        self.inner.read_page(id, out)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
     }
 }
 
@@ -239,7 +318,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ragged.bin");
         std::fs::write(&path, [0u8; 100]).unwrap();
-        assert!(matches!(FileStore::open(&path), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(StorageError::Corrupt(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -249,5 +331,35 @@ mod tests {
         store.alloc().unwrap();
         store.alloc().unwrap();
         assert_eq!(store.size_bytes(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn stores_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemStore>();
+        assert_send_sync::<FileStore>();
+        assert_send_sync::<ThrottledStore<MemStore>>();
+    }
+
+    #[test]
+    fn throttled_store_delays_reads_and_delegates() {
+        let mut inner = MemStore::new();
+        let id = inner.alloc().unwrap();
+        let mut page = Page::new();
+        page.put_u64(0, 17);
+        inner.write_page(id, &page).unwrap();
+
+        let latency = std::time::Duration::from_millis(5);
+        let store = ThrottledStore::new(inner, latency);
+        let mut out = Page::new();
+        let start = std::time::Instant::now();
+        store.read_page(id, &mut out).unwrap();
+        assert!(
+            start.elapsed() >= latency,
+            "read returned before the device latency"
+        );
+        assert_eq!(out.get_u64(0), 17);
+        assert_eq!(store.num_pages(), 1);
+        assert_eq!(store.read_latency(), latency);
     }
 }

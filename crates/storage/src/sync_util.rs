@@ -1,0 +1,16 @@
+//! Small synchronization helpers shared across the storage crate.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `mutex`, recovering from poisoning.
+///
+/// Poisoning here only means another reader panicked mid-access; the
+/// guarded structures (LRU caches, file handles) are always structurally
+/// valid between operations, so recovering is safe. Centralized so a
+/// future policy change (logging, propagation) lands in one place.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

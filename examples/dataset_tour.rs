@@ -18,7 +18,10 @@ fn tour(name: &str, entries: Vec<Entry>, domain: Aabb) {
     let (index, build) = FlatIndex::build(
         &mut pool,
         entries,
-        FlatOptions { domain: Some(domain), ..FlatOptions::default() },
+        FlatOptions {
+            domain: Some(domain),
+            ..FlatOptions::default()
+        },
     )
     .expect("build");
     let build_time = start.elapsed();
@@ -27,7 +30,7 @@ fn tour(name: &str, entries: Vec<Entry>, domain: Aabb) {
     let query = Aabb::centered(probe_center, domain.extents() * 0.1);
     pool.clear_cache();
     pool.reset_stats();
-    let hits = index.range_query(&mut pool, &query).expect("query");
+    let hits = index.range_query(&pool, &query).expect("query");
 
     println!(
         "{name:>22}: {n:>7} elements  {:>6.1} MB index  {:>6.0} ms build  \
@@ -48,7 +51,11 @@ fn main() {
     tour("BBP neurons", model.entries(), neuron_config.domain);
 
     let uniform_config = UniformConfig::paper_baseline(50_000, 2);
-    tour("uniform cloud", uniform_entries(&uniform_config), uniform_config.domain);
+    tour(
+        "uniform cloud",
+        uniform_entries(&uniform_config),
+        uniform_config.domain,
+    );
 
     let brain = MeshConfig::brain(40_000, 3);
     tour("brain surface mesh", mesh_entries(&brain), brain.domain);

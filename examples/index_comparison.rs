@@ -22,12 +22,12 @@ fn run_rtree(
     let build = start.elapsed();
     pool.clear_cache();
     pool.reset_stats();
-    let hits = tree.range_query(&mut pool, query).expect("query");
+    let hits = tree.range_query(&pool, query).expect("query");
     let io = pool.stats();
     println!(
         "{name:>16}: {:>6} page reads  {:>8.1} ms disk  {:>7.0} ms build  height {}",
         io.total_physical_reads(),
-        disk.io_time(io).as_secs_f64() * 1000.0,
+        disk.io_time(&io).as_secs_f64() * 1000.0,
         build.as_secs_f64() * 1000.0,
         tree.height(),
     );
@@ -42,10 +42,7 @@ fn main() {
 
     // A mid-sized query: a 20 µm neighborhood.
     let query = Aabb::cube(config.domain.center(), 20.0);
-    println!(
-        "dataset: {} cylinders; query: {query}\n",
-        entries.len()
-    );
+    println!("dataset: {} cylinders; query: {query}\n", entries.len());
 
     // FLAT.
     let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
@@ -53,32 +50,62 @@ fn main() {
     let (flat, _) = FlatIndex::build(
         &mut pool,
         entries.clone(),
-        FlatOptions { domain: Some(config.domain), ..FlatOptions::default() },
+        FlatOptions {
+            domain: Some(config.domain),
+            ..FlatOptions::default()
+        },
     )
     .expect("build");
     let build = start.elapsed();
     pool.clear_cache();
     pool.reset_stats();
-    let flat_hits = flat.range_query(&mut pool, &query).expect("query");
+    let flat_hits = flat.range_query(&pool, &query).expect("query");
     println!(
         "{:>16}: {:>6} page reads  {:>8.1} ms disk  {:>7.0} ms build  seed height {}",
         "FLAT",
         pool.stats().total_physical_reads(),
-        disk.io_time(pool.stats()).as_secs_f64() * 1000.0,
+        disk.io_time(&pool.stats()).as_secs_f64() * 1000.0,
         build.as_secs_f64() * 1000.0,
         flat.seed_height(),
     );
 
     // The R-tree baselines (and the TGS extension).
     let mut counts = vec![flat_hits.len()];
-    counts.push(run_rtree("PR-Tree", BulkLoad::PrTree, &entries, &query, &disk));
-    counts.push(run_rtree("STR R-Tree", BulkLoad::Str, &entries, &query, &disk));
-    counts.push(run_rtree("Hilbert R-Tree", BulkLoad::Hilbert, &entries, &query, &disk));
-    counts.push(run_rtree("TGS R-Tree", BulkLoad::Tgs, &entries, &query, &disk));
+    counts.push(run_rtree(
+        "PR-Tree",
+        BulkLoad::PrTree,
+        &entries,
+        &query,
+        &disk,
+    ));
+    counts.push(run_rtree(
+        "STR R-Tree",
+        BulkLoad::Str,
+        &entries,
+        &query,
+        &disk,
+    ));
+    counts.push(run_rtree(
+        "Hilbert R-Tree",
+        BulkLoad::Hilbert,
+        &entries,
+        &query,
+        &disk,
+    ));
+    counts.push(run_rtree(
+        "TGS R-Tree",
+        BulkLoad::Tgs,
+        &entries,
+        &query,
+        &disk,
+    ));
 
     assert!(
         counts.windows(2).all(|w| w[0] == w[1]),
         "all indexes must return the same result: {counts:?}"
     );
-    println!("\nall five indexes agree on the result: {} elements", counts[0]);
+    println!(
+        "\nall five indexes agree on the result: {} elements",
+        counts[0]
+    );
 }

@@ -12,7 +12,11 @@ fn main() {
     //    segments each, packed into the paper's (285 µm)³ tissue volume.
     let config = NeuronConfig::bbp(50, 1000, 42);
     let model = NeuronModel::generate(&config);
-    println!("generated {} cylinder segments in {}", model.len(), config.domain);
+    println!(
+        "generated {} cylinder segments in {}",
+        model.len(),
+        config.domain
+    );
 
     // 2. Build the FLAT index in an in-memory page store. The pool counts
     //    every page read, classified by structure (seed tree, metadata,
@@ -21,7 +25,10 @@ fn main() {
     let (index, build) = FlatIndex::build(
         &mut pool,
         model.entries(),
-        FlatOptions { domain: Some(config.domain), ..FlatOptions::default() },
+        FlatOptions {
+            domain: Some(config.domain),
+            ..FlatOptions::default()
+        },
     )
     .expect("in-memory build cannot fail");
     println!(
@@ -47,13 +54,17 @@ fn main() {
     let query = Aabb::cube(config.domain.center(), 30.0);
     let mut stats = QueryStats::default();
     let hits = index
-        .range_query_with_stats(&mut pool, &query, &mut stats)
+        .range_query_with_stats(&pool, &query, &mut stats)
         .expect("in-memory query cannot fail");
 
     println!("\nquery {query}:");
     println!("  {} segments intersect", hits.len());
     let io = pool.stats();
-    for kind in [PageKind::SeedInner, PageKind::SeedLeaf, PageKind::ObjectPage] {
+    for kind in [
+        PageKind::SeedInner,
+        PageKind::SeedLeaf,
+        PageKind::ObjectPage,
+    ] {
         println!(
             "  {:>12}: {} physical page reads",
             kind.label(),
@@ -63,10 +74,33 @@ fn main() {
     println!(
         "  {} total page reads → {:.1} ms on the paper's 10 kRPM SAS array",
         io.total_physical_reads(),
-        DiskModel::sas_10k().io_time(io).as_secs_f64() * 1000.0,
+        DiskModel::sas_10k().io_time(&io).as_secs_f64() * 1000.0,
     );
     println!(
         "  crawl processed {} metadata records, queue peaked at {}",
         stats.records_processed, stats.max_queue_len
     );
+
+    // 4. Queries are shared reads, so the same index can serve many
+    //    threads at once: convert the pool into its lock-sharded form and
+    //    hand every worker a cloneable handle.
+    let shared = pool.into_concurrent().into_handle();
+    let expected = hits.len();
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let shared = shared.clone();
+            let index = &index;
+            scope.spawn(move || {
+                let n = index
+                    .range_query(&shared, &query)
+                    .expect("in-memory query cannot fail")
+                    .len();
+                assert_eq!(
+                    n, expected,
+                    "worker {worker} disagrees with the serial result"
+                );
+            });
+        }
+    });
+    println!("\n4 concurrent workers re-ran the query through one shared pool — same result");
 }

@@ -22,12 +22,20 @@ fn main() {
     let (flat, _) = FlatIndex::build(
         &mut flat_pool,
         entries.clone(),
-        FlatOptions { domain: Some(config.domain), ..FlatOptions::default() },
+        FlatOptions {
+            domain: Some(config.domain),
+            ..FlatOptions::default()
+        },
     )
     .expect("build");
     let mut pr_pool = BufferPool::new(MemStore::new(), 1 << 16);
-    let pr = RTree::bulk_load(&mut pr_pool, entries, BulkLoad::PrTree, RTreeConfig::default())
-        .expect("build");
+    let pr = RTree::bulk_load(
+        &mut pr_pool,
+        entries,
+        BulkLoad::PrTree,
+        RTreeConfig::default(),
+    )
+    .expect("build");
 
     // Walk the first neuron's fiber: the neighborhood of every 10th
     // segment, i.e. all elements within 5 µm of the segment center.
@@ -49,12 +57,12 @@ fn main() {
 
         flat_pool.clear_cache();
         let snap = flat_pool.snapshot();
-        let flat_hits = flat.range_query(&mut flat_pool, &probe).expect("query");
+        let flat_hits = flat.range_query(&flat_pool, &probe).expect("query");
         flat_reads += flat_pool.stats().since(&snap).total_physical_reads();
 
         pr_pool.clear_cache();
         let snap = pr_pool.snapshot();
-        let pr_hits = pr.range_query(&mut pr_pool, &probe).expect("query");
+        let pr_hits = pr.range_query(&pr_pool, &probe).expect("query");
         pr_reads += pr_pool.stats().since(&snap).total_physical_reads();
 
         assert_eq!(flat_hits.len(), pr_hits.len(), "indexes disagree");

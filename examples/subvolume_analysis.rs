@@ -17,7 +17,10 @@ fn main() {
     let (index, _) = FlatIndex::build(
         &mut pool,
         model.entries(),
-        FlatOptions { domain: Some(config.domain), ..FlatOptions::default() },
+        FlatOptions {
+            domain: Some(config.domain),
+            ..FlatOptions::default()
+        },
     )
     .expect("build");
 
@@ -25,7 +28,7 @@ fn main() {
     let block = Aabb::centered(config.domain.center(), Point3::new(100.0, 60.0, 60.0));
     pool.clear_cache();
     pool.reset_stats();
-    let hits = index.range_query(&mut pool, &block).expect("query");
+    let hits = index.range_query(&pool, &block).expect("query");
     let io = pool.stats();
 
     println!("\nretrieved subvolume {block}");
@@ -48,7 +51,10 @@ fn main() {
         histogram[bin] += 1;
     }
     let max = *histogram.iter().max().unwrap_or(&1);
-    println!("\ntissue density along x ({} µm per slice):", block.extent(Axis::X) / slices as f64);
+    println!(
+        "\ntissue density along x ({} µm per slice):",
+        block.extent(Axis::X) / slices as f64
+    );
     for (i, count) in histogram.iter().enumerate() {
         let bar = "#".repeat(count * 50 / max.max(1));
         println!("  slice {i:>2}: {count:>6} {bar}");

@@ -10,10 +10,18 @@
 //! This umbrella crate re-exports the public API of every workspace crate;
 //! depend on the individual crates if you want a narrower dependency.
 //!
+//! Page access is split into two capabilities: builds are exclusive
+//! ([`prelude::PageWrite`], `&mut`), queries are shared reads
+//! ([`prelude::PageRead`], `&self`). A freshly built index can therefore
+//! serve one thread through its [`prelude::BufferPool`] — or many threads
+//! at once through a lock-sharded [`prelude::ConcurrentBufferPool`]:
+//!
 //! ```
 //! use flat_repro::prelude::*;
+//! use std::sync::Arc;
 //!
-//! // Generate a small neuron model, index it with FLAT, and query it.
+//! // Generate a small neuron model and index it with FLAT (exclusive
+//! // build path).
 //! let config = NeuronConfig::bbp(10, 500, 42);
 //! let model = NeuronModel::generate(&config);
 //! let mut pool = BufferPool::new(MemStore::new(), 1 << 14);
@@ -24,9 +32,22 @@
 //! )
 //! .unwrap();
 //!
+//! // Single-threaded queries read through the same pool, `&self` only.
 //! let query = Aabb::cube(config.domain.center(), 30.0);
-//! let hits = index.range_query(&mut pool, &query).unwrap();
-//! println!("{} segments in the subvolume", hits.len());
+//! let hits = index.range_query(&pool, &query).unwrap();
+//!
+//! // For concurrent streams, convert the pool and share it.
+//! let shared = pool.into_concurrent().into_handle();
+//! let index = Arc::new(index);
+//! let workers: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let (index, shared) = (Arc::clone(&index), shared.clone());
+//!         std::thread::spawn(move || index.range_query(&shared, &query).unwrap().len())
+//!     })
+//!     .collect();
+//! for worker in workers {
+//!     assert_eq!(worker.join().unwrap(), hits.len());
+//! }
 //! ```
 
 #![warn(missing_docs)]
@@ -50,7 +71,7 @@ pub mod prelude {
     pub use flat_geom::{Aabb, Axis, Cylinder, Point3, Shape, Sphere, Triangle};
     pub use flat_rtree::{BulkLoad, Entry, Hit, LeafLayout, RTree, RTreeConfig};
     pub use flat_storage::{
-        BufferPool, DiskModel, FileStore, IoStats, MemStore, Page, PageId, PageKind, PageStore,
-        PAGE_SIZE,
+        BufferPool, ConcurrentBufferPool, DiskModel, FileStore, IoStats, MemStore, Page, PageId,
+        PageKind, PageRead, PageStore, PageWrite, PoolHandle, ThrottledStore, PAGE_SIZE,
     };
 }

@@ -1,0 +1,207 @@
+//! Concurrency integration tests: many threads querying one [`FlatIndex`]
+//! through a shared [`ConcurrentBufferPool`] must behave exactly like
+//! serial execution — bit-identical results, consistent I/O accounting.
+
+use flat_repro::prelude::*;
+use flat_repro::storage::StorageError;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`PageRead`] adapter that counts the logical reads passing through it,
+/// so each worker thread can attribute its own share of the shared pool's
+/// counters.
+struct CountingReader<'a, P> {
+    inner: &'a P,
+    logical_reads: AtomicU64,
+}
+
+impl<'a, P: PageRead> CountingReader<'a, P> {
+    fn new(inner: &'a P) -> Self {
+        CountingReader {
+            inner,
+            logical_reads: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<P: PageRead> PageRead for CountingReader<'_, P> {
+    fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError> {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.read_page(id, kind)
+    }
+}
+
+fn neuron_dataset() -> (Vec<Entry>, Aabb) {
+    let config = NeuronConfig::bbp(25, 1000, 17);
+    let model = NeuronModel::generate(&config);
+    (model.entries(), config.domain)
+}
+
+fn queries(domain: &Aabb) -> Vec<Aabb> {
+    range_queries(
+        domain,
+        &WorkloadConfig {
+            count: 24,
+            volume_fraction: 2e-3,
+            proportion_range: (1.0, 4.0),
+            seed: 91,
+        },
+    )
+}
+
+/// Sorted result keys for bit-exact comparison (MBR bits + id).
+fn keys(hits: &[Hit]) -> Vec<[u64; 7]> {
+    let mut keys: Vec<[u64; 7]> = hits
+        .iter()
+        .map(|h| {
+            [
+                h.mbr.min.x.to_bits(),
+                h.mbr.min.y.to_bits(),
+                h.mbr.min.z.to_bits(),
+                h.mbr.max.x.to_bits(),
+                h.mbr.max.y.to_bits(),
+                h.mbr.max.z.to_bits(),
+                h.id,
+            ]
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[test]
+fn eight_threads_match_serial_results_bit_for_bit() {
+    let (entries, domain) = neuron_dataset();
+    let queries = queries(&domain);
+
+    // Serial reference answers through the exclusive pool.
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (index, _) = FlatIndex::build(
+        &mut pool,
+        entries,
+        FlatOptions {
+            domain: Some(domain),
+            ..FlatOptions::default()
+        },
+    )
+    .expect("build");
+    let serial: Vec<Vec<[u64; 7]>> = queries
+        .iter()
+        .map(|q| keys(&index.range_query(&pool, q).expect("serial query")))
+        .collect();
+    assert!(
+        serial.iter().any(|k| !k.is_empty()),
+        "workload must return something"
+    );
+
+    // Eight threads, one shared pool, every thread runs the full workload.
+    let shared = pool.into_concurrent().into_handle();
+    std::thread::scope(|scope| {
+        for thread in 0..8 {
+            let shared = shared.clone();
+            let (index, queries, serial) = (&index, &queries, &serial);
+            scope.spawn(move || {
+                for (qi, q) in queries.iter().enumerate() {
+                    let hits = index.range_query(&shared, q).expect("concurrent query");
+                    assert_eq!(
+                        keys(&hits),
+                        serial[qi],
+                        "thread {thread} query {qi} diverged from serial execution"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn shared_pool_statistics_are_consistent_under_concurrency() {
+    let (entries, domain) = neuron_dataset();
+    let queries = queries(&domain);
+
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (index, _) = FlatIndex::build(
+        &mut pool,
+        entries,
+        FlatOptions {
+            domain: Some(domain),
+            ..FlatOptions::default()
+        },
+    )
+    .expect("build");
+    let shared = pool.into_concurrent();
+    shared.reset_stats();
+    shared.clear_cache();
+
+    // Each of 8 threads reads through its own counting adapter; the shared
+    // pool's logical-read total must equal the sum of the per-thread
+    // counts exactly — no read lost, none double-counted.
+    let per_thread: Vec<u64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|t| {
+                let (shared, index, queries) = (&shared, &index, &queries);
+                scope.spawn(move || {
+                    let counter = CountingReader::new(shared);
+                    for q in queries.iter().skip(t % 3) {
+                        index.range_query(&counter, q).expect("concurrent query");
+                    }
+                    counter.logical_reads.load(Ordering::Relaxed)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let stats = shared.stats();
+    let summed: u64 = per_thread.iter().sum();
+    assert_eq!(
+        stats.total_logical_reads(),
+        summed,
+        "pool counters disagree with per-thread counts {per_thread:?}"
+    );
+    // Physical reads can never exceed logical reads, and with a pool
+    // larger than the store each page misses at most once.
+    assert!(stats.total_physical_reads() <= stats.total_logical_reads());
+    assert!(stats.total_physical_reads() <= shared.store().num_pages());
+    assert_eq!(stats.total_writes(), 0, "queries must never write");
+}
+
+#[test]
+fn file_backed_index_serves_concurrent_readers() {
+    // The same guarantee end-to-end on a real file: FileStore is Sync, so
+    // a file-backed pool crosses thread boundaries too.
+    let (entries, domain) = neuron_dataset();
+    let dir = std::env::temp_dir().join("flat-repro-concurrent");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("concurrent.pages");
+
+    let store = FileStore::create(&path).expect("create store");
+    let mut pool = BufferPool::new(store, 1 << 12);
+    let (index, _) = FlatIndex::build(
+        &mut pool,
+        entries,
+        FlatOptions {
+            domain: Some(domain),
+            ..FlatOptions::default()
+        },
+    )
+    .expect("build");
+
+    let q = Aabb::cube(domain.center(), 40.0);
+    let expected = keys(&index.range_query(&pool, &q).expect("serial query"));
+    assert!(!expected.is_empty());
+
+    let shared = pool.into_concurrent();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let (shared, index, expected, q) = (&shared, &index, &expected, &q);
+            scope.spawn(move || {
+                let hits = index.range_query(shared, q).expect("file-backed query");
+                assert_eq!(&keys(&hits), expected);
+            });
+        }
+    });
+    std::fs::remove_file(&path).ok();
+}

@@ -36,17 +36,24 @@ fn check_equivalence(entries: Vec<Entry>, domain: Aabb, queries: &[Aabb]) {
     let (flat, _) = FlatIndex::build(
         &mut flat_pool,
         entries.clone(),
-        FlatOptions { domain: Some(domain), ..FlatOptions::default() },
+        FlatOptions {
+            domain: Some(domain),
+            ..FlatOptions::default()
+        },
     )
     .expect("flat build");
 
     // Bulkloaded R-trees.
     let mut rtrees = Vec::new();
-    for method in [BulkLoad::Str, BulkLoad::Hilbert, BulkLoad::PrTree, BulkLoad::Tgs] {
+    for method in [
+        BulkLoad::Str,
+        BulkLoad::Hilbert,
+        BulkLoad::PrTree,
+        BulkLoad::Tgs,
+    ] {
         let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
-        let tree =
-            RTree::bulk_load(&mut pool, entries.clone(), method, RTreeConfig::default())
-                .expect("rtree build");
+        let tree = RTree::bulk_load(&mut pool, entries.clone(), method, RTreeConfig::default())
+            .expect("rtree build");
         rtrees.push((method, tree, pool));
     }
 
@@ -59,15 +66,19 @@ fn check_equivalence(entries: Vec<Entry>, domain: Aabb, queries: &[Aabb]) {
 
     for (qi, q) in queries.iter().enumerate() {
         let expected_count = brute_force(&entries, q);
-        let flat_hits = flat.range_query(&mut flat_pool, q).expect("flat query");
-        assert_eq!(flat_hits.len(), expected_count, "FLAT vs brute force, query {qi}");
+        let flat_hits = flat.range_query(&flat_pool, q).expect("flat query");
+        assert_eq!(
+            flat_hits.len(),
+            expected_count,
+            "FLAT vs brute force, query {qi}"
+        );
         let reference = keys(&flat_hits);
 
         for (method, tree, pool) in rtrees.iter_mut() {
-            let hits = tree.range_query(pool, q).expect("rtree query");
+            let hits = tree.range_query(&*pool, q).expect("rtree query");
             assert_eq!(keys(&hits), reference, "{method:?} vs FLAT, query {qi}");
         }
-        let dyn_hits = dyn_tree.range_query(&mut dyn_pool, q).expect("dyn query");
+        let dyn_hits = dyn_tree.range_query(&dyn_pool, q).expect("dyn query");
         assert_eq!(keys(&dyn_hits), reference, "Guttman vs FLAT, query {qi}");
     }
 }
@@ -126,6 +137,9 @@ fn degenerate_queries_agree() {
         Aabb::from_corners(domain.min, domain.center()),
     ];
     // A query touching an element boundary exactly.
-    queries.push(Aabb::from_corners(entries[0].mbr.max, entries[0].mbr.max + Point3::splat(1.0)));
+    queries.push(Aabb::from_corners(
+        entries[0].mbr.max,
+        entries[0].mbr.max + Point3::splat(1.0),
+    ));
     check_equivalence(entries, domain, &queries);
 }

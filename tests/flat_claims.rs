@@ -14,7 +14,10 @@ fn build_at(
     let (index, _) = FlatIndex::build(
         &mut pool,
         sweep_entries[..density].to_vec(),
-        FlatOptions { domain: Some(domain), ..FlatOptions::default() },
+        FlatOptions {
+            domain: Some(domain),
+            ..FlatOptions::default()
+        },
     )
     .expect("build");
     (pool, index)
@@ -41,19 +44,26 @@ fn seed_cost_is_density_independent() {
     let queries: Vec<Aabb> = (0..20)
         .map(|i| {
             let t = i as f64 / 20.0;
-            Aabb::cube(domain.min.lerp(&domain.max, 0.2 + 0.6 * t), domain.extents().x * 0.05)
+            Aabb::cube(
+                domain.min.lerp(&domain.max, 0.2 + 0.6 * t),
+                domain.extents().x * 0.05,
+            )
         })
         .collect();
 
     let mut seed_reads = Vec::new();
     for density in [30_000, 60_000, 120_000] {
-        let (mut pool, index) = build_at(density, &entries, domain);
+        let (pool, index) = build_at(density, &entries, domain);
         let mut total = 0u64;
         for q in &queries {
             pool.clear_cache();
             let snapshot = pool.snapshot();
-            let _ = index.range_query(&mut pool, q).expect("query");
-            total += pool.stats().since(&snapshot).kind(PageKind::SeedInner).physical_reads;
+            let _ = index.range_query(&pool, q).expect("query");
+            total += pool
+                .stats()
+                .since(&snapshot)
+                .kind(PageKind::SeedInner)
+                .physical_reads;
         }
         seed_reads.push(total as f64 / queries.len() as f64);
     }
@@ -62,7 +72,10 @@ fn seed_cost_is_density_independent() {
         seed_reads[2] <= seed_reads[0] + 2.0,
         "seed reads grew with density: {seed_reads:?}"
     );
-    assert!(seed_reads.iter().all(|&r| r <= 6.0), "seed phase too deep: {seed_reads:?}");
+    assert!(
+        seed_reads.iter().all(|&r| r <= 6.0),
+        "seed phase too deep: {seed_reads:?}"
+    );
 }
 
 /// The crawl cost tracks the result size: doubling the query volume must
@@ -71,15 +84,19 @@ fn seed_cost_is_density_independent() {
 #[test]
 fn crawl_cost_tracks_result_size() {
     let (entries, domain) = neuron_sweep(120_000);
-    let (mut pool, index) = build_at(120_000, &entries, domain);
+    let (pool, index) = build_at(120_000, &entries, domain);
 
     let mut points = Vec::new();
     for scale in [0.04, 0.08, 0.16] {
         let q = Aabb::cube(domain.center(), domain.extents().x * scale);
         pool.clear_cache();
         let snapshot = pool.snapshot();
-        let hits = index.range_query(&mut pool, &q).expect("query");
-        let object = pool.stats().since(&snapshot).kind(PageKind::ObjectPage).physical_reads;
+        let hits = index.range_query(&pool, &q).expect("query");
+        let object = pool
+            .stats()
+            .since(&snapshot)
+            .kind(PageKind::ObjectPage)
+            .physical_reads;
         assert!(!hits.is_empty());
         points.push((hits.len() as f64, object as f64));
     }
@@ -97,11 +114,11 @@ fn crawl_cost_tracks_result_size() {
 #[test]
 fn no_hierarchical_retrieval_on_large_queries() {
     let (entries, domain) = neuron_sweep(120_000);
-    let (mut pool, index) = build_at(120_000, &entries, domain);
+    let (pool, index) = build_at(120_000, &entries, domain);
     let q = Aabb::cube(domain.center(), domain.extents().x * 0.5);
     pool.clear_cache();
     pool.reset_stats();
-    let hits = index.range_query(&mut pool, &q).expect("query");
+    let hits = index.range_query(&pool, &q).expect("query");
     assert!(hits.len() > 1000);
     let stats = pool.stats();
     let inner = stats.kind(PageKind::SeedInner).physical_reads;
@@ -124,12 +141,16 @@ fn meta_order_does_not_change_results() {
         let (index, _) = FlatIndex::build(
             &mut pool,
             entries.clone(),
-            FlatOptions { domain: Some(domain), meta_order: order, ..FlatOptions::default() },
+            FlatOptions {
+                domain: Some(domain),
+                meta_order: order,
+                ..FlatOptions::default()
+            },
         )
         .expect("build");
         let q = Aabb::cube(domain.center(), domain.extents().x * 0.2);
         let mut mbrs: Vec<u64> = index
-            .range_query(&mut pool, &q)
+            .range_query(&pool, &q)
             .expect("query")
             .iter()
             .map(|h| h.mbr.min.x.to_bits() ^ h.mbr.max.z.to_bits().rotate_left(17))

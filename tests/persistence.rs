@@ -31,7 +31,10 @@ fn flat_index_survives_reopen() {
         let (index, _) = FlatIndex::build(
             &mut pool,
             entries.clone(),
-            FlatOptions { domain: Some(domain), ..FlatOptions::default() },
+            FlatOptions {
+                domain: Some(domain),
+                ..FlatOptions::default()
+            },
         )
         .expect("build");
         descriptor = index.save(&mut pool).expect("save");
@@ -39,13 +42,13 @@ fn flat_index_survives_reopen() {
     }
     {
         let store = FileStore::open(&path).expect("reopen store");
-        let mut pool = BufferPool::new(store, 1 << 12);
-        let index = FlatIndex::load(&mut pool, descriptor).expect("load");
+        let pool = BufferPool::new(store, 1 << 12);
+        let index = FlatIndex::load(&pool, descriptor).expect("load");
         assert_eq!(index.num_elements(), entries.len() as u64);
         for side in [10.0, 40.0, 120.0] {
             let q = Aabb::cube(domain.center(), side);
             assert_eq!(
-                index.range_query(&mut pool, &q).expect("query").len(),
+                index.range_query(&pool, &q).expect("query").len(),
                 brute_force(&entries, &q),
                 "side {side}"
             );
@@ -73,15 +76,15 @@ fn rtree_survives_reopen() {
     }
     {
         let store = FileStore::open(&path).expect("reopen store");
-        let mut pool = BufferPool::new(store, 1 << 12);
-        let tree = RTree::load(&mut pool, descriptor).expect("load");
+        let pool = BufferPool::new(store, 1 << 12);
+        let tree = RTree::load(&pool, descriptor).expect("load");
         let q = Aabb::cube(domain.center(), 60.0);
         assert_eq!(
-            tree.range_query(&mut pool, &q).expect("query").len(),
+            tree.range_query(&pool, &q).expect("query").len(),
             brute_force(&entries, &q)
         );
         // The reloaded tree still validates structurally.
-        flat_repro::rtree::validate::check_invariants(&mut pool, &tree).expect("invariants");
+        flat_repro::rtree::validate::check_invariants(&pool, &tree).expect("invariants");
     }
     std::fs::remove_file(&path).ok();
 }
@@ -99,24 +102,37 @@ fn both_indexes_share_one_file() {
         let (index, _) = FlatIndex::build(
             &mut pool,
             entries.clone(),
-            FlatOptions { domain: Some(domain), ..FlatOptions::default() },
+            FlatOptions {
+                domain: Some(domain),
+                ..FlatOptions::default()
+            },
         )
         .expect("build flat");
         flat_desc = index.save(&mut pool).expect("save flat");
-        let tree =
-            RTree::bulk_load(&mut pool, entries.clone(), BulkLoad::Str, RTreeConfig::default())
-                .expect("build rtree");
+        let tree = RTree::bulk_load(
+            &mut pool,
+            entries.clone(),
+            BulkLoad::Str,
+            RTreeConfig::default(),
+        )
+        .expect("build rtree");
         rtree_desc = tree.save(&mut pool).expect("save rtree");
     }
     {
         let store = FileStore::open(&path).expect("reopen");
-        let mut pool = BufferPool::new(store, 1 << 12);
-        let index = FlatIndex::load(&mut pool, flat_desc).expect("load flat");
-        let tree = RTree::load(&mut pool, rtree_desc).expect("load rtree");
+        let pool = BufferPool::new(store, 1 << 12);
+        let index = FlatIndex::load(&pool, flat_desc).expect("load flat");
+        let tree = RTree::load(&pool, rtree_desc).expect("load rtree");
         let q = Aabb::cube(domain.center(), 45.0);
         let expected = brute_force(&entries, &q);
-        assert_eq!(index.range_query(&mut pool, &q).expect("flat query").len(), expected);
-        assert_eq!(tree.range_query(&mut pool, &q).expect("rtree query").len(), expected);
+        assert_eq!(
+            index.range_query(&pool, &q).expect("flat query").len(),
+            expected
+        );
+        assert_eq!(
+            tree.range_query(&pool, &q).expect("rtree query").len(),
+            expected
+        );
     }
     std::fs::remove_file(&path).ok();
 }

@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) on the core data structures and the
+//! Randomized property tests on the core data structures and the
 //! invariants the paper's correctness argument rests on:
 //!
 //! * geometry kernel algebraic laws;
@@ -6,196 +6,286 @@
 //! * FLAT partitioning invariants (capacity, coverage, stretching);
 //! * query equivalence between FLAT, an R-tree, and brute force on
 //!   arbitrary data and arbitrary queries.
+//!
+//! The build environment is offline, so instead of `proptest` these run a
+//! fixed number of deterministic seeded cases per property — every failure
+//! reports its case seed for replay.
 
 use flat_repro::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_point(range: f64) -> impl Strategy<Value = Point3> {
-    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Point3::new(x, y, z))
+fn point(rng: &mut StdRng, range: f64) -> Point3 {
+    Point3::new(
+        rng.gen_range(-range..range),
+        rng.gen_range(-range..range),
+        rng.gen_range(-range..range),
+    )
 }
 
-fn arb_aabb(range: f64) -> impl Strategy<Value = Aabb> {
-    (arb_point(range), arb_point(range)).prop_map(|(a, b)| Aabb::from_corners(a, b))
+fn aabb(rng: &mut StdRng, range: f64) -> Aabb {
+    Aabb::from_corners(point(rng, range), point(rng, range))
 }
 
 /// Small boxes with positive extent, for datasets.
-fn arb_element(range: f64) -> impl Strategy<Value = Aabb> {
-    (arb_point(range), 0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0)
-        .prop_map(|(c, ex, ey, ez)| Aabb::centered(c, Point3::new(ex, ey, ez)))
+fn element(rng: &mut StdRng, range: f64) -> Aabb {
+    let c = point(rng, range);
+    let extents = Point3::new(
+        rng.gen_range(0.01..2.0),
+        rng.gen_range(0.01..2.0),
+        rng.gen_range(0.01..2.0),
+    );
+    Aabb::centered(c, extents)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn elements(rng: &mut StdRng, n: usize, range: f64) -> Vec<Entry> {
+    (0..n)
+        .map(|i| Entry::new(i as u64, element(rng, range)))
+        .collect()
+}
 
-    // ---------- geometry ----------
+// ---------- geometry ----------
 
-    #[test]
-    fn union_is_commutative_and_contains_inputs(a in arb_aabb(100.0), b in arb_aabb(100.0)) {
+#[test]
+fn union_is_commutative_and_contains_inputs() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let (a, b) = (aabb(&mut rng, 100.0), aabb(&mut rng, 100.0));
         let u = a.union(&b);
-        prop_assert_eq!(u, b.union(&a));
-        prop_assert!(u.contains(&a));
-        prop_assert!(u.contains(&b));
+        assert_eq!(u, b.union(&a), "case {case}");
+        assert!(u.contains(&a) && u.contains(&b), "case {case}");
     }
+}
 
-    #[test]
-    fn intersection_is_symmetric_and_consistent(a in arb_aabb(100.0), b in arb_aabb(100.0)) {
-        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+#[test]
+fn intersection_is_symmetric_and_consistent() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let (a, b) = (aabb(&mut rng, 100.0), aabb(&mut rng, 100.0));
+        assert_eq!(a.intersects(&b), b.intersects(&a), "case {case}");
         match a.intersection(&b) {
             Some(i) => {
-                prop_assert!(a.intersects(&b));
-                prop_assert!(a.contains(&i));
-                prop_assert!(b.contains(&i));
+                assert!(a.intersects(&b), "case {case}");
+                assert!(a.contains(&i) && b.contains(&i), "case {case}");
             }
-            None => prop_assert!(!a.intersects(&b)),
+            None => assert!(!a.intersects(&b), "case {case}"),
         }
     }
+}
 
-    #[test]
-    fn containment_implies_intersection(a in arb_aabb(100.0), b in arb_aabb(100.0)) {
+#[test]
+fn containment_implies_intersection() {
+    let mut checked = 0;
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(3000 + case);
+        let a = aabb(&mut rng, 100.0);
+        // Nested box: guaranteed containment cases alongside random ones.
+        let b = if case % 2 == 0 {
+            Aabb::centered(a.center(), a.extents() * rng.gen_range(0.1..0.9))
+        } else {
+            aabb(&mut rng, 100.0)
+        };
         if a.contains(&b) {
-            prop_assert!(a.intersects(&b));
-            prop_assert!(a.volume() >= b.volume());
+            assert!(a.intersects(&b), "case {case}");
+            assert!(a.volume() >= b.volume(), "case {case}");
+            checked += 1;
         }
     }
+    assert!(
+        checked > 50,
+        "containment cases were not exercised ({checked})"
+    );
+}
 
-    #[test]
-    fn enlargement_is_nonnegative(a in arb_aabb(100.0), b in arb_aabb(100.0)) {
-        prop_assert!(a.enlargement(&b) >= -1e-9);
+#[test]
+fn enlargement_is_nonnegative() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(4000 + case);
+        let (a, b) = (aabb(&mut rng, 100.0), aabb(&mut rng, 100.0));
+        assert!(a.enlargement(&b) >= -1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn stretch_establishes_containment(mut a in arb_aabb(100.0), b in arb_aabb(100.0)) {
+#[test]
+fn stretch_establishes_containment() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(5000 + case);
+        let (mut a, b) = (aabb(&mut rng, 100.0), aabb(&mut rng, 100.0));
         a.stretch_to_contain(&b);
-        prop_assert!(a.contains(&b));
+        assert!(a.contains(&b), "case {case}");
     }
+}
 
-    // ---------- space-filling curves ----------
+// ---------- space-filling curves ----------
 
-    #[test]
-    fn hilbert_roundtrips(x in 0u32..1024, y in 0u32..1024, z in 0u32..1024) {
-        let h = flat_repro::sfc::hilbert::hilbert_index([x, y, z], 10);
-        prop_assert_eq!(flat_repro::sfc::hilbert::hilbert_point(h, 10), [x, y, z]);
+#[test]
+fn hilbert_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(6000);
+    for case in 0..200 {
+        let p = [
+            rng.gen_range(0u32..1024),
+            rng.gen_range(0u32..1024),
+            rng.gen_range(0u32..1024),
+        ];
+        let h = flat_repro::sfc::hilbert::hilbert_index(p, 10);
+        assert_eq!(
+            flat_repro::sfc::hilbert::hilbert_point(h, 10),
+            p,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn hilbert_consecutive_cells_are_adjacent(h in 0u64..(1 << 15) - 1) {
+#[test]
+fn hilbert_consecutive_cells_are_adjacent() {
+    let mut rng = StdRng::seed_from_u64(7000);
+    for case in 0..200 {
+        let h = rng.gen_range(0u64..(1 << 15) - 1);
         let a = flat_repro::sfc::hilbert::hilbert_point(h, 5);
         let b = flat_repro::sfc::hilbert::hilbert_point(h + 1, 5);
         let dist: u32 = (0..3).map(|d| a[d].abs_diff(b[d])).sum();
-        prop_assert_eq!(dist, 1, "curve step {} -> {} is not a lattice step", h, h + 1);
+        assert_eq!(
+            dist,
+            1,
+            "case {case}: curve step {} -> {} is not a lattice step",
+            h,
+            h + 1
+        );
     }
+}
 
-    #[test]
-    fn morton_roundtrips(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
-        let m = flat_repro::sfc::morton::morton_index([x, y, z], 21);
-        prop_assert_eq!(flat_repro::sfc::morton::morton_point(m, 21), [x, y, z]);
+#[test]
+fn morton_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(8000);
+    for case in 0..200 {
+        let p = [
+            rng.gen_range(0u32..(1 << 21)),
+            rng.gen_range(0u32..(1 << 21)),
+            rng.gen_range(0u32..(1 << 21)),
+        ];
+        let m = flat_repro::sfc::morton::morton_index(p, 21);
+        assert_eq!(
+            flat_repro::sfc::morton::morton_point(m, 21),
+            p,
+            "case {case}"
+        );
     }
+}
 
-    // ---------- page formats ----------
+// ---------- page formats ----------
 
-    #[test]
-    fn leaf_page_roundtrips(
-        mbrs in proptest::collection::vec(arb_element(1000.0), 1..=73),
-        with_ids in any::<bool>(),
-    ) {
-        let layout = if with_ids { LeafLayout::WithIds } else { LeafLayout::MbrOnly };
-        let entries: Vec<Entry> =
-            mbrs.iter().enumerate().map(|(i, m)| Entry::new(i as u64 + 500, *m)).collect();
+#[test]
+fn leaf_page_roundtrips() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(9000 + case);
+        let n = rng.gen_range(1..=73usize);
+        let layout = if case % 2 == 0 {
+            LeafLayout::WithIds
+        } else {
+            LeafLayout::MbrOnly
+        };
+        let entries: Vec<Entry> = (0..n)
+            .map(|i| Entry::new(i as u64 + 500, element(&mut rng, 1000.0)))
+            .collect();
         let mut page = Page::new();
         flat_repro::rtree::node::encode_leaf(&entries, layout, &mut page);
         let (decoded_layout, decoded) = flat_repro::rtree::node::decode_leaf(&page).unwrap();
-        prop_assert_eq!(decoded_layout, layout);
-        prop_assert_eq!(decoded.len(), entries.len());
+        assert_eq!(decoded_layout, layout, "case {case}");
+        assert_eq!(decoded.len(), entries.len(), "case {case}");
         for (slot, (d, e)) in decoded.iter().zip(entries.iter()).enumerate() {
-            prop_assert_eq!(d.mbr, e.mbr);
+            assert_eq!(d.mbr, e.mbr, "case {case}");
             match layout {
-                LeafLayout::WithIds => prop_assert_eq!(d.id, e.id),
-                LeafLayout::MbrOnly => prop_assert_eq!(d.id, slot as u64),
+                LeafLayout::WithIds => assert_eq!(d.id, e.id, "case {case}"),
+                LeafLayout::MbrOnly => assert_eq!(d.id, slot as u64, "case {case}"),
             }
         }
     }
 }
 
-// Heavier properties run with fewer cases.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+// ---------- heavier properties, fewer cases ----------
 
-    #[test]
-    fn partitioning_invariants_hold(
-        mbrs in proptest::collection::vec(arb_element(50.0), 200..800),
-        capacity in 10usize..85,
-    ) {
-        let entries: Vec<Entry> =
-            mbrs.iter().enumerate().map(|(i, m)| Entry::new(i as u64, *m)).collect();
-        let n = entries.len();
+#[test]
+fn partitioning_invariants_hold() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(10_000 + case);
+        let n = rng.gen_range(200..800usize);
+        let capacity = rng.gen_range(10..85usize);
+        let entries = elements(&mut rng, n, 50.0);
         let parts = flat_repro::core::partition::partition(entries, capacity, None);
         // Capacity and conservation.
         let total: usize = parts.iter().map(|p| p.elements.len()).sum();
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n, "case {case}");
         for p in &parts {
-            prop_assert!(!p.elements.is_empty());
-            prop_assert!(p.elements.len() <= capacity);
+            assert!(!p.elements.is_empty(), "case {case}");
+            assert!(p.elements.len() <= capacity, "case {case}");
             // Invariant 2: partition MBR ⊇ page MBR ⊇ each element.
-            prop_assert!(p.partition_mbr.contains(&p.page_mbr));
+            assert!(p.partition_mbr.contains(&p.page_mbr), "case {case}");
             for e in &p.elements {
-                prop_assert!(p.page_mbr.contains(&e.mbr));
+                assert!(p.page_mbr.contains(&e.mbr), "case {case}");
             }
         }
         // Invariant 1 (no empty space): probe coverage over the union.
         let domain = Aabb::union_all(parts.iter().map(|p| p.partition_mbr));
         flat_repro::core::partition::verify_tiling(&parts, &domain, 6)
-            .map_err(TestCaseError::fail)?;
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
+}
 
-    #[test]
-    fn flat_equals_rtree_equals_brute_force(
-        mbrs in proptest::collection::vec(arb_element(50.0), 100..600),
-        query in arb_aabb(60.0),
-    ) {
-        let entries: Vec<Entry> =
-            mbrs.iter().enumerate().map(|(i, m)| Entry::new(i as u64, *m)).collect();
+#[test]
+fn flat_equals_rtree_equals_brute_force() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(11_000 + case);
+        let n = rng.gen_range(100..600usize);
+        let entries = elements(&mut rng, n, 50.0);
+        let query = aabb(&mut rng, 60.0);
         let expected = entries.iter().filter(|e| query.intersects(&e.mbr)).count();
 
         let mut flat_pool = BufferPool::new(MemStore::new(), 1 << 14);
         let (flat, _) =
             FlatIndex::build(&mut flat_pool, entries.clone(), FlatOptions::default()).unwrap();
-        let flat_hits = flat.range_query(&mut flat_pool, &query).unwrap();
-        prop_assert_eq!(flat_hits.len(), expected, "FLAT vs brute force");
+        let flat_hits = flat.range_query(&flat_pool, &query).unwrap();
+        assert_eq!(
+            flat_hits.len(),
+            expected,
+            "case {case}: FLAT vs brute force"
+        );
 
         let mut rt_pool = BufferPool::new(MemStore::new(), 1 << 14);
-        let tree = RTree::bulk_load(
-            &mut rt_pool,
-            entries,
-            BulkLoad::Str,
-            RTreeConfig::default(),
-        )
-        .unwrap();
-        let rt_hits = tree.range_query(&mut rt_pool, &query).unwrap();
-        prop_assert_eq!(rt_hits.len(), expected, "R-tree vs brute force");
+        let tree =
+            RTree::bulk_load(&mut rt_pool, entries, BulkLoad::Str, RTreeConfig::default()).unwrap();
+        let rt_hits = tree.range_query(&rt_pool, &query).unwrap();
+        assert_eq!(
+            rt_hits.len(),
+            expected,
+            "case {case}: R-tree vs brute force"
+        );
     }
+}
 
-    #[test]
-    fn rtree_structural_invariants_after_random_inserts(
-        mbrs in proptest::collection::vec(arb_element(50.0), 50..300),
-    ) {
+#[test]
+fn rtree_structural_invariants_after_random_inserts() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(12_000 + case);
+        let n = rng.gen_range(50..300usize);
         let mut pool = BufferPool::new(MemStore::new(), 1 << 14);
         let mut tree = RTree::new_empty(RTreeConfig {
             layout: LeafLayout::WithIds,
             ..RTreeConfig::default()
         });
-        for (i, m) in mbrs.iter().enumerate() {
-            tree.insert(&mut pool, Entry::new(i as u64, *m)).unwrap();
+        for i in 0..n {
+            tree.insert(&mut pool, Entry::new(i as u64, element(&mut rng, 50.0)))
+                .unwrap();
         }
-        let report = flat_repro::rtree::validate::check_invariants(&mut pool, &tree)
-            .map_err(TestCaseError::fail)?;
-        prop_assert_eq!(report.elements, mbrs.len() as u64);
+        let report = flat_repro::rtree::validate::check_invariants(&pool, &tree)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(report.elements, n as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn buffer_pool_lru_never_exceeds_capacity_and_counts_consistently(
-        accesses in proptest::collection::vec(0u64..32, 1..200),
-        capacity in 1usize..16,
-    ) {
+#[test]
+fn buffer_pool_lru_never_exceeds_capacity_and_counts_consistently() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(13_000 + case);
         let mut store = MemStore::new();
         for i in 0..32u64 {
             let id = store.alloc().unwrap();
@@ -203,18 +293,32 @@ proptest! {
             page.put_u64(0, i);
             store.write_page(id, &page).unwrap();
         }
+        let capacity = rng.gen_range(1..16usize);
+        let accesses: Vec<u64> = (0..rng.gen_range(1..200usize))
+            .map(|_| rng.gen_range(0u64..32))
+            .collect();
         let mut pool = BufferPool::new(store, capacity);
         for &a in &accesses {
             let page = pool.read(PageId(a), PageKind::Other).unwrap();
-            prop_assert_eq!(page.get_u64(0), a);
-            prop_assert!(pool.cached_pages() <= capacity);
+            assert_eq!(page.get_u64(0), a, "case {case}");
+            assert!(pool.cached_pages() <= capacity, "case {case}");
         }
         let stats = pool.stats();
-        prop_assert_eq!(stats.total_logical_reads(), accesses.len() as u64);
-        prop_assert!(stats.total_physical_reads() <= stats.total_logical_reads());
+        assert_eq!(
+            stats.total_logical_reads(),
+            accesses.len() as u64,
+            "case {case}"
+        );
+        assert!(
+            stats.total_physical_reads() <= stats.total_logical_reads(),
+            "case {case}"
+        );
         // Distinct pages is a lower bound on misses only when capacity
         // suffices; it is always an upper bound on *compulsory* misses.
-        let distinct = accesses.iter().collect::<std::collections::HashSet<_>>().len() as u64;
-        prop_assert!(stats.total_physical_reads() >= distinct);
+        let distinct = accesses
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u64;
+        assert!(stats.total_physical_reads() >= distinct, "case {case}");
     }
 }
