@@ -1,0 +1,7 @@
+//! Batched query engine vs one-at-a-time execution on the SN workload.
+use flat_bench::figures::{batch, Context};
+use flat_bench::Scale;
+
+fn main() {
+    batch::exp_batch(&Context::new(Scale::from_env())).emit();
+}

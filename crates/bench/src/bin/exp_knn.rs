@@ -1,0 +1,7 @@
+//! k-nearest-neighbor workload over one shared FLAT index.
+use flat_bench::figures::{knn, Context};
+use flat_bench::Scale;
+
+fn main() {
+    knn::exp_knn(&Context::new(Scale::from_env())).emit();
+}

@@ -2,7 +2,7 @@
 //!
 //! Respects `FLAT_SCALE`, `FLAT_QUERIES` and `FLAT_RESULTS_DIR`.
 use flat_bench::figures::{
-    ablation, analysis, build, concurrency, lss, motivation, other, sn, Context,
+    ablation, analysis, batch, build, concurrency, knn, lss, motivation, other, sn, Context,
 };
 use flat_bench::Scale;
 use std::time::Instant;
@@ -50,6 +50,10 @@ fn main() {
 
     println!("=== Concurrent query streams (extension) ===\n");
     concurrency::exp_concurrency(&ctx).emit();
+
+    println!("=== Batched execution & kNN (extensions) ===\n");
+    batch::exp_batch(&ctx).emit();
+    knn::exp_knn(&ctx).emit();
 
     println!("=== Other data sets (Section VIII) ===\n");
     let per_million = (1000.0 * scale.max_density() as f64 / 450_000.0) as usize;

@@ -1,0 +1,132 @@
+//! Batched query execution vs one-at-a-time (extension).
+//!
+//! The concurrency experiment overlaps I/O by adding *threads*; this one
+//! keeps a single query stream and overlaps I/O by *batching*: the
+//! [`flat_core::QueryEngine`] runs the SN workload as one batch — seeds
+//! first, crawls interleaved round-robin through a per-batch page cache,
+//! crawl-ahead hints feeding readahead workers that prefetch through the
+//! shared pool. The device model is the same throttled store as
+//! `exp_concurrency` (150 µs per physical read, SSD-class); the baseline
+//! issues the identical queries serially against the identical pool.
+//!
+//! Results are checked bit-identical between the two modes, and the
+//! prefetch columns separate speculative I/O (and its wasted share) from
+//! demand reads, so the speedup can't hide behind overcounted useful I/O.
+
+use super::Context;
+use crate::report::{fmt_f64, Table};
+use flat_core::{EngineConfig, FlatIndex, FlatOptions, QueryEngine};
+use flat_storage::{BufferPool, ConcurrentBufferPool, MemStore, PageStore, ThrottledStore};
+use std::time::{Duration, Instant};
+
+/// Per-physical-read device latency (matches `exp_concurrency`).
+pub const READ_LATENCY: Duration = Duration::from_micros(150);
+
+/// Readahead worker counts measured for the batched mode.
+pub const READAHEAD_STEPS: [usize; 3] = [0, 4, 8];
+
+/// SN-workload throughput: one-at-a-time vs batched execution over one
+/// FLAT index on a 150 µs/read device, at several readahead depths.
+///
+/// # Panics
+/// Panics if the batched engine's results diverge from serial execution —
+/// that would invalidate the comparison (and the engine).
+pub fn exp_batch(ctx: &Context) -> Table {
+    let mut table = Table::new(
+        "exp_batch",
+        "SN throughput, batched engine vs one-at-a-time (150 µs/read device)",
+        &[
+            "mode",
+            "wall ms",
+            "queries/sec",
+            "speedup",
+            "demand reads",
+            "prefetch reads",
+            "prefetch unused",
+            "results",
+        ],
+    );
+    let domain = ctx.sweep.domain();
+    let queries = ctx.scale.sn_workload(&domain);
+    let density = ctx.scale.max_density();
+
+    let mut build_pool = BufferPool::new(MemStore::new(), ctx.scale.pool_pages);
+    let options = FlatOptions {
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+    let (index, _) = FlatIndex::build(&mut build_pool, ctx.sweep.at(density), options)
+        .expect("in-memory build cannot fail");
+    // Re-house the pages behind the throttled device with a cache an order
+    // of magnitude smaller than the index (the cold-cache regime).
+    let store = ThrottledStore::new(build_pool.into_store(), READ_LATENCY);
+    let cache_pages = (store.num_pages() as usize / 10).max(64);
+    let pool = ConcurrentBufferPool::new(store, cache_pages);
+
+    // Baseline: the same queries, one at a time, same pool.
+    pool.clear_cache();
+    pool.reset_stats();
+    let start = Instant::now();
+    let serial_results: Vec<Vec<flat_rtree::Hit>> = queries
+        .iter()
+        .map(|q| {
+            index
+                .range_query(&pool, q)
+                .expect("in-memory query cannot fail")
+        })
+        .collect();
+    let serial_wall = start.elapsed();
+    let serial_stats = pool.stats();
+    let serial_qps = queries.len() as f64 / serial_wall.as_secs_f64().max(1e-9);
+    let total_results: u64 = serial_results.iter().map(|r| r.len() as u64).sum();
+    table.push_row(vec![
+        "one-at-a-time".to_string(),
+        fmt_f64(serial_wall.as_secs_f64() * 1e3),
+        fmt_f64(serial_qps),
+        "1.00x".to_string(),
+        serial_stats.total_physical_reads().to_string(),
+        serial_stats.total_prefetch_reads().to_string(),
+        serial_stats.total_prefetched_unused().to_string(),
+        total_results.to_string(),
+    ]);
+
+    for readahead in READAHEAD_STEPS {
+        pool.clear_cache();
+        pool.reset_stats();
+        let engine = QueryEngine::with_config(
+            &index,
+            &pool,
+            EngineConfig {
+                readahead_threads: readahead,
+                ..EngineConfig::default()
+            },
+        );
+        let start = Instant::now();
+        let outcome = engine
+            .run_range_batch(&queries)
+            .expect("in-memory batch cannot fail");
+        let wall = start.elapsed();
+        assert_eq!(
+            outcome.results, serial_results,
+            "batched results (readahead={readahead}) diverged from serial"
+        );
+        let stats = pool.stats();
+        let qps = queries.len() as f64 / wall.as_secs_f64().max(1e-9);
+        let speedup = if serial_qps > 0.0 {
+            format!("{:.2}x", qps / serial_qps)
+        } else {
+            "-".to_string() // degenerate run (e.g. FLAT_QUERIES=0)
+        };
+        table.push_row(vec![
+            format!("batched, readahead={readahead}"),
+            fmt_f64(wall.as_secs_f64() * 1e3),
+            fmt_f64(qps),
+            speedup,
+            stats.total_physical_reads().to_string(),
+            stats.total_prefetch_reads().to_string(),
+            stats.total_prefetched_unused().to_string(),
+            total_results.to_string(),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,161 @@
+//! k-nearest-neighbor workload (extension): a second query type on the
+//! same index.
+//!
+//! The kNN query ([`flat_core::FlatIndex::knn_query`]) reuses FLAT's two
+//! ingredients — seed-tree descent, then neighbor-link expansion — with a
+//! best-first frontier instead of a BFS queue. This experiment runs a kNN
+//! workload (random locations, k ∈ [8, 128]) over the neuron model on the
+//! 150 µs/read device, serial vs batched through the
+//! [`flat_core::QueryEngine`], and verifies exactness against a
+//! brute-force scan on the smallest sweep density.
+
+use super::batch::READ_LATENCY;
+use super::Context;
+use crate::report::{fmt_f64, Table};
+use flat_core::{EngineConfig, FlatIndex, FlatOptions, QueryEngine};
+use flat_data::workload::{knn_queries, KnnConfig};
+use flat_geom::Point3;
+use flat_rtree::Entry;
+use flat_storage::{BufferPool, ConcurrentBufferPool, MemStore, PageStore, ThrottledStore};
+use std::time::Instant;
+
+/// Readahead worker counts measured for the batched mode.
+pub const READAHEAD_STEPS: [usize; 2] = [0, 4];
+
+/// Brute-force kNN distances (the verification oracle).
+fn brute_force_dists(entries: &[Entry], p: &Point3, k: usize) -> Vec<f64> {
+    let mut dists: Vec<f64> = entries
+        .iter()
+        .map(|e| e.mbr.distance_sq_to_point(p))
+        .collect();
+    dists.sort_by(|a, b| a.total_cmp(b));
+    dists.truncate(k);
+    dists
+}
+
+/// kNN throughput on the neuron dataset, serial vs batched, plus a
+/// brute-force exactness check at the smallest density.
+///
+/// # Panics
+/// Panics if kNN results diverge from the brute-force oracle (small
+/// dataset) or between serial and batched execution (full dataset).
+pub fn exp_knn(ctx: &Context) -> Table {
+    let mut table = Table::new(
+        "exp_knn",
+        "kNN workload over one FLAT index (150 µs/read device)",
+        &[
+            "mode",
+            "wall ms",
+            "queries/sec",
+            "speedup",
+            "demand reads",
+            "prefetch reads",
+            "neighbors",
+        ],
+    );
+    let domain = ctx.sweep.domain();
+    let queries = knn_queries(
+        &domain,
+        &KnnConfig {
+            count: ctx.scale.queries,
+            k_range: (8, 128),
+            seed: ctx.scale.seed ^ 0x4b4e_4e51,
+        },
+    );
+
+    // Exactness first: on the smallest density a full scan is affordable,
+    // so every query is checked against the brute-force oracle.
+    let small_density = ctx.scale.densities[0];
+    let small_entries = ctx.sweep.at(small_density);
+    let mut small_pool = BufferPool::new(MemStore::new(), ctx.scale.pool_pages);
+    let options = FlatOptions {
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+    let (small_index, _) = FlatIndex::build(&mut small_pool, small_entries.clone(), options)
+        .expect("in-memory build cannot fail");
+    for (p, k) in &queries {
+        let got = small_index
+            .knn_query(&small_pool, *p, *k)
+            .expect("in-memory query cannot fail");
+        let got_dists: Vec<f64> = got.iter().map(|n| n.dist_sq).collect();
+        assert_eq!(
+            got_dists,
+            brute_force_dists(&small_entries, p, *k),
+            "kNN diverged from brute force at k={k}, p={p}"
+        );
+    }
+
+    // Throughput at max density over the throttled device.
+    let density = ctx.scale.max_density();
+    let mut build_pool = BufferPool::new(MemStore::new(), ctx.scale.pool_pages);
+    let (index, _) = FlatIndex::build(&mut build_pool, ctx.sweep.at(density), options)
+        .expect("in-memory build cannot fail");
+    let store = ThrottledStore::new(build_pool.into_store(), READ_LATENCY);
+    let cache_pages = (store.num_pages() as usize / 10).max(64);
+    let pool = ConcurrentBufferPool::new(store, cache_pages);
+
+    pool.clear_cache();
+    pool.reset_stats();
+    let start = Instant::now();
+    let serial_results: Vec<Vec<flat_core::Neighbor>> = queries
+        .iter()
+        .map(|&(p, k)| {
+            index
+                .knn_query(&pool, p, k)
+                .expect("in-memory query cannot fail")
+        })
+        .collect();
+    let serial_wall = start.elapsed();
+    let serial_stats = pool.stats();
+    let serial_qps = queries.len() as f64 / serial_wall.as_secs_f64().max(1e-9);
+    let neighbors: u64 = serial_results.iter().map(|r| r.len() as u64).sum();
+    table.push_row(vec![
+        "one-at-a-time".to_string(),
+        fmt_f64(serial_wall.as_secs_f64() * 1e3),
+        fmt_f64(serial_qps),
+        "1.00x".to_string(),
+        serial_stats.total_physical_reads().to_string(),
+        serial_stats.total_prefetch_reads().to_string(),
+        neighbors.to_string(),
+    ]);
+
+    for readahead in READAHEAD_STEPS {
+        pool.clear_cache();
+        pool.reset_stats();
+        let engine = QueryEngine::with_config(
+            &index,
+            &pool,
+            EngineConfig {
+                readahead_threads: readahead,
+                ..EngineConfig::default()
+            },
+        );
+        let start = Instant::now();
+        let outcome = engine
+            .run_knn_batch(&queries)
+            .expect("in-memory batch cannot fail");
+        let wall = start.elapsed();
+        assert_eq!(
+            outcome.results, serial_results,
+            "batched kNN (readahead={readahead}) diverged from serial"
+        );
+        let stats = pool.stats();
+        let qps = queries.len() as f64 / wall.as_secs_f64().max(1e-9);
+        let speedup = if serial_qps > 0.0 {
+            format!("{:.2}x", qps / serial_qps)
+        } else {
+            "-".to_string() // degenerate run (e.g. FLAT_QUERIES=0)
+        };
+        table.push_row(vec![
+            format!("batched, readahead={readahead}"),
+            fmt_f64(wall.as_secs_f64() * 1e3),
+            fmt_f64(qps),
+            speedup,
+            stats.total_physical_reads().to_string(),
+            stats.total_prefetch_reads().to_string(),
+            neighbors.to_string(),
+        ]);
+    }
+    table
+}

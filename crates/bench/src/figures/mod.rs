@@ -7,8 +7,10 @@
 
 pub mod ablation;
 pub mod analysis;
+pub mod batch;
 pub mod build;
 pub mod concurrency;
+pub mod knn;
 pub mod lss;
 pub mod motivation;
 pub mod other;
@@ -88,6 +90,17 @@ mod tests {
 
         let meta_order = ablation::exp_meta_order(&ctx);
         assert_eq!(meta_order.rows.len(), 2);
+
+        let batched = batch::exp_batch(&ctx);
+        // One serial baseline row plus one per readahead depth; the driver
+        // itself asserts batched results are bit-identical to serial.
+        assert_eq!(batched.rows.len(), 1 + batch::READAHEAD_STEPS.len());
+
+        let knn = knn::exp_knn(&ctx);
+        assert_eq!(knn.rows.len(), 1 + knn::READAHEAD_STEPS.len());
+        // Every mode answers the same workload: identical neighbor counts.
+        let counts: Vec<&String> = knn.rows.iter().map(|r| &r[6]).collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]));
 
         let concurrent = concurrency::exp_concurrency(&ctx);
         assert_eq!(concurrent.rows.len(), concurrency::THREAD_STEPS.len());

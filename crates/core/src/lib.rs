@@ -32,6 +32,8 @@
 //! | [`meta`] | §V-B.2 | metadata records, seed-leaf page format |
 //! | `index` (re-exported) | §V | [`FlatIndex::build`] |
 //! | `query` (re-exported) | §V-B.1, §VI, Alg. 2 | seed + crawl |
+//! | `knn` (re-exported) | extension | [`FlatIndex::knn_query`], best-first seed + crawl |
+//! | `engine` (re-exported) | extension | [`QueryEngine`]: batched execution + crawl-ahead prefetch |
 //!
 //! # Example
 //!
@@ -58,12 +60,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod engine;
 mod index;
+mod knn;
 pub mod meta;
 pub mod neighbors;
 pub mod partition;
 mod persist;
 mod query;
 
+pub use engine::{BatchOutcome, EngineConfig, KnnBatchOutcome, QueryEngine};
 pub use index::{BuildStats, FlatIndex, FlatOptions, MetaOrder};
+pub use knn::{KnnStats, Neighbor};
 pub use query::QueryStats;

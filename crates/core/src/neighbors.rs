@@ -19,6 +19,13 @@ use flat_storage::{BufferPool, MemStore, StorageError};
 /// boxes — face-adjacent tiles are neighbors, matching the paper's
 /// "adjacent to or overlaps with").
 ///
+/// Because partitions tile space with no gaps, this relation makes every
+/// spatially connected region's partitions *graph*-connected — the
+/// property the range crawl needs to cover a query box from any seed, and
+/// the property the kNN crawl (`FlatIndex::knn_query`) needs for its
+/// best-first expansion to stay exact: any partition within distance `d`
+/// of a query point is reachable through partitions at most `d` away.
+///
 /// Returns the total number of neighbor pointers created (the quantity
 /// Figures 20/21 characterize).
 pub fn compute_neighbors(partitions: &mut [Partition]) -> Result<u64, StorageError> {

@@ -2,12 +2,27 @@
 //! (§V-B.1 and §VI, Algorithm 2).
 
 use crate::index::FlatIndex;
-use crate::meta::{decode_meta_record, meta_leaf_len, MetaRecordId};
+use crate::meta::{decode_meta_record, meta_leaf_len, MetaRecord, MetaRecordId};
 use flat_geom::Aabb;
 use flat_rtree::node::{decode_inner, decode_leaf};
 use flat_rtree::{Hit, LeafLayout};
 use flat_storage::{PageId, PageKind, PageRead, StorageError};
 use std::collections::{HashSet, VecDeque};
+
+/// Crawl-progress hooks the batched [`crate::QueryEngine`] uses to turn
+/// traversal events into readahead hints. The serial query path passes
+/// `None` and pays nothing; implementations must be pure hints — they can
+/// neither fail a query nor change its results.
+pub(crate) trait CrawlHinter {
+    /// `page` (of `kind`) was just scheduled for a future read.
+    fn upcoming_page(&self, page: PageId, kind: PageKind);
+
+    /// Record `addr` was just enqueued; `wants_object` says whether the
+    /// record's object page will be scanned if the record looks like
+    /// `MetaRecord` when decoded (the hinter may not know yet — it only
+    /// acts when it can decode `addr` from an already-cached page).
+    fn enqueued_record(&self, addr: MetaRecordId, wants_object: &dyn Fn(&MetaRecord) -> bool);
+}
 
 /// Per-query counters (the CPU/bookkeeping side of §VII-E.2; the I/O side
 /// is in the pool's [`flat_storage::IoStats`]).
@@ -64,11 +79,12 @@ impl FlatIndex {
         stats: &mut QueryStats,
     ) -> Result<Vec<Hit>, StorageError> {
         let mut hits = Vec::new();
-        let Some(seed) = self.seed(pool, query, stats)? else {
+        let Some(seed) = self.seed(pool, query, stats, None)? else {
             return Ok(hits); // "If no object page can be found, then the
                              // query has no result" (§V-B.1).
         };
-        self.crawl(pool, query, seed, stats, &mut hits)?;
+        let mut state = CrawlState::start(seed);
+        while !self.crawl_step(pool, query, &mut state, stats, &mut hits, None)? {}
         stats.result_count = hits.len() as u64;
         Ok(hits)
     }
@@ -76,11 +92,12 @@ impl FlatIndex {
     /// The seed phase (§V-B.1): walk a single path of the seed tree
     /// (early-exit DFS), reading candidate object pages until one actually
     /// contains an element intersecting the query.
-    fn seed(
+    pub(crate) fn seed(
         &self,
         pool: &impl PageRead,
         query: &Aabb,
         stats: &mut QueryStats,
+        hinter: Option<&dyn CrawlHinter>,
     ) -> Result<Option<MetaRecordId>, StorageError> {
         let Some(root) = self.seed_root else {
             return Ok(None);
@@ -125,6 +142,14 @@ impl FlatIndex {
                     stats.mbr_tests += 1;
                     if query.intersects(&child.mbr) {
                         stack.push((child.page, level - 1));
+                        if let Some(h) = hinter {
+                            let kind = if level - 1 == 1 {
+                                PageKind::SeedLeaf
+                            } else {
+                                PageKind::SeedInner
+                            };
+                            h.upcoming_page(child.page, kind);
+                        }
                     }
                 }
             }
@@ -132,8 +157,15 @@ impl FlatIndex {
         Ok(None)
     }
 
-    /// The crawl phase (Algorithm 2): breadth-first search over the
-    /// neighborhood graph.
+    /// Runs one crawl turn: dequeues and fully processes a single metadata
+    /// record (object-page scan plus neighbor expansion). Returns `true`
+    /// when the crawl is finished.
+    ///
+    /// The serial [`FlatIndex::range_query`] simply loops this to
+    /// completion; the batched [`crate::QueryEngine`] interleaves turns of
+    /// many queries so their I/O overlaps. Because each query's own turn
+    /// order is untouched, the two produce identical results — same hits,
+    /// same order.
     ///
     /// One deliberate fix to the paper's pseudocode: Algorithm 2 only
     /// inserts a page into `visited` when its page MBR intersects the
@@ -143,81 +175,87 @@ impl FlatIndex {
     /// ("seen"), which preserves the intended I/O behaviour — every record
     /// is processed at most once, every object page read at most once —
     /// and guarantees termination.
-    fn crawl(
+    pub(crate) fn crawl_step(
         &self,
         pool: &impl PageRead,
         query: &Aabb,
-        seed: MetaRecordId,
+        state: &mut CrawlState,
         stats: &mut QueryStats,
         hits: &mut Vec<Hit>,
-    ) -> Result<(), StorageError> {
-        let mut seen: HashSet<MetaRecordId> = HashSet::new();
-        let mut queue: VecDeque<MetaRecordId> = VecDeque::new();
-        seen.insert(seed);
-        queue.push_back(seed);
+        hinter: Option<&dyn CrawlHinter>,
+    ) -> Result<bool, StorageError> {
+        let Some(addr) = state.queue.pop_front() else {
+            return Ok(true);
+        };
+        stats.max_queue_len = stats.max_queue_len.max(state.queue.len() + 1);
+        stats.records_processed += 1;
+        let record = {
+            let page = pool.read_page(addr.page, PageKind::SeedLeaf)?;
+            decode_meta_record(&page, addr.slot)?
+        };
 
-        while let Some(addr) = queue.pop_front() {
-            stats.max_queue_len = stats.max_queue_len.max(queue.len() + 1);
-            stats.records_processed += 1;
-            let record = {
-                let page = pool.read_page(addr.page, PageKind::SeedLeaf)?;
-                decode_meta_record(&page, addr.slot)?
-            };
-
-            // "the object page is only read from disk if M's page MBR
-            // intersects with the query" (§VI).
-            stats.mbr_tests += 1;
-            if record.page_mbr.intersects(query) {
-                stats.object_pages_read += 1;
-                let page = pool.read_page(record.object_page, PageKind::ObjectPage)?;
-                let (layout, entries) = decode_leaf(&page)?;
-                for (slot, entry) in entries.iter().enumerate() {
-                    stats.mbr_tests += 1;
-                    if query.intersects(&entry.mbr) {
-                        let id = match layout {
-                            LeafLayout::MbrOnly => (record.object_page.0 << 16) | entry.id,
-                            LeafLayout::WithIds => entry.id,
-                        };
-                        hits.push(Hit {
-                            mbr: entry.mbr,
-                            id,
-                            page: record.object_page,
-                            slot: slot as u16,
-                        });
-                    }
-                }
-            }
-
-            // "the neighbor pointers stored in a metadata record M are only
-            // followed if M's partition MBR intersects with the query"
-            // (§VI).
-            stats.mbr_tests += 1;
-            if record.partition_mbr.intersects(query) {
-                for neighbor in record.neighbors {
-                    if seen.insert(neighbor) {
-                        queue.push_back(neighbor);
-                    }
-                }
-                // Over-full neighbor lists spill into continuation records
-                // (see `meta`); follow the chain, charging the reads like
-                // any other metadata access.
-                let mut next = record.continuation;
-                while let Some(addr) = next {
-                    let chunk = {
-                        let page = pool.read_page(addr.page, PageKind::SeedLeaf)?;
-                        decode_meta_record(&page, addr.slot)?
+        // "the object page is only read from disk if M's page MBR
+        // intersects with the query" (§VI).
+        stats.mbr_tests += 1;
+        if record.page_mbr.intersects(query) {
+            stats.object_pages_read += 1;
+            let page = pool.read_page(record.object_page, PageKind::ObjectPage)?;
+            let (layout, entries) = decode_leaf(&page)?;
+            for (slot, entry) in entries.iter().enumerate() {
+                stats.mbr_tests += 1;
+                if query.intersects(&entry.mbr) {
+                    let id = match layout {
+                        LeafLayout::MbrOnly => (record.object_page.0 << 16) | entry.id,
+                        LeafLayout::WithIds => entry.id,
                     };
-                    for neighbor in chunk.neighbors {
-                        if seen.insert(neighbor) {
-                            queue.push_back(neighbor);
-                        }
-                    }
-                    next = chunk.continuation;
+                    hits.push(Hit {
+                        mbr: entry.mbr,
+                        id,
+                        page: record.object_page,
+                        slot: slot as u16,
+                    });
                 }
             }
         }
-        stats.records_seen = seen.len() as u64;
-        Ok(())
+
+        // "the neighbor pointers stored in a metadata record M are only
+        // followed if M's partition MBR intersects with the query"
+        // (§VI).
+        stats.mbr_tests += 1;
+        if record.partition_mbr.intersects(query) {
+            let wants_object = |r: &MetaRecord| r.page_mbr.intersects(query);
+            for neighbor in record.neighbors {
+                if state.seen.insert(neighbor) {
+                    state.queue.push_back(neighbor);
+                    if let Some(h) = hinter {
+                        h.enqueued_record(neighbor, &wants_object);
+                    }
+                }
+            }
+            // Over-full neighbor lists spill into continuation records
+            // (see `meta`); follow the chain, charging the reads like
+            // any other metadata access.
+            let mut next = record.continuation;
+            while let Some(addr) = next {
+                let chunk = {
+                    let page = pool.read_page(addr.page, PageKind::SeedLeaf)?;
+                    decode_meta_record(&page, addr.slot)?
+                };
+                for neighbor in chunk.neighbors {
+                    if state.seen.insert(neighbor) {
+                        state.queue.push_back(neighbor);
+                        if let Some(h) = hinter {
+                            h.enqueued_record(neighbor, &wants_object);
+                        }
+                    }
+                }
+                next = chunk.continuation;
+            }
+        }
+        // Monotone running value; once the queue drains this equals the
+        // size of the visited set, matching the serial accounting.
+        stats.records_seen = state.seen.len() as u64;
+        Ok(state.queue.is_empty())
     }
 
     /// Runs only the seed phase, returning the address of the seed record
@@ -229,8 +267,30 @@ impl FlatIndex {
     ) -> Result<Option<(PageId, u16)>, StorageError> {
         let mut stats = QueryStats::default();
         Ok(self
-            .seed(pool, query, &mut stats)?
+            .seed(pool, query, &mut stats, None)?
             .map(|r| (r.page, r.slot)))
+    }
+}
+
+/// The resumable state of one query's crawl phase: the BFS queue and the
+/// visited ("seen") set. Produced by [`CrawlState::start`] from a seed
+/// record and advanced one record at a time by `FlatIndex::crawl_step`.
+#[derive(Debug)]
+pub(crate) struct CrawlState {
+    queue: VecDeque<MetaRecordId>,
+    seen: HashSet<MetaRecordId>,
+}
+
+impl CrawlState {
+    /// A crawl about to process `seed` as its first record.
+    pub(crate) fn start(seed: MetaRecordId) -> CrawlState {
+        let mut state = CrawlState {
+            queue: VecDeque::new(),
+            seen: HashSet::new(),
+        };
+        state.seen.insert(seed);
+        state.queue.push_back(seed);
+        state
     }
 }
 

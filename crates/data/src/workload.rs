@@ -104,6 +104,49 @@ pub fn point_queries(domain: &Aabb, count: usize, seed: u64) -> Vec<Point3> {
     (0..count).map(|_| random_point(&mut rng, domain)).collect()
 }
 
+/// Parameters of a k-nearest-neighbor workload (extension): analysis
+/// requests of the form "the `k` elements closest to this location", the
+/// proximity-driven analogue of the structural-neighborhood accesses of
+/// §III-A.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnConfig {
+    /// Number of queries.
+    pub count: usize,
+    /// Range `k` is drawn from, inclusive. A fixed `k` uses `(k, k)`.
+    pub k_range: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KnnConfig {
+    /// The default kNN benchmark workload: 200 queries (matching the SN/LSS
+    /// count) with `k` spanning a small structural neighborhood (8) up to a
+    /// page-sized one (128).
+    pub fn benchmark(seed: u64) -> KnnConfig {
+        KnnConfig {
+            count: QUERIES_PER_RUN,
+            k_range: (8, 128),
+            seed,
+        }
+    }
+}
+
+/// Generates `(location, k)` pairs with random locations in `domain` and
+/// `k` drawn uniformly from the configured range. Deterministic in the
+/// seed, like the range workloads.
+pub fn knn_queries(domain: &Aabb, config: &KnnConfig) -> Vec<(Point3, usize)> {
+    let (lo, hi) = config.k_range;
+    assert!(lo >= 1 && hi >= lo, "invalid k range ({lo}, {hi})");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.count)
+        .map(|_| {
+            let p = random_point(&mut rng, domain);
+            let k = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            (p, k)
+        })
+        .collect()
+}
+
 /// Queries centered on the given element positions — the incremental
 /// structural-neighborhood access pattern of §III-A ("numerous requests for
 /// the immediate neighborhood … along a neuron fiber").
@@ -190,6 +233,32 @@ mod tests {
         for p in &points {
             assert!(domain().contains_point(p));
         }
+    }
+
+    #[test]
+    fn knn_workload_is_deterministic_and_in_domain() {
+        let config = KnnConfig::benchmark(9);
+        let a = knn_queries(&domain(), &config);
+        let b = knn_queries(&domain(), &config);
+        assert_eq!(a.len(), QUERIES_PER_RUN);
+        assert_eq!(a, b);
+        for (p, k) in &a {
+            assert!(domain().contains_point(p));
+            assert!((8..=128).contains(k));
+        }
+        // k actually varies across the workload.
+        let ks: std::collections::HashSet<usize> = a.iter().map(|&(_, k)| k).collect();
+        assert!(ks.len() > 10, "k barely varies: {} distinct", ks.len());
+    }
+
+    #[test]
+    fn knn_workload_fixed_k() {
+        let config = KnnConfig {
+            count: 10,
+            k_range: (5, 5),
+            seed: 3,
+        };
+        assert!(knn_queries(&domain(), &config).iter().all(|&(_, k)| k == 5));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! * Degenerate boxes (zero extent in some or all dimensions) are valid and
 //!   represent points or faces; they intersect anything that contains them.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod aabb;

@@ -15,7 +15,7 @@
 //! Both operate on *discretized* coordinates; [`Discretizer`] maps `f64`
 //! points in a domain onto the integer lattice.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod hilbert;

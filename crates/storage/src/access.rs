@@ -29,6 +29,29 @@ use std::sync::Arc;
 pub trait PageRead {
     /// Reads page `id`, counting the access against `kind`.
     fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError>;
+
+    /// Readahead hint: bring page `id` into the cache *speculatively*, ahead
+    /// of a demand read that may or may not follow.
+    ///
+    /// This is the hook batched query execution hangs its crawl-ahead
+    /// prefetching on: a reader that knows which pages it will (probably)
+    /// touch next issues hints — typically from dedicated readahead threads,
+    /// so the device wait overlaps useful work — and the later demand read
+    /// becomes a cache hit.
+    ///
+    /// Semantics:
+    /// * purely an optimization — implementations may ignore it (the default
+    ///   does nothing), and errors are swallowed: a failed hint must not
+    ///   fail the query, the demand read will surface any real error;
+    /// * accounted separately from demand I/O: a fetch triggered by a hint
+    ///   counts as a *prefetch read*, not a physical (demand) read, and a
+    ///   later demand hit on the prefetched page counts as a *prefetch hit*
+    ///   (see [`crate::IoStats`]), so benchmark figures can report
+    ///   speculative I/O — and the share of it that was wasted — separately
+    ///   from useful I/O.
+    fn prefetch_page(&self, id: PageId, kind: PageKind) {
+        let _ = (id, kind);
+    }
 }
 
 /// Exclusive build-time access: page allocation and write-through writes.
@@ -44,17 +67,29 @@ impl<P: PageRead + ?Sized> PageRead for &P {
     fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError> {
         (**self).read_page(id, kind)
     }
+
+    fn prefetch_page(&self, id: PageId, kind: PageKind) {
+        (**self).prefetch_page(id, kind)
+    }
 }
 
 impl<P: PageRead + ?Sized> PageRead for Arc<P> {
     fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError> {
         (**self).read_page(id, kind)
     }
+
+    fn prefetch_page(&self, id: PageId, kind: PageKind) {
+        (**self).prefetch_page(id, kind)
+    }
 }
 
 impl<P: PageRead + ?Sized> PageRead for Box<P> {
     fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError> {
         (**self).read_page(id, kind)
+    }
+
+    fn prefetch_page(&self, id: PageId, kind: PageKind) {
+        (**self).prefetch_page(id, kind)
     }
 }
 

@@ -10,23 +10,41 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct KindStats {
     /// Reads requested by the index code (cache hits + misses).
     pub logical_reads: u64,
-    /// Reads that actually went to the store (cache misses). This is the
-    /// paper's "page reads" metric.
+    /// *Demand* reads that actually went to the store (cache misses). This
+    /// is the paper's "page reads" metric. Speculative fetches issued via
+    /// [`crate::PageRead::prefetch_page`] are counted in `prefetch_reads`
+    /// instead, so this figure never overcounts useful I/O.
     pub physical_reads: u64,
+    /// Speculative store fetches issued via
+    /// [`crate::PageRead::prefetch_page`] (hints that missed the cache).
+    pub prefetch_reads: u64,
+    /// Demand reads served from a page that a prefetch brought in — the
+    /// *useful* share of `prefetch_reads`. `prefetch_reads - prefetch_hits`
+    /// is the speculation waste ([`KindStats::prefetched_unused`]).
+    pub prefetch_hits: u64,
     /// Pages written through to the store.
     pub writes: u64,
 }
 
 impl KindStats {
+    /// Pages fetched speculatively that no demand read has (yet) used.
+    pub fn prefetched_unused(&self) -> u64 {
+        self.prefetch_reads.saturating_sub(self.prefetch_hits)
+    }
+
     fn add(&mut self, other: &KindStats) {
         self.logical_reads += other.logical_reads;
         self.physical_reads += other.physical_reads;
+        self.prefetch_reads += other.prefetch_reads;
+        self.prefetch_hits += other.prefetch_hits;
         self.writes += other.writes;
     }
 
     fn sub(&mut self, other: &KindStats) {
         self.logical_reads -= other.logical_reads;
         self.physical_reads -= other.physical_reads;
+        self.prefetch_reads -= other.prefetch_reads;
+        self.prefetch_hits -= other.prefetch_hits;
         self.writes -= other.writes;
     }
 }
@@ -39,8 +57,8 @@ impl KindStats {
 /// harness can attribute I/O to individual queries.
 ///
 /// This is a plain value type — a snapshot. The live counters inside the
-/// pools are atomic ([`AtomicIoStats`]), so snapshots can be taken from
-/// `&self` at any time, including while other threads are reading pages.
+/// pools are atomic, so snapshots can be taken from `&self` at any time,
+/// including while other threads are reading pages.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IoStats {
     kinds: [KindStats; 6],
@@ -71,6 +89,29 @@ impl IoStats {
     /// Writes summed over all kinds.
     pub fn total_writes(&self) -> u64 {
         self.kinds.iter().map(|k| k.writes).sum()
+    }
+
+    /// Speculative (prefetch) store fetches summed over all kinds.
+    pub fn total_prefetch_reads(&self) -> u64 {
+        self.kinds.iter().map(|k| k.prefetch_reads).sum()
+    }
+
+    /// Demand reads served from prefetched pages, summed over all kinds.
+    pub fn total_prefetch_hits(&self) -> u64 {
+        self.kinds.iter().map(|k| k.prefetch_hits).sum()
+    }
+
+    /// Prefetched pages never used by a demand read — the speculation waste
+    /// benchmark figures must report separately from useful I/O.
+    pub fn total_prefetched_unused(&self) -> u64 {
+        self.kinds.iter().map(|k| k.prefetched_unused()).sum()
+    }
+
+    /// Every fetch the device actually served: demand misses plus
+    /// speculative fetches. This is the count a device-time model should
+    /// price; [`IoStats::total_physical_reads`] remains the *useful* I/O.
+    pub fn total_device_reads(&self) -> u64 {
+        self.total_physical_reads() + self.total_prefetch_reads()
     }
 
     /// Bytes fetched from the store (`physical reads × 4096`).
@@ -125,6 +166,8 @@ pub(crate) struct AtomicIoStats {
 struct AtomicKindStats {
     logical_reads: AtomicU64,
     physical_reads: AtomicU64,
+    prefetch_reads: AtomicU64,
+    prefetch_hits: AtomicU64,
     writes: AtomicU64,
 }
 
@@ -135,6 +178,18 @@ impl AtomicIoStats {
         if miss {
             k.physical_reads.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    pub(crate) fn record_prefetch_read(&self, kind: PageKind) {
+        self.kinds[kind.index()]
+            .prefetch_reads
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_prefetch_hit(&self, kind: PageKind) {
+        self.kinds[kind.index()]
+            .prefetch_hits
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_write(&self, kind: PageKind) {
@@ -148,6 +203,8 @@ impl AtomicIoStats {
         for (atomic, plain) in self.kinds.iter().zip(out.kinds.iter_mut()) {
             plain.logical_reads = atomic.logical_reads.load(Ordering::Relaxed);
             plain.physical_reads = atomic.physical_reads.load(Ordering::Relaxed);
+            plain.prefetch_reads = atomic.prefetch_reads.load(Ordering::Relaxed);
+            plain.prefetch_hits = atomic.prefetch_hits.load(Ordering::Relaxed);
             plain.writes = atomic.writes.load(Ordering::Relaxed);
         }
         out
@@ -157,6 +214,8 @@ impl AtomicIoStats {
         for k in &self.kinds {
             k.logical_reads.store(0, Ordering::Relaxed);
             k.physical_reads.store(0, Ordering::Relaxed);
+            k.prefetch_reads.store(0, Ordering::Relaxed);
+            k.prefetch_hits.store(0, Ordering::Relaxed);
             k.writes.store(0, Ordering::Relaxed);
         }
     }
@@ -171,6 +230,12 @@ impl AtomicIoStats {
             atomic
                 .physical_reads
                 .store(plain.physical_reads, Ordering::Relaxed);
+            atomic
+                .prefetch_reads
+                .store(plain.prefetch_reads, Ordering::Relaxed);
+            atomic
+                .prefetch_hits
+                .store(plain.prefetch_hits, Ordering::Relaxed);
             atomic.writes.store(plain.writes, Ordering::Relaxed);
         }
     }
@@ -182,6 +247,9 @@ const NIL: usize = usize::MAX;
 struct Slot {
     id: PageId,
     page: Page,
+    /// `true` while the page was brought in by a prefetch hint and no demand
+    /// read has touched it yet (drives the prefetch-hit accounting).
+    prefetched: bool,
     prev: usize,
     next: usize,
 }
@@ -228,6 +296,18 @@ impl CacheState {
         let slot = *self.map.get(&id)?;
         self.touch(slot);
         Some(slot)
+    }
+
+    /// Clears the slot's prefetched mark, reporting whether it was set —
+    /// i.e. whether this demand read is the first use of a prefetched page.
+    pub(crate) fn take_prefetched(&mut self, slot: usize) -> bool {
+        std::mem::take(&mut self.slots[slot].prefetched)
+    }
+
+    /// `true` if `id` is cached (no recency update — used by prefetch to
+    /// skip pages already present without disturbing the LRU order).
+    pub(crate) fn contains(&self, id: PageId) -> bool {
+        self.map.contains_key(&id)
     }
 
     pub(crate) fn page(&self, slot: usize) -> &Page {
@@ -280,8 +360,14 @@ impl CacheState {
     }
 
     /// Inserts a page, evicting the LRU slot if the cache holds `capacity`
-    /// pages already.
-    pub(crate) fn insert(&mut self, id: PageId, page: Page, capacity: usize) -> usize {
+    /// pages already. `prefetched` marks pages brought in speculatively.
+    pub(crate) fn insert(
+        &mut self,
+        id: PageId,
+        page: Page,
+        capacity: usize,
+        prefetched: bool,
+    ) -> usize {
         if self.map.len() >= capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
@@ -294,6 +380,7 @@ impl CacheState {
                 self.slots[s] = Slot {
                     id,
                     page,
+                    prefetched,
                     prev: NIL,
                     next: NIL,
                 };
@@ -303,6 +390,7 @@ impl CacheState {
                 self.slots.push(Slot {
                     id,
                     page,
+                    prefetched,
                     prev: NIL,
                     next: NIL,
                 });
@@ -448,6 +536,9 @@ impl<S: PageStore> BufferPool<S> {
     pub fn read(&mut self, id: PageId, kind: PageKind) -> Result<&Page, StorageError> {
         let cache = self.cache.get_mut();
         if let Some(slot) = cache.lookup(id) {
+            if cache.take_prefetched(slot) {
+                self.stats.record_prefetch_hit(kind);
+            }
             self.stats.record_read(kind, false);
             return Ok(cache.page(slot));
         }
@@ -455,7 +546,7 @@ impl<S: PageStore> BufferPool<S> {
         self.stats.record_read(kind, true);
         let mut page = Page::new();
         self.store.read_page(id, &mut page)?;
-        let slot = cache.insert(id, page, self.capacity);
+        let slot = cache.insert(id, page, self.capacity, false);
         Ok(cache.page(slot))
     }
 }
@@ -464,14 +555,30 @@ impl<S: PageStore> PageRead for BufferPool<S> {
     fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError> {
         let mut cache = self.cache.borrow_mut();
         if let Some(slot) = cache.lookup(id) {
+            if cache.take_prefetched(slot) {
+                self.stats.record_prefetch_hit(kind);
+            }
             self.stats.record_read(kind, false);
             return Ok(cache.page(slot).clone());
         }
         self.stats.record_read(kind, true);
         let mut page = Page::new();
         self.store.read_page(id, &mut page)?;
-        let slot = cache.insert(id, page, self.capacity);
+        let slot = cache.insert(id, page, self.capacity, false);
         Ok(cache.page(slot).clone())
+    }
+
+    fn prefetch_page(&self, id: PageId, kind: PageKind) {
+        let mut cache = self.cache.borrow_mut();
+        if cache.contains(id) {
+            return; // already resident — nothing speculative to do
+        }
+        let mut page = Page::new();
+        if self.store.read_page(id, &mut page).is_err() {
+            return; // hints never fail; the demand read reports the error
+        }
+        self.stats.record_prefetch_read(kind);
+        cache.insert(id, page, self.capacity, true);
     }
 }
 
@@ -662,6 +769,66 @@ mod tests {
         let id = pool.alloc().unwrap();
         assert_eq!(id, PageId(0));
         assert_eq!(pool.store().num_pages(), 1);
+    }
+
+    #[test]
+    fn prefetch_accounts_separately_from_demand_reads() {
+        let pool = pool_with_pages(4, 8);
+        // Speculative fetch: no logical read, no demand physical read.
+        pool.prefetch_page(PageId(0), PageKind::ObjectPage);
+        let s = pool.stats();
+        assert_eq!(s.kind(PageKind::ObjectPage).prefetch_reads, 1);
+        assert_eq!(s.total_logical_reads(), 0);
+        assert_eq!(s.total_physical_reads(), 0);
+        assert_eq!(s.total_device_reads(), 1);
+        assert_eq!(s.total_prefetched_unused(), 1);
+
+        // First demand read: cache hit, credited as a prefetch hit.
+        pool.read_page(PageId(0), PageKind::ObjectPage).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.kind(PageKind::ObjectPage).prefetch_hits, 1);
+        assert_eq!(s.total_physical_reads(), 0);
+        assert_eq!(s.total_prefetched_unused(), 0);
+
+        // Second demand read: ordinary cache hit, not a second prefetch hit.
+        pool.read_page(PageId(0), PageKind::ObjectPage).unwrap();
+        assert_eq!(pool.stats().kind(PageKind::ObjectPage).prefetch_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_of_cached_page_is_a_no_op() {
+        let pool = pool_with_pages(2, 8);
+        pool.read_page(PageId(1), PageKind::Other).unwrap();
+        pool.prefetch_page(PageId(1), PageKind::Other);
+        let s = pool.stats();
+        assert_eq!(s.total_prefetch_reads(), 0);
+        // A later read of the demand-fetched page is not a prefetch hit.
+        pool.read_page(PageId(1), PageKind::Other).unwrap();
+        assert_eq!(s.total_prefetch_hits(), 0);
+    }
+
+    #[test]
+    fn prefetch_of_invalid_page_is_swallowed() {
+        let pool = pool_with_pages(1, 4);
+        pool.prefetch_page(PageId(99), PageKind::Other); // must not panic
+        assert_eq!(pool.stats().total_prefetch_reads(), 0);
+        // The demand read still surfaces the real error.
+        assert!(pool.read_page(PageId(99), PageKind::Other).is_err());
+    }
+
+    #[test]
+    fn prefetch_stats_survive_snapshot_diff_and_accumulate() {
+        let pool = pool_with_pages(4, 8);
+        let before = pool.snapshot();
+        pool.prefetch_page(PageId(2), PageKind::SeedLeaf);
+        pool.read_page(PageId(2), PageKind::SeedLeaf).unwrap();
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta.kind(PageKind::SeedLeaf).prefetch_reads, 1);
+        assert_eq!(delta.kind(PageKind::SeedLeaf).prefetch_hits, 1);
+        let mut acc = IoStats::new();
+        acc.accumulate(&delta);
+        acc.accumulate(&delta);
+        assert_eq!(acc.total_prefetch_reads(), 2);
     }
 
     #[test]

@@ -62,12 +62,15 @@ pub use flat_storage as storage;
 
 /// The most commonly used items of every crate, for glob import.
 pub mod prelude {
-    pub use flat_core::{BuildStats, FlatIndex, FlatOptions, QueryStats};
+    pub use flat_core::{
+        BatchOutcome, BuildStats, EngineConfig, FlatIndex, FlatOptions, KnnStats, Neighbor,
+        QueryEngine, QueryStats,
+    };
     pub use flat_data::mesh::{mesh_entries, MeshConfig};
     pub use flat_data::nbody::{nbody_entries, NBodyConfig};
     pub use flat_data::neuron::{NeuronConfig, NeuronModel};
     pub use flat_data::uniform::{uniform_entries, UniformConfig};
-    pub use flat_data::workload::{range_queries, WorkloadConfig};
+    pub use flat_data::workload::{knn_queries, range_queries, KnnConfig, WorkloadConfig};
     pub use flat_geom::{Aabb, Axis, Cylinder, Point3, Shape, Sphere, Triangle};
     pub use flat_rtree::{BulkLoad, Entry, Hit, LeafLayout, RTree, RTreeConfig};
     pub use flat_storage::{

@@ -1,0 +1,145 @@
+//! Crawl edge cases: degenerate queries and boundary seeds, exercised
+//! through both the serial path and the batched engine (which must agree
+//! bit-for-bit).
+
+use flat_repro::prelude::*;
+
+fn grid_entries(side: usize, spacing: f64) -> Vec<Entry> {
+    // A regular grid of small cubes filling [0, side·spacing)³ — boundary
+    // geometry is exact, so queries can be placed precisely on seams.
+    let mut entries = Vec::new();
+    let mut id = 0u64;
+    for x in 0..side {
+        for y in 0..side {
+            for z in 0..side {
+                let c = Point3::new(
+                    (x as f64 + 0.5) * spacing,
+                    (y as f64 + 0.5) * spacing,
+                    (z as f64 + 0.5) * spacing,
+                );
+                entries.push(Entry::new(id, Aabb::cube(c, spacing * 0.4)));
+                id += 1;
+            }
+        }
+    }
+    entries
+}
+
+fn build(entries: Vec<Entry>) -> (BufferPool<MemStore>, FlatIndex) {
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (index, _) = FlatIndex::build(&mut pool, entries, FlatOptions::default())
+        .expect("in-memory build cannot fail");
+    (pool, index)
+}
+
+fn brute_force(entries: &[Entry], q: &Aabb) -> usize {
+    entries.iter().filter(|e| q.intersects(&e.mbr)).count()
+}
+
+/// Serial and batched answers for one query, asserted identical.
+fn query_both_ways(pool: BufferPool<MemStore>, index: &FlatIndex, q: &Aabb) -> Vec<Hit> {
+    let shared = pool.into_concurrent();
+    let serial = index.range_query(&shared, q).unwrap();
+    let outcome = QueryEngine::new(index, &shared)
+        .run_range_batch(std::slice::from_ref(q))
+        .unwrap();
+    assert_eq!(outcome.results[0], serial, "engine diverged from serial");
+    serial
+}
+
+#[test]
+fn query_touching_zero_pages() {
+    // The query box lies in the gap between element rows: it intersects
+    // partition tiles (space is fully tiled) but no page MBR, so the seed
+    // phase probes and rejects candidates and the crawl never starts.
+    let entries = grid_entries(10, 10.0);
+    let (pool, index) = build(entries.clone());
+    // Elements occupy ±2 around cell centers (side 4 cubes); the seam at
+    // x ∈ [8, 12] misses them... except it doesn't: [8,12] overlaps
+    // nothing since cubes span [3,7], [13,17], etc.
+    let q = Aabb::from_corners(Point3::new(8.0, 8.0, 8.0), Point3::new(12.0, 12.0, 12.0));
+    assert_eq!(brute_force(&entries, &q), 0, "test geometry drifted");
+    assert!(query_both_ways(pool, &index, &q).is_empty());
+}
+
+#[test]
+fn query_fully_inside_one_page() {
+    // A tiny box strictly inside a single element: exactly one hit, and
+    // the crawl terminates after its immediate neighborhood.
+    let entries = grid_entries(10, 10.0);
+    let (pool, index) = build(entries.clone());
+    let target = entries[555].mbr;
+    let q = Aabb::cube(target.center(), 0.1);
+    assert_eq!(brute_force(&entries, &q), 1);
+    let hits = query_both_ways(pool, &index, &q);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].mbr, target);
+}
+
+#[test]
+fn seed_page_at_dataset_boundary() {
+    // Queries clamped to the corners and faces of the domain: the seed
+    // lands on a boundary partition whose neighbor list is the smallest
+    // (a corner tile has no neighbors outside the domain), a regime where
+    // an off-by-one in neighbor enumeration would lose results.
+    let entries = grid_entries(10, 10.0);
+    let (pool, index) = build(entries.clone());
+    let shared = pool.into_concurrent();
+    let corners = [
+        Point3::new(0.0, 0.0, 0.0),
+        Point3::new(100.0, 0.0, 0.0),
+        Point3::new(0.0, 100.0, 100.0),
+        Point3::new(100.0, 100.0, 100.0),
+        Point3::new(50.0, 0.0, 50.0), // face midpoint
+    ];
+    for corner in corners {
+        let q = Aabb::cube(corner, 25.0); // sticks out past the domain
+        let expected = brute_force(&entries, &q);
+        let serial = index.range_query(&shared, &q).unwrap();
+        assert_eq!(serial.len(), expected, "corner {corner}");
+        assert!(expected > 0, "boundary query should not be empty");
+        let outcome = QueryEngine::new(&index, &shared)
+            .run_range_batch(&[q])
+            .unwrap();
+        assert_eq!(outcome.results[0], serial, "corner {corner}");
+    }
+}
+
+#[test]
+fn empty_index_queries() {
+    let (pool, index) = build(Vec::new());
+    let shared = pool.into_concurrent();
+    for q in [
+        Aabb::cube(Point3::splat(0.0), 10.0),
+        Aabb::point(Point3::splat(5.0)),
+        Aabb::cube(Point3::splat(1e9), 1.0),
+    ] {
+        assert!(index.range_query(&shared, &q).unwrap().is_empty());
+        assert!(index.seed_only(&shared, &q).unwrap().is_none());
+    }
+    // Batched and kNN paths agree.
+    let engine = QueryEngine::new(&index, &shared);
+    let outcome = engine
+        .run_range_batch(&[Aabb::cube(Point3::splat(0.0), 10.0)])
+        .unwrap();
+    assert!(outcome.results[0].is_empty());
+    assert!(index
+        .knn_query(&shared, Point3::splat(0.0), 3)
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn whole_domain_and_oversized_queries() {
+    // The other extreme: queries covering everything (and more) return
+    // each element exactly once, serial and batched alike.
+    let entries = grid_entries(8, 10.0);
+    let (pool, index) = build(entries.clone());
+    let q = Aabb::cube(Point3::splat(40.0), 1000.0);
+    let hits = query_both_ways(pool, &index, &q);
+    assert_eq!(hits.len(), entries.len());
+    let mut ids: Vec<u64> = hits.iter().map(|h| h.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), entries.len(), "duplicates in oversized query");
+}
