@@ -1,0 +1,8 @@
+//! Streaming out-of-core build vs in-memory build: throughput, peak
+//! resident entries/partitions, and spill volume at increasing N.
+use flat_bench::figures::{build_scale, Context};
+use flat_bench::Scale;
+
+fn main() {
+    build_scale::exp_build_scale(&Context::new(Scale::from_env())).emit();
+}

@@ -2,12 +2,55 @@
 //!
 //! Respects `FLAT_SCALE`, `FLAT_QUERIES` and `FLAT_RESULTS_DIR`.
 use flat_bench::figures::{
-    ablation, analysis, batch, build, concurrency, knn, lss, motivation, other, sn, Context,
+    ablation, analysis, batch, build, build_scale, concurrency, knn, lss, motivation, other, sn,
+    Context,
 };
 use flat_bench::Scale;
 use std::time::Instant;
 
+/// The experiment suites this binary runs, with their dedicated binaries.
+const SUITES: &[(&str, &str)] = &[
+    ("motivation", "fig02_rtree_overlap"),
+    ("build", "fig10_build_time, fig11_index_size"),
+    ("build-scale", "exp_build_scale"),
+    ("sn", "fig03/12/13/14/15"),
+    ("lss", "fig04/16/17/18/19"),
+    (
+        "analysis",
+        "fig20/21, exp_element_volume, exp_aspect_ratio, exp_overheads, exp_disk_models",
+    ),
+    (
+        "ablation",
+        "exp_meta_order, exp_bulk_vs_insert, exp_bulkload_strategies",
+    ),
+    ("concurrency", "exp_concurrency"),
+    ("batch", "exp_batch, exp_knn"),
+    ("other-datasets", "fig22, fig23"),
+];
+
 fn main() {
+    // `--list`/`--help`: print the suite map and exit without building
+    // anything — cheap wiring for CI smoke checks.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args
+        .iter()
+        .any(|a| a == "--list" || a == "--help" || a == "-h")
+    {
+        println!("run_all — regenerates every table and figure of the paper in one run.");
+        println!(
+            "Env knobs: FLAT_SCALE, FLAT_QUERIES, FLAT_RESULTS_DIR, FLAT_TAIL, FLAT_SPILL_BUDGET."
+        );
+        println!("Suites (each also available as its own binary):");
+        for (suite, bins) in SUITES {
+            println!("  {suite:<14} {bins}");
+        }
+        return;
+    }
+    if let Some(unknown) = args.first() {
+        eprintln!("unknown argument {unknown:?}; try --list");
+        std::process::exit(2);
+    }
+
     let start = Instant::now();
     let scale = Scale::from_env();
     println!(
@@ -23,6 +66,9 @@ fn main() {
     for table in build::build_suite(&ctx) {
         table.emit();
     }
+
+    println!("=== Streaming out-of-core build (extension) ===\n");
+    build_scale::exp_build_scale(&ctx).emit();
 
     println!("=== SN benchmark (Sections III-A, VII-D) ===\n");
     for table in sn::sn_suite(&ctx) {

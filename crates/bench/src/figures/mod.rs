@@ -9,6 +9,7 @@ pub mod ablation;
 pub mod analysis;
 pub mod batch;
 pub mod build;
+pub mod build_scale;
 pub mod concurrency;
 pub mod knn;
 pub mod lss;
@@ -68,6 +69,11 @@ mod tests {
 
         let build_tables = build::build_suite(&ctx);
         assert_eq!(build_tables.len(), 2);
+
+        // Asserts the streamed build is bit-identical per density step.
+        let scale_table = build_scale::exp_build_scale(&ctx);
+        assert_eq!(scale_table.rows.len(), ctx.scale.densities.len());
+        assert!(scale_table.rows.iter().all(|r| r.last().unwrap() == "yes"));
 
         let fig20 = analysis::fig20_pointer_distribution(&ctx);
         assert!(!fig20.rows.is_empty());

@@ -103,10 +103,162 @@ impl BuildStats {
         if self.neighbor_counts.is_empty() {
             return 0;
         }
+        // Quickselect instead of a full sort: figure drivers call this per
+        // density step over hundreds of thousands of counts.
         let mut counts = self.neighbor_counts.clone();
-        counts.sort_unstable();
-        counts[counts.len() / 2]
+        let mid = counts.len() / 2;
+        let (_, median, _) = counts.select_nth_unstable(mid);
+        *median
     }
+}
+
+/// Per-partition input to the metadata writer, delivered in metadata
+/// stream order (Hilbert order of the partition centers by default).
+///
+/// `neighbors` holds *original* partition indices; the writer translates
+/// them to physical [`MetaRecordId`]s via the record plan.
+#[derive(Debug, Clone)]
+pub(crate) struct MetaPartition<'a> {
+    /// Original partition index (STR output order) — must equal the
+    /// `order` entry at the stream position.
+    pub index: u32,
+    /// Tight MBR of the partition's elements.
+    pub page_mbr: Aabb,
+    /// The partition MBR.
+    pub partition_mbr: Aabb,
+    /// The already-written object page.
+    pub object_page: PageId,
+    /// Sorted original indices of the neighboring partitions (borrowed
+    /// from the in-memory partition vector, owned when streamed off a
+    /// spill merge).
+    pub neighbors: std::borrow::Cow<'a, [u32]>,
+}
+
+/// Writes the metadata leaves and the seed-tree directory from a
+/// *stream* of per-partition data.
+///
+/// This is the single metadata serializer behind both build paths: the
+/// in-memory [`FlatIndex::build`] adapts its partition vector into the
+/// stream, the out-of-core `FlatIndexBuilder` feeds it from an external
+/// sort — which is what makes the two paths bit-identical by
+/// construction. The stream holds one partition at a time; only the
+/// fixed-size planning tables (`order`, `counts`, the record plan and the
+/// per-partition primary addresses — a few dozen bytes per partition, no
+/// elements) are resident.
+///
+/// * `order[pos]` — original partition index at stream position `pos`.
+/// * `counts[pos]` — that partition's neighbor count (drives the record
+///   plan, which must be complete before the first page is written so
+///   every pointer has a known physical address).
+/// * `stream` — yields exactly `order.len()` items, position-aligned with
+///   `order`.
+pub(crate) fn write_meta_and_seed<'a>(
+    pool: &mut impl PageWrite,
+    order: &[u32],
+    counts: &[usize],
+    mut stream: impl Iterator<Item = Result<MetaPartition<'a>, StorageError>>,
+    layout: LeafLayout,
+    num_elements: u64,
+    num_object_pages: u64,
+) -> Result<FlatIndex, StorageError> {
+    assert!(!order.is_empty(), "caller handles the empty index");
+    assert_eq!(order.len(), counts.len());
+
+    // Plan the record stream (over-full neighbor lists are split into
+    // continuation chunks), assign slots, allocate pages — then every
+    // neighbor pointer and continuation pointer has a known physical
+    // address before serialization starts. `plan[*].partition` indexes
+    // into `order`, not original partition indices.
+    let plan = plan_records(counts);
+    let slots = assign_slots(&plan);
+    let num_meta_pages = slots.last().expect("order is non-empty").0 + 1;
+    let mut meta_ids = Vec::with_capacity(num_meta_pages);
+    for _ in 0..num_meta_pages {
+        meta_ids.push(pool.alloc()?);
+    }
+    let address_of_chunk = |c: usize| MetaRecordId {
+        page: meta_ids[slots[c].0],
+        slot: slots[c].1,
+    };
+    // Primary (addressable) record of each *original* partition index.
+    let mut primary_chunk = vec![usize::MAX; order.len()];
+    for (c, planned) in plan.iter().enumerate() {
+        if planned.primary {
+            primary_chunk[order[planned.partition] as usize] = c;
+        }
+    }
+    let address_of_partition = |i: usize| address_of_chunk(primary_chunk[i]);
+
+    // Serialize the records page by page, in stream order. `current`
+    // holds the one partition whose chunks are being emitted.
+    let mut page = Page::new();
+    let mut current: Option<MetaPartition<'_>> = None;
+    let mut current_pos = usize::MAX;
+    let mut chunk_idx = 0usize;
+    let mut leaf_refs: Vec<ChildRef> = Vec::with_capacity(num_meta_pages);
+    for (seq, &meta_id) in meta_ids.iter().enumerate() {
+        let mut records = Vec::new();
+        let mut leaf_mbr = Aabb::empty();
+        while chunk_idx < plan.len() && slots[chunk_idx].0 == seq {
+            let planned = &plan[chunk_idx];
+            if planned.partition != current_pos {
+                let next = stream
+                    .next()
+                    .expect("stream yields one item per order entry")?;
+                debug_assert_eq!(
+                    next.index, order[planned.partition],
+                    "metadata stream out of order"
+                );
+                current = Some(next);
+                current_pos = planned.partition;
+            }
+            let p = current.as_ref().expect("set above");
+            // The next chunk of the same partition, if any, continues
+            // this record's neighbor list.
+            let continuation = plan
+                .get(chunk_idx + 1)
+                .filter(|next| next.partition == planned.partition)
+                .map(|_| address_of_chunk(chunk_idx + 1));
+            records.push(MetaRecord {
+                page_mbr: p.page_mbr,
+                partition_mbr: p.partition_mbr,
+                object_page: p.object_page,
+                neighbors: p.neighbors[planned.start..planned.start + planned.len]
+                    .iter()
+                    .map(|&j| address_of_partition(j as usize))
+                    .collect(),
+                continuation,
+                is_continuation: !planned.primary,
+            });
+            // The seed tree indexes records by their *page MBR*
+            // (§V-B.2: "we index each record R with R's page MBR as
+            // key").
+            leaf_mbr.stretch_to_contain(&p.page_mbr);
+            chunk_idx += 1;
+        }
+        encode_meta_leaf(&records, &mut page);
+        pool.write(meta_id, &page, PageKind::SeedLeaf)?;
+        leaf_refs.push(ChildRef {
+            mbr: leaf_mbr,
+            page: meta_id,
+        });
+    }
+    debug_assert_eq!(chunk_idx, plan.len());
+    debug_assert!(stream.next().is_none(), "stream longer than the order");
+
+    // Seed-tree directory over the metadata leaves.
+    let (seed_root, seed_height, num_seed_inner_pages) =
+        build_inner_levels(pool, leaf_refs, PageKind::SeedInner)?;
+
+    Ok(FlatIndex {
+        seed_root: Some(seed_root),
+        seed_height,
+        layout,
+        num_elements,
+        num_object_pages,
+        num_meta_pages: num_meta_pages as u64,
+        num_seed_inner_pages,
+    })
 }
 
 /// A built FLAT index.
@@ -200,15 +352,7 @@ impl FlatIndex {
         num_elements: u64,
     ) -> Result<FlatIndex, StorageError> {
         if partitions.is_empty() {
-            return Ok(FlatIndex {
-                seed_root: None,
-                seed_height: 0,
-                layout,
-                num_elements: 0,
-                num_object_pages: 0,
-                num_meta_pages: 0,
-                num_seed_inner_pages: 0,
-            });
+            return Ok(FlatIndex::empty(layout));
         }
 
         // Object pages, in partition (STR tile) order.
@@ -227,105 +371,57 @@ impl FlatIndex {
         // (§V-B.2); raw STR order only groups records along the last sort
         // dimension, while Hilbert order keeps full 3-D blobs of partitions
         // on few metadata pages — which is what the crawl actually touches.
-        let order: Vec<usize> = match meta_order {
+        let order: Vec<u32> = match meta_order {
             MetaOrder::Hilbert => {
                 let bounds = Aabb::union_all(partitions.iter().map(|p| p.partition_mbr));
                 let disc = flat_sfc::Discretizer::new(bounds.min.into(), bounds.max.into(), 16);
-                let mut order: Vec<usize> = (0..partitions.len()).collect();
+                let mut order: Vec<u32> = (0..partitions.len() as u32).collect();
                 let keys: Vec<u64> = partitions
                     .iter()
                     .map(|p| disc.hilbert_key(p.partition_mbr.center().into()))
                     .collect();
-                order.sort_by_key(|&i| keys[i]);
+                order.sort_by_key(|&i| keys[i as usize]);
                 order
             }
-            MetaOrder::StrOutput => (0..partitions.len()).collect(),
+            MetaOrder::StrOutput => (0..partitions.len() as u32).collect(),
         };
 
-        // Plan the record stream (over-full neighbor lists are split into
-        // continuation chunks), assign slots, allocate pages — then every
-        // neighbor pointer and continuation pointer has a known physical
-        // address before serialization starts. `plan[*].partition` indexes
-        // into `order`, not into `partitions` directly.
-        let neighbor_counts: Vec<usize> = order
+        let counts: Vec<usize> = order
             .iter()
-            .map(|&i| partitions[i].neighbors.len())
+            .map(|&i| partitions[i as usize].neighbors.len())
             .collect();
-        let plan = plan_records(&neighbor_counts);
-        let slots = assign_slots(&plan);
-        let num_meta_pages = slots.last().expect("partitions is non-empty").0 + 1;
-        let mut meta_ids = Vec::with_capacity(num_meta_pages);
-        for _ in 0..num_meta_pages {
-            meta_ids.push(pool.alloc()?);
-        }
-        let address_of_chunk = |c: usize| MetaRecordId {
-            page: meta_ids[slots[c].0],
-            slot: slots[c].1,
-        };
-        // Primary (addressable) record of each *original* partition index.
-        let mut primary_chunk = vec![usize::MAX; partitions.len()];
-        for (c, planned) in plan.iter().enumerate() {
-            if planned.primary {
-                primary_chunk[order[planned.partition]] = c;
-            }
-        }
-        let address_of_partition = |i: usize| address_of_chunk(primary_chunk[i]);
-
-        // Serialize the records page by page, in stream order.
-        let mut chunk_idx = 0usize;
-        let mut leaf_refs: Vec<ChildRef> = Vec::with_capacity(num_meta_pages);
-        for (seq, &meta_id) in meta_ids.iter().enumerate() {
-            let mut records = Vec::new();
-            let mut leaf_mbr = Aabb::empty();
-            while chunk_idx < plan.len() && slots[chunk_idx].0 == seq {
-                let planned = &plan[chunk_idx];
-                let original = order[planned.partition];
-                let p = &partitions[original];
-                // The next chunk of the same partition, if any, continues
-                // this record's neighbor list.
-                let continuation = plan
-                    .get(chunk_idx + 1)
-                    .filter(|next| next.partition == planned.partition)
-                    .map(|_| address_of_chunk(chunk_idx + 1));
-                records.push(MetaRecord {
-                    page_mbr: p.page_mbr,
-                    partition_mbr: p.partition_mbr,
-                    object_page: object_ids[original],
-                    neighbors: p.neighbors[planned.start..planned.start + planned.len]
-                        .iter()
-                        .map(|&j| address_of_partition(j as usize))
-                        .collect(),
-                    continuation,
-                    is_continuation: !planned.primary,
-                });
-                // The seed tree indexes records by their *page MBR*
-                // (§V-B.2: "we index each record R with R's page MBR as
-                // key").
-                leaf_mbr.stretch_to_contain(&p.page_mbr);
-                chunk_idx += 1;
-            }
-            encode_meta_leaf(&records, &mut page);
-            pool.write(meta_id, &page, PageKind::SeedLeaf)?;
-            leaf_refs.push(ChildRef {
-                mbr: leaf_mbr,
-                page: meta_id,
-            });
-        }
-        debug_assert_eq!(chunk_idx, plan.len());
-
-        // Seed-tree directory over the metadata leaves.
-        let (seed_root, seed_height, num_seed_inner_pages) =
-            build_inner_levels(pool, leaf_refs, PageKind::SeedInner)?;
-
-        Ok(FlatIndex {
-            seed_root: Some(seed_root),
-            seed_height,
+        let stream = order.iter().map(|&i| {
+            let p = &partitions[i as usize];
+            Ok(MetaPartition {
+                index: i,
+                page_mbr: p.page_mbr,
+                partition_mbr: p.partition_mbr,
+                object_page: object_ids[i as usize],
+                neighbors: std::borrow::Cow::Borrowed(p.neighbors.as_slice()),
+            })
+        });
+        write_meta_and_seed(
+            pool,
+            &order,
+            &counts,
+            stream,
             layout,
             num_elements,
-            num_object_pages: object_ids.len() as u64,
-            num_meta_pages: num_meta_pages as u64,
-            num_seed_inner_pages,
-        })
+            object_ids.len() as u64,
+        )
+    }
+
+    /// An index over zero elements.
+    pub(crate) fn empty(layout: LeafLayout) -> FlatIndex {
+        FlatIndex {
+            seed_root: None,
+            seed_height: 0,
+            layout,
+            num_elements: 0,
+            num_object_pages: 0,
+            num_meta_pages: 0,
+            num_seed_inner_pages: 0,
+        }
     }
 
     /// Number of indexed elements.
@@ -376,7 +472,7 @@ impl FlatIndex {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::meta::decode_meta_leaf;
     use flat_geom::Point3;

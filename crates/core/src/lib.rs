@@ -28,9 +28,10 @@
 //! | module | paper section | contents |
 //! |---|---|---|
 //! | [`partition`] | §V-A, Alg. 1 | STR tiling, stretching, invariants |
-//! | [`neighbors`] | §V-A, Alg. 1 | neighbor computation via temp R-tree |
+//! | [`neighbors`] | §V-A, Alg. 1 | neighbor computation: temp R-tree and the streaming plane-sweep |
 //! | [`meta`] | §V-B.2 | metadata records, seed-leaf page format |
 //! | `index` (re-exported) | §V | [`FlatIndex::build`] |
+//! | `builder` (re-exported) | §V, out-of-core | [`FlatIndexBuilder`]: streaming bulkload with bounded resident memory, bit-identical to the in-memory path |
 //! | `query` (re-exported) | §V-B.1, §VI, Alg. 2 | seed + crawl |
 //! | `knn` (re-exported) | extension | [`FlatIndex::knn_query`], best-first seed + crawl |
 //! | `engine` (re-exported) | extension | [`QueryEngine`]: batched execution + crawl-ahead prefetch |
@@ -60,6 +61,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod builder;
 mod engine;
 mod index;
 mod knn;
@@ -69,6 +71,7 @@ pub mod partition;
 mod persist;
 mod query;
 
+pub use builder::{FlatIndexBuilder, StreamingStats, DEFAULT_SPILL_BUDGET};
 pub use engine::{BatchOutcome, EngineConfig, KnnBatchOutcome, QueryEngine};
 pub use index::{BuildStats, FlatIndex, FlatOptions, MetaOrder};
 pub use knn::{KnnStats, Neighbor};

@@ -61,6 +61,126 @@ pub fn compute_neighbors(partitions: &mut [Partition]) -> Result<u64, StorageErr
     Ok(total)
 }
 
+/// One partition whose neighbor list is complete, emitted by
+/// [`NeighborSweep`] when the sweep plane passes the partition's MBR.
+#[derive(Debug, Clone)]
+pub struct SweptPartition {
+    /// Original partition index (position in STR output order).
+    pub index: u32,
+    /// Tight MBR of the partition's elements.
+    pub page_mbr: Aabb,
+    /// The (possibly inflated) partition MBR the neighbor relation is
+    /// computed on.
+    pub partition_mbr: Aabb,
+    /// Sorted indices of all neighboring partitions — exactly what the
+    /// temporary-R-tree path ([`compute_neighbors`]) produces.
+    pub neighbors: Vec<u32>,
+}
+
+/// Streaming, bounded-memory replacement for the temporary R-tree: an
+/// exact plane-sweep intersection join over the partition MBRs.
+///
+/// Partitions are pushed in nondecreasing order of `partition_mbr.min.x`
+/// (the streaming builder external-sorts its partition summaries by that
+/// key). The sweep keeps an *active window* of partitions whose x-range
+/// still covers the sweep plane; each arrival is intersection-tested
+/// against the window only, and a partition retires — with its neighbor
+/// list complete — as soon as an arrival's `min.x` passes its `max.x`.
+///
+/// Exactness does not rely on the "neighbors live in adjacent slabs"
+/// intuition, which stretching breaks (a partition containing a long
+/// element can reach arbitrarily many slabs): two boxes intersect only if
+/// their x-ranges overlap, so every intersecting pair is tested while both
+/// are in the window, wherever their slabs are. For unstretched tilings
+/// the window degenerates to the partitions of two adjacent slabs; its
+/// peak size ([`NeighborSweep::peak_window`]) is the builder's
+/// O(slab)-partitions memory bound, reported by `exp_build_scale`.
+#[derive(Debug, Default)]
+pub struct NeighborSweep {
+    active: Vec<SweptPartition>,
+    peak_window: usize,
+    last_min_x: Option<f64>,
+    total_pointers: u64,
+}
+
+impl NeighborSweep {
+    /// An empty sweep.
+    pub fn new() -> NeighborSweep {
+        NeighborSweep::default()
+    }
+
+    /// Feeds the next partition (in `partition_mbr.min.x` order, ties in
+    /// any order) and appends every partition this arrival retires to
+    /// `retired`.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if pushes violate the sweep order.
+    pub fn push(
+        &mut self,
+        index: u32,
+        page_mbr: Aabb,
+        partition_mbr: Aabb,
+        retired: &mut Vec<SweptPartition>,
+    ) {
+        let min_x = partition_mbr.min.x;
+        debug_assert!(
+            self.last_min_x.is_none_or(|last| last <= min_x),
+            "NeighborSweep pushes must be ordered by partition_mbr.min.x"
+        );
+        self.last_min_x = Some(min_x);
+
+        // Retire window members the sweep plane has passed: nothing that
+        // arrives from here on (min.x ≥ this arrival's) can touch them.
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].partition_mbr.max.x < min_x {
+                let mut done = self.active.swap_remove(i);
+                done.neighbors.sort_unstable();
+                retired.push(done);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Test the arrival against the remaining window.
+        let mut arrival = SweptPartition {
+            index,
+            page_mbr,
+            partition_mbr,
+            neighbors: Vec::new(),
+        };
+        for other in &mut self.active {
+            if other.partition_mbr.intersects(&arrival.partition_mbr) {
+                other.neighbors.push(arrival.index);
+                arrival.neighbors.push(other.index);
+                self.total_pointers += 2;
+            }
+        }
+        self.active.push(arrival);
+        self.peak_window = self.peak_window.max(self.active.len());
+    }
+
+    /// Ends the input, retiring every partition still in the window.
+    /// Returns the total number of neighbor pointers created.
+    pub fn finish(mut self, retired: &mut Vec<SweptPartition>) -> u64 {
+        for mut done in self.active.drain(..) {
+            done.neighbors.sort_unstable();
+            retired.push(done);
+        }
+        self.total_pointers
+    }
+
+    /// Peak number of partitions simultaneously held in the sweep window.
+    pub fn peak_window(&self) -> usize {
+        self.peak_window
+    }
+
+    /// Current number of partitions in the window.
+    pub fn window_len(&self) -> usize {
+        self.active.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +296,128 @@ mod tests {
     fn empty_input_is_fine() {
         let mut parts: Vec<Partition> = Vec::new();
         assert_eq!(compute_neighbors(&mut parts).unwrap(), 0);
+    }
+
+    /// Runs the plane-sweep over `parts` (any order) and returns the
+    /// neighbor lists by partition index, plus the pointer total.
+    fn sweep_neighbors(parts: &[Partition]) -> (Vec<Vec<u32>>, u64) {
+        let mut order: Vec<usize> = (0..parts.len()).collect();
+        order.sort_by(|&a, &b| {
+            parts[a]
+                .partition_mbr
+                .min
+                .x
+                .total_cmp(&parts[b].partition_mbr.min.x)
+                .then(a.cmp(&b))
+        });
+        let mut sweep = NeighborSweep::new();
+        let mut retired = Vec::new();
+        for &i in &order {
+            sweep.push(
+                i as u32,
+                parts[i].page_mbr,
+                parts[i].partition_mbr,
+                &mut retired,
+            );
+        }
+        let total = sweep.finish(&mut retired);
+        let mut lists = vec![Vec::new(); parts.len()];
+        for r in retired {
+            lists[r.index as usize] = r.neighbors;
+        }
+        (lists, total)
+    }
+
+    #[test]
+    fn sweep_matches_the_temporary_rtree() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let entries: Vec<Entry> = (0..6000)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..40.0),
+                    rng.gen_range(0.0..40.0),
+                    rng.gen_range(0.0..40.0),
+                );
+                Entry::new(i, Aabb::cube(c, rng.gen_range(0.1..0.6)))
+            })
+            .collect();
+        let mut parts = partition(entries, 85, None);
+        let (swept, total_swept) = sweep_neighbors(&parts);
+        let total_rtree = compute_neighbors(&mut parts).unwrap();
+        assert_eq!(total_swept, total_rtree);
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(swept[i], p.neighbors, "partition {i}");
+        }
+    }
+
+    #[test]
+    fn sweep_handles_stretched_partitions_spanning_many_slabs() {
+        // A few giant elements stretch their partitions across most of the
+        // domain in x — the case the naive "adjacent slabs only" shortcut
+        // would get wrong.
+        let mut rng = StdRng::seed_from_u64(13);
+        let entries: Vec<Entry> = (0..3000)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..60.0),
+                    rng.gen_range(0.0..60.0),
+                    rng.gen_range(0.0..60.0),
+                );
+                let side = if i % 151 == 0 { 45.0 } else { 0.4 };
+                Entry::new(i, Aabb::cube(c, side))
+            })
+            .collect();
+        let mut parts = partition(entries, 40, None);
+        let (swept, _) = sweep_neighbors(&parts);
+        compute_neighbors(&mut parts).unwrap();
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(swept[i], p.neighbors, "partition {i}");
+        }
+    }
+
+    #[test]
+    fn sweep_window_stays_near_slab_sized_on_compact_data() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let entries: Vec<Entry> = (0..20_000)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                );
+                Entry::new(i, Aabb::cube(c, 0.2))
+            })
+            .collect();
+        let parts = partition(entries, 85, None);
+        let mut order: Vec<usize> = (0..parts.len()).collect();
+        order.sort_by(|&a, &b| {
+            parts[a]
+                .partition_mbr
+                .min
+                .x
+                .total_cmp(&parts[b].partition_mbr.min.x)
+                .then(a.cmp(&b))
+        });
+        let mut sweep = NeighborSweep::new();
+        let mut retired = Vec::new();
+        for &i in &order {
+            sweep.push(
+                i as u32,
+                parts[i].page_mbr,
+                parts[i].partition_mbr,
+                &mut retired,
+            );
+        }
+        // ~236 partitions in a 7³-ish tiling ⇒ a slab is ~34 partitions;
+        // the window holds two adjacent slabs plus stretch stragglers.
+        let peak = sweep.peak_window();
+        sweep.finish(&mut retired);
+        assert_eq!(retired.len(), parts.len());
+        assert!(
+            peak < parts.len() / 2,
+            "window {peak} should be far below {} partitions",
+            parts.len()
+        );
     }
 
     #[test]

@@ -79,6 +79,17 @@ fn chop(mut items: Vec<Entry>, axis: Axis, chunk_size: usize) -> (Vec<Vec<Entry>
     (chunks, cuts)
 }
 
+/// One tile of a cut sequence: spans `bounds` except along `axis`, where
+/// it covers `[lo, hi]` (clamped so degenerate cut orders still yield a
+/// valid box). Shared by the in-memory tiling and the streaming builder so
+/// both produce bit-identical tiles.
+pub(crate) fn axis_tile(bounds: &Aabb, axis: Axis, lo: f64, hi: f64) -> Aabb {
+    let mut tile = *bounds;
+    tile.min = tile.min.with_coord(axis, lo.min(hi));
+    tile.max = tile.max.with_coord(axis, hi.max(lo));
+    tile
+}
+
 /// Builds the tile boxes for a sequence of chunks cut along `axis` within
 /// `bounds`: tile `i` spans `bounds` except along `axis`, where it covers
 /// `[cut[i-1], cut[i]]` (domain edges at the ends).
@@ -92,13 +103,60 @@ fn tiles_for(bounds: &Aabb, axis: Axis, cuts: &[f64], count: usize) -> Vec<Aabb>
         } else {
             bounds.max.coord(axis)
         };
-        let mut tile = *bounds;
-        tile.min = tile.min.with_coord(axis, lo.min(hi));
-        tile.max = tile.max.with_coord(axis, hi.max(lo));
-        tiles.push(tile);
+        tiles.push(axis_tile(bounds, axis, lo, hi));
         lo = hi;
     }
     tiles
+}
+
+/// The STR layout parameters for `n` elements: `(pn, slab_size)` where
+/// `pn = ⌈(n/capacity)^⅓⌉` is the partition count per dimension and
+/// `slab_size = ⌈n / pn⌉` the number of elements per x-slab (Algorithm 1).
+pub(crate) fn partition_plan(n: usize, capacity: usize) -> (usize, usize) {
+    let pages = n.div_ceil(capacity);
+    let pn = (pages as f64).cbrt().ceil() as usize;
+    (pn, n.div_ceil(pn))
+}
+
+/// Partitions one x-slab (entries already restricted to the slab, in
+/// global x order) into its y-runs and z-chunks, appending the resulting
+/// partitions to `out` in final partition order.
+///
+/// This is the per-slab core of Algorithm 1, shared verbatim by
+/// [`partition`] (all slabs resident) and the streaming builder (one slab
+/// resident at a time), which is what makes the two build paths
+/// bit-identical.
+pub(crate) fn partition_slab(
+    slab: Vec<Entry>,
+    x_tile: Aabb,
+    pn: usize,
+    capacity: usize,
+    out: &mut Vec<Partition>,
+) {
+    let run_size = slab.len().div_ceil(pn);
+    let (runs, y_cuts) = chop(slab, Axis::Y, run_size);
+    let y_tiles = tiles_for(&x_tile, Axis::Y, &y_cuts, runs.len());
+
+    for (run, y_tile) in runs.into_iter().zip(y_tiles) {
+        // The final cut uses the page capacity directly, so partitions
+        // never exceed it even when the ceiling arithmetic above is
+        // loose.
+        let (chunks, z_cuts) = chop(run, Axis::Z, capacity);
+        let z_tiles = tiles_for(&y_tile, Axis::Z, &z_cuts, chunks.len());
+
+        for (chunk, z_tile) in chunks.into_iter().zip(z_tiles) {
+            let page_mbr = Aabb::union_all(chunk.iter().map(|e| e.mbr));
+            let mut partition_mbr = z_tile;
+            // Algorithm 1: "stretch partitionMBR to contain pageMBR".
+            partition_mbr.stretch_to_contain(&page_mbr);
+            out.push(Partition {
+                elements: chunk,
+                page_mbr,
+                partition_mbr,
+                neighbors: Vec::new(),
+            });
+        }
+    }
 }
 
 /// Runs the paper's Algorithm 1 partitioning step.
@@ -121,41 +179,16 @@ pub fn partition(entries: Vec<Entry>, capacity: usize, domain: Option<Aabb>) -> 
     }
     let bounds = domain.unwrap_or_else(|| Aabb::union_all(entries.iter().map(|e| e.mbr)));
     let n = entries.len();
-    let pages = n.div_ceil(capacity);
     // pn partitions per dimension (Algorithm 1: pn = ⌈(size/pagesize)^⅓⌉).
-    let pn = (pages as f64).cbrt().ceil() as usize;
-    let slab_size = n.div_ceil(pn);
+    let (pn, slab_size) = partition_plan(n, capacity);
 
-    let mut partitions = Vec::with_capacity(pages);
+    let mut partitions = Vec::with_capacity(n.div_ceil(capacity));
 
     let (slabs, x_cuts) = chop(entries, Axis::X, slab_size);
     let x_tiles = tiles_for(&bounds, Axis::X, &x_cuts, slabs.len());
 
     for (slab, x_tile) in slabs.into_iter().zip(x_tiles) {
-        let run_size = slab.len().div_ceil(pn);
-        let (runs, y_cuts) = chop(slab, Axis::Y, run_size);
-        let y_tiles = tiles_for(&x_tile, Axis::Y, &y_cuts, runs.len());
-
-        for (run, y_tile) in runs.into_iter().zip(y_tiles) {
-            // The final cut uses the page capacity directly, so partitions
-            // never exceed it even when the ceiling arithmetic above is
-            // loose.
-            let (chunks, z_cuts) = chop(run, Axis::Z, capacity);
-            let z_tiles = tiles_for(&y_tile, Axis::Z, &z_cuts, chunks.len());
-
-            for (chunk, z_tile) in chunks.into_iter().zip(z_tiles) {
-                let page_mbr = Aabb::union_all(chunk.iter().map(|e| e.mbr));
-                let mut partition_mbr = z_tile;
-                // Algorithm 1: "stretch partitionMBR to contain pageMBR".
-                partition_mbr.stretch_to_contain(&page_mbr);
-                partitions.push(Partition {
-                    elements: chunk,
-                    page_mbr,
-                    partition_mbr,
-                    neighbors: Vec::new(),
-                });
-            }
-        }
+        partition_slab(slab, x_tile, pn, capacity, &mut partitions);
     }
     partitions
 }

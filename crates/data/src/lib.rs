@@ -18,15 +18,24 @@
 //! first `k` logical units (neurons, clusters, blobs) of a generation are
 //! identical across calls with different totals, which is how the paper's
 //! density sweeps "keep the volume the same but gradually add elements".
+//!
+//! Every generator also has a **streaming form** (see [`source`]): an
+//! [`source::EntrySource`] that emits the identical entry sequence in
+//! bounded chunks, so the out-of-core build pipeline can index datasets
+//! that are never materialized in memory. The `Vec`-returning functions
+//! are thin wrappers over the sources.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod mesh;
 pub mod nbody;
 pub mod neuron;
+pub mod source;
 pub mod uniform;
 pub mod workload;
+
+pub use source::{EntryIter, EntrySource, VecSource};
 
 use flat_geom::{Aabb, Point3};
 

@@ -7,6 +7,7 @@
 //! deterministic noise, producing organic, bumpy closed surfaces. Several
 //! *blobs* can be combined to mimic multi-lobed anatomy.
 
+use crate::source::EntrySource;
 use crate::substream;
 use flat_geom::{Aabb, Point3, Shape, Triangle};
 use flat_rtree::Entry;
@@ -55,8 +56,9 @@ impl MeshConfig {
     }
 }
 
-/// Generates the triangles.
-pub fn mesh_triangles(config: &MeshConfig) -> Vec<Triangle> {
+/// Subdivision level and blob radius for `config` (20 · 4^level triangles
+/// per blob).
+fn blob_geometry(config: &MeshConfig) -> (u32, f64) {
     assert!(config.blobs > 0, "at least one blob required");
     let per_blob = config.min_triangles.div_ceil(config.blobs);
     // Icosahedron subdivision: 20 · 4^k triangles per blob.
@@ -64,36 +66,94 @@ pub fn mesh_triangles(config: &MeshConfig) -> Vec<Triangle> {
     while 20usize << (2 * level) < per_blob {
         level += 1;
     }
-
-    let mut triangles = Vec::with_capacity(config.blobs * (20 << (2 * level)));
     let extent = config.domain.extents();
     let blob_radius = 0.25 * extent.x.min(extent.y).min(extent.z) / (config.blobs as f64).cbrt();
+    (level, blob_radius)
+}
+
+/// Generates one blob's triangles into `out`.
+fn grow_blob(config: &MeshConfig, level: u32, blob_radius: f64, b: usize, out: &mut Vec<Triangle>) {
+    let mut rng = StdRng::seed_from_u64(substream(config.seed, b as u64));
+    let center = Point3::new(
+        rng.gen_range(config.domain.min.x + blob_radius..config.domain.max.x - blob_radius),
+        rng.gen_range(config.domain.min.y + blob_radius..config.domain.max.y - blob_radius),
+        rng.gen_range(config.domain.min.z + blob_radius..config.domain.max.z - blob_radius),
+    );
+    blob(center, blob_radius, level, config.roughness, &mut rng, out);
+}
+
+/// Generates the triangles.
+pub fn mesh_triangles(config: &MeshConfig) -> Vec<Triangle> {
+    let (level, blob_radius) = blob_geometry(config);
+    let mut triangles = Vec::with_capacity(config.blobs * (20 << (2 * level)));
     for b in 0..config.blobs {
-        let mut rng = StdRng::seed_from_u64(substream(config.seed, b as u64));
-        let center = Point3::new(
-            rng.gen_range(config.domain.min.x + blob_radius..config.domain.max.x - blob_radius),
-            rng.gen_range(config.domain.min.y + blob_radius..config.domain.max.y - blob_radius),
-            rng.gen_range(config.domain.min.z + blob_radius..config.domain.max.z - blob_radius),
-        );
-        blob(
-            center,
-            blob_radius,
-            level,
-            config.roughness,
-            &mut rng,
-            &mut triangles,
-        );
+        grow_blob(config, level, blob_radius, b, &mut triangles);
     }
     triangles
 }
 
-/// The triangles as index entries (sequential ids).
+/// The triangles as index entries (sequential ids); thin wrapper over
+/// [`MeshSource`].
 pub fn mesh_entries(config: &MeshConfig) -> Vec<Entry> {
-    mesh_triangles(config)
-        .iter()
-        .enumerate()
-        .map(|(i, t)| Entry::new(i as u64, t.mbr()))
-        .collect()
+    MeshSource::new(config.clone()).collect_entries()
+}
+
+/// Streaming form of [`mesh_entries`]: emits one blob per chunk, holding
+/// only that blob's triangles in memory. Ids are the same running sequence
+/// the `Vec` twin assigns.
+pub struct MeshSource {
+    config: MeshConfig,
+    level: u32,
+    blob_radius: f64,
+    next_blob: usize,
+    next_id: u64,
+    buffer: Vec<Triangle>,
+}
+
+impl MeshSource {
+    /// Creates the source.
+    ///
+    /// # Panics
+    /// Panics if the configuration has no blobs (same contract as
+    /// [`mesh_triangles`]).
+    pub fn new(config: MeshConfig) -> MeshSource {
+        let (level, blob_radius) = blob_geometry(&config);
+        MeshSource {
+            config,
+            level,
+            blob_radius,
+            next_blob: 0,
+            next_id: 0,
+            buffer: Vec::new(),
+        }
+    }
+}
+
+impl EntrySource for MeshSource {
+    fn len_hint(&self) -> Option<u64> {
+        Some((self.config.blobs * (20 << (2 * self.level))) as u64)
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<Entry>) -> bool {
+        if self.next_blob >= self.config.blobs {
+            return false;
+        }
+        self.buffer.clear();
+        grow_blob(
+            &self.config,
+            self.level,
+            self.blob_radius,
+            self.next_blob,
+            &mut self.buffer,
+        );
+        out.extend(self.buffer.iter().map(|t| {
+            let entry = Entry::new(self.next_id, t.mbr());
+            self.next_id += 1;
+            entry
+        }));
+        self.next_blob += 1;
+        true
+    }
 }
 
 /// Builds one displaced icosphere.
@@ -269,6 +329,25 @@ mod tests {
             mean_extent < surface.extents().length() / 20.0,
             "triangles too coarse: {mean_extent}"
         );
+    }
+
+    #[test]
+    fn source_streams_one_blob_per_chunk() {
+        let config = MeshConfig::brain(3000, 13);
+        let expected: Vec<Entry> = mesh_triangles(&config)
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Entry::new(i as u64, t.mbr()))
+            .collect();
+        let mut source = MeshSource::new(config.clone());
+        assert_eq!(source.len_hint(), Some(expected.len() as u64));
+        let mut streamed = Vec::new();
+        let mut chunks = 0;
+        while source.next_chunk(&mut streamed) {
+            chunks += 1;
+        }
+        assert_eq!(chunks, config.blobs);
+        assert_eq!(streamed, expected);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! dense halos. We reproduce that with Plummer-profile clusters — the
 //! standard analytic halo model — plus a uniform background field.
 
+use crate::source::{EntrySource, DEFAULT_CHUNK};
 use crate::substream;
 use flat_geom::{Aabb, Point3};
 use flat_rtree::Entry;
@@ -70,8 +71,9 @@ impl NBodyConfig {
     }
 }
 
-/// Generates the particle positions.
-pub fn nbody_points(config: &NBodyConfig) -> Vec<Point3> {
+/// Validates `config` and derives the cluster centers and Plummer scale
+/// radius (one substream per cluster; prefix-stable).
+fn cluster_setup(config: &NBodyConfig) -> (Vec<Point3>, f64) {
     assert!(config.clusters > 0, "at least one cluster required");
     assert!(
         (0.0..=1.0).contains(&config.background_fraction),
@@ -84,8 +86,6 @@ pub fn nbody_points(config: &NBodyConfig) -> Vec<Point3> {
         .min(domain.extents().y)
         .min(domain.extents().z);
     let scale = edge * config.scale_radius_fraction;
-
-    // Cluster centers: one substream per cluster (prefix-stable).
     let centers: Vec<Point3> = (0..config.clusters)
         .map(|c| {
             let mut rng = StdRng::seed_from_u64(substream(config.seed, c as u64));
@@ -96,33 +96,92 @@ pub fn nbody_points(config: &NBodyConfig) -> Vec<Point3> {
             )
         })
         .collect();
+    (centers, scale)
+}
 
+/// Samples one particle position (background or halo member).
+fn sample_particle(
+    config: &NBodyConfig,
+    centers: &[Point3],
+    scale: f64,
+    rng: &mut StdRng,
+) -> Point3 {
+    let domain = &config.domain;
+    if rng.gen_bool(config.background_fraction) {
+        Point3::new(
+            rng.gen_range(domain.min.x..domain.max.x),
+            rng.gen_range(domain.min.y..domain.max.y),
+            rng.gen_range(domain.min.z..domain.max.z),
+        )
+    } else {
+        let center = centers[rng.gen_range(0..centers.len())];
+        let p = center + plummer_offset(rng, scale);
+        clamp_to(domain, p)
+    }
+}
+
+/// Generates the particle positions.
+pub fn nbody_points(config: &NBodyConfig) -> Vec<Point3> {
+    let (centers, scale) = cluster_setup(config);
     let mut rng = StdRng::seed_from_u64(substream(config.seed, u64::MAX / 2));
     (0..config.particles)
-        .map(|_| {
-            if rng.gen_bool(config.background_fraction) {
-                Point3::new(
-                    rng.gen_range(domain.min.x..domain.max.x),
-                    rng.gen_range(domain.min.y..domain.max.y),
-                    rng.gen_range(domain.min.z..domain.max.z),
-                )
-            } else {
-                let center = centers[rng.gen_range(0..centers.len())];
-                let p = center + plummer_offset(&mut rng, scale);
-                clamp_to(domain, p)
-            }
-        })
+        .map(|_| sample_particle(config, &centers, scale, &mut rng))
         .collect()
 }
 
 /// The particles as index entries (degenerate point MBRs, matching the
-/// paper's "vertices").
+/// paper's "vertices"); thin wrapper over [`NBodySource`].
 pub fn nbody_entries(config: &NBodyConfig) -> Vec<Entry> {
-    nbody_points(config)
-        .iter()
-        .enumerate()
-        .map(|(i, p)| Entry::new(i as u64, Aabb::point(*p)))
-        .collect()
+    NBodySource::new(config.clone()).collect_entries()
+}
+
+/// Streaming form of [`nbody_entries`]: the particle RNG walks the same
+/// sequence as [`nbody_points`], emitted [`DEFAULT_CHUNK`] particles per
+/// chunk; memory is the cluster-center table plus one chunk.
+pub struct NBodySource {
+    config: NBodyConfig,
+    centers: Vec<Point3>,
+    scale: f64,
+    rng: StdRng,
+    next: usize,
+}
+
+impl NBodySource {
+    /// Creates the source.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (same contract as
+    /// [`nbody_points`]).
+    pub fn new(config: NBodyConfig) -> NBodySource {
+        let (centers, scale) = cluster_setup(&config);
+        let rng = StdRng::seed_from_u64(substream(config.seed, u64::MAX / 2));
+        NBodySource {
+            config,
+            centers,
+            scale,
+            rng,
+            next: 0,
+        }
+    }
+}
+
+impl EntrySource for NBodySource {
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.config.particles as u64)
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<Entry>) -> bool {
+        if self.next >= self.config.particles {
+            return false;
+        }
+        let end = (self.next + DEFAULT_CHUNK).min(self.config.particles);
+        for i in self.next..end {
+            let p = sample_particle(&self.config, &self.centers, self.scale, &mut self.rng);
+            out.push(Entry::new(i as u64, Aabb::point(p)));
+        }
+        self.next = end;
+        true
+    }
 }
 
 /// Samples a displacement from a Plummer sphere with scale radius `a`,
@@ -233,6 +292,18 @@ mod tests {
             assert_eq!(e.mbr.volume(), 0.0);
             assert_eq!(e.mbr.min, e.mbr.max);
         }
+    }
+
+    #[test]
+    fn source_streams_the_same_particles() {
+        let config = NBodyConfig::dark_matter(2 * DEFAULT_CHUNK + 77, 21);
+        let expected: Vec<Entry> = nbody_points(&config)
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Entry::new(i as u64, Aabb::point(*p)))
+            .collect();
+        let streamed: Vec<Entry> = NBodySource::new(config).into_entry_iter().collect();
+        assert_eq!(streamed, expected);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! i)`, so a 50-neuron model is exactly the first 50 neurons of a
 //! 100-neuron model.
 
+use crate::source::EntrySource;
 use crate::substream;
 use flat_geom::{Aabb, Cylinder, Point3, Shape};
 use flat_rtree::Entry;
@@ -116,6 +117,53 @@ impl NeuronModel {
     /// `true` if the model has no segments.
     pub fn is_empty(&self) -> bool {
         self.cylinders.is_empty()
+    }
+}
+
+/// Streaming form of [`NeuronModel::generate`]`.entries()`: grows one
+/// neuron per chunk and emits its segments as entries, holding only that
+/// neuron's cylinders in memory. Entry ids are the same running sequence
+/// the materialized model assigns, so the streamed sequence is
+/// element-for-element identical to `NeuronModel::entries()` (a test pins
+/// this) — and, like the model, prefix-stable across neuron counts.
+pub struct NeuronSource {
+    config: NeuronConfig,
+    next_neuron: usize,
+    next_id: u64,
+    buffer: Vec<Cylinder>,
+}
+
+impl NeuronSource {
+    /// Creates the source.
+    pub fn new(config: NeuronConfig) -> NeuronSource {
+        NeuronSource {
+            config,
+            next_neuron: 0,
+            next_id: 0,
+            buffer: Vec::new(),
+        }
+    }
+}
+
+impl EntrySource for NeuronSource {
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.config.total_segments() as u64)
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<Entry>) -> bool {
+        if self.next_neuron >= self.config.neurons {
+            return false;
+        }
+        let mut rng = StdRng::seed_from_u64(substream(self.config.seed, self.next_neuron as u64));
+        self.buffer.clear();
+        grow_neuron(&self.config, &mut rng, &mut self.buffer);
+        out.extend(self.buffer.iter().map(|c| {
+            let entry = Entry::new(self.next_id, c.mbr());
+            self.next_id += 1;
+            entry
+        }));
+        self.next_neuron += 1;
+        true
     }
 }
 
@@ -233,6 +281,15 @@ mod tests {
         for c in &model.cylinders {
             assert!(fence.contains(&c.mbr()), "segment escaped: {:?}", c.mbr());
         }
+    }
+
+    #[test]
+    fn source_streams_the_model_entries() {
+        use crate::source::EntrySource;
+        let config = small();
+        let model = NeuronModel::generate(&config);
+        let streamed: Vec<Entry> = NeuronSource::new(config).into_entry_iter().collect();
+        assert_eq!(streamed, model.entries());
     }
 
     #[test]

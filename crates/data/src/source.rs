@@ -1,0 +1,177 @@
+//! The [`EntrySource`] streaming API: generators emit entries in bounded
+//! chunks instead of materializing whole datasets.
+//!
+//! The paper's datasets are "considerably bigger than main memory"
+//! (50–450 M elements); a build pipeline that scales to them can never be
+//! handed a `Vec` of everything. Every generator in this crate therefore
+//! exposes a *source* — [`UniformSource`](crate::uniform::UniformSource),
+//! [`NeuronSource`](crate::neuron::NeuronSource),
+//! [`MeshSource`](crate::mesh::MeshSource),
+//! [`NBodySource`](crate::nbody::NBodySource) — that emits entries chunk by
+//! chunk in the exact order of its `Vec`-returning twin (the `Vec` fns are
+//! thin wrappers over the sources, and tests pin the equivalence). Sources
+//! are resumable generators: memory is one chunk, not one dataset.
+//!
+//! [`EntrySource::into_entry_iter`] adapts any source to a plain
+//! `Iterator<Item = Entry>`, which is what the streaming index builder
+//! (`flat_core::FlatIndexBuilder`) consumes — the builder does not depend
+//! on this crate, only on the iterator protocol.
+
+use flat_rtree::Entry;
+
+/// Preferred number of entries per chunk for element-at-a-time sources.
+/// Generators with natural unit boundaries (one neuron, one mesh blob)
+/// emit one unit per chunk instead.
+pub const DEFAULT_CHUNK: usize = 4096;
+
+/// A resumable, chunked producer of index entries.
+///
+/// Contract: repeated [`EntrySource::next_chunk`] calls append disjoint,
+/// consecutive ranges of the dataset to `out` (never clearing it) and
+/// return `true` until the dataset is exhausted, after which they return
+/// `false` without appending. The concatenation of all chunks is exactly
+/// the entry sequence of the generator's `Vec` twin — same entries, same
+/// ids, same order.
+pub trait EntrySource {
+    /// Total number of entries the source will emit, if known up front.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Appends the next chunk to `out`; returns `false` when exhausted.
+    fn next_chunk(&mut self, out: &mut Vec<Entry>) -> bool;
+
+    /// Drains the source into a single `Vec` (the `Vec`-twin behaviour).
+    fn collect_entries(mut self) -> Vec<Entry>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::with_capacity(self.len_hint().unwrap_or(0) as usize);
+        while self.next_chunk(&mut out) {}
+        out
+    }
+
+    /// Adapts the source into a plain entry iterator (one bounded chunk
+    /// buffered at a time).
+    fn into_entry_iter(self) -> EntryIter<Self>
+    where
+        Self: Sized,
+    {
+        EntryIter {
+            source: self,
+            buf: Vec::new(),
+            pos: 0,
+            done: false,
+        }
+    }
+}
+
+/// Iterator adapter over an [`EntrySource`]; holds one chunk in memory.
+pub struct EntryIter<S: EntrySource> {
+    source: S,
+    buf: Vec<Entry>,
+    pos: usize,
+    done: bool,
+}
+
+impl<S: EntrySource> Iterator for EntryIter<S> {
+    type Item = Entry;
+
+    fn next(&mut self) -> Option<Entry> {
+        loop {
+            if self.pos < self.buf.len() {
+                let entry = self.buf[self.pos];
+                self.pos += 1;
+                return Some(entry);
+            }
+            if self.done {
+                return None;
+            }
+            self.buf.clear();
+            self.pos = 0;
+            if !self.source.next_chunk(&mut self.buf) {
+                self.done = true;
+            }
+        }
+    }
+}
+
+/// An [`EntrySource`] over an existing `Vec` — the bridge for callers that
+/// already hold their entries in memory.
+pub struct VecSource {
+    entries: Vec<Entry>,
+    next: usize,
+}
+
+impl VecSource {
+    /// Wraps `entries`.
+    pub fn new(entries: Vec<Entry>) -> VecSource {
+        VecSource { entries, next: 0 }
+    }
+}
+
+impl EntrySource for VecSource {
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.entries.len() as u64)
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<Entry>) -> bool {
+        if self.next >= self.entries.len() {
+            return false;
+        }
+        let end = (self.next + DEFAULT_CHUNK).min(self.entries.len());
+        out.extend_from_slice(&self.entries[self.next..end]);
+        self.next = end;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_geom::{Aabb, Point3};
+
+    fn sample(n: usize) -> Vec<Entry> {
+        (0..n)
+            .map(|i| Entry::new(i as u64, Aabb::cube(Point3::splat(i as f64), 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn vec_source_round_trips() {
+        let entries = sample(10_000);
+        let collected = VecSource::new(entries.clone()).collect_entries();
+        assert_eq!(collected, entries);
+    }
+
+    #[test]
+    fn entry_iter_matches_collect() {
+        let entries = sample(9001);
+        let iterated: Vec<Entry> = VecSource::new(entries.clone()).into_entry_iter().collect();
+        assert_eq!(iterated, entries);
+    }
+
+    #[test]
+    fn chunks_are_bounded() {
+        let mut source = VecSource::new(sample(3 * DEFAULT_CHUNK + 1));
+        let mut out = Vec::new();
+        let mut chunks = 0;
+        let mut last = 0;
+        while source.next_chunk(&mut out) {
+            assert!(out.len() - last <= DEFAULT_CHUNK, "oversized chunk");
+            last = out.len();
+            chunks += 1;
+        }
+        assert_eq!(chunks, 4);
+        assert_eq!(out.len(), 3 * DEFAULT_CHUNK + 1);
+    }
+
+    #[test]
+    fn empty_source_is_exhausted_immediately() {
+        let mut source = VecSource::new(Vec::new());
+        let mut out = Vec::new();
+        assert!(!source.next_chunk(&mut out));
+        assert!(out.is_empty());
+        assert_eq!(VecSource::new(Vec::new()).into_entry_iter().count(), 0);
+    }
+}

@@ -8,6 +8,7 @@
 //! between 5 and 35 µm … the lengths on all axes are normalized in order to
 //! obtain elements of equal volume").
 
+use crate::source::{EntrySource, DEFAULT_CHUNK};
 use crate::substream;
 use flat_geom::{range_query_with_volume, Aabb, Point3};
 use flat_rtree::Entry;
@@ -60,34 +61,71 @@ impl UniformConfig {
     }
 }
 
-/// Generates the element cloud.
+/// Generates the element cloud (thin wrapper over [`UniformSource`]).
 ///
 /// Deterministic per element: element `i` depends only on `(seed, i)`, so
 /// growing `count` extends the dataset (prefix-stable).
 pub fn uniform_entries(config: &UniformConfig) -> Vec<Entry> {
+    UniformSource::new(config.clone()).collect_entries()
+}
+
+/// One element of the cloud. Depends only on `(config, i)`.
+fn entry_at(config: &UniformConfig, i: usize) -> Entry {
     let (lo, hi) = config.length_range;
-    assert!(lo > 0.0 && hi >= lo, "invalid length range ({lo}, {hi})");
-    (0..config.count)
-        .map(|i| {
-            let mut rng = StdRng::seed_from_u64(substream(config.seed, i as u64));
-            let center = Point3::new(
-                rng.gen_range(config.domain.min.x..config.domain.max.x),
-                rng.gen_range(config.domain.min.y..config.domain.max.y),
-                rng.gen_range(config.domain.min.z..config.domain.max.z),
-            );
-            let proportions = if lo == hi {
-                [1.0, 1.0, 1.0]
-            } else {
-                [
-                    rng.gen_range(lo..hi),
-                    rng.gen_range(lo..hi),
-                    rng.gen_range(lo..hi),
-                ]
-            };
-            let mbr = range_query_with_volume(center, config.element_volume, proportions);
-            Entry::new(i as u64, mbr)
-        })
-        .collect()
+    let mut rng = StdRng::seed_from_u64(substream(config.seed, i as u64));
+    let center = Point3::new(
+        rng.gen_range(config.domain.min.x..config.domain.max.x),
+        rng.gen_range(config.domain.min.y..config.domain.max.y),
+        rng.gen_range(config.domain.min.z..config.domain.max.z),
+    );
+    let proportions = if lo == hi {
+        [1.0, 1.0, 1.0]
+    } else {
+        [
+            rng.gen_range(lo..hi),
+            rng.gen_range(lo..hi),
+            rng.gen_range(lo..hi),
+        ]
+    };
+    let mbr = range_query_with_volume(center, config.element_volume, proportions);
+    Entry::new(i as u64, mbr)
+}
+
+/// Streaming form of [`uniform_entries`]: emits the same entries in the
+/// same order, [`DEFAULT_CHUNK`] elements per chunk, holding only the
+/// current chunk in memory.
+pub struct UniformSource {
+    config: UniformConfig,
+    next: usize,
+}
+
+impl UniformSource {
+    /// Creates the source.
+    ///
+    /// # Panics
+    /// Panics if the configured length range is invalid (same contract as
+    /// [`uniform_entries`]).
+    pub fn new(config: UniformConfig) -> UniformSource {
+        let (lo, hi) = config.length_range;
+        assert!(lo > 0.0 && hi >= lo, "invalid length range ({lo}, {hi})");
+        UniformSource { config, next: 0 }
+    }
+}
+
+impl EntrySource for UniformSource {
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.config.count as u64)
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<Entry>) -> bool {
+        if self.next >= self.config.count {
+            return false;
+        }
+        let end = (self.next + DEFAULT_CHUNK).min(self.config.count);
+        out.extend((self.next..end).map(|i| entry_at(&self.config, i)));
+        self.next = end;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +186,17 @@ mod tests {
         let a = uniform_entries(&UniformConfig::paper_baseline(100, 13));
         let b = uniform_entries(&UniformConfig::paper_baseline(200, 13));
         assert_eq!(&b[..100], &a[..]);
+    }
+
+    #[test]
+    fn source_streams_the_same_entries() {
+        let config = UniformConfig {
+            length_range: (5.0, 35.0),
+            ..UniformConfig::paper_baseline(2 * DEFAULT_CHUNK + 33, 17)
+        };
+        let vec_path = uniform_entries(&config);
+        let streamed: Vec<Entry> = UniformSource::new(config).into_entry_iter().collect();
+        assert_eq!(streamed, vec_path);
     }
 
     #[test]

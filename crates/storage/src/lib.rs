@@ -28,8 +28,11 @@
 //!   reads (the paper measures a 97.8–98.8 % disk-time share, §VII-E.2).
 //!   [`ThrottledStore`] makes the same latency *real* for concurrency
 //!   experiments by blocking each physical read.
+//! * [`spill`] — spill runs and external sorting over store pages: the
+//!   substrate of the streaming (out-of-core) index build, which must
+//!   order datasets bigger than main memory by their STR sort keys.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod access;
@@ -38,6 +41,7 @@ mod disk;
 mod error;
 mod page;
 mod pool;
+pub mod spill;
 mod store;
 mod sync_util;
 
@@ -47,6 +51,9 @@ pub use disk::DiskModel;
 pub use error::StorageError;
 pub use page::{Page, PageCursor, PAGE_SIZE};
 pub use pool::{BufferPool, IoStats, KindStats};
+pub use spill::{
+    ExternalSorter, RunHandle, RunReader, RunWriter, SortedStream, SpillRecord, SpillStats,
+};
 pub use store::{FileStore, MemStore, PageStore, ThrottledStore};
 
 /// Identifies a page within a [`PageStore`].

@@ -1,0 +1,151 @@
+//! Build-path equivalence: the streaming out-of-core bulkload
+//! (`FlatIndexBuilder`) must produce a **bit-identical** index to the
+//! in-memory `FlatIndex::build` — same page ids, same page bytes — on the
+//! paper's dataset families, spilling or not. The built indexes must also
+//! answer queries identically, which pins the equivalence end to end.
+
+use flat_repro::prelude::*;
+
+/// Byte dump of every page in the pool's store, in allocation order.
+fn pages_of(pool: &BufferPool<MemStore>) -> Vec<Vec<u8>> {
+    let store = pool.store();
+    let mut page = Page::new();
+    (0..store.num_pages())
+        .map(|i| {
+            store.read_page(PageId(i), &mut page).unwrap();
+            page.bytes().to_vec()
+        })
+        .collect()
+}
+
+type InMemoryBuild = (BufferPool<MemStore>, FlatIndex);
+type StreamedBuild = (BufferPool<MemStore>, FlatIndex, StreamingStats);
+
+/// Builds `entries` both ways and asserts page-level identity; returns
+/// the two (pool, index) pairs for further checks.
+fn build_both(
+    entries: Vec<Entry>,
+    options: FlatOptions,
+    spill_budget: usize,
+) -> (InMemoryBuild, StreamedBuild) {
+    let mut pool_mem = BufferPool::new(MemStore::new(), 1 << 16);
+    let (index_mem, _) = FlatIndex::build(&mut pool_mem, entries.clone(), options).unwrap();
+
+    let mut pool_str = BufferPool::new(MemStore::new(), 1 << 16);
+    let (index_str, _, streaming) = FlatIndexBuilder::new(options)
+        .spill_budget(spill_budget)
+        .build(&mut pool_str, entries)
+        .unwrap();
+
+    let mem_pages = pages_of(&pool_mem);
+    let str_pages = pages_of(&pool_str);
+    assert_eq!(
+        str_pages.len(),
+        mem_pages.len(),
+        "page counts differ between build paths"
+    );
+    for (i, (a, b)) in str_pages.iter().zip(&mem_pages).enumerate() {
+        assert_eq!(a, b, "page {i} differs between build paths");
+    }
+
+    ((pool_mem, index_mem), (pool_str, index_str, streaming))
+}
+
+#[test]
+fn neuron_dataset_builds_bit_identically() {
+    let config = NeuronConfig::bbp(30, 400, 42);
+    let model = NeuronModel::generate(&config);
+    let options = FlatOptions {
+        domain: Some(config.domain),
+        ..FlatOptions::default()
+    };
+    // Budget far below the 12k entries: every pipeline sorter spills.
+    let (_, (_, _, streaming)) = build_both(model.entries(), options, 1000);
+    assert!(streaming.spill.runs > 0, "expected the build to spill");
+}
+
+#[test]
+fn uniform_dataset_builds_bit_identically() {
+    let config = UniformConfig::scaled_baseline(15_000, 7);
+    let entries = uniform_entries(&config);
+    let options = FlatOptions {
+        domain: Some(config.domain),
+        ..FlatOptions::default()
+    };
+    let (_, (_, _, streaming)) = build_both(entries, options, 1200);
+    assert!(streaming.spill.runs > 0, "expected the build to spill");
+}
+
+#[test]
+fn streamed_build_from_a_source_never_materializes_the_dataset() {
+    // The real out-of-core path: entries flow straight from the chunked
+    // generator into the builder. Compare against the materialized path.
+    let config = NeuronConfig::bbp(20, 300, 11);
+    let options = FlatOptions {
+        domain: Some(config.domain),
+        ..FlatOptions::default()
+    };
+
+    let model = NeuronModel::generate(&config);
+    let mut pool_mem = BufferPool::new(MemStore::new(), 1 << 16);
+    let (_, _) = FlatIndex::build(&mut pool_mem, model.entries(), options).unwrap();
+
+    let mut pool_str = BufferPool::new(MemStore::new(), 1 << 16);
+    let source = NeuronSource::new(config).into_entry_iter();
+    let (index, stats, streaming) = FlatIndexBuilder::new(options)
+        .spill_budget(800)
+        .build(&mut pool_str, source)
+        .unwrap();
+
+    assert_eq!(pages_of(&pool_str), pages_of(&pool_mem));
+    assert_eq!(index.num_elements(), model.len() as u64);
+    assert_eq!(stats.num_partitions as u64, index.num_object_pages());
+    // The heavy state stayed bounded: far fewer entries resident than the
+    // dataset holds, and only a slab's worth of full partitions.
+    assert!(streaming.peak_resident_entries < model.len() as u64 / 2);
+    assert!(streaming.peak_resident_partitions < stats.num_partitions as u64);
+}
+
+#[test]
+fn streamed_index_answers_queries_identically() {
+    let config = UniformConfig::scaled_baseline(10_000, 19);
+    let entries = uniform_entries(&config);
+    let options = FlatOptions {
+        domain: Some(config.domain),
+        ..FlatOptions::default()
+    };
+    let ((pool_mem, index_mem), (pool_str, index_str, _)) = build_both(entries, options, 900);
+
+    let queries = range_queries(
+        &config.domain,
+        &WorkloadConfig {
+            count: 40,
+            volume_fraction: 1e-3,
+            proportion_range: (1.0, 3.0),
+            seed: 5,
+        },
+    );
+    for q in &queries {
+        let a = index_mem.range_query(&pool_mem, q).unwrap();
+        let b = index_str.range_query(&pool_str, q).unwrap();
+        assert_eq!(a, b, "query {q} disagrees between build paths");
+    }
+}
+
+#[test]
+fn meta_order_and_inflation_options_stay_bit_identical() {
+    let config = UniformConfig::scaled_baseline(6_000, 23);
+    let entries = uniform_entries(&config);
+    for options in [
+        FlatOptions {
+            meta_order: flat_repro::core::MetaOrder::StrOutput,
+            ..FlatOptions::default()
+        },
+        FlatOptions {
+            partition_volume_scale: 1.5,
+            ..FlatOptions::default()
+        },
+    ] {
+        build_both(entries.clone(), options, 700);
+    }
+}
