@@ -1,0 +1,8 @@
+//! Dynamic updates: churn throughput, query slowdown vs delta fraction,
+//! and post-compaction recovery (verified byte-identical to a rebuild).
+use flat_bench::figures::{update, Context};
+use flat_bench::Scale;
+
+fn main() {
+    update::exp_update(&Context::new(Scale::from_env())).emit();
+}

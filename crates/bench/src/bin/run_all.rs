@@ -3,7 +3,7 @@
 //! Respects `FLAT_SCALE`, `FLAT_QUERIES` and `FLAT_RESULTS_DIR`.
 use flat_bench::figures::{
     ablation, analysis, batch, build, build_scale, concurrency, knn, lss, motivation, other, sn,
-    Context,
+    update, Context,
 };
 use flat_bench::Scale;
 use std::time::Instant;
@@ -25,6 +25,7 @@ const SUITES: &[(&str, &str)] = &[
     ),
     ("concurrency", "exp_concurrency"),
     ("batch", "exp_batch, exp_knn"),
+    ("update", "exp_update"),
     ("other-datasets", "fig22, fig23"),
 ];
 
@@ -100,6 +101,9 @@ fn main() {
     println!("=== Batched execution & kNN (extensions) ===\n");
     batch::exp_batch(&ctx).emit();
     knn::exp_knn(&ctx).emit();
+
+    println!("=== Dynamic updates & compaction (extension) ===\n");
+    update::exp_update(&ctx).emit();
 
     println!("=== Other data sets (Section VIII) ===\n");
     let per_million = (1000.0 * scale.max_density() as f64 / 450_000.0) as usize;

@@ -16,6 +16,7 @@ pub mod lss;
 pub mod motivation;
 pub mod other;
 pub mod sn;
+pub mod update;
 
 use crate::datasets::DensitySweep;
 use crate::Scale;
@@ -122,5 +123,11 @@ mod tests {
 
         let strategies = ablation::exp_bulkload_strategies(&ctx);
         assert_eq!(strategies.rows.len(), 4);
+
+        // Base + churn steps + compact; the driver itself asserts the
+        // compacted pages are byte-identical to a fresh rebuild.
+        let updates = update::exp_update(&ctx);
+        assert_eq!(updates.rows.len(), 2 + update::CHURN_STEPS);
+        assert_eq!(updates.rows.last().unwrap().last().unwrap(), "yes");
     }
 }

@@ -1,0 +1,165 @@
+//! `exp_update` (extension): dynamic updates over a FLAT index — update
+//! throughput, query slowdown as the delta fraction grows, and
+//! post-compaction recovery.
+//!
+//! The driver builds a FLAT index over the neuron model (WithIds layout —
+//! the dynamic layer addresses elements by id), then applies timestep
+//! churn batches (`flat_data::update::ChurnWorkload`: delete a sample,
+//! re-insert displaced replacements) through a `DeltaIndex`. After each
+//! step it runs the SN workload cold-cache over (a) the updated index and
+//! (b) a fresh rebuild over the same surviving elements, reporting
+//! physical page reads per query for both — the honest price of the delta
+//! layer at that delta fraction. The final step compacts and re-measures:
+//! the compacted pages are verified **byte-identical** to the fresh
+//! rebuild (the run aborts if not), so recovery is exact by construction.
+
+use super::Context;
+use crate::report::Table;
+use flat_core::{DeltaIndex, FlatIndex, FlatOptions};
+use flat_data::update::{ChurnConfig, ChurnWorkload};
+use flat_geom::Aabb;
+use flat_rtree::{Entry, LeafLayout};
+use flat_storage::{BufferPool, MemStore};
+use std::time::Instant;
+
+/// Churn steps measured (each replaces [`CHURN_FRACTION`] of the model).
+pub const CHURN_STEPS: usize = 4;
+
+/// Fraction of the live population replaced per churn step.
+pub const CHURN_FRACTION: f64 = 0.05;
+
+fn options(domain: Aabb) -> FlatOptions {
+    FlatOptions {
+        layout: LeafLayout::WithIds,
+        domain: Some(domain),
+        ..FlatOptions::default()
+    }
+}
+
+/// Cold-cache physical page reads per query of the SN workload.
+fn reads_per_query<I>(pool: &BufferPool<MemStore>, queries: &[Aabb], mut run: I) -> f64
+where
+    I: FnMut(&BufferPool<MemStore>, &Aabb),
+{
+    pool.clear_cache();
+    pool.reset_stats();
+    for q in queries {
+        pool.clear_cache(); // the paper's protocol: every query starts cold
+        run(pool, q);
+    }
+    pool.stats().total_physical_reads() as f64 / queries.len() as f64
+}
+
+/// A fresh bulkload over `entries` in its own pool.
+fn fresh_build(entries: Vec<Entry>, domain: Aabb) -> (BufferPool<MemStore>, FlatIndex) {
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 17);
+    let (index, _) = FlatIndex::build(&mut pool, entries, options(domain)).unwrap();
+    (pool, index)
+}
+
+/// Runs the experiment at the sweep's middle density.
+pub fn exp_update(ctx: &Context) -> Table {
+    let mut table = Table::new(
+        "exp_update",
+        "Dynamic updates: churn throughput, SN reads vs delta fraction, \
+         post-compaction recovery (verified byte-identical to a rebuild)",
+        &[
+            "step",
+            "live",
+            "delta parts",
+            "tombstones",
+            "delta frac",
+            "update [kelem/s]",
+            "SN reads/q",
+            "rebuilt reads/q",
+            "slowdown",
+            "identical",
+        ],
+    );
+
+    let density = ctx.scale.densities[ctx.scale.densities.len() / 2];
+    let domain = ctx.sweep.domain();
+    let entries = ctx.sweep.at(density);
+    let queries = ctx.scale.sn_workload(&domain);
+
+    let mut pool = BufferPool::new(MemStore::new(), ctx.scale.pool_pages);
+    let (index, _) = FlatIndex::build(&mut pool, entries.clone(), options(domain)).unwrap();
+    let mut delta = DeltaIndex::new(&pool, index, options(domain)).unwrap();
+    let mut churn = ChurnWorkload::new(
+        entries,
+        domain,
+        ChurnConfig::steady(
+            (density as f64 * CHURN_FRACTION) as usize,
+            ctx.scale.seed ^ 0x5550,
+        ),
+    );
+
+    let measure = |label: &str,
+                   delta: &DeltaIndex,
+                   pool: &BufferPool<MemStore>,
+                   live: &[Entry],
+                   upd: String,
+                   expect_identical: bool|
+     -> Vec<String> {
+        let updated = reads_per_query(pool, &queries, |p, q| {
+            delta.range_query(p, q).unwrap();
+        });
+        let (fresh_pool, fresh_index) = fresh_build(live.to_vec(), domain);
+        let rebuilt = reads_per_query(&fresh_pool, &queries, |p, q| {
+            fresh_index.range_query(p, q).unwrap();
+        });
+        let identical = if expect_identical {
+            flat_core::verify_compacted_store(pool.store(), fresh_pool.store())
+                .unwrap_or_else(|e| panic!("compacted index diverged from the rebuild: {e}"));
+            "yes"
+        } else {
+            "-"
+        };
+        vec![
+            label.to_string(),
+            delta.num_live_elements().to_string(),
+            delta.num_delta_partitions().to_string(),
+            delta.num_tombstones().to_string(),
+            format!("{:.2}", delta.delta_fraction()),
+            upd,
+            format!("{updated:.1}"),
+            format!("{rebuilt:.1}"),
+            format!("{:.2}x", updated / rebuilt.max(1e-9)),
+            identical.to_string(),
+        ]
+    };
+
+    table.push_row(measure(
+        "base",
+        &delta,
+        &pool,
+        churn.live(),
+        "-".into(),
+        false,
+    ));
+    for step in 1..=CHURN_STEPS {
+        let batch = churn.step();
+        let touched = batch.deletes.len() + batch.inserts.len();
+        let t = Instant::now();
+        delta.delete_batch(&mut pool, &batch.deletes).unwrap();
+        delta.insert_batch(&mut pool, batch.inserts).unwrap();
+        let elapsed = t.elapsed();
+        let upd = format!("{:.0}", touched as f64 / elapsed.as_secs_f64() / 1000.0);
+        table.push_row(measure(
+            &format!("churn {step}"),
+            &delta,
+            &pool,
+            churn.live(),
+            upd,
+            false,
+        ));
+    }
+    let t = Instant::now();
+    delta.compact(&mut pool).unwrap();
+    let upd = format!(
+        "{:.0}",
+        delta.num_live_elements() as f64 / t.elapsed().as_secs_f64() / 1000.0
+    );
+    table.push_row(measure("compact", &delta, &pool, churn.live(), upd, true));
+    table
+}

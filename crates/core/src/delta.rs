@@ -1,0 +1,1295 @@
+//! Dynamic updates: [`DeltaIndex`], delta inserts/deletes over a built
+//! [`FlatIndex`] with neighbor-link repair and compaction.
+//!
+//! The paper's FLAT is a pure bulkload: the index is built once and never
+//! changes. An evolving simulation re-runs against a *churning* model —
+//! each timestep moves, adds and removes elements — and rebuilding from
+//! scratch per timestep is exactly the cost the bulkload was supposed to
+//! amortize away. This module adds bounded, incremental mutation while
+//! keeping the crawl's two invariants intact:
+//!
+//! * **Inserts** land in *delta partitions*: the batch is tiled over the
+//!   full domain by the same STR code as the bulkload
+//!   ([`crate::partition::partition`]), its object pages are appended
+//!   (reusing freed pages), and its metadata records are written to fresh
+//!   seed-leaf pages. Links are *stitched* both ways: new records point at
+//!   every intersecting live partition, and each existing record gains a
+//!   continuation chunk (spliced at the head of its chain — a same-size
+//!   in-place edit) listing its new delta neighbors. Because every batch
+//!   tiles the whole domain and cross-links against everything live, the
+//!   crawl's connectivity argument survives: within any query box, each
+//!   generation is connected through its own tiling and anchored to the
+//!   others through the cross links.
+//! * **Deletes** tombstone elements by physical location `(object page,
+//!   slot)`; queries filter tombstones at scan time. When a partition's
+//!   last live element dies the partition is *retired*: every inbound
+//!   link is pruned, its former neighbors are patched into a clique (so
+//!   crawl paths that crossed the dead partition reroute around it), its
+//!   record is flagged dead and its object page returns to the store's
+//!   free list. The clique trades link growth for crawl exactness:
+//!   contiguous mass retirement lets surviving frontier partitions
+//!   accumulate links quadratically in the frontier size, a cost that
+//!   only `compact()` resets — churn deployments should compact once the
+//!   delta fraction (or neighbor-list growth) passes a threshold rather
+//!   than retire indefinitely.
+//! * **Compaction** ([`DeltaIndex::compact`]) scans the surviving
+//!   elements, frees every page of the old index and rebuilds through the
+//!   streamed [`FlatIndexBuilder`] — producing pages **byte-identical** to
+//!   a from-scratch [`FlatIndex::build`] over the survivors (the
+//!   differential test `tests/update_equivalence.rs` asserts this), so a
+//!   compacted index is indistinguishable from a pristine bulkload.
+//!
+//! The delta layer keeps a resident *summary table* (two MBRs, a record
+//! address and a live-count per partition, ~120 bytes each) plus an
+//! id→partition locator for the live elements. That is the memtable-style
+//! price of mutability; `compact` drops all of it. Updates require
+//! exclusive access (`&mut` pool — [`flat_storage::PageWrite`] is also
+//! implemented by [`flat_storage::ConcurrentBufferPool`], so an updater
+//! can alternate with shared readers under an `RwLock` discipline:
+//! readers see pre- or post-batch pages, never a torn mix).
+//!
+//! Requirements: the base index must use [`LeafLayout::WithIds`] (deletes
+//! address elements by application id) and a fixed explicit domain
+//! ([`FlatOptions::domain`]), so that every insert batch tiles the same
+//! space as the base build.
+
+use crate::builder::FlatIndexBuilder;
+use crate::index::{BuildStats, FlatIndex, FlatOptions};
+use crate::knn::{KnnStats, Neighbor};
+use crate::meta::{
+    assign_slots, decode_meta_leaf, decode_meta_record, encode_meta_leaf, max_neighbors_per_record,
+    MetaRecord, MetaRecordId, PlannedRecord,
+};
+use crate::neighbors::NeighborSweep;
+use crate::partition::partition;
+use crate::query::{is_live, CrawlHinter, CrawlState, QueryStats, Tombstones};
+use flat_geom::{Aabb, Point3};
+use flat_rtree::node::{decode_inner, decode_leaf, encode_leaf};
+use flat_rtree::{leaf_capacity, Entry, Hit, LeafLayout};
+use flat_storage::{Page, PageId, PageKind, PageRead, PageStore, PageWrite, StorageError};
+use std::collections::{HashMap, HashSet};
+
+/// Resident summary of one partition (base or delta).
+#[derive(Debug, Clone)]
+struct PartState {
+    /// Address of the partition's primary metadata record.
+    record: MetaRecordId,
+    /// The partition's object page (freed once the partition retires).
+    object_page: PageId,
+    /// Tight MBR of the object page's elements (tombstoned included — MBRs
+    /// never shrink, so they still contain every live element).
+    page_mbr: Aabb,
+    /// The partition MBR the neighbor relation is computed on.
+    partition_mbr: Aabb,
+    /// Elements on the object page that are not tombstoned.
+    live: u32,
+    /// `true` once retired (object page freed, record flagged dead).
+    dead: bool,
+}
+
+/// What [`DeltaIndex::check_invariants`] verified, for reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaReport {
+    /// Partitions that are still live (not retired).
+    pub live_partitions: usize,
+    /// Retired partitions.
+    pub retired_partitions: usize,
+    /// Live (non-tombstoned) elements.
+    pub live_elements: u64,
+    /// Directed neighbor links verified (each symmetric pair counts twice).
+    pub neighbor_links: u64,
+}
+
+/// A mutable FLAT index: a delta layer of inserts/deletes over a bulkloaded
+/// base, query-equivalent at every point to a fresh rebuild over the
+/// surviving elements. See the module docs for the mechanism.
+#[derive(Debug)]
+pub struct DeltaIndex {
+    base: FlatIndex,
+    options: FlatOptions,
+    domain: Aabb,
+    /// Every partition ever adopted or inserted, in creation order. The
+    /// first [`DeltaIndex::base_partitions`] entries are the bulkload's.
+    parts: Vec<PartState>,
+    base_partitions: usize,
+    /// Primary record address → index into `parts`.
+    by_record: HashMap<MetaRecordId, u32>,
+    /// Live application id → index into `parts`.
+    locator: HashMap<u64, u32>,
+    /// Deleted elements by physical location.
+    tombstones: Tombstones,
+    /// Seed-leaf pages: the base's metadata pages plus every delta page.
+    meta_pages: Vec<PageId>,
+    /// Seed-tree directory pages (base only; deltas are not in the tree).
+    inner_pages: Vec<PageId>,
+    live_elements: u64,
+}
+
+/// A freshly created metadata record awaiting placement on a new
+/// seed-leaf page (a delta primary, one of its continuation chunks, or a
+/// stitch chunk spliced into an existing chain).
+struct NewRecord {
+    page_mbr: Aabb,
+    partition_mbr: Aabb,
+    object_page: PageId,
+    neighbors: Vec<NbrRef>,
+    is_continuation: bool,
+    /// Continuation: the record at this index in the same batch…
+    next: Option<usize>,
+    /// …or, for the tail of a stitch chain, the spliced record's previous
+    /// continuation (the splice inserts the chain at the head).
+    tail: Option<MetaRecordId>,
+}
+
+/// A neighbor pointer that may target a record not yet placed.
+#[derive(Clone, Copy)]
+enum NbrRef {
+    /// An already-addressable record.
+    Known(MetaRecordId),
+    /// The primary record of new partition `j` of the current batch.
+    NewPrimary(u32),
+}
+
+impl DeltaIndex {
+    /// Adopts a pristine (freshly built or freshly compacted) index.
+    ///
+    /// Scans the metadata and object pages once to build the resident
+    /// summary table and the id→partition locator.
+    ///
+    /// # Panics
+    /// Panics if the index layout is not [`LeafLayout::WithIds`] (deletes
+    /// address elements by application id), if `options.domain` is `None`
+    /// (insert batches must tile the same fixed domain as the base), or if
+    /// `options` disagree with the index.
+    pub fn new(
+        pool: &impl PageRead,
+        base: FlatIndex,
+        options: FlatOptions,
+    ) -> Result<DeltaIndex, StorageError> {
+        assert_eq!(
+            base.layout(),
+            LeafLayout::WithIds,
+            "DeltaIndex requires the WithIds object-page layout"
+        );
+        assert_eq!(
+            options.layout,
+            base.layout(),
+            "options disagree with the index"
+        );
+        let domain = options
+            .domain
+            .expect("DeltaIndex requires a fixed explicit domain");
+
+        let mut delta = DeltaIndex {
+            base,
+            options,
+            domain,
+            parts: Vec::new(),
+            base_partitions: 0,
+            by_record: HashMap::new(),
+            locator: HashMap::new(),
+            tombstones: Tombstones::new(),
+            meta_pages: Vec::new(),
+            inner_pages: Vec::new(),
+            live_elements: 0,
+        };
+        delta.adopt(pool)?;
+        Ok(delta)
+    }
+
+    /// Scans the base index into the resident tables.
+    fn adopt(&mut self, pool: &impl PageRead) -> Result<(), StorageError> {
+        let Some(root) = self.base.seed_root else {
+            return Ok(()); // empty base: delta-only from here on
+        };
+        // Walk the seed tree, separating directory pages from leaves.
+        let mut stack = vec![(root, self.base.seed_height)];
+        let mut leaves = Vec::new();
+        while let Some((pid, level)) = stack.pop() {
+            if level == 1 {
+                leaves.push(pid);
+            } else {
+                self.inner_pages.push(pid);
+                let page = pool.read_page(pid, PageKind::SeedInner)?;
+                for child in decode_inner(&page)? {
+                    stack.push((child.page, level - 1));
+                }
+            }
+        }
+        leaves.sort_unstable();
+        for &pid in &leaves {
+            let page = pool.read_page(pid, PageKind::SeedLeaf)?;
+            for (slot, record) in decode_meta_leaf(&page)?.into_iter().enumerate() {
+                if record.is_continuation {
+                    continue;
+                }
+                debug_assert!(!record.is_dead, "adopting a non-pristine index");
+                let addr = MetaRecordId {
+                    page: pid,
+                    slot: slot as u16,
+                };
+                let idx = self.parts.len() as u32;
+                self.by_record.insert(addr, idx);
+                self.parts.push(PartState {
+                    record: addr,
+                    object_page: record.object_page,
+                    page_mbr: record.page_mbr,
+                    partition_mbr: record.partition_mbr,
+                    live: 0,
+                    dead: false,
+                });
+            }
+        }
+        self.meta_pages = leaves;
+        self.base_partitions = self.parts.len();
+        // Object-page scan: live counts and the id locator.
+        for idx in 0..self.parts.len() {
+            let page = pool.read_page(self.parts[idx].object_page, PageKind::ObjectPage)?;
+            let (_, entries) = decode_leaf(&page)?;
+            self.parts[idx].live = entries.len() as u32;
+            self.live_elements += entries.len() as u64;
+            for e in &entries {
+                let clash = self.locator.insert(e.id, idx as u32);
+                assert!(clash.is_none(), "duplicate application id {}", e.id);
+            }
+        }
+        Ok(())
+    }
+
+    /// The base index descriptor (the crawl machinery runs on it).
+    pub fn base(&self) -> &FlatIndex {
+        &self.base
+    }
+
+    /// The deleted-element set, for the crawl's scan filter.
+    pub(crate) fn tombstones(&self) -> &Tombstones {
+        &self.tombstones
+    }
+
+    /// Live (non-tombstoned) elements.
+    pub fn num_live_elements(&self) -> u64 {
+        self.live_elements
+    }
+
+    /// Tombstoned elements awaiting compaction.
+    pub fn num_tombstones(&self) -> u64 {
+        self.tombstones.len() as u64
+    }
+
+    /// Live partitions inserted since the last bulkload/compaction.
+    pub fn num_delta_partitions(&self) -> usize {
+        self.parts[self.base_partitions..]
+            .iter()
+            .filter(|p| !p.dead)
+            .count()
+    }
+
+    /// All live partitions (base + delta).
+    pub fn num_live_partitions(&self) -> usize {
+        self.parts.iter().filter(|p| !p.dead).count()
+    }
+
+    /// Share of live partitions that live outside the bulkloaded base —
+    /// the "delta fraction" the update benchmark sweeps.
+    pub fn delta_fraction(&self) -> f64 {
+        let live = self.num_live_partitions();
+        if live == 0 {
+            0.0
+        } else {
+            self.num_delta_partitions() as f64 / live as f64
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inserts
+    // ------------------------------------------------------------------
+
+    /// Inserts a batch of new elements.
+    ///
+    /// The batch is STR-tiled over the domain into delta partitions whose
+    /// object pages and metadata records are appended (reusing freed
+    /// pages); neighbor links against everything live are computed by the
+    /// plane-sweep [`NeighborSweep`] and stitched both ways (existing
+    /// records gain spliced continuation chunks).
+    ///
+    /// # Panics
+    /// Panics if an entry's id collides with a live element's id (ids of
+    /// deleted elements may be reused).
+    pub fn insert_batch<P: PageRead + PageWrite>(
+        &mut self,
+        pool: &mut P,
+        entries: Vec<Entry>,
+    ) -> Result<(), StorageError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let capacity = leaf_capacity(self.options.layout);
+        {
+            let mut batch_ids = HashSet::with_capacity(entries.len());
+            for e in &entries {
+                assert!(
+                    !self.locator.contains_key(&e.id) && batch_ids.insert(e.id),
+                    "insert of id {} which is already live",
+                    e.id
+                );
+            }
+        }
+
+        // 1. Tile the batch over the full domain (same STR code as the
+        //    bulkload) and write its object pages.
+        let mut new_parts = partition(entries, capacity, Some(self.domain));
+        if self.options.partition_volume_scale > 1.0 {
+            for p in &mut new_parts {
+                p.partition_mbr = p
+                    .partition_mbr
+                    .scale_volume(self.options.partition_volume_scale);
+            }
+        }
+        let mut page = Page::new();
+        let mut object_ids = Vec::with_capacity(new_parts.len());
+        for p in &new_parts {
+            encode_leaf(&p.elements, self.options.layout, &mut page);
+            let id = pool.alloc()?;
+            pool.write(id, &page, PageKind::ObjectPage)?;
+            object_ids.push(id);
+        }
+
+        // 2. Plane-sweep the batch against every live partition. Existing
+        //    partitions keep their global index (< E); the batch occupies
+        //    E..E+new. Only pairs involving a new partition matter — links
+        //    among existing partitions are already on disk.
+        let e_count = self.parts.len() as u32;
+        let mut items: Vec<(u32, Aabb, Aabb)> = self
+            .parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.dead)
+            .map(|(i, p)| (i as u32, p.page_mbr, p.partition_mbr))
+            .collect();
+        items.extend(
+            new_parts
+                .iter()
+                .enumerate()
+                .map(|(j, p)| (e_count + j as u32, p.page_mbr, p.partition_mbr)),
+        );
+        items.sort_by(|a, b| a.2.min.x.total_cmp(&b.2.min.x).then(a.0.cmp(&b.0)));
+        // The boundary makes the sweep skip existing×existing pairs —
+        // those links are already on disk — so a small batch over a big
+        // index pays for the new partitions' overlaps, not a full re-join.
+        let mut sweep = NeighborSweep::with_existing_boundary(e_count);
+        let mut retired = Vec::new();
+        for (idx, page_mbr, partition_mbr) in items {
+            sweep.push(idx, page_mbr, partition_mbr, &mut retired);
+        }
+        sweep.finish(&mut retired);
+        let mut new_nbrs: Vec<Vec<u32>> = vec![Vec::new(); new_parts.len()];
+        let mut stitched: Vec<(u32, Vec<u32>)> = Vec::new();
+        for r in retired {
+            if r.index >= e_count {
+                new_nbrs[(r.index - e_count) as usize] = r.neighbors;
+            } else if !r.neighbors.is_empty() {
+                // Under the boundary, an existing partition's list holds
+                // exactly its new cross links.
+                stitched.push((r.index, r.neighbors));
+            }
+        }
+        stitched.sort_by_key(|&(i, _)| i); // deterministic page layout
+
+        // 3. Lay out the new metadata records: delta primaries (chunked if
+        //    over-full) first, then the stitch chunks for existing records.
+        let max = max_neighbors_per_record();
+        let mut records: Vec<NewRecord> = Vec::new();
+        let mut primary_of: Vec<usize> = Vec::with_capacity(new_parts.len());
+        let addr_of_global = |i: u32| -> NbrRef {
+            if i >= e_count {
+                NbrRef::NewPrimary(i - e_count)
+            } else {
+                NbrRef::Known(self.parts[i as usize].record)
+            }
+        };
+        for (j, p) in new_parts.iter().enumerate() {
+            primary_of.push(records.len());
+            push_chunks(
+                &mut records,
+                new_nbrs[j].iter().map(|&i| addr_of_global(i)),
+                new_nbrs[j].len(),
+                max,
+                p.page_mbr,
+                p.partition_mbr,
+                object_ids[j],
+                false,
+                None,
+            );
+        }
+        // Stitch chunks: read the spliced records' current continuations
+        // first — the new chain head must point at the old chain.
+        let mut splices: Vec<(MetaRecordId, usize)> = Vec::with_capacity(stitched.len());
+        for (i, added) in &stitched {
+            let part = &self.parts[*i as usize];
+            let old_cont = {
+                let page = pool.read_page(part.record.page, PageKind::SeedLeaf)?;
+                decode_meta_record(&page, part.record.slot)?.continuation
+            };
+            splices.push((part.record, records.len()));
+            push_chunks(
+                &mut records,
+                added.iter().map(|&g| addr_of_global(g)),
+                added.len(),
+                max,
+                part.page_mbr,
+                part.partition_mbr,
+                part.object_page,
+                true,
+                old_cont,
+            );
+        }
+
+        // 4. Write the new pages and splice the stitch chains in.
+        let addrs = self.write_new_records(pool, &records, &primary_of)?;
+        for (record, head) in splices {
+            edit_record(pool, record, |r| r.continuation = Some(addrs[head]))?;
+        }
+
+        // 5. Adopt the batch into the resident tables.
+        for (j, p) in new_parts.into_iter().enumerate() {
+            let idx = self.parts.len() as u32;
+            let addr = addrs[primary_of[j]];
+            self.by_record.insert(addr, idx);
+            for e in &p.elements {
+                self.locator.insert(e.id, idx);
+            }
+            self.live_elements += p.elements.len() as u64;
+            self.parts.push(PartState {
+                record: addr,
+                object_page: object_ids[j],
+                page_mbr: p.page_mbr,
+                partition_mbr: p.partition_mbr,
+                live: p.elements.len() as u32,
+                dead: false,
+            });
+        }
+        Ok(())
+    }
+
+    /// Assigns slots for `records`, allocates the needed seed-leaf pages,
+    /// resolves cross references and writes the pages. Returns the address
+    /// of each record.
+    fn write_new_records<P: PageRead + PageWrite>(
+        &mut self,
+        pool: &mut P,
+        records: &[NewRecord],
+        primary_of: &[usize],
+    ) -> Result<Vec<MetaRecordId>, StorageError> {
+        if records.is_empty() {
+            return Ok(Vec::new());
+        }
+        let plan: Vec<PlannedRecord> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| PlannedRecord {
+                partition: i,
+                start: 0,
+                len: r.neighbors.len(),
+                primary: !r.is_continuation,
+            })
+            .collect();
+        let slots = assign_slots(&plan);
+        let num_pages = slots.last().expect("records is non-empty").0 + 1;
+        let mut page_ids = Vec::with_capacity(num_pages);
+        for _ in 0..num_pages {
+            let id = pool.alloc()?;
+            self.meta_pages.push(id);
+            page_ids.push(id);
+        }
+        let addrs: Vec<MetaRecordId> = slots
+            .iter()
+            .map(|&(seq, slot)| MetaRecordId {
+                page: page_ids[seq],
+                slot,
+            })
+            .collect();
+        let resolve = |n: &NbrRef| match *n {
+            NbrRef::Known(a) => a,
+            NbrRef::NewPrimary(j) => addrs[primary_of[j as usize]],
+        };
+        let mut page = Page::new();
+        let mut at = 0usize;
+        for (seq, &page_id) in page_ids.iter().enumerate() {
+            let mut out = Vec::new();
+            while at < records.len() && slots[at].0 == seq {
+                let r = &records[at];
+                out.push(MetaRecord {
+                    page_mbr: r.page_mbr,
+                    partition_mbr: r.partition_mbr,
+                    object_page: r.object_page,
+                    neighbors: r.neighbors.iter().map(resolve).collect(),
+                    continuation: r.next.map(|n| addrs[n]).or(r.tail),
+                    is_continuation: r.is_continuation,
+                    is_dead: false,
+                });
+                at += 1;
+            }
+            encode_meta_leaf(&out, &mut page);
+            pool.write(page_id, &page, PageKind::SeedLeaf)?;
+        }
+        debug_assert_eq!(at, records.len());
+        Ok(addrs)
+    }
+
+    // ------------------------------------------------------------------
+    // Deletes
+    // ------------------------------------------------------------------
+
+    /// Deletes elements by application id, returning how many were live.
+    ///
+    /// Deleted elements are tombstoned (queries filter them at scan time);
+    /// a partition whose last live element dies is retired — inbound links
+    /// pruned, its neighbors patched into a clique so crawls reroute
+    /// around it, its record flagged dead and its object page freed.
+    pub fn delete_batch<P: PageRead + PageWrite>(
+        &mut self,
+        pool: &mut P,
+        ids: &[u64],
+    ) -> Result<usize, StorageError> {
+        let mut by_part: HashMap<u32, Vec<u64>> = HashMap::new();
+        for &id in ids {
+            if let Some(idx) = self.locator.remove(&id) {
+                by_part.entry(idx).or_default().push(id);
+            }
+        }
+        let mut deleted = 0usize;
+        let mut newly_dead: Vec<u32> = Vec::new();
+        for (&idx, dead_ids) in &by_part {
+            let part = &self.parts[idx as usize];
+            let page = pool.read_page(part.object_page, PageKind::ObjectPage)?;
+            let (_, entries) = decode_leaf(&page)?;
+            let wanted: HashSet<u64> = dead_ids.iter().copied().collect();
+            for (slot, e) in entries.iter().enumerate() {
+                if wanted.contains(&e.id) && self.tombstones.insert((part.object_page, slot as u16))
+                {
+                    deleted += 1;
+                }
+            }
+            let part = &mut self.parts[idx as usize];
+            part.live -= dead_ids.len() as u32;
+            self.live_elements -= dead_ids.len() as u64;
+            if part.live == 0 {
+                newly_dead.push(idx);
+            }
+        }
+        newly_dead.sort_unstable(); // deterministic retirement order
+        for idx in newly_dead {
+            self.retire(pool, idx)?;
+        }
+        Ok(deleted)
+    }
+
+    /// Retires partition `d`: prunes every link to it, patches its former
+    /// neighbors into a clique, flags its record dead and frees its object
+    /// page. See the module docs for why the clique keeps the crawl
+    /// exhaustive.
+    fn retire<P: PageRead + PageWrite>(
+        &mut self,
+        pool: &mut P,
+        d: u32,
+    ) -> Result<(), StorageError> {
+        let d_rec = self.parts[d as usize].record;
+        let d_nbrs = read_chain_neighbors(pool, d_rec)?;
+        // Resolve neighbors to partition indices and collect each one's
+        // full link set (for the clique check).
+        let mut nbr_idx: Vec<u32> = Vec::with_capacity(d_nbrs.len());
+        let mut link_sets: HashMap<u32, HashSet<MetaRecordId>> = HashMap::new();
+        for addr in &d_nbrs {
+            let &idx = self
+                .by_record
+                .get(addr)
+                .expect("neighbor pointer to an unknown record");
+            debug_assert!(!self.parts[idx as usize].dead, "link to a dead partition");
+            nbr_idx.push(idx);
+            let links = read_chain_neighbors(pool, *addr)?;
+            link_sets.insert(idx, links.into_iter().collect());
+        }
+        nbr_idx.sort_unstable();
+
+        // Prune the dead partition out of each neighbor's chain.
+        for &a in &nbr_idx {
+            remove_neighbor(pool, self.parts[a as usize].record, d_rec)?;
+        }
+
+        // Clique repair: every pair of former neighbors that is not
+        // already linked gets a (symmetric) link, so crawl paths that
+        // crossed `d` reroute through a direct edge.
+        let max = max_neighbors_per_record();
+        let mut records: Vec<NewRecord> = Vec::new();
+        let mut splices: Vec<(MetaRecordId, usize)> = Vec::new();
+        for &a in &nbr_idx {
+            let a_rec = self.parts[a as usize].record;
+            let missing: Vec<NbrRef> = nbr_idx
+                .iter()
+                .filter(|&&b| b != a && !link_sets[&a].contains(&self.parts[b as usize].record))
+                .map(|&b| NbrRef::Known(self.parts[b as usize].record))
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let part = &self.parts[a as usize];
+            let old_cont = {
+                let page = pool.read_page(a_rec.page, PageKind::SeedLeaf)?;
+                decode_meta_record(&page, a_rec.slot)?.continuation
+            };
+            splices.push((a_rec, records.len()));
+            let count = missing.len();
+            push_chunks(
+                &mut records,
+                missing.into_iter(),
+                count,
+                max,
+                part.page_mbr,
+                part.partition_mbr,
+                part.object_page,
+                true,
+                old_cont,
+            );
+        }
+        let addrs = self.write_new_records(pool, &records, &[])?;
+        for (record, head) in splices {
+            edit_record(pool, record, |r| r.continuation = Some(addrs[head]))?;
+        }
+
+        // Flag the record dead and drop its chain; free the object page.
+        edit_record(pool, d_rec, |r| {
+            r.neighbors.clear();
+            r.continuation = None;
+            r.is_dead = true;
+        })?;
+        let obj = self.parts[d as usize].object_page;
+        pool.free(obj)?;
+        // The page id may be reused by a later insert: stale tombstones
+        // keyed to it would silently delete the new tenants. Slots are
+        // bounded by the page capacity, so the purge is O(capacity), not
+        // O(total tombstones).
+        for slot in 0..leaf_capacity(self.options.layout) as u16 {
+            self.tombstones.remove(&(obj, slot));
+        }
+        self.parts[d as usize].dead = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction
+    // ------------------------------------------------------------------
+
+    /// Merges all deltas into a pristine base: scans the surviving
+    /// elements, frees every page of the old index and rebuilds through
+    /// the streamed [`FlatIndexBuilder`]. The resulting pages are
+    /// byte-identical to a from-scratch [`FlatIndex::build`] over the
+    /// survivors when the pool holds only this index's pages (the freed
+    /// ids then form a dense prefix that the rebuild reuses in order).
+    pub fn compact<P: PageRead + PageWrite>(
+        &mut self,
+        pool: &mut P,
+    ) -> Result<BuildStats, StorageError> {
+        // 1. Surviving elements, partition by partition.
+        let mut survivors: Vec<Entry> = Vec::with_capacity(self.live_elements as usize);
+        for part in self.parts.iter().filter(|p| !p.dead) {
+            let page = pool.read_page(part.object_page, PageKind::ObjectPage)?;
+            let (_, entries) = decode_leaf(&page)?;
+            survivors.extend(
+                entries
+                    .iter()
+                    .enumerate()
+                    .filter(|&(slot, _)| is_live(Some(&self.tombstones), part.object_page, slot))
+                    .map(|(_, e)| *e),
+            );
+        }
+        // 2. Free the old index wholesale.
+        for part in self.parts.iter().filter(|p| !p.dead) {
+            pool.free(part.object_page)?;
+        }
+        for &pid in self.meta_pages.iter().chain(self.inner_pages.iter()) {
+            pool.free(pid)?;
+        }
+        // 3. Rebuild through the streamed pipeline (bit-identical to the
+        //    in-memory bulkload by construction).
+        let (index, stats, _) = FlatIndexBuilder::new(self.options).build(pool, survivors)?;
+        // 4. Re-adopt: the delta layer is empty again.
+        *self = DeltaIndex::new(&*pool, index, self.options)?;
+        Ok(stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Evaluates a range query over the live elements — exactly the set a
+    /// fresh rebuild over the survivors would return.
+    pub fn range_query(
+        &self,
+        pool: &impl PageRead,
+        query: &Aabb,
+    ) -> Result<Vec<Hit>, StorageError> {
+        let mut stats = QueryStats::default();
+        self.range_query_with_stats(pool, query, &mut stats)
+    }
+
+    /// Like [`DeltaIndex::range_query`], accumulating counters.
+    pub fn range_query_with_stats(
+        &self,
+        pool: &impl PageRead,
+        query: &Aabb,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<Hit>, StorageError> {
+        let mut hits = Vec::new();
+        let Some(seed) = self.seed(pool, query, stats, None)? else {
+            return Ok(hits);
+        };
+        let mut state = CrawlState::start(seed);
+        while !self.base.crawl_step(
+            pool,
+            query,
+            &mut state,
+            stats,
+            &mut hits,
+            None,
+            Some(&self.tombstones),
+        )? {}
+        stats.result_count = hits.len() as u64;
+        Ok(hits)
+    }
+
+    /// Delta-aware seed: the base seed-tree walk (tombstone-filtered, dead
+    /// records skipped) with a fallback scan over the resident delta
+    /// summaries — delta partitions are not indexed by the base tree.
+    pub(crate) fn seed(
+        &self,
+        pool: &impl PageRead,
+        query: &Aabb,
+        stats: &mut QueryStats,
+        hinter: Option<&dyn CrawlHinter>,
+    ) -> Result<Option<MetaRecordId>, StorageError> {
+        let t = Some(&self.tombstones);
+        if let Some(seed) = self.base.seed(pool, query, stats, hinter, t)? {
+            return Ok(Some(seed));
+        }
+        for part in &self.parts[self.base_partitions..] {
+            if part.dead {
+                continue;
+            }
+            stats.mbr_tests += 1;
+            if !part.page_mbr.intersects(query) {
+                continue;
+            }
+            stats.object_pages_read += 1;
+            let found = {
+                let page = pool.read_page(part.object_page, PageKind::ObjectPage)?;
+                let (_, entries) = decode_leaf(&page)?;
+                stats.mbr_tests += entries.len() as u64;
+                entries
+                    .iter()
+                    .enumerate()
+                    .any(|(s, e)| is_live(t, part.object_page, s) && query.intersects(&e.mbr))
+            };
+            if found {
+                return Ok(Some(part.record));
+            }
+            stats.seed_probe_pages += 1;
+        }
+        Ok(None)
+    }
+
+    /// Returns the `k` live elements nearest to `point`, exactly as a
+    /// fresh rebuild over the survivors would.
+    pub fn knn_query(
+        &self,
+        pool: &impl PageRead,
+        point: Point3,
+        k: usize,
+    ) -> Result<Vec<Neighbor>, StorageError> {
+        let mut stats = KnnStats::default();
+        self.knn_query_with_stats(pool, point, k, &mut stats)
+    }
+
+    /// Like [`DeltaIndex::knn_query`], accumulating counters.
+    pub fn knn_query_with_stats(
+        &self,
+        pool: &impl PageRead,
+        point: Point3,
+        k: usize,
+        stats: &mut KnnStats,
+    ) -> Result<Vec<Neighbor>, StorageError> {
+        self.knn(pool, point, k, stats, None)
+    }
+
+    pub(crate) fn knn_with_hinter(
+        &self,
+        pool: &impl PageRead,
+        point: Point3,
+        k: usize,
+        hinter: Option<&dyn CrawlHinter>,
+    ) -> Result<Vec<Neighbor>, StorageError> {
+        let mut stats = KnnStats::default();
+        self.knn(pool, point, k, &mut stats, hinter)
+    }
+
+    fn knn(
+        &self,
+        pool: &impl PageRead,
+        point: Point3,
+        k: usize,
+        stats: &mut KnnStats,
+        hinter: Option<&dyn CrawlHinter>,
+    ) -> Result<Vec<Neighbor>, StorageError> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let Some(seed) = self.knn_seed(pool, point)? else {
+            return Ok(Vec::new());
+        };
+        self.base.knn(
+            pool,
+            point,
+            k,
+            stats,
+            hinter,
+            Some(seed),
+            Some(&self.tombstones),
+        )
+    }
+
+    /// Delta-aware kNN seed: the base best-first descent against a linear
+    /// scan of the delta summaries; the closer page MBR wins. Any live
+    /// record is a correct entry point (the best-first crawl's bound
+    /// starts unbounded), a near one just prunes sooner.
+    fn knn_seed(
+        &self,
+        pool: &impl PageRead,
+        point: Point3,
+    ) -> Result<Option<MetaRecordId>, StorageError> {
+        let base = self.base.knn_seed(pool, point)?;
+        let delta = self.parts[self.base_partitions..]
+            .iter()
+            .filter(|p| !p.dead)
+            .map(|p| (p.page_mbr.distance_sq_to_point(&point), p.record))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        Ok(match (base, delta) {
+            (Some(b), Some(d)) => Some(if d.0 < b.0 { d.1 } else { b.1 }),
+            (Some(b), None) => Some(b.1),
+            (None, Some(d)) => Some(d.1),
+            (None, None) => None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants
+    // ------------------------------------------------------------------
+
+    /// Verifies the structural invariants the update machinery must
+    /// preserve (the property-test layer drives this under randomized
+    /// update sequences):
+    ///
+    /// 1. neighbor links are symmetric and never duplicated;
+    /// 2. no link targets a tombstoned (dead) or unknown record, and every
+    ///    target is a live primary;
+    /// 3. every partition's MBRs contain its live elements (and the
+    ///    partition MBR contains the page MBR);
+    /// 4. no page on `free_pages` is reachable from any crawl (object
+    ///    pages, chain pages, seed-tree pages);
+    /// 5. the resident live counts and locator agree with the pages.
+    pub fn check_invariants(
+        &self,
+        pool: &impl PageRead,
+        free_pages: &[PageId],
+    ) -> Result<DeltaReport, String> {
+        let mut report = DeltaReport::default();
+        let mut edges: HashSet<(u32, u32)> = HashSet::new();
+        let mut reachable: HashSet<PageId> = HashSet::new();
+        reachable.extend(self.inner_pages.iter().copied());
+
+        for (i, part) in self.parts.iter().enumerate() {
+            let i = i as u32;
+            if part.dead {
+                report.retired_partitions += 1;
+                let page = pool
+                    .read_page(part.record.page, PageKind::SeedLeaf)
+                    .map_err(|e| format!("partition {i}: {e}"))?;
+                let record = decode_meta_record(&page, part.record.slot)
+                    .map_err(|e| format!("partition {i}: {e}"))?;
+                if !record.is_dead {
+                    return Err(format!("retired partition {i} is not flagged dead"));
+                }
+                if !record.neighbors.is_empty() || record.continuation.is_some() {
+                    return Err(format!("retired partition {i} still has links"));
+                }
+                continue;
+            }
+            report.live_partitions += 1;
+            reachable.insert(part.object_page);
+            if !part.partition_mbr.contains(&part.page_mbr) {
+                return Err(format!("partition {i}: partition MBR lost the page MBR"));
+            }
+
+            // Walk the chain, collecting neighbors and reachable pages.
+            let mut seen_chunks = HashSet::new();
+            let mut nbrs: Vec<MetaRecordId> = Vec::new();
+            let mut at = Some(part.record);
+            let mut first = true;
+            while let Some(addr) = at {
+                if !seen_chunks.insert(addr) {
+                    return Err(format!("partition {i}: continuation cycle at {:?}", addr));
+                }
+                reachable.insert(addr.page);
+                let page = pool
+                    .read_page(addr.page, PageKind::SeedLeaf)
+                    .map_err(|e| format!("partition {i}: {e}"))?;
+                let record = decode_meta_record(&page, addr.slot)
+                    .map_err(|e| format!("partition {i}: {e}"))?;
+                if record.is_dead {
+                    return Err(format!("live partition {i} chain is flagged dead"));
+                }
+                if first && record.is_continuation {
+                    return Err(format!("partition {i}: primary flagged as continuation"));
+                }
+                first = false;
+                nbrs.extend(record.neighbors);
+                at = record.continuation;
+            }
+
+            // Each link must resolve to a distinct live primary; record
+            // the directed edge for the symmetry pass.
+            let mut distinct = HashSet::new();
+            for n in &nbrs {
+                if !distinct.insert(*n) {
+                    return Err(format!("partition {i}: duplicate link to {n:?}"));
+                }
+                let Some(&j) = self.by_record.get(n) else {
+                    return Err(format!("partition {i}: link to unknown record {n:?}"));
+                };
+                if j == i {
+                    return Err(format!("partition {i}: self link"));
+                }
+                if self.parts[j as usize].dead {
+                    return Err(format!("partition {i}: link to retired partition {j}"));
+                }
+                edges.insert((i, j));
+            }
+            report.neighbor_links += nbrs.len() as u64;
+
+            // Live elements sit inside the MBRs and match the counts.
+            let page = pool
+                .read_page(part.object_page, PageKind::ObjectPage)
+                .map_err(|e| format!("partition {i} object page: {e}"))?;
+            let (_, entries) = decode_leaf(&page).map_err(|e| format!("partition {i}: {e}"))?;
+            let mut live = 0u32;
+            for (slot, e) in entries.iter().enumerate() {
+                if !is_live(Some(&self.tombstones), part.object_page, slot) {
+                    continue;
+                }
+                live += 1;
+                if !part.page_mbr.contains(&e.mbr) {
+                    return Err(format!("partition {i}: live element outside the page MBR"));
+                }
+                if self.locator.get(&e.id) != Some(&i) {
+                    return Err(format!("partition {i}: locator disagrees for id {}", e.id));
+                }
+            }
+            if live != part.live {
+                return Err(format!(
+                    "partition {i}: resident live count {} vs {live} on the page",
+                    part.live
+                ));
+            }
+            report.live_elements += live as u64;
+        }
+
+        for &(a, b) in &edges {
+            if !edges.contains(&(b, a)) {
+                return Err(format!("asymmetric link {a} -> {b}"));
+            }
+        }
+        if report.live_elements != self.live_elements {
+            return Err(format!(
+                "live element count drifted: {} resident vs {} on pages",
+                self.live_elements, report.live_elements
+            ));
+        }
+        for free in free_pages {
+            if reachable.contains(free) {
+                return Err(format!("freed {free} is reachable from a crawl"));
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Splits a neighbor list into record-sized chunks appended to `records`,
+/// chained head-to-tail; the final chunk continues into `tail`.
+#[allow(clippy::too_many_arguments)]
+fn push_chunks(
+    records: &mut Vec<NewRecord>,
+    neighbors: impl Iterator<Item = NbrRef>,
+    count: usize,
+    max: usize,
+    page_mbr: Aabb,
+    partition_mbr: Aabb,
+    object_page: PageId,
+    continuation_chain: bool,
+    tail: Option<MetaRecordId>,
+) {
+    let mut neighbors = neighbors.peekable();
+    let num_chunks = count.div_ceil(max).max(1);
+    for c in 0..num_chunks {
+        let take: Vec<NbrRef> = neighbors.by_ref().take(max).collect();
+        let last = c + 1 == num_chunks;
+        records.push(NewRecord {
+            page_mbr,
+            partition_mbr,
+            object_page,
+            neighbors: take,
+            is_continuation: continuation_chain || c > 0,
+            next: if last { None } else { Some(records.len() + 1) },
+            tail: if last { tail } else { None },
+        });
+    }
+    debug_assert!(neighbors.peek().is_none());
+}
+
+/// Verifies the compaction contract against a reference store: a
+/// compacted store must hold exactly the fresh rebuild's pages — pages
+/// `0..fresh.num_pages()` byte-identical and none of them on the free
+/// list — with every surplus tail page (left over from the larger
+/// pre-compaction index) sitting on the free list. The differential test
+/// layer and the `exp_update` benchmark both assert through this one
+/// checker.
+pub fn verify_compacted_store(
+    compacted: &impl PageStore,
+    fresh: &impl PageStore,
+) -> Result<(), String> {
+    let fresh_pages = fresh.num_pages();
+    if compacted.num_pages() < fresh_pages {
+        return Err(format!(
+            "compacted store holds {} pages, rebuild needs {fresh_pages}",
+            compacted.num_pages()
+        ));
+    }
+    let free: HashSet<PageId> = compacted.free_pages().into_iter().collect();
+    let (mut a, mut b) = (Page::new(), Page::new());
+    for i in 0..compacted.num_pages() {
+        let id = PageId(i);
+        if i >= fresh_pages {
+            if !free.contains(&id) {
+                return Err(format!("{id} beyond the rebuild is not on the free list"));
+            }
+            continue;
+        }
+        if free.contains(&id) {
+            return Err(format!("rebuild {id} was left on the free list"));
+        }
+        compacted
+            .read_page(id, &mut a)
+            .map_err(|e| format!("compacted {id}: {e}"))?;
+        fresh
+            .read_page(id, &mut b)
+            .map_err(|e| format!("fresh {id}: {e}"))?;
+        if a.bytes() != b.bytes() {
+            return Err(format!("{id} differs from the fresh rebuild"));
+        }
+    }
+    Ok(())
+}
+
+/// Reads the full neighbor list of a record by walking its continuation
+/// chain.
+fn read_chain_neighbors(
+    pool: &impl PageRead,
+    record: MetaRecordId,
+) -> Result<Vec<MetaRecordId>, StorageError> {
+    let mut nbrs = Vec::new();
+    let mut at = Some(record);
+    while let Some(addr) = at {
+        let page = pool.read_page(addr.page, PageKind::SeedLeaf)?;
+        let chunk = decode_meta_record(&page, addr.slot)?;
+        nbrs.extend(chunk.neighbors);
+        at = chunk.continuation;
+    }
+    Ok(nbrs)
+}
+
+/// Rewrites one record of a seed-leaf page in place. Record slots are
+/// stable (the page is re-encoded with the same record count), so this is
+/// only safe for edits that do not grow the page: link pruning, dead
+/// flagging, continuation splicing.
+fn edit_record<P: PageRead + PageWrite>(
+    pool: &mut P,
+    addr: MetaRecordId,
+    edit: impl FnOnce(&mut MetaRecord),
+) -> Result<(), StorageError> {
+    let mut page = pool.read_page(addr.page, PageKind::SeedLeaf)?;
+    let mut records = decode_meta_leaf(&page)?;
+    edit(&mut records[addr.slot as usize]);
+    encode_meta_leaf(&records, &mut page);
+    pool.write(addr.page, &page, PageKind::SeedLeaf)
+}
+
+/// Removes `target` from `record`'s neighbor list, wherever in the chain
+/// it appears.
+fn remove_neighbor<P: PageRead + PageWrite>(
+    pool: &mut P,
+    record: MetaRecordId,
+    target: MetaRecordId,
+) -> Result<(), StorageError> {
+    let mut at = Some(record);
+    while let Some(addr) = at {
+        let chunk = {
+            let page = pool.read_page(addr.page, PageKind::SeedLeaf)?;
+            decode_meta_record(&page, addr.slot)?
+        };
+        if chunk.neighbors.contains(&target) {
+            return edit_record(pool, addr, |r| r.neighbors.retain(|n| *n != target));
+        }
+        at = chunk.continuation;
+    }
+    debug_assert!(false, "pruned a link that does not exist");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::tests::random_entries;
+    use flat_storage::{BufferPool, MemStore, PageStore};
+
+    fn options() -> FlatOptions {
+        FlatOptions {
+            layout: LeafLayout::WithIds,
+            domain: Some(Aabb::new(Point3::splat(0.0), Point3::splat(100.0))),
+            ..FlatOptions::default()
+        }
+    }
+
+    fn build_delta(n: usize, seed: u64) -> (BufferPool<MemStore>, DeltaIndex, Vec<Entry>) {
+        let entries = random_entries(n, seed);
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let (index, _) = FlatIndex::build(&mut pool, entries.clone(), options()).unwrap();
+        let delta = DeltaIndex::new(&pool, index, options()).unwrap();
+        (pool, delta, entries)
+    }
+
+    fn check(pool: &BufferPool<MemStore>, delta: &DeltaIndex) -> DeltaReport {
+        delta
+            .check_invariants(pool, &pool.store().free_pages())
+            .unwrap_or_else(|e| panic!("invariants violated: {e}"))
+    }
+
+    #[test]
+    fn adoption_matches_the_build() {
+        let (pool, delta, entries) = build_delta(8_000, 61);
+        assert_eq!(delta.num_live_elements(), entries.len() as u64);
+        assert_eq!(delta.num_delta_partitions(), 0);
+        assert_eq!(delta.delta_fraction(), 0.0);
+        let report = check(&pool, &delta);
+        assert_eq!(report.live_elements, entries.len() as u64);
+        assert!(report.neighbor_links > 0);
+    }
+
+    #[test]
+    fn inserts_are_queryable_and_keep_invariants() {
+        let (mut pool, mut delta, mut entries) = build_delta(6_000, 62);
+        let fresh = random_entries(800, 63)
+            .into_iter()
+            .map(|e| Entry::new(e.id + 1_000_000, e.mbr))
+            .collect::<Vec<_>>();
+        entries.extend(fresh.iter().copied());
+        delta.insert_batch(&mut pool, fresh).unwrap();
+        assert_eq!(delta.num_live_elements(), entries.len() as u64);
+        assert!(delta.num_delta_partitions() > 0);
+        check(&pool, &delta);
+        for side in [10.0, 40.0, 300.0] {
+            let q = Aabb::cube(Point3::splat(50.0), side);
+            let expected = entries.iter().filter(|e| q.intersects(&e.mbr)).count();
+            assert_eq!(delta.range_query(&pool, &q).unwrap().len(), expected);
+        }
+    }
+
+    #[test]
+    fn deletes_hide_elements_and_retire_partitions() {
+        let (mut pool, mut delta, entries) = build_delta(4_000, 64);
+        // Delete every element of the "left half": partitions there die.
+        let doomed: Vec<u64> = entries
+            .iter()
+            .filter(|e| e.mbr.center().x < 50.0)
+            .map(|e| e.id)
+            .collect();
+        let deleted = delta.delete_batch(&mut pool, &doomed).unwrap();
+        assert_eq!(deleted, doomed.len());
+        let report = check(&pool, &delta);
+        assert!(report.retired_partitions > 0, "no partition retired");
+        assert!(pool.store().num_free() > 0, "no object page was freed");
+        let q = Aabb::cube(Point3::splat(50.0), 300.0);
+        let expected = entries.len() - doomed.len();
+        assert_eq!(delta.range_query(&pool, &q).unwrap().len(), expected);
+    }
+
+    #[test]
+    fn compact_restores_a_pristine_index() {
+        let (mut pool, mut delta, entries) = build_delta(3_000, 65);
+        let doomed: Vec<u64> = entries
+            .iter()
+            .map(|e| e.id)
+            .filter(|i| i % 3 == 0)
+            .collect();
+        delta.delete_batch(&mut pool, &doomed).unwrap();
+        let extra: Vec<Entry> = random_entries(500, 66)
+            .into_iter()
+            .map(|e| Entry::new(e.id + 2_000_000, e.mbr))
+            .collect();
+        delta.insert_batch(&mut pool, extra.clone()).unwrap();
+        delta.compact(&mut pool).unwrap();
+        assert_eq!(delta.num_delta_partitions(), 0);
+        assert_eq!(delta.num_tombstones(), 0);
+        assert_eq!(
+            delta.num_live_elements(),
+            (entries.len() - doomed.len() + extra.len()) as u64
+        );
+        check(&pool, &delta);
+    }
+
+    #[test]
+    fn knn_skips_tombstones() {
+        let (mut pool, mut delta, entries) = build_delta(3_000, 67);
+        let p = Point3::splat(50.0);
+        let nearest = delta.knn_query(&pool, p, 5).unwrap();
+        let victim = nearest[0].hit.id;
+        delta.delete_batch(&mut pool, &[victim]).unwrap();
+        let after = delta.knn_query(&pool, p, 5).unwrap();
+        assert!(after.iter().all(|n| n.hit.id != victim));
+        // Brute force over survivors agrees.
+        let mut dists: Vec<f64> = entries
+            .iter()
+            .filter(|e| e.id != victim)
+            .map(|e| e.mbr.distance_sq_to_point(&p))
+            .collect();
+        dists.sort_by(|a, b| a.total_cmp(b));
+        let got: Vec<f64> = after.iter().map(|n| n.dist_sq).collect();
+        assert_eq!(got, dists[..5].to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "already live")]
+    fn reinserting_a_live_id_is_rejected() {
+        let (mut pool, mut delta, entries) = build_delta(500, 68);
+        let dup = Entry::new(entries[0].id, Aabb::cube(Point3::splat(1.0), 1.0));
+        let _ = delta.insert_batch(&mut pool, vec![dup]);
+    }
+
+    #[test]
+    #[should_panic(expected = "WithIds")]
+    fn mbr_only_layout_is_rejected() {
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 12);
+        let opts = FlatOptions {
+            domain: Some(Aabb::new(Point3::splat(0.0), Point3::splat(100.0))),
+            ..FlatOptions::default()
+        };
+        let (index, _) = FlatIndex::build(&mut pool, random_entries(100, 1), opts).unwrap();
+        let _ = DeltaIndex::new(&pool, index, opts);
+    }
+}

@@ -27,10 +27,11 @@
 //! changes. `exp_batch` in the benchmark crate measures the payoff over a
 //! throttled device store.
 
+use crate::delta::DeltaIndex;
 use crate::index::FlatIndex;
 use crate::knn::Neighbor;
 use crate::meta::{decode_meta_record, MetaRecord, MetaRecordId};
-use crate::query::{CrawlHinter, CrawlState};
+use crate::query::{CrawlHinter, CrawlState, Tombstones};
 use crate::QueryStats;
 use flat_geom::{Aabb, Point3};
 use flat_storage::{Page, PageId, PageKind, PageRead, StorageError};
@@ -139,6 +140,10 @@ pub struct KnnBatchOutcome {
 /// ```
 pub struct QueryEngine<'a, P: PageRead + Sync> {
     index: &'a FlatIndex,
+    /// When batching over a mutable index: the delta layer supplying the
+    /// delta-aware seed and the tombstone filter. The crawl machinery is
+    /// shared — delta links live in the same page graph.
+    delta: Option<&'a DeltaIndex>,
     pool: &'a P,
     config: EngineConfig,
 }
@@ -157,9 +162,36 @@ impl<'a, P: PageRead + Sync> QueryEngine<'a, P> {
     ) -> QueryEngine<'a, P> {
         QueryEngine {
             index,
+            delta: None,
             pool,
             config,
         }
+    }
+
+    /// An engine batching over a mutable [`DeltaIndex`] (default
+    /// configuration): same wave scheduling, batch cache and readahead,
+    /// with the delta-aware seed and tombstone-filtered scans — results
+    /// identical to [`DeltaIndex::range_query`]/[`DeltaIndex::knn_query`].
+    pub fn for_delta(delta: &'a DeltaIndex, pool: &'a P) -> QueryEngine<'a, P> {
+        Self::for_delta_with_config(delta, pool, EngineConfig::default())
+    }
+
+    /// A delta engine with explicit tuning.
+    pub fn for_delta_with_config(
+        delta: &'a DeltaIndex,
+        pool: &'a P,
+        config: EngineConfig,
+    ) -> QueryEngine<'a, P> {
+        QueryEngine {
+            index: delta.base(),
+            delta: Some(delta),
+            pool,
+            config,
+        }
+    }
+
+    fn tombstones(&self) -> Option<&'a Tombstones> {
+        self.delta.map(|d| d.tombstones())
     }
 
     /// Executes a batch of range queries.
@@ -182,7 +214,10 @@ impl<'a, P: PageRead + Sync> QueryEngine<'a, P> {
             let mut results: Vec<Vec<flat_rtree::Hit>> = vec![Vec::new(); queries.len()];
             let mut states: Vec<Option<CrawlState>> = Vec::with_capacity(queries.len());
             for (query, stats) in queries.iter().zip(stats.iter_mut()) {
-                let seed = self.index.seed(&cache, query, stats, hint)?;
+                let seed = match self.delta {
+                    Some(delta) => delta.seed(&cache, query, stats, hint)?,
+                    None => self.index.seed(&cache, query, stats, hint, None)?,
+                };
                 states.push(seed.map(CrawlState::start));
             }
 
@@ -217,6 +252,7 @@ impl<'a, P: PageRead + Sync> QueryEngine<'a, P> {
                         &mut stats[i],
                         &mut results[i],
                         hint,
+                        self.tombstones(),
                     )?;
                     if done {
                         wave.swap_remove(w); // slot freed for the backlog
@@ -258,7 +294,10 @@ impl<'a, P: PageRead + Sync> QueryEngine<'a, P> {
 
             let mut results = Vec::with_capacity(queries.len());
             for &(point, k) in queries {
-                results.push(self.index.knn_with_hinter(&cache, point, k, hint)?);
+                results.push(match self.delta {
+                    Some(delta) => delta.knn_with_hinter(&cache, point, k, hint)?,
+                    None => self.index.knn_with_hinter(&cache, point, k, hint)?,
+                });
             }
             Ok(KnnBatchOutcome {
                 results,

@@ -229,6 +229,7 @@ pub(crate) fn write_meta_and_seed<'a>(
                     .collect(),
                 continuation,
                 is_continuation: !planned.primary,
+                is_dead: false,
             });
             // The seed tree indexes records by their *page MBR*
             // (§V-B.2: "we index each record R with R's page MBR as

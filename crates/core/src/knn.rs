@@ -25,7 +25,7 @@
 
 use crate::index::FlatIndex;
 use crate::meta::{decode_meta_record, meta_leaf_len, MetaRecordId};
-use crate::query::CrawlHinter;
+use crate::query::{is_live, CrawlHinter, Tombstones};
 use flat_geom::Point3;
 use flat_rtree::node::{decode_inner, decode_leaf};
 use flat_rtree::{Hit, LeafLayout};
@@ -142,7 +142,7 @@ impl FlatIndex {
         k: usize,
         stats: &mut KnnStats,
     ) -> Result<Vec<Neighbor>, StorageError> {
-        self.knn(pool, point, k, stats, None)
+        self.knn(pool, point, k, stats, None, None, None)
     }
 
     /// Entry point for the batched engine: identical algorithm, with
@@ -155,21 +155,32 @@ impl FlatIndex {
         hinter: Option<&dyn CrawlHinter>,
     ) -> Result<Vec<Neighbor>, StorageError> {
         let mut stats = KnnStats::default();
-        self.knn(pool, point, k, &mut stats, hinter)
+        self.knn(pool, point, k, &mut stats, hinter, None, None)
     }
 
-    fn knn(
+    /// Full-control entry point shared with the delta layer:
+    /// `seed_override` replaces the best-first seed descent (the delta
+    /// seed also considers partitions outside the seed tree) and
+    /// `tombstones` hides deleted elements from the candidate heap.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn knn(
         &self,
         pool: &impl PageRead,
         point: Point3,
         k: usize,
         stats: &mut KnnStats,
         hinter: Option<&dyn CrawlHinter>,
+        seed_override: Option<MetaRecordId>,
+        tombstones: Option<&Tombstones>,
     ) -> Result<Vec<Neighbor>, StorageError> {
         if k == 0 {
             return Ok(Vec::new());
         }
-        let Some(seed) = self.knn_seed(pool, point)? else {
+        let seed = match seed_override {
+            Some(s) => Some(s),
+            None => self.knn_seed(pool, point)?.map(|(_, addr)| addr),
+        };
+        let Some(seed) = seed else {
             return Ok(Vec::new());
         };
 
@@ -215,6 +226,9 @@ impl FlatIndex {
                 let page = pool.read_page(record.object_page, PageKind::ObjectPage)?;
                 let (layout, entries) = decode_leaf(&page)?;
                 for (slot, entry) in entries.iter().enumerate() {
+                    if !is_live(tombstones, record.object_page, slot) {
+                        continue;
+                    }
                     let dist_sq = entry.mbr.distance_sq_to_point(&point);
                     let id = match layout {
                         LeafLayout::MbrOnly => (record.object_page.0 << 16) | entry.id,
@@ -292,13 +306,16 @@ impl FlatIndex {
     }
 
     /// Best-first descent of the seed tree: returns the primary metadata
-    /// record whose page MBR is nearest to `point` (`None` for an empty
-    /// index). Cost is near the tree height, like the range seed.
-    fn knn_seed(
+    /// record whose page MBR is nearest to `point`, with that squared
+    /// distance (`None` for an empty index). Cost is near the tree
+    /// height, like the range seed. The distance is the winning heap key,
+    /// so callers comparing seed candidates (the delta layer) pay no
+    /// extra page read.
+    pub(crate) fn knn_seed(
         &self,
         pool: &impl PageRead,
         point: Point3,
-    ) -> Result<Option<MetaRecordId>, StorageError> {
+    ) -> Result<Option<(f64, MetaRecordId)>, StorageError> {
         let Some(root) = self.seed_root else {
             return Ok(None);
         };
@@ -310,15 +327,15 @@ impl FlatIndex {
                 level: self.seed_height,
             },
         )));
-        while let Some(Reverse((_, item))) = heap.pop() {
+        while let Some(Reverse((key, item))) = heap.pop() {
             match item {
-                SeedItem::Record(addr) => return Ok(Some(addr)),
+                SeedItem::Record(addr) => return Ok(Some((key.0, addr))),
                 SeedItem::Node { page, level: 1 } => {
                     let leaf = pool.read_page(page, PageKind::SeedLeaf)?;
                     let count = meta_leaf_len(&leaf)?;
                     for slot in 0..count as u16 {
                         let record = decode_meta_record(&leaf, slot)?;
-                        if record.is_continuation {
+                        if record.is_continuation || record.is_dead {
                             continue; // not a valid crawl entry point
                         }
                         let key = record.page_mbr.distance_sq_to_point(&point);

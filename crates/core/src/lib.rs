@@ -35,6 +35,7 @@
 //! | `query` (re-exported) | §V-B.1, §VI, Alg. 2 | seed + crawl |
 //! | `knn` (re-exported) | extension | [`FlatIndex::knn_query`], best-first seed + crawl |
 //! | `engine` (re-exported) | extension | [`QueryEngine`]: batched execution + crawl-ahead prefetch |
+//! | `delta` (re-exported) | extension | [`DeltaIndex`]: delta inserts/deletes with neighbor-link repair, tombstones, compaction back to a pristine (byte-identical) bulkload |
 //!
 //! # Example
 //!
@@ -62,6 +63,7 @@
 #![forbid(unsafe_code)]
 
 mod builder;
+mod delta;
 mod engine;
 mod index;
 mod knn;
@@ -72,6 +74,7 @@ mod persist;
 mod query;
 
 pub use builder::{FlatIndexBuilder, StreamingStats, DEFAULT_SPILL_BUDGET};
+pub use delta::{verify_compacted_store, DeltaIndex, DeltaReport};
 pub use engine::{BatchOutcome, EngineConfig, KnnBatchOutcome, QueryEngine};
 pub use index::{BuildStats, FlatIndex, FlatOptions, MetaOrder};
 pub use knn::{KnnStats, Neighbor};

@@ -18,10 +18,20 @@
 //!     page MBR      6 × f64   (48 bytes)
 //!     partition MBR 6 × f64   (48 bytes)
 //!     object page   u64
-//!     neighbor n    u16  (bit 15 = continuation-record flag)
+//!     neighbor n    u16  (bit 15 = continuation flag, bit 14 = dead flag)
 //!     continuation  u64 page + u16 slot   (page = u64::MAX ⇒ none)
 //!     neighbors     n × (u64 page, u16 slot)   (10 bytes each)
 //! ```
+//!
+//! # Dead records
+//!
+//! The dynamic-update layer (`crate::DeltaIndex`) retires a partition when
+//! its last live element is deleted: the partition's object page is
+//! returned to the store's free list and its metadata record is marked
+//! **dead** (bit 14 of the count word). A dead record keeps its slot — so
+//! the addresses of its page-mates stay valid — but carries no neighbors,
+//! is skipped by the seed phase, and by invariant is never the target of a
+//! neighbor pointer (retirement prunes every inbound link).
 //!
 //! # Continuation chaining
 //!
@@ -49,6 +59,13 @@ const NEIGHBOR_SIZE: usize = 10;
 const DIR_ENTRY: usize = 2;
 /// Sentinel for "no continuation".
 const NO_CONTINUATION: u64 = u64::MAX;
+/// Count-word flag: this record is a continuation chunk.
+const FLAG_CONTINUATION: u16 = 0x8000;
+/// Count-word flag: this record's partition has been retired (see the
+/// module docs on dead records).
+const FLAG_DEAD: u16 = 0x4000;
+/// Count-word bits holding the neighbor count.
+const COUNT_MASK: u16 = 0x3FFF;
 
 /// Address of a metadata record: the seed-tree leaf page holding it plus
 /// its slot. Neighbor pointers are exactly these addresses — following one
@@ -79,6 +96,10 @@ pub struct MetaRecord {
     /// crawl entry points (the seed phase skips continuations: a crawl
     /// seeded mid-chain would only see the tail of the neighbor list).
     pub is_continuation: bool,
+    /// `true` once the record's partition has been retired by the
+    /// dynamic-update layer: its object page is freed, no links point at
+    /// it, and the seed phase skips it.
+    pub is_dead: bool,
 }
 
 impl MetaRecord {
@@ -221,8 +242,19 @@ pub fn encode_meta_leaf(records: &[MetaRecord], page: &mut Page) {
         put_mbr(page, offset, &record.page_mbr);
         put_mbr(page, offset + 48, &record.partition_mbr);
         page.put_u64(offset + 96, record.object_page.0);
-        let flag = if record.is_continuation { 0x8000 } else { 0 };
-        page.put_u16(offset + 104, record.neighbors.len() as u16 | flag);
+        assert!(
+            record.neighbors.len() <= COUNT_MASK as usize,
+            "neighbor count {} exceeds the count-word mask",
+            record.neighbors.len()
+        );
+        let mut flags = 0u16;
+        if record.is_continuation {
+            flags |= FLAG_CONTINUATION;
+        }
+        if record.is_dead {
+            flags |= FLAG_DEAD;
+        }
+        page.put_u16(offset + 104, record.neighbors.len() as u16 | flags);
         match record.continuation {
             Some(c) => {
                 page.put_u64(offset + 106, c.page.0);
@@ -272,8 +304,9 @@ pub fn decode_meta_record(page: &Page, slot: u16) -> Result<MetaRecord, StorageE
     let partition_mbr = get_mbr(page, offset + 48);
     let object_page = PageId(page.get_u64(offset + 96));
     let count_word = page.get_u16(offset + 104);
-    let is_continuation = count_word & 0x8000 != 0;
-    let n = (count_word & 0x7FFF) as usize;
+    let is_continuation = count_word & FLAG_CONTINUATION != 0;
+    let is_dead = count_word & FLAG_DEAD != 0;
+    let n = (count_word & COUNT_MASK) as usize;
     let continuation = match page.get_u64(offset + 106) {
         NO_CONTINUATION => None,
         p => Some(MetaRecordId {
@@ -302,6 +335,7 @@ pub fn decode_meta_record(page: &Page, slot: u16) -> Result<MetaRecord, StorageE
         neighbors,
         continuation,
         is_continuation,
+        is_dead,
     })
 }
 
@@ -331,6 +365,7 @@ mod tests {
                 .collect(),
             continuation: None,
             is_continuation: false,
+            is_dead: false,
         }
     }
 
@@ -374,6 +409,25 @@ mod tests {
             17,
             "flag bit must not corrupt the count"
         );
+        assert_eq!(got, record);
+    }
+
+    #[test]
+    fn dead_flag_roundtrips_independently_of_count_and_continuation() {
+        let mut record = sample_record(5, 9);
+        record.is_dead = true;
+        let mut page = Page::new();
+        encode_meta_leaf(std::slice::from_ref(&record), &mut page);
+        let got = decode_meta_record(&page, 0).unwrap();
+        assert!(got.is_dead);
+        assert!(!got.is_continuation);
+        assert_eq!(got.neighbors.len(), 9);
+        assert_eq!(got, record);
+
+        record.is_continuation = true;
+        encode_meta_leaf(std::slice::from_ref(&record), &mut page);
+        let got = decode_meta_record(&page, 0).unwrap();
+        assert!(got.is_dead && got.is_continuation);
         assert_eq!(got, record);
     }
 

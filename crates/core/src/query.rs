@@ -9,6 +9,18 @@ use flat_rtree::{Hit, LeafLayout};
 use flat_storage::{PageId, PageKind, PageRead, StorageError};
 use std::collections::{HashSet, VecDeque};
 
+/// Deleted-element set of a [`crate::DeltaIndex`], keyed by physical
+/// location `(object page, slot)` — the one identity that stays valid
+/// under both leaf layouts and across delete-then-reinsert of the same
+/// application id. `None` everywhere on the static query path.
+pub(crate) type Tombstones = HashSet<(PageId, u16)>;
+
+/// `true` when the element at `slot` of `page` is still live.
+#[inline]
+pub(crate) fn is_live(tombstones: Option<&Tombstones>, page: PageId, slot: usize) -> bool {
+    tombstones.is_none_or(|t| !t.contains(&(page, slot as u16)))
+}
+
 /// Crawl-progress hooks the batched [`crate::QueryEngine`] uses to turn
 /// traversal events into readahead hints. The serial query path passes
 /// `None` and pays nothing; implementations must be pure hints — they can
@@ -79,25 +91,30 @@ impl FlatIndex {
         stats: &mut QueryStats,
     ) -> Result<Vec<Hit>, StorageError> {
         let mut hits = Vec::new();
-        let Some(seed) = self.seed(pool, query, stats, None)? else {
+        let Some(seed) = self.seed(pool, query, stats, None, None)? else {
             return Ok(hits); // "If no object page can be found, then the
                              // query has no result" (§V-B.1).
         };
         let mut state = CrawlState::start(seed);
-        while !self.crawl_step(pool, query, &mut state, stats, &mut hits, None)? {}
+        while !self.crawl_step(pool, query, &mut state, stats, &mut hits, None, None)? {}
         stats.result_count = hits.len() as u64;
         Ok(hits)
     }
 
     /// The seed phase (§V-B.1): walk a single path of the seed tree
     /// (early-exit DFS), reading candidate object pages until one actually
-    /// contains an element intersecting the query.
+    /// contains a (live) element intersecting the query.
+    ///
+    /// `tombstones` is the delta layer's deleted-element set: probes skip
+    /// tombstoned elements, and records whose partitions were retired
+    /// (dead flag) are never entry points — their object pages are freed.
     pub(crate) fn seed(
         &self,
         pool: &impl PageRead,
         query: &Aabb,
         stats: &mut QueryStats,
         hinter: Option<&dyn CrawlHinter>,
+        tombstones: Option<&Tombstones>,
     ) -> Result<Option<MetaRecordId>, StorageError> {
         let Some(root) = self.seed_root else {
             return Ok(None);
@@ -112,8 +129,9 @@ impl FlatIndex {
                     let record = decode_meta_record(&leaf, slot)?;
                     // Continuation chunks are not crawl entry points: a
                     // crawl seeded mid-chain would only reach the tail of
-                    // the over-full neighbor list.
-                    if record.is_continuation {
+                    // the over-full neighbor list. Dead records have no
+                    // object page at all.
+                    if record.is_continuation || record.is_dead {
                         continue;
                     }
                     stats.mbr_tests += 1;
@@ -126,7 +144,9 @@ impl FlatIndex {
                         let page = pool.read_page(record.object_page, PageKind::ObjectPage)?;
                         let (_, entries) = decode_leaf(&page)?;
                         stats.mbr_tests += entries.len() as u64;
-                        entries.iter().any(|e| query.intersects(&e.mbr))
+                        entries.iter().enumerate().any(|(s, e)| {
+                            is_live(tombstones, record.object_page, s) && query.intersects(&e.mbr)
+                        })
                     };
                     if found {
                         return Ok(Some(MetaRecordId {
@@ -175,6 +195,7 @@ impl FlatIndex {
     /// ("seen"), which preserves the intended I/O behaviour — every record
     /// is processed at most once, every object page read at most once —
     /// and guarantees termination.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn crawl_step(
         &self,
         pool: &impl PageRead,
@@ -183,6 +204,7 @@ impl FlatIndex {
         stats: &mut QueryStats,
         hits: &mut Vec<Hit>,
         hinter: Option<&dyn CrawlHinter>,
+        tombstones: Option<&Tombstones>,
     ) -> Result<bool, StorageError> {
         let Some(addr) = state.queue.pop_front() else {
             return Ok(true);
@@ -193,6 +215,13 @@ impl FlatIndex {
             let page = pool.read_page(addr.page, PageKind::SeedLeaf)?;
             decode_meta_record(&page, addr.slot)?
         };
+        // Retirement prunes every link to a dead record, so the crawl can
+        // only land on one through a stale seed — never expand it (its
+        // object page is freed).
+        debug_assert!(!record.is_dead, "crawl reached a dead record");
+        if record.is_dead {
+            return Ok(state.queue.is_empty());
+        }
 
         // "the object page is only read from disk if M's page MBR
         // intersects with the query" (§VI).
@@ -203,7 +232,7 @@ impl FlatIndex {
             let (layout, entries) = decode_leaf(&page)?;
             for (slot, entry) in entries.iter().enumerate() {
                 stats.mbr_tests += 1;
-                if query.intersects(&entry.mbr) {
+                if is_live(tombstones, record.object_page, slot) && query.intersects(&entry.mbr) {
                     let id = match layout {
                         LeafLayout::MbrOnly => (record.object_page.0 << 16) | entry.id,
                         LeafLayout::WithIds => entry.id,
@@ -267,7 +296,7 @@ impl FlatIndex {
     ) -> Result<Option<(PageId, u16)>, StorageError> {
         let mut stats = QueryStats::default();
         Ok(self
-            .seed(pool, query, &mut stats, None)?
+            .seed(pool, query, &mut stats, None, None)?
             .map(|r| (r.page, r.slot)))
     }
 }

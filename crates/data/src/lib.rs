@@ -13,6 +13,7 @@
 //! | [`mesh`] | Brain Mesh / Lucy (§VIII) | dense connected 2-manifold triangle soup |
 //! | [`nbody`] | Nuage dark matter / gas / stars (§VIII) | clustered point data |
 //! | [`workload`] | SN / LSS micro-benchmarks (§VII-A) | fixed-volume random-location random-aspect range queries |
+//! | [`update`] | — (extension) | timestep churn: delete-and-reinsert-displaced batches over any entry set, for the dynamic index layer |
 //!
 //! All generators are deterministic given a seed, and *prefix-stable*: the
 //! first `k` logical units (neurons, clusters, blobs) of a generation are
@@ -33,6 +34,7 @@ pub mod nbody;
 pub mod neuron;
 pub mod source;
 pub mod uniform;
+pub mod update;
 pub mod workload;
 
 pub use source::{EntryIter, EntrySource, VecSource};

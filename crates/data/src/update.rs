@@ -1,0 +1,242 @@
+//! Update workloads: timestep churn over an evolving model (extension).
+//!
+//! The paper's datasets are snapshots of a running simulation; between
+//! snapshots the model *churns* — elements move, die, and appear. This
+//! module turns any entry set (a neuron model, a mesh, a uniform cloud)
+//! into a deterministic sequence of update batches for the dynamic index
+//! layer: each timestep deletes a sample of live elements and re-inserts
+//! displaced replacements under fresh ids, which is exactly the
+//! delete-then-reinsert pattern a simulation writing back moved geometry
+//! produces.
+//!
+//! The generator tracks the live population itself, so differential tests
+//! and benchmarks can use [`ChurnWorkload::live`] as the ground truth for
+//! "the surviving entries" after any prefix of steps.
+
+use flat_geom::{Aabb, Point3};
+use flat_rtree::Entry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a churn sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Elements replaced (deleted and re-inserted displaced) per timestep.
+    pub churn_per_step: usize,
+    /// Net growth per timestep: fresh elements inserted on top of the
+    /// replacements (`0` keeps the population constant).
+    pub growth_per_step: usize,
+    /// Maximum per-axis displacement of a replaced element's center, as a
+    /// fraction of the corresponding domain extent.
+    pub displacement: f64,
+    /// RNG seed; the whole sequence is deterministic in it.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// A constant-population churn of `churn_per_step` elements with mild
+    /// (1 % of the domain) displacement.
+    pub fn steady(churn_per_step: usize, seed: u64) -> ChurnConfig {
+        ChurnConfig {
+            churn_per_step,
+            growth_per_step: 0,
+            displacement: 0.01,
+            seed,
+        }
+    }
+}
+
+/// One timestep's update batch: deletes to apply first, then inserts.
+#[derive(Debug, Clone)]
+pub struct UpdateStep {
+    /// Application ids to delete.
+    pub deletes: Vec<u64>,
+    /// Entries to insert (ids fresh, never colliding with live ones).
+    pub inserts: Vec<Entry>,
+}
+
+/// A deterministic churn generator over an evolving element population.
+#[derive(Debug)]
+pub struct ChurnWorkload {
+    live: Vec<Entry>,
+    domain: Aabb,
+    config: ChurnConfig,
+    next_id: u64,
+    rng: StdRng,
+}
+
+impl ChurnWorkload {
+    /// Starts a churn over `initial` (the indexed snapshot) inside
+    /// `domain`. Initial ids must be unique — they are with every
+    /// generator in this crate.
+    pub fn new(initial: Vec<Entry>, domain: Aabb, config: ChurnConfig) -> ChurnWorkload {
+        let next_id = initial.iter().map(|e| e.id + 1).max().unwrap_or(0);
+        ChurnWorkload {
+            live: initial,
+            domain,
+            config,
+            next_id,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// The current live population (the ground truth a differential test
+    /// rebuilds from).
+    pub fn live(&self) -> &[Entry] {
+        &self.live
+    }
+
+    /// Generates the next timestep: a sample of live elements is deleted
+    /// and re-inserted displaced (same extents, jittered center, fresh
+    /// id), plus `growth_per_step` entirely new elements. The internal
+    /// population is updated, so consecutive calls model an evolving run.
+    pub fn step(&mut self) -> UpdateStep {
+        let churn = self.config.churn_per_step.min(self.live.len());
+        let mut deletes = Vec::with_capacity(churn);
+        let mut inserts = Vec::with_capacity(churn + self.config.growth_per_step);
+        for _ in 0..churn {
+            // Swap-remove a random live element: O(1) and unbiased.
+            let at = self.rng.gen_range(0..self.live.len());
+            let victim = self.live.swap_remove(at);
+            deletes.push(victim.id);
+            inserts.push(self.displaced(victim.mbr));
+        }
+        for _ in 0..self.config.growth_per_step {
+            let mbr = self
+                .live
+                .get(self.rng.gen_range(0..self.live.len().max(1)))
+                .map(|e| e.mbr);
+            let template = mbr.unwrap_or_else(|| Aabb::cube(self.domain.center(), 1.0));
+            inserts.push(self.displaced(template));
+        }
+        self.live.extend(inserts.iter().copied());
+        UpdateStep { deletes, inserts }
+    }
+
+    /// A copy of `mbr` with its center jittered by at most `displacement`
+    /// of the domain extent per axis (clamped so the element's center
+    /// stays inside the domain), under a fresh id.
+    fn displaced(&mut self, mbr: Aabb) -> Entry {
+        let extents = self.domain.extents();
+        let half = mbr.extents() * 0.5;
+        let c = mbr.center();
+        let mut jitter = |c: f64, lo: f64, hi: f64, extent: f64| {
+            let d = self.config.displacement * extent;
+            let offset = if d > 0.0 {
+                self.rng.gen_range(-d..d)
+            } else {
+                0.0
+            };
+            (c + offset).clamp(lo, hi)
+        };
+        let center = Point3::new(
+            jitter(c.x, self.domain.min.x, self.domain.max.x, extents.x),
+            jitter(c.y, self.domain.min.y, self.domain.max.y, extents.y),
+            jitter(c.z, self.domain.min.z, self.domain.max.z, extents.z),
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        Entry::new(id, Aabb::centered(center, half * 2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::{uniform_entries, UniformConfig};
+
+    fn workload(seed: u64) -> ChurnWorkload {
+        let domain = crate::synthetic_domain();
+        let entries = uniform_entries(&UniformConfig {
+            count: 2_000,
+            domain,
+            element_volume: 8.0,
+            length_range: (1.0, 1.0),
+            seed: 7,
+        });
+        ChurnWorkload::new(entries, domain, ChurnConfig::steady(100, seed))
+    }
+
+    #[test]
+    fn steps_are_deterministic_in_the_seed() {
+        let (mut a, mut b) = (workload(3), workload(3));
+        for _ in 0..5 {
+            let (sa, sb) = (a.step(), b.step());
+            assert_eq!(sa.deletes, sb.deletes);
+            assert_eq!(sa.inserts, sb.inserts);
+        }
+        let mut c = workload(4);
+        assert_ne!(a.step().deletes, c.step().deletes);
+    }
+
+    #[test]
+    fn steady_churn_keeps_the_population_constant() {
+        let mut w = workload(5);
+        let before = w.live().len();
+        for _ in 0..10 {
+            let step = w.step();
+            assert_eq!(step.deletes.len(), 100);
+            assert_eq!(step.inserts.len(), 100);
+        }
+        assert_eq!(w.live().len(), before);
+    }
+
+    #[test]
+    fn fresh_ids_never_collide_with_live_ones() {
+        let mut w = workload(6);
+        let mut live: std::collections::HashSet<u64> = w.live().iter().map(|e| e.id).collect();
+        for _ in 0..10 {
+            let step = w.step();
+            for d in &step.deletes {
+                assert!(live.remove(d), "deleted id {d} was not live");
+            }
+            for e in &step.inserts {
+                assert!(live.insert(e.id), "inserted id {} collides", e.id);
+            }
+        }
+    }
+
+    #[test]
+    fn displaced_elements_stay_in_the_domain_and_keep_extents() {
+        let mut w = workload(8);
+        let extents_before: Vec<_> = w.live().iter().map(|e| e.mbr.extents()).collect();
+        let step = w.step();
+        for e in &step.inserts {
+            assert!(w.domain.contains_point(&e.mbr.center()));
+            // Extents are preserved from *some* replaced element.
+            let ext = e.mbr.extents();
+            assert!(
+                extents_before.iter().any(|b| (b.x - ext.x).abs() < 1e-9
+                    && (b.y - ext.y).abs() < 1e-9
+                    && (b.z - ext.z).abs() < 1e-9),
+                "displacement changed element extents"
+            );
+        }
+    }
+
+    #[test]
+    fn growth_grows_the_population() {
+        let domain = crate::synthetic_domain();
+        let entries = uniform_entries(&UniformConfig {
+            count: 500,
+            domain,
+            element_volume: 8.0,
+            length_range: (1.0, 1.0),
+            seed: 7,
+        });
+        let mut w = ChurnWorkload::new(
+            entries,
+            domain,
+            ChurnConfig {
+                churn_per_step: 50,
+                growth_per_step: 25,
+                displacement: 0.02,
+                seed: 9,
+            },
+        );
+        for _ in 0..4 {
+            w.step();
+        }
+        assert_eq!(w.live().len(), 500 + 4 * 25);
+    }
+}

@@ -54,13 +54,21 @@ pub trait PageRead {
     }
 }
 
-/// Exclusive build-time access: page allocation and write-through writes.
+/// Exclusive build-time access: page allocation, write-through writes, and
+/// page reclamation.
 pub trait PageWrite {
-    /// Allocates a fresh zeroed page.
+    /// Allocates a zeroed page (reusing the lowest freed page, if any —
+    /// see [`crate::PageStore::alloc`]).
     fn alloc(&mut self) -> Result<PageId, StorageError>;
 
     /// Writes `page` through to the store, counting it against `kind`.
     fn write(&mut self, id: PageId, page: &Page, kind: PageKind) -> Result<(), StorageError>;
+
+    /// Returns page `id` to the store's free list (dropping any cached
+    /// copy). The dynamic-update layer frees object pages of fully deleted
+    /// partitions and compaction frees the entire old index; reads of a
+    /// freed page fail until it is reallocated.
+    fn free(&mut self, id: PageId) -> Result<(), StorageError>;
 }
 
 impl<P: PageRead + ?Sized> PageRead for &P {
@@ -100,5 +108,9 @@ impl<W: PageWrite + ?Sized> PageWrite for &mut W {
 
     fn write(&mut self, id: PageId, page: &Page, kind: PageKind) -> Result<(), StorageError> {
         (**self).write(id, page, kind)
+    }
+
+    fn free(&mut self, id: PageId) -> Result<(), StorageError> {
+        (**self).free(id)
     }
 }

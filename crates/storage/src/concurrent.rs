@@ -12,7 +12,9 @@
 
 use crate::pool::{AtomicIoStats, CacheState};
 use crate::sync_util::lock_unpoisoned;
-use crate::{BufferPool, IoStats, Page, PageId, PageKind, PageRead, PageStore, StorageError};
+use crate::{
+    BufferPool, IoStats, Page, PageId, PageKind, PageRead, PageStore, PageWrite, StorageError,
+};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Default number of lock shards (must be a power of two).
@@ -191,6 +193,36 @@ impl<S: PageStore> PageRead for ConcurrentBufferPool<S> {
     }
 }
 
+/// Exclusive writes through a shared pool: a dynamic-update layer holds the
+/// pool behind an `RwLock`-style discipline — queries take shared access
+/// ([`PageRead`], `&self`), update batches take `&mut self` and go through
+/// this impl. The exclusive borrow is what guarantees readers see either
+/// the pre-batch or the post-batch pages, never a torn mix; writes refresh
+/// (and frees drop) any cached shard copy so later shared reads observe
+/// the new bytes.
+impl<S: PageStore> PageWrite for ConcurrentBufferPool<S> {
+    fn alloc(&mut self) -> Result<PageId, StorageError> {
+        self.store.alloc()
+    }
+
+    fn write(&mut self, id: PageId, page: &Page, kind: PageKind) -> Result<(), StorageError> {
+        self.store.write_page(id, page)?;
+        self.stats.record_write(kind);
+        let mut cache = self.shard(id);
+        if let Some(slot) = cache.slot_of(id) {
+            *cache.page_mut(slot) = page.clone();
+            cache.touch(slot);
+        }
+        Ok(())
+    }
+
+    fn free(&mut self, id: PageId) -> Result<(), StorageError> {
+        self.store.free_page(id)?;
+        self.shard(id).remove(id);
+        Ok(())
+    }
+}
+
 impl<S: PageStore> std::fmt::Debug for ConcurrentBufferPool<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConcurrentBufferPool")
@@ -265,6 +297,42 @@ mod tests {
             store.write_page(id, &page).unwrap();
         }
         store
+    }
+
+    #[test]
+    fn exclusive_writes_refresh_shard_caches() {
+        let mut pool = ConcurrentBufferPool::new(store_with_pages(4), 16);
+        // Cache page 2 via a shared read, then overwrite it exclusively.
+        assert_eq!(
+            pool.read_page(PageId(2), PageKind::Other)
+                .unwrap()
+                .get_u64(0),
+            2
+        );
+        let mut page = Page::new();
+        page.put_u64(0, 777);
+        pool.write(PageId(2), &page, PageKind::Other).unwrap();
+        // The next shared read must see the new bytes without a store read.
+        let before = pool.stats().total_physical_reads();
+        assert_eq!(
+            pool.read_page(PageId(2), PageKind::Other)
+                .unwrap()
+                .get_u64(0),
+            777
+        );
+        assert_eq!(pool.stats().total_physical_reads(), before);
+        assert_eq!(pool.stats().total_writes(), 1);
+    }
+
+    #[test]
+    fn exclusive_free_invalidates_shard_caches() {
+        let mut pool = ConcurrentBufferPool::new(store_with_pages(4), 16);
+        pool.read_page(PageId(1), PageKind::Other).unwrap();
+        PageWrite::free(&mut pool, PageId(1)).unwrap();
+        assert!(pool.read_page(PageId(1), PageKind::Other).is_err());
+        assert_eq!(pool.store().free_pages(), vec![PageId(1)]);
+        // alloc reuses the freed id.
+        assert_eq!(PageWrite::alloc(&mut pool).unwrap(), PageId(1));
     }
 
     #[test]

@@ -350,6 +350,14 @@ impl CacheState {
         }
     }
 
+    /// Drops `id` from the cache if present (page freed or invalidated).
+    pub(crate) fn remove(&mut self, id: PageId) {
+        if let Some(slot) = self.map.remove(&id) {
+            self.unlink(slot);
+            self.free.push(slot);
+        }
+    }
+
     /// Moves `slot` to the head of the LRU list.
     pub(crate) fn touch(&mut self, slot: usize) {
         if self.head == slot {
@@ -529,6 +537,13 @@ impl<S: PageStore> BufferPool<S> {
         Ok(())
     }
 
+    /// Returns a page to the store's free list, dropping any cached copy.
+    pub fn free(&mut self, id: PageId) -> Result<(), StorageError> {
+        self.store.free_page(id)?;
+        self.cache.get_mut().remove(id);
+        Ok(())
+    }
+
     /// Reads a page without copying it, counting it against `kind`. The
     /// returned reference is valid until the next call that mutates the
     /// pool. This is the build-time fast path; shared readers use
@@ -589,6 +604,10 @@ impl<S: PageStore> PageWrite for BufferPool<S> {
 
     fn write(&mut self, id: PageId, page: &Page, kind: PageKind) -> Result<(), StorageError> {
         BufferPool::write(self, id, page, kind)
+    }
+
+    fn free(&mut self, id: PageId) -> Result<(), StorageError> {
+        BufferPool::free(self, id)
     }
 }
 
@@ -761,6 +780,19 @@ mod tests {
         }
         // Every access alternates pages through one slot: all misses.
         assert_eq!(pool.stats().total_physical_reads(), 6);
+    }
+
+    #[test]
+    fn free_drops_cached_copy_and_reaches_store() {
+        let mut pool = pool_with_pages(3, 8);
+        pool.read(PageId(1), PageKind::Other).unwrap(); // cached
+        pool.free(PageId(1)).unwrap();
+        assert_eq!(pool.store().num_free(), 1);
+        // The cached copy must be gone: a read now fails at the store.
+        assert!(pool.read(PageId(1), PageKind::Other).is_err());
+        // Reallocation brings the id back, zeroed.
+        assert_eq!(pool.alloc().unwrap(), PageId(1));
+        assert_eq!(pool.read(PageId(1), PageKind::Other).unwrap().get_u64(0), 0);
     }
 
     #[test]

@@ -7,12 +7,15 @@ use std::path::Path;
 
 /// The backing medium for pages.
 ///
-/// A store is an append-allocated array of fixed-size pages. Stores know
-/// nothing about caching or statistics — that is the [`crate::BufferPool`]'s
-/// job — and nothing about what the pages contain.
+/// A store is an append-allocated array of fixed-size pages with a free
+/// list. Stores know nothing about caching or statistics — that is the
+/// [`crate::BufferPool`]'s job — and nothing about what the pages contain.
 pub trait PageStore {
-    /// Allocates a new zeroed page and returns its id. Ids are dense and
-    /// allocated in increasing order.
+    /// Allocates a zeroed page and returns its id. While no page has ever
+    /// been freed, ids are dense and allocated in increasing order (the
+    /// contract bulkloads lean on); once pages are freed, allocation reuses
+    /// the **lowest** freed id first, so a store whose pages were all freed
+    /// hands ids back out in the original dense order.
     fn alloc(&mut self) -> Result<PageId, StorageError>;
 
     /// Writes `page` to `id`.
@@ -21,7 +24,22 @@ pub trait PageStore {
     /// Reads page `id` into `out`.
     fn read_page(&self, id: PageId, out: &mut Page) -> Result<(), StorageError>;
 
-    /// Number of allocated pages.
+    /// Returns page `id` to the allocator. The page's bytes are zeroed and
+    /// any read or write of it fails until [`PageStore::alloc`] hands the
+    /// id out again — which turns use-after-free bugs into loud errors
+    /// instead of silent corruption.
+    fn free_page(&mut self, id: PageId) -> Result<(), StorageError>;
+
+    /// Ids currently on the free list, ascending.
+    fn free_pages(&self) -> Vec<PageId>;
+
+    /// Number of pages on the free list.
+    fn num_free(&self) -> u64 {
+        self.free_pages().len() as u64
+    }
+
+    /// Number of allocated pages (a high-water mark: freed pages still
+    /// count until they are reused).
     fn num_pages(&self) -> u64;
 
     /// Total allocated size in bytes.
@@ -39,6 +57,7 @@ pub trait PageStore {
 #[derive(Debug, Default)]
 pub struct MemStore {
     pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    free: std::collections::BTreeSet<u64>,
 }
 
 impl MemStore {
@@ -51,6 +70,7 @@ impl MemStore {
     pub fn with_capacity(n: usize) -> MemStore {
         MemStore {
             pages: Vec::with_capacity(n),
+            free: std::collections::BTreeSet::new(),
         }
     }
 
@@ -61,6 +81,8 @@ impl MemStore {
                 page: id,
                 allocated: self.pages.len() as u64,
             })
+        } else if self.free.contains(&id.0) {
+            Err(StorageError::Corrupt(format!("access to freed {id}")))
         } else {
             Ok(idx)
         }
@@ -69,6 +91,10 @@ impl MemStore {
 
 impl PageStore for MemStore {
     fn alloc(&mut self) -> Result<PageId, StorageError> {
+        if let Some(&lowest) = self.free.iter().next() {
+            self.free.remove(&lowest);
+            return Ok(PageId(lowest)); // zeroed when it was freed
+        }
         let id = PageId(self.pages.len() as u64);
         self.pages.push(Box::new([0u8; PAGE_SIZE]));
         Ok(id)
@@ -86,6 +112,17 @@ impl PageStore for MemStore {
         Ok(())
     }
 
+    fn free_page(&mut self, id: PageId) -> Result<(), StorageError> {
+        let idx = self.check(id)?; // rejects double frees too
+        self.pages[idx].fill(0);
+        self.free.insert(id.0);
+        Ok(())
+    }
+
+    fn free_pages(&self) -> Vec<PageId> {
+        self.free.iter().map(|&i| PageId(i)).collect()
+    }
+
     fn num_pages(&self) -> u64 {
         self.pages.len() as u64
     }
@@ -96,10 +133,15 @@ impl PageStore for MemStore {
 /// The file handle sits behind a mutex (seek + read must be one atomic
 /// step), so the store is `Sync` and a [`crate::ConcurrentBufferPool`] can
 /// serve file-backed pages to many reader threads.
+///
+/// The free list is kept in memory only: freed pages are zeroed on disk
+/// but reopening a store forgets which pages were free, so they leak until
+/// the next index compaction rewrites the file.
 #[derive(Debug)]
 pub struct FileStore {
     file: std::sync::Mutex<File>,
     num_pages: u64,
+    free: std::collections::BTreeSet<u64>,
 }
 
 impl FileStore {
@@ -114,6 +156,7 @@ impl FileStore {
         Ok(FileStore {
             file: std::sync::Mutex::new(file),
             num_pages: 0,
+            free: std::collections::BTreeSet::new(),
         })
     }
 
@@ -131,6 +174,7 @@ impl FileStore {
         Ok(FileStore {
             file: std::sync::Mutex::new(file),
             num_pages: len / PAGE_SIZE as u64,
+            free: std::collections::BTreeSet::new(),
         })
     }
 
@@ -140,6 +184,8 @@ impl FileStore {
                 page: id,
                 allocated: self.num_pages,
             })
+        } else if self.free.contains(&id.0) {
+            Err(StorageError::Corrupt(format!("access to freed {id}")))
         } else {
             Ok(())
         }
@@ -152,6 +198,10 @@ impl FileStore {
 
 impl PageStore for FileStore {
     fn alloc(&mut self) -> Result<PageId, StorageError> {
+        if let Some(&lowest) = self.free.iter().next() {
+            self.free.remove(&lowest);
+            return Ok(PageId(lowest)); // zeroed on disk when it was freed
+        }
         let id = PageId(self.num_pages);
         let zeros = [0u8; PAGE_SIZE];
         let mut file = self.lock();
@@ -176,6 +226,21 @@ impl PageStore for FileStore {
         file.seek(SeekFrom::Start(id.byte_offset()))?;
         file.read_exact(out.bytes_mut())?;
         Ok(())
+    }
+
+    fn free_page(&mut self, id: PageId) -> Result<(), StorageError> {
+        self.check(id)?; // rejects double frees too
+        let zeros = [0u8; PAGE_SIZE];
+        let mut file = self.lock();
+        file.seek(SeekFrom::Start(id.byte_offset()))?;
+        file.write_all(&zeros)?;
+        drop(file);
+        self.free.insert(id.0);
+        Ok(())
+    }
+
+    fn free_pages(&self) -> Vec<PageId> {
+        self.free.iter().map(|&i| PageId(i)).collect()
     }
 
     fn num_pages(&self) -> u64 {
@@ -235,6 +300,14 @@ impl<S: PageStore> PageStore for ThrottledStore<S> {
     fn read_page(&self, id: PageId, out: &mut Page) -> Result<(), StorageError> {
         std::thread::sleep(self.read_latency);
         self.inner.read_page(id, out)
+    }
+
+    fn free_page(&mut self, id: PageId) -> Result<(), StorageError> {
+        self.inner.free_page(id)
+    }
+
+    fn free_pages(&self) -> Vec<PageId> {
+        self.inner.free_pages()
     }
 
     fn num_pages(&self) -> u64 {
@@ -323,6 +396,65 @@ mod tests {
             Err(StorageError::Corrupt(_))
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    fn free_list_reuse<S: PageStore>(store: &mut S) {
+        for _ in 0..4 {
+            store.alloc().unwrap();
+        }
+        store.free_page(PageId(2)).unwrap();
+        store.free_page(PageId(0)).unwrap();
+        assert_eq!(store.num_free(), 2);
+        assert_eq!(store.free_pages(), vec![PageId(0), PageId(2)]);
+        // Freed pages are fenced off until reallocated.
+        let mut out = Page::new();
+        assert!(store.read_page(PageId(0), &mut out).is_err());
+        assert!(store.write_page(PageId(0), &Page::new()).is_err());
+        assert!(store.free_page(PageId(0)).is_err(), "double free");
+        // Reuse is lowest-id-first, and reallocated pages read back zeroed.
+        assert_eq!(store.alloc().unwrap(), PageId(0));
+        assert_eq!(store.alloc().unwrap(), PageId(2));
+        assert_eq!(store.alloc().unwrap(), PageId(4));
+        store.read_page(PageId(2), &mut out).unwrap();
+        assert_eq!(out.get_u64(0), 0, "freed page was not zeroed");
+        assert_eq!(store.num_free(), 0);
+        assert_eq!(store.num_pages(), 5);
+    }
+
+    #[test]
+    fn mem_store_free_list_reuse() {
+        free_list_reuse(&mut MemStore::new());
+    }
+
+    #[test]
+    fn file_store_free_list_reuse() {
+        let dir = std::env::temp_dir().join("flat-storage-test-free");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        free_list_reuse(&mut FileStore::create(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn throttled_store_free_list_delegates() {
+        free_list_reuse(&mut ThrottledStore::new(
+            MemStore::new(),
+            std::time::Duration::ZERO,
+        ));
+    }
+
+    #[test]
+    fn freeing_a_written_page_zeroes_it() {
+        let mut store = MemStore::new();
+        let id = store.alloc().unwrap();
+        let mut page = Page::new();
+        page.put_u64(0, 0xDEAD);
+        store.write_page(id, &page).unwrap();
+        store.free_page(id).unwrap();
+        assert_eq!(store.alloc().unwrap(), id);
+        let mut out = Page::new();
+        store.read_page(id, &mut out).unwrap();
+        assert_eq!(out.get_u64(0), 0);
     }
 
     #[test]

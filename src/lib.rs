@@ -63,14 +63,15 @@ pub use flat_storage as storage;
 /// The most commonly used items of every crate, for glob import.
 pub mod prelude {
     pub use flat_core::{
-        BatchOutcome, BuildStats, EngineConfig, FlatIndex, FlatIndexBuilder, FlatOptions, KnnStats,
-        Neighbor, QueryEngine, QueryStats, StreamingStats,
+        BatchOutcome, BuildStats, DeltaIndex, DeltaReport, EngineConfig, FlatIndex,
+        FlatIndexBuilder, FlatOptions, KnnStats, Neighbor, QueryEngine, QueryStats, StreamingStats,
     };
     pub use flat_data::mesh::{mesh_entries, MeshConfig, MeshSource};
     pub use flat_data::nbody::{nbody_entries, NBodyConfig, NBodySource};
     pub use flat_data::neuron::{NeuronConfig, NeuronModel, NeuronSource};
     pub use flat_data::source::{EntrySource, VecSource};
     pub use flat_data::uniform::{uniform_entries, UniformConfig, UniformSource};
+    pub use flat_data::update::{ChurnConfig, ChurnWorkload, UpdateStep};
     pub use flat_data::workload::{knn_queries, range_queries, KnnConfig, WorkloadConfig};
     pub use flat_geom::{Aabb, Axis, Cylinder, Point3, Shape, Sphere, Triangle};
     pub use flat_rtree::{BulkLoad, Entry, Hit, LeafLayout, RTree, RTreeConfig};

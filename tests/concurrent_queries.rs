@@ -1,10 +1,14 @@
 //! Concurrency integration tests: many threads querying one [`FlatIndex`]
 //! through a shared [`ConcurrentBufferPool`] must behave exactly like
-//! serial execution — bit-identical results, consistent I/O accounting.
+//! serial execution — bit-identical results, consistent I/O accounting —
+//! and readers interleaved with a dynamic updater must observe atomic
+//! batches: every observed result set equals some pre- or post-batch
+//! state, never a torn mix.
 
 use flat_repro::prelude::*;
 use flat_repro::storage::StorageError;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 
 /// A [`PageRead`] adapter that counts the logical reads passing through it,
 /// so each worker thread can attribute its own share of the shared pool's
@@ -166,6 +170,86 @@ fn shared_pool_statistics_are_consistent_under_concurrency() {
     assert!(stats.total_physical_reads() <= stats.total_logical_reads());
     assert!(stats.total_physical_reads() <= shared.store().num_pages());
     assert_eq!(stats.total_writes(), 0, "queries must never write");
+}
+
+#[test]
+fn readers_see_pre_or_post_batch_results_never_torn() {
+    // The dynamic-update concurrency discipline: updates take the pool
+    // exclusively (`&mut`, via ConcurrentBufferPool's PageWrite impl —
+    // here through an RwLock's write guard), reads share it. Readers
+    // racing an updater must observe, for the whole query workload, a
+    // result set equal to some *published version* — the state after some
+    // whole number of batches — never a torn mix of half-applied pages.
+    let (entries, domain) = neuron_dataset();
+    let options = FlatOptions {
+        layout: LeafLayout::WithIds,
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+    let queries = queries(&domain);
+
+    let mut pool = ConcurrentBufferPool::new(MemStore::new(), 1 << 16);
+    let (index, _) = FlatIndex::build(&mut pool, entries.clone(), options).expect("build");
+    let delta = DeltaIndex::new(&pool, index, options).expect("adopt");
+
+    type Version = Vec<Vec<[u64; 7]>>;
+    let snapshot =
+        |pool: &ConcurrentBufferPool<MemStore>, delta: &DeltaIndex, queries: &[Aabb]| -> Version {
+            queries
+                .iter()
+                .map(|q| keys(&delta.range_query(pool, q).expect("query")))
+                .collect()
+        };
+
+    // Version 0 (pre-update) is published before any reader starts.
+    let versions: Mutex<Vec<Version>> = Mutex::new(vec![snapshot(&pool, &delta, &queries)]);
+    let world = RwLock::new((pool, delta));
+    let mut churn = ChurnWorkload::new(entries, domain, ChurnConfig::steady(1_500, 4242));
+
+    std::thread::scope(|scope| {
+        // Four readers hammer the workload; each full pass must equal one
+        // published version exactly.
+        for reader in 0..4 {
+            let (world, versions, queries) = (&world, &versions, &queries);
+            scope.spawn(move || {
+                for round in 0..12 {
+                    let guard = world.read().expect("reader lock");
+                    let (pool, delta) = &*guard;
+                    let observed: Version = queries
+                        .iter()
+                        .map(|q| keys(&delta.range_query(pool, q).expect("query")))
+                        .collect();
+                    drop(guard);
+                    let published = versions.lock().expect("versions lock");
+                    assert!(
+                        published.contains(&observed),
+                        "reader {reader} round {round} observed a torn state \
+                         (matches none of the {} published versions)",
+                        published.len()
+                    );
+                }
+            });
+        }
+        // One updater applies churn batches; each batch and its reference
+        // snapshot are published atomically under the write lock.
+        scope.spawn(|| {
+            for _ in 0..3 {
+                let step = churn.step();
+                let mut guard = world.write().expect("updater lock");
+                let (pool, delta) = &mut *guard;
+                delta.delete_batch(pool, &step.deletes).expect("delete");
+                delta.insert_batch(pool, step.inserts).expect("insert");
+                let version = snapshot(pool, delta, &queries);
+                versions.lock().expect("versions lock").push(version);
+            }
+        });
+    });
+
+    let (pool, delta) = world.into_inner().expect("world lock");
+    assert_eq!(versions.lock().unwrap().len(), 4, "3 batches + the base");
+    delta
+        .check_invariants(&pool, &pool.store().free_pages())
+        .unwrap_or_else(|e| panic!("invariants violated after the race: {e}"));
 }
 
 #[test]

@@ -1,6 +1,8 @@
 //! Crawl edge cases: degenerate queries and boundary seeds, exercised
 //! through both the serial path and the batched engine (which must agree
-//! bit-for-bit).
+//! bit-for-bit) — plus the degenerate states of the dynamic-update layer
+//! (fully-deleted index, delete-then-reinsert, delta-only index, empty
+//! compaction).
 
 use flat_repro::prelude::*;
 
@@ -125,6 +127,200 @@ fn empty_index_queries() {
     assert!(outcome.results[0].is_empty());
     assert!(index
         .knn_query(&shared, Point3::splat(0.0), 3)
+        .unwrap()
+        .is_empty());
+}
+
+// ---------- dynamic-update edge cases ----------
+
+fn delta_options() -> FlatOptions {
+    FlatOptions {
+        layout: LeafLayout::WithIds,
+        domain: Some(Aabb::from_corners(Point3::splat(0.0), Point3::splat(100.0))),
+        ..FlatOptions::default()
+    }
+}
+
+fn build_delta(entries: Vec<Entry>) -> (BufferPool<MemStore>, DeltaIndex) {
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (index, _) = FlatIndex::build(&mut pool, entries, delta_options()).expect("build");
+    let delta = DeltaIndex::new(&pool, index, delta_options()).expect("adopt");
+    (pool, delta)
+}
+
+fn assert_invariants(pool: &BufferPool<MemStore>, delta: &DeltaIndex) {
+    delta
+        .check_invariants(pool, &pool.store().free_pages())
+        .unwrap_or_else(|e| panic!("invariants violated: {e}"));
+}
+
+#[test]
+fn fully_deleted_index_answers_queries() {
+    let entries = grid_entries(6, 10.0);
+    let ids: Vec<u64> = entries.iter().map(|e| e.id).collect();
+    let (mut pool, mut delta) = build_delta(entries);
+    assert_eq!(delta.delete_batch(&mut pool, &ids).unwrap(), ids.len());
+    assert_eq!(delta.num_live_elements(), 0);
+    assert_eq!(
+        delta.num_live_partitions(),
+        0,
+        "every partition must retire"
+    );
+    assert!(pool.store().num_free() > 0, "object pages must be freed");
+    assert_invariants(&pool, &delta);
+    for q in [
+        Aabb::cube(Point3::splat(30.0), 10.0),
+        Aabb::cube(Point3::splat(30.0), 500.0),
+        Aabb::point(Point3::splat(5.0)),
+    ] {
+        assert!(delta.range_query(&pool, &q).unwrap().is_empty());
+    }
+    assert!(delta
+        .knn_query(&pool, Point3::splat(30.0), 7)
+        .unwrap()
+        .is_empty());
+    // A fully-deleted index is still mutable: reinsert and query again.
+    let fresh: Vec<Entry> = (0..200u64)
+        .map(|i| {
+            Entry::new(
+                10_000 + i,
+                Aabb::cube(Point3::splat((i % 50) as f64 + 25.0), 1.0),
+            )
+        })
+        .collect();
+    delta.insert_batch(&mut pool, fresh.clone()).unwrap();
+    let q = Aabb::cube(Point3::splat(50.0), 500.0);
+    assert_eq!(delta.range_query(&pool, &q).unwrap().len(), fresh.len());
+    assert_invariants(&pool, &delta);
+}
+
+#[test]
+fn delete_then_reinsert_at_same_coordinates() {
+    let entries = grid_entries(6, 10.0);
+    let (mut pool, mut delta) = build_delta(entries.clone());
+    // Delete a handful of elements, then reinsert entries with the *same
+    // coordinates* — first under fresh ids, then reusing the deleted ids
+    // (legal once the old tenant is gone).
+    let victims: Vec<&Entry> = entries.iter().take(10).collect();
+    let victim_ids: Vec<u64> = victims.iter().map(|e| e.id).collect();
+    delta.delete_batch(&mut pool, &victim_ids).unwrap();
+    for v in &victims {
+        let q = Aabb::point(v.mbr.center());
+        assert!(
+            delta
+                .range_query(&pool, &q)
+                .unwrap()
+                .iter()
+                .all(|h| h.id != v.id),
+            "deleted element still visible"
+        );
+    }
+    let fresh: Vec<Entry> = victims
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Entry::new(20_000 + i as u64, v.mbr))
+        .collect();
+    delta.insert_batch(&mut pool, fresh).unwrap();
+    let reused: Vec<Entry> = victims.iter().map(|v| Entry::new(v.id, v.mbr)).collect();
+    delta.insert_batch(&mut pool, reused).unwrap();
+    assert_eq!(delta.num_live_elements(), entries.len() as u64 + 10);
+    for v in &victims {
+        let q = Aabb::point(v.mbr.center());
+        let hits = delta.range_query(&pool, &q).unwrap();
+        assert!(hits.iter().any(|h| h.id == v.id), "reused id not visible");
+        assert!(
+            hits.iter().any(|h| h.id >= 20_000),
+            "fresh copy not visible"
+        );
+    }
+    assert_invariants(&pool, &delta);
+}
+
+#[test]
+fn delta_only_index_with_empty_base() {
+    // Start from a completely empty bulkload: everything the index ever
+    // holds arrives through insert batches.
+    let (mut pool, mut delta) = build_delta(Vec::new());
+    assert_eq!(delta.num_live_elements(), 0);
+    assert!(delta
+        .range_query(&pool, &Aabb::cube(Point3::splat(50.0), 20.0))
+        .unwrap()
+        .is_empty());
+
+    let batch_a = grid_entries(5, 10.0);
+    let batch_b: Vec<Entry> = grid_entries(4, 10.0)
+        .into_iter()
+        .map(|e| {
+            Entry::new(
+                30_000 + e.id,
+                Aabb::cube(e.mbr.center() + Point3::splat(3.0), 2.0),
+            )
+        })
+        .collect();
+    let mut all = batch_a.clone();
+    delta.insert_batch(&mut pool, batch_a).unwrap();
+    assert_invariants(&pool, &delta);
+    all.extend(batch_b.iter().copied());
+    delta.insert_batch(&mut pool, batch_b).unwrap();
+    assert_invariants(&pool, &delta);
+
+    for (c, side) in [(25.0, 12.0), (50.0, 35.0), (50.0, 500.0)] {
+        let q = Aabb::cube(Point3::splat(c), side);
+        let expected = all.iter().filter(|e| q.intersects(&e.mbr)).count();
+        assert_eq!(delta.range_query(&pool, &q).unwrap().len(), expected);
+    }
+    // kNN over a delta-only index (the seed comes from the summary scan,
+    // not the seed tree).
+    let p = Point3::splat(42.0);
+    let got = delta.knn_query(&pool, p, 5).unwrap();
+    let mut dists: Vec<f64> = all.iter().map(|e| e.mbr.distance_sq_to_point(&p)).collect();
+    dists.sort_by(|a, b| a.total_cmp(b));
+    let got_d: Vec<f64> = got.iter().map(|n| n.dist_sq).collect();
+    assert_eq!(got_d, dists[..5].to_vec());
+}
+
+#[test]
+fn compaction_of_an_empty_delta_is_an_identity() {
+    // Compacting with no updates applied must reproduce the original
+    // pages exactly (same survivor set, same builder) and leave nothing
+    // on the free list.
+    let entries = grid_entries(7, 10.0);
+    let (mut pool, mut delta) = build_delta(entries.clone());
+    let before: Vec<Vec<u8>> = {
+        let store = pool.store();
+        let mut page = Page::new();
+        (0..store.num_pages())
+            .map(|i| {
+                store.read_page(PageId(i), &mut page).unwrap();
+                page.bytes().to_vec()
+            })
+            .collect()
+    };
+    delta.compact(&mut pool).unwrap();
+    assert_eq!(pool.store().num_pages(), before.len() as u64);
+    assert_eq!(
+        pool.store().num_free(),
+        0,
+        "identity compaction leaks pages"
+    );
+    let mut page = Page::new();
+    for (i, expected) in before.iter().enumerate() {
+        pool.store().read_page(PageId(i as u64), &mut page).unwrap();
+        assert_eq!(page.bytes(), &expected[..], "page {i} changed");
+    }
+    assert_invariants(&pool, &delta);
+    // And compacting a fully-deleted index leaves an empty one.
+    let ids: Vec<u64> = entries.iter().map(|e| e.id).collect();
+    delta.delete_batch(&mut pool, &ids).unwrap();
+    delta.compact(&mut pool).unwrap();
+    assert_eq!(delta.num_live_elements(), 0);
+    assert_eq!(
+        pool.store().num_free(),
+        pool.store().num_pages(),
+        "an empty index owns no pages"
+    );
+    assert!(delta
+        .range_query(&pool, &Aabb::cube(Point3::splat(50.0), 500.0))
         .unwrap()
         .is_empty());
 }

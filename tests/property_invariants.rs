@@ -5,15 +5,31 @@
 //! * space-filling-curve bijectivity and locality;
 //! * FLAT partitioning invariants (capacity, coverage, stretching);
 //! * query equivalence between FLAT, an R-tree, and brute force on
-//!   arbitrary data and arbitrary queries.
+//!   arbitrary data and arbitrary queries;
+//! * dynamic-update invariants: randomized insert/delete/compact
+//!   sequences keep neighbor links symmetric, never link to a retired
+//!   partition, keep MBRs containing their live elements, and never leave
+//!   a freed page reachable from a crawl.
 //!
 //! The build environment is offline, so instead of `proptest` these run a
 //! fixed number of deterministic seeded cases per property — every failure
-//! reports its case seed for replay.
+//! reports its case seed for replay. CI widens the net: `FLAT_PROP_SEED`
+//! offsets every case seed, and the workflow runs the suite under several
+//! offsets in release mode.
 
 use flat_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Seed offset for the CI property matrix: every case seed is shifted by
+/// `FLAT_PROP_SEED`, so each matrix entry explores a disjoint case set.
+fn prop_seed() -> u64 {
+    std::env::var("FLAT_PROP_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+        .wrapping_mul(0x9E37_79B9)
+}
 
 fn point(rng: &mut StdRng, range: f64) -> Point3 {
     Point3::new(
@@ -279,6 +295,122 @@ fn rtree_structural_invariants_after_random_inserts() {
         let report = flat_repro::rtree::validate::check_invariants(&pool, &tree)
             .unwrap_or_else(|e| panic!("case {case}: {e}"));
         assert_eq!(report.elements, n as u64, "case {case}");
+    }
+}
+
+#[test]
+fn delta_update_sequences_maintain_structural_invariants() {
+    // Randomized update sequences over a DeltaIndex. After every batch the
+    // structural invariants must hold: symmetric neighbor links, no link
+    // to a retired partition, MBRs containing their live elements, and no
+    // freed page reachable from any crawl (`DeltaIndex::check_invariants`
+    // verifies all of it against the pages).
+    let offset = prop_seed();
+    for case in 0..6u64 {
+        let case_seed = 14_000 + offset + case;
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let domain = Aabb::new(
+            Point3::splat(0.0),
+            Point3::splat(rng.gen_range(60.0..140.0)),
+        );
+        let options = FlatOptions {
+            layout: LeafLayout::WithIds,
+            domain: Some(domain),
+            ..FlatOptions::default()
+        };
+        let initial = rng.gen_range(1_000..4_000usize);
+        let mut next_id = initial as u64;
+        let entries: Vec<Entry> = (0..initial)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(domain.min.x..domain.max.x),
+                    rng.gen_range(domain.min.y..domain.max.y),
+                    rng.gen_range(domain.min.z..domain.max.z),
+                );
+                Entry::new(i as u64, Aabb::cube(c, rng.gen_range(0.1..1.5)))
+            })
+            .collect();
+        let mut live: Vec<u64> = entries.iter().map(|e| e.id).collect();
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let (index, _) = FlatIndex::build(&mut pool, entries, options)
+            .unwrap_or_else(|e| panic!("case {case_seed}: {e}"));
+        let mut delta = DeltaIndex::new(&pool, index, options)
+            .unwrap_or_else(|e| panic!("case {case_seed}: {e}"));
+
+        for op in 0..8 {
+            match rng.gen_range(0..4u32) {
+                // Insert a fresh batch.
+                0 => {
+                    let n = rng.gen_range(1..600usize);
+                    let batch: Vec<Entry> = (0..n)
+                        .map(|_| {
+                            let c = Point3::new(
+                                rng.gen_range(domain.min.x..domain.max.x),
+                                rng.gen_range(domain.min.y..domain.max.y),
+                                rng.gen_range(domain.min.z..domain.max.z),
+                            );
+                            let id = next_id;
+                            next_id += 1;
+                            Entry::new(id, Aabb::cube(c, rng.gen_range(0.1..1.5)))
+                        })
+                        .collect();
+                    live.extend(batch.iter().map(|e| e.id));
+                    delta
+                        .insert_batch(&mut pool, batch)
+                        .unwrap_or_else(|e| panic!("case {case_seed} op {op}: {e}"));
+                }
+                // Delete a random sample.
+                1 => {
+                    let n = rng.gen_range(0..=live.len().min(800));
+                    let mut doomed = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let at = rng.gen_range(0..live.len());
+                        doomed.push(live.swap_remove(at));
+                        if live.is_empty() {
+                            break;
+                        }
+                    }
+                    delta
+                        .delete_batch(&mut pool, &doomed)
+                        .unwrap_or_else(|e| panic!("case {case_seed} op {op}: {e}"));
+                }
+                // Delete a spatial stripe: empties whole partitions, so
+                // retirement (link pruning + clique repair + page frees)
+                // actually runs.
+                2 => {
+                    let cut = rng.gen_range(domain.min.x..domain.max.x);
+                    let q = Aabb::from_corners(
+                        domain.min,
+                        Point3::new(cut, domain.max.y, domain.max.z),
+                    );
+                    let doomed: Vec<u64> = delta
+                        .range_query(&pool, &q)
+                        .unwrap_or_else(|e| panic!("case {case_seed} op {op}: {e}"))
+                        .iter()
+                        .map(|h| h.id)
+                        .collect();
+                    let dead: std::collections::HashSet<u64> = doomed.iter().copied().collect();
+                    live.retain(|id| !dead.contains(id));
+                    delta
+                        .delete_batch(&mut pool, &doomed)
+                        .unwrap_or_else(|e| panic!("case {case_seed} op {op}: {e}"));
+                }
+                // Occasionally compact back to a pristine base.
+                _ => {
+                    delta
+                        .compact(&mut pool)
+                        .unwrap_or_else(|e| panic!("case {case_seed} op {op}: {e}"));
+                }
+            }
+            let report = delta
+                .check_invariants(&pool, &pool.store().free_pages())
+                .unwrap_or_else(|e| panic!("case {case_seed} op {op}: {e}"));
+            assert_eq!(
+                report.live_elements,
+                live.len() as u64,
+                "case {case_seed} op {op}: live-set drift"
+            );
+        }
     }
 }
 

@@ -1,0 +1,369 @@
+//! Differential tests for the dynamic-update layer: after **any** scripted
+//! insert/delete/compact sequence, every range and kNN query over the
+//! updated `DeltaIndex` must return exactly what a from-scratch
+//! `FlatIndex::build` over the surviving entries returns — and after
+//! `compact()`, the pages themselves must be byte-identical to that
+//! rebuild.
+//!
+//! This is the same bit-level discipline every prior layer was pinned by
+//! (serial == batched, streamed == in-memory), extended to mutation.
+
+use flat_repro::prelude::*;
+use std::collections::HashMap;
+
+fn options(domain: Aabb) -> FlatOptions {
+    FlatOptions {
+        layout: LeafLayout::WithIds,
+        domain: Some(domain),
+        ..FlatOptions::default()
+    }
+}
+
+/// Sorted (id, MBR-bits) keys for bit-exact result comparison.
+fn keys(hits: &[Hit]) -> Vec<(u64, [u64; 6])> {
+    let mut keys: Vec<(u64, [u64; 6])> = hits
+        .iter()
+        .map(|h| {
+            (
+                h.id,
+                [
+                    h.mbr.min.x.to_bits(),
+                    h.mbr.min.y.to_bits(),
+                    h.mbr.min.z.to_bits(),
+                    h.mbr.max.x.to_bits(),
+                    h.mbr.max.y.to_bits(),
+                    h.mbr.max.z.to_bits(),
+                ],
+            )
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// One scripted operation.
+enum Op {
+    Insert(Vec<Entry>),
+    Delete(Vec<u64>),
+    Compact,
+}
+
+/// The machinery under test plus the tracked ground truth.
+struct Harness {
+    pool: BufferPool<MemStore>,
+    delta: DeltaIndex,
+    /// Ground truth: the surviving entries, tracked independently.
+    survivors: HashMap<u64, Entry>,
+    domain: Aabb,
+}
+
+impl Harness {
+    fn new(entries: Vec<Entry>, domain: Aabb) -> Harness {
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let (index, _) = FlatIndex::build(&mut pool, entries.clone(), options(domain)).unwrap();
+        let delta = DeltaIndex::new(&pool, index, options(domain)).unwrap();
+        Harness {
+            pool,
+            delta,
+            survivors: entries.into_iter().map(|e| (e.id, e)).collect(),
+            domain,
+        }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Insert(entries) => {
+                for e in entries {
+                    assert!(self.survivors.insert(e.id, *e).is_none());
+                }
+                self.delta
+                    .insert_batch(&mut self.pool, entries.clone())
+                    .unwrap();
+            }
+            Op::Delete(ids) => {
+                let expected = ids
+                    .iter()
+                    .filter(|i| self.survivors.remove(i).is_some())
+                    .count();
+                let got = self.delta.delete_batch(&mut self.pool, ids).unwrap();
+                assert_eq!(got, expected, "delete count disagrees with ground truth");
+            }
+            Op::Compact => {
+                self.delta.compact(&mut self.pool).unwrap();
+                self.assert_compact_byte_identical();
+            }
+        }
+    }
+
+    /// Fresh `FlatIndex::build` over the tracked survivors, in its own pool.
+    fn rebuild(&self) -> (BufferPool<MemStore>, FlatIndex) {
+        let mut entries: Vec<Entry> = self.survivors.values().copied().collect();
+        entries.sort_by_key(|e| e.id); // any order works; keep it stable
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let (index, _) = FlatIndex::build(&mut pool, entries, options(self.domain)).unwrap();
+        (pool, index)
+    }
+
+    /// Every range and kNN probe agrees with the rebuild, and the batched
+    /// engine agrees with the serial delta path.
+    fn assert_equivalent(&self, seed: u64) {
+        let (fresh_pool, fresh) = self.rebuild();
+        assert_eq!(self.delta.num_live_elements(), self.survivors.len() as u64);
+
+        // Range queries: mixed sizes, plus the whole domain and a miss.
+        let mut queries = range_queries(
+            &self.domain,
+            &WorkloadConfig {
+                count: 12,
+                volume_fraction: 2e-3,
+                proportion_range: (1.0, 4.0),
+                seed,
+            },
+        );
+        queries.push(Aabb::cube(
+            self.domain.center(),
+            self.domain.extents().x * 4.0,
+        ));
+        queries.push(Aabb::cube(
+            self.domain.max + Point3::splat(10.0 * self.domain.extents().x),
+            1.0,
+        ));
+        let serial: Vec<Vec<Hit>> = queries
+            .iter()
+            .map(|q| self.delta.range_query(&self.pool, q).unwrap())
+            .collect();
+        for (i, q) in queries.iter().enumerate() {
+            let expected = keys(&fresh.range_query(&fresh_pool, q).unwrap());
+            assert_eq!(keys(&serial[i]), expected, "range query {i} diverged");
+        }
+
+        // kNN: distances must match exactly; identities must match for
+        // every hit strictly inside the k-th distance (ties at the k-th
+        // break by physical location, which legitimately differs between
+        // an updated index and a rebuild).
+        let mut rng_points = range_queries(
+            &self.domain,
+            &WorkloadConfig {
+                count: 6,
+                volume_fraction: 1e-4,
+                proportion_range: (1.0, 1.0),
+                seed: seed ^ 0xABCD,
+            },
+        );
+        rng_points.push(Aabb::point(self.domain.min));
+        for (i, probe) in rng_points.iter().enumerate() {
+            let p = probe.center();
+            for k in [1, 9, 40] {
+                let got = self.delta.knn_query(&self.pool, p, k).unwrap();
+                let expected = fresh.knn_query(&fresh_pool, p, k).unwrap();
+                let got_d: Vec<f64> = got.iter().map(|n| n.dist_sq).collect();
+                let exp_d: Vec<f64> = expected.iter().map(|n| n.dist_sq).collect();
+                assert_eq!(got_d, exp_d, "kNN distances diverged (probe {i}, k {k})");
+                let cutoff = exp_d.last().copied().unwrap_or(f64::INFINITY);
+                let mut got_ids: Vec<u64> = got
+                    .iter()
+                    .filter(|n| n.dist_sq < cutoff)
+                    .map(|n| n.hit.id)
+                    .collect();
+                let mut exp_ids: Vec<u64> = expected
+                    .iter()
+                    .filter(|n| n.dist_sq < cutoff)
+                    .map(|n| n.hit.id)
+                    .collect();
+                got_ids.sort_unstable();
+                exp_ids.sort_unstable();
+                assert_eq!(
+                    got_ids, exp_ids,
+                    "kNN identities diverged (probe {i}, k {k})"
+                );
+            }
+        }
+    }
+
+    /// After `compact()` the pool's pages are byte-identical to the fresh
+    /// rebuild (extra freed pages at the tail excepted — they must all be
+    /// on the free list). `verify_compacted_store` is the one shared
+    /// checker for this contract.
+    fn assert_compact_byte_identical(&self) {
+        let (fresh_pool, _) = self.rebuild();
+        flat_repro::core::verify_compacted_store(self.pool.store(), fresh_pool.store())
+            .unwrap_or_else(|e| panic!("compaction broke byte identity: {e}"));
+    }
+}
+
+fn fresh_entries(count: usize, base_id: u64, domain: &Aabb, seed: u64) -> Vec<Entry> {
+    uniform_entries(&UniformConfig {
+        count,
+        domain: *domain,
+        element_volume: domain.volume() * 2e-6,
+        length_range: (1.0, 2.0),
+        seed,
+    })
+    .into_iter()
+    .map(|e| Entry::new(e.id + base_id, e.mbr))
+    .collect()
+}
+
+fn run_script(initial: Vec<Entry>, domain: Aabb, seed: u64) {
+    let mut harness = Harness::new(initial, domain);
+    harness.assert_equivalent(seed);
+
+    let ids: Vec<u64> = harness.survivors.keys().copied().collect();
+    let script = vec![
+        // Spread deletes, then a batch of fresh inserts.
+        Op::Delete(ids.iter().copied().filter(|i| i % 7 == 0).collect()),
+        Op::Insert(fresh_entries(600, 1_000_000, &domain, seed ^ 1)),
+        // Delete from both base and delta generations, insert again.
+        Op::Delete(
+            ids.iter()
+                .copied()
+                .filter(|i| i % 5 == 1)
+                .chain((1_000_000..1_000_200).step_by(3))
+                .collect(),
+        ),
+        Op::Insert(fresh_entries(400, 2_000_000, &domain, seed ^ 2)),
+        // Kill a whole spatial stripe: partitions retire, links repair.
+        Op::Delete(
+            harness
+                .survivors
+                .values()
+                .filter(|e| e.mbr.center().x < domain.min.x + domain.extents().x * 0.25)
+                .map(|e| e.id)
+                .collect(),
+        ),
+        Op::Compact,
+        // Keep going after compaction: the adopted index must be as
+        // mutable as the original.
+        Op::Insert(fresh_entries(300, 3_000_000, &domain, seed ^ 3)),
+        Op::Delete((3_000_000..3_000_150).collect()),
+        Op::Compact,
+    ];
+    for (i, op) in script.iter().enumerate() {
+        harness.apply(op);
+        harness.assert_equivalent(seed ^ (i as u64) << 8);
+    }
+    // The structural invariants held all along (spot-check at the end).
+    harness
+        .delta
+        .check_invariants(&harness.pool, &harness.pool.store().free_pages())
+        .unwrap_or_else(|e| panic!("invariants violated at script end: {e}"));
+}
+
+#[test]
+fn neuron_workload_updates_match_rebuilds() {
+    let config = NeuronConfig::bbp(8, 900, 1301);
+    let model = NeuronModel::generate(&config);
+    run_script(model.entries(), config.domain, 9001);
+}
+
+#[test]
+fn uniform_workload_updates_match_rebuilds() {
+    let domain = Aabb::new(Point3::splat(0.0), Point3::splat(200.0));
+    let entries = uniform_entries(&UniformConfig {
+        count: 7_000,
+        domain,
+        element_volume: 2.0,
+        length_range: (1.0, 3.0),
+        seed: 1302,
+    });
+    run_script(entries, domain, 9002);
+}
+
+#[test]
+fn batched_delta_engine_matches_serial_delta_queries() {
+    // The delta-aware QueryEngine (batch cache + crawl-ahead readahead +
+    // tombstone filter) must agree bit-for-bit with the serial delta
+    // path. The whole lifecycle runs on a ConcurrentBufferPool: updates
+    // go through its exclusive PageWrite impl, queries through shared
+    // reads.
+    let domain = Aabb::new(Point3::splat(0.0), Point3::splat(150.0));
+    let entries = uniform_entries(&UniformConfig {
+        count: 6_000,
+        domain,
+        element_volume: 1.5,
+        length_range: (1.0, 2.0),
+        seed: 1304,
+    });
+    let mut pool = ConcurrentBufferPool::new(MemStore::new(), 1 << 16);
+    let (index, _) = FlatIndex::build(&mut pool, entries.clone(), options(domain)).unwrap();
+    let mut delta = DeltaIndex::new(&pool, index, options(domain)).unwrap();
+    let doomed: Vec<u64> = entries
+        .iter()
+        .map(|e| e.id)
+        .filter(|i| i % 4 == 0)
+        .collect();
+    delta.delete_batch(&mut pool, &doomed).unwrap();
+    delta
+        .insert_batch(&mut pool, fresh_entries(700, 5_000_000, &domain, 1305))
+        .unwrap();
+
+    let queries = range_queries(
+        &domain,
+        &WorkloadConfig {
+            count: 16,
+            volume_fraction: 3e-3,
+            proportion_range: (1.0, 4.0),
+            seed: 1306,
+        },
+    );
+    let serial: Vec<Vec<Hit>> = queries
+        .iter()
+        .map(|q| delta.range_query(&pool, q).unwrap())
+        .collect();
+    for threads in [0, 3] {
+        let engine = QueryEngine::for_delta_with_config(
+            &delta,
+            &pool,
+            EngineConfig {
+                readahead_threads: threads,
+                ..EngineConfig::default()
+            },
+        );
+        let outcome = engine.run_range_batch(&queries).unwrap();
+        assert_eq!(
+            outcome.results, serial,
+            "batched delta (readahead={threads}) diverged from serial"
+        );
+    }
+
+    // kNN batches too.
+    let knn_queries: Vec<(Point3, usize)> = (0..8)
+        .map(|i| (Point3::splat(10.0 + 15.0 * i as f64), 5 + i))
+        .collect();
+    let engine = QueryEngine::for_delta(&delta, &pool);
+    let outcome = engine.run_knn_batch(&knn_queries).unwrap();
+    for (i, &(p, k)) in knn_queries.iter().enumerate() {
+        let serial = delta.knn_query(&pool, p, k).unwrap();
+        assert_eq!(outcome.results[i], serial, "batched delta kNN {i} diverged");
+    }
+}
+
+#[test]
+fn churn_workload_stays_equivalent_across_timesteps() {
+    // The evolving-simulation scenario end to end: the data crate's churn
+    // generator drives the delta layer; every timestep stays
+    // query-equivalent to a rebuild over the generator's live set.
+    let domain = Aabb::new(Point3::splat(0.0), Point3::splat(120.0));
+    let entries = uniform_entries(&UniformConfig {
+        count: 5_000,
+        domain,
+        element_volume: 1.0,
+        length_range: (1.0, 2.0),
+        seed: 1303,
+    });
+    let mut churn = ChurnWorkload::new(entries.clone(), domain, ChurnConfig::steady(400, 77));
+    let mut harness = Harness::new(entries, domain);
+    for step in 0..4 {
+        let batch = churn.step();
+        harness.apply(&Op::Delete(batch.deletes.clone()));
+        harness.apply(&Op::Insert(batch.inserts.clone()));
+        assert_eq!(
+            harness.survivors.len(),
+            churn.live().len(),
+            "ground truths disagree at step {step}"
+        );
+        harness.assert_equivalent(4000 + step);
+    }
+    harness.apply(&Op::Compact);
+    harness.assert_equivalent(4999);
+}
