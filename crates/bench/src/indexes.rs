@@ -1,10 +1,51 @@
 //! Uniform handle over FLAT and the R-tree baselines.
+//!
+//! Measurement is **generic over [`SpatialIndex`]**: one
+//! [`measure_range`] / [`measure_knn`] pair runs the paper's cold-cache
+//! protocol for any index kind, and [`BuiltIndex`] only dispatches which
+//! concrete index to hand it.
 
-use flat_core::{BuildStats, FlatIndex, FlatOptions};
-use flat_geom::Aabb;
+use flat_core::{BuildStats, FlatIndex, FlatOptions, IndexStats, Neighbor, SpatialIndex};
+use flat_geom::{Aabb, Point3};
 use flat_rtree::{BulkLoad, Entry, RTree, RTreeConfig};
 use flat_storage::{BufferPool, IoStats, MemStore, PageKind};
 use std::time::{Duration, Instant};
+
+/// Runs one range query over any index kind under the paper's protocol:
+/// caches cleared first, I/O counted from zero. Returns `(result size,
+/// I/O delta, CPU time)`.
+pub fn measure_range<I: SpatialIndex>(
+    index: &I,
+    pool: &BufferPool<MemStore>,
+    query: &Aabb,
+) -> (usize, IoStats, Duration) {
+    pool.clear_cache();
+    let snapshot = pool.snapshot();
+    let start = Instant::now();
+    let results = index
+        .range(pool, query)
+        .expect("in-memory query cannot fail")
+        .len();
+    let cpu = start.elapsed();
+    (results, pool.stats().since(&snapshot), cpu)
+}
+
+/// Runs one kNN query over any index kind under the same protocol.
+pub fn measure_knn<I: SpatialIndex>(
+    index: &I,
+    pool: &BufferPool<MemStore>,
+    point: Point3,
+    k: usize,
+) -> (Vec<Neighbor>, IoStats, Duration) {
+    pool.clear_cache();
+    let snapshot = pool.snapshot();
+    let start = Instant::now();
+    let neighbors = index
+        .nearest(pool, point, k)
+        .expect("in-memory query cannot fail");
+    let cpu = start.elapsed();
+    (neighbors, pool.stats().since(&snapshot), cpu)
+}
 
 /// Which index to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,29 +151,36 @@ impl BuiltIndex {
         }
     }
 
-    /// Runs one range query under the paper's protocol: caches cleared
-    /// first, I/O counted from zero. Returns `(result size, I/O delta,
-    /// CPU time)`.
+    /// Runs one range query under the paper's protocol, dispatching to
+    /// the generic [`measure_range`] driver. Returns `(result size, I/O
+    /// delta, CPU time)`.
     ///
     /// Queries are shared reads — `&self` all the way down — so a harness
     /// can interleave measurements without exclusive access.
     pub fn query(&self, query: &Aabb) -> (usize, IoStats, Duration) {
-        self.pool.clear_cache();
-        let snapshot = self.pool.snapshot();
-        let start = Instant::now();
-        let results = match (&self.flat, &self.rtree) {
-            (Some(flat), None) => flat
-                .range_query(&self.pool, query)
-                .expect("in-memory query cannot fail")
-                .len(),
-            (None, Some(tree)) => tree
-                .range_query(&self.pool, query)
-                .expect("in-memory query cannot fail")
-                .len(),
+        match (&self.flat, &self.rtree) {
+            (Some(flat), None) => measure_range(flat, &self.pool, query),
+            (None, Some(tree)) => measure_range(tree, &self.pool, query),
             _ => unreachable!("exactly one index is set"),
-        };
-        let cpu = start.elapsed();
-        (results, self.pool.stats().since(&snapshot), cpu)
+        }
+    }
+
+    /// Runs one kNN query under the same protocol, via [`measure_knn`].
+    pub fn knn(&self, point: Point3, k: usize) -> (Vec<Neighbor>, IoStats, Duration) {
+        match (&self.flat, &self.rtree) {
+            (Some(flat), None) => measure_knn(flat, &self.pool, point, k),
+            (None, Some(tree)) => measure_knn(tree, &self.pool, point, k),
+            _ => unreachable!("exactly one index is set"),
+        }
+    }
+
+    /// Uniform size/composition stats through the [`SpatialIndex`] trait.
+    pub fn index_stats(&self) -> IndexStats {
+        match (&self.flat, &self.rtree) {
+            (Some(flat), None) => flat.index_stats(),
+            (None, Some(tree)) => tree.index_stats(),
+            _ => unreachable!("exactly one index is set"),
+        }
     }
 
     /// The FLAT index, if this is one.
@@ -147,20 +195,12 @@ impl BuiltIndex {
 
     /// Total index size in bytes.
     pub fn size_bytes(&self) -> u64 {
-        match (&self.flat, &self.rtree) {
-            (Some(flat), None) => flat.size_bytes(),
-            (None, Some(tree)) => tree.size_bytes(),
-            _ => unreachable!(),
-        }
+        self.index_stats().size_bytes()
     }
 
     /// Size of the element-bearing pages (object pages / R-tree leaves).
     pub fn data_bytes(&self) -> u64 {
-        match (&self.flat, &self.rtree) {
-            (Some(flat), None) => flat.object_bytes(),
-            (None, Some(tree)) => tree.num_leaf_pages() * flat_storage::PAGE_SIZE as u64,
-            _ => unreachable!(),
-        }
+        self.index_stats().data_bytes()
     }
 
     /// Size of everything else (directory, seed tree, metadata).

@@ -1,0 +1,934 @@
+//! [`FlatDb`]: one session façade over build, query, update and persist.
+//!
+//! PRs 1–4 grew one capability each, and each got its own entry point:
+//! [`FlatIndex::build`] vs the streaming [`FlatIndexBuilder`], serial
+//! queries vs the batched [`QueryEngine`], the mutable [`DeltaIndex`],
+//! exclusive [`flat_storage::BufferPool`] vs shared
+//! [`ConcurrentBufferPool`], and descriptor persistence in `persist.rs`.
+//! A caller had to know all of them and wire them together correctly
+//! (which pool flavor, when to promote to a delta index, where the
+//! descriptor page lives). `FlatDb` is the one handle that owns that
+//! wiring:
+//!
+//! ```text
+//!   FlatDb::create(store, DbOptions)      FlatDb::open_file(path, ..)
+//!                  │                                   │
+//!                  ▼                                   │
+//!        db.build_from(entries)  ◄── auto-selects ─────┘
+//!        (in-memory │ streaming      by memory budget)
+//!                  │
+//!      ┌───────────┼─────────────────────┐
+//!      ▼           ▼                     ▼
+//!  db.reader()  db.query()           db.writer()
+//!  Snapshot     QueryBuilder         Writer (&mut)
+//!  range/knn    .range(..).readahead(4)  insert/delete/compact
+//!  (&self)      .run_batch()         (promotes to DeltaIndex)
+//!      │           │                     │
+//!      └───────────┴──────────┬──────────┘
+//!                             ▼
+//!                     db.persist(path) ──► FlatDb::open_file(path)
+//! ```
+//!
+//! The façade adds **no new machinery**: every method routes to the
+//! pre-existing entry point (the serial query path, the batched engine,
+//! the delta layer, the descriptor save/load), so results are bit-for-bit
+//! identical to hand-written low-level code — `tests/db_api.rs` asserts
+//! this for every path. Reads are shared (`&self`, through the owned
+//! [`ConcurrentBufferPool`]); mutations take `&mut self`, giving the
+//! RwLock-style reader/updater discipline the delta layer documents.
+//!
+//! # Example
+//!
+//! ```
+//! use flat_core::{DbOptions, FlatDb};
+//! use flat_geom::{Aabb, Point3};
+//! use flat_rtree::Entry;
+//! use flat_storage::MemStore;
+//!
+//! let entries: Vec<Entry> = (0..2000)
+//!     .map(|i| Entry::new(i, Aabb::cube(Point3::splat((i % 100) as f64), 1.5)))
+//!     .collect();
+//!
+//! let mut db = FlatDb::create(MemStore::new(), DbOptions::default());
+//! db.build_from(entries).unwrap();
+//!
+//! // Serial reads through a cheap snapshot handle.
+//! let query = Aabb::cube(Point3::splat(50.0), 8.0);
+//! let hits = db.reader().range(&query).unwrap();
+//! assert!(!hits.is_empty());
+//!
+//! // The same queries, batched with crawl-ahead readahead.
+//! let outcome = db.query().range(query).readahead(2).run_batch().unwrap();
+//! assert_eq!(outcome.results[0], hits);
+//! ```
+
+use crate::builder::{FlatIndexBuilder, StreamingStats, DEFAULT_SPILL_BUDGET};
+use crate::delta::DeltaIndex;
+use crate::engine::{BatchOutcome, EngineConfig, KnnBatchOutcome, QueryEngine};
+use crate::error::FlatError;
+use crate::index::{BuildStats, FlatIndex, FlatOptions};
+use crate::knn::{KnnStats, Neighbor};
+use crate::query::QueryStats;
+use flat_geom::{Aabb, Point3};
+use flat_rtree::{Entry, Hit, LeafLayout};
+use flat_storage::{BufferPool, ConcurrentBufferPool, FileStore, IoStats, Page, PageId, PageStore};
+use std::collections::HashSet;
+use std::path::Path;
+
+/// Configuration of a [`FlatDb`] session.
+#[derive(Debug, Clone, Copy)]
+pub struct DbOptions {
+    /// Index build options (layout, domain, inflation, metadata order).
+    pub index: FlatOptions,
+    /// Page capacity of the owned buffer pool.
+    pub pool_pages: usize,
+    /// Default tuning for batched queries (overridable per batch through
+    /// the [`QueryBuilder`]).
+    pub engine: EngineConfig,
+    /// Memory budget for [`FlatDb::build_from`], in *entries*: inputs
+    /// larger than this stream through the out-of-core
+    /// [`FlatIndexBuilder`] (with this budget as its spill budget) instead
+    /// of the in-memory bulkload. Both paths write bit-identical pages,
+    /// so the switch only affects peak memory.
+    pub memory_budget: usize,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            index: FlatOptions::default(),
+            pool_pages: 1 << 16,
+            engine: EngineConfig::default(),
+            memory_budget: DEFAULT_SPILL_BUDGET,
+        }
+    }
+}
+
+impl DbOptions {
+    /// Options for an updatable database over `domain`: stable element
+    /// ids ([`LeafLayout::WithIds`]) and the fixed tiling domain that
+    /// [`FlatDb::writer`] requires.
+    pub fn updatable(domain: Aabb) -> DbOptions {
+        DbOptions {
+            index: FlatOptions {
+                layout: LeafLayout::WithIds,
+                domain: Some(domain),
+                ..FlatOptions::default()
+            },
+            ..DbOptions::default()
+        }
+    }
+
+    /// Replaces the index build options.
+    pub fn with_index(mut self, index: FlatOptions) -> DbOptions {
+        self.index = index;
+        self
+    }
+
+    /// Replaces the entry memory budget (see [`DbOptions::memory_budget`]).
+    pub fn with_memory_budget(mut self, entries: usize) -> DbOptions {
+        self.memory_budget = entries;
+        self
+    }
+}
+
+/// What [`FlatDb::build_from`] did.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// The bulkload's phase timings and pointer statistics.
+    pub stats: BuildStats,
+    /// Present when the streaming (out-of-core) path was selected.
+    pub streaming: Option<StreamingStats>,
+}
+
+impl BuildReport {
+    /// `true` when the build streamed through the out-of-core pipeline.
+    pub fn streamed(&self) -> bool {
+        self.streaming.is_some()
+    }
+}
+
+/// The index behind the façade: a pristine bulkload until the first
+/// writer promotes it to a delta index.
+enum DbIndex {
+    Base(FlatIndex),
+    Delta(Box<DeltaIndex>),
+}
+
+/// A FLAT database: one handle owning the buffer pool and the index
+/// lifecycle. See the [module docs](self) for the session diagram and
+/// the crate docs for the underlying machinery.
+pub struct FlatDb<S: PageStore> {
+    pool: ConcurrentBufferPool<S>,
+    state: DbIndex,
+    options: DbOptions,
+    built: bool,
+    /// Uncompacted writer mutations (delta partitions, tombstones, dead
+    /// records) — state [`FlatDb::persist`] must fold away first.
+    dirty: bool,
+}
+
+impl<S: PageStore> std::fmt::Debug for FlatDb<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatDb")
+            .field("built", &self.built)
+            .field("dirty", &self.dirty)
+            .field("live_elements", &self.num_live_elements())
+            .field("delta", &self.delta().is_some())
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+impl<S: PageStore> std::fmt::Debug for Snapshot<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Snapshot({:?})", self.db)
+    }
+}
+
+impl<S: PageStore> std::fmt::Debug for QueryBuilder<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryBuilder")
+            .field("ranges", &self.ranges.len())
+            .field("knns", &self.knns.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<S: PageStore> std::fmt::Debug for Writer<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Writer({:?})", self.db)
+    }
+}
+
+impl FlatDb<flat_storage::MemStore> {
+    /// A database over a fresh in-memory store — the common test and
+    /// benchmark substrate.
+    pub fn create_in_memory(options: DbOptions) -> FlatDb<flat_storage::MemStore> {
+        FlatDb::create(flat_storage::MemStore::new(), options)
+    }
+}
+
+impl FlatDb<FileStore> {
+    /// Opens a database file written by [`FlatDb::persist`].
+    ///
+    /// The descriptor is the file's last page (that is where `persist`
+    /// puts it); everything else is validated by the descriptor's magic.
+    /// As with [`FlatDb::open`], pass the build-time
+    /// `options.index.domain` when the session will write — the domain
+    /// is not stored in the file.
+    pub fn open_file<P: AsRef<Path>>(
+        path: P,
+        options: DbOptions,
+    ) -> Result<FlatDb<FileStore>, FlatError> {
+        let store = FileStore::open(path)?;
+        let num_pages = store.num_pages();
+        if num_pages == 0 {
+            return Err(FlatError::Persist(
+                "file holds no pages, so no descriptor".into(),
+            ));
+        }
+        FlatDb::open(store, PageId(num_pages - 1), options)
+    }
+}
+
+impl<S: PageStore> FlatDb<S> {
+    /// A database over `store`, ready for [`FlatDb::build_from`].
+    pub fn create(store: S, options: DbOptions) -> FlatDb<S> {
+        let pool = ConcurrentBufferPool::new(store, options.pool_pages);
+        FlatDb {
+            pool,
+            state: DbIndex::Base(FlatIndex::empty(options.index.layout)),
+            options,
+            built: false,
+            dirty: false,
+        }
+    }
+
+    /// Adopts an already-built index whose descriptor page is
+    /// `descriptor` (written by [`FlatIndex::save`] or a previous
+    /// [`FlatDb::persist`]).
+    ///
+    /// The stored layout overrides `options.index.layout` — the pages on
+    /// disk are the source of truth. The descriptor does **not** record
+    /// the tiling domain, so for a database you intend to write into,
+    /// `options.index.domain` must be the same domain the index was
+    /// built with: the delta layer STR-tiles every insert batch (and the
+    /// compaction rebuild) over this domain, and a different one would
+    /// silently produce a differently-tiled index than the one
+    /// persisted. Read-only sessions may pass any options.
+    pub fn open(
+        store: S,
+        descriptor: PageId,
+        mut options: DbOptions,
+    ) -> Result<FlatDb<S>, FlatError> {
+        let pool = ConcurrentBufferPool::new(store, options.pool_pages);
+        let index = FlatIndex::load(&pool, descriptor)?;
+        options.index.layout = index.layout();
+        Ok(FlatDb {
+            pool,
+            state: DbIndex::Base(index),
+            options,
+            built: true,
+            dirty: false,
+        })
+    }
+
+    /// Bulk-loads the database from `entries`, auto-selecting the build
+    /// path: inputs within [`DbOptions::memory_budget`] use the in-memory
+    /// bulkload, larger ones stream through the out-of-core
+    /// [`FlatIndexBuilder`] with that budget. Both paths produce
+    /// bit-identical pages.
+    ///
+    /// A database can be built once; building into a non-empty database
+    /// is an error (open a fresh one instead).
+    pub fn build_from(&mut self, entries: Vec<Entry>) -> Result<BuildReport, FlatError> {
+        self.check_buildable()?;
+        if entries.len() > self.options.memory_budget {
+            return self.stream_build(entries);
+        }
+        let (index, stats) = FlatIndex::build(&mut self.pool, entries, self.options.index)?;
+        self.state = DbIndex::Base(index);
+        self.built = true;
+        Ok(BuildReport {
+            stats,
+            streaming: None,
+        })
+    }
+
+    /// Bulk-loads the database from an entry *stream*, always through the
+    /// out-of-core pipeline (see [`FlatIndexBuilder`]) — for inputs that
+    /// never exist as a `Vec`, e.g. a chunked dataset generator.
+    pub fn build_streaming(
+        &mut self,
+        entries: impl IntoIterator<Item = Entry>,
+    ) -> Result<BuildReport, FlatError> {
+        self.check_buildable()?;
+        self.stream_build(entries)
+    }
+
+    fn check_buildable(&self) -> Result<(), FlatError> {
+        if self.built {
+            return Err(FlatError::Build(
+                "database already holds an index; create a fresh database to rebuild".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn stream_build(
+        &mut self,
+        entries: impl IntoIterator<Item = Entry>,
+    ) -> Result<BuildReport, FlatError> {
+        let (index, stats, streaming) = FlatIndexBuilder::new(self.options.index)
+            .spill_budget(self.options.memory_budget)
+            .build(&mut self.pool, entries)?;
+        self.state = DbIndex::Base(index);
+        self.built = true;
+        Ok(BuildReport {
+            stats,
+            streaming: Some(streaming),
+        })
+    }
+
+    /// A cheap read handle for serial queries. Snapshots borrow the
+    /// database shared, so any number can be out at once (and, through a
+    /// [`flat_storage::PoolHandle`]-style scoped spawn, on any number of
+    /// threads).
+    pub fn reader(&self) -> Snapshot<'_, S> {
+        Snapshot { db: self }
+    }
+
+    /// Starts a fluent batched query: accumulate range and kNN queries,
+    /// tune readahead, then run the batch through the [`QueryEngine`].
+    pub fn query(&self) -> QueryBuilder<'_, S> {
+        QueryBuilder {
+            db: self,
+            config: self.options.engine,
+            ranges: Vec::new(),
+            knns: Vec::new(),
+        }
+    }
+
+    /// An exclusive write session. The first writer promotes the pristine
+    /// index to a [`DeltaIndex`] (a one-time resident-table scan); this
+    /// requires the database to have stable element ids
+    /// ([`LeafLayout::WithIds`]) and a fixed domain — see
+    /// [`DbOptions::updatable`].
+    pub fn writer(&mut self) -> Result<Writer<'_, S>, FlatError> {
+        if self.options.index.layout != LeafLayout::WithIds {
+            return Err(FlatError::Update(
+                "updates need stable element ids: build with LeafLayout::WithIds \
+                 (see DbOptions::updatable)"
+                    .into(),
+            ));
+        }
+        if self.options.index.domain.is_none() {
+            return Err(FlatError::Update(
+                "updates need a fixed tiling domain: set FlatOptions::domain \
+                 (see DbOptions::updatable)"
+                    .into(),
+            ));
+        }
+        if let DbIndex::Base(base) = &self.state {
+            let delta = DeltaIndex::new(&self.pool, base.clone(), self.options.index)?;
+            self.state = DbIndex::Delta(Box::new(delta));
+            self.built = true; // a delta-only database counts as built
+        }
+        Ok(Writer { db: self })
+    }
+
+    /// Persists the database to a file that [`FlatDb::open_file`] can
+    /// open: every live page, id-for-id, with the index descriptor
+    /// appended as the last page.
+    ///
+    /// Uncompacted writer mutations are folded away first (tombstones and
+    /// delta summaries live in memory, so a dirty index is compacted —
+    /// producing the same pages as a fresh bulkload over the survivors —
+    /// before the copy). Returns the descriptor's page id.
+    pub fn persist<P: AsRef<Path>>(&mut self, path: P) -> Result<PageId, FlatError> {
+        if self.dirty {
+            if let DbIndex::Delta(delta) = &mut self.state {
+                delta.compact(&mut self.pool)?;
+            }
+            self.dirty = false;
+        }
+        let src = self.pool.store();
+        let mut dst = FileStore::create(path)?;
+        let free: HashSet<u64> = src.free_pages().iter().map(|p| p.0).collect();
+        let mut page = Page::new();
+        for id in 0..src.num_pages() {
+            let copied = dst.alloc()?;
+            debug_assert_eq!(copied.0, id, "fresh FileStore allocates densely");
+            if free.contains(&id) {
+                continue; // freed pages stay zeroed in the copy
+            }
+            src.read_page(PageId(id), &mut page)?;
+            dst.write_page(copied, &page)?;
+        }
+        // The descriptor goes last — that is where open_file looks.
+        let mut descriptor_pool = BufferPool::new(dst, 16);
+        let descriptor = self.index().save(&mut descriptor_pool)?;
+        Ok(descriptor)
+    }
+
+    /// The index descriptor (the delta layer's base when a writer has
+    /// been opened).
+    pub fn index(&self) -> &FlatIndex {
+        match &self.state {
+            DbIndex::Base(index) => index,
+            DbIndex::Delta(delta) => delta.base(),
+        }
+    }
+
+    /// The delta layer, once a writer has promoted the index.
+    pub fn delta(&self) -> Option<&DeltaIndex> {
+        match &self.state {
+            DbIndex::Base(_) => None,
+            DbIndex::Delta(delta) => Some(delta),
+        }
+    }
+
+    /// Live (non-deleted) elements.
+    pub fn num_live_elements(&self) -> u64 {
+        match &self.state {
+            DbIndex::Base(index) => index.num_elements(),
+            DbIndex::Delta(delta) => delta.num_live_elements(),
+        }
+    }
+
+    /// `true` once the database holds an index (built, opened, or written
+    /// into).
+    pub fn is_built(&self) -> bool {
+        self.built
+    }
+
+    /// The session's configuration.
+    pub fn options(&self) -> &DbOptions {
+        &self.options
+    }
+
+    /// The backing page store.
+    pub fn store(&self) -> &S {
+        self.pool.store()
+    }
+
+    /// Unwraps the database into its backing store.
+    pub fn into_store(self) -> S {
+        self.pool.into_store()
+    }
+
+    /// Cumulative I/O statistics of the owned pool.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Drops every cached page (the paper's cold-cache protocol).
+    pub fn clear_cache(&self) {
+        self.pool.clear_cache()
+    }
+
+    /// Zeroes the I/O statistics.
+    pub fn reset_stats(&self) {
+        self.pool.reset_stats()
+    }
+}
+
+/// A cheap serial read handle over a [`FlatDb`] — plain borrows, so
+/// copying one is free.
+///
+/// Results are identical to calling the underlying index directly:
+/// range queries route to [`FlatIndex::range_query`] (or the
+/// tombstone-aware [`DeltaIndex::range_query`] once a writer exists) and
+/// kNN to the matching `knn_query`.
+pub struct Snapshot<'db, S: PageStore> {
+    db: &'db FlatDb<S>,
+}
+
+// Manual impls: a derive would demand `S: Clone`/`S: Copy`, but the
+// snapshot only holds a reference — it is copyable for every store.
+impl<S: PageStore> Clone for Snapshot<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S: PageStore> Copy for Snapshot<'_, S> {}
+
+impl<S: PageStore> Snapshot<'_, S> {
+    /// Every live element whose MBR intersects `query`.
+    pub fn range(&self, query: &Aabb) -> Result<Vec<Hit>, FlatError> {
+        let mut stats = QueryStats::default();
+        self.range_with_stats(query, &mut stats)
+    }
+
+    /// Like [`Snapshot::range`], accumulating crawl counters.
+    pub fn range_with_stats(
+        &self,
+        query: &Aabb,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<Hit>, FlatError> {
+        Ok(match &self.db.state {
+            DbIndex::Base(index) => index.range_query_with_stats(&self.db.pool, query, stats)?,
+            DbIndex::Delta(delta) => delta.range_query_with_stats(&self.db.pool, query, stats)?,
+        })
+    }
+
+    /// The `k` live elements nearest to `point`, ascending, exact.
+    pub fn knn(&self, point: Point3, k: usize) -> Result<Vec<Neighbor>, FlatError> {
+        let mut stats = KnnStats::default();
+        self.knn_with_stats(point, k, &mut stats)
+    }
+
+    /// Like [`Snapshot::knn`], accumulating expansion counters.
+    pub fn knn_with_stats(
+        &self,
+        point: Point3,
+        k: usize,
+        stats: &mut KnnStats,
+    ) -> Result<Vec<Neighbor>, FlatError> {
+        Ok(match &self.db.state {
+            DbIndex::Base(index) => index.knn_query_with_stats(&self.db.pool, point, k, stats)?,
+            DbIndex::Delta(delta) => delta.knn_query_with_stats(&self.db.pool, point, k, stats)?,
+        })
+    }
+
+    /// The index descriptor this snapshot reads.
+    pub fn index(&self) -> &FlatIndex {
+        self.db.index()
+    }
+
+    /// Live elements visible to this snapshot.
+    pub fn num_live_elements(&self) -> u64 {
+        self.db.num_live_elements()
+    }
+}
+
+/// A fluent batched query over a [`FlatDb`].
+///
+/// Accumulates range and/or kNN queries, then executes them through the
+/// batched [`QueryEngine`] — per-batch page cache, wave-scheduled crawl
+/// turns, crawl-ahead readahead — with per-query results identical to the
+/// serial [`Snapshot`] paths.
+pub struct QueryBuilder<'db, S: PageStore> {
+    db: &'db FlatDb<S>,
+    config: EngineConfig,
+    ranges: Vec<Aabb>,
+    knns: Vec<(Point3, usize)>,
+}
+
+impl<S: PageStore> QueryBuilder<'_, S> {
+    /// Queues one range query.
+    pub fn range(mut self, query: Aabb) -> Self {
+        self.ranges.push(query);
+        self
+    }
+
+    /// Queues a batch of range queries.
+    pub fn ranges(mut self, queries: impl IntoIterator<Item = Aabb>) -> Self {
+        self.ranges.extend(queries);
+        self
+    }
+
+    /// Queues one kNN query.
+    pub fn knn(mut self, point: Point3, k: usize) -> Self {
+        self.knns.push((point, k));
+        self
+    }
+
+    /// Queues a batch of kNN queries.
+    pub fn knns(mut self, queries: impl IntoIterator<Item = (Point3, usize)>) -> Self {
+        self.knns.extend(queries);
+        self
+    }
+
+    /// Sets the readahead depth (worker threads serving crawl-ahead
+    /// prefetch hints; `0` disables prefetching but keeps the batch page
+    /// cache).
+    pub fn readahead(mut self, threads: usize) -> Self {
+        self.config.readahead_threads = threads;
+        self
+    }
+
+    /// Bounds how many queries crawl concurrently (see
+    /// [`EngineConfig::wave_size`]).
+    pub fn wave_size(mut self, wave: usize) -> Self {
+        self.config.wave_size = Some(wave);
+        self
+    }
+}
+
+impl<S: PageStore + Sync> QueryBuilder<'_, S> {
+    /// Runs the queued **range** queries as one batch. Results are
+    /// index-aligned with the queueing order and identical to serial
+    /// evaluation.
+    pub fn run_batch(self) -> Result<BatchOutcome, FlatError> {
+        if !self.knns.is_empty() {
+            return Err(FlatError::Query(
+                "kNN queries are queued; run them with run_knn_batch".into(),
+            ));
+        }
+        Ok(self.engine().run_range_batch(&self.ranges)?)
+    }
+
+    /// Runs the queued **kNN** queries as one batch.
+    pub fn run_knn_batch(self) -> Result<KnnBatchOutcome, FlatError> {
+        if !self.ranges.is_empty() {
+            return Err(FlatError::Query(
+                "range queries are queued; run them with run_batch".into(),
+            ));
+        }
+        Ok(self.engine().run_knn_batch(&self.knns)?)
+    }
+
+    fn engine(&self) -> QueryEngine<'_, ConcurrentBufferPool<S>> {
+        match &self.db.state {
+            DbIndex::Base(index) => QueryEngine::with_config(index, &self.db.pool, self.config),
+            DbIndex::Delta(delta) => {
+                QueryEngine::for_delta_with_config(delta, &self.db.pool, self.config)
+            }
+        }
+    }
+}
+
+/// An exclusive write session over a [`FlatDb`].
+///
+/// Holding a writer borrows the database mutably, so no snapshot or query
+/// can observe a half-applied batch — the reader/updater discipline the
+/// delta layer documents, enforced by the borrow checker.
+pub struct Writer<'db, S: PageStore> {
+    db: &'db mut FlatDb<S>,
+}
+
+impl<S: PageStore> Writer<'_, S> {
+    /// Inserts a batch of new elements (see [`DeltaIndex::insert_batch`]).
+    ///
+    /// Unlike the low-level call, colliding application ids are reported
+    /// as a [`FlatError::Update`] instead of a panic.
+    pub fn insert(&mut self, entries: Vec<Entry>) -> Result<(), FlatError> {
+        let DbIndex::Delta(delta) = &mut self.db.state else {
+            unreachable!("writer() promoted the index")
+        };
+        let mut batch_ids = HashSet::with_capacity(entries.len());
+        for e in &entries {
+            if delta.contains_id(e.id) || !batch_ids.insert(e.id) {
+                return Err(FlatError::Update(format!(
+                    "insert of id {} which is already live",
+                    e.id
+                )));
+            }
+        }
+        if entries.is_empty() {
+            return Ok(());
+        }
+        delta.insert_batch(&mut self.db.pool, entries)?;
+        self.db.dirty = true;
+        Ok(())
+    }
+
+    /// Deletes elements by application id, returning how many were live
+    /// (see [`DeltaIndex::delete_batch`]).
+    pub fn delete(&mut self, ids: &[u64]) -> Result<usize, FlatError> {
+        let DbIndex::Delta(delta) = &mut self.db.state else {
+            unreachable!("writer() promoted the index")
+        };
+        let deleted = delta.delete_batch(&mut self.db.pool, ids)?;
+        if deleted > 0 {
+            self.db.dirty = true;
+        }
+        Ok(deleted)
+    }
+
+    /// Merges all deltas back into a pristine bulkload — pages
+    /// byte-identical to a fresh build over the surviving elements (see
+    /// [`DeltaIndex::compact`]).
+    pub fn compact(&mut self) -> Result<BuildStats, FlatError> {
+        let DbIndex::Delta(delta) = &mut self.db.state else {
+            unreachable!("writer() promoted the index")
+        };
+        let stats = delta.compact(&mut self.db.pool)?;
+        self.db.dirty = false;
+        Ok(stats)
+    }
+
+    /// The delta layer this writer mutates.
+    pub fn delta(&self) -> &DeltaIndex {
+        match &self.db.state {
+            DbIndex::Delta(delta) => delta,
+            DbIndex::Base(_) => unreachable!("writer() promoted the index"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::tests::random_entries;
+
+    fn updatable_options() -> DbOptions {
+        DbOptions::updatable(Aabb::cube(Point3::splat(50.0), 110.0))
+    }
+
+    #[test]
+    fn double_build_is_rejected() {
+        let mut db = FlatDb::create_in_memory(DbOptions::default());
+        db.build_from(random_entries(500, 1)).unwrap();
+        let err = db.build_from(random_entries(500, 2)).unwrap_err();
+        assert!(matches!(err, FlatError::Build(_)), "{err}");
+    }
+
+    #[test]
+    fn build_auto_selects_streaming_above_the_budget() {
+        let options = DbOptions::default().with_memory_budget(2_000);
+        let mut db = FlatDb::create_in_memory(options);
+        let report = db.build_from(random_entries(5_000, 3)).unwrap();
+        assert!(report.streamed(), "5k entries over a 2k budget must stream");
+
+        let mut db = FlatDb::create_in_memory(DbOptions::default());
+        let report = db.build_from(random_entries(5_000, 3)).unwrap();
+        assert!(!report.streamed(), "5k entries fit the default budget");
+    }
+
+    #[test]
+    fn streamed_and_resident_builds_are_byte_identical() {
+        let entries = random_entries(4_000, 4);
+        let mut resident = FlatDb::create_in_memory(DbOptions::default());
+        resident.build_from(entries.clone()).unwrap();
+        let mut streamed = FlatDb::create_in_memory(DbOptions::default().with_memory_budget(500));
+        streamed.build_from(entries).unwrap();
+        let (a, b) = (resident.store(), streamed.store());
+        assert_eq!(a.num_pages(), b.num_pages());
+        let (mut pa, mut pb) = (Page::new(), Page::new());
+        for id in 0..a.num_pages() {
+            a.read_page(PageId(id), &mut pa).unwrap();
+            b.read_page(PageId(id), &mut pb).unwrap();
+            assert_eq!(pa.bytes(), pb.bytes(), "page {id} differs");
+        }
+    }
+
+    #[test]
+    fn writer_requires_ids_and_domain() {
+        let mut db = FlatDb::create_in_memory(DbOptions::default());
+        db.build_from(random_entries(500, 5)).unwrap();
+        let err = db.writer().unwrap_err();
+        assert!(matches!(err, FlatError::Update(_)), "{err}");
+
+        let mut db = FlatDb::create_in_memory(DbOptions::default().with_index(FlatOptions {
+            layout: LeafLayout::WithIds,
+            ..FlatOptions::default()
+        }));
+        db.build_from(random_entries(500, 5)).unwrap();
+        let err = db.writer().unwrap_err();
+        assert!(err.to_string().contains("domain"), "{err}");
+    }
+
+    #[test]
+    fn writer_promotes_once_and_rejects_duplicate_ids() {
+        let mut db = FlatDb::create_in_memory(updatable_options());
+        db.build_from(random_entries(2_000, 6)).unwrap();
+        assert!(db.delta().is_none());
+        {
+            let mut writer = db.writer().unwrap();
+            let err = writer
+                .insert(vec![Entry::new(0, Aabb::cube(Point3::splat(1.0), 0.5))])
+                .unwrap_err();
+            assert!(matches!(err, FlatError::Update(_)), "{err}");
+            // A rejected batch must not have touched anything.
+            assert_eq!(writer.delta().num_live_elements(), 2_000);
+            writer
+                .insert(vec![Entry::new(9_999, Aabb::cube(Point3::splat(1.0), 0.5))])
+                .unwrap();
+        }
+        assert!(db.delta().is_some());
+        assert_eq!(db.num_live_elements(), 2_001);
+    }
+
+    #[test]
+    fn mixed_batches_must_pick_the_matching_terminal() {
+        let mut db = FlatDb::create_in_memory(DbOptions::default());
+        db.build_from(random_entries(1_000, 7)).unwrap();
+        let err = db
+            .query()
+            .range(Aabb::cube(Point3::splat(50.0), 5.0))
+            .knn(Point3::splat(50.0), 3)
+            .run_batch()
+            .unwrap_err();
+        assert!(matches!(err, FlatError::Query(_)), "{err}");
+        let err = db
+            .query()
+            .range(Aabb::cube(Point3::splat(50.0), 5.0))
+            .knn(Point3::splat(50.0), 3)
+            .run_knn_batch()
+            .unwrap_err();
+        assert!(matches!(err, FlatError::Query(_)), "{err}");
+    }
+
+    #[test]
+    fn snapshot_matches_batched_results() {
+        let mut db = FlatDb::create_in_memory(DbOptions::default());
+        db.build_from(random_entries(20_000, 8)).unwrap();
+        let queries: Vec<Aabb> = (0..12)
+            .map(|i| Aabb::cube(Point3::splat(8.0 * i as f64), 6.0))
+            .collect();
+        let serial: Vec<Vec<Hit>> = queries
+            .iter()
+            .map(|q| db.reader().range(q).unwrap())
+            .collect();
+        let outcome = db
+            .query()
+            .ranges(queries.iter().copied())
+            .readahead(2)
+            .run_batch()
+            .unwrap();
+        assert_eq!(outcome.results, serial);
+
+        let points: Vec<(Point3, usize)> = (0..6)
+            .map(|i| (Point3::splat(15.0 * i as f64), 9))
+            .collect();
+        let serial: Vec<Vec<Neighbor>> = points
+            .iter()
+            .map(|&(p, k)| db.reader().knn(p, k).unwrap())
+            .collect();
+        let outcome = db
+            .query()
+            .knns(points.iter().copied())
+            .run_knn_batch()
+            .unwrap();
+        assert_eq!(outcome.results, serial);
+    }
+
+    #[test]
+    fn fresh_database_serves_empty_results() {
+        let db = FlatDb::create_in_memory(DbOptions::default());
+        assert!(!db.is_built());
+        let q = Aabb::cube(Point3::splat(1.0), 5.0);
+        assert!(db.reader().range(&q).unwrap().is_empty());
+        assert!(db.reader().knn(Point3::ORIGIN, 4).unwrap().is_empty());
+        let outcome = db.query().range(q).run_batch().unwrap();
+        assert!(outcome.results[0].is_empty());
+    }
+
+    #[test]
+    fn writer_on_a_fresh_updatable_database_is_delta_only() {
+        let mut db = FlatDb::create_in_memory(updatable_options());
+        {
+            let mut writer = db.writer().unwrap();
+            writer
+                .insert(vec![
+                    Entry::new(1, Aabb::cube(Point3::splat(10.0), 1.0)),
+                    Entry::new(2, Aabb::cube(Point3::splat(20.0), 1.0)),
+                ])
+                .unwrap();
+        }
+        assert!(db.is_built());
+        assert_eq!(db.num_live_elements(), 2);
+        let hits = db
+            .reader()
+            .range(&Aabb::cube(Point3::splat(10.0), 3.0))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        // The database is now built; a bulkload on top must be refused.
+        assert!(db.build_from(random_entries(10, 9)).is_err());
+    }
+
+    #[test]
+    fn persist_requires_no_mutation_to_roundtrip() {
+        let dir = std::env::temp_dir().join("flat-core-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.flatdb");
+        let entries = random_entries(3_000, 10);
+        let mut db = FlatDb::create_in_memory(DbOptions::default());
+        db.build_from(entries.clone()).unwrap();
+        db.persist(&path).unwrap();
+
+        let reopened = FlatDb::open_file(&path, DbOptions::default()).unwrap();
+        assert_eq!(reopened.num_live_elements(), entries.len() as u64);
+        let q = Aabb::cube(Point3::splat(40.0), 18.0);
+        assert_eq!(
+            reopened.reader().range(&q).unwrap(),
+            db.reader().range(&q).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persist_compacts_dirty_state_first() {
+        let dir = std::env::temp_dir().join("flat-core-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty.flatdb");
+        let mut db = FlatDb::create_in_memory(updatable_options());
+        db.build_from(random_entries(2_000, 11)).unwrap();
+        {
+            let mut writer = db.writer().unwrap();
+            writer.delete(&[0, 1, 2, 3]).unwrap();
+            writer
+                .insert(vec![Entry::new(
+                    50_000,
+                    Aabb::cube(Point3::splat(5.0), 0.5),
+                )])
+                .unwrap();
+        }
+        db.persist(&path).unwrap();
+        let reopened = FlatDb::open_file(&path, updatable_options()).unwrap();
+        assert_eq!(reopened.num_live_elements(), 2_000 - 4 + 1);
+        // Tombstoned elements must stay gone after the round trip.
+        let q = Aabb::cube(Point3::splat(50.0), 120.0);
+        assert_eq!(
+            reopened.reader().range(&q).unwrap().len() as u64,
+            reopened.num_live_elements()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_file_rejects_an_empty_file() {
+        let dir = std::env::temp_dir().join("flat-core-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.flatdb");
+        std::fs::write(&path, b"").unwrap();
+        let err = FlatDb::open_file(&path, DbOptions::default()).unwrap_err();
+        assert!(matches!(err, FlatError::Persist(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

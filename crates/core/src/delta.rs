@@ -271,6 +271,12 @@ impl DeltaIndex {
         self.live_elements
     }
 
+    /// Whether application id `id` names a live element (deleted ids may
+    /// be reused by later inserts).
+    pub fn contains_id(&self, id: u64) -> bool {
+        self.locator.contains_key(&id)
+    }
+
     /// Tombstoned elements awaiting compaction.
     pub fn num_tombstones(&self) -> u64 {
         self.tombstones.len() as u64
@@ -287,6 +293,17 @@ impl DeltaIndex {
     /// All live partitions (base + delta).
     pub fn num_live_partitions(&self) -> usize {
         self.parts.iter().filter(|p| !p.dead).count()
+    }
+
+    /// Seed-leaf (metadata) pages, the base's plus every delta page.
+    pub fn num_meta_pages(&self) -> u64 {
+        self.meta_pages.len() as u64
+    }
+
+    /// Seed-tree directory pages (base only — delta records are reached
+    /// through stitched links, not the tree).
+    pub fn num_seed_inner_pages(&self) -> u64 {
+        self.inner_pages.len() as u64
     }
 
     /// Share of live partitions that live outside the bulkloaded base —

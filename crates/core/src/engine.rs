@@ -172,6 +172,11 @@ impl<'a, P: PageRead + Sync> QueryEngine<'a, P> {
     /// configuration): same wave scheduling, batch cache and readahead,
     /// with the delta-aware seed and tombstone-filtered scans — results
     /// identical to [`DeltaIndex::range_query`]/[`DeltaIndex::knn_query`].
+    ///
+    /// This is the implementation behind the [`crate::FlatDb`] façade's
+    /// batched queries on a written-to database; prefer
+    /// [`crate::FlatDb::query`] in new code — it picks the plain or the
+    /// delta engine automatically.
     pub fn for_delta(delta: &'a DeltaIndex, pool: &'a P) -> QueryEngine<'a, P> {
         Self::for_delta_with_config(delta, pool, EngineConfig::default())
     }

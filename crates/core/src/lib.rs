@@ -36,6 +36,9 @@
 //! | `knn` (re-exported) | extension | [`FlatIndex::knn_query`], best-first seed + crawl |
 //! | `engine` (re-exported) | extension | [`QueryEngine`]: batched execution + crawl-ahead prefetch |
 //! | `delta` (re-exported) | extension | [`DeltaIndex`]: delta inserts/deletes with neighbor-link repair, tombstones, compaction back to a pristine (byte-identical) bulkload |
+//! | [`db`] | extension | [`FlatDb`]: the session façade — one handle over build / query / update / persist |
+//! | `spatial` (re-exported) | extension | [`SpatialIndex`]: one trait over FLAT, the delta layer and the R-tree baselines |
+//! | `error` (re-exported) | extension | [`FlatError`]: the façade's unified error type |
 //!
 //! # Example
 //!
@@ -59,12 +62,14 @@
 //! assert!(!hits.is_empty());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod builder;
+pub mod db;
 mod delta;
 mod engine;
+mod error;
 mod index;
 mod knn;
 pub mod meta;
@@ -72,10 +77,14 @@ pub mod neighbors;
 pub mod partition;
 mod persist;
 mod query;
+mod spatial;
 
 pub use builder::{FlatIndexBuilder, StreamingStats, DEFAULT_SPILL_BUDGET};
+pub use db::{BuildReport, DbOptions, FlatDb, QueryBuilder, Snapshot, Writer};
 pub use delta::{verify_compacted_store, DeltaIndex, DeltaReport};
 pub use engine::{BatchOutcome, EngineConfig, KnnBatchOutcome, QueryEngine};
+pub use error::FlatError;
 pub use index::{BuildStats, FlatIndex, FlatOptions, MetaOrder};
 pub use knn::{KnnStats, Neighbor};
 pub use query::QueryStats;
+pub use spatial::{IndexStats, RTreeBuildOptions, SpatialIndex};

@@ -5,6 +5,14 @@
 //! (seed root, height, layout, counters) needs to be written to make the
 //! index durable. See the `persistence` integration test for the full
 //! file-backed round trip.
+//!
+//! These are the primitives the [`crate::FlatDb`] façade's
+//! [`crate::FlatDb::persist`] / [`crate::FlatDb::open_file`] build on —
+//! there is one descriptor implementation, and the façade adds only the
+//! page copy and the descriptor-placement convention (last page of the
+//! file). Prefer the façade in new code; use these directly when managing
+//! pools and descriptor pages by hand (e.g. several indexes sharing one
+//! store).
 
 use crate::index::FlatIndex;
 use flat_rtree::LeafLayout;

@@ -44,7 +44,7 @@
 //! assert!(!hits.is_empty());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bulk;

@@ -485,6 +485,14 @@ impl<S: PageStore> BufferPool<S> {
         pool
     }
 
+    /// One-step shorthand for
+    /// `pool.into_concurrent().into_handle()`: converts the exclusive
+    /// pool into a lock-sharded concurrent pool and wraps it in a
+    /// cloneable [`crate::PoolHandle`] ready to hand to query threads.
+    pub fn into_handle(self) -> crate::PoolHandle<S> {
+        self.into_concurrent().into_handle()
+    }
+
     /// Maximum number of cached pages.
     pub fn capacity(&self) -> usize {
         self.capacity

@@ -1,6 +1,7 @@
 //! Tour of every dataset family from the paper's evaluation (§VII–VIII):
 //! neurons, uniform clouds, surface meshes and n-body snapshots — each
-//! generated, indexed with FLAT, and probed with a centered range query.
+//! generated, indexed through the [`FlatDb`] façade, and probed with a
+//! centered range query.
 //!
 //! ```sh
 //! cargo run --release --example dataset_tour
@@ -13,33 +14,29 @@ fn tour(name: &str, entries: Vec<Entry>, domain: Aabb) {
     // Center the probe on an actual element — for surface meshes the domain
     // center sits in the hollow interior and would match nothing.
     let probe_center = entries[n / 2].mbr.center();
-    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let options = DbOptions::default().with_index(FlatOptions {
+        domain: Some(domain),
+        ..FlatOptions::default()
+    });
+    let mut db = FlatDb::create_in_memory(options);
     let start = std::time::Instant::now();
-    let (index, build) = FlatIndex::build(
-        &mut pool,
-        entries,
-        FlatOptions {
-            domain: Some(domain),
-            ..FlatOptions::default()
-        },
-    )
-    .expect("build");
+    let report = db.build_from(entries).expect("build");
     let build_time = start.elapsed();
 
     // A query covering 1/1000 of the domain volume, on the data.
     let query = Aabb::centered(probe_center, domain.extents() * 0.1);
-    pool.clear_cache();
-    pool.reset_stats();
-    let hits = index.range_query(&pool, &query).expect("query");
+    db.clear_cache();
+    db.reset_stats();
+    let hits = db.reader().range(&query).expect("query");
 
     println!(
         "{name:>22}: {n:>7} elements  {:>6.1} MB index  {:>6.0} ms build  \
          {:>5.1} ptrs/partition  {:>6} hits  {:>5} page reads",
-        index.size_bytes() as f64 / 1e6,
+        db.index().size_bytes() as f64 / 1e6,
         build_time.as_secs_f64() * 1000.0,
-        build.avg_neighbor_pointers(),
+        report.stats.avg_neighbor_pointers(),
         hits.len(),
-        pool.stats().total_physical_reads(),
+        db.io_stats().total_physical_reads(),
     );
 }
 

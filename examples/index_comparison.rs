@@ -2,6 +2,11 @@
 //! same dataset and the same query — the essence of the paper's §VII in
 //! one terminal screen.
 //!
+//! This example deliberately stays on the **low-level crate APIs**
+//! (`FlatIndex::build`, `RTree::bulk_load`, explicit `BufferPool`
+//! management) as the paper-literal reproduction path; every other
+//! example goes through the `FlatDb` façade or the `SpatialIndex` trait.
+//!
 //! ```sh
 //! cargo run --release --example index_comparison
 //! ```

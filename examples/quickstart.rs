@@ -1,5 +1,9 @@
-//! Quickstart: generate a brain model, index it with FLAT, run a range
-//! query, and inspect the I/O statistics.
+//! Quickstart: one [`FlatDb`] session from build to persistence —
+//! generate a brain model, index it, query it serially and batched,
+//! mutate it, and round-trip it through a database file.
+//!
+//! This is the façade walkthrough; see `index_comparison.rs` for the
+//! low-level crate APIs (paper-literal reproduction).
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -18,48 +22,49 @@ fn main() {
         config.domain
     );
 
-    // 2. Build the FLAT index in an in-memory page store. The pool counts
-    //    every page read, classified by structure (seed tree, metadata,
-    //    object pages).
-    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
-    let (index, build) = FlatIndex::build(
-        &mut pool,
-        model.entries(),
-        FlatOptions {
-            domain: Some(config.domain),
-            ..FlatOptions::default()
-        },
-    )
-    .expect("in-memory build cannot fail");
+    // 2. One handle owns the pool and the index lifecycle. `updatable`
+    //    selects stable element ids + the fixed domain that the write
+    //    path needs; `build_from` picks the in-memory or the streaming
+    //    build by the configured memory budget (identical bits either
+    //    way).
+    let mut db = FlatDb::create(MemStore::new(), DbOptions::updatable(config.domain));
+    let report = db.build_from(model.entries()).expect("build");
+    let index = db.index();
     println!(
-        "built FLAT: {} partitions, {} object pages + {} metadata pages + {} seed pages \
-         ({:.1} MB total) in {:.0} ms",
-        build.num_partitions,
+        "built FLAT ({}): {} partitions, {} object + {} metadata + {} seed pages \
+         ({:.1} MB) in {:.0} ms",
+        if report.streamed() {
+            "streamed"
+        } else {
+            "in-memory"
+        },
+        report.stats.num_partitions,
         index.num_object_pages(),
         index.num_meta_pages(),
         index.num_seed_inner_pages(),
         index.size_bytes() as f64 / 1e6,
-        build.total_time().as_secs_f64() * 1000.0,
+        report.stats.total_time().as_secs_f64() * 1000.0,
     );
     println!(
         "neighborhood: {:.1} pointers per partition on average (median {})",
-        build.avg_neighbor_pointers(),
-        build.median_neighbor_pointers(),
+        report.stats.avg_neighbor_pointers(),
+        report.stats.median_neighbor_pointers(),
     );
 
-    // 3. Query a 30 µm neighborhood in the center of the tissue, with the
+    // 3. Serial reads go through a cheap snapshot handle, with the
     //    paper's cold-cache protocol.
-    pool.clear_cache();
-    pool.reset_stats();
+    db.clear_cache();
+    db.reset_stats();
     let query = Aabb::cube(config.domain.center(), 30.0);
     let mut stats = QueryStats::default();
-    let hits = index
-        .range_query_with_stats(&pool, &query, &mut stats)
-        .expect("in-memory query cannot fail");
+    let hits = db
+        .reader()
+        .range_with_stats(&query, &mut stats)
+        .expect("query");
 
     println!("\nquery {query}:");
     println!("  {} segments intersect", hits.len());
-    let io = pool.stats();
+    let io = db.io_stats();
     for kind in [
         PageKind::SeedInner,
         PageKind::SeedLeaf,
@@ -81,26 +86,68 @@ fn main() {
         stats.records_processed, stats.max_queue_len
     );
 
-    // 4. Queries are shared reads, so the same index can serve many
-    //    threads at once: convert the pool into its lock-sharded form and
-    //    hand every worker a cloneable handle.
-    let shared = pool.into_concurrent().into_handle();
-    let expected = hits.len();
-    std::thread::scope(|scope| {
-        for worker in 0..4 {
-            let shared = shared.clone();
-            let index = &index;
-            scope.spawn(move || {
-                let n = index
-                    .range_query(&shared, &query)
-                    .expect("in-memory query cannot fail")
-                    .len();
-                assert_eq!(
-                    n, expected,
-                    "worker {worker} disagrees with the serial result"
-                );
-            });
-        }
-    });
-    println!("\n4 concurrent workers re-ran the query through one shared pool — same result");
+    // 4. Batches run through the fluent query builder: per-batch page
+    //    cache plus crawl-ahead readahead, results identical to serial.
+    let probes: Vec<Aabb> = (0..16)
+        .map(|i| {
+            Aabb::cube(
+                config.domain.min + config.domain.extents() * (0.2 + 0.04 * i as f64),
+                20.0,
+            )
+        })
+        .collect();
+    let outcome = db
+        .query()
+        .ranges(probes.iter().copied())
+        .readahead(4)
+        .run_batch()
+        .expect("batch");
+    println!(
+        "\nbatch of {}: {} pages fetched for {} page requests \
+         ({} absorbed by the batch cache), {} readahead hints",
+        probes.len(),
+        outcome.pages_fetched,
+        outcome.page_requests,
+        outcome.page_requests - outcome.pages_fetched,
+        outcome.prefetch_hints,
+    );
+
+    // 5. Mutations go through an exclusive write session: delete the
+    //    segments we just found, then put them back.
+    let victim_ids: Vec<u64> = hits.iter().take(100).map(|h| h.id).collect();
+    let restore: Vec<Entry> = hits
+        .iter()
+        .take(100)
+        .map(|h| Entry::new(h.id, h.mbr))
+        .collect();
+    let removed = {
+        let mut writer = db.writer().expect("updatable database");
+        let removed = writer.delete(&victim_ids).expect("delete");
+        writer.insert(restore).expect("insert");
+        removed
+        // The writer's exclusive borrow ends here; readers resume.
+    };
+    let after = db.reader().range(&query).expect("query").len();
+    println!(
+        "\ndeleted {removed} segments and re-inserted them: \
+         {after} hits again (was {})",
+        hits.len()
+    );
+    assert_eq!(after, hits.len());
+
+    // 6. Persist to a file and reopen — one call each way.
+    let path = std::env::temp_dir().join("flat-quickstart.flatdb");
+    db.persist(&path).expect("persist");
+    let reopened = FlatDb::open_file(&path, DbOptions::updatable(config.domain)).expect("open");
+    assert_eq!(
+        reopened.reader().range(&query).expect("query").len(),
+        hits.len()
+    );
+    println!(
+        "\npersisted {:.1} MB to {} and reopened: same {} hits",
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) as f64 / 1e6,
+        path.display(),
+        hits.len()
+    );
+    std::fs::remove_file(&path).ok();
 }

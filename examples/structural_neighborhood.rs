@@ -2,8 +2,10 @@
 //! detecting where neuron fibers come close to each other by issuing many
 //! small range queries along a fiber, one per segment.
 //!
-//! The example walks one neuron's fiber, queries the 5 µm neighborhood of
-//! every 10th segment on both FLAT and the PR-tree, and compares the I/O.
+//! The example walks one neuron's fiber and queries the 5 µm neighborhood
+//! of every 10th segment through **one generic driver** over the
+//! [`SpatialIndex`] trait — the same code path measures FLAT and the
+//! PR-tree baseline, which is exactly what the trait exists for.
 //!
 //! ```sh
 //! cargo run --release --example structural_neighborhood
@@ -11,15 +13,34 @@
 
 use flat_repro::prelude::*;
 
+/// Walks the fiber over any index kind: per-probe cold-cache queries,
+/// returning (per-probe result counts, total physical page reads).
+fn walk_fiber<I: SpatialIndex>(
+    index: &I,
+    pool: &BufferPool<MemStore>,
+    fiber: &[Point3],
+) -> (Vec<usize>, u64) {
+    let mut counts = Vec::with_capacity(fiber.len());
+    let mut reads = 0u64;
+    for center in fiber {
+        let probe = Aabb::cube(*center, 10.0); // ±5 µm neighborhood
+        pool.clear_cache();
+        let snap = pool.snapshot();
+        counts.push(index.range(pool, &probe).expect("query").len());
+        reads += pool.stats().since(&snap).total_physical_reads();
+    }
+    (counts, reads)
+}
+
 fn main() {
     let config = NeuronConfig::bbp(60, 1000, 7);
     let model = NeuronModel::generate(&config);
     let entries = model.entries();
     println!("model: {} segments from {} neurons", entries.len(), 60);
 
-    // Index the model with FLAT and with the strongest R-tree baseline.
+    // Build FLAT and the strongest R-tree baseline through the same trait.
     let mut flat_pool = BufferPool::new(MemStore::new(), 1 << 16);
-    let (flat, _) = FlatIndex::build(
+    let flat = FlatIndex::build_index(
         &mut flat_pool,
         entries.clone(),
         FlatOptions {
@@ -29,13 +50,7 @@ fn main() {
     )
     .expect("build");
     let mut pr_pool = BufferPool::new(MemStore::new(), 1 << 16);
-    let pr = RTree::bulk_load(
-        &mut pr_pool,
-        entries,
-        BulkLoad::PrTree,
-        RTreeConfig::default(),
-    )
-    .expect("build");
+    let pr = RTree::build_index(&mut pr_pool, entries, BulkLoad::PrTree.into()).expect("build");
 
     // Walk the first neuron's fiber: the neighborhood of every 10th
     // segment, i.e. all elements within 5 µm of the segment center.
@@ -49,38 +64,19 @@ fn main() {
         .collect();
     println!("walking {} probe points along neuron 0\n", fiber.len());
 
-    let mut flat_reads = 0u64;
-    let mut pr_reads = 0u64;
-    let mut touching = 0usize;
-    for center in &fiber {
-        let probe = Aabb::cube(*center, 10.0); // ±5 µm neighborhood
-
-        flat_pool.clear_cache();
-        let snap = flat_pool.snapshot();
-        let flat_hits = flat.range_query(&flat_pool, &probe).expect("query");
-        flat_reads += flat_pool.stats().since(&snap).total_physical_reads();
-
-        pr_pool.clear_cache();
-        let snap = pr_pool.snapshot();
-        let pr_hits = pr.range_query(&pr_pool, &probe).expect("query");
-        pr_reads += pr_pool.stats().since(&snap).total_physical_reads();
-
-        assert_eq!(flat_hits.len(), pr_hits.len(), "indexes disagree");
-        touching += flat_hits.len();
-    }
+    let (flat_counts, flat_reads) = walk_fiber(&flat, &flat_pool, &fiber);
+    let (pr_counts, pr_reads) = walk_fiber(&pr, &pr_pool, &fiber);
+    assert_eq!(flat_counts, pr_counts, "indexes disagree on some probe");
+    let touching: usize = flat_counts.iter().sum();
 
     let model_time = DiskModel::sas_10k();
     println!("results: {touching} neighborhood elements found along the fiber");
-    println!(
-        "FLAT   : {:>6} page reads  ({:>7.1} ms simulated disk time)",
-        flat_reads,
-        model_time.io_time_for_reads(flat_reads).as_secs_f64() * 1000.0
-    );
-    println!(
-        "PR-Tree: {:>6} page reads  ({:>7.1} ms simulated disk time)",
-        pr_reads,
-        model_time.io_time_for_reads(pr_reads).as_secs_f64() * 1000.0
-    );
+    for (label, reads) in [("FLAT", flat_reads), ("PR-Tree", pr_reads)] {
+        println!(
+            "{label:>12}: {reads:>6} page reads  ({:>7.1} ms simulated disk time)",
+            model_time.io_time_for_reads(reads).as_secs_f64() * 1000.0
+        );
+    }
     println!(
         "FLAT reads {:.1}x less data for the structural-neighborhood walk",
         pr_reads as f64 / flat_reads as f64

@@ -1,6 +1,7 @@
 //! The paper's second use case (§III-B): *large spatial subvolumes* —
 //! retrieving a sizable tissue block for visualization or analysis, here a
-//! tissue-density profile along the x axis of the retrieved block.
+//! tissue-density profile along the x axis of the retrieved block. Runs
+//! through the [`FlatDb`] façade.
 //!
 //! ```sh
 //! cargo run --release --example subvolume_analysis
@@ -13,23 +14,19 @@ fn main() {
     let model = NeuronModel::generate(&config);
     println!("model: {} segments in {}", model.len(), config.domain);
 
-    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
-    let (index, _) = FlatIndex::build(
-        &mut pool,
-        model.entries(),
-        FlatOptions {
-            domain: Some(config.domain),
-            ..FlatOptions::default()
-        },
-    )
-    .expect("build");
+    let options = DbOptions::default().with_index(FlatOptions {
+        domain: Some(config.domain),
+        ..FlatOptions::default()
+    });
+    let mut db = FlatDb::create_in_memory(options);
+    db.build_from(model.entries()).expect("build");
 
     // Retrieve a 100 µm × 60 µm × 60 µm block in the middle of the tissue.
     let block = Aabb::centered(config.domain.center(), Point3::new(100.0, 60.0, 60.0));
-    pool.clear_cache();
-    pool.reset_stats();
-    let hits = index.range_query(&pool, &block).expect("query");
-    let io = pool.stats();
+    db.clear_cache();
+    db.reset_stats();
+    let hits = db.reader().range(&block).expect("query");
+    let io = db.io_stats();
 
     println!("\nretrieved subvolume {block}");
     println!(

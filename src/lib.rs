@@ -10,47 +10,54 @@
 //! This umbrella crate re-exports the public API of every workspace crate;
 //! depend on the individual crates if you want a narrower dependency.
 //!
-//! Page access is split into two capabilities: builds are exclusive
-//! ([`prelude::PageWrite`], `&mut`), queries are shared reads
-//! ([`prelude::PageRead`], `&self`). A freshly built index can therefore
-//! serve one thread through its [`prelude::BufferPool`] — or many threads
-//! at once through a lock-sharded [`prelude::ConcurrentBufferPool`]:
+//! The recommended entry point is the [`prelude::FlatDb`] session façade:
+//! one handle that owns the buffer pool and the index lifecycle, builds
+//! from an entry set (auto-selecting the in-memory or the out-of-core
+//! path by a memory budget), serves serial reads through cheap
+//! [`prelude::Snapshot`]s and batched reads through a fluent query
+//! builder, mutates through an exclusive writer, and persists to a file
+//! that reopens with one call:
 //!
 //! ```
 //! use flat_repro::prelude::*;
-//! use std::sync::Arc;
 //!
-//! // Generate a small neuron model and index it with FLAT (exclusive
-//! // build path).
+//! // Generate a small neuron model and index it through the façade.
 //! let config = NeuronConfig::bbp(10, 500, 42);
 //! let model = NeuronModel::generate(&config);
-//! let mut pool = BufferPool::new(MemStore::new(), 1 << 14);
-//! let (index, _) = FlatIndex::build(
-//!     &mut pool,
-//!     model.entries(),
-//!     FlatOptions { domain: Some(config.domain), ..FlatOptions::default() },
-//! )
-//! .unwrap();
+//! let mut db = FlatDb::create(
+//!     MemStore::new(),
+//!     DbOptions::updatable(config.domain), // stable ids + fixed domain
+//! );
+//! db.build_from(model.entries()).unwrap();
 //!
-//! // Single-threaded queries read through the same pool, `&self` only.
+//! // Serial reads through a cheap snapshot handle.
 //! let query = Aabb::cube(config.domain.center(), 30.0);
-//! let hits = index.range_query(&pool, &query).unwrap();
+//! let hits = db.reader().range(&query).unwrap();
+//! let nearest = db.reader().knn(config.domain.center(), 5).unwrap();
+//! assert_eq!(nearest.len(), 5);
 //!
-//! // For concurrent streams, convert the pool and share it.
-//! let shared = pool.into_concurrent().into_handle();
-//! let index = Arc::new(index);
-//! let workers: Vec<_> = (0..4)
-//!     .map(|_| {
-//!         let (index, shared) = (Arc::clone(&index), shared.clone());
-//!         std::thread::spawn(move || index.range_query(&shared, &query).unwrap().len())
-//!     })
-//!     .collect();
-//! for worker in workers {
-//!     assert_eq!(worker.join().unwrap(), hits.len());
-//! }
+//! // The same query batched with crawl-ahead readahead: identical bits.
+//! let outcome = db.query().range(query).readahead(2).run_batch().unwrap();
+//! assert_eq!(outcome.results[0], hits);
+//!
+//! // Updates go through an exclusive write session.
+//! let mut writer = db.writer().unwrap();
+//! let removed = writer.delete(&[hits[0].id]).unwrap();
+//! assert_eq!(removed, 1);
+//! drop(writer);
+//! assert_eq!(db.reader().range(&query).unwrap().len(), hits.len() - 1);
 //! ```
+//!
+//! Underneath the façade, page access is split into two capabilities:
+//! builds are exclusive ([`prelude::PageWrite`], `&mut`), queries are
+//! shared reads ([`prelude::PageRead`], `&self`) — so the low-level types
+//! ([`prelude::FlatIndex`], [`prelude::RTree`], [`prelude::DeltaIndex`],
+//! unified by the [`prelude::SpatialIndex`] trait) can serve one thread
+//! through a [`prelude::BufferPool`] or many through a lock-sharded
+//! [`prelude::ConcurrentBufferPool`]. The `index_comparison` example
+//! keeps a paper-literal walkthrough of those low-level APIs.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use flat_core as core;
@@ -63,8 +70,10 @@ pub use flat_storage as storage;
 /// The most commonly used items of every crate, for glob import.
 pub mod prelude {
     pub use flat_core::{
-        BatchOutcome, BuildStats, DeltaIndex, DeltaReport, EngineConfig, FlatIndex,
-        FlatIndexBuilder, FlatOptions, KnnStats, Neighbor, QueryEngine, QueryStats, StreamingStats,
+        BatchOutcome, BuildReport, BuildStats, DbOptions, DeltaIndex, DeltaReport, EngineConfig,
+        FlatDb, FlatError, FlatIndex, FlatIndexBuilder, FlatOptions, IndexStats, KnnStats,
+        Neighbor, QueryBuilder, QueryEngine, QueryStats, RTreeBuildOptions, Snapshot, SpatialIndex,
+        StreamingStats, Writer,
     };
     pub use flat_data::mesh::{mesh_entries, MeshConfig, MeshSource};
     pub use flat_data::nbody::{nbody_entries, NBodyConfig, NBodySource};

@@ -1,7 +1,11 @@
-//! Cross-crate integration tests: every index — FLAT, the four bulkloaded
-//! R-trees, and the dynamically built Guttman R-tree — must return exactly
-//! the same result set for the same query on the same data, across all
-//! dataset families.
+//! Cross-crate integration tests: every index — FLAT, the delta layer,
+//! the four bulkloaded R-trees, and the dynamically built Guttman R-tree —
+//! must return exactly the same result set for the same query on the same
+//! data, across all dataset families.
+//!
+//! The bulkloaded contenders are driven **generically** through the
+//! [`SpatialIndex`] trait: one `check` function builds and queries any
+//! implementor, so adding an index kind to the matrix is one line.
 
 use flat_repro::prelude::*;
 
@@ -30,56 +34,89 @@ fn brute_force(entries: &[Entry], q: &Aabb) -> usize {
     entries.iter().filter(|e| q.intersects(&e.mbr)).count()
 }
 
-fn check_equivalence(entries: Vec<Entry>, domain: Aabb, queries: &[Aabb]) {
-    // FLAT.
-    let mut flat_pool = BufferPool::new(MemStore::new(), 1 << 16);
-    let (flat, _) = FlatIndex::build(
-        &mut flat_pool,
-        entries.clone(),
-        FlatOptions {
-            domain: Some(domain),
-            ..FlatOptions::default()
-        },
-    )
-    .expect("flat build");
+/// Per-query range keys plus per-point kNN distances for any index kind,
+/// through the trait alone.
+fn evaluate<I: SpatialIndex>(
+    entries: Vec<Entry>,
+    options: I::BuildOptions,
+    queries: &[Aabb],
+    knn_probes: &[(Point3, usize)],
+) -> (Vec<Vec<[u64; 6]>>, Vec<Vec<f64>>) {
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let index = I::build_index(&mut pool, entries, options).expect("build");
+    let ranges = queries
+        .iter()
+        .map(|q| keys(&index.range(&pool, q).expect("range")))
+        .collect();
+    let knns = knn_probes
+        .iter()
+        .map(|&(p, k)| {
+            index
+                .nearest(&pool, p, k)
+                .expect("knn")
+                .iter()
+                .map(|n| n.dist_sq)
+                .collect()
+        })
+        .collect();
+    (ranges, knns)
+}
 
-    // Bulkloaded R-trees.
-    let mut rtrees = Vec::new();
+fn check_equivalence(entries: Vec<Entry>, domain: Aabb, queries: &[Aabb]) {
+    let flat_options = FlatOptions {
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+    let knn_probes = knn_queries(
+        &domain,
+        &KnnConfig {
+            count: 6,
+            k_range: (1, 30),
+            seed: 77,
+        },
+    );
+
+    // FLAT is the reference; brute force pins its result sizes.
+    let (reference, reference_knn) =
+        evaluate::<FlatIndex>(entries.clone(), flat_options, queries, &knn_probes);
+    for (qi, q) in queries.iter().enumerate() {
+        assert_eq!(
+            reference[qi].len(),
+            brute_force(&entries, q),
+            "FLAT vs brute force, query {qi}"
+        );
+    }
+
+    // Every other bulkloaded contender through the same generic driver.
+    let (delta, delta_knn) =
+        evaluate::<DeltaIndex>(entries.clone(), flat_options, queries, &knn_probes);
+    assert_eq!(delta, reference, "delta range diverged");
+    assert_eq!(delta_knn, reference_knn, "delta kNN diverged");
     for method in [
         BulkLoad::Str,
         BulkLoad::Hilbert,
         BulkLoad::PrTree,
         BulkLoad::Tgs,
     ] {
-        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
-        let tree = RTree::bulk_load(&mut pool, entries.clone(), method, RTreeConfig::default())
-            .expect("rtree build");
-        rtrees.push((method, tree, pool));
+        let (rt, rt_knn) = evaluate::<RTree>(entries.clone(), method.into(), queries, &knn_probes);
+        assert_eq!(rt, reference, "{method:?} range diverged");
+        assert_eq!(rt_knn, reference_knn, "{method:?} kNN diverged");
     }
 
-    // Dynamically built R-tree (Guttman inserts).
+    // Dynamically built R-tree (Guttman inserts) — not a bulkload, so it
+    // stays outside the trait's build path on purpose.
     let mut dyn_pool = BufferPool::new(MemStore::new(), 1 << 16);
     let mut dyn_tree = RTree::new_empty(RTreeConfig::default());
     for e in &entries {
         dyn_tree.insert(&mut dyn_pool, *e).expect("insert");
     }
-
     for (qi, q) in queries.iter().enumerate() {
-        let expected_count = brute_force(&entries, q);
-        let flat_hits = flat.range_query(&flat_pool, q).expect("flat query");
+        let dyn_hits = dyn_tree.range(&dyn_pool, q).expect("dyn query");
         assert_eq!(
-            flat_hits.len(),
-            expected_count,
-            "FLAT vs brute force, query {qi}"
+            keys(&dyn_hits),
+            reference[qi],
+            "Guttman vs FLAT, query {qi}"
         );
-        let reference = keys(&flat_hits);
-
-        for (method, tree, pool) in rtrees.iter_mut() {
-            let hits = tree.range_query(&*pool, q).expect("rtree query");
-            assert_eq!(keys(&hits), reference, "{method:?} vs FLAT, query {qi}");
-        }
-        let dyn_hits = dyn_tree.range_query(&dyn_pool, q).expect("dyn query");
-        assert_eq!(keys(&dyn_hits), reference, "Guttman vs FLAT, query {qi}");
     }
 }
 
@@ -142,4 +179,29 @@ fn degenerate_queries_agree() {
         entries[0].mbr.max + Point3::splat(1.0),
     ));
     check_equivalence(entries, domain, &queries);
+}
+
+#[test]
+fn facade_database_joins_the_equivalence_matrix() {
+    // The FlatDb façade must agree with every index kind too — it routes
+    // to FLAT underneath, but this pins the whole stack end to end.
+    let config = UniformConfig::scaled_baseline(6_000, 11);
+    let entries = uniform_entries(&config);
+    let domain = config.domain;
+    let queries = workload(&domain, 5e-3, 12);
+
+    let mut db = FlatDb::create_in_memory(DbOptions::default().with_index(FlatOptions {
+        domain: Some(domain),
+        ..FlatOptions::default()
+    }));
+    db.build_from(entries.clone()).unwrap();
+
+    let (reference, _) = evaluate::<RTree>(entries, RTreeBuildOptions::default(), &queries, &[]);
+    for (qi, q) in queries.iter().enumerate() {
+        assert_eq!(
+            keys(&db.reader().range(q).unwrap()),
+            reference[qi],
+            "FlatDb vs STR R-tree, query {qi}"
+        );
+    }
 }

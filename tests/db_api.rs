@@ -1,0 +1,329 @@
+//! Façade equivalence: every [`FlatDb`] path — build (both paths), range
+//! and kNN (serial and batched), insert/delete/compact, persist/open —
+//! must produce results (and, where observable, pages) **bit-identical**
+//! to the pre-façade low-level calls it routes to.
+
+use flat_repro::core::QueryEngine;
+use flat_repro::prelude::*;
+
+fn dataset(n: usize, seed: u64) -> (Vec<Entry>, Aabb) {
+    let config = UniformConfig::scaled_baseline(n, seed);
+    (uniform_entries(&config), config.domain)
+}
+
+fn updatable(domain: Aabb) -> FlatOptions {
+    FlatOptions {
+        layout: LeafLayout::WithIds,
+        domain: Some(domain),
+        ..FlatOptions::default()
+    }
+}
+
+/// Byte-compares two stores page by page (free lists must agree; freed
+/// pages are unreadable and skipped).
+fn assert_stores_identical(a: &impl PageStore, b: &impl PageStore, context: &str) {
+    assert_eq!(a.num_pages(), b.num_pages(), "{context}: page counts");
+    assert_eq!(a.free_pages(), b.free_pages(), "{context}: free lists");
+    let free: std::collections::HashSet<PageId> = a.free_pages().into_iter().collect();
+    let (mut pa, mut pb) = (Page::new(), Page::new());
+    for id in 0..a.num_pages() {
+        if free.contains(&PageId(id)) {
+            continue;
+        }
+        a.read_page(PageId(id), &mut pa).unwrap();
+        b.read_page(PageId(id), &mut pb).unwrap();
+        assert_eq!(pa.bytes(), pb.bytes(), "{context}: page {id} differs");
+    }
+}
+
+fn queries(domain: &Aabb, seed: u64) -> Vec<Aabb> {
+    range_queries(
+        domain,
+        &WorkloadConfig {
+            count: 16,
+            volume_fraction: 5e-3,
+            proportion_range: (1.0, 3.0),
+            seed,
+        },
+    )
+}
+
+fn knn_points(domain: &Aabb, seed: u64) -> Vec<(Point3, usize)> {
+    knn_queries(
+        domain,
+        &KnnConfig {
+            count: 8,
+            k_range: (1, 24),
+            seed,
+        },
+    )
+}
+
+#[test]
+fn in_memory_build_is_bit_identical_to_low_level() {
+    let (entries, domain) = dataset(12_000, 21);
+    let options = FlatOptions {
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+
+    let mut db = FlatDb::create(MemStore::new(), DbOptions::default().with_index(options));
+    let report = db.build_from(entries.clone()).unwrap();
+    assert!(!report.streamed(), "12k entries fit the default budget");
+
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (index, _) = FlatIndex::build(&mut pool, entries, options).unwrap();
+
+    assert_stores_identical(db.store(), pool.store(), "in-memory build");
+    assert_eq!(db.index().num_elements(), index.num_elements());
+    assert_eq!(db.index().seed_height(), index.seed_height());
+}
+
+#[test]
+fn streaming_build_is_bit_identical_to_low_level() {
+    let (entries, domain) = dataset(10_000, 22);
+    let options = FlatOptions {
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+    let budget = 1_500; // far below 10k entries: forces spilling
+
+    let mut db = FlatDb::create(
+        MemStore::new(),
+        DbOptions::default()
+            .with_index(options)
+            .with_memory_budget(budget),
+    );
+    let report = db.build_from(entries.clone()).unwrap();
+    assert!(report.streamed(), "10k entries over a 1.5k budget");
+    assert!(
+        report.streaming.as_ref().unwrap().spill.spilled_records > 0,
+        "the streamed build must actually have spilled"
+    );
+
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (_, _, _) = FlatIndexBuilder::new(options)
+        .spill_budget(budget)
+        .build(&mut pool, entries)
+        .unwrap();
+
+    assert_stores_identical(db.store(), pool.store(), "streaming build");
+}
+
+#[test]
+fn serial_queries_match_low_level_bit_for_bit() {
+    let (entries, domain) = dataset(20_000, 23);
+    let options = FlatOptions {
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+    let mut db = FlatDb::create(MemStore::new(), DbOptions::default().with_index(options));
+    db.build_from(entries.clone()).unwrap();
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (index, _) = FlatIndex::build(&mut pool, entries, options).unwrap();
+
+    for q in queries(&domain, 24) {
+        let mut db_stats = QueryStats::default();
+        let mut ll_stats = QueryStats::default();
+        let db_hits = db.reader().range_with_stats(&q, &mut db_stats).unwrap();
+        let ll_hits = index
+            .range_query_with_stats(&pool, &q, &mut ll_stats)
+            .unwrap();
+        assert_eq!(db_hits, ll_hits, "range results for {q}");
+        assert_eq!(db_stats, ll_stats, "range stats for {q}");
+    }
+    for (p, k) in knn_points(&domain, 25) {
+        let db_knn = db.reader().knn(p, k).unwrap();
+        let ll_knn = index.knn_query(&pool, p, k).unwrap();
+        assert_eq!(db_knn, ll_knn, "kNN results for {p} k={k}");
+    }
+}
+
+#[test]
+fn batched_queries_match_engine_and_serial() {
+    let (entries, domain) = dataset(20_000, 26);
+    let options = FlatOptions {
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+    let mut db = FlatDb::create(MemStore::new(), DbOptions::default().with_index(options));
+    db.build_from(entries.clone()).unwrap();
+
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (index, _) = FlatIndex::build(&mut pool, entries, options).unwrap();
+    let pool = pool.into_concurrent();
+
+    let batch = queries(&domain, 27);
+    for readahead in [0, 3] {
+        let db_outcome = db
+            .query()
+            .ranges(batch.iter().copied())
+            .readahead(readahead)
+            .run_batch()
+            .unwrap();
+        let engine = QueryEngine::with_config(
+            &index,
+            &pool,
+            EngineConfig {
+                readahead_threads: readahead,
+                ..EngineConfig::default()
+            },
+        );
+        let ll_outcome = engine.run_range_batch(&batch).unwrap();
+        assert_eq!(
+            db_outcome.results, ll_outcome.results,
+            "batched range (readahead={readahead})"
+        );
+        // Both must also equal the serial path, bit for bit.
+        for (i, q) in batch.iter().enumerate() {
+            assert_eq!(db_outcome.results[i], db.reader().range(q).unwrap());
+        }
+    }
+
+    let points = knn_points(&domain, 28);
+    let db_outcome = db
+        .query()
+        .knns(points.iter().copied())
+        .run_knn_batch()
+        .unwrap();
+    let ll_outcome = QueryEngine::new(&index, &pool)
+        .run_knn_batch(&points)
+        .unwrap();
+    assert_eq!(db_outcome.results, ll_outcome.results, "batched kNN");
+}
+
+#[test]
+fn updates_match_low_level_delta_ops_page_for_page() {
+    let (entries, domain) = dataset(9_000, 29);
+    let options = updatable(domain);
+
+    // Façade side.
+    let mut db = FlatDb::create(MemStore::new(), DbOptions::default().with_index(options));
+    db.build_from(entries.clone()).unwrap();
+
+    // Low-level side: same build, same delta ops, by hand.
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (index, _) = FlatIndex::build(&mut pool, entries.clone(), options).unwrap();
+    let mut delta = DeltaIndex::new(&pool, index, options).unwrap();
+
+    // Scripted churn: insert a batch, delete a mixed batch (some of the
+    // inserts, some originals, one partition wiped wholesale).
+    let fresh: Vec<Entry> = (0..500)
+        .map(|i| {
+            let t = i as f64 / 500.0;
+            Entry::new(
+                1_000_000 + i,
+                Aabb::cube(domain.min.lerp(&domain.max, 0.1 + 0.8 * t), 0.4),
+            )
+        })
+        .collect();
+    let mut victims: Vec<u64> = (0..800).map(|i| i * 7 % 9_000).collect();
+    victims.extend((0..100).map(|i| 1_000_000 + i));
+    victims.sort_unstable();
+    victims.dedup();
+
+    {
+        let mut writer = db.writer().unwrap();
+        writer.insert(fresh.clone()).unwrap();
+        writer.delete(&victims).unwrap();
+    }
+    delta.insert_batch(&mut pool, fresh).unwrap();
+    let ll_deleted = delta.delete_batch(&mut pool, &victims).unwrap();
+
+    assert_stores_identical(db.store(), pool.store(), "after insert+delete");
+    assert_eq!(db.num_live_elements(), delta.num_live_elements());
+    assert_eq!(db.delta().unwrap().num_tombstones(), delta.num_tombstones());
+    assert!(ll_deleted > 0);
+
+    for q in queries(&domain, 30) {
+        assert_eq!(
+            db.reader().range(&q).unwrap(),
+            delta.range_query(&pool, &q).unwrap(),
+            "delta range for {q}"
+        );
+    }
+    for (p, k) in knn_points(&domain, 31) {
+        assert_eq!(
+            db.reader().knn(p, k).unwrap(),
+            delta.knn_query(&pool, p, k).unwrap(),
+            "delta kNN for {p}"
+        );
+    }
+
+    // Compaction: same pages again, and byte-identical to each other.
+    {
+        let mut writer = db.writer().unwrap();
+        writer.compact().unwrap();
+    }
+    delta.compact(&mut pool).unwrap();
+    assert_stores_identical(db.store(), pool.store(), "after compact");
+}
+
+#[test]
+fn persisted_file_is_byte_identical_to_low_level_save() {
+    let dir = std::env::temp_dir().join("flat-repro-db-api");
+    std::fs::create_dir_all(&dir).unwrap();
+    let facade_path = dir.join("facade.flatdb");
+    let manual_path = dir.join("manual.flatdb");
+    let (entries, domain) = dataset(8_000, 32);
+    let options = FlatOptions {
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+
+    // Façade: build in memory, persist to a file.
+    let mut db = FlatDb::create(MemStore::new(), DbOptions::default().with_index(options));
+    db.build_from(entries.clone()).unwrap();
+    let descriptor = db.persist(&facade_path).unwrap();
+
+    // Low level: build straight into a file store, save the descriptor.
+    let store = FileStore::create(&manual_path).unwrap();
+    let mut pool = BufferPool::new(store, 1 << 14);
+    let (index, _) = FlatIndex::build(&mut pool, entries.clone(), options).unwrap();
+    let manual_descriptor = index.save(&mut pool).unwrap();
+    drop(pool);
+
+    assert_eq!(descriptor, manual_descriptor, "descriptor page ids");
+    let facade_bytes = std::fs::read(&facade_path).unwrap();
+    let manual_bytes = std::fs::read(&manual_path).unwrap();
+    assert_eq!(facade_bytes, manual_bytes, "persisted files differ");
+
+    // And the round trip serves the same bits as the in-memory original.
+    let reopened = FlatDb::open_file(&facade_path, DbOptions::default()).unwrap();
+    assert_eq!(reopened.num_live_elements(), entries.len() as u64);
+    for q in queries(&domain, 33) {
+        assert_eq!(
+            reopened.reader().range(&q).unwrap(),
+            db.reader().range(&q).unwrap(),
+            "reopened range for {q}"
+        );
+    }
+    std::fs::remove_file(&facade_path).ok();
+    std::fs::remove_file(&manual_path).ok();
+}
+
+#[test]
+fn flat_error_displays_and_chains_sources() {
+    use std::error::Error;
+
+    // A façade-level error with no storage cause.
+    let mut db = FlatDb::create_in_memory(DbOptions::default());
+    db.build_from(Vec::new()).unwrap();
+    let err = db.build_from(Vec::new()).unwrap_err();
+    assert!(matches!(err, FlatError::Build(_)));
+    assert!(err.to_string().contains("already holds an index"), "{err}");
+    assert!(err.source().is_none());
+
+    // A storage-backed error keeps the full source chain.
+    let missing = std::env::temp_dir().join("flat-repro-db-api-definitely-missing.flatdb");
+    let err = FlatDb::open_file(&missing, DbOptions::default()).unwrap_err();
+    assert!(matches!(err, FlatError::Storage(_)), "{err}");
+    let storage = err.source().expect("storage source");
+    assert!(
+        storage.source().is_some(),
+        "io::Error should chain under StorageError"
+    );
+    // Display mentions each layer's contribution.
+    assert!(err.to_string().contains("storage error"), "{err}");
+    assert!(err.to_string().contains("I/O error"), "{err}");
+}
