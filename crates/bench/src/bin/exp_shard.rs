@@ -1,0 +1,9 @@
+//! Sharded serving throughput: mixed traffic over per-shard disk
+//! schedulers vs the unsharded façade. Writes `BENCH_shard.json`.
+use flat_bench::figures::{shard, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let table = shard::exp_shard(&Context::new(Scale::from_env()));
+    shard::emit_with_json(&table);
+}

@@ -2,8 +2,8 @@
 //!
 //! Respects `FLAT_SCALE`, `FLAT_QUERIES` and `FLAT_RESULTS_DIR`.
 use flat_bench::figures::{
-    ablation, analysis, batch, build, build_scale, concurrency, knn, lss, motivation, other, sn,
-    update, Context,
+    ablation, analysis, batch, build, build_scale, concurrency, knn, lss, motivation, other, shard,
+    sn, update, Context,
 };
 use flat_bench::Scale;
 use std::time::Instant;
@@ -24,6 +24,7 @@ const SUITES: &[(&str, &str)] = &[
         "exp_meta_order, exp_bulk_vs_insert, exp_bulkload_strategies",
     ),
     ("concurrency", "exp_concurrency"),
+    ("sharded-serving", "exp_shard"),
     ("batch", "exp_batch, exp_knn"),
     ("update", "exp_update"),
     ("other-datasets", "fig22, fig23"),
@@ -97,6 +98,9 @@ fn main() {
 
     println!("=== Concurrent query streams (extension) ===\n");
     concurrency::exp_concurrency(&ctx).emit();
+
+    println!("=== Sharded serving layer (extension) ===\n");
+    shard::emit_with_json(&shard::exp_shard(&ctx));
 
     println!("=== Batched execution & kNN (extensions) ===\n");
     batch::exp_batch(&ctx).emit();

@@ -15,6 +15,7 @@ pub mod knn;
 pub mod lss;
 pub mod motivation;
 pub mod other;
+pub mod shard;
 pub mod sn;
 pub mod update;
 
@@ -117,6 +118,15 @@ mod tests {
             results.windows(2).all(|w| w[0] == w[1]),
             "thread counts disagree: {results:?}"
         );
+
+        let sharded = shard::exp_shard(&ctx);
+        // Unsharded baseline plus one row per shard count.
+        assert_eq!(sharded.rows.len(), 1 + shard::SHARD_STEPS.len());
+        // Scheduler lanes actually carried traffic on the sharded rows.
+        for row in sharded.rows.iter().skip(1) {
+            assert_ne!(row[6], "-", "missing scheduler stats: {row:?}");
+        }
+        assert!(sharded.to_json().contains("\"rows\""));
 
         let bulk_vs_insert = ablation::exp_bulk_vs_insert(&ctx, 5_000);
         assert_eq!(bulk_vs_insert.rows.len(), 2);

@@ -109,6 +109,42 @@ impl Table {
         out
     }
 
+    /// Renders the table as a JSON document: `name`, `title`, `columns`,
+    /// and `rows` as an array of column-keyed objects. Cells that are
+    /// plain finite numbers are emitted as JSON numbers, everything else
+    /// as strings. Hand-rolled — the workspace takes no serialization
+    /// dependency.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        let cols: Vec<String> = self.columns.iter().map(|c| json_string(c)).collect();
+        let _ = writeln!(out, "  \"columns\": [{}],", cols.join(", "));
+        let _ = writeln!(out, "  \"rows\": [");
+        for (r, row) in self.rows.iter().enumerate() {
+            let fields: Vec<String> = self
+                .columns
+                .iter()
+                .zip(row.iter())
+                .map(|(c, cell)| format!("{}: {}", json_string(c), json_value(cell)))
+                .collect();
+            let comma = if r + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(out, "    {{{}}}{comma}", fields.join(", "));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON rendering into the results directory as
+    /// `<file_stem>.json`, returning the path.
+    pub fn save_json(&self, file_stem: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{file_stem}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
     /// Writes the CSV into the results directory (`FLAT_RESULTS_DIR`,
     /// default `experiments-results/`), returning the path.
     pub fn save_csv(&self) -> std::io::Result<PathBuf> {
@@ -126,6 +162,43 @@ impl Table {
             Ok(path) => println!("[saved {}]\n", path.display()),
             Err(e) => println!("[csv not saved: {e}]\n"),
         }
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A cell as a JSON value: finite numbers pass through as numbers
+/// (re-rendered canonically, so `"0.50"` becomes `0.5`), everything else
+/// becomes a string.
+fn json_value(cell: &str) -> String {
+    match cell.parse::<f64>() {
+        Ok(v) if v.is_finite() => {
+            if v == v.trunc() && v.abs() < 1e15 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        _ => json_string(cell),
     }
 }
 
@@ -203,6 +276,21 @@ mod tests {
         assert_eq!(fmt_f64(0.1234567), "0.1235");
         assert_eq!(fmt_f64(12.345), "12.35");
         assert_eq!(fmt_f64(1234.6), "1235");
+    }
+
+    #[test]
+    fn json_renders_numbers_and_escapes_strings() {
+        let mut t = Table::new("bench_x", "quote \"me\"", &["k", "qps", "note"]);
+        t.push_row(vec!["4".into(), "1250.50".into(), "2.1x".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"name\": \"bench_x\""));
+        assert!(json.contains("\"quote \\\"me\\\"\""));
+        // Numeric cells become numbers, suffixed ones stay strings.
+        assert!(json.contains("\"k\": 4,"));
+        assert!(json.contains("\"qps\": 1250.5,"));
+        assert!(json.contains("\"note\": \"2.1x\""));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n  ]"));
     }
 
     #[test]

@@ -534,6 +534,17 @@ impl<S: PageStore> Snapshot<'_, S> {
         })
     }
 
+    /// Cumulative I/O statistics of the database's pool, including the
+    /// prefetch-effectiveness split: of all prefetched pages,
+    /// [`IoStats::total_prefetch_hits`] were used by a later demand read,
+    /// [`IoStats::total_prefetched_unused`] were not, and — within the
+    /// unused — [`IoStats::total_prefetch_evicted`] were already evicted
+    /// before anything touched them (pure waste: a physical read whose
+    /// page never served anyone).
+    pub fn stats(&self) -> IoStats {
+        self.db.io_stats()
+    }
+
     /// The index descriptor this snapshot reads.
     pub fn index(&self) -> &FlatIndex {
         self.db.index()
@@ -609,7 +620,10 @@ impl<S: PageStore + Sync> QueryBuilder<'_, S> {
                 "kNN queries are queued; run them with run_knn_batch".into(),
             ));
         }
-        Ok(self.engine().run_range_batch(&self.ranges)?)
+        let before = self.db.io_stats();
+        let mut outcome = self.engine().run_range_batch(&self.ranges)?;
+        outcome.io = self.db.io_stats().since(&before);
+        Ok(outcome)
     }
 
     /// Runs the queued **kNN** queries as one batch.
@@ -619,7 +633,10 @@ impl<S: PageStore + Sync> QueryBuilder<'_, S> {
                 "range queries are queued; run them with run_batch".into(),
             ));
         }
-        Ok(self.engine().run_knn_batch(&self.knns)?)
+        let before = self.db.io_stats();
+        let mut outcome = self.engine().run_knn_batch(&self.knns)?;
+        outcome.io = self.db.io_stats().since(&before);
+        Ok(outcome)
     }
 
     fn engine(&self) -> QueryEngine<'_, ConcurrentBufferPool<S>> {
@@ -836,6 +853,49 @@ mod tests {
             .run_knn_batch()
             .unwrap();
         assert_eq!(outcome.results, serial);
+    }
+
+    #[test]
+    fn batch_outcomes_carry_the_pool_io_delta() {
+        let mut db = FlatDb::create_in_memory(DbOptions::default());
+        db.build_from(random_entries(20_000, 11)).unwrap();
+        db.clear_cache();
+        db.reset_stats();
+        let queries: Vec<Aabb> = (0..10)
+            .map(|i| Aabb::cube(Point3::splat(9.0 * i as f64), 6.0))
+            .collect();
+        let outcome = db
+            .query()
+            .ranges(queries.iter().copied())
+            .readahead(2)
+            .run_batch()
+            .unwrap();
+        // The delta covers exactly this batch: cold cache, so physical
+        // reads happened, and the prefetch split is internally consistent.
+        assert!(outcome.io.total_physical_reads() > 0);
+        assert_eq!(
+            outcome.io.total_physical_reads(),
+            db.io_stats().total_physical_reads()
+        );
+        assert!(outcome.io.total_prefetched_unused() >= outcome.io.total_prefetch_evicted());
+        assert_eq!(
+            outcome.io.total_prefetch_reads(),
+            outcome.io.total_prefetch_hits() + outcome.io.total_prefetched_unused()
+        );
+        // Snapshot::stats exposes the same cumulative counters.
+        assert_eq!(
+            db.reader().stats().total_physical_reads(),
+            db.io_stats().total_physical_reads()
+        );
+        // A second identical batch over the warm cache adds no physical
+        // reads but still reports its (all-logical) delta.
+        let warm = db
+            .query()
+            .ranges(queries.iter().copied())
+            .run_batch()
+            .unwrap();
+        assert_eq!(warm.io.total_physical_reads(), 0);
+        assert!(warm.io.total_logical_reads() > 0);
     }
 
     #[test]

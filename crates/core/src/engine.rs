@@ -34,7 +34,7 @@ use crate::meta::{decode_meta_record, MetaRecord, MetaRecordId};
 use crate::query::{CrawlHinter, CrawlState, Tombstones};
 use crate::QueryStats;
 use flat_geom::{Aabb, Point3};
-use flat_storage::{Page, PageId, PageKind, PageRead, StorageError};
+use flat_storage::{IoStats, Page, PageId, PageKind, PageRead, StorageError};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc;
@@ -97,6 +97,13 @@ pub struct BatchOutcome {
     pub page_requests: u64,
     /// Readahead hints handed to the prefetch workers.
     pub prefetch_hints: u64,
+    /// Pool-level I/O delta over the batch — physical reads, prefetch
+    /// hits, and the prefetch-waste split ([`IoStats::total_prefetched_unused`]
+    /// vs [`IoStats::total_prefetch_evicted`]). Filled by the
+    /// [`crate::QueryBuilder`] terminals, which own the pool; a bare
+    /// [`QueryEngine`] over a borrowed [`flat_storage::PageRead`] cannot
+    /// observe pool counters and leaves it zeroed.
+    pub io: IoStats,
 }
 
 /// Outcome of a kNN batch.
@@ -111,6 +118,8 @@ pub struct KnnBatchOutcome {
     pub page_requests: u64,
     /// Readahead hints handed to the prefetch workers.
     pub prefetch_hints: u64,
+    /// Pool-level I/O delta over the batch (see [`BatchOutcome::io`]).
+    pub io: IoStats,
 }
 
 /// Batched executor over one [`FlatIndex`] and one shared pool.
@@ -276,6 +285,7 @@ impl<'a, P: PageRead + Sync> QueryEngine<'a, P> {
                 pages_fetched: cache.fetches(),
                 page_requests: cache.requests(),
                 prefetch_hints: readahead.hints(),
+                io: IoStats::default(),
             })
             // `readahead` (the hint sender) drops here, the workers drain
             // and exit, and the scope joins them before returning.
@@ -309,6 +319,7 @@ impl<'a, P: PageRead + Sync> QueryEngine<'a, P> {
                 pages_fetched: cache.fetches(),
                 page_requests: cache.requests(),
                 prefetch_hints: readahead.hints(),
+                io: IoStats::default(),
             })
         })
     }

@@ -37,6 +37,7 @@
 //! | `engine` (re-exported) | extension | [`QueryEngine`]: batched execution + crawl-ahead prefetch |
 //! | `delta` (re-exported) | extension | [`DeltaIndex`]: delta inserts/deletes with neighbor-link repair, tombstones, compaction back to a pristine (byte-identical) bulkload |
 //! | [`db`] | extension | [`FlatDb`]: the session façade — one handle over build / query / update / persist |
+//! | `shard` (re-exported) | extension | [`ShardedDb`]: K spatial shards, each behind its own disk scheduler, with cross-shard routing and a global exact kNN merge |
 //! | `spatial` (re-exported) | extension | [`SpatialIndex`]: one trait over FLAT, the delta layer and the R-tree baselines |
 //! | `error` (re-exported) | extension | [`FlatError`]: the façade's unified error type |
 //!
@@ -77,6 +78,7 @@ pub mod neighbors;
 pub mod partition;
 mod persist;
 mod query;
+mod shard;
 mod spatial;
 
 pub use builder::{FlatIndexBuilder, StreamingStats, DEFAULT_SPILL_BUDGET};
@@ -87,4 +89,5 @@ pub use error::FlatError;
 pub use index::{BuildStats, FlatIndex, FlatOptions, MetaOrder};
 pub use knn::{KnnStats, Neighbor};
 pub use query::QueryStats;
+pub use shard::{ShardOptions, ShardedDb};
 pub use spatial::{IndexStats, RTreeBuildOptions, SpatialIndex};

@@ -193,6 +193,91 @@ pub fn partition(entries: Vec<Entry>, capacity: usize, domain: Option<Aabb>) -> 
     partitions
 }
 
+/// One coarse x-slab of the domain, assigned to one serving shard (see
+/// [`crate::ShardedDb`]).
+#[derive(Debug, Clone)]
+pub struct ShardRegion {
+    /// Elements owned by this shard.
+    pub elements: Vec<Entry>,
+    /// The shard's x-slab tile. Tiles are gap-free across shards: their
+    /// union is exactly the domain.
+    pub tile: Aabb,
+    /// `tile` stretched to contain every owned element's MBR — the shard's
+    /// *coverage*, which query routing tests against (elements can straddle
+    /// tile boundaries because tiles cut by centers, exactly as in
+    /// Algorithm 1).
+    pub coverage: Aabb,
+}
+
+/// Splits `entries` into exactly `k` coarse x-slabs for the sharded
+/// serving layer, reusing the STR machinery of Algorithm 1 at shard
+/// granularity: `chop` by center-x for near-equal element counts, tile
+/// boundaries midway between adjacent centers, and `partition_slab` to
+/// derive each shard's stretched coverage box.
+///
+/// Always returns `k` regions. When the data yields fewer populated slabs
+/// than `k` (fewer elements than shards, or heavily duplicated centers),
+/// the remainder are empty shards with a degenerate tile at the domain's
+/// upper x face — keeping shard identity stable for any requested `k`.
+///
+/// # Panics
+/// Panics if `k` is zero.
+pub fn shard_regions(entries: Vec<Entry>, k: usize, domain: &Aabb) -> Vec<ShardRegion> {
+    assert!(k > 0, "shard count must be positive");
+    if entries.is_empty() {
+        // k equal x-slabs; coverage equals the bare tile.
+        let lo = domain.min.coord(Axis::X);
+        let hi = domain.max.coord(Axis::X);
+        return (0..k)
+            .map(|i| {
+                let a = lo + (hi - lo) * i as f64 / k as f64;
+                let b = if i + 1 == k {
+                    hi
+                } else {
+                    lo + (hi - lo) * (i + 1) as f64 / k as f64
+                };
+                let tile = axis_tile(domain, Axis::X, a, b);
+                ShardRegion {
+                    elements: Vec::new(),
+                    tile,
+                    coverage: tile,
+                }
+            })
+            .collect();
+    }
+    let chunk = entries.len().div_ceil(k);
+    let (slabs, cuts) = chop(entries, Axis::X, chunk);
+    let tiles = tiles_for(domain, Axis::X, &cuts, slabs.len());
+    let mut regions: Vec<ShardRegion> = slabs
+        .into_iter()
+        .zip(tiles)
+        .map(|(slab, tile)| {
+            // One degenerate partition per slab (pn = 1, capacity = slab
+            // size) reuses the tiling core to compute the stretched MBR.
+            let mut parts = Vec::new();
+            let len = slab.len();
+            partition_slab(slab, tile, 1, len, &mut parts);
+            let part = parts.pop().expect("non-empty slab yields one partition");
+            debug_assert!(parts.is_empty());
+            ShardRegion {
+                elements: part.elements,
+                tile,
+                coverage: part.partition_mbr,
+            }
+        })
+        .collect();
+    while regions.len() < k {
+        let hi = domain.max.coord(Axis::X);
+        let tile = axis_tile(domain, Axis::X, hi, hi);
+        regions.push(ShardRegion {
+            elements: Vec::new(),
+            tile,
+            coverage: tile,
+        });
+    }
+    regions
+}
+
 /// Verifies the global *no empty space* property: every probe point of a
 /// regular `steps³` grid over `domain` must fall inside at least one
 /// partition MBR. Used by tests (a full coverage proof would be an
@@ -360,6 +445,73 @@ mod tests {
             let ib: Vec<u64> = pb.elements.iter().map(|e| e.id).collect();
             assert_eq!(ia, ib);
         }
+    }
+
+    #[test]
+    fn shard_regions_tile_the_domain_and_lose_nothing() {
+        let entries = random_entries(4000, 8);
+        let domain = Aabb::new(Point3::splat(0.0), Point3::splat(100.0));
+        let regions = shard_regions(entries, 4, &domain);
+        assert_eq!(regions.len(), 4);
+        // Tiles are contiguous x-slabs spanning the domain.
+        assert_eq!(regions[0].tile.min.x, domain.min.x);
+        assert_eq!(regions.last().unwrap().tile.max.x, domain.max.x);
+        for w in regions.windows(2) {
+            assert_eq!(w[0].tile.max.x, w[1].tile.min.x);
+        }
+        // Element conservation + coverage contains every owned element.
+        let mut ids = Vec::new();
+        for r in &regions {
+            assert!(!r.elements.is_empty());
+            assert!(r.coverage.contains(&r.tile));
+            for e in &r.elements {
+                assert!(r.coverage.contains(&e.mbr));
+            }
+            ids.extend(r.elements.iter().map(|e| e.id));
+        }
+        ids.sort_unstable();
+        let expected: Vec<u64> = (0..4000).collect();
+        assert_eq!(ids, expected);
+        // Near-balanced ownership (chop by count).
+        let max = regions.iter().map(|r| r.elements.len()).max().unwrap();
+        let min = regions.iter().map(|r| r.elements.len()).min().unwrap();
+        assert!(max - min <= 1, "unbalanced shards: {min}..{max}");
+    }
+
+    #[test]
+    fn shard_regions_pad_when_fewer_elements_than_shards() {
+        let entries = random_entries(3, 9);
+        let domain = Aabb::new(Point3::splat(0.0), Point3::splat(100.0));
+        let regions = shard_regions(entries, 8, &domain);
+        assert_eq!(regions.len(), 8);
+        let populated = regions.iter().filter(|r| !r.elements.is_empty()).count();
+        assert_eq!(populated, 3);
+        for r in regions.iter().filter(|r| r.elements.is_empty()) {
+            assert_eq!(r.tile.min.x, r.tile.max.x);
+        }
+    }
+
+    #[test]
+    fn shard_regions_empty_input_gives_even_splits() {
+        let domain = Aabb::new(Point3::splat(0.0), Point3::splat(80.0));
+        let regions = shard_regions(Vec::new(), 4, &domain);
+        assert_eq!(regions.len(), 4);
+        for (i, r) in regions.iter().enumerate() {
+            assert!(r.elements.is_empty());
+            assert_eq!(r.tile.min.x, 20.0 * i as f64);
+            assert_eq!(r.tile.max.x, 20.0 * (i + 1) as f64);
+            assert_eq!(r.coverage, r.tile);
+        }
+    }
+
+    #[test]
+    fn shard_regions_single_shard_owns_everything() {
+        let entries = random_entries(200, 10);
+        let domain = Aabb::new(Point3::splat(0.0), Point3::splat(100.0));
+        let regions = shard_regions(entries, 1, &domain);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].elements.len(), 200);
+        assert_eq!(regions[0].tile, domain);
     }
 
     #[test]

@@ -1,0 +1,765 @@
+//! Sharded serving layer: K spatial shards, each behind its own
+//! [`DiskScheduler`].
+//!
+//! [`ShardedDb`] partitions the domain into K coarse x-slabs with the same
+//! STR machinery as Algorithm 1 ([`crate::partition::shard_regions`]).
+//! Each shard owns a full vertical slice of the system — a page store, a
+//! [`DiskScheduler`] (submission queues, read coalescing, priority lanes)
+//! and a [`FlatIndex`] — so shards never contend on a buffer pool or a
+//! store mutex, and I/O for K shards proceeds on K independent worker
+//! pools.
+//!
+//! Every shard's index is built over the **global** domain: FLAT's crawl
+//! is exhaustive only when the partition tiling covers the whole space a
+//! query may probe, and queries routinely span several shard slabs. The
+//! slab only decides *ownership* (which elements a shard stores); the
+//! shard's own tiling then stretches over the full domain exactly as a
+//! single index over clustered data would.
+//!
+//! Query routing tests the shard's *coverage* — its slab tile stretched to
+//! contain every owned element — so an element MBR straddling a slab
+//! boundary is still found through the one shard that owns it:
+//!
+//! * **Range queries** fan out to the shards whose coverage intersects the
+//!   query and concatenate the disjoint per-shard results (sorted by
+//!   element id, so the merged order is deterministic).
+//! * **kNN queries** run a global best-first merge: shards are visited in
+//!   ascending order of their coverage's distance to the query point, each
+//!   contributes its exact per-shard top-k stream, and the scan stops as
+//!   soon as the next shard's lower bound exceeds the current k-th
+//!   distance. Results are exact; ties are broken by `(dist_sq, id)` —
+//!   element ids rather than the single-index physical `(page, slot)`
+//!   order, which is not comparable across independently built shards.
+//! * **Updates** route by element center along the slab cuts. The first
+//!   update promotes every shard to a [`DeltaIndex`] so deletes can be
+//!   routed by id (`contains_id`) rather than by space.
+
+use crate::delta::DeltaIndex;
+use crate::error::FlatError;
+use crate::index::{FlatIndex, FlatOptions};
+use crate::knn::Neighbor;
+use crate::partition::shard_regions;
+use flat_geom::{Aabb, Point3};
+use flat_rtree::{Entry, Hit, LeafLayout};
+use flat_storage::{
+    BufferPool, DiskScheduler, IoStats, MemStore, PageStore, SchedulerConfig, SchedulerStats,
+};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Options for [`ShardedDb::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardOptions {
+    /// Per-shard index build options. The layout must be
+    /// [`LeafLayout::WithIds`] (cross-shard merging needs stable
+    /// application ids); the domain, if left `None`, defaults to the union
+    /// of the element MBRs and is then fixed for the life of the database.
+    pub index: FlatOptions,
+    /// Buffer-pool capacity (pages) of **each** shard's cache.
+    pub pool_pages: usize,
+    /// Disk-scheduler configuration of each shard's I/O worker pool.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            index: FlatOptions {
+                layout: LeafLayout::WithIds,
+                ..FlatOptions::default()
+            },
+            pool_pages: 1 << 14,
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// A shard's index: pristine bulkload until the first update promotes it
+/// to the delta layer.
+enum ShardIndex {
+    Base(FlatIndex),
+    Delta(Box<DeltaIndex>),
+    /// A promotion failed mid-flight (storage error while adopting the
+    /// base). The error was returned to the updater; the shard is unusable.
+    Poisoned,
+}
+
+struct Shard<S: PageStore + Send + Sync + 'static> {
+    pool: DiskScheduler<S>,
+    index: ShardIndex,
+    /// Slab tile stretched to contain every owned element — what query
+    /// routing tests. Grows when inserts land outside it.
+    coverage: Aabb,
+}
+
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A global kNN candidate: ordered by `(dist_sq, id)`, the sharded layer's
+/// deterministic tie-break (see the module docs).
+struct MergeCand {
+    dist_sq: f64,
+    id: u64,
+    neighbor: Neighbor,
+}
+
+impl PartialEq for MergeCand {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist_sq == other.dist_sq && self.id == other.id
+    }
+}
+
+impl Eq for MergeCand {}
+
+impl PartialOrd for MergeCand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeCand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist_sq
+            .total_cmp(&other.dist_sq)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+/// K spatial shards, each owning a store + [`DiskScheduler`] + index, with
+/// cross-shard query routing and a global exact kNN merge.
+///
+/// All query and update entry points take `&self`: per-shard `RwLock`s
+/// serialize updates against queries shard-locally, so traffic for
+/// different shards never contends. Multi-shard operations take locks one
+/// shard at a time in ascending shard order (no deadlocks; a query
+/// overlapping an in-flight update may see some shards before and some
+/// after it, exactly like independent databases would).
+///
+/// ```
+/// use flat_core::{ShardOptions, ShardedDb};
+/// use flat_geom::{Aabb, Point3};
+/// use flat_rtree::Entry;
+///
+/// let entries: Vec<Entry> = (0..2000)
+///     .map(|i| Entry::new(i, Aabb::cube(Point3::splat((i % 100) as f64), 1.0)))
+///     .collect();
+/// let db = ShardedDb::build_in_memory(4, entries, ShardOptions::default()).unwrap();
+/// let hits = db.range_query(&Aabb::cube(Point3::splat(50.0), 3.0)).unwrap();
+/// assert!(!hits.is_empty());
+/// let nn = db.knn_query(Point3::splat(10.0), 5).unwrap();
+/// assert_eq!(nn.len(), 5);
+/// ```
+pub struct ShardedDb<S: PageStore + Send + Sync + 'static> {
+    shards: Vec<RwLock<Shard<S>>>,
+    /// Upper x-bound of each shard's slab except the last: element centers
+    /// in `[cuts[i-1], cuts[i])` route to shard `i`.
+    cuts: Vec<f64>,
+    domain: Aabb,
+    /// Resolved per-shard index options (`domain` always `Some(global)`).
+    options: FlatOptions,
+}
+
+impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
+    /// Bulk-loads `num_shards` shards from `entries`, calling
+    /// `store_factory(i)` for shard `i`'s backing store.
+    ///
+    /// Element ids must be unique across the whole build (they are the
+    /// merge key). The layout must be [`LeafLayout::WithIds`].
+    pub fn build(
+        num_shards: usize,
+        entries: Vec<Entry>,
+        mut options: ShardOptions,
+        mut store_factory: impl FnMut(usize) -> S,
+    ) -> Result<ShardedDb<S>, FlatError> {
+        if num_shards == 0 {
+            return Err(FlatError::Build("at least one shard is required".into()));
+        }
+        if options.index.layout != LeafLayout::WithIds {
+            return Err(FlatError::Build(
+                "sharded serving requires LeafLayout::WithIds: cross-shard \
+                 merging and id-routed deletes need stable application ids"
+                    .into(),
+            ));
+        }
+        let domain = match options.index.domain {
+            Some(d) => d,
+            None if entries.is_empty() => {
+                return Err(FlatError::Build(
+                    "an empty build requires an explicit domain".into(),
+                ));
+            }
+            None => Aabb::union_all(entries.iter().map(|e| e.mbr)),
+        };
+        options.index.domain = Some(domain);
+
+        let regions = shard_regions(entries, num_shards, &domain);
+        let cuts = regions
+            .iter()
+            .take(num_shards - 1)
+            .map(|r| r.tile.max.x)
+            .collect();
+        let shards = regions
+            .into_iter()
+            .enumerate()
+            .map(|(i, region)| {
+                let mut pool = BufferPool::new(store_factory(i), options.pool_pages);
+                let (index, _) = FlatIndex::build(&mut pool, region.elements, options.index)?;
+                Ok(RwLock::new(Shard {
+                    pool: DiskScheduler::from_pool(pool, options.scheduler),
+                    index: ShardIndex::Base(index),
+                    coverage: region.coverage,
+                }))
+            })
+            .collect::<Result<Vec<_>, FlatError>>()?;
+        Ok(ShardedDb {
+            shards,
+            cuts,
+            domain,
+            options: options.index,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The fixed domain every shard's tiling covers.
+    pub fn domain(&self) -> Aabb {
+        self.domain
+    }
+
+    /// Shard `i`'s current coverage box (routing bound).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn shard_coverage(&self, i: usize) -> Aabb {
+        read(&self.shards[i]).coverage
+    }
+
+    /// Live elements across all shards.
+    pub fn num_live_elements(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| match &read(s).index {
+                ShardIndex::Base(index) => index.num_elements(),
+                ShardIndex::Delta(delta) => delta.num_live_elements(),
+                ShardIndex::Poisoned => 0,
+            })
+            .sum()
+    }
+
+    /// Aggregated I/O statistics across all shard pools.
+    pub fn io_stats(&self) -> IoStats {
+        let mut out = IoStats::default();
+        for s in &self.shards {
+            out.accumulate(&read(s).pool.stats());
+        }
+        out
+    }
+
+    /// Aggregated scheduler-lane statistics across all shard pools
+    /// (latency means weight every lane equally; queue maxima are maxima
+    /// over shards).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        let mut out = SchedulerStats::default();
+        for s in &self.shards {
+            out.accumulate(&read(s).pool.scheduler_stats());
+        }
+        out
+    }
+
+    /// Drops every cached page in every shard (the paper's cold-cache
+    /// protocol).
+    pub fn clear_cache(&self) {
+        for s in &self.shards {
+            read(s).pool.clear_cache();
+        }
+    }
+
+    /// Zeroes I/O and scheduler statistics in every shard.
+    pub fn reset_stats(&self) {
+        for s in &self.shards {
+            let shard = read(s);
+            shard.pool.reset_stats();
+            shard.pool.reset_scheduler_stats();
+        }
+    }
+
+    /// Evaluates a range query: seed + crawl on every shard whose coverage
+    /// intersects `query`, merged and sorted by element id (shards hold
+    /// disjoint elements, so the merge is a plain concatenation).
+    pub fn range_query(&self, query: &Aabb) -> Result<Vec<Hit>, FlatError> {
+        let mut hits = Vec::new();
+        for (i, cell) in self.shards.iter().enumerate() {
+            let shard = read(cell);
+            if !shard.coverage.intersects(query) {
+                continue;
+            }
+            let mut part = match &shard.index {
+                ShardIndex::Base(index) => index.range_query(&shard.pool, query)?,
+                ShardIndex::Delta(delta) => delta.range_query(&shard.pool, query)?,
+                ShardIndex::Poisoned => poisoned(i),
+            };
+            hits.append(&mut part);
+        }
+        hits.sort_unstable_by_key(|h| h.id);
+        Ok(hits)
+    }
+
+    /// Returns the `k` elements nearest to `point` across all shards,
+    /// ascending, exact.
+    ///
+    /// Shards are visited best-first by the distance from `point` to their
+    /// coverage box; the scan stops once the next shard's lower bound
+    /// exceeds the current k-th distance. Ties are broken by
+    /// `(dist_sq, id)` (see the module docs).
+    pub fn knn_query(&self, point: Point3, k: usize) -> Result<Vec<Neighbor>, FlatError> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        // Snapshot coverage lower bounds, then visit ascending.
+        let mut order: Vec<(f64, usize)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| (read(cell).coverage.distance_sq_to_point(&point), i))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        // Running top-k: max-heap of the k best (dist_sq, id) candidates.
+        let mut best: std::collections::BinaryHeap<MergeCand> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for (lower_bound, i) in order {
+            if best.len() == k && lower_bound > best.peek().expect("len == k >= 1").dist_sq {
+                break;
+            }
+            let shard = read(&self.shards[i]);
+            let stream = match &shard.index {
+                ShardIndex::Base(index) => index.knn_query(&shard.pool, point, k)?,
+                ShardIndex::Delta(delta) => delta.knn_query(&shard.pool, point, k)?,
+                ShardIndex::Poisoned => poisoned(i),
+            };
+            for neighbor in stream {
+                let cand = MergeCand {
+                    dist_sq: neighbor.dist_sq,
+                    id: neighbor.hit.id,
+                    neighbor,
+                };
+                if best.len() < k {
+                    best.push(cand);
+                } else if cand < *best.peek().expect("len == k >= 1") {
+                    best.pop();
+                    best.push(cand);
+                } else {
+                    // The per-shard stream is ascending: everything after
+                    // this candidate is at least as far.
+                    break;
+                }
+            }
+        }
+        Ok(best
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| c.neighbor)
+            .collect())
+    }
+
+    /// Inserts `entries`, routing each by its center's x coordinate along
+    /// the slab cuts. The first update promotes every shard to the delta
+    /// layer. Returns [`FlatError::Update`] if an id is already live.
+    ///
+    /// # Panics
+    /// Panics if two entries *of this batch* share an id, or if a
+    /// concurrent insert races the same id past the liveness check (the
+    /// same contract as [`DeltaIndex::insert_batch`]).
+    pub fn insert(&self, entries: Vec<Entry>) -> Result<(), FlatError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        self.promote_all()?;
+        for e in &entries {
+            if self.contains_live_id(e.id) {
+                return Err(FlatError::Update(format!(
+                    "insert of id {} which is already live",
+                    e.id
+                )));
+            }
+        }
+        let mut routed: Vec<Vec<Entry>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for e in entries {
+            routed[self.route(e.mbr.center().x)].push(e);
+        }
+        for (i, batch) in routed.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let grown = Aabb::union_all(batch.iter().map(|e| e.mbr));
+            let mut guard = write(&self.shards[i]);
+            let shard = &mut *guard;
+            match &mut shard.index {
+                ShardIndex::Delta(delta) => delta.insert_batch(&mut shard.pool, batch)?,
+                _ => poisoned(i),
+            }
+            shard.coverage = shard.coverage.union(&grown);
+        }
+        Ok(())
+    }
+
+    /// Deletes elements by application id, returning how many were live.
+    /// Ids are routed by each shard's `contains_id` table (promoting all
+    /// shards to the delta layer on first use); unknown ids are ignored.
+    pub fn delete(&self, ids: &[u64]) -> Result<usize, FlatError> {
+        if ids.is_empty() {
+            return Ok(0);
+        }
+        self.promote_all()?;
+        let mut deleted = 0;
+        for (i, cell) in self.shards.iter().enumerate() {
+            let mut guard = write(cell);
+            let shard = &mut *guard;
+            match &mut shard.index {
+                ShardIndex::Delta(delta) => {
+                    let owned: Vec<u64> = ids
+                        .iter()
+                        .copied()
+                        .filter(|id| delta.contains_id(*id))
+                        .collect();
+                    if !owned.is_empty() {
+                        deleted += delta.delete_batch(&mut shard.pool, &owned)?;
+                    }
+                }
+                _ => poisoned(i),
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// Routes an element center to its owning shard.
+    fn route(&self, x: f64) -> usize {
+        self.cuts.partition_point(|&c| c <= x)
+    }
+
+    /// True if any shard holds `id` live. Only meaningful after promotion
+    /// (base shards have no id table).
+    fn contains_live_id(&self, id: u64) -> bool {
+        self.shards.iter().any(|cell| match &read(cell).index {
+            ShardIndex::Delta(delta) => delta.contains_id(id),
+            _ => false,
+        })
+    }
+
+    /// Promotes every still-pristine shard to the delta layer.
+    fn promote_all(&self) -> Result<(), FlatError> {
+        for cell in &self.shards {
+            let mut guard = write(cell);
+            if matches!(guard.index, ShardIndex::Base(_)) {
+                let ShardIndex::Base(base) =
+                    std::mem::replace(&mut guard.index, ShardIndex::Poisoned)
+                else {
+                    unreachable!()
+                };
+                let delta = DeltaIndex::new(&guard.pool, base, self.options)?;
+                guard.index = ShardIndex::Delta(Box::new(delta));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ShardedDb<MemStore> {
+    /// [`ShardedDb::build`] with a fresh in-memory store per shard.
+    pub fn build_in_memory(
+        num_shards: usize,
+        entries: Vec<Entry>,
+        options: ShardOptions,
+    ) -> Result<ShardedDb<MemStore>, FlatError> {
+        ShardedDb::build(num_shards, entries, options, |_| MemStore::new())
+    }
+}
+
+impl<S: PageStore + Send + Sync + 'static> std::fmt::Debug for ShardedDb<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDb")
+            .field("num_shards", &self.shards.len())
+            .field("domain", &self.domain)
+            .finish_non_exhaustive()
+    }
+}
+
+#[track_caller]
+fn poisoned(shard: usize) -> ! {
+    panic!("shard {shard} was poisoned by a failed delta promotion");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_geom::Point3;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_entries(n: usize, seed: u64) -> Vec<Entry> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = Point3::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                );
+                Entry::new(i as u64, Aabb::centered(c, Point3::splat(0.5)))
+            })
+            .collect()
+    }
+
+    fn reference_range(entries: &[Entry], query: &Aabb) -> Vec<u64> {
+        let mut ids: Vec<u64> = entries
+            .iter()
+            .filter(|e| e.mbr.intersects(query))
+            .map(|e| e.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn reference_knn(entries: &[Entry], point: Point3, k: usize) -> Vec<(f64, u64)> {
+        let mut all: Vec<(f64, u64)> = entries
+            .iter()
+            .map(|e| (e.mbr.distance_sq_to_point(&point), e.id))
+            .collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn sharded_range_matches_brute_force_across_shard_counts() {
+        let entries = random_entries(3000, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        for k in [1, 2, 3, 4] {
+            let db =
+                ShardedDb::build_in_memory(k, entries.clone(), ShardOptions::default()).unwrap();
+            for _ in 0..25 {
+                let c = Point3::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                );
+                let q = Aabb::cube(c, rng.gen_range(1.0..12.0));
+                let got: Vec<u64> = db.range_query(&q).unwrap().iter().map(|h| h.id).collect();
+                assert_eq!(got, reference_range(&entries, &q), "k={k} query {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_knn_is_exact_across_shard_counts() {
+        let entries = random_entries(2500, 23);
+        let mut rng = StdRng::seed_from_u64(24);
+        for shards in [1, 2, 4] {
+            let db = ShardedDb::build_in_memory(shards, entries.clone(), ShardOptions::default())
+                .unwrap();
+            for _ in 0..20 {
+                let p = Point3::new(
+                    rng.gen_range(-10.0..110.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                );
+                let k = rng.gen_range(1..40);
+                let got: Vec<(f64, u64)> = db
+                    .knn_query(p, k)
+                    .unwrap()
+                    .iter()
+                    .map(|n| (n.dist_sq, n.hit.id))
+                    .collect();
+                assert_eq!(got, reference_knn(&entries, p, k), "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn inserts_and_deletes_route_and_merge() {
+        let entries = random_entries(1200, 25);
+        let db = ShardedDb::build_in_memory(3, entries.clone(), ShardOptions::default()).unwrap();
+        assert_eq!(db.num_live_elements(), 1200);
+
+        // Insert a fresh batch spanning the whole x range.
+        let fresh: Vec<Entry> = (0..60)
+            .map(|i| {
+                Entry::new(
+                    10_000 + i,
+                    Aabb::cube(Point3::new(i as f64 * 1.6 + 1.0, 50.0, 50.0), 0.4),
+                )
+            })
+            .collect();
+        db.insert(fresh.clone()).unwrap();
+        assert_eq!(db.num_live_elements(), 1260);
+        let mut live: Vec<Entry> = entries.clone();
+        live.extend(fresh.iter().cloned());
+        let q = Aabb::new(Point3::new(0.0, 45.0, 45.0), Point3::new(100.0, 55.0, 55.0));
+        let got: Vec<u64> = db.range_query(&q).unwrap().iter().map(|h| h.id).collect();
+        assert_eq!(got, reference_range(&live, &q));
+
+        // Re-inserting a live id is refused.
+        let err = db
+            .insert(vec![Entry::new(
+                10_000,
+                Aabb::cube(Point3::splat(5.0), 1.0),
+            )])
+            .unwrap_err();
+        assert!(matches!(err, FlatError::Update(_)));
+
+        // Delete half the fresh batch plus some originals; unknown ids ignored.
+        let mut doomed: Vec<u64> = (0..30).map(|i| 10_000 + i).collect();
+        doomed.extend([0, 1, 2, 999_999]);
+        assert_eq!(db.delete(&doomed).unwrap(), 33);
+        assert_eq!(db.num_live_elements(), 1227);
+        live.retain(|e| !doomed.contains(&e.id));
+        let got: Vec<u64> = db.range_query(&q).unwrap().iter().map(|h| h.id).collect();
+        assert_eq!(got, reference_range(&live, &q));
+
+        // kNN over the updated set stays exact.
+        let p = Point3::new(40.0, 50.0, 50.0);
+        let got: Vec<(f64, u64)> = db
+            .knn_query(p, 15)
+            .unwrap()
+            .iter()
+            .map(|n| (n.dist_sq, n.hit.id))
+            .collect();
+        assert_eq!(got, reference_knn(&live, p, 15));
+    }
+
+    #[test]
+    fn inserts_outside_coverage_grow_the_routing_bound() {
+        let entries: Vec<Entry> = (0..400)
+            .map(|i| Entry::new(i, Aabb::cube(Point3::splat(40.0 + (i % 20) as f64), 0.5)))
+            .collect();
+        let mut options = ShardOptions::default();
+        options.index.domain = Some(Aabb::new(Point3::splat(0.0), Point3::splat(200.0)));
+        let db = ShardedDb::build_in_memory(2, entries, options).unwrap();
+        // Far outside every element, inside the domain.
+        let outlier = Entry::new(9999, Aabb::cube(Point3::splat(190.0), 1.0));
+        db.insert(vec![outlier]).unwrap();
+        let q = Aabb::cube(Point3::splat(190.0), 2.0);
+        let got: Vec<u64> = db.range_query(&q).unwrap().iter().map(|h| h.id).collect();
+        assert_eq!(got, vec![9999]);
+        let nn = db.knn_query(Point3::splat(195.0), 1).unwrap();
+        assert_eq!(nn[0].hit.id, 9999);
+    }
+
+    #[test]
+    fn build_rejects_mbr_only_layout_and_zero_shards() {
+        let entries = random_entries(50, 26);
+        let mut options = ShardOptions::default();
+        options.index.layout = LeafLayout::MbrOnly;
+        assert!(matches!(
+            ShardedDb::build_in_memory(2, entries.clone(), options),
+            Err(FlatError::Build(_))
+        ));
+        assert!(matches!(
+            ShardedDb::build_in_memory(0, entries, ShardOptions::default()),
+            Err(FlatError::Build(_))
+        ));
+        assert!(matches!(
+            ShardedDb::build_in_memory(2, Vec::new(), ShardOptions::default()),
+            Err(FlatError::Build(_))
+        ));
+    }
+
+    #[test]
+    fn empty_build_with_domain_accepts_updates() {
+        let mut options = ShardOptions::default();
+        options.index.domain = Some(Aabb::new(Point3::splat(0.0), Point3::splat(10.0)));
+        let db = ShardedDb::build_in_memory(3, Vec::new(), options).unwrap();
+        assert_eq!(db.num_live_elements(), 0);
+        assert!(db
+            .range_query(&Aabb::cube(Point3::splat(5.0), 5.0))
+            .unwrap()
+            .is_empty());
+        db.insert(vec![
+            Entry::new(1, Aabb::cube(Point3::splat(2.0), 0.5)),
+            Entry::new(2, Aabb::cube(Point3::splat(8.0), 0.5)),
+        ])
+        .unwrap();
+        assert_eq!(db.num_live_elements(), 2);
+        let nn = db.knn_query(Point3::splat(7.0), 1).unwrap();
+        assert_eq!(nn[0].hit.id, 2);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let entries = random_entries(2000, 27);
+        let db = ShardedDb::build_in_memory(4, entries, ShardOptions::default()).unwrap();
+        db.clear_cache();
+        db.reset_stats();
+        let before = db.io_stats();
+        assert_eq!(before.total_physical_reads(), 0);
+        db.range_query(&Aabb::cube(Point3::splat(50.0), 20.0))
+            .unwrap();
+        let after = db.io_stats();
+        assert!(after.total_physical_reads() > 0);
+        let sched = db.scheduler_stats();
+        assert!(sched.demand_completed > 0);
+        assert_eq!(db.num_shards(), 4);
+    }
+
+    #[test]
+    fn concurrent_mixed_traffic_stays_consistent() {
+        let entries = random_entries(1500, 28);
+        let mut options = ShardOptions::default();
+        options.index.domain = Some(Aabb::new(
+            Point3::new(-10.0, -10.0, -10.0),
+            Point3::splat(110.0),
+        ));
+        let db =
+            std::sync::Arc::new(ShardedDb::build_in_memory(4, entries.clone(), options).unwrap());
+        // Pre-promote via a no-op-ish update so threads only do queries vs
+        // one updater thread.
+        db.delete(&[999_999_999]).unwrap();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let db = db.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + t);
+                let mut hits = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let c = Point3::new(
+                        rng.gen_range(0.0..100.0),
+                        rng.gen_range(0.0..100.0),
+                        rng.gen_range(0.0..100.0),
+                    );
+                    hits += db.range_query(&Aabb::cube(c, 5.0)).unwrap().len();
+                    hits += db.knn_query(c, 5).unwrap().len();
+                }
+                hits
+            }));
+        }
+        // Updater: insert then delete disjoint scratch ids.
+        for round in 0..20u64 {
+            let base = 1_000_000 + round * 100;
+            let batch: Vec<Entry> = (0..50)
+                .map(|i| {
+                    Entry::new(
+                        base + i,
+                        Aabb::cube(Point3::splat((base + i) as f64 % 100.0), 0.5),
+                    )
+                })
+                .collect();
+            db.insert(batch).unwrap();
+            let ids: Vec<u64> = (0..50).map(|i| base + i).collect();
+            assert_eq!(db.delete(&ids).unwrap(), 50);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.num_live_elements(), 1500);
+    }
+}

@@ -163,7 +163,10 @@ impl<S: PageStore> PageRead for ConcurrentBufferPool<S> {
         self.stats.record_read(kind, true);
         let mut page = Page::new();
         self.store.read_page(id, &mut page)?;
-        let slot = cache.insert(id, page, self.shard_capacity, false);
+        let (slot, evicted) = cache.insert(id, page, kind, self.shard_capacity, false);
+        if let Some(victim_kind) = evicted {
+            self.stats.record_prefetch_evicted(victim_kind);
+        }
         Ok(cache.page(slot).clone())
     }
 
@@ -188,7 +191,10 @@ impl<S: PageStore> PageRead for ConcurrentBufferPool<S> {
         self.stats.record_prefetch_read(kind);
         let mut cache = self.shard(id);
         if !cache.contains(id) {
-            cache.insert(id, page, self.shard_capacity, true);
+            let (_, evicted) = cache.insert(id, page, kind, self.shard_capacity, true);
+            if let Some(victim_kind) = evicted {
+                self.stats.record_prefetch_evicted(victim_kind);
+            }
         }
     }
 }

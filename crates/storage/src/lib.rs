@@ -22,6 +22,10 @@
 //! * [`ConcurrentBufferPool`] — a lock-sharded, `Sync` pool serving many
 //!   reader threads at once (per-shard LRUs, atomic statistics), plus the
 //!   cloneable [`PoolHandle`] wrapper for spawning query threads.
+//! * [`DiskScheduler`] — a submission-queue worker pool behind the same
+//!   [`PageRead`] hooks: duplicate in-flight reads coalesce, demand reads
+//!   outrank prefetch hints (which are dropped under pressure), and
+//!   [`SchedulerStats`] reports lane depths, coalescing, and latencies.
 //! * [`DiskModel`] — converts physical-read counts into simulated I/O time
 //!   for a configurable device (default: the paper's 10 kRPM SAS array),
 //!   since the figures' execution-time series are proportional to page
@@ -41,6 +45,7 @@ mod disk;
 mod error;
 mod page;
 mod pool;
+pub mod scheduler;
 pub mod spill;
 mod store;
 mod sync_util;
@@ -51,6 +56,7 @@ pub use disk::DiskModel;
 pub use error::StorageError;
 pub use page::{Page, PageCursor, PAGE_SIZE};
 pub use pool::{BufferPool, IoStats, KindStats};
+pub use scheduler::{DiskScheduler, SchedulerConfig, SchedulerStats};
 pub use spill::{
     ExternalSorter, RunHandle, RunReader, RunWriter, SortedStream, SpillRecord, SpillStats,
 };

@@ -22,6 +22,12 @@ pub struct KindStats {
     /// *useful* share of `prefetch_reads`. `prefetch_reads - prefetch_hits`
     /// is the speculation waste ([`KindStats::prefetched_unused`]).
     pub prefetch_hits: u64,
+    /// Prefetched pages evicted from the cache before any demand read
+    /// touched them — the *irrecoverably* wasted share of `prefetch_reads`.
+    /// A still-resident unused prefetch might yet become a hit; an evicted
+    /// one paid a device fetch for nothing, so rollups must be able to tell
+    /// the two apart.
+    pub prefetch_evicted: u64,
     /// Pages written through to the store.
     pub writes: u64,
 }
@@ -37,6 +43,7 @@ impl KindStats {
         self.physical_reads += other.physical_reads;
         self.prefetch_reads += other.prefetch_reads;
         self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_evicted += other.prefetch_evicted;
         self.writes += other.writes;
     }
 
@@ -45,6 +52,7 @@ impl KindStats {
         self.physical_reads -= other.physical_reads;
         self.prefetch_reads -= other.prefetch_reads;
         self.prefetch_hits -= other.prefetch_hits;
+        self.prefetch_evicted -= other.prefetch_evicted;
         self.writes -= other.writes;
     }
 }
@@ -105,6 +113,14 @@ impl IoStats {
     /// benchmark figures must report separately from useful I/O.
     pub fn total_prefetched_unused(&self) -> u64 {
         self.kinds.iter().map(|k| k.prefetched_unused()).sum()
+    }
+
+    /// Prefetched pages evicted before their first demand use, summed over
+    /// all kinds — the definitively wasted share of
+    /// [`IoStats::total_prefetched_unused`] (the rest is still resident and
+    /// might yet turn into hits).
+    pub fn total_prefetch_evicted(&self) -> u64 {
+        self.kinds.iter().map(|k| k.prefetch_evicted).sum()
     }
 
     /// Every fetch the device actually served: demand misses plus
@@ -168,6 +184,7 @@ struct AtomicKindStats {
     physical_reads: AtomicU64,
     prefetch_reads: AtomicU64,
     prefetch_hits: AtomicU64,
+    prefetch_evicted: AtomicU64,
     writes: AtomicU64,
 }
 
@@ -192,6 +209,12 @@ impl AtomicIoStats {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_prefetch_evicted(&self, kind: PageKind) {
+        self.kinds[kind.index()]
+            .prefetch_evicted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_write(&self, kind: PageKind) {
         self.kinds[kind.index()]
             .writes
@@ -205,6 +228,7 @@ impl AtomicIoStats {
             plain.physical_reads = atomic.physical_reads.load(Ordering::Relaxed);
             plain.prefetch_reads = atomic.prefetch_reads.load(Ordering::Relaxed);
             plain.prefetch_hits = atomic.prefetch_hits.load(Ordering::Relaxed);
+            plain.prefetch_evicted = atomic.prefetch_evicted.load(Ordering::Relaxed);
             plain.writes = atomic.writes.load(Ordering::Relaxed);
         }
         out
@@ -216,6 +240,7 @@ impl AtomicIoStats {
             k.physical_reads.store(0, Ordering::Relaxed);
             k.prefetch_reads.store(0, Ordering::Relaxed);
             k.prefetch_hits.store(0, Ordering::Relaxed);
+            k.prefetch_evicted.store(0, Ordering::Relaxed);
             k.writes.store(0, Ordering::Relaxed);
         }
     }
@@ -236,6 +261,9 @@ impl AtomicIoStats {
             atomic
                 .prefetch_hits
                 .store(plain.prefetch_hits, Ordering::Relaxed);
+            atomic
+                .prefetch_evicted
+                .store(plain.prefetch_evicted, Ordering::Relaxed);
             atomic.writes.store(plain.writes, Ordering::Relaxed);
         }
     }
@@ -247,6 +275,9 @@ const NIL: usize = usize::MAX;
 struct Slot {
     id: PageId,
     page: Page,
+    /// The kind the page was fetched under — needed to attribute eviction
+    /// events (e.g. an unused prefetch dying) to the right [`PageKind`].
+    kind: PageKind,
     /// `true` while the page was brought in by a prefetch hint and no demand
     /// read has touched it yet (drives the prefetch-hit accounting).
     prefetched: bool,
@@ -369,16 +400,25 @@ impl CacheState {
 
     /// Inserts a page, evicting the LRU slot if the cache holds `capacity`
     /// pages already. `prefetched` marks pages brought in speculatively.
+    ///
+    /// Returns the slot index plus the kind of the evicted victim *if* the
+    /// victim was a prefetched page no demand read ever touched — the
+    /// caller records it as definitively wasted speculation.
     pub(crate) fn insert(
         &mut self,
         id: PageId,
         page: Page,
+        kind: PageKind,
         capacity: usize,
         prefetched: bool,
-    ) -> usize {
+    ) -> (usize, Option<PageKind>) {
+        let mut evicted_unused = None;
         if self.map.len() >= capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
+            if self.slots[victim].prefetched {
+                evicted_unused = Some(self.slots[victim].kind);
+            }
             self.unlink(victim);
             self.map.remove(&self.slots[victim].id);
             self.free.push(victim);
@@ -388,6 +428,7 @@ impl CacheState {
                 self.slots[s] = Slot {
                     id,
                     page,
+                    kind,
                     prefetched,
                     prev: NIL,
                     next: NIL,
@@ -398,6 +439,7 @@ impl CacheState {
                 self.slots.push(Slot {
                     id,
                     page,
+                    kind,
                     prefetched,
                     prev: NIL,
                     next: NIL,
@@ -407,7 +449,7 @@ impl CacheState {
         };
         self.map.insert(id, slot);
         self.link_front(slot);
-        slot
+        (slot, evicted_unused)
     }
 }
 
@@ -569,7 +611,10 @@ impl<S: PageStore> BufferPool<S> {
         self.stats.record_read(kind, true);
         let mut page = Page::new();
         self.store.read_page(id, &mut page)?;
-        let slot = cache.insert(id, page, self.capacity, false);
+        let (slot, evicted) = cache.insert(id, page, kind, self.capacity, false);
+        if let Some(victim_kind) = evicted {
+            self.stats.record_prefetch_evicted(victim_kind);
+        }
         Ok(cache.page(slot))
     }
 }
@@ -587,7 +632,10 @@ impl<S: PageStore> PageRead for BufferPool<S> {
         self.stats.record_read(kind, true);
         let mut page = Page::new();
         self.store.read_page(id, &mut page)?;
-        let slot = cache.insert(id, page, self.capacity, false);
+        let (slot, evicted) = cache.insert(id, page, kind, self.capacity, false);
+        if let Some(victim_kind) = evicted {
+            self.stats.record_prefetch_evicted(victim_kind);
+        }
         Ok(cache.page(slot).clone())
     }
 
@@ -601,7 +649,10 @@ impl<S: PageStore> PageRead for BufferPool<S> {
             return; // hints never fail; the demand read reports the error
         }
         self.stats.record_prefetch_read(kind);
-        cache.insert(id, page, self.capacity, true);
+        let (_, evicted) = cache.insert(id, page, kind, self.capacity, true);
+        if let Some(victim_kind) = evicted {
+            self.stats.record_prefetch_evicted(victim_kind);
+        }
     }
 }
 
@@ -869,6 +920,30 @@ mod tests {
         acc.accumulate(&delta);
         acc.accumulate(&delta);
         assert_eq!(acc.total_prefetch_reads(), 2);
+    }
+
+    #[test]
+    fn evicted_unused_prefetch_is_counted() {
+        // Capacity 2: prefetch two pages, then demand-read two others.
+        // Both prefetched pages get evicted before any demand touch.
+        let mut pool = pool_with_pages(4, 2);
+        pool.prefetch_page(PageId(0), PageKind::SeedLeaf);
+        pool.prefetch_page(PageId(1), PageKind::SeedLeaf);
+        pool.read(PageId(2), PageKind::Other).unwrap(); // evicts 0
+        pool.read(PageId(3), PageKind::Other).unwrap(); // evicts 1
+        let s = pool.stats();
+        assert_eq!(s.kind(PageKind::SeedLeaf).prefetch_evicted, 2);
+        assert_eq!(s.total_prefetch_evicted(), 2);
+        assert_eq!(s.total_prefetched_unused(), 2);
+
+        // A prefetched page that *was* used before eviction is not wasted.
+        pool.prefetch_page(PageId(0), PageKind::SeedLeaf);
+        pool.read(PageId(0), PageKind::SeedLeaf).unwrap(); // prefetch hit
+        pool.read(PageId(1), PageKind::Other).unwrap();
+        pool.read(PageId(2), PageKind::Other).unwrap(); // 0 evicted, but used
+        let s = pool.stats();
+        assert_eq!(s.total_prefetch_evicted(), 2, "used prefetch miscounted");
+        assert_eq!(s.kind(PageKind::SeedLeaf).prefetch_hits, 1);
     }
 
     #[test]

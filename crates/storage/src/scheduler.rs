@@ -1,0 +1,1042 @@
+//! Asynchronous disk scheduler: a submission-queue worker pool behind the
+//! [`PageRead`] hooks.
+//!
+//! The paper's serving story (§VII-E) is many concurrent query streams
+//! against one device. The [`crate::ConcurrentBufferPool`] already lets
+//! threads *share a cache*, but every cache miss still blocks the reading
+//! thread for the full device latency, duplicate misses within a shard
+//! head-of-line-block each other, and prefetch hints compete with demand
+//! reads for the device on equal terms. [`DiskScheduler`] centralizes
+//! device access instead:
+//!
+//! * **Submission queue + worker pool** — readers enqueue page requests;
+//!   a small pool of I/O workers services them against the store. Readers
+//!   block only on *their own* request's completion.
+//! * **Request coalescing** — duplicate in-flight reads of one page
+//!   resolve with a single device fetch whose result fans out to every
+//!   waiter (tracked in [`SchedulerStats::demand_coalesced`]).
+//! * **Two priority lanes** — demand reads always run before speculative
+//!   prefetches, and prefetch hints are *dropped* (not queued) while the
+//!   demand lane is backed up, so speculation can never add queueing delay
+//!   to useful I/O ([`SchedulerStats::prefetch_dropped`]).
+//! * **Graceful shutdown** — dropping the scheduler discards queued
+//!   prefetches but *drains in-flight demand reads* before the workers
+//!   exit, so no reader ever observes a torn or abandoned request.
+//!
+//! The scheduler is itself a page cache (same lock-sharded LRU state as
+//! the concurrent pool) and implements both [`PageRead`] and
+//! [`PageWrite`]; exclusive writes quiesce the queue first so a stale
+//! in-flight fetch can never clobber freshly written bytes.
+
+use crate::pool::{AtomicIoStats, CacheState};
+use crate::sync_util::lock_unpoisoned;
+use crate::{
+    BufferPool, IoStats, Page, PageId, PageKind, PageRead, PageStore, PageWrite, StorageError,
+    DEFAULT_SHARDS,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
+
+/// Tuning knobs for a [`DiskScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Number of I/O worker threads servicing the submission queue. This is
+    /// the device concurrency the scheduler exposes; match it to the
+    /// device's internal parallelism (e.g. spindle count).
+    pub workers: usize,
+    /// Maximum queued (not yet serviced) prefetch hints; hints beyond this
+    /// are dropped.
+    pub prefetch_queue_cap: usize,
+    /// Demand-lane pressure threshold: while at least this many demand
+    /// reads are queued, new prefetch hints are dropped instead of queued.
+    pub demand_pressure: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            workers: 4,
+            prefetch_queue_cap: 64,
+            demand_pressure: 4,
+        }
+    }
+}
+
+/// Counters describing what the scheduler's two lanes did — snapshot type,
+/// taken with [`DiskScheduler::scheduler_stats`].
+///
+/// Conservation: every accepted request ends up completed, dropped
+/// (prefetch lane only), or still queued, so
+/// `demand_submitted == demand_completed` once the queue is idle, and
+/// `prefetch_submitted == prefetch_completed + prefetch_dropped + queued`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Demand reads that entered the submission queue (cache misses that
+    /// were not already in flight).
+    pub demand_submitted: u64,
+    /// Demand reads that piggybacked on an in-flight fetch of the same
+    /// page instead of submitting their own.
+    pub demand_coalesced: u64,
+    /// Demand-lane fetches serviced by the workers.
+    pub demand_completed: u64,
+    /// Prefetch hints accepted by the scheduler (page neither cached nor in
+    /// flight).
+    pub prefetch_submitted: u64,
+    /// Prefetch-lane fetches serviced by the workers.
+    pub prefetch_completed: u64,
+    /// Prefetch hints dropped — either rejected at submission (demand
+    /// pressure, full prefetch queue, shutdown) or discarded from the queue
+    /// at shutdown/quiesce.
+    pub prefetch_dropped: u64,
+    /// High-water mark of the demand lane's queue depth.
+    pub demand_queue_max: u64,
+    /// High-water mark of the prefetch lane's queue depth.
+    pub prefetch_queue_max: u64,
+    /// Total microseconds demand requests spent from submission to
+    /// completion (queueing + service).
+    pub demand_wait_us: u64,
+    /// Total microseconds of device service time in the demand lane.
+    pub demand_service_us: u64,
+    /// Total microseconds of device service time in the prefetch lane.
+    pub prefetch_service_us: u64,
+}
+
+impl SchedulerStats {
+    /// Mean end-to-end demand latency (queueing + service), microseconds.
+    pub fn mean_demand_wait_us(&self) -> f64 {
+        mean(self.demand_wait_us, self.demand_completed)
+    }
+
+    /// Mean demand-lane device service time, microseconds.
+    pub fn mean_demand_service_us(&self) -> f64 {
+        mean(self.demand_service_us, self.demand_completed)
+    }
+
+    /// Mean prefetch-lane device service time, microseconds.
+    pub fn mean_prefetch_service_us(&self) -> f64 {
+        mean(self.prefetch_service_us, self.prefetch_completed)
+    }
+
+    /// Component-wise accumulation (queue-depth high-water marks take the
+    /// max) — used to roll shard schedulers up into one figure.
+    pub fn accumulate(&mut self, other: &SchedulerStats) {
+        self.demand_submitted += other.demand_submitted;
+        self.demand_coalesced += other.demand_coalesced;
+        self.demand_completed += other.demand_completed;
+        self.prefetch_submitted += other.prefetch_submitted;
+        self.prefetch_completed += other.prefetch_completed;
+        self.prefetch_dropped += other.prefetch_dropped;
+        self.demand_queue_max = self.demand_queue_max.max(other.demand_queue_max);
+        self.prefetch_queue_max = self.prefetch_queue_max.max(other.prefetch_queue_max);
+        self.demand_wait_us += other.demand_wait_us;
+        self.demand_service_us += other.demand_service_us;
+        self.prefetch_service_us += other.prefetch_service_us;
+    }
+}
+
+fn mean(total: u64, count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+#[derive(Debug, Default)]
+struct AtomicSchedulerStats {
+    demand_submitted: AtomicU64,
+    demand_coalesced: AtomicU64,
+    demand_completed: AtomicU64,
+    prefetch_submitted: AtomicU64,
+    prefetch_completed: AtomicU64,
+    prefetch_dropped: AtomicU64,
+    demand_queue_max: AtomicU64,
+    prefetch_queue_max: AtomicU64,
+    demand_wait_us: AtomicU64,
+    demand_service_us: AtomicU64,
+    prefetch_service_us: AtomicU64,
+}
+
+impl AtomicSchedulerStats {
+    fn snapshot(&self) -> SchedulerStats {
+        let o = Ordering::Relaxed;
+        SchedulerStats {
+            demand_submitted: self.demand_submitted.load(o),
+            demand_coalesced: self.demand_coalesced.load(o),
+            demand_completed: self.demand_completed.load(o),
+            prefetch_submitted: self.prefetch_submitted.load(o),
+            prefetch_completed: self.prefetch_completed.load(o),
+            prefetch_dropped: self.prefetch_dropped.load(o),
+            demand_queue_max: self.demand_queue_max.load(o),
+            prefetch_queue_max: self.prefetch_queue_max.load(o),
+            demand_wait_us: self.demand_wait_us.load(o),
+            demand_service_us: self.demand_service_us.load(o),
+            prefetch_service_us: self.prefetch_service_us.load(o),
+        }
+    }
+
+    fn reset(&self) {
+        let o = Ordering::Relaxed;
+        self.demand_submitted.store(0, o);
+        self.demand_coalesced.store(0, o);
+        self.demand_completed.store(0, o);
+        self.prefetch_submitted.store(0, o);
+        self.prefetch_completed.store(0, o);
+        self.prefetch_dropped.store(0, o);
+        self.demand_queue_max.store(0, o);
+        self.prefetch_queue_max.store(0, o);
+        self.demand_wait_us.store(0, o);
+        self.demand_service_us.store(0, o);
+        self.prefetch_service_us.store(0, o);
+    }
+}
+
+/// One in-flight page fetch. Duplicate readers share the same request: the
+/// servicing worker publishes the result into `done` and wakes every
+/// waiter.
+struct Request {
+    kind: PageKind,
+    /// `true` if a prefetch hint created this request (lane of origin; a
+    /// demand read may later piggyback on it).
+    origin_prefetch: bool,
+    /// Set once a demand read is waiting on this request.
+    demanded: AtomicBool,
+    /// Set by the worker that claims the request (the arbiter that keeps a
+    /// request serviced exactly once even if it sits in both lanes).
+    taken: AtomicBool,
+    /// Ensures at most one waiter records the prefetch hit for this fetch.
+    hit_credited: AtomicBool,
+    submitted: Instant,
+    done: Mutex<Option<Result<Page, StorageError>>>,
+    cv: Condvar,
+}
+
+impl Request {
+    fn new(kind: PageKind, origin_prefetch: bool) -> Request {
+        Request {
+            kind,
+            origin_prefetch,
+            demanded: AtomicBool::new(!origin_prefetch),
+            taken: AtomicBool::new(false),
+            hit_credited: AtomicBool::new(false),
+            submitted: Instant::now(),
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the servicing worker publishes a result.
+    fn await_result(&self) -> Result<Page, StorageError> {
+        let mut done = lock_unpoisoned(&self.done);
+        loop {
+            if let Some(result) = done.as_ref() {
+                return match result {
+                    Ok(page) => Ok(page.clone()),
+                    Err(err) => Err(clone_error(err)),
+                };
+            }
+            done = wait_unpoisoned(&self.cv, done);
+        }
+    }
+}
+
+/// [`StorageError`] is deliberately not `Clone` ([`std::io::Error`] isn't);
+/// fanning one result out to several coalesced waiters reconstructs an
+/// equivalent error per waiter, preserving the variant (so callers that
+/// match on `PageOutOfRange` etc. behave identically with and without the
+/// scheduler).
+fn clone_error(err: &StorageError) -> StorageError {
+    match err {
+        StorageError::PageOutOfRange { page, allocated } => StorageError::PageOutOfRange {
+            page: *page,
+            allocated: *allocated,
+        },
+        StorageError::PageOverflow {
+            requested,
+            remaining,
+        } => StorageError::PageOverflow {
+            requested: *requested,
+            remaining: *remaining,
+        },
+        StorageError::Corrupt(msg) => StorageError::Corrupt(msg.clone()),
+        StorageError::Io(io) => StorageError::Io(std::io::Error::new(io.kind(), io.to_string())),
+    }
+}
+
+fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The two submission lanes plus the in-flight table.
+struct SubmissionQueue {
+    demand: VecDeque<PageId>,
+    prefetch: VecDeque<PageId>,
+    inflight: HashMap<PageId, Arc<Request>>,
+    shutdown: bool,
+}
+
+/// State shared between the scheduler façade and its workers.
+struct Core<S: PageStore> {
+    store: RwLock<S>,
+    shards: Vec<Mutex<CacheState>>,
+    shard_capacity: usize,
+    capacity: usize,
+    config: SchedulerConfig,
+    io: AtomicIoStats,
+    sched: AtomicSchedulerStats,
+    queue: Mutex<SubmissionQueue>,
+    /// Wakes workers when work arrives (or shutdown is signalled).
+    work: Condvar,
+    /// Wakes quiesce/shutdown waiters when the in-flight table empties.
+    idle: Condvar,
+}
+
+impl<S: PageStore> Core<S> {
+    fn shard_cache(&self, id: PageId) -> MutexGuard<'_, CacheState> {
+        let index = (id.0 as usize) & (self.shards.len() - 1);
+        lock_unpoisoned(&self.shards[index])
+    }
+
+    fn read_store(&self) -> std::sync::RwLockReadGuard<'_, S> {
+        match self.store.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write_store(&self) -> std::sync::RwLockWriteGuard<'_, S> {
+        match self.store.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Discards every queued (untaken, undemanded) prefetch. Requests that
+    /// a demand read piggybacked on, or a worker already claimed, survive.
+    fn discard_queued_prefetches(&self, q: &mut SubmissionQueue) {
+        while let Some(id) = q.prefetch.pop_front() {
+            let Some(req) = q.inflight.get(&id) else {
+                continue;
+            };
+            if req.demanded.load(Ordering::Acquire) || req.taken.load(Ordering::Acquire) {
+                continue;
+            }
+            q.inflight.remove(&id);
+            self.sched.prefetch_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        if q.inflight.is_empty() {
+            self.idle.notify_all();
+        }
+    }
+}
+
+/// Pops the next claimable request: demand lane first, prefetch lane only
+/// while not shutting down. Returning `None` with `shutdown` set means the
+/// demand lane has fully drained.
+fn take_next<S: PageStore>(
+    core: &Core<S>,
+    q: &mut SubmissionQueue,
+) -> Option<(PageId, Arc<Request>)> {
+    while let Some(id) = q.demand.pop_front() {
+        if let Some(req) = q.inflight.get(&id) {
+            if !req.taken.swap(true, Ordering::AcqRel) {
+                return Some((id, Arc::clone(req)));
+            }
+        }
+    }
+    if q.shutdown {
+        // Shutdown discards speculation; only demand reads get drained.
+        core.discard_queued_prefetches(q);
+        return None;
+    }
+    while let Some(id) = q.prefetch.pop_front() {
+        if let Some(req) = q.inflight.get(&id) {
+            if !req.taken.swap(true, Ordering::AcqRel) {
+                return Some((id, Arc::clone(req)));
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop<S: PageStore>(core: &Core<S>) {
+    loop {
+        let claimed = {
+            let mut q = lock_unpoisoned(&core.queue);
+            loop {
+                if let Some(claimed) = take_next(core, &mut q) {
+                    break Some(claimed);
+                }
+                if q.shutdown {
+                    break None; // demand lane drained — safe to exit
+                }
+                q = wait_unpoisoned(&core.work, q);
+            }
+        };
+        let Some((id, req)) = claimed else {
+            return;
+        };
+        service(core, id, req);
+    }
+}
+
+/// Fetches one claimed request from the store, publishes the page into the
+/// cache, completes the request, and retires it from the in-flight table —
+/// in that order, so a waiter woken by the completion finds the page
+/// already cached.
+fn service<S: PageStore>(core: &Core<S>, id: PageId, req: Arc<Request>) {
+    let start = Instant::now();
+    let mut page = Page::new();
+    let result = {
+        let store = core.read_store();
+        store.read_page(id, &mut page).map(|()| page)
+    };
+    let service_us = start.elapsed().as_micros() as u64;
+
+    if let Ok(page) = &result {
+        if req.origin_prefetch {
+            core.io.record_prefetch_read(req.kind);
+        }
+        let prefetched_mark = req.origin_prefetch && !req.demanded.load(Ordering::Acquire);
+        let mut cache = core.shard_cache(id);
+        if !cache.contains(id) {
+            let (_, evicted) = cache.insert(
+                id,
+                page.clone(),
+                req.kind,
+                core.shard_capacity,
+                prefetched_mark,
+            );
+            if let Some(victim_kind) = evicted {
+                core.io.record_prefetch_evicted(victim_kind);
+            }
+        }
+    }
+
+    let relaxed = Ordering::Relaxed;
+    if req.origin_prefetch {
+        core.sched.prefetch_completed.fetch_add(1, relaxed);
+        core.sched
+            .prefetch_service_us
+            .fetch_add(service_us, relaxed);
+    } else {
+        core.sched.demand_completed.fetch_add(1, relaxed);
+        core.sched.demand_service_us.fetch_add(service_us, relaxed);
+        let wait_us = req.submitted.elapsed().as_micros() as u64;
+        core.sched.demand_wait_us.fetch_add(wait_us, relaxed);
+    }
+
+    {
+        let mut done = lock_unpoisoned(&req.done);
+        *done = Some(result);
+        req.cv.notify_all();
+    }
+    {
+        let mut q = lock_unpoisoned(&core.queue);
+        q.inflight.remove(&id);
+        if q.inflight.is_empty() {
+            core.idle.notify_all();
+        }
+    }
+}
+
+/// Owns the worker threads; dropping it signals shutdown, lets the demand
+/// lane drain, and joins every worker.
+struct WorkerSet<S: PageStore + Send + Sync + 'static> {
+    core: Arc<Core<S>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<S: PageStore + Send + Sync + 'static> Drop for WorkerSet<S> {
+    fn drop(&mut self) {
+        {
+            let mut q = lock_unpoisoned(&self.core.queue);
+            q.shutdown = true;
+        }
+        self.core.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A submission-queue disk scheduler serving a lock-sharded page cache.
+///
+/// `DiskScheduler` is a drop-in [`PageRead`]/[`PageWrite`] pool (same
+/// caching and [`IoStats`] semantics as [`crate::ConcurrentBufferPool`])
+/// whose cache misses go through a central submission queue instead of
+/// hitting the store from the calling thread — see the [module
+/// docs](crate::scheduler) for the scheduling policy. One scheduler per
+/// device is the intended deployment; `flat_core`'s `ShardedDb` runs one
+/// per shard.
+pub struct DiskScheduler<S: PageStore + Send + Sync + 'static> {
+    core: Arc<Core<S>>,
+    workers: WorkerSet<S>,
+}
+
+impl<S: PageStore + Send + Sync + 'static> DiskScheduler<S> {
+    /// Creates a scheduler over `store` caching at most `capacity` pages,
+    /// with the default [`SchedulerConfig`].
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(store: S, capacity: usize) -> DiskScheduler<S> {
+        DiskScheduler::with_config(store, capacity, SchedulerConfig::default())
+    }
+
+    /// Creates a scheduler with explicit tuning knobs (worker count is
+    /// clamped to at least one).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_config(store: S, capacity: usize, config: SchedulerConfig) -> DiskScheduler<S> {
+        assert!(
+            capacity > 0,
+            "buffer pool capacity must be at least one page"
+        );
+        let shards = DEFAULT_SHARDS;
+        let core = Arc::new(Core {
+            store: RwLock::new(store),
+            shards: (0..shards).map(|_| Mutex::new(CacheState::new())).collect(),
+            shard_capacity: capacity.div_ceil(shards).max(1),
+            capacity,
+            config,
+            io: AtomicIoStats::default(),
+            sched: AtomicSchedulerStats::default(),
+            queue: Mutex::new(SubmissionQueue {
+                demand: VecDeque::new(),
+                prefetch: VecDeque::new(),
+                inflight: HashMap::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let handles = (0..config.workers.max(1))
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("flat-disk-io-{i}"))
+                    .spawn(move || worker_loop(&core))
+                    .expect("spawn disk scheduler worker")
+            })
+            .collect();
+        DiskScheduler {
+            workers: WorkerSet {
+                core: Arc::clone(&core),
+                handles,
+            },
+            core,
+        }
+    }
+
+    /// Converts an exclusive build pool into a scheduler over the same
+    /// store and capacity, carrying the I/O statistics over (the cache
+    /// contents are dropped — queries start cold, as the measurement
+    /// protocol demands).
+    pub fn from_pool(pool: BufferPool<S>, config: SchedulerConfig) -> DiskScheduler<S> {
+        let stats = pool.stats();
+        let capacity = pool.capacity();
+        let scheduler = DiskScheduler::with_config(pool.into_store(), capacity, config);
+        scheduler.core.io.load_snapshot(&stats);
+        scheduler
+    }
+
+    /// The scheduler's tuning knobs.
+    pub fn config(&self) -> SchedulerConfig {
+        self.core.config
+    }
+
+    /// Maximum number of cached pages (summed over lock shards; per-shard
+    /// capacities round up, so the effective bound is `≥ capacity`).
+    pub fn capacity(&self) -> usize {
+        self.core.shard_capacity * self.core.shards.len()
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.core
+            .shards
+            .iter()
+            .map(|shard| lock_unpoisoned(shard).len())
+            .sum()
+    }
+
+    /// Shared access to the underlying store (holds the store's read lock
+    /// for the guard's lifetime — don't hold it across slow work).
+    pub fn store(&self) -> std::sync::RwLockReadGuard<'_, S> {
+        self.core.read_store()
+    }
+
+    /// Number of pages allocated in the underlying store.
+    pub fn num_pages(&self) -> u64 {
+        self.core.read_store().num_pages()
+    }
+
+    /// Snapshot of the current I/O statistics.
+    pub fn stats(&self) -> IoStats {
+        self.core.io.snapshot()
+    }
+
+    /// Snapshots the statistics (for later [`IoStats::since`] diffs).
+    pub fn snapshot(&self) -> IoStats {
+        self.core.io.snapshot()
+    }
+
+    /// Zeroes the I/O statistics.
+    pub fn reset_stats(&self) {
+        self.core.io.reset();
+    }
+
+    /// Snapshot of the scheduling counters (lanes, coalescing, latencies).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.core.sched.snapshot()
+    }
+
+    /// Zeroes the scheduling counters.
+    pub fn reset_scheduler_stats(&self) {
+        self.core.sched.reset();
+    }
+
+    /// Drops every cached page. Statistics are unaffected.
+    pub fn clear_cache(&self) {
+        for shard in &self.core.shards {
+            lock_unpoisoned(shard).clear();
+        }
+    }
+
+    /// Shuts the workers down (draining in-flight demand reads, discarding
+    /// queued prefetches) and returns the store.
+    pub fn into_store(self) -> S {
+        let DiskScheduler { core, workers } = self;
+        drop(workers); // signals shutdown and joins every worker
+        match Arc::try_unwrap(core) {
+            Ok(core) => match core.store.into_inner() {
+                Ok(store) => store,
+                Err(poisoned) => poisoned.into_inner(),
+            },
+            Err(_) => panic!("scheduler core still shared after workers joined"),
+        }
+    }
+
+    /// Waits until nothing is in flight: discards queued prefetches, then
+    /// blocks until the workers have retired every claimed request. Called
+    /// with `&mut self`, so no new request can arrive concurrently.
+    fn quiesce(&mut self) {
+        let core = &self.core;
+        let mut q = lock_unpoisoned(&core.queue);
+        core.discard_queued_prefetches(&mut q);
+        while !q.inflight.is_empty() {
+            q = wait_unpoisoned(&core.idle, q);
+        }
+    }
+}
+
+impl<S: PageStore + Send + Sync + 'static> PageRead for DiskScheduler<S> {
+    fn read_page(&self, id: PageId, kind: PageKind) -> Result<Page, StorageError> {
+        let core = &self.core;
+        {
+            let mut cache = core.shard_cache(id);
+            if let Some(slot) = cache.lookup(id) {
+                if cache.take_prefetched(slot) {
+                    core.io.record_prefetch_hit(kind);
+                }
+                core.io.record_read(kind, false);
+                return Ok(cache.page(slot).clone());
+            }
+        }
+        let relaxed = Ordering::Relaxed;
+        let req = {
+            let mut q = lock_unpoisoned(&core.queue);
+            if q.shutdown {
+                // Defensive: workers are gone (mid-teardown). Fetch
+                // synchronously so the read still completes correctly.
+                drop(q);
+                core.io.record_read(kind, true);
+                let mut page = Page::new();
+                core.read_store().read_page(id, &mut page)?;
+                return Ok(page);
+            }
+            if let Some(req) = q.inflight.get(&id) {
+                // Coalesce: piggyback on the in-flight fetch.
+                let req = Arc::clone(req);
+                core.sched.demand_coalesced.fetch_add(1, relaxed);
+                core.io.record_read(kind, false);
+                if !req.demanded.swap(true, Ordering::AcqRel) && !req.taken.load(Ordering::Acquire)
+                {
+                    // Still queued in the prefetch lane: promote it.
+                    q.demand.push_front(id);
+                    core.work.notify_one();
+                }
+                req
+            } else {
+                let req = Arc::new(Request::new(kind, false));
+                q.inflight.insert(id, Arc::clone(&req));
+                q.demand.push_back(id);
+                core.sched.demand_submitted.fetch_add(1, relaxed);
+                core.sched
+                    .demand_queue_max
+                    .fetch_max(q.demand.len() as u64, relaxed);
+                core.io.record_read(kind, true);
+                core.work.notify_one();
+                req
+            }
+        };
+        let page = req.await_result()?;
+        if req.origin_prefetch && !req.hit_credited.swap(true, Ordering::AcqRel) {
+            // First demand use of a prefetched fetch: credit the hit and
+            // clear the cached copy's speculative mark so it isn't credited
+            // twice.
+            core.io.record_prefetch_hit(kind);
+            let mut cache = core.shard_cache(id);
+            if let Some(slot) = cache.slot_of(id) {
+                cache.take_prefetched(slot);
+            }
+        }
+        Ok(page)
+    }
+
+    fn prefetch_page(&self, id: PageId, kind: PageKind) {
+        let core = &self.core;
+        if core.shard_cache(id).contains(id) {
+            return; // already resident — nothing speculative to do
+        }
+        let relaxed = Ordering::Relaxed;
+        let mut q = lock_unpoisoned(&core.queue);
+        if q.inflight.contains_key(&id) {
+            return; // already being fetched
+        }
+        core.sched.prefetch_submitted.fetch_add(1, relaxed);
+        if q.shutdown
+            || q.demand.len() >= core.config.demand_pressure
+            || q.prefetch.len() >= core.config.prefetch_queue_cap
+        {
+            // Speculation must never queue behind (or ahead of) a backlog
+            // of useful work: drop the hint.
+            core.sched.prefetch_dropped.fetch_add(1, relaxed);
+            return;
+        }
+        let req = Arc::new(Request::new(kind, true));
+        q.inflight.insert(id, req);
+        q.prefetch.push_back(id);
+        core.sched
+            .prefetch_queue_max
+            .fetch_max(q.prefetch.len() as u64, relaxed);
+        core.work.notify_one();
+    }
+}
+
+/// Exclusive writes quiesce the submission queue first (dropping queued
+/// prefetches, draining claimed fetches), so a stale in-flight read can
+/// never re-insert pre-write bytes into the cache after the write lands.
+impl<S: PageStore + Send + Sync + 'static> PageWrite for DiskScheduler<S> {
+    fn alloc(&mut self) -> Result<PageId, StorageError> {
+        self.core.write_store().alloc()
+    }
+
+    fn write(&mut self, id: PageId, page: &Page, kind: PageKind) -> Result<(), StorageError> {
+        self.quiesce();
+        self.core.write_store().write_page(id, page)?;
+        self.core.io.record_write(kind);
+        let mut cache = self.core.shard_cache(id);
+        if let Some(slot) = cache.slot_of(id) {
+            *cache.page_mut(slot) = page.clone();
+            cache.touch(slot);
+        }
+        Ok(())
+    }
+
+    fn free(&mut self, id: PageId) -> Result<(), StorageError> {
+        self.quiesce();
+        self.core.write_store().free_page(id)?;
+        self.core.shard_cache(id).remove(id);
+        Ok(())
+    }
+}
+
+impl<S: PageStore + Send + Sync + 'static> std::fmt::Debug for DiskScheduler<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskScheduler")
+            .field("capacity", &self.core.capacity)
+            .field("config", &self.core.config)
+            .field("cached", &self.cached_pages())
+            .field("sched", &self.scheduler_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemStore, ThrottledStore};
+    use std::time::Duration;
+
+    fn store_with_pages(n: u64) -> MemStore {
+        let mut store = MemStore::new();
+        for i in 0..n {
+            let id = store.alloc().unwrap();
+            let mut page = Page::new();
+            page.put_u64(0, i);
+            store.write_page(id, &page).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn demand_reads_return_correct_pages_and_account_io() {
+        let sched = DiskScheduler::new(store_with_pages(8), 16);
+        for i in [3u64, 0, 3, 7, 0] {
+            let page = sched.read_page(PageId(i), PageKind::Other).unwrap();
+            assert_eq!(page.get_u64(0), i);
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.total_logical_reads(), 5);
+        assert_eq!(stats.total_physical_reads(), 3);
+        let lanes = sched.scheduler_stats();
+        assert_eq!(lanes.demand_submitted, 3);
+        assert_eq!(lanes.demand_completed, 3);
+    }
+
+    #[test]
+    fn concurrent_duplicate_reads_coalesce_to_one_fetch() {
+        let latency = Duration::from_millis(20);
+        let store = ThrottledStore::new(store_with_pages(2), latency);
+        let sched = DiskScheduler::new(store, 16);
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                scope.spawn(|| {
+                    let page = sched.read_page(PageId(1), PageKind::Other).unwrap();
+                    assert_eq!(page.get_u64(0), 1);
+                });
+            }
+        });
+        let stats = sched.stats();
+        assert_eq!(stats.total_logical_reads(), 6);
+        assert_eq!(
+            stats.total_physical_reads(),
+            1,
+            "duplicate in-flight reads must resolve with one device fetch"
+        );
+        let lanes = sched.scheduler_stats();
+        assert_eq!(lanes.demand_submitted + lanes.demand_coalesced, 6);
+        assert_eq!(lanes.demand_submitted, 1);
+        assert_eq!(lanes.demand_coalesced, 5);
+    }
+
+    #[test]
+    fn prefetch_then_demand_read_is_a_hit() {
+        let sched = DiskScheduler::new(store_with_pages(4), 16);
+        sched.prefetch_page(PageId(2), PageKind::ObjectPage);
+        // The hint is asynchronous: wait for the fetch to land.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sched.scheduler_stats().prefetch_completed == 0 {
+            assert!(Instant::now() < deadline, "prefetch never completed");
+            std::thread::yield_now();
+        }
+        let page = sched.read_page(PageId(2), PageKind::ObjectPage).unwrap();
+        assert_eq!(page.get_u64(0), 2);
+        let stats = sched.stats();
+        assert_eq!(stats.kind(PageKind::ObjectPage).prefetch_reads, 1);
+        assert_eq!(stats.kind(PageKind::ObjectPage).prefetch_hits, 1);
+        assert_eq!(stats.total_physical_reads(), 0);
+        assert_eq!(stats.total_prefetched_unused(), 0);
+        // A second read is an ordinary cache hit, not another prefetch hit.
+        sched.read_page(PageId(2), PageKind::ObjectPage).unwrap();
+        assert_eq!(sched.stats().kind(PageKind::ObjectPage).prefetch_hits, 1);
+    }
+
+    #[test]
+    fn demand_read_promotes_an_inflight_prefetch() {
+        // Slow store, one worker: the prefetch is still queued (or just
+        // claimed) when the demand read arrives; the demand read must
+        // piggyback on it and still count the prefetch as useful.
+        let latency = Duration::from_millis(10);
+        let store = ThrottledStore::new(store_with_pages(4), latency);
+        let config = SchedulerConfig {
+            workers: 1,
+            ..SchedulerConfig::default()
+        };
+        let sched = DiskScheduler::with_config(store, 16, config);
+        // Occupy the worker so the next hint stays queued.
+        sched.prefetch_page(PageId(0), PageKind::Other);
+        sched.prefetch_page(PageId(1), PageKind::Other);
+        let page = sched.read_page(PageId(1), PageKind::Other).unwrap();
+        assert_eq!(page.get_u64(0), 1);
+        let stats = sched.stats();
+        // The demand read coalesced with the prefetch: no demand fetch.
+        assert_eq!(stats.total_physical_reads(), 0);
+        assert_eq!(stats.kind(PageKind::Other).prefetch_hits, 1);
+        assert!(sched.scheduler_stats().demand_coalesced >= 1);
+    }
+
+    #[test]
+    fn prefetches_drop_under_demand_pressure_and_queue_caps() {
+        let latency = Duration::from_millis(20);
+        let store = ThrottledStore::new(store_with_pages(64), latency);
+        let config = SchedulerConfig {
+            workers: 1,
+            prefetch_queue_cap: 2,
+            demand_pressure: 4,
+        };
+        let sched = DiskScheduler::with_config(store, 64, config);
+        // Flood the prefetch lane: 1 claimed + 2 queued, the rest dropped.
+        for i in 0..10u64 {
+            sched.prefetch_page(PageId(i), PageKind::Other);
+        }
+        let lanes = sched.scheduler_stats();
+        assert_eq!(lanes.prefetch_submitted, 10);
+        assert!(
+            lanes.prefetch_dropped >= 7,
+            "expected ≥7 drops, got {}",
+            lanes.prefetch_dropped
+        );
+        assert!(lanes.prefetch_queue_max <= 2);
+    }
+
+    #[test]
+    fn demand_lane_overtakes_queued_prefetches() {
+        let latency = Duration::from_millis(10);
+        let store = ThrottledStore::new(store_with_pages(64), latency);
+        let config = SchedulerConfig {
+            workers: 1,
+            prefetch_queue_cap: 64,
+            demand_pressure: 64,
+        };
+        let sched = DiskScheduler::with_config(store, 64, config);
+        for i in 0..20u64 {
+            sched.prefetch_page(PageId(i), PageKind::Other);
+        }
+        // The demand read targets a page *not* in the prefetch backlog; it
+        // must jump the queue: ≤ 1 in-service prefetch + its own fetch,
+        // nowhere near the 20-fetch backlog.
+        let start = Instant::now();
+        let page = sched.read_page(PageId(40), PageKind::Other).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(page.get_u64(0), 40);
+        assert!(
+            elapsed < latency * 8,
+            "demand read waited {elapsed:?} behind the prefetch backlog"
+        );
+    }
+
+    #[test]
+    fn drop_discards_queued_prefetches_quickly() {
+        let latency = Duration::from_millis(50);
+        let store = ThrottledStore::new(store_with_pages(64), latency);
+        let config = SchedulerConfig {
+            workers: 1,
+            prefetch_queue_cap: 64,
+            demand_pressure: 64,
+        };
+        let sched = DiskScheduler::with_config(store, 64, config);
+        for i in 0..30u64 {
+            sched.prefetch_page(PageId(i), PageKind::Other);
+        }
+        let start = Instant::now();
+        drop(sched);
+        let elapsed = start.elapsed();
+        // Draining all 30 would take ≥ 1.5 s; discarding leaves only the
+        // one claimed fetch to finish.
+        assert!(
+            elapsed < latency * 10,
+            "drop drained the prefetch backlog instead of discarding it ({elapsed:?})"
+        );
+    }
+
+    #[test]
+    fn write_quiesces_inflight_fetches() {
+        let latency = Duration::from_millis(10);
+        let store = ThrottledStore::new(store_with_pages(4), latency);
+        let config = SchedulerConfig {
+            workers: 1,
+            ..SchedulerConfig::default()
+        };
+        let mut sched = DiskScheduler::with_config(store, 16, config);
+        // Kick off speculative fetches of the page we're about to change.
+        sched.prefetch_page(PageId(0), PageKind::Other);
+        sched.prefetch_page(PageId(1), PageKind::Other);
+        let mut page = Page::new();
+        page.put_u64(0, 4242);
+        sched.write(PageId(1), &page, PageKind::Other).unwrap();
+        // However the race resolved, the post-write read sees the new bytes.
+        let read = sched.read_page(PageId(1), PageKind::Other).unwrap();
+        assert_eq!(read.get_u64(0), 4242);
+    }
+
+    #[test]
+    fn errors_fan_out_to_every_coalesced_waiter() {
+        let latency = Duration::from_millis(20);
+        let store = ThrottledStore::new(store_with_pages(1), latency);
+        let sched = DiskScheduler::new(store, 16);
+        std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for _ in 0..4 {
+                joins.push(scope.spawn(|| sched.read_page(PageId(99), PageKind::Other)));
+            }
+            for join in joins {
+                let err = join.join().unwrap().unwrap_err();
+                assert!(
+                    matches!(err, StorageError::PageOutOfRange { .. }),
+                    "variant must survive the fan-out, got {err:?}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn into_store_joins_workers_and_returns_store() {
+        let sched = DiskScheduler::new(store_with_pages(3), 8);
+        sched.read_page(PageId(2), PageKind::Other).unwrap();
+        let store = sched.into_store();
+        assert_eq!(store.num_pages(), 3);
+    }
+
+    #[test]
+    fn from_pool_carries_stats() {
+        let mut pool = BufferPool::new(store_with_pages(4), 8);
+        pool.read(PageId(0), PageKind::SeedLeaf).unwrap();
+        let sched = DiskScheduler::from_pool(pool, SchedulerConfig::default());
+        assert_eq!(sched.stats().kind(PageKind::SeedLeaf).physical_reads, 1);
+        sched.read_page(PageId(1), PageKind::ObjectPage).unwrap();
+        assert_eq!(sched.stats().total_physical_reads(), 2);
+    }
+
+    #[test]
+    fn free_and_alloc_round_trip_through_the_scheduler() {
+        let mut sched = DiskScheduler::new(store_with_pages(4), 16);
+        sched.read_page(PageId(1), PageKind::Other).unwrap(); // cached
+        PageWrite::free(&mut sched, PageId(1)).unwrap();
+        assert!(sched.read_page(PageId(1), PageKind::Other).is_err());
+        assert_eq!(PageWrite::alloc(&mut sched).unwrap(), PageId(1));
+        // Reallocated page reads back zeroed.
+        let page = sched.read_page(PageId(1), PageKind::Other).unwrap();
+        assert_eq!(page.get_u64(0), 0);
+    }
+
+    #[test]
+    fn scheduler_stats_reset_and_accumulate() {
+        let sched = DiskScheduler::new(store_with_pages(2), 8);
+        sched.read_page(PageId(0), PageKind::Other).unwrap();
+        let one = sched.scheduler_stats();
+        assert_eq!(one.demand_submitted, 1);
+        let mut sum = SchedulerStats::default();
+        sum.accumulate(&one);
+        sum.accumulate(&one);
+        assert_eq!(sum.demand_submitted, 2);
+        assert_eq!(sum.demand_queue_max, one.demand_queue_max);
+        sched.reset_scheduler_stats();
+        assert_eq!(sched.scheduler_stats(), SchedulerStats::default());
+    }
+
+    #[test]
+    fn scheduler_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DiskScheduler<MemStore>>();
+        assert_send_sync::<DiskScheduler<ThrottledStore<MemStore>>>();
+    }
+}

@@ -72,8 +72,8 @@ pub mod prelude {
     pub use flat_core::{
         BatchOutcome, BuildReport, BuildStats, DbOptions, DeltaIndex, DeltaReport, EngineConfig,
         FlatDb, FlatError, FlatIndex, FlatIndexBuilder, FlatOptions, IndexStats, KnnStats,
-        Neighbor, QueryBuilder, QueryEngine, QueryStats, RTreeBuildOptions, Snapshot, SpatialIndex,
-        StreamingStats, Writer,
+        Neighbor, QueryBuilder, QueryEngine, QueryStats, RTreeBuildOptions, ShardOptions,
+        ShardedDb, Snapshot, SpatialIndex, StreamingStats, Writer,
     };
     pub use flat_data::mesh::{mesh_entries, MeshConfig, MeshSource};
     pub use flat_data::nbody::{nbody_entries, NBodyConfig, NBodySource};
@@ -85,7 +85,8 @@ pub mod prelude {
     pub use flat_geom::{Aabb, Axis, Cylinder, Point3, Shape, Sphere, Triangle};
     pub use flat_rtree::{BulkLoad, Entry, Hit, LeafLayout, RTree, RTreeConfig};
     pub use flat_storage::{
-        BufferPool, ConcurrentBufferPool, DiskModel, FileStore, IoStats, MemStore, Page, PageId,
-        PageKind, PageRead, PageStore, PageWrite, PoolHandle, ThrottledStore, PAGE_SIZE,
+        BufferPool, ConcurrentBufferPool, DiskModel, DiskScheduler, FileStore, IoStats, MemStore,
+        Page, PageId, PageKind, PageRead, PageStore, PageWrite, PoolHandle, SchedulerConfig,
+        SchedulerStats, ThrottledStore, PAGE_SIZE,
     };
 }

@@ -289,3 +289,207 @@ fn file_backed_index_serves_concurrent_readers() {
     });
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn scheduler_shutdown_drains_inflight_work_before_releasing_the_store() {
+    // Drop-order guarantee: `DiskScheduler::into_store` (and `Drop`) must
+    // finish every in-flight demand read and join the worker pool before
+    // the store is handed back — a worker still landing a fetch after
+    // teardown would be a torn read waiting to happen. We drive real
+    // concurrent traffic over a slow device, flood the prefetch lane so
+    // workers are mid-service at shutdown, tear the scheduler down, and
+    // then prove the recovered store still answers bit-identically.
+    use std::time::Duration;
+
+    let (entries, domain) = neuron_dataset();
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 12);
+    let (index, _) = FlatIndex::build(
+        &mut pool,
+        entries,
+        FlatOptions {
+            domain: Some(domain),
+            ..FlatOptions::default()
+        },
+    )
+    .expect("build");
+    let qs = queries(&domain);
+    let expected: Vec<_> = qs
+        .iter()
+        .map(|q| keys(&index.range_query(&pool, q).expect("serial query")))
+        .collect();
+
+    let num_pages = pool.store().num_pages();
+    let store = ThrottledStore::with_parallelism(pool.into_store(), Duration::from_micros(300), 2);
+    let config = SchedulerConfig {
+        workers: 2,
+        prefetch_queue_cap: 1 << 16,
+        demand_pressure: usize::MAX,
+    };
+    // A cache far smaller than the index keeps the demand lane busy.
+    let sched = DiskScheduler::with_config(store, 128, config);
+
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let (sched, index, qs, expected) = (&sched, &index, &qs, &expected);
+            scope.spawn(move || {
+                for (qi, q) in qs.iter().enumerate() {
+                    if qi % 2 == t % 2 {
+                        let hits = index.range_query(sched, q).expect("scheduled query");
+                        assert_eq!(keys(&hits), expected[qi], "thread {t} query {qi}");
+                    }
+                }
+            });
+        }
+    });
+
+    // Flood the prefetch lane, then shut down immediately: the workers
+    // are mid-fetch when teardown starts. `into_store` can only unwrap
+    // the store once every worker has exited, so merely returning proves
+    // the join; the queued backlog is discarded, not drained.
+    for i in 0..num_pages.min(512) {
+        sched.prefetch_page(PageId(i), PageKind::Other);
+    }
+    let lanes = sched.scheduler_stats();
+    assert_eq!(
+        lanes.demand_completed, lanes.demand_submitted,
+        "demand lane must be fully drained before shutdown"
+    );
+    assert!(lanes.prefetch_completed + lanes.prefetch_dropped <= lanes.prefetch_submitted);
+
+    let store = sched.into_store();
+    let pool = BufferPool::new(store, 1 << 12);
+    for (qi, q) in qs.iter().enumerate() {
+        let hits = index.range_query(&pool, q).expect("post-shutdown query");
+        assert_eq!(keys(&hits), expected[qi], "post-shutdown query {qi}");
+    }
+}
+
+#[test]
+fn sharded_db_serves_mixed_clients_and_drops_cleanly() {
+    // End-to-end serving-layer stress: a ShardedDb over throttled stores
+    // answers concurrent range + kNN clients *exactly* like one FLAT
+    // index while an updater churns a spatially disjoint scratch region,
+    // and the final drop joins every shard's worker pool without hanging.
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let config = UniformConfig::scaled_baseline(4_000, 23);
+    let entries = uniform_entries(&config);
+    let domain = config.domain;
+    let index_options = FlatOptions {
+        layout: LeafLayout::WithIds,
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+
+    // Reference answers from a single unthrottled index.
+    let mut ref_pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (single, _) =
+        FlatIndex::build(&mut ref_pool, entries.clone(), index_options).expect("build");
+    let qs = range_queries(
+        &domain,
+        &WorkloadConfig {
+            count: 16,
+            volume_fraction: 3e-3,
+            proportion_range: (1.0, 3.0),
+            seed: 24,
+        },
+    );
+    let probes = knn_queries(
+        &domain,
+        &KnnConfig {
+            count: 6,
+            k_range: (1, 10),
+            seed: 25,
+        },
+    );
+    let expected_ranges: Vec<_> = qs
+        .iter()
+        .map(|q| keys(&single.range_query(&ref_pool, q).expect("range")))
+        .collect();
+    let expected_dists: Vec<Vec<u64>> = probes
+        .iter()
+        .map(|&(p, k)| {
+            single
+                .knn_query(&ref_pool, p, k)
+                .expect("knn")
+                .iter()
+                .map(|n| n.dist_sq.to_bits())
+                .collect()
+        })
+        .collect();
+
+    let options = ShardOptions {
+        index: index_options,
+        pool_pages: 256,
+        ..ShardOptions::default()
+    };
+    let db = Arc::new(
+        ShardedDb::build(3, entries, options, |_| {
+            ThrottledStore::with_parallelism(MemStore::new(), Duration::from_micros(150), 2)
+        })
+        .expect("sharded build"),
+    );
+
+    // The scratch region sits ten domain-widths past max.x: no in-domain
+    // range query can touch it, and no probe's k-th neighbour can be that
+    // far out, so the expected answers stay valid throughout the churn.
+    let scratch_x = domain.max.x + 10.0 * (domain.max.x - domain.min.x);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut clients = Vec::new();
+    for t in 0..4usize {
+        let (db, stop) = (db.clone(), stop.clone());
+        let (qs, probes) = (qs.clone(), probes.clone());
+        let (expected_ranges, expected_dists) = (expected_ranges.clone(), expected_dists.clone());
+        clients.push(std::thread::spawn(move || {
+            let mut round = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let qi = (round + t) % qs.len();
+                let hits = db.range_query(&qs[qi]).expect("sharded range");
+                assert_eq!(keys(&hits), expected_ranges[qi], "client {t} query {qi}");
+                let pi = (round + t) % probes.len();
+                let (p, k) = probes[pi];
+                let dists: Vec<u64> = db
+                    .knn_query(p, k)
+                    .expect("sharded knn")
+                    .iter()
+                    .map(|n| n.dist_sq.to_bits())
+                    .collect();
+                assert_eq!(dists, expected_dists[pi], "client {t} probe {pi}");
+                round += 1;
+            }
+            round
+        }));
+    }
+
+    // Updater: insert then delete disjoint scratch batches while the
+    // clients are live.
+    for round in 0..10u64 {
+        let base = (1u64 << 40) + round * 64;
+        let batch: Vec<Entry> = (0..40)
+            .map(|i| {
+                Entry::new(
+                    base + i,
+                    Aabb::cube(Point3::new(scratch_x + i as f64, 0.0, 0.0), 0.25),
+                )
+            })
+            .collect();
+        db.insert(batch).expect("insert scratch");
+        let ids: Vec<u64> = (0..40).map(|i| base + i).collect();
+        assert_eq!(db.delete(&ids).expect("delete scratch"), 40);
+    }
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        assert!(c.join().expect("client panicked") > 0);
+    }
+
+    assert_eq!(db.num_live_elements(), 4_000);
+    let lanes = db.scheduler_stats();
+    assert_eq!(lanes.demand_completed, lanes.demand_submitted);
+    assert!(db.io_stats().total_physical_reads() > 0);
+    // The last Arc drop tears down three scheduler worker pools; the test
+    // returning at all is the join-without-hang assertion.
+    drop(db);
+}

@@ -339,3 +339,151 @@ fn whole_domain_and_oversized_queries() {
     ids.dedup();
     assert_eq!(ids.len(), entries.len(), "duplicates in oversized query");
 }
+
+// === Shard-boundary edge cases (the sharded serving layer) ============
+
+fn sharded_grid(k: usize, side: usize, spacing: f64) -> (Vec<Entry>, ShardedDb<MemStore>) {
+    let entries = grid_entries(side, spacing);
+    let extent = side as f64 * spacing;
+    let options = ShardOptions {
+        index: FlatOptions {
+            layout: LeafLayout::WithIds,
+            domain: Some(Aabb::new(Point3::splat(0.0), Point3::splat(extent))),
+            ..FlatOptions::default()
+        },
+        ..ShardOptions::default()
+    };
+    let db = ShardedDb::build_in_memory(k, entries.clone(), options).expect("build");
+    (entries, db)
+}
+
+fn sharded_ids(db: &ShardedDb<MemStore>, q: &Aabb) -> Vec<u64> {
+    db.range_query(q).unwrap().iter().map(|h| h.id).collect()
+}
+
+fn expected_ids(entries: &[Entry], q: &Aabb) -> Vec<u64> {
+    let mut ids: Vec<u64> = entries
+        .iter()
+        .filter(|e| q.intersects(&e.mbr))
+        .map(|e| e.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn query_straddling_three_shards() {
+    // Four x-slabs over an 8³ grid; a thin slab centered on the domain
+    // crosses the two interior cut planes, touching three shards at once.
+    let (entries, db) = sharded_grid(4, 8, 10.0);
+    let q = Aabb::new(Point3::new(18.0, 0.0, 0.0), Point3::new(42.0, 80.0, 80.0));
+    let crossed = (0..db.num_shards())
+        .filter(|&i| db.shard_coverage(i).intersects(&q))
+        .count();
+    assert!(crossed >= 3, "query only crossed {crossed} shards");
+    assert_eq!(sharded_ids(&db, &q), expected_ids(&entries, &q));
+    // A query pinned exactly on one cut plane still answers exactly.
+    let cut = db.shard_coverage(0).max.x;
+    let seam = Aabb::new(Point3::new(cut, 0.0, 0.0), Point3::new(cut, 80.0, 80.0));
+    assert_eq!(sharded_ids(&db, &seam), expected_ids(&entries, &seam));
+}
+
+#[test]
+fn empty_shards_stay_silent() {
+    // More shards than distinct x-centers: the padding shards own nothing.
+    // Queries spanning the whole domain (and probes near the padded edge)
+    // must not double-count or miss.
+    let mut entries = Vec::new();
+    for (i, x) in [5.0, 5.0, 5.0, 15.0].iter().enumerate() {
+        entries.push(Entry::new(
+            i as u64,
+            Aabb::cube(Point3::new(*x, 10.0, 10.0), 1.0),
+        ));
+    }
+    let options = ShardOptions {
+        index: FlatOptions {
+            layout: LeafLayout::WithIds,
+            domain: Some(Aabb::new(Point3::splat(0.0), Point3::splat(20.0))),
+            ..FlatOptions::default()
+        },
+        ..ShardOptions::default()
+    };
+    let db = ShardedDb::build_in_memory(4, entries.clone(), options).expect("build");
+    let whole = Aabb::new(Point3::splat(0.0), Point3::splat(20.0));
+    assert_eq!(sharded_ids(&db, &whole), vec![0, 1, 2, 3]);
+    // The padded shards sit at the domain's upper x face.
+    let edge = Aabb::new(Point3::new(20.0, 0.0, 0.0), Point3::splat(20.0));
+    assert!(sharded_ids(&db, &edge).is_empty());
+    // kNN across the whole set, including from the empty region.
+    let nn = db.knn_query(Point3::new(19.0, 10.0, 10.0), 4).unwrap();
+    let ids: Vec<u64> = nn.iter().map(|n| n.hit.id).collect();
+    assert_eq!(ids[0], 3, "nearest must come from the populated side");
+    assert_eq!(nn.len(), 4);
+}
+
+#[test]
+fn all_elements_in_one_shard() {
+    // Clustered data: every element's center falls into shard 0's slab,
+    // the rest of the shards exist but own nothing. Queries anywhere in
+    // the domain (including the empty region) answer exactly.
+    let entries: Vec<Entry> = (0..500)
+        .map(|i| {
+            let t = i as f64 / 500.0;
+            Entry::new(
+                i as u64,
+                Aabb::cube(Point3::new(1.0 + t, 50.0 * t + 10.0, 30.0), 0.5),
+            )
+        })
+        .collect();
+    let options = ShardOptions {
+        index: FlatOptions {
+            layout: LeafLayout::WithIds,
+            domain: Some(Aabb::new(Point3::splat(0.0), Point3::splat(100.0))),
+            ..FlatOptions::default()
+        },
+        ..ShardOptions::default()
+    };
+    let db = ShardedDb::build_in_memory(4, entries.clone(), options).expect("build");
+    let populated = (0..db.num_shards())
+        .filter(|&i| {
+            let c = db.shard_coverage(i);
+            entries.iter().any(|e| c.contains(&e.mbr))
+        })
+        .count();
+    let whole = Aabb::new(Point3::splat(0.0), Point3::splat(100.0));
+    assert_eq!(sharded_ids(&db, &whole).len(), 500);
+    assert!(populated >= 1);
+    // Far corner: empty result, not an error.
+    assert!(sharded_ids(&db, &Aabb::cube(Point3::splat(95.0), 2.0)).is_empty());
+    // kNN from the far corner crosses back to the cluster.
+    let nn = db.knn_query(Point3::splat(99.0), 7).unwrap();
+    assert_eq!(nn.len(), 7);
+}
+
+#[test]
+fn single_shard_equals_single_index() {
+    // K = 1 must be byte-equivalent to one FLAT index (same ids, same
+    // MBRs) for boundary geometry.
+    let (entries, db) = sharded_grid(1, 6, 10.0);
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let options = FlatOptions {
+        layout: LeafLayout::WithIds,
+        domain: Some(Aabb::new(Point3::splat(0.0), Point3::splat(60.0))),
+        ..FlatOptions::default()
+    };
+    let (single, _) = FlatIndex::build(&mut pool, entries, options).expect("build");
+    for q in [
+        Aabb::cube(Point3::splat(30.0), 8.0),
+        Aabb::new(Point3::new(10.0, 0.0, 0.0), Point3::new(10.0, 60.0, 60.0)),
+        Aabb::point(Point3::splat(15.0)),
+    ] {
+        let mut expect: Vec<u64> = single
+            .range_query(&pool, &q)
+            .unwrap()
+            .iter()
+            .map(|h| h.id)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(sharded_ids(&db, &q), expect, "query {q:?}");
+    }
+}

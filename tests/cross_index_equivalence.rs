@@ -181,6 +181,120 @@ fn degenerate_queries_agree() {
     check_equivalence(entries, domain, &queries);
 }
 
+/// `(id, mbr-bits)` result keys for WithIds contenders, sorted by id.
+fn id_keys(hits: &[Hit]) -> Vec<(u64, [u64; 6])> {
+    let mut keys: Vec<(u64, [u64; 6])> = hits
+        .iter()
+        .map(|h| {
+            (
+                h.id,
+                [
+                    h.mbr.min.x.to_bits(),
+                    h.mbr.min.y.to_bits(),
+                    h.mbr.min.z.to_bits(),
+                    h.mbr.max.x.to_bits(),
+                    h.mbr.max.y.to_bits(),
+                    h.mbr.max.z.to_bits(),
+                ],
+            )
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Compares two exact kNN answers that may break distance ties
+/// differently: the distance sequences must be identical, and within each
+/// run of equal distances the id sets must match — except in the final
+/// (possibly truncated) tie class, where both sides legitimately pick any
+/// same-sized subset of the tied elements.
+fn assert_knn_equivalent(got: &[Neighbor], expect: &[Neighbor], ctx: &str) {
+    let dist = |ns: &[Neighbor]| ns.iter().map(|n| n.dist_sq).collect::<Vec<f64>>();
+    assert_eq!(dist(got), dist(expect), "{ctx}: distances diverged");
+    let mut i = 0;
+    while i < got.len() {
+        let mut j = i;
+        while j < got.len() && got[j].dist_sq == got[i].dist_sq {
+            j += 1;
+        }
+        if j < got.len() {
+            // A fully contained tie class: identical membership required.
+            let ids = |ns: &[Neighbor]| {
+                let mut ids: Vec<u64> = ns.iter().map(|n| n.hit.id).collect();
+                ids.sort_unstable();
+                ids
+            };
+            assert_eq!(
+                ids(&got[i..j]),
+                ids(&expect[i..j]),
+                "{ctx}: tie class at {i}"
+            );
+        }
+        i = j;
+    }
+}
+
+#[test]
+fn sharded_database_joins_the_equivalence_matrix() {
+    // The sharded serving layer must answer exactly like one FLAT index
+    // over the same data, for every shard count.
+    let config = UniformConfig::scaled_baseline(6_000, 13);
+    let entries = uniform_entries(&config);
+    let domain = config.domain;
+    let mut queries = workload(&domain, 5e-3, 14);
+    queries.push(domain); // everything, crossing every shard
+    queries.push(Aabb::point(domain.center()));
+    let knn_probes = knn_queries(
+        &domain,
+        &KnnConfig {
+            count: 8,
+            k_range: (1, 25),
+            seed: 15,
+        },
+    );
+
+    // Reference: a single WithIds FLAT index.
+    let single_options = FlatOptions {
+        layout: LeafLayout::WithIds,
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (single, _) = FlatIndex::build(&mut pool, entries.clone(), single_options).expect("build");
+
+    for k in 1..=4 {
+        let options = ShardOptions {
+            index: single_options,
+            ..ShardOptions::default()
+        };
+        let db = ShardedDb::build_in_memory(k, entries.clone(), options).expect("build");
+        for (qi, q) in queries.iter().enumerate() {
+            let got = db.range_query(q).expect("sharded range");
+            // Merged order is deterministic: ascending application id.
+            assert!(
+                got.windows(2).all(|w| w[0].id < w[1].id),
+                "K={k} q{qi}: unsorted"
+            );
+            assert_eq!(
+                id_keys(&got),
+                id_keys(&single.range_query(&pool, q).expect("range")),
+                "K={k}: range query {qi} diverged"
+            );
+        }
+        for (pi, &(p, kk)) in knn_probes.iter().enumerate() {
+            let got = db.knn_query(p, kk).expect("sharded knn");
+            // The sharded tie-break is (dist_sq, id): the answer must obey it.
+            assert!(
+                got.windows(2)
+                    .all(|w| (w[0].dist_sq, w[0].hit.id) < (w[1].dist_sq, w[1].hit.id)),
+                "K={k} probe {pi}: order violates (dist, id)"
+            );
+            let expect = single.knn_query(&pool, p, kk).expect("knn");
+            assert_knn_equivalent(&got, &expect, &format!("K={k} probe {pi}"));
+        }
+    }
+}
+
 #[test]
 fn facade_database_joins_the_equivalence_matrix() {
     // The FlatDb façade must agree with every index kind too — it routes
