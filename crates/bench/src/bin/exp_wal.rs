@@ -1,0 +1,9 @@
+//! Durability sweep: churn throughput vs WAL mode, checkpoint pause and
+//! crash-recovery time. Writes `BENCH_wal.json`.
+use flat_bench::figures::{wal, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let table = wal::exp_wal(&Context::new(Scale::from_env()));
+    wal::emit_with_json(&table);
+}

@@ -3,7 +3,7 @@
 //! Respects `FLAT_SCALE`, `FLAT_QUERIES` and `FLAT_RESULTS_DIR`.
 use flat_bench::figures::{
     ablation, analysis, batch, build, build_scale, concurrency, knn, lss, motivation, other, shard,
-    sn, update, Context,
+    sn, update, wal, Context,
 };
 use flat_bench::Scale;
 use std::time::Instant;
@@ -27,6 +27,7 @@ const SUITES: &[(&str, &str)] = &[
     ("sharded-serving", "exp_shard"),
     ("batch", "exp_batch, exp_knn"),
     ("update", "exp_update"),
+    ("durability", "exp_wal"),
     ("other-datasets", "fig22, fig23"),
 ];
 
@@ -108,6 +109,9 @@ fn main() {
 
     println!("=== Dynamic updates & compaction (extension) ===\n");
     update::exp_update(&ctx).emit();
+
+    println!("=== Durability: WAL & crash recovery (extension) ===\n");
+    wal::emit_with_json(&wal::exp_wal(&ctx));
 
     println!("=== Other data sets (Section VIII) ===\n");
     let per_million = (1000.0 * scale.max_density() as f64 / 450_000.0) as usize;

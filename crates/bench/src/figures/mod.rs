@@ -18,6 +18,7 @@ pub mod other;
 pub mod shard;
 pub mod sn;
 pub mod update;
+pub mod wal;
 
 use crate::datasets::DensitySweep;
 use crate::Scale;
@@ -139,5 +140,15 @@ mod tests {
         let updates = update::exp_update(&ctx);
         assert_eq!(updates.rows.len(), 2 + update::CHURN_STEPS);
         assert_eq!(updates.rows.last().unwrap().last().unwrap(), "yes");
+
+        // One row per durability mode; every durable run recovered from a
+        // simulated crash to the non-durable baseline's query answers
+        // (the driver itself asserts the equivalence).
+        let durability = wal::exp_wal(&ctx);
+        assert_eq!(durability.rows.len(), wal::modes().len());
+        for row in durability.rows.iter().skip(1) {
+            assert_eq!(row.last().unwrap(), "yes", "{row:?}");
+        }
+        assert!(durability.to_json().contains("\"rows\""));
     }
 }

@@ -1,0 +1,237 @@
+//! `exp_wal` (extension): the price of durability — update throughput
+//! under [`Durability::Off`] / [`Durability::Wal`] /
+//! [`Durability::WalCheckpoint`] at two checkpoint cadences, the pause a
+//! checkpoint inserts, and crash-recovery (reopen + replay) time.
+//!
+//! Every mode runs the *same* deterministic churn script
+//! (`flat_data::update::ChurnWorkload`) over the sweep's middle density.
+//! The non-durable run is the baseline; each durable run then simulates a
+//! crash (`FlatDb::into_store` drops the RAM overlay, exactly what power
+//! loss leaves on the device), reopens through `FlatDb::open_durable`,
+//! and is verified to answer the SN workload identically to the baseline
+//! — the run aborts if recovery diverges. The same discipline at matrix
+//! scale lives in `tests/crash_recovery.rs`; this driver measures what
+//! the tests prove.
+
+use super::Context;
+use crate::report::{fmt_f64, Table};
+use flat_core::{DbOptions, Durability, FlatDb};
+use flat_data::update::{ChurnConfig, ChurnWorkload};
+use flat_geom::Aabb;
+use flat_rtree::Entry;
+use flat_storage::{MemStore, PageStore};
+use std::time::Instant;
+
+/// Churn rounds per mode; each round commits two batches (deletes, then
+/// the displaced re-inserts).
+pub const CHURN_ROUNDS: usize = 5;
+
+/// Fraction of the live population replaced per churn round.
+const CHURN_FRACTION: f64 = 0.05;
+
+/// The durability modes measured, in row order.
+pub fn modes() -> Vec<(&'static str, Durability)> {
+    vec![
+        ("off", Durability::Off),
+        ("wal", Durability::Wal),
+        ("wal+ckpt/8", Durability::WalCheckpoint { every_batches: 8 }),
+        ("wal+ckpt/2", Durability::WalCheckpoint { every_batches: 2 }),
+    ]
+}
+
+/// Sorted hit ids per query — the layout-independent answer key (durable
+/// recovery promises logical equivalence, not physical page identity).
+fn answers<S: PageStore>(db: &FlatDb<S>, queries: &[Aabb]) -> Vec<Vec<u64>> {
+    let reader = db.reader();
+    queries
+        .iter()
+        .map(|q| {
+            let mut ids: Vec<u64> = reader
+                .range(q)
+                .expect("range query failed")
+                .into_iter()
+                .map(|h| h.id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect()
+}
+
+/// One measured mode.
+struct Measurement {
+    batches: usize,
+    elements: usize,
+    updates_per_sec: f64,
+    max_batch_ms: f64,
+    checkpoint_ms: Option<f64>,
+    recovery_ms: Option<f64>,
+    replayed: Option<usize>,
+    recovered_matches: Option<bool>,
+}
+
+fn run_mode(
+    ctx: &Context,
+    domain: Aabb,
+    entries: &[Entry],
+    durability: Durability,
+    baseline: Option<&Vec<Vec<u64>>>,
+    queries: &[Aabb],
+) -> (Measurement, Vec<Vec<u64>>) {
+    let options = DbOptions::updatable(domain).with_durability(durability);
+    let durable = !matches!(durability, Durability::Off);
+    let mut db = if durable {
+        FlatDb::create_durable(MemStore::new(), options).expect("create durable session")
+    } else {
+        FlatDb::create(MemStore::new(), options)
+    };
+    db.build_from(entries.to_vec()).expect("build failed");
+
+    let mut churn = ChurnWorkload::new(
+        entries.to_vec(),
+        domain,
+        ChurnConfig::steady(
+            ((entries.len() as f64 * CHURN_FRACTION) as usize).max(32),
+            ctx.scale.seed ^ 0x5741_4c00,
+        ),
+    );
+    let mut batches = 0usize;
+    let mut elements = 0usize;
+    let mut update_time = 0.0f64;
+    let mut max_batch_ms = 0.0f64;
+    let mut checkpoint_ms = None;
+    for round in 0..CHURN_ROUNDS {
+        let batch = churn.step();
+        for half in 0..2 {
+            let start = Instant::now();
+            let mut writer = db.writer().expect("updatable database");
+            let n = if half == 0 {
+                writer.delete(&batch.deletes).expect("delete failed")
+            } else {
+                let n = batch.inserts.len();
+                writer.insert(batch.inserts.clone()).expect("insert failed");
+                n
+            };
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            update_time += ms / 1e3;
+            max_batch_ms = max_batch_ms.max(ms);
+            batches += 1;
+            elements += n;
+        }
+        if durable && round == CHURN_ROUNDS / 2 {
+            // The pause an explicit mid-run checkpoint inserts (the
+            // auto-cadence pauses are folded into max-batch).
+            let start = Instant::now();
+            db.checkpoint().expect("checkpoint failed");
+            checkpoint_ms = Some(start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let live_answers = answers(&db, queries);
+
+    let (recovery_ms, replayed, recovered_matches) = if durable {
+        // Simulated power loss: drop the session (and its RAM overlay),
+        // keeping only what the device holds, then recover.
+        let store = db.into_store();
+        let start = Instant::now();
+        let (recovered, report) = FlatDb::open_durable(store, options).expect("recovery failed");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let matches = baseline.map(|b| {
+            let recovered_answers = answers(&recovered, queries);
+            assert_eq!(
+                &recovered_answers, b,
+                "recovered database diverged from the non-durable baseline"
+            );
+            recovered_answers == *b
+        });
+        (Some(ms), Some(report.replayed), matches)
+    } else {
+        (None, None, None)
+    };
+
+    (
+        Measurement {
+            batches,
+            elements,
+            updates_per_sec: elements as f64 / update_time.max(1e-9),
+            max_batch_ms,
+            checkpoint_ms,
+            recovery_ms,
+            replayed,
+            recovered_matches,
+        },
+        live_answers,
+    )
+}
+
+/// Runs the durability sweep at the sweep's middle density.
+pub fn exp_wal(ctx: &Context) -> Table {
+    let mut table = Table::new(
+        "exp_wal",
+        "Durability: churn throughput vs WAL mode, checkpoint pause, \
+         crash-recovery time (recovered answers verified against the \
+         non-durable baseline)",
+        &[
+            "durability",
+            "batches",
+            "elements",
+            "updates/sec",
+            "vs off",
+            "max batch ms",
+            "checkpoint ms",
+            "recovery ms",
+            "replayed",
+            "recovered == off",
+        ],
+    );
+    let density = ctx.scale.densities[ctx.scale.densities.len() / 2];
+    let domain = ctx.sweep.domain();
+    let entries = ctx.sweep.at(density);
+    let queries = ctx.scale.sn_workload(&domain);
+
+    let mut baseline: Option<Vec<Vec<u64>>> = None;
+    let mut rows: Vec<(&'static str, Measurement)> = Vec::new();
+    for (label, durability) in modes() {
+        let (m, live) = run_mode(
+            ctx,
+            domain,
+            &entries,
+            durability,
+            baseline.as_ref(),
+            &queries,
+        );
+        if baseline.is_none() {
+            baseline = Some(live);
+        }
+        rows.push((label, m));
+    }
+
+    let off_rate = rows[0].1.updates_per_sec;
+    let opt_ms = |v: Option<f64>| v.map_or("-".to_string(), |ms| format!("{ms:.2}"));
+    for (label, m) in rows {
+        table.push_row(vec![
+            label.to_string(),
+            m.batches.to_string(),
+            m.elements.to_string(),
+            fmt_f64(m.updates_per_sec),
+            format!("{:.2}x", m.updates_per_sec / off_rate.max(1e-9)),
+            format!("{:.2}", m.max_batch_ms),
+            opt_ms(m.checkpoint_ms),
+            opt_ms(m.recovery_ms),
+            m.replayed.map_or("-".to_string(), |r| r.to_string()),
+            m.recovered_matches.map_or("baseline".to_string(), |ok| {
+                if ok { "yes" } else { "no" }.to_string()
+            }),
+        ]);
+    }
+    table
+}
+
+/// Prints/saves the table as every figure does, plus the machine-readable
+/// `BENCH_wal.json` the durability benchmarks are tracked by.
+pub fn emit_with_json(table: &Table) {
+    table.emit();
+    match table.save_json("BENCH_wal") {
+        Ok(path) => println!("[saved {}]\n", path.display()),
+        Err(e) => println!("[json not saved: {e}]\n"),
+    }
+}

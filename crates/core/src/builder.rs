@@ -381,7 +381,12 @@ impl FlatIndexBuilder {
         let mut parts: Vec<Partition> = Vec::new();
         let mut consumed = 0u64;
         let mut page = Page::new();
-        let mut first_object_page: Option<PageId> = None;
+        // Actual object-page ids in partition order: stores may hand out
+        // non-contiguous ids (a durable store's log pages interleave with
+        // reusable frees), so phase 4 maps partition index -> id through
+        // this table instead of assuming a dense range. 8 bytes per
+        // partition, same order as the phase-3 planning directory.
+        let mut object_ids: Vec<PageId> = Vec::new();
         let mut num_partitions = 0u32;
         let mut pmbr_union = Aabb::empty();
         let mut volume_sum = 0.0f64;
@@ -434,16 +439,7 @@ impl FlatIndexBuilder {
                 encode_leaf(&p.elements, options.layout, &mut page);
                 let id = pool.alloc()?;
                 pool.write(id, &page, PageKind::ObjectPage)?;
-                let first = *first_object_page.get_or_insert(id);
-                // Phase 4 reconstructs object-page pointers as
-                // `first + index`, leaning on the PageStore contract that
-                // ids are dense and increasing; a pool that breaks it
-                // would silently corrupt every metadata record.
-                assert_eq!(
-                    id.0,
-                    first.0 + num_partitions as u64,
-                    "streamed build requires consecutively allocated object pages"
-                );
+                object_ids.push(id);
                 pmbr_union = pmbr_union.union(&p.partition_mbr);
                 volume_sum += p.partition_mbr.volume();
                 summary_sorter.push(SummaryRec {
@@ -455,7 +451,7 @@ impl FlatIndexBuilder {
                 num_partitions += 1;
             }
         }
-        let first_object_page = first_object_page.expect("n > 0 produces partitions");
+        assert!(!object_ids.is_empty(), "n > 0 produces partitions");
         let partition_time = t0.elapsed();
 
         // Phase 3: plane-sweep neighbor computation over the summaries,
@@ -515,7 +511,7 @@ impl FlatIndexBuilder {
                     index: m.index,
                     page_mbr: m.page_mbr,
                     partition_mbr: m.partition_mbr,
-                    object_page: PageId(first_object_page.0 + m.index as u64),
+                    object_page: object_ids[m.index as usize],
                     neighbors: std::borrow::Cow::Owned(m.neighbors),
                 })
             })

@@ -63,15 +63,19 @@
 //! ```
 
 use crate::builder::{FlatIndexBuilder, StreamingStats, DEFAULT_SPILL_BUDGET};
-use crate::delta::DeltaIndex;
+use crate::delta::{DeltaIndex, DeltaReport};
+use crate::durable::{decode_logical, encode_logical, DbSnapshot, DbStore, LogicalOp};
+pub use crate::durable::{Durability, RecoveryReport};
 use crate::engine::{BatchOutcome, EngineConfig, KnnBatchOutcome, QueryEngine};
 use crate::error::FlatError;
 use crate::index::{BuildStats, FlatIndex, FlatOptions};
 use crate::knn::{KnnStats, Neighbor};
-use crate::query::QueryStats;
+use crate::query::{QueryStats, Tombstones};
 use flat_geom::{Aabb, Point3};
 use flat_rtree::{Entry, Hit, LeafLayout};
-use flat_storage::{BufferPool, ConcurrentBufferPool, FileStore, IoStats, Page, PageId, PageStore};
+use flat_storage::{
+    BufferPool, ConcurrentBufferPool, DurableStore, FileStore, IoStats, Page, PageId, PageStore,
+};
 use std::collections::HashSet;
 use std::path::Path;
 
@@ -91,6 +95,13 @@ pub struct DbOptions {
     /// of the in-memory bulkload. Both paths write bit-identical pages,
     /// so the switch only affects peak memory.
     pub memory_budget: usize,
+    /// Crash durability of committed writer batches. Anything other than
+    /// [`Durability::Off`] requires the database to be created with
+    /// [`FlatDb::create_durable`] (or opened with
+    /// [`FlatDb::open_durable`]): every batch is then committed to a
+    /// write-ahead log before any page mutates, and a crash recovers to
+    /// exactly the committed prefix.
+    pub durability: Durability,
 }
 
 impl Default for DbOptions {
@@ -100,6 +111,7 @@ impl Default for DbOptions {
             pool_pages: 1 << 16,
             engine: EngineConfig::default(),
             memory_budget: DEFAULT_SPILL_BUDGET,
+            durability: Durability::Off,
         }
     }
 }
@@ -128,6 +140,12 @@ impl DbOptions {
     /// Replaces the entry memory budget (see [`DbOptions::memory_budget`]).
     pub fn with_memory_budget(mut self, entries: usize) -> DbOptions {
         self.memory_budget = entries;
+        self
+    }
+
+    /// Replaces the durability mode (see [`DbOptions::durability`]).
+    pub fn with_durability(mut self, durability: Durability) -> DbOptions {
+        self.durability = durability;
         self
     }
 }
@@ -159,13 +177,22 @@ enum DbIndex {
 /// lifecycle. See the [module docs](self) for the session diagram and
 /// the crate docs for the underlying machinery.
 pub struct FlatDb<S: PageStore> {
-    pool: ConcurrentBufferPool<S>,
+    pool: ConcurrentBufferPool<DbStore<S>>,
     state: DbIndex,
     options: DbOptions,
     built: bool,
     /// Uncompacted writer mutations (delta partitions, tombstones, dead
     /// records) — state [`FlatDb::persist`] must fold away first.
     dirty: bool,
+    /// Sequence number the next committed writer batch will log under.
+    next_seq: u64,
+    /// Committed batches since the last checkpoint (drives the automatic
+    /// [`Durability::WalCheckpoint`] cadence).
+    batches_since_ckpt: usize,
+    /// Set when a durable commit failed between the log append and the
+    /// page apply: the in-memory state may disagree with the committed
+    /// log, so further writes are refused — reopening recovers.
+    poisoned: bool,
 }
 
 impl<S: PageStore> std::fmt::Debug for FlatDb<S> {
@@ -222,6 +249,9 @@ impl FlatDb<FileStore> {
         path: P,
         options: DbOptions,
     ) -> Result<FlatDb<FileStore>, FlatError> {
+        if options.durability != Durability::Off {
+            return FlatDb::open_file_durable(path, options).map(|(db, _)| db);
+        }
         let store = FileStore::open(path)?;
         let num_pages = store.num_pages();
         if num_pages == 0 {
@@ -231,19 +261,204 @@ impl FlatDb<FileStore> {
         }
         FlatDb::open(store, PageId(num_pages - 1), options)
     }
+
+    /// Opens a durable database file (one created through
+    /// [`FlatDb::create_durable`] over a [`FileStore`]), recovering the
+    /// last committed checkpoint and replaying the write-ahead log past
+    /// it. Returns the [`RecoveryReport`] alongside the database; the
+    /// plain [`FlatDb::open_file`] routes here (and discards the report)
+    /// whenever `options.durability` is on.
+    pub fn open_file_durable<P: AsRef<Path>>(
+        path: P,
+        options: DbOptions,
+    ) -> Result<(FlatDb<FileStore>, RecoveryReport), FlatError> {
+        let store = FileStore::open(path)?;
+        FlatDb::open_durable(store, options)
+    }
 }
 
 impl<S: PageStore> FlatDb<S> {
     /// A database over `store`, ready for [`FlatDb::build_from`].
+    ///
+    /// # Panics
+    /// Panics if `options.durability` is on — a durable database needs
+    /// the write-ahead-logged store layout that only the fallible
+    /// [`FlatDb::create_durable`] can lay down.
     pub fn create(store: S, options: DbOptions) -> FlatDb<S> {
-        let pool = ConcurrentBufferPool::new(store, options.pool_pages);
+        assert_eq!(
+            options.durability,
+            Durability::Off,
+            "durability needs the logged store layout: use FlatDb::create_durable"
+        );
+        let pool = ConcurrentBufferPool::new(DbStore::Plain(store), options.pool_pages);
         FlatDb {
             pool,
             state: DbIndex::Base(FlatIndex::empty(options.index.layout)),
             options,
             built: false,
             dirty: false,
+            next_seq: 1,
+            batches_since_ckpt: 0,
+            poisoned: false,
         }
+    }
+
+    /// A crash-durable database over an **empty** `store`: lays down the
+    /// write-ahead-log layout and commits an initial (empty) checkpoint,
+    /// so every subsequent committed batch is recoverable.
+    ///
+    /// `options.durability` selects the logging mode and must not be
+    /// [`Durability::Off`]. Reopen with [`FlatDb::open_durable`] (or
+    /// [`FlatDb::open_file`] with the same durable options).
+    pub fn create_durable(store: S, options: DbOptions) -> Result<FlatDb<S>, FlatError> {
+        assert_ne!(
+            options.durability,
+            Durability::Off,
+            "create_durable needs a durability mode (see DbOptions::durability)"
+        );
+        let mut durable = DurableStore::create(store)?;
+        let initial = DbSnapshot {
+            last_seq: 0,
+            built: false,
+            index: FlatIndex::empty(options.index.layout),
+            delta: None,
+        };
+        durable.checkpoint(&initial.encode())?;
+        let pool =
+            ConcurrentBufferPool::new(DbStore::Durable(Box::new(durable)), options.pool_pages);
+        Ok(FlatDb {
+            pool,
+            state: DbIndex::Base(FlatIndex::empty(options.index.layout)),
+            options,
+            built: false,
+            dirty: false,
+            next_seq: 1,
+            batches_since_ckpt: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Opens a durable database left by a previous session — or a crash:
+    /// recovers the last committed checkpoint (redoing its dirty-page
+    /// write-back), rebuilds the resident index state from the recovered
+    /// pages, and replays every committed writer batch logged after the
+    /// checkpoint. The result is query-equivalent to the state after the
+    /// last batch whose commit reached the log; a torn or corrupt log
+    /// tail (a crash mid-append) is truncated, never replayed.
+    ///
+    /// As with [`FlatDb::open`], the file does not record the tiling
+    /// domain: pass the same `options.index.domain` the database was
+    /// created with whenever the log may hold updates or the session
+    /// will write.
+    pub fn open_durable(
+        store: S,
+        mut options: DbOptions,
+    ) -> Result<(FlatDb<S>, RecoveryReport), FlatError> {
+        assert_ne!(
+            options.durability,
+            Durability::Off,
+            "open_durable needs a durability mode (see DbOptions::durability)"
+        );
+        let (durable, log) = DurableStore::open(store)?;
+        let snapshot = DbSnapshot::decode(&log.snapshot)?;
+        options.index.layout = snapshot.index.layout();
+        let pool =
+            ConcurrentBufferPool::new(DbStore::Durable(Box::new(durable)), options.pool_pages);
+        let state = match snapshot.delta {
+            None => DbIndex::Base(snapshot.index),
+            Some((meta_pages, tombstones)) => {
+                let tombstones: Tombstones = tombstones
+                    .into_iter()
+                    .map(|(page, slot)| (PageId(page), slot))
+                    .collect();
+                DbIndex::Delta(Box::new(DeltaIndex::reopen(
+                    &pool,
+                    snapshot.index,
+                    options.index,
+                    meta_pages,
+                    tombstones,
+                )?))
+            }
+        };
+        // Uncompacted mutations survive a checkpoint on its pages; the
+        // dirty flag must survive with them so persist() still compacts.
+        let dirty = match &state {
+            DbIndex::Base(_) => false,
+            DbIndex::Delta(delta) => {
+                delta.num_delta_partitions() > 0
+                    || delta.num_tombstones() > 0
+                    || (delta.num_live_partitions() as u64) < delta.base().num_object_pages()
+            }
+        };
+        let mut db = FlatDb {
+            pool,
+            state,
+            options,
+            built: snapshot.built,
+            dirty,
+            next_seq: snapshot.last_seq + 1,
+            batches_since_ckpt: 0,
+            poisoned: false,
+        };
+        // Replay the committed batches past the checkpoint — applying
+        // them directly, *without* re-logging: the records are already
+        // in the log, so a crash during recovery just recovers again.
+        let mut replayed = 0usize;
+        for payload in &log.logical {
+            let (seq, op) = decode_logical(payload)?;
+            if seq != db.next_seq {
+                return Err(FlatError::Persist(format!(
+                    "log replay expected batch {}, found {seq}",
+                    db.next_seq
+                )));
+            }
+            db.replay(op)?;
+            db.next_seq = seq + 1;
+            replayed += 1;
+        }
+        db.batches_since_ckpt = replayed;
+        let report = RecoveryReport {
+            last_committed_seq: db.next_seq - 1,
+            replayed,
+            torn_tail_truncated: log.torn_truncated,
+        };
+        Ok((db, report))
+    }
+
+    /// Applies one recovered logical record, promoting to a delta index
+    /// first if the checkpoint predates the first writer.
+    fn replay(&mut self, op: LogicalOp) -> Result<(), FlatError> {
+        if let DbIndex::Base(base) = &self.state {
+            if self.options.index.domain.is_none() {
+                return Err(FlatError::Update(
+                    "replaying logged updates needs the build-time tiling domain: \
+                     set FlatOptions::domain (see DbOptions::updatable)"
+                        .into(),
+                ));
+            }
+            let delta = DeltaIndex::new(&self.pool, base.clone(), self.options.index)?;
+            self.state = DbIndex::Delta(Box::new(delta));
+            self.built = true;
+        }
+        let DbIndex::Delta(delta) = &mut self.state else {
+            unreachable!("promoted above")
+        };
+        match op {
+            LogicalOp::Insert(entries) => {
+                delta.insert_batch(&mut self.pool, entries)?;
+                self.dirty = true;
+            }
+            LogicalOp::Delete(ids) => {
+                if delta.delete_batch(&mut self.pool, &ids)? > 0 {
+                    self.dirty = true;
+                }
+            }
+            LogicalOp::Compact => {
+                delta.compact(&mut self.pool)?;
+                self.dirty = false;
+            }
+        }
+        Ok(())
     }
 
     /// Adopts an already-built index whose descriptor page is
@@ -263,7 +478,14 @@ impl<S: PageStore> FlatDb<S> {
         descriptor: PageId,
         mut options: DbOptions,
     ) -> Result<FlatDb<S>, FlatError> {
-        let pool = ConcurrentBufferPool::new(store, options.pool_pages);
+        if options.durability != Durability::Off {
+            return Err(FlatError::Persist(
+                "a descriptor-page store is plain-format; durable databases are \
+                 opened with FlatDb::open_durable"
+                    .into(),
+            ));
+        }
+        let pool = ConcurrentBufferPool::new(DbStore::Plain(store), options.pool_pages);
         let index = FlatIndex::load(&pool, descriptor)?;
         options.index.layout = index.layout();
         Ok(FlatDb {
@@ -272,6 +494,9 @@ impl<S: PageStore> FlatDb<S> {
             options,
             built: true,
             dirty: false,
+            next_seq: 1,
+            batches_since_ckpt: 0,
+            poisoned: false,
         })
     }
 
@@ -291,6 +516,7 @@ impl<S: PageStore> FlatDb<S> {
         let (index, stats) = FlatIndex::build(&mut self.pool, entries, self.options.index)?;
         self.state = DbIndex::Base(index);
         self.built = true;
+        self.rebase_after_build()?;
         Ok(BuildReport {
             stats,
             streaming: None,
@@ -326,10 +552,33 @@ impl<S: PageStore> FlatDb<S> {
             .build(&mut self.pool, entries)?;
         self.state = DbIndex::Base(index);
         self.built = true;
+        self.rebase_after_build()?;
         Ok(BuildReport {
             stats,
             streaming: Some(streaming),
         })
+    }
+
+    /// Durable mode: folds the freshly built pages onto the backing store
+    /// and starts a new log generation. A build only ever runs over the
+    /// initial (empty) checkpoint — `check_buildable` refuses anything
+    /// else — so the previous durable snapshot references none of the
+    /// pages being written back, which is exactly the precondition of the
+    /// cheap rebase checkpoint (no page images ahead of the write-back).
+    fn rebase_after_build(&mut self) -> Result<(), FlatError> {
+        if self.options.durability == Durability::Off {
+            return Ok(());
+        }
+        let snapshot = self.snapshot_bytes();
+        let result = self
+            .durable_store()
+            .checkpoint_rebase(&snapshot)
+            .map_err(FlatError::from);
+        if let Err(e) = result {
+            return Err(self.poison(e));
+        }
+        self.batches_since_ckpt = 0;
+        Ok(())
     }
 
     /// A cheap read handle for serial queries. Snapshots borrow the
@@ -389,8 +638,18 @@ impl<S: PageStore> FlatDb<S> {
     /// before the copy). Returns the descriptor's page id.
     pub fn persist<P: AsRef<Path>>(&mut self, path: P) -> Result<PageId, FlatError> {
         if self.dirty {
-            if let DbIndex::Delta(delta) = &mut self.state {
-                delta.compact(&mut self.pool)?;
+            if matches!(self.state, DbIndex::Delta(_)) {
+                // In durable mode the fold-away is a committed batch like
+                // any other, so a crash mid-persist replays it.
+                self.check_writable()?;
+                self.log_op(&LogicalOp::Compact)?;
+                let DbIndex::Delta(delta) = &mut self.state else {
+                    unreachable!("matched above")
+                };
+                if let Err(e) = delta.compact(&mut self.pool) {
+                    return Err(self.poison(e.into()));
+                }
+                self.after_commit()?;
             }
             self.dirty = false;
         }
@@ -411,6 +670,117 @@ impl<S: PageStore> FlatDb<S> {
         let mut descriptor_pool = BufferPool::new(dst, 16);
         let descriptor = self.index().save(&mut descriptor_pool)?;
         Ok(descriptor)
+    }
+
+    /// Checkpoints the write-ahead log: every dirty page is logged as a
+    /// page image, a checkpoint record commits the batch, the pages are
+    /// written back to the backing store and the log is truncated to a
+    /// fresh generation. Recovery cost drops to zero replayed batches;
+    /// [`Durability::WalCheckpoint`] runs this automatically.
+    ///
+    /// Errors with [`FlatError::Update`] when the database is not
+    /// durable.
+    pub fn checkpoint(&mut self) -> Result<(), FlatError> {
+        if self.options.durability == Durability::Off {
+            return Err(FlatError::Update(
+                "checkpointing needs a durable database (see DbOptions::durability)".into(),
+            ));
+        }
+        self.check_writable()?;
+        let snapshot = self.snapshot_bytes();
+        let result = self
+            .durable_store()
+            .checkpoint(&snapshot)
+            .map_err(FlatError::from);
+        if let Err(e) = result {
+            return Err(self.poison(e));
+        }
+        self.batches_since_ckpt = 0;
+        Ok(())
+    }
+
+    /// The durable wrapper (callers guarantee durability is on).
+    fn durable_store(&mut self) -> &mut DurableStore<S> {
+        self.pool
+            .store_mut()
+            .durable_mut()
+            .expect("durability on implies a durable store")
+    }
+
+    /// Encodes the checkpoint snapshot of the current resident state.
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        let delta = match &self.state {
+            DbIndex::Base(_) => None,
+            DbIndex::Delta(delta) => {
+                let mut tombstones: Vec<(u64, u16)> = delta
+                    .tombstones()
+                    .iter()
+                    .map(|&(page, slot)| (page.0, slot))
+                    .collect();
+                tombstones.sort_unstable();
+                Some((delta.meta_page_list().to_vec(), tombstones))
+            }
+        };
+        DbSnapshot {
+            last_seq: self.next_seq - 1,
+            built: self.built,
+            index: self.index().clone(),
+            delta,
+        }
+        .encode()
+    }
+
+    /// Refuses writes after a failed durable commit.
+    fn check_writable(&self) -> Result<(), FlatError> {
+        if self.poisoned {
+            return Err(FlatError::Update(
+                "a durable commit failed mid-batch, so the in-memory state may \
+                 disagree with the committed log; reopen the database to recover"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Marks the session poisoned (durable mode only) and passes the
+    /// error through.
+    fn poison(&mut self, e: FlatError) -> FlatError {
+        if self.options.durability != Durability::Off {
+            self.poisoned = true;
+        }
+        e
+    }
+
+    /// Commits `op` to the write-ahead log ahead of applying it — the
+    /// atomic commit point of a durable writer batch. A no-op with
+    /// durability off.
+    fn log_op(&mut self, op: &LogicalOp) -> Result<(), FlatError> {
+        if self.options.durability == Durability::Off {
+            return Ok(());
+        }
+        let bytes = encode_logical(self.next_seq, op);
+        let result = self.durable_store().append_record(&bytes);
+        if let Err(e) = result {
+            // The in-memory log tail may now disagree with the store.
+            return Err(self.poison(e.into()));
+        }
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Post-batch bookkeeping: counts the committed batch and runs the
+    /// automatic checkpoint cadence.
+    fn after_commit(&mut self) -> Result<(), FlatError> {
+        if self.options.durability == Durability::Off {
+            return Ok(());
+        }
+        self.batches_since_ckpt += 1;
+        if let Durability::WalCheckpoint { every_batches } = self.options.durability {
+            if self.batches_since_ckpt >= every_batches.max(1) {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
     }
 
     /// The index descriptor (the delta layer's base when a writer has
@@ -444,19 +814,37 @@ impl<S: PageStore> FlatDb<S> {
         self.built
     }
 
+    /// Runs the delta layer's structural invariant checker against the
+    /// session pool: symmetric neighbor links, MBR containment, no freed
+    /// page reachable from a crawl. Returns `Ok(None)` while no writer
+    /// has promoted the index (a pristine bulkload has nothing to check).
+    pub fn check_invariants(&self) -> Result<Option<DeltaReport>, String> {
+        match &self.state {
+            DbIndex::Base(_) => Ok(None),
+            DbIndex::Delta(delta) => delta
+                .check_invariants(&self.pool, &self.pool.store().free_pages())
+                .map(Some),
+        }
+    }
+
     /// The session's configuration.
     pub fn options(&self) -> &DbOptions {
         &self.options
     }
 
-    /// The backing page store.
+    /// The backing page store (behind the durable wrapper, if any — so a
+    /// durable session's store view does **not** include uncheckpointed
+    /// overlay pages).
     pub fn store(&self) -> &S {
-        self.pool.store()
+        self.pool.store().backing()
     }
 
-    /// Unwraps the database into its backing store.
+    /// Unwraps the database into its backing store. For a durable
+    /// database this drops any uncheckpointed overlay — deliberately the
+    /// same state a crash would leave, which the fault-injection tests
+    /// lean on; call [`FlatDb::checkpoint`] first to keep everything.
     pub fn into_store(self) -> S {
-        self.pool.into_store()
+        self.pool.into_store().into_backing()
     }
 
     /// Cumulative I/O statistics of the owned pool.
@@ -639,7 +1027,7 @@ impl<S: PageStore + Sync> QueryBuilder<'_, S> {
         Ok(outcome)
     }
 
-    fn engine(&self) -> QueryEngine<'_, ConcurrentBufferPool<S>> {
+    fn engine(&self) -> QueryEngine<'_, ConcurrentBufferPool<DbStore<S>>> {
         match &self.db.state {
             DbIndex::Base(index) => QueryEngine::with_config(index, &self.db.pool, self.config),
             DbIndex::Delta(delta) => {
@@ -664,36 +1052,60 @@ impl<S: PageStore> Writer<'_, S> {
     /// Unlike the low-level call, colliding application ids are reported
     /// as a [`FlatError::Update`] instead of a panic.
     pub fn insert(&mut self, entries: Vec<Entry>) -> Result<(), FlatError> {
-        let DbIndex::Delta(delta) = &mut self.db.state else {
-            unreachable!("writer() promoted the index")
-        };
-        let mut batch_ids = HashSet::with_capacity(entries.len());
-        for e in &entries {
-            if delta.contains_id(e.id) || !batch_ids.insert(e.id) {
-                return Err(FlatError::Update(format!(
-                    "insert of id {} which is already live",
-                    e.id
-                )));
+        self.db.check_writable()?;
+        {
+            // Validate *before* the commit point: a rejected batch must
+            // reach neither the log nor the pages.
+            let DbIndex::Delta(delta) = &self.db.state else {
+                unreachable!("writer() promoted the index")
+            };
+            let mut batch_ids = HashSet::with_capacity(entries.len());
+            for e in &entries {
+                if delta.contains_id(e.id) || !batch_ids.insert(e.id) {
+                    return Err(FlatError::Update(format!(
+                        "insert of id {} which is already live",
+                        e.id
+                    )));
+                }
             }
         }
         if entries.is_empty() {
             return Ok(());
         }
-        delta.insert_batch(&mut self.db.pool, entries)?;
+        let op = LogicalOp::Insert(entries);
+        self.db.log_op(&op)?;
+        let LogicalOp::Insert(entries) = op else {
+            unreachable!("constructed above")
+        };
+        let DbIndex::Delta(delta) = &mut self.db.state else {
+            unreachable!("writer() promoted the index")
+        };
+        if let Err(e) = delta.insert_batch(&mut self.db.pool, entries) {
+            return Err(self.db.poison(e.into()));
+        }
         self.db.dirty = true;
-        Ok(())
+        self.db.after_commit()
     }
 
     /// Deletes elements by application id, returning how many were live
     /// (see [`DeltaIndex::delete_batch`]).
     pub fn delete(&mut self, ids: &[u64]) -> Result<usize, FlatError> {
+        self.db.check_writable()?;
+        if ids.is_empty() {
+            return Ok(0);
+        }
+        self.db.log_op(&LogicalOp::Delete(ids.to_vec()))?;
         let DbIndex::Delta(delta) = &mut self.db.state else {
             unreachable!("writer() promoted the index")
         };
-        let deleted = delta.delete_batch(&mut self.db.pool, ids)?;
+        let deleted = match delta.delete_batch(&mut self.db.pool, ids) {
+            Ok(deleted) => deleted,
+            Err(e) => return Err(self.db.poison(e.into())),
+        };
         if deleted > 0 {
             self.db.dirty = true;
         }
+        self.db.after_commit()?;
         Ok(deleted)
     }
 
@@ -701,11 +1113,17 @@ impl<S: PageStore> Writer<'_, S> {
     /// byte-identical to a fresh build over the surviving elements (see
     /// [`DeltaIndex::compact`]).
     pub fn compact(&mut self) -> Result<BuildStats, FlatError> {
+        self.db.check_writable()?;
+        self.db.log_op(&LogicalOp::Compact)?;
         let DbIndex::Delta(delta) = &mut self.db.state else {
             unreachable!("writer() promoted the index")
         };
-        let stats = delta.compact(&mut self.db.pool)?;
+        let stats = match delta.compact(&mut self.db.pool) {
+            Ok(stats) => stats,
+            Err(e) => return Err(self.db.poison(e.into())),
+        };
         self.db.dirty = false;
+        self.db.after_commit()?;
         Ok(stats)
     }
 
@@ -785,20 +1203,161 @@ mod tests {
         let mut db = FlatDb::create_in_memory(updatable_options());
         db.build_from(random_entries(2_000, 6)).unwrap();
         assert!(db.delta().is_none());
+        let pages_before = db.store().num_pages();
+        let free_before = db.store().free_pages();
         {
             let mut writer = db.writer().unwrap();
+            // One fresh id rides along with the duplicate: the whole
+            // batch must be rejected atomically.
             let err = writer
-                .insert(vec![Entry::new(0, Aabb::cube(Point3::splat(1.0), 0.5))])
+                .insert(vec![
+                    Entry::new(777_777, Aabb::cube(Point3::splat(2.0), 0.5)),
+                    Entry::new(0, Aabb::cube(Point3::splat(1.0), 0.5)),
+                ])
                 .unwrap_err();
             assert!(matches!(err, FlatError::Update(_)), "{err}");
             // A rejected batch must not have touched anything.
             assert_eq!(writer.delta().num_live_elements(), 2_000);
+            assert!(!writer.delta().contains_id(777_777));
+        }
+        // ...including the store: no pages appended or leaked onto (or
+        // off) the free list by the failed batch.
+        assert_eq!(db.store().num_pages(), pages_before);
+        assert_eq!(db.store().free_pages(), free_before);
+        {
+            let mut writer = db.writer().unwrap();
             writer
                 .insert(vec![Entry::new(9_999, Aabb::cube(Point3::splat(1.0), 0.5))])
                 .unwrap();
         }
         assert!(db.delta().is_some());
         assert_eq!(db.num_live_elements(), 2_001);
+    }
+
+    #[test]
+    #[should_panic(expected = "create_durable")]
+    fn durable_options_are_rejected_by_plain_create() {
+        let options = updatable_options().with_durability(Durability::Wal);
+        let _ = FlatDb::create(flat_storage::MemStore::new(), options);
+    }
+
+    #[test]
+    fn checkpoint_requires_a_durable_database() {
+        let mut db = FlatDb::create_in_memory(updatable_options());
+        let err = db.checkpoint().unwrap_err();
+        assert!(matches!(err, FlatError::Update(_)), "{err}");
+    }
+
+    #[test]
+    fn durable_database_recovers_uncheckpointed_batches() {
+        let options = updatable_options().with_durability(Durability::Wal);
+        let entries = random_entries(1_500, 21);
+
+        // Reference session: the same operations, durability off.
+        let mut reference = FlatDb::create_in_memory(updatable_options());
+        reference.build_from(entries.clone()).unwrap();
+
+        let mut db = FlatDb::create_durable(flat_storage::MemStore::new(), options).unwrap();
+        db.build_from(entries).unwrap();
+        let fresh: Vec<Entry> = random_entries(300, 22)
+            .into_iter()
+            .map(|e| Entry::new(e.id + 1_000_000, e.mbr))
+            .collect();
+        let doomed: Vec<u64> = (0..1_500).filter(|i| i % 5 == 0).collect();
+        for session in [&mut reference, &mut db] {
+            let mut writer = session.writer().unwrap();
+            writer.insert(fresh.clone()).unwrap();
+            writer.delete(&doomed).unwrap();
+        }
+
+        // "Crash": drop the session without a checkpoint. The WAL pages
+        // live on the backing store; the overlay is lost with the RAM.
+        let store = db.into_store();
+        let (recovered, report) = FlatDb::open_durable(store, options).unwrap();
+        assert_eq!(report.replayed, 2, "insert + delete past the rebase");
+        assert_eq!(report.last_committed_seq, 2);
+        assert!(!report.torn_tail_truncated);
+        assert_eq!(recovered.num_live_elements(), reference.num_live_elements());
+        // The durable layout shifts page ids (header + log pages), so the
+        // crawl emits hits in a different order: compare as id sets.
+        let ids = |hits: Vec<flat_rtree::Hit>| {
+            let mut ids: Vec<u64> = hits.iter().map(|h| h.id).collect();
+            ids.sort_unstable();
+            ids
+        };
+        for side in [8.0, 30.0, 240.0] {
+            let q = Aabb::cube(Point3::splat(50.0), side);
+            assert_eq!(
+                ids(recovered.reader().range(&q).unwrap()),
+                ids(reference.reader().range(&q).unwrap()),
+                "query side {side}"
+            );
+        }
+        let delta = recovered.delta().expect("replay promotes");
+        delta
+            .check_invariants(
+                // The pool reads through the durable overlay.
+                &recovered.pool,
+                &recovered.store().free_pages(),
+            )
+            .unwrap_or_else(|e| panic!("invariants violated after recovery: {e}"));
+    }
+
+    #[test]
+    fn durable_database_survives_a_checkpointed_shutdown() {
+        let options =
+            updatable_options().with_durability(Durability::WalCheckpoint { every_batches: 2 });
+        let mut db = FlatDb::create_durable(flat_storage::MemStore::new(), options).unwrap();
+        db.build_from(random_entries(1_000, 23)).unwrap();
+        {
+            let mut writer = db.writer().unwrap();
+            writer
+                .insert(vec![Entry::new(
+                    700_000,
+                    Aabb::cube(Point3::splat(9.0), 1.0),
+                )])
+                .unwrap();
+            writer.delete(&[3, 4, 5]).unwrap(); // second batch: auto-checkpoint
+        }
+        let expected = db.num_live_elements();
+        let q = Aabb::cube(Point3::splat(50.0), 160.0);
+        let hits = db.reader().range(&q).unwrap();
+
+        let (recovered, report) = FlatDb::open_durable(db.into_store(), options).unwrap();
+        assert_eq!(report.replayed, 0, "the auto-checkpoint truncated the log");
+        assert_eq!(recovered.num_live_elements(), expected);
+        assert_eq!(recovered.reader().range(&q).unwrap(), hits);
+        assert!(
+            recovered.delta().is_some(),
+            "delta state survives via the snapshot"
+        );
+    }
+
+    #[test]
+    fn durable_delta_only_database_recovers_from_the_initial_checkpoint() {
+        let options = updatable_options().with_durability(Durability::Wal);
+        let mut db = FlatDb::create_durable(flat_storage::MemStore::new(), options).unwrap();
+        {
+            let mut writer = db.writer().unwrap();
+            writer
+                .insert(vec![
+                    Entry::new(1, Aabb::cube(Point3::splat(10.0), 1.0)),
+                    Entry::new(2, Aabb::cube(Point3::splat(20.0), 1.0)),
+                ])
+                .unwrap();
+        }
+        let (recovered, report) = FlatDb::open_durable(db.into_store(), options).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert!(recovered.is_built());
+        assert_eq!(recovered.num_live_elements(), 2);
+        assert_eq!(
+            recovered
+                .reader()
+                .range(&Aabb::cube(Point3::splat(10.0), 3.0))
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]

@@ -197,6 +197,133 @@ impl DeltaIndex {
         Ok(delta)
     }
 
+    /// Rebuilds a delta index from recovered pages: the crash-recovery
+    /// counterpart of [`DeltaIndex::new`], for an index that is **not**
+    /// pristine (it may hold delta partitions, tombstones and retired
+    /// records).
+    ///
+    /// `meta_pages` must be the metadata pages in their original creation
+    /// order (the base's sorted leaves first, then every delta page in
+    /// allocation order) — the checkpoint snapshot records exactly that
+    /// list. Scanning them in order, slot by slot and skipping
+    /// continuation chunks, reproduces the original partition numbering:
+    /// the bulkload adopts primaries in sorted-leaf order, and every
+    /// insert batch lays its primaries onto fresh pages in batch order
+    /// before any stitch chunk.
+    pub(crate) fn reopen(
+        pool: &impl PageRead,
+        base: FlatIndex,
+        options: FlatOptions,
+        meta_pages: Vec<PageId>,
+        tombstones: Tombstones,
+    ) -> Result<DeltaIndex, StorageError> {
+        assert_eq!(
+            base.layout(),
+            LeafLayout::WithIds,
+            "DeltaIndex requires the WithIds object-page layout"
+        );
+        assert_eq!(
+            options.layout,
+            base.layout(),
+            "options disagree with the index"
+        );
+        let domain = options
+            .domain
+            .expect("DeltaIndex requires a fixed explicit domain");
+
+        let mut delta = DeltaIndex {
+            base,
+            options,
+            domain,
+            parts: Vec::new(),
+            base_partitions: 0,
+            by_record: HashMap::new(),
+            locator: HashMap::new(),
+            tombstones,
+            meta_pages: Vec::new(),
+            inner_pages: Vec::new(),
+            live_elements: 0,
+        };
+
+        // Seed-tree directory pages come from the tree itself.
+        if let Some(root) = delta.base.seed_root {
+            let mut stack = vec![(root, delta.base.seed_height)];
+            while let Some((pid, level)) = stack.pop() {
+                if level > 1 {
+                    delta.inner_pages.push(pid);
+                    let page = pool.read_page(pid, PageKind::SeedInner)?;
+                    for child in decode_inner(&page)? {
+                        stack.push((child.page, level - 1));
+                    }
+                }
+            }
+        }
+
+        // Scan the metadata pages in creation order; every primary (dead
+        // ones included — they keep their partition number) becomes a
+        // resident summary entry.
+        let base_meta = delta.base.num_meta_pages as usize;
+        if meta_pages.len() < base_meta {
+            return Err(StorageError::Corrupt(format!(
+                "snapshot lists {} metadata pages, the base descriptor needs {base_meta}",
+                meta_pages.len()
+            )));
+        }
+        for (page_seq, &pid) in meta_pages.iter().enumerate() {
+            let page = pool.read_page(pid, PageKind::SeedLeaf)?;
+            for (slot, record) in decode_meta_leaf(&page)?.into_iter().enumerate() {
+                if record.is_continuation {
+                    continue;
+                }
+                let addr = MetaRecordId {
+                    page: pid,
+                    slot: slot as u16,
+                };
+                let idx = delta.parts.len() as u32;
+                delta.by_record.insert(addr, idx);
+                delta.parts.push(PartState {
+                    record: addr,
+                    object_page: record.object_page,
+                    page_mbr: record.page_mbr,
+                    partition_mbr: record.partition_mbr,
+                    live: 0,
+                    dead: record.is_dead,
+                });
+                if page_seq < base_meta {
+                    delta.base_partitions += 1;
+                }
+            }
+        }
+        delta.meta_pages = meta_pages;
+
+        // Object-page scan over the live partitions: live counts and the
+        // id locator, with the recovered tombstones filtered out.
+        for idx in 0..delta.parts.len() {
+            if delta.parts[idx].dead {
+                continue;
+            }
+            let object_page = delta.parts[idx].object_page;
+            let page = pool.read_page(object_page, PageKind::ObjectPage)?;
+            let (_, entries) = decode_leaf(&page)?;
+            let mut live = 0u32;
+            for (slot, e) in entries.iter().enumerate() {
+                if !is_live(Some(&delta.tombstones), object_page, slot) {
+                    continue;
+                }
+                live += 1;
+                if delta.locator.insert(e.id, idx as u32).is_some() {
+                    return Err(StorageError::Corrupt(format!(
+                        "recovered index holds id {} twice",
+                        e.id
+                    )));
+                }
+            }
+            delta.parts[idx].live = live;
+            delta.live_elements += live as u64;
+        }
+        Ok(delta)
+    }
+
     /// Scans the base index into the resident tables.
     fn adopt(&mut self, pool: &impl PageRead) -> Result<(), StorageError> {
         let Some(root) = self.base.seed_root else {
@@ -264,6 +391,13 @@ impl DeltaIndex {
     /// The deleted-element set, for the crawl's scan filter.
     pub(crate) fn tombstones(&self) -> &Tombstones {
         &self.tombstones
+    }
+
+    /// The metadata pages in creation order — what a checkpoint snapshot
+    /// must record for [`DeltaIndex::reopen`] to reproduce the partition
+    /// numbering.
+    pub(crate) fn meta_page_list(&self) -> &[PageId] {
+        &self.meta_pages
     }
 
     /// Live (non-tombstoned) elements.

@@ -1,0 +1,554 @@
+//! Durability plumbing for [`crate::FlatDb`]: the [`Durability`] mode
+//! knob, the logical-record and checkpoint-snapshot wire formats, and the
+//! [`DbStore`] wrapper that routes the session pool over either a plain
+//! [`PageStore`] or a [`DurableStore`].
+//!
+//! The division of labour with `flat_storage`:
+//!
+//! * [`flat_storage::Wal`] / [`DurableStore`] know nothing about indexes.
+//!   They persist opaque *logical records* and an opaque *checkpoint
+//!   snapshot*, guarantee record-granular atomicity, and redo dirty-page
+//!   write-back on open.
+//! * This module owns what those opaque bytes mean: a logical record is
+//!   one committed [`crate::Writer`] batch (`[seq][op][body]`), and the
+//!   snapshot is the resident state a recovery cannot rebuild from the
+//!   pages alone — the index descriptor plus the delta layer's
+//!   metadata-page list and tombstone set.
+//!
+//! Recovery is exactly "snapshot + replay": [`crate::FlatDb::open_durable`]
+//! decodes the snapshot, re-adopts the resident tables from the recovered
+//! pages ([`crate::DeltaIndex`]'s `reopen`), and re-applies the committed
+//! logical records past the snapshot's sequence number — without
+//! re-logging them, so a crash during recovery just recovers again.
+
+use crate::index::FlatIndex;
+use flat_geom::{Aabb, Point3};
+use flat_rtree::{Entry, LeafLayout};
+use flat_storage::{DurableStore, Page, PageId, PageStore, StorageError};
+
+/// How a [`crate::FlatDb`] persists committed writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No durability: pages go straight to the backing store with no log.
+    /// A crash mid-batch can leave the store torn. This is the bulkload
+    /// configuration of the paper — build once, persist explicitly.
+    #[default]
+    Off,
+    /// Every writer batch is committed to the write-ahead log before any
+    /// page mutates; checkpoints happen only when
+    /// [`crate::FlatDb::checkpoint`] is called explicitly.
+    Wal,
+    /// Like [`Durability::Wal`], plus an automatic checkpoint after every
+    /// `every_batches` committed writer batches, bounding both the log
+    /// length and the recovery replay time.
+    WalCheckpoint {
+        /// Checkpoint after this many committed batches (minimum 1).
+        every_batches: usize,
+    },
+}
+
+/// What [`crate::FlatDb::open_durable`] recovered, for reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// Sequence number of the last committed (and now recovered) batch.
+    pub last_committed_seq: u64,
+    /// Committed batches replayed from the log past the last checkpoint.
+    pub replayed: usize,
+    /// Whether a torn or corrupt log tail was detected and truncated —
+    /// the expected signature of a crash mid-append.
+    pub torn_tail_truncated: bool,
+}
+
+/// The store a [`crate::FlatDb`] session pool runs over: the plain
+/// backing store, or the same store wrapped in a [`DurableStore`] when a
+/// [`Durability`] mode is on.
+#[derive(Debug)]
+pub(crate) enum DbStore<S: PageStore> {
+    /// Durability off: pages go straight to the backing store.
+    Plain(S),
+    /// Durability on: writes defer into the WAL overlay until checkpoint.
+    Durable(Box<DurableStore<S>>),
+}
+
+impl<S: PageStore> DbStore<S> {
+    /// The backing store, through either variant.
+    pub(crate) fn backing(&self) -> &S {
+        match self {
+            DbStore::Plain(s) => s,
+            DbStore::Durable(d) => d.inner(),
+        }
+    }
+
+    /// Unwraps to the backing store, dropping any uncheckpointed overlay
+    /// (the RAM-loss semantics a caller opts into by unwrapping).
+    pub(crate) fn into_backing(self) -> S {
+        match self {
+            DbStore::Plain(s) => s,
+            DbStore::Durable(d) => d.into_inner(),
+        }
+    }
+
+    /// The durable wrapper, if durability is on.
+    pub(crate) fn durable_mut(&mut self) -> Option<&mut DurableStore<S>> {
+        match self {
+            DbStore::Plain(_) => None,
+            DbStore::Durable(d) => Some(d),
+        }
+    }
+}
+
+impl<S: PageStore> PageStore for DbStore<S> {
+    fn alloc(&mut self) -> Result<PageId, StorageError> {
+        match self {
+            DbStore::Plain(s) => s.alloc(),
+            DbStore::Durable(d) => d.alloc(),
+        }
+    }
+
+    fn write_page(&mut self, id: PageId, page: &Page) -> Result<(), StorageError> {
+        match self {
+            DbStore::Plain(s) => s.write_page(id, page),
+            DbStore::Durable(d) => d.write_page(id, page),
+        }
+    }
+
+    fn read_page(&self, id: PageId, out: &mut Page) -> Result<(), StorageError> {
+        match self {
+            DbStore::Plain(s) => s.read_page(id, out),
+            DbStore::Durable(d) => d.read_page(id, out),
+        }
+    }
+
+    fn free_page(&mut self, id: PageId) -> Result<(), StorageError> {
+        match self {
+            DbStore::Plain(s) => s.free_page(id),
+            DbStore::Durable(d) => d.free_page(id),
+        }
+    }
+
+    fn free_pages(&self) -> Vec<PageId> {
+        match self {
+            DbStore::Plain(s) => s.free_pages(),
+            DbStore::Durable(d) => d.free_pages(),
+        }
+    }
+
+    fn num_free(&self) -> u64 {
+        match self {
+            DbStore::Plain(s) => s.num_free(),
+            DbStore::Durable(d) => d.num_free(),
+        }
+    }
+
+    fn num_pages(&self) -> u64 {
+        match self {
+            DbStore::Plain(s) => s.num_pages(),
+            DbStore::Durable(d) => d.num_pages(),
+        }
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        match self {
+            DbStore::Plain(s) => s.sync(),
+            DbStore::Durable(d) => d.sync(),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Logical records: one committed Writer batch each.
+// ----------------------------------------------------------------------
+
+/// One committed [`crate::Writer`] batch, as logged and replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LogicalOp {
+    /// `Writer::insert` of these entries.
+    Insert(Vec<Entry>),
+    /// `Writer::delete` of these application ids.
+    Delete(Vec<u64>),
+    /// `Writer::compact`.
+    Compact,
+}
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+const OP_COMPACT: u8 = 3;
+
+/// Encodes `[seq u64][op u8][body]`.
+pub(crate) fn encode_logical(seq: u64, op: &LogicalOp) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&seq.to_le_bytes());
+    match op {
+        LogicalOp::Insert(entries) => {
+            out.push(OP_INSERT);
+            out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            for e in entries {
+                out.extend_from_slice(&e.id.to_le_bytes());
+                for v in [
+                    e.mbr.min.x,
+                    e.mbr.min.y,
+                    e.mbr.min.z,
+                    e.mbr.max.x,
+                    e.mbr.max.y,
+                    e.mbr.max.z,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        LogicalOp::Delete(ids) => {
+            out.push(OP_DELETE);
+            out.extend_from_slice(&(ids.len() as u64).to_le_bytes());
+            for id in ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        LogicalOp::Compact => out.push(OP_COMPACT),
+    }
+    out
+}
+
+/// Decodes a record produced by [`encode_logical`].
+pub(crate) fn decode_logical(bytes: &[u8]) -> Result<(u64, LogicalOp), StorageError> {
+    let mut r = Reader::new(bytes);
+    let seq = r.u64()?;
+    let op = match r.u8()? {
+        OP_INSERT => {
+            let count = r.len("entry count")?;
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = r.u64()?;
+                let mut v = [0f64; 6];
+                for slot in &mut v {
+                    *slot = r.f64()?;
+                }
+                entries.push(Entry::new(
+                    id,
+                    Aabb::new(Point3::new(v[0], v[1], v[2]), Point3::new(v[3], v[4], v[5])),
+                ));
+            }
+            LogicalOp::Insert(entries)
+        }
+        OP_DELETE => {
+            let count = r.len("id count")?;
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(r.u64()?);
+            }
+            LogicalOp::Delete(ids)
+        }
+        OP_COMPACT => LogicalOp::Compact,
+        t => {
+            return Err(StorageError::Corrupt(format!(
+                "unknown logical record op {t}"
+            )))
+        }
+    };
+    r.finish()?;
+    Ok((seq, op))
+}
+
+// ----------------------------------------------------------------------
+// Checkpoint snapshots: the resident state recovery cannot rebuild from
+// the pages alone.
+// ----------------------------------------------------------------------
+
+/// "FLATSNP1" — identifies a checkpoint snapshot.
+const SNAPSHOT_MAGIC: u64 = 0x464C_4154_534E_5031;
+const SNAPSHOT_VERSION: u16 = 1;
+/// Encoding of `FlatIndex::seed_root == None`.
+const NO_ROOT: u64 = u64::MAX;
+
+/// Delta-layer residency captured in a snapshot: the metadata pages in
+/// creation order plus the tombstone set.
+pub(crate) type DeltaResidency = (Vec<PageId>, Vec<(u64, u16)>);
+
+/// The checkpoint snapshot: everything [`crate::FlatDb::open_durable`]
+/// needs besides the recovered pages themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DbSnapshot {
+    /// Sequence number of the last batch applied before the checkpoint.
+    pub last_seq: u64,
+    /// The session's `built` flag (a fresh updatable database is
+    /// delta-only and unbuilt, yet has committed state to recover).
+    pub built: bool,
+    /// The index descriptor at checkpoint time.
+    pub index: FlatIndex,
+    /// Delta-layer residency, if the database had been promoted: the
+    /// metadata pages in creation order and the tombstone set.
+    pub delta: Option<DeltaResidency>,
+}
+
+impl DbSnapshot {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.last_seq.to_le_bytes());
+        out.push(self.built as u8);
+        let layout: u16 = match self.index.layout {
+            LeafLayout::MbrOnly => 0,
+            LeafLayout::WithIds => 1,
+        };
+        out.extend_from_slice(&layout.to_le_bytes());
+        out.extend_from_slice(&self.index.seed_root.map_or(NO_ROOT, |r| r.0).to_le_bytes());
+        out.extend_from_slice(&self.index.seed_height.to_le_bytes());
+        out.extend_from_slice(&self.index.num_elements.to_le_bytes());
+        out.extend_from_slice(&self.index.num_object_pages.to_le_bytes());
+        out.extend_from_slice(&self.index.num_meta_pages.to_le_bytes());
+        out.extend_from_slice(&self.index.num_seed_inner_pages.to_le_bytes());
+        match &self.delta {
+            None => out.push(0),
+            Some((meta_pages, tombstones)) => {
+                out.push(1);
+                out.extend_from_slice(&(meta_pages.len() as u64).to_le_bytes());
+                for p in meta_pages {
+                    out.extend_from_slice(&p.0.to_le_bytes());
+                }
+                out.extend_from_slice(&(tombstones.len() as u64).to_le_bytes());
+                for &(page, slot) in tombstones {
+                    out.extend_from_slice(&page.to_le_bytes());
+                    out.extend_from_slice(&slot.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<DbSnapshot, StorageError> {
+        let mut r = Reader::new(bytes);
+        if r.u64()? != SNAPSHOT_MAGIC {
+            return Err(StorageError::Corrupt(
+                "checkpoint snapshot has a bad magic number".into(),
+            ));
+        }
+        let version = r.u16()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unknown snapshot version {version}"
+            )));
+        }
+        let last_seq = r.u64()?;
+        let built = r.u8()? != 0;
+        let layout = match r.u16()? {
+            0 => LeafLayout::MbrOnly,
+            1 => LeafLayout::WithIds,
+            t => return Err(StorageError::Corrupt(format!("unknown layout tag {t}"))),
+        };
+        let root = r.u64()?;
+        let index = FlatIndex {
+            seed_root: (root != NO_ROOT).then_some(PageId(root)),
+            seed_height: r.u32()?,
+            layout,
+            num_elements: r.u64()?,
+            num_object_pages: r.u64()?,
+            num_meta_pages: r.u64()?,
+            num_seed_inner_pages: r.u64()?,
+        };
+        let delta = match r.u8()? {
+            0 => None,
+            1 => {
+                let n = r.len("metadata page count")?;
+                let mut meta_pages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    meta_pages.push(PageId(r.u64()?));
+                }
+                let t = r.len("tombstone count")?;
+                let mut tombstones = Vec::with_capacity(t);
+                for _ in 0..t {
+                    let page = r.u64()?;
+                    let slot = r.u16()?;
+                    tombstones.push((page, slot));
+                }
+                Some((meta_pages, tombstones))
+            }
+            t => {
+                return Err(StorageError::Corrupt(format!(
+                    "unknown snapshot state tag {t}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(DbSnapshot {
+            last_seq,
+            built,
+            index,
+            delta,
+        })
+    }
+}
+
+/// A bounds-checked little-endian byte reader over a record payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(StorageError::Corrupt("truncated durable record".into()));
+        };
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, StorageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, StorageError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, StorageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StorageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, StorageError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `u64` count that must also fit the remaining bytes (each counted
+    /// item is at least one byte), so corrupt lengths fail before any
+    /// giant allocation.
+    fn len(&mut self, what: &str) -> Result<usize, StorageError> {
+        let n = self.u64()?;
+        if n > (self.bytes.len() - self.at) as u64 {
+            return Err(StorageError::Corrupt(format!(
+                "implausible {what} {n} in a {}-byte record",
+                self.bytes.len()
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn finish(self) -> Result<(), StorageError> {
+        if self.at != self.bytes.len() {
+            return Err(StorageError::Corrupt(format!(
+                "durable record has {} trailing bytes",
+                self.bytes.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64) -> Entry {
+        Entry::new(
+            id,
+            Aabb::new(
+                Point3::new(id as f64, 1.5, -2.0),
+                Point3::new(id as f64 + 1.0, 2.5, 0.0),
+            ),
+        )
+    }
+
+    #[test]
+    fn logical_records_roundtrip() {
+        for (seq, op) in [
+            (1, LogicalOp::Insert(vec![entry(7), entry(8)])),
+            (2, LogicalOp::Delete(vec![3, 9, 27])),
+            (3, LogicalOp::Compact),
+            (4, LogicalOp::Insert(Vec::new())),
+            (5, LogicalOp::Delete(Vec::new())),
+        ] {
+            let bytes = encode_logical(seq, &op);
+            assert_eq!(decode_logical(&bytes).unwrap(), (seq, op));
+        }
+    }
+
+    #[test]
+    fn corrupt_logical_records_are_rejected() {
+        let good = encode_logical(9, &LogicalOp::Insert(vec![entry(1)]));
+        // Truncation anywhere inside the record fails loudly.
+        for cut in 0..good.len() {
+            assert!(decode_logical(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage fails too.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_logical(&long).is_err());
+        // An unknown opcode fails.
+        let mut bad = good;
+        bad[8] = 77;
+        assert!(decode_logical(&bad).is_err());
+    }
+
+    #[test]
+    fn implausible_counts_fail_before_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.push(OP_DELETE);
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode_logical(&bytes).unwrap_err();
+        assert!(err.to_string().contains("implausible"));
+    }
+
+    #[test]
+    fn snapshots_roundtrip() {
+        let base = DbSnapshot {
+            last_seq: 41,
+            built: true,
+            index: FlatIndex {
+                seed_root: Some(PageId(12)),
+                seed_height: 3,
+                layout: LeafLayout::WithIds,
+                num_elements: 900,
+                num_object_pages: 30,
+                num_meta_pages: 4,
+                num_seed_inner_pages: 2,
+            },
+            delta: Some((
+                vec![PageId(3), PageId(4), PageId(99)],
+                vec![(7, 0), (7, 3), (31, 12)],
+            )),
+        };
+        assert_eq!(DbSnapshot::decode(&base.encode()).unwrap(), base);
+
+        let empty = DbSnapshot {
+            last_seq: 0,
+            built: false,
+            index: FlatIndex::empty(LeafLayout::WithIds),
+            delta: None,
+        };
+        assert_eq!(DbSnapshot::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let snap = DbSnapshot {
+            last_seq: 1,
+            built: false,
+            index: FlatIndex::empty(LeafLayout::WithIds),
+            delta: None,
+        };
+        let good = snap.encode();
+        for cut in 0..good.len() {
+            assert!(DbSnapshot::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(DbSnapshot::decode(&bad_magic)
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
+        let mut bad_version = good;
+        bad_version[8] = 99;
+        assert!(DbSnapshot::decode(&bad_version).is_err());
+    }
+}

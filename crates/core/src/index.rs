@@ -269,7 +269,7 @@ pub(crate) fn write_meta_and_seed<'a>(
 /// ([`PageWrite`]); queries are shared reads (`&impl PageRead`), so a
 /// built index can serve many threads through one
 /// [`flat_storage::ConcurrentBufferPool`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlatIndex {
     pub(crate) seed_root: Option<PageId>,
     /// Height counting the metadata-leaf level as 1.

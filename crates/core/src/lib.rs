@@ -37,6 +37,7 @@
 //! | `engine` (re-exported) | extension | [`QueryEngine`]: batched execution + crawl-ahead prefetch |
 //! | `delta` (re-exported) | extension | [`DeltaIndex`]: delta inserts/deletes with neighbor-link repair, tombstones, compaction back to a pristine (byte-identical) bulkload |
 //! | [`db`] | extension | [`FlatDb`]: the session façade — one handle over build / query / update / persist |
+//! | `durable` (via [`db`]) | extension | [`Durability`] modes, logical-record and checkpoint-snapshot formats; [`FlatDb::create_durable`] / [`FlatDb::open_durable`] commit every writer batch to a write-ahead log and recover exactly the committed prefix after a crash |
 //! | `shard` (re-exported) | extension | [`ShardedDb`]: K spatial shards, each behind its own disk scheduler, with cross-shard routing and a global exact kNN merge |
 //! | `spatial` (re-exported) | extension | [`SpatialIndex`]: one trait over FLAT, the delta layer and the R-tree baselines |
 //! | `error` (re-exported) | extension | [`FlatError`]: the façade's unified error type |
@@ -69,6 +70,7 @@
 mod builder;
 pub mod db;
 mod delta;
+mod durable;
 mod engine;
 mod error;
 mod index;
@@ -82,7 +84,9 @@ mod shard;
 mod spatial;
 
 pub use builder::{FlatIndexBuilder, StreamingStats, DEFAULT_SPILL_BUDGET};
-pub use db::{BuildReport, DbOptions, FlatDb, QueryBuilder, Snapshot, Writer};
+pub use db::{
+    BuildReport, DbOptions, Durability, FlatDb, QueryBuilder, RecoveryReport, Snapshot, Writer,
+};
 pub use delta::{verify_compacted_store, DeltaIndex, DeltaReport};
 pub use engine::{BatchOutcome, EngineConfig, KnnBatchOutcome, QueryEngine};
 pub use error::FlatError;

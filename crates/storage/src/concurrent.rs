@@ -78,6 +78,13 @@ impl<S: PageStore> ConcurrentBufferPool<S> {
         &self.store
     }
 
+    /// Mutable access to the underlying store (bypasses the cache;
+    /// callers must [`ConcurrentBufferPool::clear_cache`] if they mutate
+    /// pages directly).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
     /// Consumes the pool, returning the store.
     pub fn into_store(self) -> S {
         self.store

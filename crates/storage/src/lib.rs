@@ -35,6 +35,13 @@
 //! * [`spill`] — spill runs and external sorting over store pages: the
 //!   substrate of the streaming (out-of-core) index build, which must
 //!   order datasets bigger than main memory by their STR sort keys.
+//! * [`Wal`] / [`DurableStore`] — the durability layer: an append-only
+//!   checksummed record log in store pages (torn tails detected and
+//!   truncated on open) and a store wrapper that defers page writes into
+//!   an overlay, logs them ahead, and checkpoints them back atomically.
+//! * [`FaultStore`] — fault injection for the crash-recovery test
+//!   harness: scripted kill-after-N-writes crashes, torn final writes,
+//!   and bit flips.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -42,18 +49,23 @@
 mod access;
 mod concurrent;
 mod disk;
+mod durable;
 mod error;
+mod fault;
 mod page;
 mod pool;
 pub mod scheduler;
 pub mod spill;
 mod store;
 mod sync_util;
+pub mod wal;
 
 pub use access::{PageRead, PageWrite};
 pub use concurrent::{ConcurrentBufferPool, PoolHandle, DEFAULT_SHARDS};
 pub use disk::DiskModel;
+pub use durable::{DurableStore, RecoveredLog};
 pub use error::StorageError;
+pub use fault::{CrashStyle, FaultStore};
 pub use page::{Page, PageCursor, PAGE_SIZE};
 pub use pool::{BufferPool, IoStats, KindStats};
 pub use scheduler::{DiskScheduler, SchedulerConfig, SchedulerStats};
@@ -61,6 +73,7 @@ pub use spill::{
     ExternalSorter, RunHandle, RunReader, RunWriter, SortedStream, SpillRecord, SpillStats,
 };
 pub use store::{FileStore, MemStore, PageStore, ThrottledStore};
+pub use wal::{Wal, WalRecord};
 
 /// Identifies a page within a [`PageStore`].
 ///

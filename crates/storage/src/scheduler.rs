@@ -610,6 +610,18 @@ impl<S: PageStore + Send + Sync + 'static> DiskScheduler<S> {
         }
     }
 
+    /// Exclusive access to the underlying store: quiesces every in-flight
+    /// read, then runs `f` under the store's write lock. This is the
+    /// flush barrier the durability layer needs — a checkpoint through
+    /// the scheduler cannot interleave with reads it is writing under.
+    /// The cache is cleared afterwards in case `f` mutated pages.
+    pub fn with_store_mut<R>(&mut self, f: impl FnOnce(&mut S) -> R) -> R {
+        self.quiesce();
+        let result = f(&mut self.core.write_store());
+        self.clear_cache();
+        result
+    }
+
     /// Shuts the workers down (draining in-flight demand reads, discarding
     /// queued prefetches) and returns the store.
     pub fn into_store(self) -> S {

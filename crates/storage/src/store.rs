@@ -46,6 +46,17 @@ pub trait PageStore {
     fn size_bytes(&self) -> u64 {
         self.num_pages() * PAGE_SIZE as u64
     }
+
+    /// Forces previously written pages onto the durable medium.
+    ///
+    /// A no-op for stores with no volatile buffer between them and their
+    /// medium ([`MemStore`] — the "medium" *is* memory). [`FileStore`]
+    /// flushes the OS page cache with `File::sync_all`. The durability
+    /// layer calls this at every commit point, so a WAL over a file
+    /// store survives OS-level crashes, not just process exits.
+    fn sync(&self) -> Result<(), StorageError> {
+        Ok(())
+    }
 }
 
 /// An in-memory page store.
@@ -246,6 +257,11 @@ impl PageStore for FileStore {
     fn num_pages(&self) -> u64 {
         self.num_pages
     }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        self.lock().sync_all()?;
+        Ok(())
+    }
 }
 
 /// A store wrapper that charges a fixed latency per physical page read,
@@ -404,6 +420,10 @@ impl<S: PageStore> PageStore for ThrottledStore<S> {
 
     fn num_pages(&self) -> u64 {
         self.inner.num_pages()
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        self.inner.sync()
     }
 }
 

@@ -70,10 +70,10 @@ pub use flat_storage as storage;
 /// The most commonly used items of every crate, for glob import.
 pub mod prelude {
     pub use flat_core::{
-        BatchOutcome, BuildReport, BuildStats, DbOptions, DeltaIndex, DeltaReport, EngineConfig,
-        FlatDb, FlatError, FlatIndex, FlatIndexBuilder, FlatOptions, IndexStats, KnnStats,
-        Neighbor, QueryBuilder, QueryEngine, QueryStats, RTreeBuildOptions, ShardOptions,
-        ShardedDb, Snapshot, SpatialIndex, StreamingStats, Writer,
+        BatchOutcome, BuildReport, BuildStats, DbOptions, DeltaIndex, DeltaReport, Durability,
+        EngineConfig, FlatDb, FlatError, FlatIndex, FlatIndexBuilder, FlatOptions, IndexStats,
+        KnnStats, Neighbor, QueryBuilder, QueryEngine, QueryStats, RTreeBuildOptions,
+        RecoveryReport, ShardOptions, ShardedDb, Snapshot, SpatialIndex, StreamingStats, Writer,
     };
     pub use flat_data::mesh::{mesh_entries, MeshConfig, MeshSource};
     pub use flat_data::nbody::{nbody_entries, NBodyConfig, NBodySource};

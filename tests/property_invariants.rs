@@ -21,6 +21,12 @@ use flat_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+mod common;
+use common::{
+    fresh_entries, run_crash_session, verify_crash_recovery, Op, SessionOutcome, SharedStore,
+};
+use flat_repro::storage::CrashStyle;
+
 /// Seed offset for the CI property matrix: every case seed is shifted by
 /// `FLAT_PROP_SEED`, so each matrix entry explores a disjoint case set.
 fn prop_seed() -> u64 {
@@ -452,5 +458,102 @@ fn buffer_pool_lru_never_exceeds_capacity_and_counts_consistently() {
             .collect::<std::collections::HashSet<_>>()
             .len() as u64;
         assert!(stats.total_physical_reads() >= distinct, "case {case}");
+    }
+}
+
+#[test]
+fn random_kill_points_recover_exactly_a_committed_prefix() {
+    // Randomized crash drills over the durable facade: a random scripted
+    // workload (random batch sizes, random delete samples, random
+    // checkpoint cadence) is killed at random page-write indices — in
+    // clean and torn style — and every recovery must hold exactly a
+    // committed prefix, answer queries like the brute-force oracle over
+    // that prefix, and pass `FlatDb::check_invariants`
+    // (`verify_crash_recovery` asserts all three).
+    let offset = prop_seed();
+    for case in 0..3u64 {
+        let case_seed = 15_000 + offset + case;
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let domain = Aabb::new(
+            Point3::splat(0.0),
+            Point3::splat(rng.gen_range(60.0..140.0)),
+        );
+        let options = DbOptions::updatable(domain).with_durability(Durability::WalCheckpoint {
+            every_batches: rng.gen_range(2..6),
+        });
+        let initial = fresh_entries(rng.gen_range(300..700), 0, &domain, case_seed);
+
+        // A random, always-loggable script (deletes are never empty) with
+        // its ground truth tracked alongside.
+        let mut live: std::collections::HashMap<u64, Entry> =
+            initial.iter().map(|e| (e.id, *e)).collect();
+        let mut next_base = 1_000_000u64;
+        let mut ops: Vec<Op> = Vec::new();
+        for _ in 0..rng.gen_range(8..14usize) {
+            let op = match rng.gen_range(0..5u32) {
+                0 | 1 => {
+                    let batch = fresh_entries(
+                        rng.gen_range(20..160),
+                        next_base,
+                        &domain,
+                        rng.gen_range(0..1u64 << 32),
+                    );
+                    next_base += 1_000_000;
+                    Op::Insert(batch)
+                }
+                2 | 3 => {
+                    let mut ids: Vec<u64> = live.keys().copied().collect();
+                    ids.sort_unstable(); // deterministic despite the HashMap
+                    let doomed: Vec<u64> = (0..rng.gen_range(1..=ids.len().min(120)))
+                        .map(|_| ids[rng.gen_range(0..ids.len())])
+                        .collect();
+                    Op::Delete(doomed)
+                }
+                _ => Op::Compact,
+            };
+            common::apply_op(&mut live, &op);
+            ops.push(op);
+        }
+
+        // Clean baseline sizes the kill range and pins the no-fault path.
+        let disk = SharedStore::new();
+        let baseline: SessionOutcome = run_crash_session(&disk, None, &initial, &ops, &options);
+        assert!(baseline.created && baseline.built, "case {case_seed}");
+        assert_eq!(baseline.acked, ops.len(), "case {case_seed}");
+        verify_crash_recovery(
+            &format!("case {case_seed} clean"),
+            &disk,
+            &baseline,
+            &initial,
+            &ops,
+            &options,
+            false,
+        );
+
+        // Random kill points, two in three page-atomic, one in three torn.
+        for probe in 0..8u32 {
+            let k = rng.gen_range(0..baseline.writes);
+            let (style, torn) = if probe % 3 == 2 {
+                (
+                    CrashStyle::Torn {
+                        prefix: rng.gen_range(1..4096),
+                    },
+                    true,
+                )
+            } else {
+                (CrashStyle::Clean, false)
+            };
+            let disk = SharedStore::new();
+            let outcome = run_crash_session(&disk, Some((k, style)), &initial, &ops, &options);
+            verify_crash_recovery(
+                &format!("case {case_seed} probe {probe} kill {k} ({style:?})"),
+                &disk,
+                &outcome,
+                &initial,
+                &ops,
+                &options,
+                torn,
+            );
+        }
     }
 }

@@ -9,200 +9,9 @@
 //! (serial == batched, streamed == in-memory), extended to mutation.
 
 use flat_repro::prelude::*;
-use std::collections::HashMap;
 
-fn options(domain: Aabb) -> FlatOptions {
-    FlatOptions {
-        layout: LeafLayout::WithIds,
-        domain: Some(domain),
-        ..FlatOptions::default()
-    }
-}
-
-/// Sorted (id, MBR-bits) keys for bit-exact result comparison.
-fn keys(hits: &[Hit]) -> Vec<(u64, [u64; 6])> {
-    let mut keys: Vec<(u64, [u64; 6])> = hits
-        .iter()
-        .map(|h| {
-            (
-                h.id,
-                [
-                    h.mbr.min.x.to_bits(),
-                    h.mbr.min.y.to_bits(),
-                    h.mbr.min.z.to_bits(),
-                    h.mbr.max.x.to_bits(),
-                    h.mbr.max.y.to_bits(),
-                    h.mbr.max.z.to_bits(),
-                ],
-            )
-        })
-        .collect();
-    keys.sort_unstable();
-    keys
-}
-
-/// One scripted operation.
-enum Op {
-    Insert(Vec<Entry>),
-    Delete(Vec<u64>),
-    Compact,
-}
-
-/// The machinery under test plus the tracked ground truth.
-struct Harness {
-    pool: BufferPool<MemStore>,
-    delta: DeltaIndex,
-    /// Ground truth: the surviving entries, tracked independently.
-    survivors: HashMap<u64, Entry>,
-    domain: Aabb,
-}
-
-impl Harness {
-    fn new(entries: Vec<Entry>, domain: Aabb) -> Harness {
-        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
-        let (index, _) = FlatIndex::build(&mut pool, entries.clone(), options(domain)).unwrap();
-        let delta = DeltaIndex::new(&pool, index, options(domain)).unwrap();
-        Harness {
-            pool,
-            delta,
-            survivors: entries.into_iter().map(|e| (e.id, e)).collect(),
-            domain,
-        }
-    }
-
-    fn apply(&mut self, op: &Op) {
-        match op {
-            Op::Insert(entries) => {
-                for e in entries {
-                    assert!(self.survivors.insert(e.id, *e).is_none());
-                }
-                self.delta
-                    .insert_batch(&mut self.pool, entries.clone())
-                    .unwrap();
-            }
-            Op::Delete(ids) => {
-                let expected = ids
-                    .iter()
-                    .filter(|i| self.survivors.remove(i).is_some())
-                    .count();
-                let got = self.delta.delete_batch(&mut self.pool, ids).unwrap();
-                assert_eq!(got, expected, "delete count disagrees with ground truth");
-            }
-            Op::Compact => {
-                self.delta.compact(&mut self.pool).unwrap();
-                self.assert_compact_byte_identical();
-            }
-        }
-    }
-
-    /// Fresh `FlatIndex::build` over the tracked survivors, in its own pool.
-    fn rebuild(&self) -> (BufferPool<MemStore>, FlatIndex) {
-        let mut entries: Vec<Entry> = self.survivors.values().copied().collect();
-        entries.sort_by_key(|e| e.id); // any order works; keep it stable
-        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
-        let (index, _) = FlatIndex::build(&mut pool, entries, options(self.domain)).unwrap();
-        (pool, index)
-    }
-
-    /// Every range and kNN probe agrees with the rebuild, and the batched
-    /// engine agrees with the serial delta path.
-    fn assert_equivalent(&self, seed: u64) {
-        let (fresh_pool, fresh) = self.rebuild();
-        assert_eq!(self.delta.num_live_elements(), self.survivors.len() as u64);
-
-        // Range queries: mixed sizes, plus the whole domain and a miss.
-        let mut queries = range_queries(
-            &self.domain,
-            &WorkloadConfig {
-                count: 12,
-                volume_fraction: 2e-3,
-                proportion_range: (1.0, 4.0),
-                seed,
-            },
-        );
-        queries.push(Aabb::cube(
-            self.domain.center(),
-            self.domain.extents().x * 4.0,
-        ));
-        queries.push(Aabb::cube(
-            self.domain.max + Point3::splat(10.0 * self.domain.extents().x),
-            1.0,
-        ));
-        let serial: Vec<Vec<Hit>> = queries
-            .iter()
-            .map(|q| self.delta.range_query(&self.pool, q).unwrap())
-            .collect();
-        for (i, q) in queries.iter().enumerate() {
-            let expected = keys(&fresh.range_query(&fresh_pool, q).unwrap());
-            assert_eq!(keys(&serial[i]), expected, "range query {i} diverged");
-        }
-
-        // kNN: distances must match exactly; identities must match for
-        // every hit strictly inside the k-th distance (ties at the k-th
-        // break by physical location, which legitimately differs between
-        // an updated index and a rebuild).
-        let mut rng_points = range_queries(
-            &self.domain,
-            &WorkloadConfig {
-                count: 6,
-                volume_fraction: 1e-4,
-                proportion_range: (1.0, 1.0),
-                seed: seed ^ 0xABCD,
-            },
-        );
-        rng_points.push(Aabb::point(self.domain.min));
-        for (i, probe) in rng_points.iter().enumerate() {
-            let p = probe.center();
-            for k in [1, 9, 40] {
-                let got = self.delta.knn_query(&self.pool, p, k).unwrap();
-                let expected = fresh.knn_query(&fresh_pool, p, k).unwrap();
-                let got_d: Vec<f64> = got.iter().map(|n| n.dist_sq).collect();
-                let exp_d: Vec<f64> = expected.iter().map(|n| n.dist_sq).collect();
-                assert_eq!(got_d, exp_d, "kNN distances diverged (probe {i}, k {k})");
-                let cutoff = exp_d.last().copied().unwrap_or(f64::INFINITY);
-                let mut got_ids: Vec<u64> = got
-                    .iter()
-                    .filter(|n| n.dist_sq < cutoff)
-                    .map(|n| n.hit.id)
-                    .collect();
-                let mut exp_ids: Vec<u64> = expected
-                    .iter()
-                    .filter(|n| n.dist_sq < cutoff)
-                    .map(|n| n.hit.id)
-                    .collect();
-                got_ids.sort_unstable();
-                exp_ids.sort_unstable();
-                assert_eq!(
-                    got_ids, exp_ids,
-                    "kNN identities diverged (probe {i}, k {k})"
-                );
-            }
-        }
-    }
-
-    /// After `compact()` the pool's pages are byte-identical to the fresh
-    /// rebuild (extra freed pages at the tail excepted — they must all be
-    /// on the free list). `verify_compacted_store` is the one shared
-    /// checker for this contract.
-    fn assert_compact_byte_identical(&self) {
-        let (fresh_pool, _) = self.rebuild();
-        flat_repro::core::verify_compacted_store(self.pool.store(), fresh_pool.store())
-            .unwrap_or_else(|e| panic!("compaction broke byte identity: {e}"));
-    }
-}
-
-fn fresh_entries(count: usize, base_id: u64, domain: &Aabb, seed: u64) -> Vec<Entry> {
-    uniform_entries(&UniformConfig {
-        count,
-        domain: *domain,
-        element_volume: domain.volume() * 2e-6,
-        length_range: (1.0, 2.0),
-        seed,
-    })
-    .into_iter()
-    .map(|e| Entry::new(e.id + base_id, e.mbr))
-    .collect()
-}
+mod common;
+use common::{fresh_entries, options, Harness, Op};
 
 fn run_script(initial: Vec<Entry>, domain: Aabb, seed: u64) {
     let mut harness = Harness::new(initial, domain);
