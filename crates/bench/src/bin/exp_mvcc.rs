@@ -1,0 +1,10 @@
+//! MVCC snapshot reads under live ingest: 64-client read fleet vs an
+//! idle, a concurrent (epoch-versioned), and an exclusive-locking churn
+//! writer. Writes `BENCH_mvcc.json`.
+use flat_bench::figures::{mvcc, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let table = mvcc::exp_mvcc(&Context::new(Scale::from_env()));
+    mvcc::emit_with_json(&table);
+}

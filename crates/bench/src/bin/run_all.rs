@@ -2,8 +2,8 @@
 //!
 //! Respects `FLAT_SCALE`, `FLAT_QUERIES` and `FLAT_RESULTS_DIR`.
 use flat_bench::figures::{
-    ablation, analysis, batch, build, build_scale, concurrency, knn, lss, motivation, other, shard,
-    sn, update, wal, Context,
+    ablation, analysis, batch, build, build_scale, concurrency, knn, lss, motivation, mvcc, other,
+    shard, sn, update, wal, Context,
 };
 use flat_bench::Scale;
 use std::time::Instant;
@@ -27,6 +27,7 @@ const SUITES: &[(&str, &str)] = &[
     ("sharded-serving", "exp_shard"),
     ("batch", "exp_batch, exp_knn"),
     ("update", "exp_update"),
+    ("mvcc", "exp_mvcc"),
     ("durability", "exp_wal"),
     ("other-datasets", "fig22, fig23"),
 ];
@@ -109,6 +110,9 @@ fn main() {
 
     println!("=== Dynamic updates & compaction (extension) ===\n");
     update::exp_update(&ctx).emit();
+
+    println!("=== MVCC snapshots under live ingest (extension) ===\n");
+    mvcc::emit_with_json(&mvcc::exp_mvcc(&ctx));
 
     println!("=== Durability: WAL & crash recovery (extension) ===\n");
     wal::emit_with_json(&wal::exp_wal(&ctx));

@@ -14,6 +14,7 @@ pub mod concurrency;
 pub mod knn;
 pub mod lss;
 pub mod motivation;
+pub mod mvcc;
 pub mod other;
 pub mod shard;
 pub mod sn;
@@ -141,14 +142,30 @@ mod tests {
         assert_eq!(updates.rows.len(), 2 + update::CHURN_STEPS);
         assert_eq!(updates.rows.last().unwrap().last().unwrap(), "yes");
 
-        // One row per durability mode; every durable run recovered from a
-        // simulated crash to the non-durable baseline's query answers
-        // (the driver itself asserts the equivalence).
+        // One row per durability mode plus the group-commit reruns; every
+        // durable run recovered from a simulated crash to the non-durable
+        // baseline's query answers (the driver itself asserts the
+        // equivalence).
         let durability = wal::exp_wal(&ctx);
-        assert_eq!(durability.rows.len(), wal::modes().len());
+        assert_eq!(
+            durability.rows.len(),
+            wal::modes().len() + wal::grouped_modes().len()
+        );
         for row in durability.rows.iter().skip(1) {
             assert_eq!(row.last().unwrap(), "yes", "{row:?}");
         }
         assert!(durability.to_json().contains("\"rows\""));
+
+        // Idle / mvcc / exclusive writer regimes; the driver itself
+        // asserts every regime's final answers match the brute-force
+        // serial-path oracle, and the mvcc churn writer committed batches
+        // while the fleet was reading.
+        let snapshots = mvcc::exp_mvcc(&ctx);
+        assert_eq!(snapshots.rows.len(), 3);
+        for row in &snapshots.rows {
+            assert_eq!(row.last().unwrap(), "yes", "{row:?}");
+        }
+        assert_ne!(snapshots.rows[1][3], "0", "mvcc writer never committed");
+        assert!(snapshots.to_json().contains("\"rows\""));
     }
 }

@@ -1,0 +1,380 @@
+//! `exp_mvcc` (extension): wait-free snapshot reads under live ingest —
+//! the payoff of epoch-based page versioning.
+//!
+//! A fleet of read clients runs the same mixed range + kNN script against
+//! one [`FlatDb`] over a queue-depth-limited device
+//! ([`ThrottledStore::with_parallelism`]) in three regimes:
+//!
+//! 1. **idle writer** — no updates; the read-throughput baseline.
+//! 2. **mvcc writer** — a churn writer commits grouped
+//!    delete+insert batches ([`flat_core::Writer::apply`]) the whole
+//!    time; readers pin snapshots and never block (the tentpole claim:
+//!    reads during a batch stay within 1.5× of idle).
+//! 3. **exclusive writer** — the pre-versioning discipline, modelled by
+//!    an [`RwLock`] the writer holds exclusively across every batch, so
+//!    reads queue behind updates.
+//!
+//! Every regime's final answers are checked against a brute-force scan
+//! over the churn generator's live population (the serial-path oracle);
+//! the run aborts on divergence. The same guarantee at assertion scale
+//! lives in `tests/concurrent_queries.rs` and
+//! `tests/property_invariants.rs`; this driver measures what those tests
+//! prove.
+
+use super::Context;
+use crate::report::{fmt_f64, Table};
+use flat_core::{DbOptions, FlatDb, WriteOp};
+use flat_data::update::{ChurnConfig, ChurnWorkload};
+use flat_data::workload::{knn_queries, KnnConfig};
+use flat_geom::{Aabb, Point3};
+use flat_rtree::Entry;
+use flat_storage::{MemStore, ThrottledStore};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+
+/// Concurrent read clients per regime.
+pub const CLIENTS: usize = 64;
+
+/// Timed workload passes each client performs (after one untimed warm-up
+/// pass that fills the cache identically in every regime). The writer
+/// commits exactly one churn batch per pass — the simulation-timestep
+/// cadence of the paper's workload — so the overlap structure is
+/// identical across regimes and runs.
+const PASSES: usize = 3;
+
+/// Fraction of the live population replaced per churn batch.
+const CHURN_FRACTION: f64 = 0.005;
+
+/// Device model: per-read latency (the concurrency figure's device) and
+/// internal parallelism. Cold misses and the writer's copy-on-write
+/// pre-image reads pay it; warmed read traffic measures the locking
+/// discipline itself, which is what separates regimes 2 and 3.
+const DEVICE_LATENCY: Duration = Duration::from_micros(150);
+const DEVICE_PARALLELISM: usize = 8;
+
+/// The three measured regimes, in row order.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    Idle,
+    Mvcc,
+    Exclusive,
+}
+
+/// One regime's measurement.
+struct Measurement {
+    reads: usize,
+    batches: usize,
+    reads_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    in_batch_reads: usize,
+    in_batch_p99_ms: Option<f64>,
+}
+
+/// The percentile of a sorted latency sample, in milliseconds.
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let at = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[at] as f64 / 1e6
+}
+
+/// Brute-force serial-path oracle: `db`'s answers over the mixed script
+/// must match a linear scan of `live`. Aborts the run on divergence.
+fn assert_matches_oracle(
+    db: &FlatDb<ThrottledStore<MemStore>>,
+    live: &[Entry],
+    queries: &[Aabb],
+    probes: &[(Point3, usize)],
+) {
+    for (i, q) in queries.iter().enumerate() {
+        let mut got: Vec<u64> = db
+            .reader()
+            .range(q)
+            .expect("range query failed")
+            .into_iter()
+            .map(|h| h.id)
+            .collect();
+        got.sort_unstable();
+        let mut expected: Vec<u64> = live
+            .iter()
+            .filter(|e| q.intersects(&e.mbr))
+            .map(|e| e.id)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "range query {i} diverged from brute force");
+    }
+    for (i, (p, k)) in probes.iter().enumerate() {
+        let got: Vec<f64> = db
+            .reader()
+            .knn(*p, *k)
+            .expect("knn query failed")
+            .into_iter()
+            .map(|n| n.dist_sq)
+            .collect();
+        let mut brute: Vec<f64> = live.iter().map(|e| e.mbr.distance_sq_to_point(p)).collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+        brute.truncate(*k);
+        assert_eq!(got, brute, "kNN probe {i} diverged from brute force");
+    }
+}
+
+fn run_regime(
+    ctx: &Context,
+    domain: Aabb,
+    entries: &[Entry],
+    queries: &[Aabb],
+    probes: &[(Point3, usize)],
+    regime: Regime,
+) -> Measurement {
+    let mut options = DbOptions::updatable(domain);
+    options.pool_pages = ctx.scale.pool_pages;
+    let store =
+        ThrottledStore::with_parallelism(MemStore::new(), DEVICE_LATENCY, DEVICE_PARALLELISM);
+    let mut db = FlatDb::create(store, options);
+    db.build_from(entries.to_vec()).expect("build failed");
+
+    let churn_per_step = ((entries.len() as f64 * CHURN_FRACTION) as usize).max(32);
+    let churn_seed = ctx.scale.seed ^ 0x4d56_4343;
+    let mut churn = ChurnWorkload::new(
+        entries.to_vec(),
+        domain,
+        ChurnConfig::steady(churn_per_step, churn_seed),
+    );
+    // Priming batch in *every* regime (idle included): the first update
+    // promotes the base index to the delta layer, and reads over a delta
+    // crawl cost more than over a pristine base. Promoting up front means
+    // all three regimes read the same index shape, so the comparison
+    // isolates the locking discipline rather than the index structure.
+    let prime = churn.step();
+    db.writer()
+        .expect("updatable database")
+        .apply(vec![
+            WriteOp::Delete(prime.deletes),
+            WriteOp::Insert(prime.inserts),
+        ])
+        .expect("priming batch failed");
+    let primed_live: Vec<Entry> = churn.live().to_vec();
+
+    let in_batch = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let done = AtomicU64::new(0);
+    let t0_ns = AtomicU64::new(0);
+    let wall_ns = AtomicU64::new(0);
+    // Pass barrier: the fleet starts each timed pass together, and the
+    // pass leader releases one churn batch to the writer (`go`).
+    let barrier = std::sync::Barrier::new(CLIENTS);
+    let go = AtomicU64::new(0);
+    // The pre-versioning discipline: readers share, each batch excludes.
+    let gate = RwLock::new(());
+    let exclusive = regime == Regime::Exclusive;
+
+    // One read of the whole script: every range query, then every kNN
+    // probe, rotated by the client index so the fleet decorrelates.
+    // Timed per query; a read that overlapped a batch window is tagged.
+    let read_pass = |client: usize, lat: Option<&mut Vec<(u64, bool)>>| {
+        let mut sink = 0usize;
+        let mut lat = lat;
+        let mut timed = |during_before: bool, start: Instant, hits: usize| {
+            if let Some(lat) = lat.as_deref_mut() {
+                let during = during_before || in_batch.load(Ordering::Relaxed);
+                lat.push((start.elapsed().as_nanos() as u64, during));
+            }
+            sink += hits;
+        };
+        for i in 0..queries.len() {
+            let q = &queries[(i + client) % queries.len()];
+            let during = in_batch.load(Ordering::Relaxed);
+            let start = Instant::now();
+            let guard = exclusive.then(|| gate.read().expect("gate poisoned"));
+            let hits = db.reader().range(q).expect("range query failed").len();
+            drop(guard);
+            timed(during, start, hits);
+        }
+        for i in 0..probes.len() {
+            let (p, k) = probes[(i + client) % probes.len()];
+            let during = in_batch.load(Ordering::Relaxed);
+            let start = Instant::now();
+            let guard = exclusive.then(|| gate.read().expect("gate poisoned"));
+            let hits = db.reader().knn(p, k).expect("knn query failed").len();
+            drop(guard);
+            timed(during, start, hits);
+        }
+        sink
+    };
+
+    let start = Instant::now();
+    let (latencies, batches, live) = std::thread::scope(|s| {
+        let writer = if regime == Regime::Idle {
+            None
+        } else {
+            let (db, gate, go, stop, in_batch) = (&db, &gate, &go, &stop, &in_batch);
+            Some(s.spawn(move || {
+                let mut churn = churn;
+                let mut batches = 0usize;
+                // One batch per fleet pass, released by the pass leader:
+                // the simulation-timestep cadence, and a deterministic
+                // overlap structure (`batches == PASSES` every run).
+                for k in 1..=PASSES as u64 {
+                    while go.load(Ordering::Acquire) < k {
+                        if stop.load(Ordering::Acquire) {
+                            return (batches, churn.live().to_vec());
+                        }
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                    let step = churn.step();
+                    let guard = exclusive.then(|| gate.write().expect("gate poisoned"));
+                    in_batch.store(true, Ordering::Release);
+                    db.writer()
+                        .expect("updatable database")
+                        .apply(vec![
+                            WriteOp::Delete(step.deletes),
+                            WriteOp::Insert(step.inserts),
+                        ])
+                        .expect("update batch failed");
+                    in_batch.store(false, Ordering::Release);
+                    drop(guard);
+                    batches += 1;
+                }
+                (batches, churn.live().to_vec())
+            }))
+        };
+        let (read_pass, wall_ns, done, stop) = (&read_pass, &wall_ns, &done, &stop);
+        let (barrier, go, t0_ns) = (&barrier, &go, &t0_ns);
+        let readers: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                s.spawn(move || {
+                    read_pass(client, None); // warm-up, untimed
+                    let mut lat = Vec::with_capacity(PASSES * (queries.len() + probes.len()));
+                    for pass in 0..PASSES {
+                        if barrier.wait().is_leader() {
+                            if pass == 0 {
+                                t0_ns.store(start.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                            }
+                            go.fetch_add(1, Ordering::Release);
+                        }
+                        read_pass(client, Some(&mut lat));
+                    }
+                    wall_ns.fetch_max(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    if done.fetch_add(1, Ordering::Relaxed) + 1 == CLIENTS as u64 {
+                        stop.store(true, Ordering::Release);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut latencies = Vec::new();
+        for handle in readers {
+            latencies.extend(handle.join().expect("read client panicked"));
+        }
+        let (batches, live) = writer
+            .map(|h| h.join().expect("churn writer panicked"))
+            .unwrap_or((0, primed_live));
+        (latencies, batches, live)
+    });
+
+    assert_matches_oracle(&db, &live, queries, probes);
+
+    let timed_ns = wall_ns
+        .load(Ordering::Relaxed)
+        .saturating_sub(t0_ns.load(Ordering::SeqCst));
+    let wall_s = timed_ns as f64 / 1e9;
+    let mut all: Vec<u64> = latencies.iter().map(|&(ns, _)| ns).collect();
+    all.sort_unstable();
+    let mut during: Vec<u64> = latencies
+        .iter()
+        .filter(|&&(_, d)| d)
+        .map(|&(ns, _)| ns)
+        .collect();
+    during.sort_unstable();
+    Measurement {
+        reads: all.len(),
+        batches,
+        reads_per_sec: all.len() as f64 / wall_s.max(1e-9),
+        p50_ms: percentile_ms(&all, 0.50),
+        p99_ms: percentile_ms(&all, 0.99),
+        in_batch_reads: during.len(),
+        in_batch_p99_ms: (!during.is_empty()).then(|| percentile_ms(&during, 0.99)),
+    }
+}
+
+/// Runs the three-regime comparison at the sweep's middle density.
+pub fn exp_mvcc(ctx: &Context) -> Table {
+    let mut table = Table::new(
+        "exp_mvcc",
+        "MVCC snapshots: read throughput and latency for a 64-client \
+         mixed range+kNN fleet with an idle, a concurrent (epoch-versioned), \
+         and an exclusive-locking churn writer (answers verified against a \
+         brute-force serial-path oracle)",
+        &[
+            "writer",
+            "clients",
+            "reads",
+            "batches",
+            "reads/sec",
+            "vs idle",
+            "p50 ms",
+            "p99 ms",
+            "in-batch reads",
+            "in-batch p99 ms",
+            "oracle",
+        ],
+    );
+    let density = ctx.scale.densities[ctx.scale.densities.len() / 2];
+    let domain = ctx.sweep.domain();
+    let entries = ctx.sweep.at(density);
+    let queries = ctx.scale.sn_workload(&domain);
+    let probes = knn_queries(
+        &domain,
+        &KnnConfig {
+            count: (ctx.scale.queries / 2).max(4),
+            k_range: (8, 64),
+            seed: ctx.scale.seed ^ 0x4d56_4b4e,
+        },
+    );
+
+    let regimes = [
+        ("idle", Regime::Idle),
+        ("mvcc", Regime::Mvcc),
+        ("exclusive", Regime::Exclusive),
+    ];
+    let mut rows: Vec<(&'static str, Measurement)> = Vec::new();
+    for (label, regime) in regimes {
+        rows.push((
+            label,
+            run_regime(ctx, domain, &entries, &queries, &probes, regime),
+        ));
+    }
+
+    let idle_rate = rows[0].1.reads_per_sec;
+    for (label, m) in rows {
+        table.push_row(vec![
+            label.to_string(),
+            CLIENTS.to_string(),
+            m.reads.to_string(),
+            m.batches.to_string(),
+            fmt_f64(m.reads_per_sec),
+            format!("{:.2}x", m.reads_per_sec / idle_rate.max(1e-9)),
+            format!("{:.3}", m.p50_ms),
+            format!("{:.3}", m.p99_ms),
+            m.in_batch_reads.to_string(),
+            m.in_batch_p99_ms
+                .map_or("-".to_string(), |ms| format!("{ms:.3}")),
+            // `assert_matches_oracle` already aborted on divergence.
+            "yes".to_string(),
+        ]);
+    }
+    table
+}
+
+/// Prints/saves the table as every figure does, plus the machine-readable
+/// `BENCH_mvcc.json` the concurrency claim is tracked by.
+pub fn emit_with_json(table: &Table) {
+    table.emit();
+    match table.save_json("BENCH_mvcc") {
+        Ok(path) => println!("[saved {}]\n", path.display()),
+        Err(e) => println!("[json not saved: {e}]\n"),
+    }
+}

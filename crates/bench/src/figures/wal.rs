@@ -15,7 +15,7 @@
 
 use super::Context;
 use crate::report::{fmt_f64, Table};
-use flat_core::{DbOptions, Durability, FlatDb};
+use flat_core::{DbOptions, Durability, FlatDb, WriteOp};
 use flat_data::update::{ChurnConfig, ChurnWorkload};
 use flat_geom::Aabb;
 use flat_rtree::Entry;
@@ -36,6 +36,27 @@ pub fn modes() -> Vec<(&'static str, Durability)> {
         ("wal", Durability::Wal),
         ("wal+ckpt/8", Durability::WalCheckpoint { every_batches: 8 }),
         ("wal+ckpt/2", Durability::WalCheckpoint { every_batches: 2 }),
+    ]
+}
+
+/// The durable modes re-run with *group commit*: each churn round's
+/// delete and re-insert are coalesced into one [`Writer::apply`] call —
+/// one WAL record group, one head-slot publish, one sync — instead of
+/// two independently synced batches. Same logical script, half the
+/// commits; the recovery check still runs.
+///
+/// [`Writer::apply`]: flat_core::Writer::apply
+pub fn grouped_modes() -> Vec<(&'static str, Durability)> {
+    vec![
+        ("wal grouped", Durability::Wal),
+        (
+            "wal+ckpt/8 grouped",
+            Durability::WalCheckpoint { every_batches: 8 },
+        ),
+        (
+            "wal+ckpt/2 grouped",
+            Durability::WalCheckpoint { every_batches: 2 },
+        ),
     ]
 }
 
@@ -75,6 +96,7 @@ fn run_mode(
     domain: Aabb,
     entries: &[Entry],
     durability: Durability,
+    grouped: bool,
     baseline: Option<&Vec<Vec<u64>>>,
     queries: &[Aabb],
 ) -> (Measurement, Vec<Vec<u64>>) {
@@ -102,21 +124,40 @@ fn run_mode(
     let mut checkpoint_ms = None;
     for round in 0..CHURN_ROUNDS {
         let batch = churn.step();
-        for half in 0..2 {
+        if grouped {
+            // Group commit: both logical batches ride one WAL record
+            // group and one publish/sync.
             let start = Instant::now();
-            let mut writer = db.writer().expect("updatable database");
-            let n = if half == 0 {
-                writer.delete(&batch.deletes).expect("delete failed")
-            } else {
-                let n = batch.inserts.len();
-                writer.insert(batch.inserts.clone()).expect("insert failed");
-                n
-            };
+            let counts = db
+                .writer()
+                .expect("updatable database")
+                .apply(vec![
+                    WriteOp::Delete(batch.deletes.clone()),
+                    WriteOp::Insert(batch.inserts.clone()),
+                ])
+                .expect("grouped commit failed");
             let ms = start.elapsed().as_secs_f64() * 1e3;
             update_time += ms / 1e3;
             max_batch_ms = max_batch_ms.max(ms);
             batches += 1;
-            elements += n;
+            elements += counts.iter().sum::<usize>();
+        } else {
+            for half in 0..2 {
+                let start = Instant::now();
+                let mut writer = db.writer().expect("updatable database");
+                let n = if half == 0 {
+                    writer.delete(&batch.deletes).expect("delete failed")
+                } else {
+                    let n = batch.inserts.len();
+                    writer.insert(batch.inserts.clone()).expect("insert failed");
+                    n
+                };
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                update_time += ms / 1e3;
+                max_batch_ms = max_batch_ms.max(ms);
+                batches += 1;
+                elements += n;
+            }
         }
         if durable && round == CHURN_ROUNDS / 2 {
             // The pause an explicit mid-run checkpoint inserts (the
@@ -169,7 +210,8 @@ pub fn exp_wal(ctx: &Context) -> Table {
         "exp_wal",
         "Durability: churn throughput vs WAL mode, checkpoint pause, \
          crash-recovery time (recovered answers verified against the \
-         non-durable baseline)",
+         non-durable baseline); 'grouped' rows coalesce each round's \
+         delete+insert into one group commit (one WAL sync)",
         &[
             "durability",
             "batches",
@@ -190,12 +232,21 @@ pub fn exp_wal(ctx: &Context) -> Table {
 
     let mut baseline: Option<Vec<Vec<u64>>> = None;
     let mut rows: Vec<(&'static str, Measurement)> = Vec::new();
-    for (label, durability) in modes() {
+    let runs = modes()
+        .into_iter()
+        .map(|(label, d)| (label, d, false))
+        .chain(
+            grouped_modes()
+                .into_iter()
+                .map(|(label, d)| (label, d, true)),
+        );
+    for (label, durability, grouped) in runs {
         let (m, live) = run_mode(
             ctx,
             domain,
             &entries,
             durability,
+            grouped,
             baseline.as_ref(),
             &queries,
         );

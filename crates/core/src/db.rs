@@ -4,7 +4,8 @@
 //! [`FlatIndex::build`] vs the streaming [`FlatIndexBuilder`], serial
 //! queries vs the batched [`QueryEngine`], the mutable [`DeltaIndex`],
 //! exclusive [`flat_storage::BufferPool`] vs shared
-//! [`ConcurrentBufferPool`], and descriptor persistence in `persist.rs`.
+//! [`flat_storage::ConcurrentBufferPool`], and descriptor persistence in
+//! `persist.rs`.
 //! A caller had to know all of them and wire them together correctly
 //! (which pool flavor, when to promote to a delta index, where the
 //! descriptor page lives). `FlatDb` is the one handle that owns that
@@ -29,13 +30,26 @@
 //!                     db.persist(path) ──► FlatDb::open_file(path)
 //! ```
 //!
-//! The façade adds **no new machinery**: every method routes to the
-//! pre-existing entry point (the serial query path, the batched engine,
-//! the delta layer, the descriptor save/load), so results are bit-for-bit
-//! identical to hand-written low-level code — `tests/db_api.rs` asserts
-//! this for every path. Reads are shared (`&self`, through the owned
-//! [`ConcurrentBufferPool`]); mutations take `&mut self`, giving the
-//! RwLock-style reader/updater discipline the delta layer documents.
+//! The façade adds **no new machinery** on the query side: every method
+//! routes to the pre-existing entry point (the serial query path, the
+//! batched engine, the delta layer, the descriptor save/load), so results
+//! are bit-for-bit identical to hand-written low-level code —
+//! `tests/db_api.rs` asserts this for every path.
+//!
+//! # Snapshots & epochs
+//!
+//! Reads and writes are **both shared** (`&self`): the database owns a
+//! [`VersionedPool`] (epoch-based MVCC over the page cache), so a
+//! [`Snapshot`] pins an epoch at creation and stays wait-free — range,
+//! kNN and batched [`QueryEngine`] crawls all observe the store exactly
+//! as of pin time — while a concurrent [`Writer`] copy-on-writes the
+//! pages its batch touches. A batch commits by publishing atomically:
+//! the epoch bump and the resident-index swap happen under one lock, so
+//! a snapshot taken at any instant sees either the whole batch or none
+//! of it, never a partial one. Old page versions reclaim once the last
+//! snapshot pinned to them drops. Writers serialize against each other
+//! (one [`FlatDb::writer`] session at a time); only readers are
+//! wait-free.
 //!
 //! # Example
 //!
@@ -74,10 +88,28 @@ use crate::query::{QueryStats, Tombstones};
 use flat_geom::{Aabb, Point3};
 use flat_rtree::{Entry, Hit, LeafLayout};
 use flat_storage::{
-    BufferPool, ConcurrentBufferPool, DurableStore, FileStore, IoStats, Page, PageId, PageStore,
+    BufferPool, DurableStore, EpochPin, FileStore, IoStats, Page, PageId, PageStore, VersionStats,
+    VersionedPool,
 };
 use std::collections::HashSet;
+use std::ops::Deref;
 use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a mutex, tolerating poison: a panicking writer thread must not
+/// wedge every later session call (the MVCC state it guards is kept
+/// consistent by the publish protocol, not by unwind safety).
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_unpoisoned<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_unpoisoned<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Configuration of a [`FlatDb`] session.
 #[derive(Debug, Clone, Copy)]
@@ -168,18 +200,40 @@ impl BuildReport {
 
 /// The index behind the façade: a pristine bulkload until the first
 /// writer promotes it to a delta index.
+///
+/// Both variants are behind an [`Arc`] so the resident tables can be
+/// *published*: the writer's truth copy and the snapshot-visible copy
+/// share pages until a batch mutates ([`Arc::make_mut`] deep-clones
+/// exactly then, the resident-table analogue of the page-level
+/// copy-on-write in [`VersionedPool`]).
+#[derive(Clone)]
 enum DbIndex {
-    Base(FlatIndex),
-    Delta(Box<DeltaIndex>),
+    Base(Arc<FlatIndex>),
+    Delta(Arc<DeltaIndex>),
 }
 
-/// A FLAT database: one handle owning the buffer pool and the index
-/// lifecycle. See the [module docs](self) for the session diagram and
-/// the crate docs for the underlying machinery.
-pub struct FlatDb<S: PageStore> {
-    pool: ConcurrentBufferPool<DbStore<S>>,
+impl DbIndex {
+    /// The base index descriptor (the delta layer's base once promoted).
+    fn base(&self) -> &FlatIndex {
+        match self {
+            DbIndex::Base(index) => index,
+            DbIndex::Delta(delta) => delta.base(),
+        }
+    }
+
+    fn num_live_elements(&self) -> u64 {
+        match self {
+            DbIndex::Base(index) => index.num_elements(),
+            DbIndex::Delta(delta) => delta.num_live_elements(),
+        }
+    }
+}
+
+/// The writer-side source of truth, serialized by the truth mutex: one
+/// writer session at a time mutates it, then publishes a clone of
+/// `state` for snapshots.
+struct DbTruth {
     state: DbIndex,
-    options: DbOptions,
     built: bool,
     /// Uncompacted writer mutations (delta partitions, tombstones, dead
     /// records) — state [`FlatDb::persist`] must fold away first.
@@ -189,20 +243,39 @@ pub struct FlatDb<S: PageStore> {
     /// Committed batches since the last checkpoint (drives the automatic
     /// [`Durability::WalCheckpoint`] cadence).
     batches_since_ckpt: usize,
-    /// Set when a durable commit failed between the log append and the
-    /// page apply: the in-memory state may disagree with the committed
-    /// log, so further writes are refused — reopening recovers.
+    /// Set when a commit failed between its point of no return (the log
+    /// append, or the first page of the apply) and the publish: the
+    /// resident state may disagree with the pages, so further writes are
+    /// refused. Snapshots stay consistent — the failed batch was never
+    /// published — and reopening a durable database recovers.
     poisoned: bool,
+}
+
+/// A FLAT database: one handle owning the versioned buffer pool and the
+/// index lifecycle. See the [module docs](self) for the session diagram
+/// and the crate docs for the underlying machinery.
+pub struct FlatDb<S: PageStore> {
+    pool: VersionedPool<DbStore<S>>,
+    /// Writer-side truth; the mutex serializes writer sessions.
+    truth: Mutex<DbTruth>,
+    /// The resident state snapshots read. Swapped under the write lock
+    /// together with the epoch bump ([`BatchWriter::publish`][pb]), and
+    /// pinned under the read lock by [`FlatDb::reader`] — that pairing is
+    /// what makes a snapshot's epoch and resident tables one consistent
+    /// cut.
+    ///
+    /// [pb]: flat_storage::BatchWriter::publish
+    published: RwLock<DbIndex>,
+    options: DbOptions,
 }
 
 impl<S: PageStore> std::fmt::Debug for FlatDb<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = read_unpoisoned(&self.published).clone();
         f.debug_struct("FlatDb")
-            .field("built", &self.built)
-            .field("dirty", &self.dirty)
-            .field("live_elements", &self.num_live_elements())
-            .field("delta", &self.delta().is_some())
-            .field("pool", &self.pool)
+            .field("live_elements", &state.num_live_elements())
+            .field("delta", &matches!(state, DbIndex::Delta(_)))
+            .field("versions", &self.pool.version_stats())
             .finish()
     }
 }
@@ -290,17 +363,47 @@ impl<S: PageStore> FlatDb<S> {
             Durability::Off,
             "durability needs the logged store layout: use FlatDb::create_durable"
         );
-        let pool = ConcurrentBufferPool::new(DbStore::Plain(store), options.pool_pages);
+        let pool = VersionedPool::new(DbStore::Plain(store), options.pool_pages);
+        let state = DbIndex::Base(Arc::new(FlatIndex::empty(options.index.layout)));
+        Self::assemble(pool, state, options, false, false, 1)
+    }
+
+    /// Wires the locking skeleton around an initial truth state (the
+    /// published copy starts as a clone of it).
+    fn assemble(
+        pool: VersionedPool<DbStore<S>>,
+        state: DbIndex,
+        options: DbOptions,
+        built: bool,
+        dirty: bool,
+        next_seq: u64,
+    ) -> FlatDb<S> {
         FlatDb {
             pool,
-            state: DbIndex::Base(FlatIndex::empty(options.index.layout)),
+            published: RwLock::new(state.clone()),
+            truth: Mutex::new(DbTruth {
+                state,
+                built,
+                dirty,
+                next_seq,
+                batches_since_ckpt: 0,
+                poisoned: false,
+            }),
             options,
-            built: false,
-            dirty: false,
-            next_seq: 1,
-            batches_since_ckpt: 0,
-            poisoned: false,
         }
+    }
+
+    /// The truth behind the mutex, through exclusive access (no locking).
+    fn truth_mut(&mut self) -> &mut DbTruth {
+        self.truth.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Replaces the published state with the current truth, without an
+    /// epoch bump — only for exclusive (`&mut`) contexts such as builds
+    /// and recovery, where no snapshot can be pinned.
+    fn publish_current(&mut self) {
+        let state = self.truth_mut().state.clone();
+        *self.published.get_mut().unwrap_or_else(|e| e.into_inner()) = state;
     }
 
     /// A crash-durable database over an **empty** `store`: lays down the
@@ -324,18 +427,9 @@ impl<S: PageStore> FlatDb<S> {
             delta: None,
         };
         durable.checkpoint(&initial.encode())?;
-        let pool =
-            ConcurrentBufferPool::new(DbStore::Durable(Box::new(durable)), options.pool_pages);
-        Ok(FlatDb {
-            pool,
-            state: DbIndex::Base(FlatIndex::empty(options.index.layout)),
-            options,
-            built: false,
-            dirty: false,
-            next_seq: 1,
-            batches_since_ckpt: 0,
-            poisoned: false,
-        })
+        let pool = VersionedPool::new(DbStore::Durable(Box::new(durable)), options.pool_pages);
+        let state = DbIndex::Base(Arc::new(FlatIndex::empty(options.index.layout)));
+        Ok(Self::assemble(pool, state, options, false, false, 1))
     }
 
     /// Opens a durable database left by a previous session — or a crash:
@@ -362,16 +456,15 @@ impl<S: PageStore> FlatDb<S> {
         let (durable, log) = DurableStore::open(store)?;
         let snapshot = DbSnapshot::decode(&log.snapshot)?;
         options.index.layout = snapshot.index.layout();
-        let pool =
-            ConcurrentBufferPool::new(DbStore::Durable(Box::new(durable)), options.pool_pages);
+        let pool = VersionedPool::new(DbStore::Durable(Box::new(durable)), options.pool_pages);
         let state = match snapshot.delta {
-            None => DbIndex::Base(snapshot.index),
+            None => DbIndex::Base(Arc::new(snapshot.index)),
             Some((meta_pages, tombstones)) => {
                 let tombstones: Tombstones = tombstones
                     .into_iter()
                     .map(|(page, slot)| (PageId(page), slot))
                     .collect();
-                DbIndex::Delta(Box::new(DeltaIndex::reopen(
+                DbIndex::Delta(Arc::new(DeltaIndex::reopen(
                     &pool,
                     snapshot.index,
                     options.index,
@@ -390,35 +483,34 @@ impl<S: PageStore> FlatDb<S> {
                     || (delta.num_live_partitions() as u64) < delta.base().num_object_pages()
             }
         };
-        let mut db = FlatDb {
+        let mut db = Self::assemble(
             pool,
             state,
             options,
-            built: snapshot.built,
+            snapshot.built,
             dirty,
-            next_seq: snapshot.last_seq + 1,
-            batches_since_ckpt: 0,
-            poisoned: false,
-        };
+            snapshot.last_seq + 1,
+        );
         // Replay the committed batches past the checkpoint — applying
         // them directly, *without* re-logging: the records are already
         // in the log, so a crash during recovery just recovers again.
         let mut replayed = 0usize;
         for payload in &log.logical {
             let (seq, op) = decode_logical(payload)?;
-            if seq != db.next_seq {
+            let expected = db.truth_mut().next_seq;
+            if seq != expected {
                 return Err(FlatError::Persist(format!(
-                    "log replay expected batch {}, found {seq}",
-                    db.next_seq
+                    "log replay expected batch {expected}, found {seq}"
                 )));
             }
             db.replay(op)?;
-            db.next_seq = seq + 1;
+            db.truth_mut().next_seq = seq + 1;
             replayed += 1;
         }
-        db.batches_since_ckpt = replayed;
+        db.truth_mut().batches_since_ckpt = replayed;
+        db.publish_current();
         let report = RecoveryReport {
-            last_committed_seq: db.next_seq - 1,
+            last_committed_seq: db.truth_mut().next_seq - 1,
             replayed,
             torn_tail_truncated: log.torn_truncated,
         };
@@ -426,9 +518,12 @@ impl<S: PageStore> FlatDb<S> {
     }
 
     /// Applies one recovered logical record, promoting to a delta index
-    /// first if the checkpoint predates the first writer.
+    /// first if the checkpoint predates the first writer. Recovery runs
+    /// exclusively (no snapshot exists yet), so it applies through the
+    /// pool's plain, non-versioned write path.
     fn replay(&mut self, op: LogicalOp) -> Result<(), FlatError> {
-        if let DbIndex::Base(base) = &self.state {
+        let truth = self.truth.get_mut().unwrap_or_else(|e| e.into_inner());
+        if let DbIndex::Base(base) = &truth.state {
             if self.options.index.domain.is_none() {
                 return Err(FlatError::Update(
                     "replaying logged updates needs the build-time tiling domain: \
@@ -436,26 +531,27 @@ impl<S: PageStore> FlatDb<S> {
                         .into(),
                 ));
             }
-            let delta = DeltaIndex::new(&self.pool, base.clone(), self.options.index)?;
-            self.state = DbIndex::Delta(Box::new(delta));
-            self.built = true;
+            let delta = DeltaIndex::new(&self.pool, (**base).clone(), self.options.index)?;
+            truth.state = DbIndex::Delta(Arc::new(delta));
+            truth.built = true;
         }
-        let DbIndex::Delta(delta) = &mut self.state else {
+        let DbIndex::Delta(delta) = &mut truth.state else {
             unreachable!("promoted above")
         };
+        let delta = Arc::make_mut(delta);
         match op {
             LogicalOp::Insert(entries) => {
                 delta.insert_batch(&mut self.pool, entries)?;
-                self.dirty = true;
+                truth.dirty = true;
             }
             LogicalOp::Delete(ids) => {
                 if delta.delete_batch(&mut self.pool, &ids)? > 0 {
-                    self.dirty = true;
+                    truth.dirty = true;
                 }
             }
             LogicalOp::Compact => {
                 delta.compact(&mut self.pool)?;
-                self.dirty = false;
+                truth.dirty = false;
             }
         }
         Ok(())
@@ -485,19 +581,11 @@ impl<S: PageStore> FlatDb<S> {
                     .into(),
             ));
         }
-        let pool = ConcurrentBufferPool::new(DbStore::Plain(store), options.pool_pages);
+        let pool = VersionedPool::new(DbStore::Plain(store), options.pool_pages);
         let index = FlatIndex::load(&pool, descriptor)?;
         options.index.layout = index.layout();
-        Ok(FlatDb {
-            pool,
-            state: DbIndex::Base(index),
-            options,
-            built: true,
-            dirty: false,
-            next_seq: 1,
-            batches_since_ckpt: 0,
-            poisoned: false,
-        })
+        let state = DbIndex::Base(Arc::new(index));
+        Ok(Self::assemble(pool, state, options, true, false, 1))
     }
 
     /// Bulk-loads the database from `entries`, auto-selecting the build
@@ -514,9 +602,7 @@ impl<S: PageStore> FlatDb<S> {
             return self.stream_build(entries);
         }
         let (index, stats) = FlatIndex::build(&mut self.pool, entries, self.options.index)?;
-        self.state = DbIndex::Base(index);
-        self.built = true;
-        self.rebase_after_build()?;
+        self.adopt_built(index)?;
         Ok(BuildReport {
             stats,
             streaming: None,
@@ -535,7 +621,7 @@ impl<S: PageStore> FlatDb<S> {
     }
 
     fn check_buildable(&self) -> Result<(), FlatError> {
-        if self.built {
+        if lock_unpoisoned(&self.truth).built {
             return Err(FlatError::Build(
                 "database already holds an index; create a fresh database to rebuild".into(),
             ));
@@ -550,13 +636,23 @@ impl<S: PageStore> FlatDb<S> {
         let (index, stats, streaming) = FlatIndexBuilder::new(self.options.index)
             .spill_budget(self.options.memory_budget)
             .build(&mut self.pool, entries)?;
-        self.state = DbIndex::Base(index);
-        self.built = true;
-        self.rebase_after_build()?;
+        self.adopt_built(index)?;
         Ok(BuildReport {
             stats,
             streaming: Some(streaming),
         })
+    }
+
+    /// Installs a freshly built index as truth, publishes it, and (in
+    /// durable mode) rebases the log onto the built pages.
+    fn adopt_built(&mut self, index: FlatIndex) -> Result<(), FlatError> {
+        {
+            let truth = self.truth_mut();
+            truth.state = DbIndex::Base(Arc::new(index));
+            truth.built = true;
+        }
+        self.publish_current();
+        self.rebase_after_build()
     }
 
     /// Durable mode: folds the freshly built pages onto the backing store
@@ -569,24 +665,36 @@ impl<S: PageStore> FlatDb<S> {
         if self.options.durability == Durability::Off {
             return Ok(());
         }
-        let snapshot = self.snapshot_bytes();
-        let result = self
-            .durable_store()
-            .checkpoint_rebase(&snapshot)
-            .map_err(FlatError::from);
+        let snapshot = Self::snapshot_bytes(self.truth_mut());
+        let result = self.with_durable(|d| d.checkpoint_rebase(&snapshot));
         if let Err(e) = result {
-            return Err(self.poison(e));
+            self.truth_mut().poisoned = true;
+            return Err(e.into());
         }
-        self.batches_since_ckpt = 0;
+        self.truth_mut().batches_since_ckpt = 0;
         Ok(())
     }
 
-    /// A cheap read handle for serial queries. Snapshots borrow the
-    /// database shared, so any number can be out at once (and, through a
-    /// [`flat_storage::PoolHandle`]-style scoped spawn, on any number of
-    /// threads).
+    /// A read handle for serial queries, pinned to the current epoch:
+    /// the snapshot observes the database exactly as of this call — a
+    /// concurrent [`FlatDb::writer`] batch committing later is invisible
+    /// to it, and a batch in flight right now is invisible too (its
+    /// copy-on-write overlay serves this pin the pre-batch page bytes).
+    /// Snapshots borrow the database shared, so any number can be out at
+    /// once, on any number of threads, and none of them ever waits for a
+    /// writer's apply phase.
     pub fn reader(&self) -> Snapshot<'_, S> {
-        Snapshot { db: self }
+        // Pinning under the published read lock pairs the epoch with the
+        // resident tables: a writer swaps both under the write lock.
+        let published = read_unpoisoned(&self.published);
+        let pin = self.pool.pin();
+        let resident = published.clone();
+        drop(published);
+        Snapshot {
+            db: self,
+            resident,
+            pin,
+        }
     }
 
     /// Starts a fluent batched query: accumulate range and kNN queries,
@@ -600,12 +708,17 @@ impl<S: PageStore> FlatDb<S> {
         }
     }
 
-    /// An exclusive write session. The first writer promotes the pristine
-    /// index to a [`DeltaIndex`] (a one-time resident-table scan); this
-    /// requires the database to have stable element ids
-    /// ([`LeafLayout::WithIds`]) and a fixed domain — see
-    /// [`DbOptions::updatable`].
-    pub fn writer(&mut self) -> Result<Writer<'_, S>, FlatError> {
+    /// A write session. The truth mutex serializes writers — a second
+    /// call blocks until the first session drops — but snapshots are
+    /// never blocked: they keep reading the published state while the
+    /// writer's batches apply, and flip to the new state only at each
+    /// batch's atomic publish.
+    ///
+    /// The first writer promotes the pristine index to a [`DeltaIndex`]
+    /// (a one-time resident-table scan); this requires the database to
+    /// have stable element ids ([`LeafLayout::WithIds`]) and a fixed
+    /// domain — see [`DbOptions::updatable`].
+    pub fn writer(&self) -> Result<Writer<'_, S>, FlatError> {
         if self.options.index.layout != LeafLayout::WithIds {
             return Err(FlatError::Update(
                 "updates need stable element ids: build with LeafLayout::WithIds \
@@ -620,12 +733,18 @@ impl<S: PageStore> FlatDb<S> {
                     .into(),
             ));
         }
-        if let DbIndex::Base(base) = &self.state {
-            let delta = DeltaIndex::new(&self.pool, base.clone(), self.options.index)?;
-            self.state = DbIndex::Delta(Box::new(delta));
-            self.built = true; // a delta-only database counts as built
+        let mut truth = lock_unpoisoned(&self.truth);
+        if let DbIndex::Base(base) = &truth.state {
+            // Holding the truth mutex means no batch is in flight, so
+            // the pool's latest view is stable for the promotion scan.
+            let delta = DeltaIndex::new(&self.pool, (**base).clone(), self.options.index)?;
+            truth.state = DbIndex::Delta(Arc::new(delta));
+            truth.built = true; // a delta-only database counts as built
+                                // Promotion rewrites no page, so publishing it needs no
+                                // epoch bump: pinned snapshots keep their Base resident.
+            *write_unpoisoned(&self.published) = truth.state.clone();
         }
-        Ok(Writer { db: self })
+        Ok(Writer { db: self, truth })
     }
 
     /// Persists the database to a file that [`FlatDb::open_file`] can
@@ -637,23 +756,19 @@ impl<S: PageStore> FlatDb<S> {
     /// producing the same pages as a fresh bulkload over the survivors —
     /// before the copy). Returns the descriptor's page id.
     pub fn persist<P: AsRef<Path>>(&mut self, path: P) -> Result<PageId, FlatError> {
-        if self.dirty {
-            if matches!(self.state, DbIndex::Delta(_)) {
-                // In durable mode the fold-away is a committed batch like
-                // any other, so a crash mid-persist replays it.
-                self.check_writable()?;
-                self.log_op(&LogicalOp::Compact)?;
-                let DbIndex::Delta(delta) = &mut self.state else {
-                    unreachable!("matched above")
-                };
-                if let Err(e) = delta.compact(&mut self.pool) {
-                    return Err(self.poison(e.into()));
-                }
-                self.after_commit()?;
+        if self.truth_mut().dirty {
+            if matches!(self.truth_mut().state, DbIndex::Delta(_)) {
+                // The fold-away is a writer batch like any other (in
+                // durable mode a crash mid-persist replays it).
+                self.writer()?.compact()?;
+            } else {
+                self.truth_mut().dirty = false;
             }
-            self.dirty = false;
         }
-        let src = self.pool.store();
+        // Exclusive access proves no snapshot is pinned: execute the
+        // deferred page frees so the copy skips truly-free pages.
+        self.pool.reclaim_all();
+        let src = self.pool.store_guard();
         let mut dst = FileStore::create(path)?;
         let free: HashSet<u64> = src.free_pages().iter().map(|p| p.0).collect();
         let mut page = Page::new();
@@ -666,6 +781,7 @@ impl<S: PageStore> FlatDb<S> {
             src.read_page(PageId(id), &mut page)?;
             dst.write_page(copied, &page)?;
         }
+        drop(src);
         // The descriptor goes last — that is where open_file looks.
         let mut descriptor_pool = BufferPool::new(dst, 16);
         let descriptor = self.index().save(&mut descriptor_pool)?;
@@ -686,30 +802,41 @@ impl<S: PageStore> FlatDb<S> {
                 "checkpointing needs a durable database (see DbOptions::durability)".into(),
             ));
         }
-        self.check_writable()?;
-        let snapshot = self.snapshot_bytes();
-        let result = self
-            .durable_store()
-            .checkpoint(&snapshot)
-            .map_err(FlatError::from);
+        let mut truth = lock_unpoisoned(&self.truth);
+        self.checkpoint_locked(&mut truth)
+    }
+
+    /// Checkpoint body, under the truth mutex (callers guarantee
+    /// durability is on). Safe with snapshots pinned: the write-back
+    /// rewrites pages with byte-identical content (the overlay images
+    /// were logged from those very pages), so every pinned epoch reads
+    /// the same bytes before and after.
+    fn checkpoint_locked(&self, truth: &mut DbTruth) -> Result<(), FlatError> {
+        Self::check_writable(truth)?;
+        let snapshot = Self::snapshot_bytes(truth);
+        let result = self.with_durable(|d| d.checkpoint(&snapshot));
         if let Err(e) = result {
-            return Err(self.poison(e));
+            truth.poisoned = true;
+            return Err(e.into());
         }
-        self.batches_since_ckpt = 0;
+        truth.batches_since_ckpt = 0;
         Ok(())
     }
 
-    /// The durable wrapper (callers guarantee durability is on).
-    fn durable_store(&mut self) -> &mut DurableStore<S> {
-        self.pool
-            .store_mut()
-            .durable_mut()
-            .expect("durability on implies a durable store")
+    /// Runs `f` on the durable wrapper (callers guarantee durability is
+    /// on), under the store's write lock. Only log appends, headers and
+    /// checkpoints go through here — never query-path pages, which
+    /// belong to the pool's versioned read/write protocol.
+    fn with_durable<R>(&self, f: impl FnOnce(&mut DurableStore<S>) -> R) -> R {
+        self.pool.with_store_mut(|s| {
+            f(s.durable_mut()
+                .expect("durability on implies a durable store"))
+        })
     }
 
-    /// Encodes the checkpoint snapshot of the current resident state.
-    fn snapshot_bytes(&self) -> Vec<u8> {
-        let delta = match &self.state {
+    /// Encodes the checkpoint snapshot of the truth state.
+    fn snapshot_bytes(truth: &DbTruth) -> Vec<u8> {
+        let delta = match &truth.state {
             DbIndex::Base(_) => None,
             DbIndex::Delta(delta) => {
                 let mut tombstones: Vec<(u64, u16)> = delta
@@ -722,107 +849,119 @@ impl<S: PageStore> FlatDb<S> {
             }
         };
         DbSnapshot {
-            last_seq: self.next_seq - 1,
-            built: self.built,
-            index: self.index().clone(),
+            last_seq: truth.next_seq - 1,
+            built: truth.built,
+            index: truth.state.base().clone(),
             delta,
         }
         .encode()
     }
 
-    /// Refuses writes after a failed durable commit.
-    fn check_writable(&self) -> Result<(), FlatError> {
-        if self.poisoned {
+    /// Refuses writes after a failed commit.
+    fn check_writable(truth: &DbTruth) -> Result<(), FlatError> {
+        if truth.poisoned {
             return Err(FlatError::Update(
-                "a durable commit failed mid-batch, so the in-memory state may \
-                 disagree with the committed log; reopen the database to recover"
+                "a writer batch failed between commit and publish, so the \
+                 resident state may disagree with the log or pages; reopen \
+                 the database to recover"
                     .into(),
             ));
         }
         Ok(())
     }
 
-    /// Marks the session poisoned (durable mode only) and passes the
-    /// error through.
-    fn poison(&mut self, e: FlatError) -> FlatError {
-        if self.options.durability != Durability::Off {
-            self.poisoned = true;
-        }
-        e
-    }
-
-    /// Commits `op` to the write-ahead log ahead of applying it — the
-    /// atomic commit point of a durable writer batch. A no-op with
-    /// durability off.
-    fn log_op(&mut self, op: &LogicalOp) -> Result<(), FlatError> {
+    /// Commits `ops` to the write-ahead log ahead of applying them — the
+    /// atomic commit point of a durable writer batch. Consecutive records
+    /// coalesce into **one** log append and one sync (group commit): the
+    /// frames share WAL pages, and the descending write-back order makes
+    /// the whole group durable — or none of it. A no-op with durability
+    /// off.
+    fn log_ops(&self, truth: &mut DbTruth, ops: &[&LogicalOp]) -> Result<(), FlatError> {
         if self.options.durability == Durability::Off {
             return Ok(());
         }
-        let bytes = encode_logical(self.next_seq, op);
-        let result = self.durable_store().append_record(&bytes);
+        let payloads: Vec<Vec<u8>> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| encode_logical(truth.next_seq + i as u64, op))
+            .collect();
+        let result = self.with_durable(|d| d.append_records(&payloads));
         if let Err(e) = result {
             // The in-memory log tail may now disagree with the store.
-            return Err(self.poison(e.into()));
+            truth.poisoned = true;
+            return Err(e.into());
         }
-        self.next_seq += 1;
+        truth.next_seq += ops.len() as u64;
         Ok(())
     }
 
-    /// Post-batch bookkeeping: counts the committed batch and runs the
+    /// Post-batch bookkeeping: counts the committed batches and runs the
     /// automatic checkpoint cadence.
-    fn after_commit(&mut self) -> Result<(), FlatError> {
+    fn after_commit(&self, truth: &mut DbTruth, batches: usize) -> Result<(), FlatError> {
         if self.options.durability == Durability::Off {
             return Ok(());
         }
-        self.batches_since_ckpt += 1;
+        truth.batches_since_ckpt += batches;
         if let Durability::WalCheckpoint { every_batches } = self.options.durability {
-            if self.batches_since_ckpt >= every_batches.max(1) {
-                self.checkpoint()?;
+            if truth.batches_since_ckpt >= every_batches.max(1) {
+                self.checkpoint_locked(truth)?;
             }
         }
         Ok(())
     }
 
     /// The index descriptor (the delta layer's base when a writer has
-    /// been opened).
-    pub fn index(&self) -> &FlatIndex {
-        match &self.state {
-            DbIndex::Base(index) => index,
-            DbIndex::Delta(delta) => delta.base(),
+    /// been opened), as currently published.
+    pub fn index(&self) -> Arc<FlatIndex> {
+        match &*read_unpoisoned(&self.published) {
+            DbIndex::Base(index) => Arc::clone(index),
+            DbIndex::Delta(delta) => Arc::new(delta.base().clone()),
         }
     }
 
-    /// The delta layer, once a writer has promoted the index.
-    pub fn delta(&self) -> Option<&DeltaIndex> {
-        match &self.state {
+    /// The published delta layer, once a writer has promoted the index.
+    pub fn delta(&self) -> Option<Arc<DeltaIndex>> {
+        match &*read_unpoisoned(&self.published) {
             DbIndex::Base(_) => None,
-            DbIndex::Delta(delta) => Some(delta),
+            DbIndex::Delta(delta) => Some(Arc::clone(delta)),
         }
     }
 
-    /// Live (non-deleted) elements.
+    /// Live (non-deleted) elements, as currently published.
     pub fn num_live_elements(&self) -> u64 {
-        match &self.state {
-            DbIndex::Base(index) => index.num_elements(),
-            DbIndex::Delta(delta) => delta.num_live_elements(),
-        }
+        read_unpoisoned(&self.published).num_live_elements()
     }
 
     /// `true` once the database holds an index (built, opened, or written
     /// into).
     pub fn is_built(&self) -> bool {
-        self.built
+        lock_unpoisoned(&self.truth).built
+    }
+
+    /// The current publish epoch: bumps by one at every committed writer
+    /// batch. A [`Snapshot`] records the epoch it pinned.
+    pub fn epoch(&self) -> u64 {
+        self.pool.epoch()
+    }
+
+    /// Page-versioning counters of the owned pool: pinned readers,
+    /// retained (not yet reclaimed) batch overlays, cumulative
+    /// copy-on-write page captures, and deferred frees.
+    pub fn version_stats(&self) -> VersionStats {
+        self.pool.version_stats()
     }
 
     /// Runs the delta layer's structural invariant checker against the
     /// session pool: symmetric neighbor links, MBR containment, no freed
     /// page reachable from a crawl. Returns `Ok(None)` while no writer
     /// has promoted the index (a pristine bulkload has nothing to check).
+    /// Takes the writer lock, so the latest view it checks is stable.
     pub fn check_invariants(&self) -> Result<Option<DeltaReport>, String> {
-        match &self.state {
+        let truth = lock_unpoisoned(&self.truth);
+        match &truth.state {
             DbIndex::Base(_) => Ok(None),
             DbIndex::Delta(delta) => delta
-                .check_invariants(&self.pool, &self.pool.store().free_pages())
+                .check_invariants(&self.pool, &self.pool.with_store(|s| s.free_pages()))
                 .map(Some),
         }
     }
@@ -834,37 +973,63 @@ impl<S: PageStore> FlatDb<S> {
 
     /// The backing page store (behind the durable wrapper, if any — so a
     /// durable session's store view does **not** include uncheckpointed
-    /// overlay pages).
-    pub fn store(&self) -> &S {
-        self.pool.store().backing()
+    /// overlay pages). Returns a read-guard that dereferences to the
+    /// store; a concurrent writer's page flushes briefly block on it.
+    pub fn store(&self) -> StoreRef<'_, S> {
+        StoreRef(self.pool.store_guard())
     }
 
-    /// Unwraps the database into its backing store. For a durable
-    /// database this drops any uncheckpointed overlay — deliberately the
-    /// same state a crash would leave, which the fault-injection tests
-    /// lean on; call [`FlatDb::checkpoint`] first to keep everything.
+    /// Unwraps the database into its backing store, executing any
+    /// deferred page frees first. For a durable database this drops any
+    /// uncheckpointed overlay — deliberately the same state a crash
+    /// would leave, which the fault-injection tests lean on; call
+    /// [`FlatDb::checkpoint`] first to keep everything.
     pub fn into_store(self) -> S {
         self.pool.into_store().into_backing()
     }
 
     /// Cumulative I/O statistics of the owned pool.
     pub fn io_stats(&self) -> IoStats {
-        self.pool.stats()
+        self.pool.cache().stats()
     }
 
     /// Drops every cached page (the paper's cold-cache protocol).
     pub fn clear_cache(&self) {
-        self.pool.clear_cache()
+        self.pool.cache().clear_cache()
     }
 
     /// Zeroes the I/O statistics.
     pub fn reset_stats(&self) {
-        self.pool.reset_stats()
+        self.pool.cache().reset_stats()
     }
 }
 
-/// A cheap serial read handle over a [`FlatDb`] — plain borrows, so
-/// copying one is free.
+/// A borrowed view of the backing store (see [`FlatDb::store`]): a read
+/// guard on the store lock that dereferences to the store itself.
+pub struct StoreRef<'a, S: PageStore>(RwLockReadGuard<'a, DbStore<S>>);
+
+impl<S: PageStore> Deref for StoreRef<'_, S> {
+    type Target = S;
+
+    fn deref(&self) -> &S {
+        self.0.backing()
+    }
+}
+
+impl<S: PageStore + std::fmt::Debug> std::fmt::Debug for StoreRef<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StoreRef({:?})", &**self)
+    }
+}
+
+/// A serial read handle over a [`FlatDb`], pinned to one epoch.
+///
+/// The snapshot owns a clone of the resident state published at pin
+/// time and an [`EpochPin`] on the versioned pool, so every page it
+/// reads is the byte image that epoch saw — a concurrent writer batch
+/// copy-on-writes around it. Dropping the snapshot releases the pin
+/// (unblocking version reclamation); cloning one re-pins the same
+/// epoch.
 ///
 /// Results are identical to calling the underlying index directly:
 /// range queries route to [`FlatIndex::range_query`] (or the
@@ -872,19 +1037,27 @@ impl<S: PageStore> FlatDb<S> {
 /// kNN to the matching `knn_query`.
 pub struct Snapshot<'db, S: PageStore> {
     db: &'db FlatDb<S>,
+    resident: DbIndex,
+    pin: EpochPin<'db, DbStore<S>>,
 }
 
-// Manual impls: a derive would demand `S: Clone`/`S: Copy`, but the
-// snapshot only holds a reference — it is copyable for every store.
 impl<S: PageStore> Clone for Snapshot<'_, S> {
     fn clone(&self) -> Self {
-        *self
+        Snapshot {
+            db: self.db,
+            resident: self.resident.clone(),
+            pin: self.pin.clone(),
+        }
     }
 }
 
-impl<S: PageStore> Copy for Snapshot<'_, S> {}
-
 impl<S: PageStore> Snapshot<'_, S> {
+    /// The epoch this snapshot pinned: it observes exactly the batches
+    /// published before that epoch, none after.
+    pub fn epoch(&self) -> u64 {
+        self.pin.epoch()
+    }
+
     /// Every live element whose MBR intersects `query`.
     pub fn range(&self, query: &Aabb) -> Result<Vec<Hit>, FlatError> {
         let mut stats = QueryStats::default();
@@ -897,9 +1070,9 @@ impl<S: PageStore> Snapshot<'_, S> {
         query: &Aabb,
         stats: &mut QueryStats,
     ) -> Result<Vec<Hit>, FlatError> {
-        Ok(match &self.db.state {
-            DbIndex::Base(index) => index.range_query_with_stats(&self.db.pool, query, stats)?,
-            DbIndex::Delta(delta) => delta.range_query_with_stats(&self.db.pool, query, stats)?,
+        Ok(match &self.resident {
+            DbIndex::Base(index) => index.range_query_with_stats(&self.pin, query, stats)?,
+            DbIndex::Delta(delta) => delta.range_query_with_stats(&self.pin, query, stats)?,
         })
     }
 
@@ -916,9 +1089,9 @@ impl<S: PageStore> Snapshot<'_, S> {
         k: usize,
         stats: &mut KnnStats,
     ) -> Result<Vec<Neighbor>, FlatError> {
-        Ok(match &self.db.state {
-            DbIndex::Base(index) => index.knn_query_with_stats(&self.db.pool, point, k, stats)?,
-            DbIndex::Delta(delta) => delta.knn_query_with_stats(&self.db.pool, point, k, stats)?,
+        Ok(match &self.resident {
+            DbIndex::Base(index) => index.knn_query_with_stats(&self.pin, point, k, stats)?,
+            DbIndex::Delta(delta) => delta.knn_query_with_stats(&self.pin, point, k, stats)?,
         })
     }
 
@@ -933,14 +1106,15 @@ impl<S: PageStore> Snapshot<'_, S> {
         self.db.io_stats()
     }
 
-    /// The index descriptor this snapshot reads.
+    /// The index descriptor this snapshot reads (the resident state
+    /// pinned at snapshot creation, not the latest published one).
     pub fn index(&self) -> &FlatIndex {
-        self.db.index()
+        self.resident.base()
     }
 
     /// Live elements visible to this snapshot.
     pub fn num_live_elements(&self) -> u64 {
-        self.db.num_live_elements()
+        self.resident.num_live_elements()
     }
 }
 
@@ -998,18 +1172,28 @@ impl<S: PageStore> QueryBuilder<'_, S> {
     }
 }
 
-impl<S: PageStore + Sync> QueryBuilder<'_, S> {
+impl<S: PageStore + Send + Sync> QueryBuilder<'_, S> {
     /// Runs the queued **range** queries as one batch. Results are
     /// index-aligned with the queueing order and identical to serial
-    /// evaluation.
+    /// evaluation. The batch runs over one pinned [`Snapshot`], so a
+    /// concurrent writer cannot shear it: every query in the batch sees
+    /// the same epoch.
     pub fn run_batch(self) -> Result<BatchOutcome, FlatError> {
         if !self.knns.is_empty() {
             return Err(FlatError::Query(
                 "kNN queries are queued; run them with run_knn_batch".into(),
             ));
         }
+        let snap = self.db.reader();
         let before = self.db.io_stats();
-        let mut outcome = self.engine().run_range_batch(&self.ranges)?;
+        let mut outcome = match &snap.resident {
+            DbIndex::Base(index) => QueryEngine::with_config(index, &snap.pin, self.config)
+                .run_range_batch(&self.ranges)?,
+            DbIndex::Delta(delta) => {
+                QueryEngine::for_delta_with_config(delta, &snap.pin, self.config)
+                    .run_range_batch(&self.ranges)?
+            }
+        };
         outcome.io = self.db.io_stats().since(&before);
         Ok(outcome)
     }
@@ -1021,29 +1205,41 @@ impl<S: PageStore + Sync> QueryBuilder<'_, S> {
                 "range queries are queued; run them with run_batch".into(),
             ));
         }
+        let snap = self.db.reader();
         let before = self.db.io_stats();
-        let mut outcome = self.engine().run_knn_batch(&self.knns)?;
+        let mut outcome = match &snap.resident {
+            DbIndex::Base(index) => {
+                QueryEngine::with_config(index, &snap.pin, self.config).run_knn_batch(&self.knns)?
+            }
+            DbIndex::Delta(delta) => {
+                QueryEngine::for_delta_with_config(delta, &snap.pin, self.config)
+                    .run_knn_batch(&self.knns)?
+            }
+        };
         outcome.io = self.db.io_stats().since(&before);
         Ok(outcome)
     }
-
-    fn engine(&self) -> QueryEngine<'_, ConcurrentBufferPool<DbStore<S>>> {
-        match &self.db.state {
-            DbIndex::Base(index) => QueryEngine::with_config(index, &self.db.pool, self.config),
-            DbIndex::Delta(delta) => {
-                QueryEngine::for_delta_with_config(delta, &self.db.pool, self.config)
-            }
-        }
-    }
 }
 
-/// An exclusive write session over a [`FlatDb`].
+/// One logical mutation for [`Writer::apply`].
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Insert a batch of new elements (ids must not be live).
+    Insert(Vec<Entry>),
+    /// Delete elements by application id.
+    Delete(Vec<u64>),
+}
+
+/// A write session over a [`FlatDb`].
 ///
-/// Holding a writer borrows the database mutably, so no snapshot or query
-/// can observe a half-applied batch — the reader/updater discipline the
-/// delta layer documents, enforced by the borrow checker.
+/// Holding a writer holds the truth mutex, so writer sessions serialize
+/// against each other — but **snapshots never block**: each batch
+/// applies behind the published state (copy-on-write at both the page
+/// and the resident-table level) and flips into view atomically when it
+/// commits. No snapshot or query can observe a half-applied batch.
 pub struct Writer<'db, S: PageStore> {
-    db: &'db mut FlatDb<S>,
+    db: &'db FlatDb<S>,
+    truth: MutexGuard<'db, DbTruth>,
 }
 
 impl<S: PageStore> Writer<'_, S> {
@@ -1052,88 +1248,208 @@ impl<S: PageStore> Writer<'_, S> {
     /// Unlike the low-level call, colliding application ids are reported
     /// as a [`FlatError::Update`] instead of a panic.
     pub fn insert(&mut self, entries: Vec<Entry>) -> Result<(), FlatError> {
-        self.db.check_writable()?;
-        {
-            // Validate *before* the commit point: a rejected batch must
-            // reach neither the log nor the pages.
-            let DbIndex::Delta(delta) = &self.db.state else {
-                unreachable!("writer() promoted the index")
-            };
-            let mut batch_ids = HashSet::with_capacity(entries.len());
-            for e in &entries {
-                if delta.contains_id(e.id) || !batch_ids.insert(e.id) {
-                    return Err(FlatError::Update(format!(
-                        "insert of id {} which is already live",
-                        e.id
-                    )));
-                }
-            }
-        }
-        if entries.is_empty() {
-            return Ok(());
-        }
-        let op = LogicalOp::Insert(entries);
-        self.db.log_op(&op)?;
-        let LogicalOp::Insert(entries) = op else {
-            unreachable!("constructed above")
-        };
-        let DbIndex::Delta(delta) = &mut self.db.state else {
-            unreachable!("writer() promoted the index")
-        };
-        if let Err(e) = delta.insert_batch(&mut self.db.pool, entries) {
-            return Err(self.db.poison(e.into()));
-        }
-        self.db.dirty = true;
-        self.db.after_commit()
+        self.commit(vec![LogicalOp::Insert(entries)]).map(|_| ())
     }
 
     /// Deletes elements by application id, returning how many were live
     /// (see [`DeltaIndex::delete_batch`]).
     pub fn delete(&mut self, ids: &[u64]) -> Result<usize, FlatError> {
-        self.db.check_writable()?;
         if ids.is_empty() {
             return Ok(0);
         }
-        self.db.log_op(&LogicalOp::Delete(ids.to_vec()))?;
-        let DbIndex::Delta(delta) = &mut self.db.state else {
-            unreachable!("writer() promoted the index")
-        };
-        let deleted = match delta.delete_batch(&mut self.db.pool, ids) {
-            Ok(deleted) => deleted,
-            Err(e) => return Err(self.db.poison(e.into())),
-        };
-        if deleted > 0 {
-            self.db.dirty = true;
-        }
-        self.db.after_commit()?;
-        Ok(deleted)
+        let applied = self.commit(vec![LogicalOp::Delete(ids.to_vec())])?;
+        Ok(applied[0])
+    }
+
+    /// Applies a *group* of mutations as one commit: one coalesced
+    /// write-ahead-log append (one sync), one copy-on-write page batch,
+    /// and one atomic publish — snapshots see all of the group's ops or
+    /// none of them. Returns, per op, how many elements it applied to
+    /// (inserted entries, or deleted live elements).
+    ///
+    /// Validation is group-aware and runs before the commit point: an
+    /// insert may re-use an id deleted *earlier in the same group*, and
+    /// a rejected group reaches neither the log nor the pages.
+    pub fn apply(&mut self, ops: Vec<WriteOp>) -> Result<Vec<usize>, FlatError> {
+        let ops: Vec<LogicalOp> = ops
+            .into_iter()
+            .map(|op| match op {
+                WriteOp::Insert(entries) => LogicalOp::Insert(entries),
+                WriteOp::Delete(ids) => LogicalOp::Delete(ids),
+            })
+            .collect();
+        self.commit(ops)
     }
 
     /// Merges all deltas back into a pristine bulkload — pages
     /// byte-identical to a fresh build over the surviving elements (see
-    /// [`DeltaIndex::compact`]).
+    /// [`DeltaIndex::compact`]). Like every writer batch, the rebuild is
+    /// invisible to concurrent snapshots until its atomic publish.
     pub fn compact(&mut self) -> Result<BuildStats, FlatError> {
-        self.db.check_writable()?;
-        self.db.log_op(&LogicalOp::Compact)?;
-        let DbIndex::Delta(delta) = &mut self.db.state else {
-            unreachable!("writer() promoted the index")
+        let db = self.db;
+        let truth = &mut *self.truth;
+        FlatDb::<S>::check_writable(truth)?;
+        db.log_ops(truth, &[&LogicalOp::Compact])?;
+        let mut batch = db.pool.begin_batch();
+        let result = {
+            let DbIndex::Delta(delta) = &mut truth.state else {
+                unreachable!("writer() promoted the index")
+            };
+            Arc::make_mut(delta).compact(&mut batch)
         };
-        let stats = match delta.compact(&mut self.db.pool) {
+        let stats = match result {
             Ok(stats) => stats,
-            Err(e) => return Err(self.db.poison(e.into())),
+            Err(e) => {
+                // The aborted batch's overlay keeps pinned and future
+                // snapshots on the pre-batch bytes; refusing further
+                // writes keeps it that way.
+                truth.poisoned = true;
+                return Err(e.into());
+            }
         };
-        self.db.dirty = false;
-        self.db.after_commit()?;
+        {
+            let mut published = write_unpoisoned(&db.published);
+            batch.publish();
+            *published = truth.state.clone();
+        }
+        truth.dirty = false;
+        db.after_commit(truth, 1)?;
         Ok(stats)
     }
 
-    /// The delta layer this writer mutates.
+    /// The commit path shared by every mutation: validate → log (group
+    /// commit) → apply into one copy-on-write batch → publish
+    /// atomically → checkpoint cadence.
+    fn commit(&mut self, ops: Vec<LogicalOp>) -> Result<Vec<usize>, FlatError> {
+        let db = self.db;
+        let truth = &mut *self.truth;
+        FlatDb::<S>::check_writable(truth)?;
+        {
+            // Validate *before* the commit point: a rejected group must
+            // reach neither the log nor the pages.
+            let DbIndex::Delta(delta) = &truth.state else {
+                unreachable!("writer() promoted the index")
+            };
+            validate_ops(delta, &ops)?;
+        }
+        // Empty ops commit nothing: they are not logged (replay would be
+        // a no-op) and count as zero applied elements.
+        let loggable: Vec<&LogicalOp> = ops
+            .iter()
+            .filter(|op| match op {
+                LogicalOp::Insert(entries) => !entries.is_empty(),
+                LogicalOp::Delete(ids) => !ids.is_empty(),
+                LogicalOp::Compact => true,
+            })
+            .collect();
+        if loggable.is_empty() {
+            return Ok(vec![0; ops.len()]);
+        }
+        let logged = loggable.len();
+        db.log_ops(truth, &loggable)?;
+        // Apply the whole group into ONE page batch: pinned snapshots
+        // keep reading the pre-group images from its overlay.
+        let mut batch = db.pool.begin_batch();
+        let mut made_dirty = false;
+        let result: Result<Vec<usize>, FlatError> = (|| {
+            let DbIndex::Delta(delta) = &mut truth.state else {
+                unreachable!("writer() promoted the index")
+            };
+            let delta = Arc::make_mut(delta);
+            let mut applied = Vec::with_capacity(ops.len());
+            for op in ops {
+                applied.push(match op {
+                    LogicalOp::Insert(entries) if entries.is_empty() => 0,
+                    LogicalOp::Insert(entries) => {
+                        let n = entries.len();
+                        delta.insert_batch(&mut batch, entries)?;
+                        made_dirty = true;
+                        n
+                    }
+                    LogicalOp::Delete(ids) if ids.is_empty() => 0,
+                    LogicalOp::Delete(ids) => {
+                        let deleted = delta.delete_batch(&mut batch, &ids)?;
+                        if deleted > 0 {
+                            made_dirty = true;
+                        }
+                        deleted
+                    }
+                    LogicalOp::Compact => {
+                        delta.compact(&mut batch)?;
+                        0
+                    }
+                });
+            }
+            Ok(applied)
+        })();
+        let applied = match result {
+            Ok(applied) => applied,
+            Err(e) => {
+                // Dropping the unpublished batch keeps every snapshot —
+                // pinned or future — on the pre-group bytes; refusing
+                // further writes keeps the half-applied latest view from
+                // ever being published.
+                truth.poisoned = true;
+                return Err(e);
+            }
+        };
+        // The atomic publish: epoch bump and resident swap under one
+        // write lock, paired with the pin-under-read-lock in reader().
+        {
+            let mut published = write_unpoisoned(&db.published);
+            batch.publish();
+            *published = truth.state.clone();
+        }
+        if made_dirty {
+            truth.dirty = true;
+        }
+        db.after_commit(truth, logged)?;
+        Ok(applied)
+    }
+
+    /// The delta layer this writer mutates (its truth copy — published
+    /// snapshots may still be behind it until the next commit).
     pub fn delta(&self) -> &DeltaIndex {
-        match &self.db.state {
+        match &self.truth.state {
             DbIndex::Delta(delta) => delta,
             DbIndex::Base(_) => unreachable!("writer() promoted the index"),
         }
     }
+}
+
+/// Group-aware pre-commit validation: walks the ops in order, tracking
+/// ids the group has inserted or deleted so far, and rejects an insert
+/// of an id that would be live at that point in the sequence.
+fn validate_ops(delta: &DeltaIndex, ops: &[LogicalOp]) -> Result<(), FlatError> {
+    let mut added: HashSet<u64> = HashSet::new();
+    let mut removed: HashSet<u64> = HashSet::new();
+    for op in ops {
+        match op {
+            LogicalOp::Insert(entries) => {
+                for e in entries {
+                    let live = added.contains(&e.id)
+                        || (!removed.contains(&e.id) && delta.contains_id(e.id));
+                    if live {
+                        return Err(FlatError::Update(format!(
+                            "insert of id {} which is already live",
+                            e.id
+                        )));
+                    }
+                    added.insert(e.id);
+                    removed.remove(&e.id);
+                }
+            }
+            LogicalOp::Delete(ids) => {
+                for id in ids {
+                    if !added.remove(id) {
+                        removed.insert(*id);
+                    }
+                }
+            }
+            LogicalOp::Compact => {}
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1336,7 +1652,7 @@ mod tests {
     #[test]
     fn durable_delta_only_database_recovers_from_the_initial_checkpoint() {
         let options = updatable_options().with_durability(Durability::Wal);
-        let mut db = FlatDb::create_durable(flat_storage::MemStore::new(), options).unwrap();
+        let db = FlatDb::create_durable(flat_storage::MemStore::new(), options).unwrap();
         {
             let mut writer = db.writer().unwrap();
             writer

@@ -103,7 +103,7 @@ pub struct DeltaReport {
 /// A mutable FLAT index: a delta layer of inserts/deletes over a bulkloaded
 /// base, query-equivalent at every point to a fresh rebuild over the
 /// surviving elements. See the module docs for the mechanism.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DeltaIndex {
     base: FlatIndex,
     options: FlatOptions,

@@ -85,7 +85,8 @@ mod spatial;
 
 pub use builder::{FlatIndexBuilder, StreamingStats, DEFAULT_SPILL_BUDGET};
 pub use db::{
-    BuildReport, DbOptions, Durability, FlatDb, QueryBuilder, RecoveryReport, Snapshot, Writer,
+    BuildReport, DbOptions, Durability, FlatDb, QueryBuilder, RecoveryReport, Snapshot, StoreRef,
+    WriteOp, Writer,
 };
 pub use delta::{verify_compacted_store, DeltaIndex, DeltaReport};
 pub use engine::{BatchOutcome, EngineConfig, KnnBatchOutcome, QueryEngine};

@@ -5,9 +5,9 @@
 //! STR machinery as Algorithm 1 ([`crate::partition::shard_regions`]).
 //! Each shard owns a full vertical slice of the system — a page store, a
 //! [`DiskScheduler`] (submission queues, read coalescing, priority lanes)
-//! and a [`FlatIndex`] — so shards never contend on a buffer pool or a
-//! store mutex, and I/O for K shards proceeds on K independent worker
-//! pools.
+//! behind a [`VersionedPool`], and a [`FlatIndex`] — so shards never
+//! contend on a buffer pool or a store mutex, and I/O for K shards
+//! proceeds on K independent worker pools.
 //!
 //! Every shard's index is built over the **global** domain: FLAT's crawl
 //! is exhaustive only when the partition tiling covers the whole space a
@@ -23,16 +23,31 @@
 //! * **Range queries** fan out to the shards whose coverage intersects the
 //!   query and concatenate the disjoint per-shard results (sorted by
 //!   element id, so the merged order is deterministic).
-//! * **kNN queries** run a global best-first merge: shards are visited in
-//!   ascending order of their coverage's distance to the query point, each
-//!   contributes its exact per-shard top-k stream, and the scan stops as
-//!   soon as the next shard's lower bound exceeds the current k-th
-//!   distance. Results are exact; ties are broken by `(dist_sq, id)` —
-//!   element ids rather than the single-index physical `(page, slot)`
-//!   order, which is not comparable across independently built shards.
-//! * **Updates** route by element center along the slab cuts. The first
-//!   update promotes every shard to a [`DeltaIndex`] so deletes can be
-//!   routed by id (`contains_id`) rather than by space.
+//! * **kNN queries** run a global best-first merge: every shard is pinned
+//!   *first*, in ascending shard order, so the merge sees one consistent
+//!   frontier (per-shard epochs; a batch publishing mid-merge cannot move
+//!   an element between the visited and unvisited sides). Shards are then
+//!   visited in ascending order of their coverage's distance to the query
+//!   point, each contributes its exact per-shard top-k stream, and the
+//!   scan stops as soon as the next shard's lower bound exceeds the
+//!   current k-th distance. Results are exact; ties are broken by
+//!   `(dist_sq, id)` — element ids rather than the single-index physical
+//!   `(page, slot)` order, which is not comparable across independently
+//!   built shards.
+//! * **Updates** route by a global id → shard owner table (populated at
+//!   build, maintained by every insert and delete), and promote **only
+//!   the shards a batch actually touches** to the delta layer — read-only
+//!   shards keep serving the cheaper pristine base-index crawl path.
+//!
+//! # Snapshots
+//!
+//! Queries never block on updates: each shard is a miniature
+//! [`crate::FlatDb`] — a published resident view behind a read lock plus
+//! an [`EpochPin`] into the shard's [`VersionedPool`]. A query pins the
+//! shard's current epoch and reads that version of every page while a
+//! concurrent batch copy-on-writes new ones; the batch publishes its
+//! pages and the new resident view under the same write lock, so a
+//! snapshot is always element-consistent per shard.
 
 use crate::delta::DeltaIndex;
 use crate::error::FlatError;
@@ -42,9 +57,17 @@ use crate::partition::shard_regions;
 use flat_geom::{Aabb, Point3};
 use flat_rtree::{Entry, Hit, LeafLayout};
 use flat_storage::{
-    BufferPool, DiskScheduler, IoStats, MemStore, PageStore, SchedulerConfig, SchedulerStats,
+    BatchWriter, BufferPool, DiskScheduler, EpochPin, IoStats, MemStore, PageStore,
+    SchedulerConfig, SchedulerStats, StorageError, StoreCell, VersionStats, VersionedPool,
 };
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A shard's MVCC pool: a [`DiskScheduler`] cache over the shared store
+/// cell, versioned for snapshot reads.
+type ShardPool<S> = VersionedPool<S, DiskScheduler<StoreCell<S>>>;
+type ShardPin<'a, S> = EpochPin<'a, S, DiskScheduler<StoreCell<S>>>;
+type ShardBatch<'a, S> = BatchWriter<'a, S, DiskScheduler<StoreCell<S>>>;
 
 /// Options for [`ShardedDb::build`].
 #[derive(Debug, Clone, Copy)]
@@ -73,22 +96,50 @@ impl Default for ShardOptions {
     }
 }
 
-/// A shard's index: pristine bulkload until the first update promotes it
-/// to the delta layer.
+/// A shard's index: pristine bulkload until the first update against
+/// *this shard* promotes it to the delta layer. Arcs make the published
+/// view cheap to clone into snapshots; the writer copy-on-writes the
+/// resident tables through [`Arc::make_mut`].
+#[derive(Clone)]
 enum ShardIndex {
-    Base(FlatIndex),
-    Delta(Box<DeltaIndex>),
-    /// A promotion failed mid-flight (storage error while adopting the
-    /// base). The error was returned to the updater; the shard is unusable.
+    Base(Arc<FlatIndex>),
+    Delta(Arc<DeltaIndex>),
+    /// A batch failed after its commit point. Queries keep serving the
+    /// last published snapshot; further updates panic.
     Poisoned,
 }
 
-struct Shard<S: PageStore + Send + Sync + 'static> {
-    pool: DiskScheduler<S>,
+/// What a query snapshot captures: the resident index tables plus the
+/// routing bound, both as of one published epoch.
+#[derive(Clone)]
+struct ShardView {
     index: ShardIndex,
     /// Slab tile stretched to contain every owned element — what query
     /// routing tests. Grows when inserts land outside it.
     coverage: Aabb,
+}
+
+struct Shard<S: PageStore + Send + Sync + 'static> {
+    pool: ShardPool<S>,
+    /// Writer-side truth. The mutex serializes this shard's updates;
+    /// queries never take it.
+    truth: Mutex<ShardView>,
+    /// Reader-side view, swapped atomically with each batch publish.
+    published: RwLock<ShardView>,
+}
+
+impl<S: PageStore + Send + Sync + 'static> Shard<S> {
+    /// Pins the shard's current epoch and clones the published view —
+    /// under the published read lock, so the pin and the view belong to
+    /// the same version (a concurrent publish lands entirely before or
+    /// entirely after).
+    fn snapshot(&self) -> (ShardView, ShardPin<'_, S>) {
+        let published = read(&self.published);
+        let pin = self.pool.pin();
+        let view = published.clone();
+        drop(published);
+        (view, pin)
+    }
 }
 
 fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
@@ -97,6 +148,10 @@ fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
 
 fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// A global kNN candidate: ordered by `(dist_sq, id)`, the sharded layer's
@@ -132,12 +187,15 @@ impl Ord for MergeCand {
 /// K spatial shards, each owning a store + [`DiskScheduler`] + index, with
 /// cross-shard query routing and a global exact kNN merge.
 ///
-/// All query and update entry points take `&self`: per-shard `RwLock`s
-/// serialize updates against queries shard-locally, so traffic for
-/// different shards never contends. Multi-shard operations take locks one
-/// shard at a time in ascending shard order (no deadlocks; a query
-/// overlapping an in-flight update may see some shards before and some
-/// after it, exactly like independent databases would).
+/// All query and update entry points take `&self`. Queries are
+/// **wait-free with respect to updates**: they pin the shard's epoch and
+/// read the published snapshot, so a shard mid-batch keeps answering from
+/// its pre-batch version. Updates serialize per shard on the shard's
+/// truth mutex; traffic for different shards never contends. A query
+/// overlapping an in-flight multi-shard update may see some shards before
+/// and some after it, exactly like independent databases would — except
+/// kNN, which pins every shard up front and merges one consistent
+/// frontier.
 ///
 /// ```
 /// use flat_core::{ShardOptions, ShardedDb};
@@ -154,13 +212,17 @@ impl Ord for MergeCand {
 /// assert_eq!(nn.len(), 5);
 /// ```
 pub struct ShardedDb<S: PageStore + Send + Sync + 'static> {
-    shards: Vec<RwLock<Shard<S>>>,
+    shards: Vec<Shard<S>>,
     /// Upper x-bound of each shard's slab except the last: element centers
     /// in `[cuts[i-1], cuts[i])` route to shard `i`.
     cuts: Vec<f64>,
     domain: Aabb,
     /// Resolved per-shard index options (`domain` always `Some(global)`).
     options: FlatOptions,
+    /// Global id → owning shard, populated at build and maintained by
+    /// every insert and delete. Routes deletes and liveness checks
+    /// without promoting read-only shards.
+    owners: RwLock<HashMap<u64, u32>>,
 }
 
 impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
@@ -202,17 +264,25 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
             .take(num_shards - 1)
             .map(|r| r.tile.max.x)
             .collect();
+        let mut owners = HashMap::new();
         let shards = regions
             .into_iter()
             .enumerate()
             .map(|(i, region)| {
-                let mut pool = BufferPool::new(store_factory(i), options.pool_pages);
+                owners.extend(region.elements.iter().map(|e| (e.id, i as u32)));
+                let cell = StoreCell::new(store_factory(i));
+                let mut pool = BufferPool::new(cell.clone(), options.pool_pages);
                 let (index, _) = FlatIndex::build(&mut pool, region.elements, options.index)?;
-                Ok(RwLock::new(Shard {
-                    pool: DiskScheduler::from_pool(pool, options.scheduler),
-                    index: ShardIndex::Base(index),
+                let scheduler = DiskScheduler::from_pool(pool, options.scheduler);
+                let view = ShardView {
+                    index: ShardIndex::Base(Arc::new(index)),
                     coverage: region.coverage,
-                }))
+                };
+                Ok(Shard {
+                    pool: VersionedPool::from_parts(cell, scheduler),
+                    truth: Mutex::new(view.clone()),
+                    published: RwLock::new(view),
+                })
             })
             .collect::<Result<Vec<_>, FlatError>>()?;
         Ok(ShardedDb {
@@ -220,6 +290,7 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
             cuts,
             domain,
             options: options.index,
+            owners: RwLock::new(owners),
         })
     }
 
@@ -238,14 +309,32 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
     /// # Panics
     /// Panics if `i` is out of range.
     pub fn shard_coverage(&self, i: usize) -> Aabb {
-        read(&self.shards[i]).coverage
+        read(&self.shards[i].published).coverage
+    }
+
+    /// True while shard `i` still serves the pristine bulkload — no
+    /// update has touched it, so queries take the cheaper base-index
+    /// crawl path (promotion is lazy and per shard).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn shard_is_base(&self, i: usize) -> bool {
+        matches!(read(&self.shards[i].published).index, ShardIndex::Base(_))
+    }
+
+    /// Shard `i`'s versioning counters (per-shard epochs).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn shard_version_stats(&self, i: usize) -> VersionStats {
+        self.shards[i].pool.version_stats()
     }
 
     /// Live elements across all shards.
     pub fn num_live_elements(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| match &read(s).index {
+            .map(|s| match &read(&s.published).index {
                 ShardIndex::Base(index) => index.num_elements(),
                 ShardIndex::Delta(delta) => delta.num_live_elements(),
                 ShardIndex::Poisoned => 0,
@@ -257,7 +346,7 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
     pub fn io_stats(&self) -> IoStats {
         let mut out = IoStats::default();
         for s in &self.shards {
-            out.accumulate(&read(s).pool.stats());
+            out.accumulate(&s.pool.cache().stats());
         }
         out
     }
@@ -268,7 +357,7 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
     pub fn scheduler_stats(&self) -> SchedulerStats {
         let mut out = SchedulerStats::default();
         for s in &self.shards {
-            out.accumulate(&read(s).pool.scheduler_stats());
+            out.accumulate(&s.pool.cache().scheduler_stats());
         }
         out
     }
@@ -277,32 +366,33 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
     /// protocol).
     pub fn clear_cache(&self) {
         for s in &self.shards {
-            read(s).pool.clear_cache();
+            s.pool.cache().clear_cache();
         }
     }
 
     /// Zeroes I/O and scheduler statistics in every shard.
     pub fn reset_stats(&self) {
         for s in &self.shards {
-            let shard = read(s);
-            shard.pool.reset_stats();
-            shard.pool.reset_scheduler_stats();
+            s.pool.cache().reset_stats();
+            s.pool.cache().reset_scheduler_stats();
         }
     }
 
     /// Evaluates a range query: seed + crawl on every shard whose coverage
     /// intersects `query`, merged and sorted by element id (shards hold
-    /// disjoint elements, so the merge is a plain concatenation).
+    /// disjoint elements, so the merge is a plain concatenation). Each
+    /// shard answers from its pinned snapshot — a concurrent batch on any
+    /// shard neither blocks the query nor leaks partial effects into it.
     pub fn range_query(&self, query: &Aabb) -> Result<Vec<Hit>, FlatError> {
         let mut hits = Vec::new();
-        for (i, cell) in self.shards.iter().enumerate() {
-            let shard = read(cell);
-            if !shard.coverage.intersects(query) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (view, pin) = shard.snapshot();
+            if !view.coverage.intersects(query) {
                 continue;
             }
-            let mut part = match &shard.index {
-                ShardIndex::Base(index) => index.range_query(&shard.pool, query)?,
-                ShardIndex::Delta(delta) => delta.range_query(&shard.pool, query)?,
+            let mut part = match &view.index {
+                ShardIndex::Base(index) => index.range_query(&pin, query)?,
+                ShardIndex::Delta(delta) => delta.range_query(&pin, query)?,
                 ShardIndex::Poisoned => poisoned(i),
             };
             hits.append(&mut part);
@@ -314,20 +404,24 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
     /// Returns the `k` elements nearest to `point` across all shards,
     /// ascending, exact.
     ///
-    /// Shards are visited best-first by the distance from `point` to their
-    /// coverage box; the scan stops once the next shard's lower bound
-    /// exceeds the current k-th distance. Ties are broken by
-    /// `(dist_sq, id)` (see the module docs).
+    /// Every shard is pinned first (ascending shard order), so the merge
+    /// runs over one consistent frontier; shards are then visited
+    /// best-first by the distance from `point` to their coverage box, and
+    /// the scan stops once the next shard's lower bound exceeds the
+    /// current k-th distance. Ties are broken by `(dist_sq, id)` (see the
+    /// module docs).
     pub fn knn_query(&self, point: Point3, k: usize) -> Result<Vec<Neighbor>, FlatError> {
         if k == 0 {
             return Ok(Vec::new());
         }
-        // Snapshot coverage lower bounds, then visit ascending.
-        let mut order: Vec<(f64, usize)> = self
-            .shards
+        // Pin all shards before reading any: the frontier the merge
+        // bounds against is one epoch vector, not a moving target.
+        let snaps: Vec<(ShardView, ShardPin<'_, S>)> =
+            self.shards.iter().map(Shard::snapshot).collect();
+        let mut order: Vec<(f64, usize)> = snaps
             .iter()
             .enumerate()
-            .map(|(i, cell)| (read(cell).coverage.distance_sq_to_point(&point), i))
+            .map(|(i, (view, _))| (view.coverage.distance_sq_to_point(&point), i))
             .collect();
         order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
@@ -338,10 +432,10 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
             if best.len() == k && lower_bound > best.peek().expect("len == k >= 1").dist_sq {
                 break;
             }
-            let shard = read(&self.shards[i]);
-            let stream = match &shard.index {
-                ShardIndex::Base(index) => index.knn_query(&shard.pool, point, k)?,
-                ShardIndex::Delta(delta) => delta.knn_query(&shard.pool, point, k)?,
+            let (view, pin) = &snaps[i];
+            let stream = match &view.index {
+                ShardIndex::Base(index) => index.knn_query(pin, point, k)?,
+                ShardIndex::Delta(delta) => delta.knn_query(pin, point, k)?,
                 ShardIndex::Poisoned => poisoned(i),
             };
             for neighbor in stream {
@@ -370,8 +464,9 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
     }
 
     /// Inserts `entries`, routing each by its center's x coordinate along
-    /// the slab cuts. The first update promotes every shard to the delta
-    /// layer. Returns [`FlatError::Update`] if an id is already live.
+    /// the slab cuts. Only the shards that receive elements are promoted
+    /// to the delta layer. Returns [`FlatError::Update`] if an id is
+    /// already live.
     ///
     /// # Panics
     /// Panics if two entries *of this batch* share an id, or if a
@@ -381,13 +476,15 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
         if entries.is_empty() {
             return Ok(());
         }
-        self.promote_all()?;
-        for e in &entries {
-            if self.contains_live_id(e.id) {
-                return Err(FlatError::Update(format!(
-                    "insert of id {} which is already live",
-                    e.id
-                )));
+        {
+            let owners = read(&self.owners);
+            for e in &entries {
+                if owners.contains_key(&e.id) {
+                    return Err(FlatError::Update(format!(
+                        "insert of id {} which is already live",
+                        e.id
+                    )));
+                }
             }
         }
         let mut routed: Vec<Vec<Entry>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
@@ -398,76 +495,102 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
             if batch.is_empty() {
                 continue;
             }
+            let ids: Vec<u64> = batch.iter().map(|e| e.id).collect();
             let grown = Aabb::union_all(batch.iter().map(|e| e.mbr));
-            let mut guard = write(&self.shards[i]);
-            let shard = &mut *guard;
-            match &mut shard.index {
-                ShardIndex::Delta(delta) => delta.insert_batch(&mut shard.pool, batch)?,
-                _ => poisoned(i),
-            }
-            shard.coverage = shard.coverage.union(&grown);
+            self.update_shard(i, Some(grown), |delta, pool| {
+                delta.insert_batch(pool, batch)
+            })?;
+            write(&self.owners).extend(ids.into_iter().map(|id| (id, i as u32)));
         }
         Ok(())
     }
 
     /// Deletes elements by application id, returning how many were live.
-    /// Ids are routed by each shard's `contains_id` table (promoting all
-    /// shards to the delta layer on first use); unknown ids are ignored.
+    /// Ids are routed by the global owner table, so only the shards that
+    /// actually own one of `ids` are touched (and promoted, if still
+    /// pristine); unknown ids are ignored.
     pub fn delete(&self, ids: &[u64]) -> Result<usize, FlatError> {
         if ids.is_empty() {
             return Ok(0);
         }
-        self.promote_all()?;
-        let mut deleted = 0;
-        for (i, cell) in self.shards.iter().enumerate() {
-            let mut guard = write(cell);
-            let shard = &mut *guard;
-            match &mut shard.index {
-                ShardIndex::Delta(delta) => {
-                    let owned: Vec<u64> = ids
-                        .iter()
-                        .copied()
-                        .filter(|id| delta.contains_id(*id))
-                        .collect();
-                    if !owned.is_empty() {
-                        deleted += delta.delete_batch(&mut shard.pool, &owned)?;
-                    }
+        let mut routed: Vec<Vec<u64>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        {
+            let owners = read(&self.owners);
+            for &id in ids {
+                if let Some(&s) = owners.get(&id) {
+                    routed[s as usize].push(id);
                 }
-                _ => poisoned(i),
+            }
+        }
+        let mut deleted = 0;
+        for (i, owned) in routed.into_iter().enumerate() {
+            if owned.is_empty() {
+                continue;
+            }
+            deleted +=
+                self.update_shard(i, None, |delta, pool| delta.delete_batch(pool, &owned))?;
+            let mut owners = write(&self.owners);
+            for id in &owned {
+                owners.remove(id);
             }
         }
         Ok(deleted)
     }
 
+    /// Runs one delta batch against shard `i`: serializes on the shard's
+    /// truth mutex, promotes a pristine shard to the delta layer (lazily —
+    /// only now, only this shard), copy-on-writes the resident tables and
+    /// the touched pages, and publishes the new view and epoch atomically
+    /// under the published write lock. Queries pinned before the publish
+    /// keep their version; an apply error aborts the batch (readers stay
+    /// on the pre-batch snapshot) and poisons the shard.
+    fn update_shard<R>(
+        &self,
+        i: usize,
+        grow: Option<Aabb>,
+        apply: impl FnOnce(&mut DeltaIndex, &mut ShardBatch<'_, S>) -> Result<R, StorageError>,
+    ) -> Result<R, FlatError> {
+        let shard = &self.shards[i];
+        let mut truth = lock(&shard.truth);
+        if let ShardIndex::Base(base) = &truth.index {
+            // Promotion writes no pages (the delta layer adopts the base
+            // read-only), so no epoch bump is needed: publish just swaps
+            // the resident view.
+            let delta = DeltaIndex::new(&shard.pool, (**base).clone(), self.options)?;
+            truth.index = ShardIndex::Delta(Arc::new(delta));
+            *write(&shard.published) = truth.clone();
+        }
+        let mut batch = shard.pool.begin_batch();
+        let result = {
+            let ShardIndex::Delta(arc) = &mut truth.index else {
+                poisoned(i)
+            };
+            apply(Arc::make_mut(arc), &mut batch)
+        };
+        match result {
+            Err(e) => {
+                // Dropping the unpublished batch aborts it: the pending
+                // overlay keeps every reader (current and future) on the
+                // pre-batch version, but truth may hold half-applied
+                // resident tables — poison the shard.
+                truth.index = ShardIndex::Poisoned;
+                Err(e.into())
+            }
+            Ok(r) => {
+                if let Some(grown) = grow {
+                    truth.coverage = truth.coverage.union(&grown);
+                }
+                let mut published = write(&shard.published);
+                batch.publish();
+                *published = truth.clone();
+                Ok(r)
+            }
+        }
+    }
+
     /// Routes an element center to its owning shard.
     fn route(&self, x: f64) -> usize {
         self.cuts.partition_point(|&c| c <= x)
-    }
-
-    /// True if any shard holds `id` live. Only meaningful after promotion
-    /// (base shards have no id table).
-    fn contains_live_id(&self, id: u64) -> bool {
-        self.shards.iter().any(|cell| match &read(cell).index {
-            ShardIndex::Delta(delta) => delta.contains_id(id),
-            _ => false,
-        })
-    }
-
-    /// Promotes every still-pristine shard to the delta layer.
-    fn promote_all(&self) -> Result<(), FlatError> {
-        for cell in &self.shards {
-            let mut guard = write(cell);
-            if matches!(guard.index, ShardIndex::Base(_)) {
-                let ShardIndex::Base(base) =
-                    std::mem::replace(&mut guard.index, ShardIndex::Poisoned)
-                else {
-                    unreachable!()
-                };
-                let delta = DeltaIndex::new(&guard.pool, base, self.options)?;
-                guard.index = ShardIndex::Delta(Box::new(delta));
-            }
-        }
-        Ok(())
     }
 }
 
@@ -493,7 +616,7 @@ impl<S: PageStore + Send + Sync + 'static> std::fmt::Debug for ShardedDb<S> {
 
 #[track_caller]
 fn poisoned(shard: usize) -> ! {
-    panic!("shard {shard} was poisoned by a failed delta promotion");
+    panic!("shard {shard} was poisoned by a failed update batch");
 }
 
 #[cfg(test)]
@@ -635,6 +758,64 @@ mod tests {
     }
 
     #[test]
+    fn promotion_is_lazy_and_per_shard() {
+        // 3 shards over x ∈ [0, 90): updates that touch only one slab
+        // must leave the other shards on the pristine base-index path.
+        let entries: Vec<Entry> = (0..900)
+            .map(|i| {
+                let x = (i % 90) as f64 + 0.5;
+                Entry::new(i, Aabb::cube(Point3::new(x, 50.0, 50.0), 0.4))
+            })
+            .collect();
+        let db = ShardedDb::build_in_memory(3, entries.clone(), ShardOptions::default()).unwrap();
+        assert!((0..3).all(|i| db.shard_is_base(i)));
+
+        // An insert routed entirely into the leftmost slab.
+        db.insert(vec![Entry::new(
+            10_000,
+            Aabb::cube(Point3::new(2.0, 50.0, 50.0), 0.4),
+        )])
+        .unwrap();
+        assert!(!db.shard_is_base(0), "touched shard promotes");
+        assert!(
+            db.shard_is_base(1) && db.shard_is_base(2),
+            "others stay base"
+        );
+
+        // Deleting ids owned by the rightmost shard promotes only it.
+        let victim = entries
+            .iter()
+            .map(|e| e.id)
+            .find(|&id| {
+                let x = (id % 90) as f64 + 0.5;
+                x >= db.shard_coverage(2).min.x
+            })
+            .unwrap();
+        assert_eq!(db.delete(&[victim]).unwrap(), 1);
+        assert!(!db.shard_is_base(2));
+        assert!(db.shard_is_base(1), "untouched shard still base");
+
+        // Unknown ids touch (and promote) nothing.
+        assert_eq!(db.delete(&[999_999_999]).unwrap(), 0);
+        assert!(db.shard_is_base(1));
+
+        // Queries stay exact across the mixed base/delta fleet, and the
+        // touched shards carry their own epochs.
+        let mut live = entries;
+        live.push(Entry::new(
+            10_000,
+            Aabb::cube(Point3::new(2.0, 50.0, 50.0), 0.4),
+        ));
+        live.retain(|e| e.id != victim);
+        let q = Aabb::new(Point3::new(0.0, 45.0, 45.0), Point3::new(90.0, 55.0, 55.0));
+        let got: Vec<u64> = db.range_query(&q).unwrap().iter().map(|h| h.id).collect();
+        assert_eq!(got, reference_range(&live, &q));
+        assert_eq!(db.shard_version_stats(0).epoch, 1);
+        assert_eq!(db.shard_version_stats(1).epoch, 0);
+        assert_eq!(db.shard_version_stats(2).epoch, 1);
+    }
+
+    #[test]
     fn inserts_outside_coverage_grow_the_routing_bound() {
         let entries: Vec<Entry> = (0..400)
             .map(|i| Entry::new(i, Aabb::cube(Point3::splat(40.0 + (i % 20) as f64), 0.5)))
@@ -718,9 +899,6 @@ mod tests {
         ));
         let db =
             std::sync::Arc::new(ShardedDb::build_in_memory(4, entries.clone(), options).unwrap());
-        // Pre-promote via a no-op-ish update so threads only do queries vs
-        // one updater thread.
-        db.delete(&[999_999_999]).unwrap();
         let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
         let mut handles = Vec::new();
         for t in 0..4u64 {
@@ -741,7 +919,8 @@ mod tests {
                 hits
             }));
         }
-        // Updater: insert then delete disjoint scratch ids.
+        // Updater: insert then delete disjoint scratch ids, concurrent
+        // with the snapshot readers above.
         for round in 0..20u64 {
             let base = 1_000_000 + round * 100;
             let batch: Vec<Entry> = (0..50)

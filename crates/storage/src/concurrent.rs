@@ -15,6 +15,7 @@ use crate::sync_util::lock_unpoisoned;
 use crate::{
     BufferPool, IoStats, Page, PageId, PageKind, PageRead, PageStore, PageWrite, StorageError,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Default number of lock shards (must be a power of two).
@@ -37,6 +38,12 @@ pub struct ConcurrentBufferPool<S: PageStore> {
     shard_capacity: usize,
     capacity: usize,
     stats: AtomicIoStats,
+    /// Bumped by every shared-write install/drop ([`Self::install_cached`],
+    /// [`Self::drop_cached`]). Prefetches snapshot it before their unlocked
+    /// store fetch and discard the fetched bytes if it moved — the bytes
+    /// may predate a concurrent writer's install and must not be cached
+    /// over it.
+    write_stamp: AtomicU64,
 }
 
 impl<S: PageStore> ConcurrentBufferPool<S> {
@@ -64,6 +71,7 @@ impl<S: PageStore> ConcurrentBufferPool<S> {
             shard_capacity,
             capacity,
             stats: AtomicIoStats::default(),
+            write_stamp: AtomicU64::new(0),
         }
     }
 
@@ -145,6 +153,34 @@ impl<S: PageStore> ConcurrentBufferPool<S> {
         self.stats.load_snapshot(stats);
     }
 
+    /// Installs (or refreshes) the cached copy of `id` from a *shared*
+    /// borrow — the write path of the MVCC batch writer, which has already
+    /// put the same bytes on the store. Bumps the write stamp so racing
+    /// prefetch fetches of the possibly-stale pre-write bytes discard
+    /// themselves.
+    pub fn install_cached(&self, id: PageId, page: &Page, kind: PageKind) {
+        self.write_stamp.fetch_add(1, Ordering::SeqCst);
+        self.stats.record_write(kind);
+        let mut cache = self.shard(id);
+        if let Some(slot) = cache.slot_of(id) {
+            *cache.page_mut(slot) = page.clone();
+            cache.touch(slot);
+        } else {
+            let (_, evicted) = cache.insert(id, page.clone(), kind, self.shard_capacity, false);
+            if let Some(victim_kind) = evicted {
+                self.stats.record_prefetch_evicted(victim_kind);
+            }
+        }
+    }
+
+    /// Drops the cached copy of `id` (if any) from a shared borrow — the
+    /// free path of the MVCC batch writer. Bumps the write stamp for the
+    /// same reason as [`Self::install_cached`].
+    pub fn drop_cached(&self, id: PageId) {
+        self.write_stamp.fetch_add(1, Ordering::SeqCst);
+        self.shard(id).remove(id);
+    }
+
     /// Wraps the pool in an [`Arc`]-backed cloneable handle.
     pub fn into_handle(self) -> PoolHandle<S> {
         PoolHandle(Arc::new(self))
@@ -191,12 +227,19 @@ impl<S: PageStore> PageRead for ConcurrentBufferPool<S> {
         if self.shard(id).contains(id) {
             return;
         }
+        let stamp = self.write_stamp.load(Ordering::SeqCst);
         let mut page = Page::new();
         if self.store.read_page(id, &mut page).is_err() {
             return; // hints never fail; the demand read reports the error
         }
         self.stats.record_prefetch_read(kind);
         let mut cache = self.shard(id);
+        if self.write_stamp.load(Ordering::SeqCst) != stamp {
+            // A shared writer installed or dropped pages while the fetch
+            // was in flight: the fetched bytes may be stale. Discard them
+            // (the prefetch shows up as issued-but-unused, which it was).
+            return;
+        }
         if !cache.contains(id) {
             let (_, evicted) = cache.insert(id, page, kind, self.shard_capacity, true);
             if let Some(victim_kind) = evicted {

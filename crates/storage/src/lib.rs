@@ -42,6 +42,11 @@
 //! * [`FaultStore`] — fault injection for the crash-recovery test
 //!   harness: scripted kill-after-N-writes crashes, torn final writes,
 //!   and bit flips.
+//! * [`VersionedPool`] — epoch-based MVCC over a shared cache: batch
+//!   writers copy-on-write the pages they touch into per-epoch undo
+//!   overlays, readers pin an epoch ([`EpochPin`]) and stay wait-free
+//!   while a batch runs, and old versions (plus deferred page frees)
+//!   reclaim once the last reader pinned to them departs.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -58,6 +63,7 @@ pub mod scheduler;
 pub mod spill;
 mod store;
 mod sync_util;
+pub mod versioned;
 pub mod wal;
 
 pub use access::{PageRead, PageWrite};
@@ -73,6 +79,9 @@ pub use spill::{
     ExternalSorter, RunHandle, RunReader, RunWriter, SortedStream, SpillRecord, SpillStats,
 };
 pub use store::{FileStore, MemStore, PageStore, ThrottledStore};
+pub use versioned::{
+    BatchWriter, EpochPin, StoreCell, VersionStats, VersionedCache, VersionedPool,
+};
 pub use wal::{Wal, WalRecord};
 
 /// Identifies a page within a [`PageStore`].

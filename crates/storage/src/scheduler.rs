@@ -201,6 +201,14 @@ struct Request {
     /// `true` if a prefetch hint created this request (lane of origin; a
     /// demand read may later piggyback on it).
     origin_prefetch: bool,
+    /// Set by a shared-write install/drop of the same page while this
+    /// request is in flight: the fetch may return pre-write bytes. New
+    /// demand reads refuse to coalesce onto a stale request (they go to
+    /// the store directly), and the servicing worker does not cache its
+    /// result. Waiters that joined *before* the write still receive the
+    /// bytes — under the MVCC protocol those readers are pinned to an
+    /// epoch whose overlay corrects the page anyway.
+    stale: AtomicBool,
     /// Set once a demand read is waiting on this request.
     demanded: AtomicBool,
     /// Set by the worker that claims the request (the arbiter that keeps a
@@ -218,6 +226,7 @@ impl Request {
         Request {
             kind,
             origin_prefetch,
+            stale: AtomicBool::new(false),
             demanded: AtomicBool::new(!origin_prefetch),
             taken: AtomicBool::new(false),
             hit_credited: AtomicBool::new(false),
@@ -289,6 +298,10 @@ struct Core<S: PageStore> {
     config: SchedulerConfig,
     io: AtomicIoStats,
     sched: AtomicSchedulerStats,
+    /// Bumped by every shared-write install/drop. Workers snapshot it
+    /// before their store fetch and skip the cache insert if it moved —
+    /// the fetched bytes may predate a concurrent writer's install.
+    write_stamp: AtomicU64,
     queue: Mutex<SubmissionQueue>,
     /// Wakes workers when work arrives (or shutdown is signalled).
     work: Condvar,
@@ -391,6 +404,7 @@ fn worker_loop<S: PageStore>(core: &Core<S>) {
 /// already cached.
 fn service<S: PageStore>(core: &Core<S>, id: PageId, req: Arc<Request>) {
     let start = Instant::now();
+    let stamp = core.write_stamp.load(Ordering::SeqCst);
     let mut page = Page::new();
     let result = {
         let store = core.read_store();
@@ -404,7 +418,9 @@ fn service<S: PageStore>(core: &Core<S>, id: PageId, req: Arc<Request>) {
         }
         let prefetched_mark = req.origin_prefetch && !req.demanded.load(Ordering::Acquire);
         let mut cache = core.shard_cache(id);
-        if !cache.contains(id) {
+        let fresh =
+            !req.stale.load(Ordering::Acquire) && core.write_stamp.load(Ordering::SeqCst) == stamp;
+        if fresh && !cache.contains(id) {
             let (_, evicted) = cache.insert(
                 id,
                 page.clone(),
@@ -508,6 +524,7 @@ impl<S: PageStore + Send + Sync + 'static> DiskScheduler<S> {
             config,
             io: AtomicIoStats::default(),
             sched: AtomicSchedulerStats::default(),
+            write_stamp: AtomicU64::new(0),
             queue: Mutex::new(SubmissionQueue {
                 demand: VecDeque::new(),
                 prefetch: VecDeque::new(),
@@ -610,6 +627,48 @@ impl<S: PageStore + Send + Sync + 'static> DiskScheduler<S> {
         }
     }
 
+    /// Installs (or refreshes) the cached copy of `id` from a *shared*
+    /// borrow — the write path of the MVCC batch writer, which has already
+    /// put the same bytes on the store. Any in-flight fetch of the page is
+    /// marked stale: the worker won't cache its result and later demand
+    /// reads won't coalesce onto it.
+    pub fn install_cached(&self, id: PageId, page: &Page, kind: PageKind) {
+        let core = &self.core;
+        core.write_stamp.fetch_add(1, Ordering::SeqCst);
+        {
+            let q = lock_unpoisoned(&core.queue);
+            if let Some(req) = q.inflight.get(&id) {
+                req.stale.store(true, Ordering::Release);
+            }
+        }
+        core.io.record_write(kind);
+        let mut cache = core.shard_cache(id);
+        if let Some(slot) = cache.slot_of(id) {
+            *cache.page_mut(slot) = page.clone();
+            cache.touch(slot);
+        } else {
+            let (_, evicted) = cache.insert(id, page.clone(), kind, core.shard_capacity, false);
+            if let Some(victim_kind) = evicted {
+                core.io.record_prefetch_evicted(victim_kind);
+            }
+        }
+    }
+
+    /// Drops the cached copy of `id` (if any) from a shared borrow — the
+    /// free path of the MVCC batch writer. In-flight fetches of the page
+    /// are marked stale, exactly as in [`Self::install_cached`].
+    pub fn drop_cached(&self, id: PageId) {
+        let core = &self.core;
+        core.write_stamp.fetch_add(1, Ordering::SeqCst);
+        {
+            let q = lock_unpoisoned(&core.queue);
+            if let Some(req) = q.inflight.get(&id) {
+                req.stale.store(true, Ordering::Release);
+            }
+        }
+        core.shard_cache(id).remove(id);
+    }
+
     /// Exclusive access to the underlying store: quiesces every in-flight
     /// read, then runs `f` under the store's write lock. This is the
     /// flush barrier the durability layer needs — a checkpoint through
@@ -675,6 +734,17 @@ impl<S: PageStore + Send + Sync + 'static> PageRead for DiskScheduler<S> {
                 return Ok(page);
             }
             if let Some(req) = q.inflight.get(&id) {
+                if req.stale.load(Ordering::Acquire) {
+                    // The in-flight fetch predates a shared write of this
+                    // page: its bytes may be stale. Read the store
+                    // directly instead of piggybacking (and leave the
+                    // cache alone — the writer's install owns it).
+                    drop(q);
+                    core.io.record_read(kind, true);
+                    let mut page = Page::new();
+                    core.read_store().read_page(id, &mut page)?;
+                    return Ok(page);
+                }
                 // Coalesce: piggyback on the in-flight fetch.
                 let req = Arc::clone(req);
                 core.sched.demand_coalesced.fetch_add(1, relaxed);

@@ -73,7 +73,8 @@ pub mod prelude {
         BatchOutcome, BuildReport, BuildStats, DbOptions, DeltaIndex, DeltaReport, Durability,
         EngineConfig, FlatDb, FlatError, FlatIndex, FlatIndexBuilder, FlatOptions, IndexStats,
         KnnStats, Neighbor, QueryBuilder, QueryEngine, QueryStats, RTreeBuildOptions,
-        RecoveryReport, ShardOptions, ShardedDb, Snapshot, SpatialIndex, StreamingStats, Writer,
+        RecoveryReport, ShardOptions, ShardedDb, Snapshot, SpatialIndex, StreamingStats, WriteOp,
+        Writer,
     };
     pub use flat_data::mesh::{mesh_entries, MeshConfig, MeshSource};
     pub use flat_data::nbody::{nbody_entries, NBodyConfig, NBodySource};
@@ -87,6 +88,6 @@ pub mod prelude {
     pub use flat_storage::{
         BufferPool, ConcurrentBufferPool, DiskModel, DiskScheduler, FileStore, IoStats, MemStore,
         Page, PageId, PageKind, PageRead, PageStore, PageWrite, PoolHandle, SchedulerConfig,
-        SchedulerStats, ThrottledStore, PAGE_SIZE,
+        SchedulerStats, ThrottledStore, VersionStats, VersionedPool, PAGE_SIZE,
     };
 }

@@ -173,13 +173,19 @@ fn shared_pool_statistics_are_consistent_under_concurrency() {
 }
 
 #[test]
-fn readers_see_pre_or_post_batch_results_never_torn() {
-    // The dynamic-update concurrency discipline: updates take the pool
-    // exclusively (`&mut`, via ConcurrentBufferPool's PageWrite impl —
-    // here through an RwLock's write guard), reads share it. Readers
-    // racing an updater must observe, for the whole query workload, a
-    // result set equal to some *published version* — the state after some
-    // whole number of batches — never a torn mix of half-applied pages.
+fn readers_proceed_during_batches_and_never_see_partial_state() {
+    // The MVCC discipline: a reader pins a snapshot epoch and keeps
+    // answering from that version while a writer batch copy-on-writes
+    // pages under it — no lock handoff, no waiting. Every full workload
+    // pass a reader computes must equal the published version its pinned
+    // epoch names — the state after some whole number of batches, never a
+    // torn mix of half-applied pages — and reads must demonstrably
+    // complete *while* a batch is in flight (a throttled store keeps each
+    // batch open for tens of milliseconds; warm cached reads finish well
+    // inside that window).
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
     let (entries, domain) = neuron_dataset();
     let options = FlatOptions {
         layout: LeafLayout::WithIds,
@@ -188,67 +194,88 @@ fn readers_see_pre_or_post_batch_results_never_torn() {
     };
     let queries = queries(&domain);
 
-    let mut pool = ConcurrentBufferPool::new(MemStore::new(), 1 << 16);
-    let (index, _) = FlatIndex::build(&mut pool, entries.clone(), options).expect("build");
-    let delta = DeltaIndex::new(&pool, index, options).expect("adopt");
+    let store = ThrottledStore::with_parallelism(MemStore::new(), Duration::from_micros(150), 2);
+    let mut db = FlatDb::create(store, DbOptions::default().with_index(options));
+    db.build_from(entries.clone()).expect("build");
 
     type Version = Vec<Vec<[u64; 7]>>;
-    let snapshot =
-        |pool: &ConcurrentBufferPool<MemStore>, delta: &DeltaIndex, queries: &[Aabb]| -> Version {
-            queries
-                .iter()
-                .map(|q| keys(&delta.range_query(pool, q).expect("query")))
-                .collect()
-        };
+    let pass = |db: &FlatDb<ThrottledStore<MemStore>>, queries: &[Aabb]| -> (u64, Version) {
+        let snap = db.reader();
+        let version = queries
+            .iter()
+            .map(|q| keys(&snap.range(q).expect("query")))
+            .collect();
+        (snap.epoch(), version)
+    };
 
-    // Version 0 (pre-update) is published before any reader starts.
-    let versions: Mutex<Vec<Version>> = Mutex::new(vec![snapshot(&pool, &delta, &queries)]);
-    let world = RwLock::new((pool, delta));
+    // Oracle: expected workload answers keyed by the epoch that published
+    // them. Version 0 (pre-update) is recorded before any reader starts.
+    let versions: RwLock<std::collections::HashMap<u64, Version>> =
+        RwLock::new([pass(&db, &queries)].into_iter().collect());
     let mut churn = ChurnWorkload::new(entries, domain, ChurnConfig::steady(1_500, 4242));
+    let in_batch = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let overlapped = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
-        // Four readers hammer the workload; each full pass must equal one
-        // published version exactly.
+        // Four readers hammer the workload for as long as the updater
+        // runs; each pass must equal its pinned epoch's version exactly.
         for reader in 0..4 {
-            let (world, versions, queries) = (&world, &versions, &queries);
+            let (db, versions, queries) = (&db, &versions, &queries);
+            let (in_batch, stop, overlapped) = (&in_batch, &stop, &overlapped);
             scope.spawn(move || {
-                for round in 0..12 {
-                    let guard = world.read().expect("reader lock");
-                    let (pool, delta) = &*guard;
-                    let observed: Version = queries
-                        .iter()
-                        .map(|q| keys(&delta.range_query(pool, q).expect("query")))
-                        .collect();
-                    drop(guard);
-                    let published = versions.lock().expect("versions lock");
-                    assert!(
-                        published.contains(&observed),
-                        "reader {reader} round {round} observed a torn state \
-                         (matches none of the {} published versions)",
-                        published.len()
-                    );
+                let mut round = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let started_mid_batch = in_batch.load(Ordering::Relaxed);
+                    let (epoch, observed) = pass(db, queries);
+                    if started_mid_batch && in_batch.load(Ordering::Relaxed) {
+                        overlapped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // The updater records the oracle an instant after the
+                    // batch publishes; wait for the epoch to appear.
+                    loop {
+                        if let Some(expected) = versions.read().expect("oracle").get(&epoch) {
+                            assert_eq!(
+                                &observed, expected,
+                                "reader {reader} round {round} (epoch {epoch}) observed \
+                                 a state that is not the published version"
+                            );
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    round += 1;
                 }
+                round
             });
         }
-        // One updater applies churn batches; each batch and its reference
-        // snapshot are published atomically under the write lock.
+        // One updater applies churn batches — each delete+insert pair is
+        // one group-committed `apply`, so it publishes as one epoch.
         scope.spawn(|| {
             for _ in 0..3 {
                 let step = churn.step();
-                let mut guard = world.write().expect("updater lock");
-                let (pool, delta) = &mut *guard;
-                delta.delete_batch(pool, &step.deletes).expect("delete");
-                delta.insert_batch(pool, step.inserts).expect("insert");
-                let version = snapshot(pool, delta, &queries);
-                versions.lock().expect("versions lock").push(version);
+                in_batch.store(true, Ordering::Relaxed);
+                db.writer()
+                    .expect("writer")
+                    .apply(vec![
+                        WriteOp::Delete(step.deletes),
+                        WriteOp::Insert(step.inserts),
+                    ])
+                    .expect("apply batch");
+                in_batch.store(false, Ordering::Relaxed);
+                let (epoch, version) = pass(&db, &queries);
+                versions.write().expect("oracle").insert(epoch, version);
             }
+            stop.store(true, Ordering::Relaxed);
         });
     });
 
-    let (pool, delta) = world.into_inner().expect("world lock");
-    assert_eq!(versions.lock().unwrap().len(), 4, "3 batches + the base");
-    delta
-        .check_invariants(&pool, &pool.store().free_pages())
+    assert_eq!(versions.read().unwrap().len(), 4, "3 batches + the base");
+    assert!(
+        overlapped.load(Ordering::Relaxed) > 0,
+        "no reader pass completed inside a batch window — reads blocked on the writer"
+    );
+    db.check_invariants()
         .unwrap_or_else(|e| panic!("invariants violated after the race: {e}"));
 }
 

@@ -74,7 +74,7 @@ fn in_memory_build_is_bit_identical_to_low_level() {
     let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
     let (index, _) = FlatIndex::build(&mut pool, entries, options).unwrap();
 
-    assert_stores_identical(db.store(), pool.store(), "in-memory build");
+    assert_stores_identical(&*db.store(), pool.store(), "in-memory build");
     assert_eq!(db.index().num_elements(), index.num_elements());
     assert_eq!(db.index().seed_height(), index.seed_height());
 }
@@ -107,7 +107,7 @@ fn streaming_build_is_bit_identical_to_low_level() {
         .build(&mut pool, entries)
         .unwrap();
 
-    assert_stores_identical(db.store(), pool.store(), "streaming build");
+    assert_stores_identical(&*db.store(), pool.store(), "streaming build");
 }
 
 #[test]
@@ -230,7 +230,7 @@ fn updates_match_low_level_delta_ops_page_for_page() {
     delta.insert_batch(&mut pool, fresh).unwrap();
     let ll_deleted = delta.delete_batch(&mut pool, &victims).unwrap();
 
-    assert_stores_identical(db.store(), pool.store(), "after insert+delete");
+    assert_stores_identical(&*db.store(), pool.store(), "after insert+delete");
     assert_eq!(db.num_live_elements(), delta.num_live_elements());
     assert_eq!(db.delta().unwrap().num_tombstones(), delta.num_tombstones());
     assert!(ll_deleted > 0);
@@ -256,7 +256,7 @@ fn updates_match_low_level_delta_ops_page_for_page() {
         writer.compact().unwrap();
     }
     delta.compact(&mut pool).unwrap();
-    assert_stores_identical(db.store(), pool.store(), "after compact");
+    assert_stores_identical(&*db.store(), pool.store(), "after compact");
 }
 
 #[test]

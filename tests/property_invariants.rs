@@ -421,6 +421,175 @@ fn delta_update_sequences_maintain_structural_invariants() {
 }
 
 #[test]
+fn pinned_snapshots_stay_stable_and_versions_reclaim() {
+    // The epoch-reclamation contract behind wait-free snapshot reads:
+    // (1) a pinned snapshot's answers never change, no matter how many
+    //     batches publish after it (no version is freed or overwritten
+    //     while a reader holds it);
+    // (2) version retention is bounded by the oldest live pin — overlays
+    //     never pile up past the pin horizon, and once every pin drops
+    //     the pool reclaims down to zero retained versions and zero
+    //     deferred page frees;
+    // (3) the latest snapshot stays query-equivalent to brute force over
+    //     the live set throughout.
+    let offset = prop_seed();
+    for case in 0..4u64 {
+        let case_seed = 15_000 + offset + case;
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let domain = Aabb::new(
+            Point3::splat(0.0),
+            Point3::splat(rng.gen_range(60.0..120.0)),
+        );
+        let options = FlatOptions {
+            layout: LeafLayout::WithIds,
+            domain: Some(domain),
+            ..FlatOptions::default()
+        };
+        let in_domain = |rng: &mut StdRng, domain: &Aabb| {
+            Point3::new(
+                rng.gen_range(domain.min.x..domain.max.x),
+                rng.gen_range(domain.min.y..domain.max.y),
+                rng.gen_range(domain.min.z..domain.max.z),
+            )
+        };
+        let initial = rng.gen_range(800..2_500usize);
+        let mut next_id = initial as u64;
+        let entries: Vec<Entry> = (0..initial)
+            .map(|i| {
+                let c = in_domain(&mut rng, &domain);
+                Entry::new(i as u64, Aabb::cube(c, rng.gen_range(0.1..1.5)))
+            })
+            .collect();
+        let mut live: Vec<Entry> = entries.clone();
+        let queries: Vec<Aabb> = (0..5)
+            .map(|_| Aabb::cube(in_domain(&mut rng, &domain), rng.gen_range(3.0..15.0)))
+            .collect();
+        let answers = |snap: &Snapshot<'_, MemStore>| -> Vec<Vec<u64>> {
+            queries
+                .iter()
+                .map(|q| {
+                    snap.range(q)
+                        .unwrap_or_else(|e| panic!("case {case_seed}: {e}"))
+                        .iter()
+                        .map(|h| h.id)
+                        .collect()
+                })
+                .collect()
+        };
+
+        let mut db = FlatDb::create(MemStore::new(), DbOptions::default().with_index(options));
+        db.build_from(entries)
+            .unwrap_or_else(|e| panic!("case {case_seed}: {e}"));
+        let mut held: Vec<(Snapshot<'_, MemStore>, Vec<Vec<u64>>)> = Vec::new();
+
+        for op in 0..8 {
+            match rng.gen_range(0..4u32) {
+                // Insert a fresh batch.
+                0 => {
+                    let n = rng.gen_range(1..400usize);
+                    let batch: Vec<Entry> = (0..n)
+                        .map(|_| {
+                            let c = in_domain(&mut rng, &domain);
+                            let id = next_id;
+                            next_id += 1;
+                            Entry::new(id, Aabb::cube(c, rng.gen_range(0.1..1.5)))
+                        })
+                        .collect();
+                    live.extend(batch.iter().cloned());
+                    db.writer()
+                        .and_then(|mut w| w.insert(batch))
+                        .unwrap_or_else(|e| panic!("case {case_seed} op {op}: {e}"));
+                }
+                // Delete a random sample.
+                1 | 2 => {
+                    let n = rng.gen_range(0..=live.len().min(500));
+                    let mut doomed = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let at = rng.gen_range(0..live.len());
+                        doomed.push(live.swap_remove(at).id);
+                        if live.is_empty() {
+                            break;
+                        }
+                    }
+                    db.writer()
+                        .and_then(|mut w| w.delete(&doomed).map(|_| ()))
+                        .unwrap_or_else(|e| panic!("case {case_seed} op {op}: {e}"));
+                }
+                // Occasionally compact back to a pristine base.
+                _ => {
+                    db.writer()
+                        .and_then(|mut w| w.compact().map(|_| ()))
+                        .unwrap_or_else(|e| panic!("case {case_seed} op {op}: {e}"));
+                }
+            }
+
+            // (1) Every held pin still answers exactly as at pin time.
+            for (age, (snap, expected)) in held.iter().enumerate() {
+                assert_eq!(
+                    &answers(snap),
+                    expected,
+                    "case {case_seed} op {op}: pinned snapshot {age} \
+                     (epoch {}) drifted after later batches",
+                    snap.epoch()
+                );
+            }
+
+            // (3) The latest snapshot equals brute force over the live set.
+            let snap = db.reader();
+            for (qi, q) in queries.iter().enumerate() {
+                let mut got: Vec<u64> = snap
+                    .range(q)
+                    .unwrap_or_else(|e| panic!("case {case_seed} op {op}: {e}"))
+                    .iter()
+                    .map(|h| h.id)
+                    .collect();
+                got.sort_unstable();
+                let mut expected: Vec<u64> = live
+                    .iter()
+                    .filter(|e| e.mbr.intersects(q))
+                    .map(|e| e.id)
+                    .collect();
+                expected.sort_unstable();
+                assert_eq!(got, expected, "case {case_seed} op {op} query {qi}");
+            }
+
+            // Rotate the pin set: hold the two most recent snapshots.
+            let recorded = answers(&snap);
+            held.push((snap, recorded));
+            if held.len() > 2 {
+                held.remove(0);
+            }
+
+            // (2) Retention is bounded by the oldest pin: at most one
+            // overlay per epoch between the pin horizon and now.
+            let stats = db.version_stats();
+            let oldest = held.first().map_or(db.epoch(), |(s, _)| s.epoch());
+            assert!(
+                (stats.retained_versions as u64) <= db.epoch() - oldest,
+                "case {case_seed} op {op}: {} versions retained for a pin \
+                 horizon of {} epochs",
+                stats.retained_versions,
+                db.epoch() - oldest
+            );
+        }
+
+        // (2) Dropping the last pin reclaims everything.
+        drop(held);
+        let stats = db.version_stats();
+        assert_eq!(
+            stats.retained_versions, 0,
+            "case {case_seed}: versions retained after every pin dropped"
+        );
+        assert_eq!(
+            stats.deferred_frees, 0,
+            "case {case_seed}: page frees still deferred after every pin dropped"
+        );
+        db.check_invariants()
+            .unwrap_or_else(|e| panic!("case {case_seed}: {e}"));
+    }
+}
+
+#[test]
 fn buffer_pool_lru_never_exceeds_capacity_and_counts_consistently() {
     for case in 0..12u64 {
         let mut rng = StdRng::seed_from_u64(13_000 + case);
