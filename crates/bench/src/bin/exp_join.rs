@@ -1,0 +1,9 @@
+//! ε-distance join: link-graph co-crawl vs R-tree nested loop on the
+//! mesh-vs-nbody pairing. Writes `BENCH_join.json`.
+use flat_bench::figures::{join, Context};
+use flat_bench::Scale;
+
+fn main() {
+    let table = join::exp_join(&Context::new(Scale::from_env()));
+    join::emit_with_json(&table);
+}

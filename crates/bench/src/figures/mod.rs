@@ -11,6 +11,7 @@ pub mod batch;
 pub mod build;
 pub mod build_scale;
 pub mod concurrency;
+pub mod join;
 pub mod knn;
 pub mod lss;
 pub mod motivation;
@@ -129,6 +130,22 @@ mod tests {
             assert_ne!(row[6], "-", "missing scheduler stats: {row:?}");
         }
         assert!(sharded.to_json().contains("\"rows\""));
+
+        // R-tree nested loop, FLAT co-crawl, sharded co-crawl; the driver
+        // itself asserts all three produce identical pair sets.
+        let joined = join::exp_join(&ctx);
+        assert_eq!(joined.rows.len(), 3);
+        assert_ne!(joined.rows[0][4], "0", "join selected no pairs");
+        let counts: Vec<&String> = joined.rows.iter().map(|r| &r[4]).collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]));
+        // The sweep reuses the frontier far more often than it reseeds.
+        let reuses: u64 = joined.rows[1][8].parse().unwrap();
+        let descents: u64 = joined.rows[1][7].parse().unwrap();
+        assert!(
+            reuses > descents,
+            "co-crawl reseeded more than it reused ({descents} vs {reuses})"
+        );
+        assert!(joined.to_json().contains("\"rows\""));
 
         let bulk_vs_insert = ablation::exp_bulk_vs_insert(&ctx, 5_000);
         assert_eq!(bulk_vs_insert.rows.len(), 2);

@@ -1,0 +1,323 @@
+//! Aggregate queries over the neighbor-link graph: [`FlatIndex::aggregate_count`]
+//! and [`FlatIndex::aggregate_density`] (extension).
+//!
+//! An aggregate crawl visits exactly the records a range crawl would —
+//! same seed, same expansion rule — but materializes no hits. Its payoff
+//! is the **containment early-exit**: when a record's page MBR is fully
+//! contained in the query region, every element on the page matches (the
+//! build guarantees element MBR ⊆ page MBR), so the per-element
+//! intersection tests are skipped. The delta layer goes one step further:
+//! its resident summary table already knows each partition's live count,
+//! so a contained partition contributes without reading its object page
+//! at all — for large query regions most of the result is counted from
+//! memory and only the query's *boundary* pages are read.
+
+use crate::delta::DeltaIndex;
+use crate::index::FlatIndex;
+use crate::meta::{decode_meta_record, MetaRecordId};
+use crate::query::{is_live, CrawlState, QueryStats, Tombstones};
+use flat_geom::Aabb;
+use flat_rtree::node::decode_leaf;
+use flat_storage::{PageKind, PageRead, StorageError};
+
+/// Per-aggregate counters: the crawl side plus the early-exit bookkeeping
+/// (how much work the containment rule saved).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregateStats {
+    /// Metadata records dequeued and processed by the crawl.
+    pub records_processed: u64,
+    /// Object pages read.
+    pub object_pages_read: u64,
+    /// Partitions whose page MBR was fully contained in the query — their
+    /// elements were counted without per-element intersection tests.
+    pub contained_partitions: u64,
+    /// Contained partitions counted from the resident summary table
+    /// without reading the object page at all (delta layer only).
+    pub pages_skipped: u64,
+    /// MBR–query tests performed.
+    pub mbr_tests: u64,
+}
+
+/// The shared aggregate crawl: a range crawl with hit materialization
+/// replaced by counting and the containment early-exit. `live_count`
+/// resolves a primary record to its resident live-element count, when the
+/// index keeps one (the delta layer); `None` falls back to reading the
+/// page.
+fn aggregate_crawl(
+    pool: &impl PageRead,
+    query: &Aabb,
+    seed: MetaRecordId,
+    tombstones: Option<&Tombstones>,
+    live_count: Option<&dyn Fn(MetaRecordId) -> Option<u64>>,
+    stats: &mut AggregateStats,
+) -> Result<u64, StorageError> {
+    let mut state = CrawlState::start(seed);
+    let mut count = 0u64;
+    while let Some(addr) = state.queue.pop_front() {
+        stats.records_processed += 1;
+        let record = {
+            let page = pool.read_page(addr.page, PageKind::SeedLeaf)?;
+            decode_meta_record(&page, addr.slot)?
+        };
+        if record.is_dead {
+            continue;
+        }
+
+        stats.mbr_tests += 1;
+        if record.page_mbr.intersects(query) {
+            stats.mbr_tests += 1;
+            if query.contains(&record.page_mbr) {
+                // Containment early-exit: every live element on the page
+                // matches (element ⊆ page MBR ⊆ query).
+                stats.contained_partitions += 1;
+                if let Some(live) = live_count.and_then(|f| f(addr)) {
+                    // The resident summary already excludes tombstones:
+                    // no I/O at all for this partition.
+                    stats.pages_skipped += 1;
+                    count += live;
+                } else {
+                    stats.object_pages_read += 1;
+                    let page = pool.read_page(record.object_page, PageKind::ObjectPage)?;
+                    let (_, entries) = decode_leaf(&page)?;
+                    count += entries
+                        .iter()
+                        .enumerate()
+                        .filter(|&(slot, _)| is_live(tombstones, record.object_page, slot))
+                        .count() as u64;
+                }
+            } else {
+                stats.object_pages_read += 1;
+                let page = pool.read_page(record.object_page, PageKind::ObjectPage)?;
+                let (_, entries) = decode_leaf(&page)?;
+                stats.mbr_tests += entries.len() as u64;
+                count += entries
+                    .iter()
+                    .enumerate()
+                    .filter(|&(slot, e)| {
+                        is_live(tombstones, record.object_page, slot) && query.intersects(&e.mbr)
+                    })
+                    .count() as u64;
+            }
+        }
+
+        stats.mbr_tests += 1;
+        if record.partition_mbr.intersects(query) {
+            for neighbor in record.neighbors {
+                if state.seen.insert(neighbor) {
+                    state.queue.push_back(neighbor);
+                }
+            }
+            let mut next = record.continuation;
+            while let Some(chunk_addr) = next {
+                let chunk = {
+                    let page = pool.read_page(chunk_addr.page, PageKind::SeedLeaf)?;
+                    decode_meta_record(&page, chunk_addr.slot)?
+                };
+                for neighbor in chunk.neighbors {
+                    if state.seen.insert(neighbor) {
+                        state.queue.push_back(neighbor);
+                    }
+                }
+                next = chunk.continuation;
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Density = count / query volume; zero-volume queries (points, slabs)
+/// have no meaningful density and report zero.
+fn density(count: u64, query: &Aabb) -> f64 {
+    let volume = query.volume();
+    if volume > 0.0 {
+        count as f64 / volume
+    } else {
+        0.0
+    }
+}
+
+impl FlatIndex {
+    /// Counts the elements intersecting `query` — the same answer as
+    /// `range_query(..).len()`, without materializing the hits and with
+    /// per-element tests skipped for partitions fully contained in the
+    /// query (the containment early-exit).
+    pub fn aggregate_count(&self, pool: &impl PageRead, query: &Aabb) -> Result<u64, StorageError> {
+        let mut stats = AggregateStats::default();
+        self.aggregate_count_with_stats(pool, query, &mut stats)
+    }
+
+    /// Like [`FlatIndex::aggregate_count`], accumulating counters.
+    pub fn aggregate_count_with_stats(
+        &self,
+        pool: &impl PageRead,
+        query: &Aabb,
+        stats: &mut AggregateStats,
+    ) -> Result<u64, StorageError> {
+        let mut seed_stats = QueryStats::default();
+        let Some(seed) = self.seed(pool, query, &mut seed_stats, None, None)? else {
+            return Ok(0);
+        };
+        stats.object_pages_read += seed_stats.object_pages_read;
+        stats.mbr_tests += seed_stats.mbr_tests;
+        aggregate_crawl(pool, query, seed, None, None, stats)
+    }
+
+    /// Elements per unit volume inside `query` (zero for degenerate
+    /// query boxes).
+    pub fn aggregate_density(
+        &self,
+        pool: &impl PageRead,
+        query: &Aabb,
+    ) -> Result<f64, StorageError> {
+        Ok(density(self.aggregate_count(pool, query)?, query))
+    }
+}
+
+impl DeltaIndex {
+    /// Counts the live elements intersecting `query`, exactly as a fresh
+    /// rebuild over the survivors would. Partitions fully contained in
+    /// the query are counted from the resident summary table without any
+    /// object-page I/O.
+    pub fn aggregate_count(&self, pool: &impl PageRead, query: &Aabb) -> Result<u64, StorageError> {
+        let mut stats = AggregateStats::default();
+        self.aggregate_count_with_stats(pool, query, &mut stats)
+    }
+
+    /// Like [`DeltaIndex::aggregate_count`], accumulating counters.
+    pub fn aggregate_count_with_stats(
+        &self,
+        pool: &impl PageRead,
+        query: &Aabb,
+        stats: &mut AggregateStats,
+    ) -> Result<u64, StorageError> {
+        let mut seed_stats = QueryStats::default();
+        let Some(seed) = self.seed(pool, query, &mut seed_stats, None)? else {
+            return Ok(0);
+        };
+        stats.object_pages_read += seed_stats.object_pages_read;
+        stats.mbr_tests += seed_stats.mbr_tests;
+        let live_count = |addr: MetaRecordId| self.live_count_at(addr);
+        aggregate_crawl(
+            pool,
+            query,
+            seed,
+            Some(self.tombstones()),
+            Some(&live_count),
+            stats,
+        )
+    }
+
+    /// Live elements per unit volume inside `query` (zero for degenerate
+    /// query boxes).
+    pub fn aggregate_density(
+        &self,
+        pool: &impl PageRead,
+        query: &Aabb,
+    ) -> Result<f64, StorageError> {
+        Ok(density(self.aggregate_count(pool, query)?, query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::tests::random_entries;
+    use crate::index::FlatOptions;
+    use flat_geom::Point3;
+    use flat_rtree::{Entry, LeafLayout};
+    use flat_storage::{BufferPool, MemStore};
+
+    fn build(n: usize, seed: u64) -> (BufferPool<MemStore>, FlatIndex, Vec<Entry>) {
+        let entries = random_entries(n, seed);
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let (index, _) =
+            FlatIndex::build(&mut pool, entries.clone(), FlatOptions::default()).unwrap();
+        (pool, index, entries)
+    }
+
+    #[test]
+    fn counts_match_range_query_and_brute_force() {
+        let (pool, index, entries) = build(15_000, 71);
+        for (c, side) in [(50.0, 10.0), (30.0, 45.0), (50.0, 300.0), (90.0, 2.0)] {
+            let q = Aabb::cube(Point3::splat(c), side);
+            let expected = entries.iter().filter(|e| q.intersects(&e.mbr)).count() as u64;
+            assert_eq!(index.aggregate_count(&pool, &q).unwrap(), expected);
+            assert_eq!(index.range_query(&pool, &q).unwrap().len() as u64, expected);
+        }
+    }
+
+    #[test]
+    fn large_queries_trigger_the_containment_early_exit() {
+        let (pool, index, entries) = build(15_000, 72);
+        let q = Aabb::cube(Point3::splat(50.0), 300.0);
+        let mut stats = AggregateStats::default();
+        let count = index
+            .aggregate_count_with_stats(&pool, &q, &mut stats)
+            .unwrap();
+        assert_eq!(count, entries.len() as u64);
+        assert!(
+            stats.contained_partitions > 0,
+            "whole-domain query contained no partition: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn density_is_count_over_volume_and_zero_for_degenerate_boxes() {
+        let (pool, index, _) = build(5_000, 73);
+        let q = Aabb::cube(Point3::splat(50.0), 20.0);
+        let count = index.aggregate_count(&pool, &q).unwrap();
+        let d = index.aggregate_density(&pool, &q).unwrap();
+        assert!((d - count as f64 / q.volume()).abs() < 1e-12);
+        let point = Aabb::point(Point3::splat(50.0));
+        assert_eq!(index.aggregate_density(&pool, &point).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_region_counts_zero() {
+        let (pool, index, _) = build(2_000, 74);
+        let q = Aabb::cube(Point3::splat(-500.0), 3.0);
+        assert_eq!(index.aggregate_count(&pool, &q).unwrap(), 0);
+    }
+
+    #[test]
+    fn delta_counts_survive_churn_and_skip_contained_pages() {
+        let entries = random_entries(8_000, 75);
+        let options = FlatOptions {
+            layout: LeafLayout::WithIds,
+            domain: Some(Aabb::new(Point3::splat(0.0), Point3::splat(100.0))),
+            ..FlatOptions::default()
+        };
+        let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+        let (index, _) = FlatIndex::build(&mut pool, entries.clone(), options).unwrap();
+        let mut delta = DeltaIndex::new(&pool, index, options).unwrap();
+        let doomed: Vec<u64> = entries
+            .iter()
+            .map(|e| e.id)
+            .filter(|i| i % 5 == 0)
+            .collect();
+        delta.delete_batch(&mut pool, &doomed).unwrap();
+        let fresh: Vec<Entry> = random_entries(900, 76)
+            .into_iter()
+            .map(|e| Entry::new(e.id + 1_000_000, e.mbr))
+            .collect();
+        let mut live: Vec<Entry> = entries.iter().filter(|e| e.id % 5 != 0).copied().collect();
+        live.extend(fresh.iter().copied());
+        delta.insert_batch(&mut pool, fresh).unwrap();
+
+        for (c, side) in [(50.0, 15.0), (40.0, 60.0), (50.0, 300.0)] {
+            let q = Aabb::cube(Point3::splat(c), side);
+            let expected = live.iter().filter(|e| q.intersects(&e.mbr)).count() as u64;
+            assert_eq!(delta.aggregate_count(&pool, &q).unwrap(), expected);
+        }
+        // Whole-domain aggregate: contained partitions come straight from
+        // the summary table.
+        let q = Aabb::cube(Point3::splat(50.0), 300.0);
+        let mut stats = AggregateStats::default();
+        let count = delta
+            .aggregate_count_with_stats(&pool, &q, &mut stats)
+            .unwrap();
+        assert_eq!(count, live.len() as u64);
+        assert!(stats.pages_skipped > 0, "no page read skipped: {stats:?}");
+        assert!(stats.object_pages_read < delta.num_live_partitions() as u64);
+    }
+}

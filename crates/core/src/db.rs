@@ -76,13 +76,16 @@
 //! assert_eq!(outcome.results[0], hits);
 //! ```
 
+use crate::aggregate::AggregateStats;
 use crate::builder::{FlatIndexBuilder, StreamingStats, DEFAULT_SPILL_BUDGET};
+use crate::continuous::{ContinuousQueries, ContinuousQueryId, QueryDelta, StagedOp};
 use crate::delta::{DeltaIndex, DeltaReport};
 use crate::durable::{decode_logical, encode_logical, DbSnapshot, DbStore, LogicalOp};
 pub use crate::durable::{Durability, RecoveryReport};
 use crate::engine::{BatchOutcome, EngineConfig, KnnBatchOutcome, QueryEngine};
 use crate::error::FlatError;
 use crate::index::{BuildStats, FlatIndex, FlatOptions};
+use crate::join::{JoinEngine, JoinInput, JoinResult};
 use crate::knn::{KnnStats, Neighbor};
 use crate::query::{QueryStats, Tombstones};
 use flat_geom::{Aabb, Point3};
@@ -266,6 +269,11 @@ pub struct FlatDb<S: PageStore> {
     ///
     /// [pb]: flat_storage::BatchWriter::publish
     published: RwLock<DbIndex>,
+    /// Continuous-query registry. Mutated only inside the publish
+    /// critical section (under the `published` write lock) and during
+    /// registration (under the read lock), so the delta stream tiles
+    /// the commit history exactly — see [`crate::continuous`].
+    subscriptions: Mutex<ContinuousQueries>,
     options: DbOptions,
 }
 
@@ -381,6 +389,7 @@ impl<S: PageStore> FlatDb<S> {
         FlatDb {
             pool,
             published: RwLock::new(state.clone()),
+            subscriptions: Mutex::new(ContinuousQueries::new()),
             truth: Mutex::new(DbTruth {
                 state,
                 built,
@@ -695,6 +704,56 @@ impl<S: PageStore> FlatDb<S> {
             resident,
             pin,
         }
+    }
+
+    /// Registers a continuous range query: returns its handle plus the
+    /// baseline result (ids intersecting `range` right now, ascending).
+    ///
+    /// From then on every committed writer batch appends exactly one
+    /// [`QueryDelta`] — the batch's net `+id`/`−id` effect on the
+    /// result, stamped with the publish epoch — retrievable with
+    /// [`FlatDb::poll_changes`]. Baseline and stream tile the commit
+    /// history exactly: registration runs under the publish lock, so no
+    /// batch can fall in between or be double-counted.
+    pub fn subscribe(&self, range: Aabb) -> Result<(ContinuousQueryId, Vec<u64>), FlatError> {
+        // Shared publish lock: blocks the writer's publish (not its
+        // page apply) for the duration of the baseline query.
+        let published = read_unpoisoned(&self.published);
+        let pin = self.pool.pin();
+        let resident = published.clone();
+        let snapshot = Snapshot {
+            db: self,
+            resident,
+            pin,
+        };
+        let mut baseline: Vec<u64> = snapshot.range(&range)?.into_iter().map(|h| h.id).collect();
+        baseline.sort_unstable();
+        let id = lock_unpoisoned(&self.subscriptions).register(range, baseline.iter().copied());
+        drop(published);
+        Ok((id, baseline))
+    }
+
+    /// Drains the undelivered [`QueryDelta`]s of a subscription, oldest
+    /// first — one per batch committed since the last poll (empty
+    /// deltas included, so the epoch trail is gap-free).
+    pub fn poll_changes(&self, id: ContinuousQueryId) -> Result<Vec<QueryDelta>, FlatError> {
+        lock_unpoisoned(&self.subscriptions)
+            .poll(id)
+            .ok_or_else(|| FlatError::Query(format!("unknown continuous query {id:?}")))
+    }
+
+    /// The subscription's current result set, ascending: the baseline
+    /// plus every committed delta (including ones not yet polled).
+    pub fn continuous_result(&self, id: ContinuousQueryId) -> Result<Vec<u64>, FlatError> {
+        lock_unpoisoned(&self.subscriptions)
+            .result(id)
+            .ok_or_else(|| FlatError::Query(format!("unknown continuous query {id:?}")))
+    }
+
+    /// Drops a subscription; delivery stops immediately. `false` if the
+    /// handle was unknown (already dropped).
+    pub fn unsubscribe(&self, id: ContinuousQueryId) -> bool {
+        lock_unpoisoned(&self.subscriptions).unregister(id)
     }
 
     /// Starts a fluent batched query: accumulate range and kNN queries,
@@ -1116,6 +1175,56 @@ impl<S: PageStore> Snapshot<'_, S> {
     pub fn num_live_elements(&self) -> u64 {
         self.resident.num_live_elements()
     }
+
+    /// Counts the live elements intersecting `query` without
+    /// materializing them — partitions fully contained in the query box
+    /// take the containment early-exit (see [`AggregateStats`]).
+    pub fn aggregate_count(&self, query: &Aabb) -> Result<u64, FlatError> {
+        let mut stats = AggregateStats::default();
+        self.aggregate_count_with_stats(query, &mut stats)
+    }
+
+    /// Like [`Snapshot::aggregate_count`], accumulating crawl counters.
+    pub fn aggregate_count_with_stats(
+        &self,
+        query: &Aabb,
+        stats: &mut AggregateStats,
+    ) -> Result<u64, FlatError> {
+        Ok(match &self.resident {
+            DbIndex::Base(index) => index.aggregate_count_with_stats(&self.pin, query, stats)?,
+            DbIndex::Delta(delta) => delta.aggregate_count_with_stats(&self.pin, query, stats)?,
+        })
+    }
+
+    /// Live elements intersecting `query` per unit volume (0.0 for a
+    /// degenerate box).
+    pub fn aggregate_density(&self, query: &Aabb) -> Result<f64, FlatError> {
+        Ok(match &self.resident {
+            DbIndex::Base(index) => index.aggregate_density(&self.pin, query)?,
+            DbIndex::Delta(delta) => delta.aggregate_density(&self.pin, query)?,
+        })
+    }
+
+    /// Joins this snapshot (outer side) with another database's
+    /// snapshot (inner side): every `(outer id, inner id)` element pair
+    /// within Euclidean distance `eps`, via [`JoinEngine`]'s link-graph
+    /// co-crawl. Both sides are pinned, so a concurrent writer on
+    /// either database cannot shear the result.
+    pub fn join<S2: PageStore>(
+        &self,
+        other: &Snapshot<'_, S2>,
+        eps: f64,
+    ) -> Result<JoinResult, FlatError> {
+        let outer = match &self.resident {
+            DbIndex::Base(index) => JoinInput::Flat(index),
+            DbIndex::Delta(delta) => JoinInput::Delta(delta),
+        };
+        let inner = match &other.resident {
+            DbIndex::Base(index) => JoinInput::Flat(index),
+            DbIndex::Delta(delta) => JoinInput::Delta(delta),
+        };
+        Ok(JoinEngine::new(eps).join(&self.pin, outer, &other.pin, inner)?)
+    }
 }
 
 /// A fluent batched query over a [`FlatDb`].
@@ -1169,6 +1278,24 @@ impl<S: PageStore> QueryBuilder<'_, S> {
     pub fn wave_size(mut self, wave: usize) -> Self {
         self.config.wave_size = Some(wave);
         self
+    }
+
+    /// Runs the queued **range** queries as aggregate counts, one
+    /// result per queued range in queueing order. Aggregates skip
+    /// result materialization and take the containment early-exit, so
+    /// they run serially over one pinned [`Snapshot`] rather than
+    /// through the batched engine.
+    pub fn run_aggregates(self) -> Result<Vec<u64>, FlatError> {
+        if !self.knns.is_empty() {
+            return Err(FlatError::Query(
+                "kNN queries are queued; aggregates take ranges only".into(),
+            ));
+        }
+        let snap = self.db.reader();
+        self.ranges
+            .iter()
+            .map(|range| snap.aggregate_count(range))
+            .collect()
     }
 }
 
@@ -1309,8 +1436,11 @@ impl<S: PageStore> Writer<'_, S> {
         };
         {
             let mut published = write_unpoisoned(&db.published);
-            batch.publish();
+            let epoch = batch.publish();
             *published = truth.state.clone();
+            // Compaction preserves the live set: every subscriber gets
+            // one empty delta marking the epoch.
+            lock_unpoisoned(&db.subscriptions).apply_batch(&[StagedOp::Compact], epoch);
         }
         truth.dirty = false;
         db.after_commit(truth, 1)?;
@@ -1347,6 +1477,10 @@ impl<S: PageStore> Writer<'_, S> {
         }
         let logged = loggable.len();
         db.log_ops(truth, &loggable)?;
+        // Owned copy of the group for subscription matching: the apply
+        // loop below consumes `ops`, but continuous queries are folded
+        // in later, inside the publish critical section.
+        let staged = stage_ops(&ops);
         // Apply the whole group into ONE page batch: pinned snapshots
         // keep reading the pre-group images from its overlay.
         let mut batch = db.pool.begin_batch();
@@ -1395,16 +1529,34 @@ impl<S: PageStore> Writer<'_, S> {
         };
         // The atomic publish: epoch bump and resident swap under one
         // write lock, paired with the pin-under-read-lock in reader().
+        // Subscriptions are folded in under the same lock, so a
+        // registration (which runs under the read lock) either sees the
+        // pre-batch baseline and receives this delta, or the post-batch
+        // baseline and does not — never both, never neither.
         {
             let mut published = write_unpoisoned(&db.published);
-            batch.publish();
+            let epoch = batch.publish();
             *published = truth.state.clone();
+            lock_unpoisoned(&db.subscriptions).apply_batch(&staged, epoch);
         }
         if made_dirty {
             truth.dirty = true;
         }
         db.after_commit(truth, logged)?;
         Ok(applied)
+    }
+
+    /// Registers a continuous range query mid-session (see
+    /// [`FlatDb::subscribe`]); batches this writer commits from now on
+    /// stream to it.
+    pub fn subscribe(&self, range: Aabb) -> Result<(ContinuousQueryId, Vec<u64>), FlatError> {
+        self.db.subscribe(range)
+    }
+
+    /// Drains a subscription's undelivered deltas (see
+    /// [`FlatDb::poll_changes`]).
+    pub fn poll_changes(&self, id: ContinuousQueryId) -> Result<Vec<QueryDelta>, FlatError> {
+        self.db.poll_changes(id)
     }
 
     /// The delta layer this writer mutates (its truth copy — published
@@ -1415,6 +1567,20 @@ impl<S: PageStore> Writer<'_, S> {
             DbIndex::Base(_) => unreachable!("writer() promoted the index"),
         }
     }
+}
+
+/// Resident copy of a commit group for subscription matching: ids and
+/// MBRs only, owned, in group order.
+fn stage_ops(ops: &[LogicalOp]) -> Vec<StagedOp> {
+    ops.iter()
+        .map(|op| match op {
+            LogicalOp::Insert(entries) => {
+                StagedOp::Insert(entries.iter().map(|e| (e.id, e.mbr)).collect())
+            }
+            LogicalOp::Delete(ids) => StagedOp::Delete(ids.clone()),
+            LogicalOp::Compact => StagedOp::Compact,
+        })
+        .collect()
 }
 
 /// Group-aware pre-commit validation: walks the ops in order, tracking
@@ -1865,5 +2031,164 @@ mod tests {
         let err = FlatDb::open_file(&path, DbOptions::default()).unwrap_err();
         assert!(matches!(err, FlatError::Persist(_)), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn continuous_query_streams_one_delta_per_commit() {
+        let mut db = FlatDb::create_in_memory(updatable_options());
+        db.build_from(random_entries(2_000, 21)).unwrap();
+        let range = Aabb::cube(Point3::splat(50.0), 18.0);
+        let (sub, baseline) = db.subscribe(range).unwrap();
+        let oracle: Vec<u64> = {
+            let mut ids: Vec<u64> = db
+                .reader()
+                .range(&range)
+                .unwrap()
+                .into_iter()
+                .map(|h| h.id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(baseline, oracle);
+
+        let mut writer = db.writer().unwrap();
+        // One insert inside the range, one outside, one delete inside.
+        let inside = Entry::new(60_000, Aabb::cube(Point3::splat(50.0), 0.5));
+        let outside = Entry::new(60_001, Aabb::cube(Point3::splat(5.0), 0.5));
+        writer.insert(vec![inside, outside]).unwrap();
+        let victim = baseline[0];
+        writer.delete(&[victim]).unwrap();
+        // A batch that nets out inside one group.
+        writer
+            .apply(vec![
+                WriteOp::Delete(vec![60_000]),
+                WriteOp::Insert(vec![Entry::new(
+                    60_000,
+                    Aabb::cube(Point3::splat(50.0), 0.5),
+                )]),
+            ])
+            .unwrap();
+        let deltas = writer.poll_changes(sub).unwrap();
+        drop(writer);
+        assert_eq!(deltas.len(), 3, "one delta per committed batch");
+        assert_eq!(deltas[0].added, vec![60_000]);
+        assert!(deltas[0].removed.is_empty());
+        assert_eq!(deltas[1].removed, vec![victim]);
+        assert!(deltas[2].is_empty(), "delete-then-reinsert nets out");
+        // Epochs strictly increase batch over batch.
+        assert!(deltas[0].epoch < deltas[1].epoch);
+        assert!(deltas[1].epoch < deltas[2].epoch);
+
+        // Replaying baseline + deltas reproduces a fresh range query.
+        let mut replayed: HashSet<u64> = baseline.into_iter().collect();
+        for d in &deltas {
+            for id in &d.removed {
+                assert!(replayed.remove(id));
+            }
+            for id in &d.added {
+                assert!(replayed.insert(*id));
+            }
+        }
+        let mut replayed: Vec<u64> = replayed.into_iter().collect();
+        replayed.sort_unstable();
+        let mut fresh: Vec<u64> = db
+            .reader()
+            .range(&range)
+            .unwrap()
+            .into_iter()
+            .map(|h| h.id)
+            .collect();
+        fresh.sort_unstable();
+        assert_eq!(replayed, fresh);
+        assert_eq!(db.continuous_result(sub).unwrap(), fresh);
+
+        // Compaction preserves the live set: an empty delta, epoch only.
+        db.writer().unwrap().compact().unwrap();
+        let deltas = db.poll_changes(sub).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].is_empty());
+
+        assert!(db.unsubscribe(sub));
+        assert!(!db.unsubscribe(sub));
+        assert!(matches!(db.poll_changes(sub), Err(FlatError::Query(_))));
+    }
+
+    #[test]
+    fn snapshot_aggregates_match_range_counts() {
+        let mut db = FlatDb::create_in_memory(updatable_options());
+        db.build_from(random_entries(3_000, 22)).unwrap();
+        // Exercise both the pristine (Base) and the delta path.
+        for promote in [false, true] {
+            if promote {
+                let mut writer = db.writer().unwrap();
+                writer.delete(&[0, 1, 2]).unwrap();
+            }
+            let snap = db.reader();
+            for half in [5.0, 20.0, 80.0] {
+                let q = Aabb::cube(Point3::splat(50.0), half);
+                assert_eq!(
+                    snap.aggregate_count(&q).unwrap(),
+                    snap.range(&q).unwrap().len() as u64,
+                    "promote={promote} half={half}"
+                );
+            }
+            let q = Aabb::cube(Point3::splat(50.0), 10.0);
+            let density = snap.aggregate_density(&q).unwrap();
+            assert!(
+                (density - snap.aggregate_count(&q).unwrap() as f64 / q.volume()).abs() < 1e-12
+            );
+        }
+        // The fluent entry point, index-aligned with queueing order.
+        let queries = [
+            Aabb::cube(Point3::splat(30.0), 7.0),
+            Aabb::cube(Point3::splat(70.0), 12.0),
+        ];
+        let counts = db.query().ranges(queries).run_aggregates().unwrap();
+        let snap = db.reader();
+        for (q, count) in queries.iter().zip(&counts) {
+            assert_eq!(*count, snap.range(q).unwrap().len() as u64);
+        }
+        let err = db
+            .query()
+            .knn(Point3::splat(50.0), 3)
+            .run_aggregates()
+            .unwrap_err();
+        assert!(matches!(err, FlatError::Query(_)));
+    }
+
+    #[test]
+    fn snapshot_join_pairs_two_databases() {
+        let mut db_a = FlatDb::create_in_memory(updatable_options());
+        db_a.build_from(random_entries(700, 31)).unwrap();
+        let mut db_b = FlatDb::create_in_memory(updatable_options());
+        let mut b_entries = random_entries(600, 32);
+        // Distinct id space for readability of the oracle.
+        for e in &mut b_entries {
+            e.id += 100_000;
+        }
+        db_b.build_from(b_entries).unwrap();
+        // Promote A so the join exercises the Delta input too.
+        db_a.writer().unwrap().delete(&[5, 6]).unwrap();
+
+        let eps = 1.5;
+        let snap_a = db_a.reader();
+        let snap_b = db_b.reader();
+        let result = snap_a.join(&snap_b, eps).unwrap();
+
+        let everything = Aabb::cube(Point3::splat(50.0), 200.0);
+        let a_hits = snap_a.range(&everything).unwrap();
+        let b_hits = snap_b.range(&everything).unwrap();
+        let mut expected = Vec::new();
+        for ha in &a_hits {
+            for hb in &b_hits {
+                if ha.mbr.distance_sq(&hb.mbr) <= eps * eps {
+                    expected.push((ha.id, hb.id));
+                }
+            }
+        }
+        expected.sort_unstable();
+        assert_eq!(result.pairs, expected);
+        assert!(result.stats.pairs > 0, "eps 1.5 over [0,100)^3 must match");
     }
 }

@@ -150,6 +150,23 @@ enum NbrRef {
     NewPrimary(u32),
 }
 
+/// Slots are addressed as `u16` throughout the delta layer (tombstones,
+/// metadata record addresses): a layout whose per-page leaf capacity does
+/// not fit would silently truncate `slot as u16` and alias tombstones
+/// across slots. Rejected once here, at layout-validation time, so every
+/// later cast is known in-range.
+fn validate_slot_capacity(capacity: usize) -> Result<(), StorageError> {
+    // Slots run 0..capacity, so the largest slot index is capacity - 1.
+    if capacity > u16::MAX as usize + 1 {
+        return Err(StorageError::Corrupt(format!(
+            "leaf capacity {capacity} exceeds the u16 slot address space \
+             (max {})",
+            u16::MAX as usize + 1
+        )));
+    }
+    Ok(())
+}
+
 impl DeltaIndex {
     /// Adopts a pristine (freshly built or freshly compacted) index.
     ///
@@ -179,6 +196,7 @@ impl DeltaIndex {
         let domain = options
             .domain
             .expect("DeltaIndex requires a fixed explicit domain");
+        validate_slot_capacity(leaf_capacity(options.layout))?;
 
         let mut delta = DeltaIndex {
             base,
@@ -230,6 +248,7 @@ impl DeltaIndex {
         let domain = options
             .domain
             .expect("DeltaIndex requires a fixed explicit domain");
+        validate_slot_capacity(leaf_capacity(options.layout))?;
 
         let mut delta = DeltaIndex {
             base,
@@ -391,6 +410,29 @@ impl DeltaIndex {
     /// The deleted-element set, for the crawl's scan filter.
     pub(crate) fn tombstones(&self) -> &Tombstones {
         &self.tombstones
+    }
+
+    /// Resident live-element count of the partition whose primary record
+    /// is at `addr` (`None` for continuation chunks or unknown records).
+    /// The aggregate crawl's containment early-exit reads this instead of
+    /// the object page.
+    pub(crate) fn live_count_at(&self, addr: MetaRecordId) -> Option<u64> {
+        self.by_record
+            .get(&addr)
+            .map(|&idx| self.parts[idx as usize].live as u64)
+    }
+
+    /// Resident summaries of every live partition (base and delta), for
+    /// the join engine's outer sweep.
+    pub(crate) fn partition_summaries(&self) -> Vec<crate::join::PartSummary> {
+        self.parts
+            .iter()
+            .filter(|p| !p.dead)
+            .map(|p| crate::join::PartSummary {
+                object_page: p.object_page,
+                page_mbr: p.page_mbr,
+            })
+            .collect()
     }
 
     /// The metadata pages in creation order — what a checkpoint snapshot
@@ -755,7 +797,16 @@ impl DeltaIndex {
                 .by_record
                 .get(addr)
                 .expect("neighbor pointer to an unknown record");
-            debug_assert!(!self.parts[idx as usize].dead, "link to a dead partition");
+            if self.parts[idx as usize].dead {
+                // Retirement prunes every inbound link before flagging a
+                // record dead, so a link into a dead partition means the
+                // graph and the summary table disagree. A debug_assert here
+                // would let release builds crawl into freed pages.
+                return Err(StorageError::Corrupt(format!(
+                    "neighbor chain of {:?} links to dead partition {idx}",
+                    d_rec
+                )));
+            }
             nbr_idx.push(idx);
             let links = read_chain_neighbors(pool, *addr)?;
             link_sets.insert(idx, links.into_iter().collect());
@@ -1299,8 +1350,13 @@ fn remove_neighbor<P: PageRead + PageWrite>(
         }
         at = chunk.continuation;
     }
-    debug_assert!(false, "pruned a link that does not exist");
-    Ok(())
+    // Links are symmetric: the caller found `record` in `target`'s chain,
+    // so `target` must appear in `record`'s. Falling through means the
+    // link graph lost symmetry — corruption a release build must surface
+    // rather than leave half-pruned.
+    Err(StorageError::Corrupt(format!(
+        "pruning link {target:?} from {record:?}: not present in the chain"
+    )))
 }
 
 #[cfg(test)]
@@ -1329,6 +1385,39 @@ mod tests {
         delta
             .check_invariants(pool, &pool.store().free_pages())
             .unwrap_or_else(|e| panic!("invariants violated: {e}"))
+    }
+
+    #[test]
+    fn oversized_slot_capacity_is_rejected_at_validation_time() {
+        // Every layout the page format can express today fits: slots are
+        // addressed as u16 and a page holds far fewer entries than 65536.
+        for layout in [LeafLayout::MbrOnly, LeafLayout::WithIds] {
+            validate_slot_capacity(leaf_capacity(layout)).unwrap();
+        }
+        // The boundary: the largest slot index must fit in a u16.
+        validate_slot_capacity(u16::MAX as usize + 1).unwrap();
+        let err = validate_slot_capacity(u16::MAX as usize + 2).unwrap_err();
+        assert!(
+            err.to_string().contains("slot address space"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn pruning_a_missing_link_is_a_release_mode_error() {
+        let (mut pool, delta, _) = build_delta(2_000, 60);
+        let record = delta.parts[0].record;
+        // A record address that no chain links to: pruning it must surface
+        // the lost-symmetry corruption instead of silently succeeding.
+        let bogus = MetaRecordId {
+            page: record.page,
+            slot: u16::MAX,
+        };
+        let err = remove_neighbor(&mut pool, record, bogus).unwrap_err();
+        assert!(
+            err.to_string().contains("not present in the chain"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -39,6 +39,9 @@
 //! | [`db`] | extension | [`FlatDb`]: the session façade — one handle over build / query / update / persist |
 //! | `durable` (via [`db`]) | extension | [`Durability`] modes, logical-record and checkpoint-snapshot formats; [`FlatDb::create_durable`] / [`FlatDb::open_durable`] commit every writer batch to a write-ahead log and recover exactly the committed prefix after a crash |
 //! | `shard` (re-exported) | extension | [`ShardedDb`]: K spatial shards, each behind its own disk scheduler, with cross-shard routing and a global exact kNN merge |
+//! | `join` (re-exported) | extension | [`JoinEngine`]: exact ε-distance joins by co-crawling two link graphs |
+//! | `aggregate` (re-exported) | extension | `aggregate_count` / `aggregate_density` with the containment early-exit |
+//! | `continuous` (re-exported) | extension | continuous range queries: per-commit [`QueryDelta`] streams |
 //! | `spatial` (re-exported) | extension | [`SpatialIndex`]: one trait over FLAT, the delta layer and the R-tree baselines |
 //! | `error` (re-exported) | extension | [`FlatError`]: the façade's unified error type |
 //!
@@ -67,13 +70,16 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod aggregate;
 mod builder;
+mod continuous;
 pub mod db;
 mod delta;
 mod durable;
 mod engine;
 mod error;
 mod index;
+mod join;
 mod knn;
 pub mod meta;
 pub mod neighbors;
@@ -83,7 +89,9 @@ mod query;
 mod shard;
 mod spatial;
 
+pub use aggregate::AggregateStats;
 pub use builder::{FlatIndexBuilder, StreamingStats, DEFAULT_SPILL_BUDGET};
+pub use continuous::{ContinuousQueryId, QueryDelta};
 pub use db::{
     BuildReport, DbOptions, Durability, FlatDb, QueryBuilder, RecoveryReport, Snapshot, StoreRef,
     WriteOp, Writer,
@@ -92,6 +100,7 @@ pub use delta::{verify_compacted_store, DeltaIndex, DeltaReport};
 pub use engine::{BatchOutcome, EngineConfig, KnnBatchOutcome, QueryEngine};
 pub use error::FlatError;
 pub use index::{BuildStats, FlatIndex, FlatOptions, MetaOrder};
+pub use join::{JoinEngine, JoinInput, JoinResult, JoinStats};
 pub use knn::{KnnStats, Neighbor};
 pub use query::QueryStats;
 pub use shard::{ShardOptions, ShardedDb};

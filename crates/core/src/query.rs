@@ -306,8 +306,8 @@ impl FlatIndex {
 /// record and advanced one record at a time by `FlatIndex::crawl_step`.
 #[derive(Debug)]
 pub(crate) struct CrawlState {
-    queue: VecDeque<MetaRecordId>,
-    seen: HashSet<MetaRecordId>,
+    pub(crate) queue: VecDeque<MetaRecordId>,
+    pub(crate) seen: HashSet<MetaRecordId>,
 }
 
 impl CrawlState {

@@ -49,9 +49,11 @@
 //! pages and the new resident view under the same write lock, so a
 //! snapshot is always element-consistent per shard.
 
+use crate::continuous::{ContinuousQueries, ContinuousQueryId, QueryDelta, StagedOp};
 use crate::delta::DeltaIndex;
 use crate::error::FlatError;
 use crate::index::{FlatIndex, FlatOptions};
+use crate::join::{JoinEngine, JoinInput, JoinResult, JoinStats};
 use crate::knn::Neighbor;
 use crate::partition::shard_regions;
 use flat_geom::{Aabb, Point3};
@@ -223,6 +225,21 @@ pub struct ShardedDb<S: PageStore + Send + Sync + 'static> {
     /// every insert and delete. Routes deletes and liveness checks
     /// without promoting read-only shards.
     owners: RwLock<HashMap<u64, u32>>,
+    /// Top-level continuous-query registry. The mutex is held across a
+    /// whole multi-shard [`ShardedDb::insert`] / [`ShardedDb::delete`]
+    /// call and across subscription registration, so each subscriber
+    /// sees exactly one merged delta per update call — stamped with a
+    /// database-level commit sequence, since the per-shard page epochs
+    /// advance independently.
+    subs: Mutex<ShardSubs>,
+}
+
+/// The sharded layer's subscription state: the registry plus the
+/// db-level commit sequence its deltas are stamped with.
+#[derive(Default)]
+struct ShardSubs {
+    registry: ContinuousQueries,
+    seq: u64,
 }
 
 impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
@@ -291,6 +308,7 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
             domain,
             options: options.index,
             owners: RwLock::new(owners),
+            subs: Mutex::new(ShardSubs::default()),
         })
     }
 
@@ -401,6 +419,124 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
         Ok(hits)
     }
 
+    /// Counts the live elements intersecting `query` without
+    /// materializing them: shards whose coverage misses the box are
+    /// skipped outright, the rest take the per-shard containment
+    /// early-exit ([`crate::Snapshot::aggregate_count`]). Shards hold
+    /// disjoint elements, so the fan-out sum is exact.
+    pub fn aggregate_count(&self, query: &Aabb) -> Result<u64, FlatError> {
+        let mut total = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (view, pin) = shard.snapshot();
+            if !view.coverage.intersects(query) {
+                continue;
+            }
+            total += match &view.index {
+                ShardIndex::Base(index) => index.aggregate_count(&pin, query)?,
+                ShardIndex::Delta(delta) => delta.aggregate_count(&pin, query)?,
+                ShardIndex::Poisoned => poisoned(i),
+            };
+        }
+        Ok(total)
+    }
+
+    /// Live elements intersecting `query` per unit volume (0.0 for a
+    /// degenerate box).
+    pub fn aggregate_density(&self, query: &Aabb) -> Result<f64, FlatError> {
+        let volume = query.volume();
+        if volume <= 0.0 {
+            return Ok(0.0);
+        }
+        Ok(self.aggregate_count(query)? as f64 / volume)
+    }
+
+    /// Joins this database (outer side) against another sharded
+    /// database: every `(outer id, inner id)` element pair within
+    /// Euclidean distance `eps`, via [`JoinEngine`]'s link-graph
+    /// co-crawl, fanned out over the shard pairs whose coverage boxes
+    /// are within `eps` of each other. Shards hold disjoint elements,
+    /// so each result pair is produced by exactly one shard pair and
+    /// the merge is a plain sort.
+    pub fn join<S2: PageStore + Send + Sync + 'static>(
+        &self,
+        other: &ShardedDb<S2>,
+        eps: f64,
+    ) -> Result<JoinResult, FlatError> {
+        let engine = JoinEngine::new(eps);
+        let eps2 = eps * eps;
+        let mut pairs = Vec::new();
+        let mut stats = JoinStats::default();
+        for (i, outer_shard) in self.shards.iter().enumerate() {
+            let (outer_view, outer_pin) = outer_shard.snapshot();
+            for (j, inner_shard) in other.shards.iter().enumerate() {
+                let (inner_view, inner_pin) = inner_shard.snapshot();
+                if outer_view.coverage.distance_sq(&inner_view.coverage) > eps2 {
+                    continue;
+                }
+                let outer = match &outer_view.index {
+                    ShardIndex::Base(index) => JoinInput::Flat(index),
+                    ShardIndex::Delta(delta) => JoinInput::Delta(delta),
+                    ShardIndex::Poisoned => poisoned(i),
+                };
+                let inner = match &inner_view.index {
+                    ShardIndex::Base(index) => JoinInput::Flat(index),
+                    ShardIndex::Delta(delta) => JoinInput::Delta(delta),
+                    ShardIndex::Poisoned => poisoned(j),
+                };
+                let result = engine.join(&outer_pin, outer, &inner_pin, inner)?;
+                stats.absorb(&result.stats);
+                pairs.extend(result.pairs);
+            }
+        }
+        pairs.sort_unstable();
+        stats.pairs = pairs.len() as u64;
+        Ok(JoinResult { pairs, stats })
+    }
+
+    /// Registers a continuous range query: returns its handle plus the
+    /// baseline result (ids intersecting `range` right now, ascending).
+    /// Every later [`ShardedDb::insert`] / [`ShardedDb::delete`] call
+    /// appends exactly one merged [`QueryDelta`] — its net effect
+    /// across all shards — stamped with a database-level commit
+    /// sequence (per-shard page epochs advance independently, so they
+    /// cannot order cross-shard batches).
+    pub fn subscribe(&self, range: Aabb) -> Result<(ContinuousQueryId, Vec<u64>), FlatError> {
+        // The registry mutex is held across every update call, so the
+        // baseline query cannot observe half of one.
+        let mut subs = lock(&self.subs);
+        let baseline: Vec<u64> = self
+            .range_query(&range)?
+            .into_iter()
+            .map(|h| h.id)
+            .collect();
+        let id = subs.registry.register(range, baseline.iter().copied());
+        Ok((id, baseline))
+    }
+
+    /// Drains the undelivered [`QueryDelta`]s of a subscription, oldest
+    /// first — one per update call committed since the last poll.
+    pub fn poll_changes(&self, id: ContinuousQueryId) -> Result<Vec<QueryDelta>, FlatError> {
+        lock(&self.subs)
+            .registry
+            .poll(id)
+            .ok_or_else(|| FlatError::Query(format!("unknown continuous query {id:?}")))
+    }
+
+    /// The subscription's current result set, ascending: the baseline
+    /// plus every committed delta (including ones not yet polled).
+    pub fn continuous_result(&self, id: ContinuousQueryId) -> Result<Vec<u64>, FlatError> {
+        lock(&self.subs)
+            .registry
+            .result(id)
+            .ok_or_else(|| FlatError::Query(format!("unknown continuous query {id:?}")))
+    }
+
+    /// Drops a subscription; delivery stops immediately. `false` if the
+    /// handle was unknown (already dropped).
+    pub fn unsubscribe(&self, id: ContinuousQueryId) -> bool {
+        lock(&self.subs).registry.unregister(id)
+    }
+
     /// Returns the `k` elements nearest to `point` across all shards,
     /// ascending, exact.
     ///
@@ -476,6 +612,11 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
         if entries.is_empty() {
             return Ok(());
         }
+        // Held across the whole multi-shard apply: subscribers see the
+        // call as one batch, and a registration cannot interleave with
+        // a half-applied insert (see the `subs` field docs).
+        let mut subs = lock(&self.subs);
+        let staged = StagedOp::Insert(entries.iter().map(|e| (e.id, e.mbr)).collect());
         {
             let owners = read(&self.owners);
             for e in &entries {
@@ -502,6 +643,9 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
             })?;
             write(&self.owners).extend(ids.into_iter().map(|id| (id, i as u32)));
         }
+        subs.seq += 1;
+        let seq = subs.seq;
+        subs.registry.apply_batch(&[staged], seq);
         Ok(())
     }
 
@@ -513,6 +657,8 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
         if ids.is_empty() {
             return Ok(0);
         }
+        // Same batching discipline as `insert` (see the `subs` docs).
+        let mut subs = lock(&self.subs);
         let mut routed: Vec<Vec<u64>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         {
             let owners = read(&self.owners);
@@ -534,6 +680,10 @@ impl<S: PageStore + Send + Sync + 'static> ShardedDb<S> {
                 owners.remove(id);
             }
         }
+        subs.seq += 1;
+        let seq = subs.seq;
+        subs.registry
+            .apply_batch(&[StagedOp::Delete(ids.to_vec())], seq);
         Ok(deleted)
     }
 
@@ -940,5 +1090,100 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(db.num_live_elements(), 1500);
+    }
+
+    #[test]
+    fn sharded_aggregates_match_range_counts_across_shards() {
+        let entries = random_entries(2_000, 71);
+        let db = ShardedDb::build_in_memory(4, entries.clone(), ShardOptions::default()).unwrap();
+        for half in [4.0, 15.0, 60.0] {
+            let q = Aabb::cube(Point3::splat(50.0), half);
+            assert_eq!(
+                db.aggregate_count(&q).unwrap(),
+                reference_range(&entries, &q).len() as u64,
+                "half={half}"
+            );
+            let density = db.aggregate_density(&q).unwrap();
+            let expected = db.aggregate_count(&q).unwrap() as f64 / q.volume();
+            assert!((density - expected).abs() < 1e-12);
+        }
+        // Degenerate box: zero density by definition.
+        let flat_box = Aabb::new(Point3::splat(10.0), Point3::new(20.0, 10.0, 10.0));
+        assert_eq!(db.aggregate_density(&flat_box).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sharded_join_matches_brute_force_and_covers_shard_pairs() {
+        let a = random_entries(1_200, 72);
+        let mut b = random_entries(900, 73);
+        for e in &mut b {
+            e.id += 500_000;
+        }
+        let db_a = ShardedDb::build_in_memory(4, a.clone(), ShardOptions::default()).unwrap();
+        let db_b = ShardedDb::build_in_memory(3, b.clone(), ShardOptions::default()).unwrap();
+        let eps = 2.0;
+        let mut expected = Vec::new();
+        for ea in &a {
+            for eb in &b {
+                if ea.mbr.distance_sq(&eb.mbr) <= eps * eps {
+                    expected.push((ea.id, eb.id));
+                }
+            }
+        }
+        expected.sort_unstable();
+        let result = db_a.join(&db_b, eps).unwrap();
+        assert_eq!(result.pairs, expected);
+        assert_eq!(result.stats.pairs, expected.len() as u64);
+        // Elements straddle every slab boundary at eps 2.0, so the
+        // fan-out must have crawled more than the diagonal shard pairs.
+        assert!(result.stats.outer_partitions > 0);
+    }
+
+    #[test]
+    fn sharded_continuous_queries_merge_per_update_call() {
+        let entries = random_entries(1_500, 74);
+        let db = ShardedDb::build_in_memory(3, entries.clone(), ShardOptions::default()).unwrap();
+        let range = Aabb::cube(Point3::splat(50.0), 25.0);
+        let (sub, baseline) = db.subscribe(range).unwrap();
+        assert_eq!(baseline, reference_range(&entries, &range));
+
+        // One insert call spanning several shards: some ids in range,
+        // some out. Exactly one merged delta.
+        let fresh: Vec<Entry> = (0..40)
+            .map(|i| {
+                let x = (i as f64) * 2.5 + 1.0; // spread across all slabs
+                Entry::new(700_000 + i, Aabb::cube(Point3::new(x, 50.0, 50.0), 0.4))
+            })
+            .collect();
+        db.insert(fresh.clone()).unwrap();
+        let deltas = db.poll_changes(sub).unwrap();
+        assert_eq!(deltas.len(), 1, "one merged delta per insert call");
+        let expected_added: Vec<u64> = fresh
+            .iter()
+            .filter(|e| e.mbr.intersects(&range))
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(deltas[0].added, expected_added);
+        assert!(deltas[0].removed.is_empty());
+
+        // One delete call: in-range ids report as removals, unknown ids
+        // and out-of-range ids are silent.
+        let victims = [baseline[0], baseline[1], 999_999_999];
+        db.delete(&victims).unwrap();
+        let deltas = db.poll_changes(sub).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].removed, vec![baseline[0], baseline[1]]);
+        assert!(deltas[0].epoch > 0, "db-level sequence advances");
+
+        // The tracked result matches a fresh range query.
+        let fresh_query: Vec<u64> = db
+            .range_query(&range)
+            .unwrap()
+            .iter()
+            .map(|h| h.id)
+            .collect();
+        assert_eq!(db.continuous_result(sub).unwrap(), fresh_query);
+        assert!(db.unsubscribe(sub));
+        assert!(db.poll_changes(sub).is_err());
     }
 }

@@ -1,0 +1,128 @@
+//! Paired datasets for distance-join benchmarks (extension).
+//!
+//! The canonical spatial-join question over the paper's data is "which
+//! mesh surface elements are within ε of a simulation particle" — e.g.
+//! relating the brain-mesh surface to an n-body snapshot occupying the
+//! same space. This module generates that pairing synthetically: a
+//! multi-lobed mesh ([`crate::mesh`]) and a clustered particle cloud
+//! ([`crate::nbody`]) over **one shared domain**, with disjoint id
+//! spaces, plus an ε sized so the join selects a meaningful (non-empty,
+//! non-quadratic) pair set.
+
+use crate::mesh::{mesh_entries, MeshConfig};
+use crate::nbody::{nbody_entries, NBodyConfig};
+use flat_geom::{Aabb, Point3};
+use flat_rtree::Entry;
+
+/// Id offset of the inner (particle) dataset: keeps the two id spaces
+/// disjoint so a result pair is unambiguous without remembering sides.
+pub const INNER_ID_OFFSET: u64 = 1 << 40;
+
+/// Parameters of a paired join workload.
+#[derive(Debug, Clone)]
+pub struct JoinWorkloadConfig {
+    /// Minimum number of mesh triangles (outer dataset).
+    pub mesh_triangles: usize,
+    /// Number of n-body particles (inner dataset).
+    pub particles: usize,
+    /// The shared domain both datasets are generated into.
+    pub domain: Aabb,
+    /// Join distance, in domain units.
+    pub eps: f64,
+    /// Base seed; the mesh and the particles draw distinct substreams.
+    pub seed: u64,
+}
+
+impl JoinWorkloadConfig {
+    /// The default pairing: a brain-like mesh against a dark-matter-like
+    /// snapshot in a 1000-unit cube, ε at 0.5 % of the domain edge.
+    pub fn mesh_vs_nbody(mesh_triangles: usize, particles: usize, seed: u64) -> JoinWorkloadConfig {
+        let domain = Aabb::new(Point3::splat(0.0), Point3::splat(1000.0));
+        JoinWorkloadConfig {
+            mesh_triangles,
+            particles,
+            domain,
+            eps: 5.0,
+            seed,
+        }
+    }
+}
+
+/// A generated join workload: two entry sets over one domain.
+#[derive(Debug, Clone)]
+pub struct JoinWorkload {
+    /// The outer (mesh) dataset; ids start at 0.
+    pub outer: Vec<Entry>,
+    /// The inner (particle) dataset; ids start at [`INNER_ID_OFFSET`].
+    pub inner: Vec<Entry>,
+    /// The join distance the workload was sized for.
+    pub eps: f64,
+    /// Bounding box of both datasets: the configured domain unioned
+    /// with every element MBR (mesh blobs can bulge slightly past the
+    /// configured box, and a FLAT tiling domain must cover its data).
+    pub domain: Aabb,
+}
+
+/// Generates the paired mesh-vs-nbody workload. Deterministic in the
+/// seed; the two sides use distinct substreams, so changing one side's
+/// size leaves the other side's geometry untouched.
+pub fn mesh_vs_nbody(config: &JoinWorkloadConfig) -> JoinWorkload {
+    let mut mesh = MeshConfig::brain(config.mesh_triangles, config.seed);
+    mesh.domain = config.domain;
+    let mut nbody = NBodyConfig::dark_matter(config.particles, config.seed.wrapping_add(1));
+    nbody.domain = config.domain;
+    let outer = mesh_entries(&mesh);
+    let mut inner = nbody_entries(&nbody);
+    for e in &mut inner {
+        e.id += INNER_ID_OFFSET;
+    }
+    let mut domain = config.domain;
+    for e in outer.iter().chain(&inner) {
+        domain = domain.union(&e.mbr);
+    }
+    JoinWorkload {
+        outer,
+        inner,
+        eps: config.eps,
+        domain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_id_disjoint() {
+        let config = JoinWorkloadConfig::mesh_vs_nbody(2_000, 3_000, 9);
+        let a = mesh_vs_nbody(&config);
+        let b = mesh_vs_nbody(&config);
+        assert_eq!(a.outer, b.outer);
+        assert_eq!(a.inner, b.inner);
+        assert!(a.outer.len() >= 2_000);
+        assert_eq!(a.inner.len(), 3_000);
+        assert!(a.outer.iter().all(|e| e.id < INNER_ID_OFFSET));
+        assert!(a.inner.iter().all(|e| e.id >= INNER_ID_OFFSET));
+    }
+
+    #[test]
+    fn both_sides_share_the_domain() {
+        let config = JoinWorkloadConfig::mesh_vs_nbody(1_000, 1_000, 3);
+        let w = mesh_vs_nbody(&config);
+        for e in w.outer.iter().chain(&w.inner) {
+            assert!(
+                w.domain.contains(&e.mbr),
+                "element {e:?} outside {:?}",
+                w.domain
+            );
+        }
+        // The pairing is meaningful: at ε some mesh element has a
+        // particle nearby (the clusters overlap the lobes).
+        let eps2 = w.eps * w.eps;
+        let touching = w
+            .outer
+            .iter()
+            .any(|a| w.inner.iter().any(|b| a.mbr.distance_sq(&b.mbr) <= eps2));
+        assert!(touching, "eps {} selects no pairs at all", w.eps);
+    }
+}

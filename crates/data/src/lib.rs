@@ -14,6 +14,8 @@
 //! | [`nbody`] | Nuage dark matter / gas / stars (§VIII) | clustered point data |
 //! | [`workload`] | SN / LSS micro-benchmarks (§VII-A) | fixed-volume random-location random-aspect range queries |
 //! | [`update`] | — (extension) | timestep churn: delete-and-reinsert-displaced batches over any entry set, for the dynamic index layer |
+//! | [`join`] | — (extension) | paired mesh-vs-nbody datasets over one shared domain, for ε-distance joins |
+//! | [`continuous`] | — (extension) | churn plus standing range boxes, for continuous-query delta streams |
 //!
 //! All generators are deterministic given a seed, and *prefix-stable*: the
 //! first `k` logical units (neurons, clusters, blobs) of a generation are
@@ -29,6 +31,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod continuous;
+pub mod join;
 pub mod mesh;
 pub mod nbody;
 pub mod neuron;

@@ -272,6 +272,19 @@ impl Aabb {
         d
     }
 
+    /// Minimum squared distance between two closed boxes (0 if they touch
+    /// or overlap).
+    pub fn distance_sq(&self, other: &Aabb) -> f64 {
+        let mut d = 0.0;
+        for axis in Axis::ALL {
+            let gap = (other.min.coord(axis) - self.max.coord(axis))
+                .max(self.min.coord(axis) - other.max.coord(axis))
+                .max(0.0);
+            d += gap * gap;
+        }
+        d
+    }
+
     /// The axis along which the box is longest.
     pub fn longest_axis(&self) -> Axis {
         let e = self.extents();
@@ -459,6 +472,25 @@ mod tests {
         assert_eq!(b.distance_sq_to_point(&Point3::splat(0.5)), 0.0);
         assert_eq!(b.distance_sq_to_point(&Point3::new(2.0, 0.5, 0.5)), 1.0);
         assert_eq!(b.distance_sq_to_point(&Point3::new(2.0, 2.0, 0.5)), 2.0);
+    }
+
+    #[test]
+    fn distance_sq_between_boxes() {
+        let b = unit();
+        // Overlapping and touching boxes are at distance zero.
+        assert_eq!(b.distance_sq(&unit()), 0.0);
+        let touching = Aabb::new(Point3::new(1.0, 0.0, 0.0), Point3::new(2.0, 1.0, 1.0));
+        assert_eq!(b.distance_sq(&touching), 0.0);
+        // Separated along one axis: the gap, squared.
+        let x_gap = Aabb::new(Point3::new(3.0, 0.0, 0.0), Point3::new(4.0, 1.0, 1.0));
+        assert_eq!(b.distance_sq(&x_gap), 4.0);
+        assert_eq!(x_gap.distance_sq(&b), 4.0);
+        // Separated along two axes: gaps add in quadrature.
+        let corner = Aabb::new(Point3::new(2.0, 3.0, 0.0), Point3::new(3.0, 4.0, 1.0));
+        assert_eq!(b.distance_sq(&corner), 1.0 + 4.0);
+        // Degenerate (point) boxes agree with the point distance.
+        let p = Point3::new(2.0, 0.5, 0.5);
+        assert_eq!(b.distance_sq(&Aabb::point(p)), b.distance_sq_to_point(&p));
     }
 
     #[test]

@@ -413,10 +413,21 @@ fn service<S: PageStore>(core: &Core<S>, id: PageId, req: Arc<Request>) {
     let service_us = start.elapsed().as_micros() as u64;
 
     if let Ok(page) = &result {
+        let demanded_now = req.demanded.load(Ordering::Acquire);
         if req.origin_prefetch {
             core.io.record_prefetch_read(req.kind);
+            if demanded_now && !req.hit_credited.swap(true, Ordering::AcqRel) {
+                // A demand read already coalesced with this prefetch: the
+                // bytes are used the moment they land, so the hit is
+                // credited here and the page goes in unmarked. Crediting
+                // from the waiter instead would race the cache: the page
+                // could be evicted (counting `prefetch_evicted`) before
+                // the waiter ran, double-counting one prefetch read as
+                // both used and irrecoverably wasted.
+                core.io.record_prefetch_hit(req.kind);
+            }
         }
-        let prefetched_mark = req.origin_prefetch && !req.demanded.load(Ordering::Acquire);
+        let prefetched_mark = req.origin_prefetch && !demanded_now;
         let mut cache = core.shard_cache(id);
         let fresh =
             !req.stale.load(Ordering::Acquire) && core.write_stamp.load(Ordering::SeqCst) == stamp;
@@ -770,14 +781,19 @@ impl<S: PageStore + Send + Sync + 'static> PageRead for DiskScheduler<S> {
             }
         };
         let page = req.await_result()?;
-        if req.origin_prefetch && !req.hit_credited.swap(true, Ordering::AcqRel) {
-            // First demand use of a prefetched fetch: credit the hit and
-            // clear the cached copy's speculative mark so it isn't credited
-            // twice.
-            core.io.record_prefetch_hit(kind);
+        if req.origin_prefetch && !req.hit_credited.load(Ordering::Acquire) {
+            // The fetch landed marked speculative (no demand had coalesced
+            // when the worker published it). The cached copy's mark is the
+            // sole arbiter of the hit: claim it and credit, or — if an
+            // eviction already claimed the marked slot and counted
+            // `prefetch_evicted` — credit nothing, so each prefetch read
+            // is counted at most once (`hits + evicted ≤ reads`).
             let mut cache = core.shard_cache(id);
             if let Some(slot) = cache.slot_of(id) {
-                cache.take_prefetched(slot);
+                if cache.take_prefetched(slot) {
+                    req.hit_credited.store(true, Ordering::Release);
+                    core.io.record_prefetch_hit(kind);
+                }
             }
         }
         Ok(page)
@@ -930,6 +946,37 @@ mod tests {
         // A second read is an ordinary cache hit, not another prefetch hit.
         sched.read_page(PageId(2), PageKind::ObjectPage).unwrap();
         assert_eq!(sched.stats().kind(PageKind::ObjectPage).prefetch_hits, 1);
+    }
+
+    #[test]
+    fn evicted_prefetch_counts_once_not_as_hit_and_eviction() {
+        // Pins the accounting semantics: every prefetch read resolves to
+        // exactly one of {hit, evicted, still-resident unused}, so
+        // `prefetch_hits + prefetch_evicted ≤ prefetch_reads` always.
+        // Capacity 16 over 16 lock shards = one page per shard; ids
+        // congruent mod DEFAULT_SHARDS land in the same shard and evict
+        // each other.
+        assert_eq!(DEFAULT_SHARDS, 16, "test assumes 16 cache shards");
+        let sched = DiskScheduler::new(store_with_pages(64), 16);
+        sched.prefetch_page(PageId(0), PageKind::ObjectPage);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sched.scheduler_stats().prefetch_completed == 0 {
+            assert!(Instant::now() < deadline, "prefetch never completed");
+            std::thread::yield_now();
+        }
+        // Evict the still-marked page 0 with a same-shard demand read…
+        sched.read_page(PageId(16), PageKind::ObjectPage).unwrap();
+        // …then demand-miss it: the eviction was already charged, so the
+        // re-read must NOT also claim a prefetch hit.
+        let page = sched.read_page(PageId(0), PageKind::ObjectPage).unwrap();
+        assert_eq!(page.get_u64(0), 0);
+        let stats = sched.stats();
+        let k = stats.kind(PageKind::ObjectPage);
+        assert_eq!(k.prefetch_reads, 1);
+        assert_eq!(k.prefetch_evicted, 1, "marked page was evicted");
+        assert_eq!(k.prefetch_hits, 0, "an evicted prefetch is not a hit");
+        assert_eq!(k.prefetched_unused(), 1);
+        assert!(k.prefetch_hits + k.prefetch_evicted <= k.prefetch_reads);
     }
 
     #[test]

@@ -70,12 +70,15 @@ pub use flat_storage as storage;
 /// The most commonly used items of every crate, for glob import.
 pub mod prelude {
     pub use flat_core::{
-        BatchOutcome, BuildReport, BuildStats, DbOptions, DeltaIndex, DeltaReport, Durability,
-        EngineConfig, FlatDb, FlatError, FlatIndex, FlatIndexBuilder, FlatOptions, IndexStats,
-        KnnStats, Neighbor, QueryBuilder, QueryEngine, QueryStats, RTreeBuildOptions,
+        AggregateStats, BatchOutcome, BuildReport, BuildStats, ContinuousQueryId, DbOptions,
+        DeltaIndex, DeltaReport, Durability, EngineConfig, FlatDb, FlatError, FlatIndex,
+        FlatIndexBuilder, FlatOptions, IndexStats, JoinEngine, JoinInput, JoinResult, JoinStats,
+        KnnStats, Neighbor, QueryBuilder, QueryDelta, QueryEngine, QueryStats, RTreeBuildOptions,
         RecoveryReport, ShardOptions, ShardedDb, Snapshot, SpatialIndex, StreamingStats, WriteOp,
         Writer,
     };
+    pub use flat_data::continuous::{ContinuousConfig, ContinuousWorkload};
+    pub use flat_data::join::{mesh_vs_nbody, JoinWorkload, JoinWorkloadConfig};
     pub use flat_data::mesh::{mesh_entries, MeshConfig, MeshSource};
     pub use flat_data::nbody::{nbody_entries, NBodyConfig, NBodySource};
     pub use flat_data::neuron::{NeuronConfig, NeuronModel, NeuronSource};

@@ -295,6 +295,247 @@ fn sharded_database_joins_the_equivalence_matrix() {
     }
 }
 
+/// Brute-force ε-join oracle: every `(outer id, inner id)` pair whose
+/// MBR distance is within ε, sorted as the engines sort.
+fn brute_join(outer: &[Entry], inner: &[Entry], eps: f64) -> Vec<(u64, u64)> {
+    let eps2 = eps * eps;
+    let mut pairs: Vec<(u64, u64)> = outer
+        .iter()
+        .flat_map(|a| {
+            inner
+                .iter()
+                .filter(move |b| a.mbr.distance_sq(&b.mbr) <= eps2)
+                .map(move |b| (a.id, b.id))
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+#[test]
+fn join_engines_agree_with_brute_force_across_index_kinds() {
+    // The same ε-join answered four ways — FLAT×FLAT co-crawl, the delta
+    // layer on either side (with live tombstones and delta partitions),
+    // and the sharded fan-out — must all equal the nested-loop oracle.
+    let w = mesh_vs_nbody(&JoinWorkloadConfig::mesh_vs_nbody(1_500, 1_500, 21));
+    let options = FlatOptions {
+        layout: LeafLayout::WithIds,
+        domain: Some(w.domain),
+        ..FlatOptions::default()
+    };
+
+    // Churn the outer side through the delta layer so the join sees
+    // tombstones and delta-resident partitions, then compute the oracle
+    // over the *surviving* population.
+    let mut outer_pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (outer_base, _) = FlatIndex::build(&mut outer_pool, w.outer.clone(), options).unwrap();
+    let mut outer_delta = DeltaIndex::new(&outer_pool, outer_base, options).unwrap();
+    let dead: Vec<u64> = w.outer.iter().step_by(7).map(|e| e.id).collect();
+    let moved: Vec<Entry> = w
+        .outer
+        .iter()
+        .step_by(13)
+        .map(|e| {
+            let shift = Point3::new(3.0, -2.0, 1.0);
+            Entry {
+                id: e.id + 10_000_000,
+                mbr: Aabb::new(e.mbr.min + shift, e.mbr.max + shift),
+            }
+        })
+        .collect();
+    outer_delta.delete_batch(&mut outer_pool, &dead).unwrap();
+    outer_delta
+        .insert_batch(&mut outer_pool, moved.clone())
+        .unwrap();
+    let outer_live: Vec<Entry> = w
+        .outer
+        .iter()
+        .filter(|e| !dead.contains(&e.id))
+        .copied()
+        .chain(moved)
+        .collect();
+
+    let mut inner_pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (inner_flat, _) = FlatIndex::build(&mut inner_pool, w.inner.clone(), options).unwrap();
+
+    for eps in [0.0, w.eps, 4.0 * w.eps] {
+        let oracle = brute_join(&outer_live, &w.inner, eps);
+        let engine = JoinEngine::new(eps);
+
+        let delta_flat = engine
+            .join(
+                &outer_pool,
+                JoinInput::Delta(&outer_delta),
+                &inner_pool,
+                JoinInput::Flat(&inner_flat),
+            )
+            .unwrap();
+        assert_eq!(delta_flat.pairs, oracle, "delta×flat at eps {eps}");
+
+        // Orientation flip: the same pairs, sides swapped.
+        let flat_delta = engine
+            .join(
+                &inner_pool,
+                JoinInput::Flat(&inner_flat),
+                &outer_pool,
+                JoinInput::Delta(&outer_delta),
+            )
+            .unwrap();
+        let mut flipped: Vec<(u64, u64)> = oracle.iter().map(|&(a, b)| (b, a)).collect();
+        flipped.sort_unstable();
+        assert_eq!(flat_delta.pairs, flipped, "flat×delta at eps {eps}");
+
+        // The sharded fan-out over the same (post-churn) populations.
+        let shard_options = ShardOptions {
+            index: options,
+            ..ShardOptions::default()
+        };
+        let db_outer = ShardedDb::build_in_memory(3, outer_live.clone(), shard_options).unwrap();
+        let db_inner = ShardedDb::build_in_memory(2, w.inner.clone(), shard_options).unwrap();
+        let sharded = db_outer.join(&db_inner, eps).unwrap();
+        assert_eq!(sharded.pairs, oracle, "sharded at eps {eps}");
+    }
+}
+
+#[test]
+fn aggregates_agree_with_range_counts_across_index_kinds() {
+    // aggregate_count must equal the range query's result size on every
+    // index kind, including boxes that swallow whole partitions (the
+    // containment fast path) and degenerate boxes.
+    let config = UniformConfig::scaled_baseline(7_000, 23);
+    let entries = uniform_entries(&config);
+    let domain = config.domain;
+    let options = FlatOptions {
+        layout: LeafLayout::WithIds,
+        domain: Some(domain),
+        ..FlatOptions::default()
+    };
+    let mut queries = workload(&domain, 5e-3, 24);
+    queries.extend(workload(&domain, 0.2, 25)); // big: containment kicks in
+    queries.push(domain);
+    queries.push(Aabb::point(domain.center()));
+
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (flat, _) = FlatIndex::build(&mut pool, entries.clone(), options).unwrap();
+    let mut delta_pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let (delta_base, _) = FlatIndex::build(&mut delta_pool, entries.clone(), options).unwrap();
+    let delta = DeltaIndex::new(&delta_pool, delta_base, options).unwrap();
+    let sharded = ShardedDb::build_in_memory(
+        4,
+        entries.clone(),
+        ShardOptions {
+            index: options,
+            ..ShardOptions::default()
+        },
+    )
+    .unwrap();
+
+    for (qi, q) in queries.iter().enumerate() {
+        let oracle = brute_force(&entries, q) as u64;
+        assert_eq!(
+            flat.aggregate_count(&pool, q).unwrap(),
+            oracle,
+            "FLAT count, query {qi}"
+        );
+        assert_eq!(
+            delta.aggregate_count(&delta_pool, q).unwrap(),
+            oracle,
+            "delta count, query {qi}"
+        );
+        assert_eq!(
+            sharded.aggregate_count(q).unwrap(),
+            oracle,
+            "sharded count, query {qi}"
+        );
+        let volume = q.volume();
+        if volume > 0.0 {
+            let density = oracle as f64 / volume;
+            assert_eq!(flat.aggregate_density(&pool, q).unwrap(), density);
+            assert_eq!(sharded.aggregate_density(q).unwrap(), density);
+        }
+    }
+
+    // The containment fast path fires on the whole-domain box, and the
+    // delta layer's summary table answers contained partitions with no
+    // object-page I/O at all.
+    let mut stats = AggregateStats::default();
+    let total = flat
+        .aggregate_count_with_stats(&pool, &domain, &mut stats)
+        .unwrap();
+    assert_eq!(total, entries.len() as u64);
+    assert!(stats.contained_partitions > 0, "early-exit never fired");
+    let mut delta_stats = AggregateStats::default();
+    let delta_total = delta
+        .aggregate_count_with_stats(&delta_pool, &domain, &mut delta_stats)
+        .unwrap();
+    assert_eq!(delta_total, entries.len() as u64);
+    assert!(delta_stats.pages_skipped > 0, "summary table never used");
+}
+
+#[test]
+fn continuous_queries_track_the_churn_oracle() {
+    // Standing ranges over a churning FlatDb: after every commit the
+    // replayed delta stream must reproduce the generator's own live
+    // population, and the db's materialized view must agree.
+    let config = UniformConfig::scaled_baseline(3_000, 27);
+    let initial = uniform_entries(&config);
+    let domain = config.domain;
+    let mut w = ContinuousWorkload::new(
+        initial.clone(),
+        domain,
+        ContinuousConfig::monitoring(6, 150, 28),
+    );
+
+    let mut db = FlatDb::create_in_memory(DbOptions::default().with_index(FlatOptions {
+        layout: LeafLayout::WithIds,
+        domain: Some(domain),
+        ..FlatOptions::default()
+    }));
+    db.build_from(initial).unwrap();
+
+    let subs: Vec<(ContinuousQueryId, Vec<u64>)> = w
+        .ranges()
+        .iter()
+        .map(|r| db.subscribe(*r).unwrap())
+        .collect();
+    let mut views: Vec<Vec<u64>> = subs.iter().map(|(_, baseline)| baseline.clone()).collect();
+    for (i, view) in views.iter().enumerate() {
+        assert_eq!(*view, w.expected(i), "baseline of range {i}");
+    }
+
+    for step in 0..6 {
+        let churn = w.step();
+        db.writer()
+            .unwrap()
+            .apply(vec![
+                WriteOp::Delete(churn.deletes.clone()),
+                WriteOp::Insert(churn.inserts.clone()),
+            ])
+            .unwrap();
+
+        for (i, (id, _)) in subs.iter().enumerate() {
+            let deltas = db.poll_changes(*id).unwrap();
+            // One writer commit → exactly one delta (possibly empty).
+            assert_eq!(deltas.len(), 1, "range {i} step {step}");
+            for delta in deltas {
+                let view = &mut views[i];
+                view.retain(|id| !delta.removed.contains(id));
+                view.extend(&delta.added);
+                view.sort_unstable();
+            }
+            assert_eq!(views[i], w.expected(i), "range {i} after step {step}");
+            assert_eq!(
+                db.continuous_result(*id).unwrap(),
+                w.expected(i),
+                "materialized view of range {i} after step {step}"
+            );
+        }
+    }
+    for (id, _) in subs {
+        assert!(db.unsubscribe(id));
+    }
+}
+
 #[test]
 fn facade_database_joins_the_equivalence_matrix() {
     // The FlatDb façade must agree with every index kind too — it routes
